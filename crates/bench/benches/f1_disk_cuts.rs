@@ -1,0 +1,55 @@
+//! F1: enumerating compatible cuts (presheaf sections over S_person) as
+//! the extension grows — the executable form of the disk diagram.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::employee_db;
+use toposem_core::employee_schema;
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::ContainmentPolicy;
+use toposem_sheaf::ExtensionPresheaf;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_disk_cuts");
+
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema().clone();
+    let person = s.type_id("person").unwrap();
+    let manager = s.type_id("manager").unwrap();
+    let open_person = db.intension().specialisation().s_set(person).clone();
+    let open_manager = db.intension().specialisation().s_set(manager).clone();
+
+    g.bench_function("sections_over_s_person_fixture", |b| {
+        let p = ExtensionPresheaf::new(&db);
+        b.iter(|| p.sections_over(&open_person).len())
+    });
+
+    // Sweep: singleton opens scale linearly with the extension; use the
+    // synthesised extension sizes over the employee schema.
+    for n in [10usize, 100, 1000] {
+        let sdb = random_database(
+            &employee_schema(),
+            &ExtensionParams {
+                tuples_per_type: n,
+                value_range: (n as i64).max(4),
+                policy: ContainmentPolicy::Eager,
+                seed: 1,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("sections_singleton_open", n), &sdb, |b, db| {
+            let p = ExtensionPresheaf::new(db);
+            b.iter(|| p.sections_over(&open_manager).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

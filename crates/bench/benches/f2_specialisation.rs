@@ -1,0 +1,52 @@
+//! F2: computing the specialisation sets S_e / the full specialisation
+//! topology, swept over schema size, with the bitset-vs-naive ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::{sweep_schema, SCHEMA_SWEEP};
+use toposem_core::SpecialisationTopology;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_specialisation");
+    for n in SCHEMA_SWEEP {
+        let schema = sweep_schema(n);
+        g.bench_with_input(
+            BenchmarkId::new("topology_from_subbase", schema.type_count()),
+            &schema,
+            |b, s| b.iter(|| SpecialisationTopology::of_schema(s)),
+        );
+        // Ablation: the naive O(n^2) pairwise-subset computation of the
+        // same S_e family, without the word-parallel occurrence subbase.
+        g.bench_with_input(
+            BenchmarkId::new("naive_pairwise_subsets", schema.type_count()),
+            &schema,
+            |b, s| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for e in s.type_ids() {
+                        for f in s.type_ids() {
+                            if s.attrs_of(e)
+                                .iter()
+                                .all(|a| s.attrs_of(f).contains(a))
+                            {
+                                total += 1;
+                            }
+                        }
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

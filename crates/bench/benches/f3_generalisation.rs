@@ -1,0 +1,35 @@
+//! F3: the dual generalisation topology, swept over schema size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::{sweep_schema, SCHEMA_SWEEP};
+use toposem_core::GeneralisationTopology;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_generalisation");
+    for n in SCHEMA_SWEEP {
+        let schema = sweep_schema(n);
+        g.bench_with_input(
+            BenchmarkId::new("dual_topology", schema.type_count()),
+            &schema,
+            |b, s| b.iter(|| GeneralisationTopology::of_schema(s)),
+        );
+        let gen = GeneralisationTopology::of_schema(&schema);
+        g.bench_with_input(
+            BenchmarkId::new("hasse_covers", schema.type_count()),
+            &gen,
+            |b, gt| b.iter(|| gt.order().covers().len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! F4: FD satisfaction via λ construction (the commuting triangle), swept
+//! over relation cardinality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_core::{employee_schema, GeneralisationTopology};
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::ContainmentPolicy;
+use toposem_fd::{check_fd, Fd};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_fd_check");
+    let schema = employee_schema();
+    let gen = GeneralisationTopology::of_schema(&schema);
+    let fd = Fd::new(
+        &gen,
+        schema.type_id("employee").unwrap(),
+        schema.type_id("department").unwrap(),
+        schema.type_id("worksfor").unwrap(),
+    )
+    .unwrap();
+    for n in [10usize, 100, 1000, 10_000] {
+        let db = random_database(
+            &schema,
+            &ExtensionParams {
+                tuples_per_type: n,
+                value_range: (n as i64).max(4),
+                policy: ContainmentPolicy::Eager,
+                seed: 4,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("check_fd_lambda", n), &db, |b, db| {
+            b.iter(|| check_fd(db, &fd).holds())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

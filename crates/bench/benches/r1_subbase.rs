@@ -1,0 +1,53 @@
+//! R1: minimal subbase selection (constructed-type discovery), with the
+//! materialise-all vs subbase-only storage ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::{employee_db, sweep_schema};
+use toposem_core::{Intension, SpecialisationTopology};
+use toposem_extension::ContainmentPolicy;
+use toposem_storage::{Catalog, StoragePlan};
+use toposem_topology::SubbaseAnalysis;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r1_subbase");
+    for n in [8usize, 32, 128] {
+        let schema = sweep_schema(n);
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let cover = spec.cover();
+        g.bench_with_input(
+            BenchmarkId::new("greedy_minimal", schema.type_count()),
+            &cover,
+            |b, cov| {
+                b.iter(|| {
+                    SubbaseAnalysis::new(schema.type_count(), cov.clone()).greedy_minimal()
+                })
+            },
+        );
+    }
+
+    // Ablation: reading the constructed worksfor type, materialised vs
+    // derived from contributors.
+    let db = employee_db(ContainmentPolicy::Eager);
+    let worksfor = db.schema().type_id("worksfor").unwrap();
+    let materialised = Catalog::new(StoragePlan::MaterialiseAll);
+    let derived = Catalog::new(StoragePlan::SubbaseOnly);
+    g.bench_function("read_constructed_materialised", |b| {
+        b.iter(|| materialised.read(&db, worksfor).len())
+    });
+    g.bench_function("read_constructed_derived", |b| {
+        b.iter(|| derived.read(&db, worksfor).len())
+    });
+    let _ = Intension::analyse(db.schema().clone());
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

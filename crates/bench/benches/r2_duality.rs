@@ -1,0 +1,43 @@
+//! R2: checking the duality corollary y ∈ S_x ⇔ x ∈ G_y over all pairs,
+//! swept over schema size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::{sweep_schema, SCHEMA_SWEEP};
+use toposem_core::{GeneralisationTopology, SpecialisationTopology};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r2_duality");
+    for n in SCHEMA_SWEEP {
+        let schema = sweep_schema(n);
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        g.bench_with_input(
+            BenchmarkId::new("all_pairs_duality", schema.type_count()),
+            &(spec, gen),
+            |b, (sp, gn)| {
+                b.iter(|| {
+                    let mut ok = true;
+                    for x in schema.type_ids() {
+                        for y in schema.type_ids() {
+                            ok &= sp.s_set(x).contains(y.index())
+                                == gn.g_set(y).contains(x.index());
+                        }
+                    }
+                    ok
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

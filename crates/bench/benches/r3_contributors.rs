@@ -1,0 +1,54 @@
+//! R3: computing CO_e (direct generalisations) for every type, swept over
+//! schema size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::{sweep_schema, SCHEMA_SWEEP};
+use toposem_core::{contributors::computed_contributors, GeneralisationTopology, TypeId};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r3_contributors");
+    for n in SCHEMA_SWEEP {
+        let schema = sweep_schema(n);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        g.bench_with_input(
+            BenchmarkId::new("all_contributors", schema.type_count()),
+            &gen,
+            |b, gn| {
+                b.iter(|| {
+                    let mut total = 0;
+                    for e in schema.type_ids() {
+                        total += computed_contributors(&schema, gn, e).card();
+                    }
+                    total
+                })
+            },
+        );
+        // Comparison point: Hasse lower covers via the preorder.
+        g.bench_with_input(
+            BenchmarkId::new("hasse_lower_covers", schema.type_count()),
+            &gen,
+            |b, gn| {
+                let order = gn.order();
+                b.iter(|| {
+                    let mut total = 0;
+                    for e in schema.type_ids() {
+                        total += order.lower_covers(TypeId::index(e)).len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! R4: extension mappings and the containment machinery — eager insert
+//! vs on-demand collection (the maintenance ablation), swept over
+//! relation cardinality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_core::{employee_schema, Intension};
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::{e_map, verify_corollary, ContainmentPolicy};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r4_extension_maps");
+    let schema = employee_schema();
+    for n in [10usize, 100, 1000, 10_000] {
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let label = match policy {
+                ContainmentPolicy::Eager => "insert_eager",
+                ContainmentPolicy::OnDemand => "insert_on_demand",
+            };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    random_database(
+                        &schema,
+                        &ExtensionParams {
+                            tuples_per_type: n,
+                            value_range: (n as i64).max(4),
+                            policy,
+                            seed: 2,
+                        },
+                    )
+                    .total_stored()
+                })
+            });
+        }
+        // Read side: collecting E_person(person) under both policies.
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let db = random_database(
+                &schema,
+                &ExtensionParams {
+                    tuples_per_type: n,
+                    value_range: (n as i64).max(4),
+                    policy,
+                    seed: 2,
+                },
+            );
+            let person = schema.type_id("person").unwrap();
+            let label = match policy {
+                ContainmentPolicy::Eager => "read_extension_eager",
+                ContainmentPolicy::OnDemand => "read_extension_on_demand",
+            };
+            g.bench_with_input(BenchmarkId::new(label, n), &db, |b, db| {
+                b.iter(|| e_map(db, person, person).len())
+            });
+        }
+    }
+    // Corollary verification cost on the mid-size instance.
+    let db = random_database(
+        &schema,
+        &ExtensionParams {
+            tuples_per_type: 1000,
+            value_range: 256,
+            policy: ContainmentPolicy::Eager,
+            seed: 2,
+        },
+    );
+    g.bench_function("verify_corollary_1000", |b| {
+        b.iter(|| verify_corollary(&db).all_hold())
+    });
+    let _ = Intension::analyse(schema.clone());
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

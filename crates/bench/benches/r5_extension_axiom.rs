@@ -1,0 +1,46 @@
+//! R5: the Extension Axiom check (contributor join + injectivity), swept
+//! over the worksfor cardinality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_core::employee_schema;
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::{check_extension_axiom, multi_join, ContainmentPolicy};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r5_extension_axiom");
+    let schema = employee_schema();
+    let worksfor = schema.type_id("worksfor").unwrap();
+    let employee = schema.type_id("employee").unwrap();
+    let department = schema.type_id("department").unwrap();
+    for n in [10usize, 100, 1000, 10_000] {
+        let db = random_database(
+            &schema,
+            &ExtensionParams {
+                tuples_per_type: n,
+                value_range: (n as i64 / 2).max(4),
+                policy: ContainmentPolicy::Eager,
+                seed: 3,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("check_axiom_worksfor", n), &db, |b, db| {
+            b.iter(|| check_extension_axiom(db, worksfor).holds())
+        });
+        let emp = db.extension(employee);
+        let dep = db.extension(department);
+        g.bench_with_input(BenchmarkId::new("contributor_join", n), &(emp, dep), |b, (e, d)| {
+            b.iter(|| multi_join(schema.attr_count(), &[e, d]).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

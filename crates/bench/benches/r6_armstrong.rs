@@ -1,0 +1,59 @@
+//! R6: the Armstrong inference engine — type-level closure vs the
+//! classical attribute-level closure (the lifting ablation), swept over
+//! context size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::sweep_schema;
+use toposem_core::{GeneralisationTopology, TypeId};
+use toposem_fd::ArmstrongEngine;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r6_armstrong");
+    for n in [8usize, 32, 128] {
+        let schema = sweep_schema(n);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        // Context: the type with the largest G-set (widest universe).
+        let context = schema
+            .type_ids()
+            .max_by_key(|&e| gen.g_set(e).card())
+            .unwrap();
+        let engine = ArmstrongEngine::new(&schema, &gen, context);
+        let members: Vec<TypeId> = engine.universe();
+        let sigma: Vec<(TypeId, TypeId)> = members
+            .iter()
+            .zip(members.iter().cycle().skip(1))
+            .take(members.len().min(8))
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("type_level_full_closure", schema.type_count()),
+            &sigma,
+            |b, s| b.iter(|| engine.full_closure(s).len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("attr_level_closures", schema.type_count()),
+            &sigma,
+            |b, s| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &x in &members {
+                        total += engine.attr_closure(s, schema.attrs_of(x)).card();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

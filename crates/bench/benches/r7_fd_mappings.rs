@@ -1,0 +1,49 @@
+//! R7: nucleus construction, satisfied-FD sets, and the dependency
+//! mapping corollary, on the employee fixture and a scaled extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::employee_db;
+use toposem_core::employee_schema;
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::ContainmentPolicy;
+use toposem_fd::{nucleus, satisfied_fd_set, verify_fd_corollary};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r7_fd_mappings");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema().clone();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let gen = db.intension().generalisation();
+
+    g.bench_function("nucleus_worksfor", |b| b.iter(|| nucleus(gen, worksfor).len()));
+
+    for n in [10usize, 100, 1000] {
+        let sdb = random_database(
+            &employee_schema(),
+            &ExtensionParams {
+                tuples_per_type: n,
+                value_range: (n as i64).max(4),
+                policy: ContainmentPolicy::Eager,
+                seed: 5,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("satisfied_fd_set", n), &sdb, |b, db| {
+            b.iter(|| satisfied_fd_set(db, worksfor).len())
+        });
+        g.bench_with_input(BenchmarkId::new("verify_fd_corollary", n), &sdb, |b, db| {
+            b.iter(|| verify_fd_corollary(db).all_hold())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! R8: the headline comparison — toposem's unique view-update translation
+//! vs the Universal Relation's placeholder machinery, swept over workload
+//! size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_core::{employee_schema, Intension, ViewType};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_storage::{apply_update, Engine, ViewUpdate};
+use toposem_ur::{UniversalRelation, Window};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r8_view_updates");
+    let schema = employee_schema();
+    let employee = schema.type_id("employee").unwrap();
+    for n in [100usize, 1000, 10_000] {
+        // toposem: n inserts through a view, then n deletes.
+        g.bench_with_input(BenchmarkId::new("toposem_insert_delete", n), &n, |b, &n| {
+            b.iter(|| {
+                let engine = Engine::new(Database::new(
+                    Intension::analyse(schema.clone()),
+                    DomainCatalog::employee_defaults(),
+                    ContainmentPolicy::Eager,
+                ));
+                let view = ViewType::new(&schema, "emp", &[employee]).unwrap();
+                for i in 0..n {
+                    apply_update(
+                        &engine,
+                        &view,
+                        ViewUpdate::Insert {
+                            target: employee,
+                            fields: &[
+                                ("name", Value::str(&format!("p{i}"))),
+                                ("age", Value::Int((i % 60) as i64)),
+                                ("depname", Value::str("sales")),
+                            ],
+                        },
+                    )
+                    .unwrap();
+                }
+                engine.extension(employee).len()
+            })
+        });
+        // UR: n inserts through a window; measure window materialisation
+        // and the translation-count (ambiguity) computation.
+        g.bench_with_input(BenchmarkId::new("ur_insert_window", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut ur = UniversalRelation::new(&schema);
+                let w = Window::new(&schema, &["name", "age", "depname"]).unwrap();
+                for i in 0..n {
+                    ur.insert_through_window(
+                        &w,
+                        &[
+                            (schema.attr_id("name").unwrap(), Value::str(&format!("p{i}"))),
+                            (schema.attr_id("age").unwrap(), Value::Int((i % 60) as i64)),
+                            (schema.attr_id("depname").unwrap(), Value::str("sales")),
+                        ],
+                    );
+                }
+                ur.window(&w).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

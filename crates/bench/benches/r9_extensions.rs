@@ -1,0 +1,90 @@
+//! R9: the §6 extensions — boolean-algebra law checking, incomplete-info
+//! FD semantics, MVD checking (both formulations), and presheaf gluing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::employee_db;
+use toposem_constraints::{
+    mvd_holds_as_product, mvd_holds_pairwise, BooleanAlgebra, IncompleteRelation, Mvd,
+    PartialTuple,
+};
+use toposem_core::employee_schema;
+use toposem_design::{random_database, ExtensionParams};
+use toposem_extension::ContainmentPolicy;
+use toposem_sheaf::ExtensionPresheaf;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("r9_extensions");
+
+    for atoms in [2usize, 4, 6] {
+        let ba = BooleanAlgebra::with_atoms(atoms);
+        g.bench_with_input(BenchmarkId::new("ba_verify_laws", atoms), &ba, |b, ba| {
+            b.iter(|| ba.verify_laws())
+        });
+    }
+
+    // Incomplete-information FD: certain semantics is exponential in the
+    // incompleteness; sweep the number of partial tuples.
+    for n in [2usize, 4, 6] {
+        let algebras = vec![BooleanAlgebra::with_atoms(2), BooleanAlgebra::with_atoms(2)];
+        let mut rel = IncompleteRelation::new(algebras.clone());
+        for i in 0..n {
+            let dep = algebras[0].atom(i % 2);
+            let loc = if i % 3 == 0 { algebras[1].top() } else { algebras[1].atom(i % 2) };
+            rel.insert(PartialTuple::new(vec![dep, loc]));
+        }
+        g.bench_with_input(BenchmarkId::new("fd_state_semantics", n), &rel, |b, r| {
+            b.iter(|| r.fd_holds_state(&[0], &[1]))
+        });
+        g.bench_with_input(BenchmarkId::new("fd_certain_semantics", n), &rel, |b, r| {
+            b.iter(|| r.fd_holds_certain(&[0], &[1]))
+        });
+    }
+
+    // MVD: pairwise (O(n^2) with witness scan) vs product-shape (group
+    // hash) — who wins and where.
+    let schema = employee_schema();
+    for n in [10usize, 50, 200] {
+        let db = random_database(
+            &schema,
+            &ExtensionParams {
+                tuples_per_type: n,
+                value_range: 4,
+                policy: ContainmentPolicy::Eager,
+                seed: 6,
+            },
+        );
+        let mvd = Mvd {
+            lhs: schema.type_id("person").unwrap(),
+            rhs: schema.type_id("employee").unwrap(),
+            context: schema.type_id("worksfor").unwrap(),
+        };
+        g.bench_with_input(BenchmarkId::new("mvd_pairwise", n), &db, |b, db| {
+            b.iter(|| mvd_holds_pairwise(db, &mvd))
+        });
+        g.bench_with_input(BenchmarkId::new("mvd_product_shape", n), &db, |b, db| {
+            b.iter(|| mvd_holds_as_product(db, &mvd))
+        });
+    }
+
+    // Presheaf gluing over the trivial cover on the fixture.
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let employee = s.type_id("employee").unwrap();
+    let open = db.intension().specialisation().s_set(employee).clone();
+    g.bench_function("presheaf_gluing_fixture", |b| {
+        let p = ExtensionPresheaf::new(&db);
+        b.iter(|| p.gluing_failures(&open, std::slice::from_ref(&open)))
+    });
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

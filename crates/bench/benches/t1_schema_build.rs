@@ -1,0 +1,40 @@
+//! T1: building the employee schema and analysing its intension, plus a
+//! sweep over synthesised schema sizes. Measures the cost of the
+//! foundation every other experiment stands on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_bench::sweep_schema;
+use toposem_core::{employee_schema, Intension};
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_schema_build");
+
+    g.bench_function("employee_schema", |b| b.iter(employee_schema));
+
+    g.bench_function("employee_intension", |b| {
+        let schema = employee_schema();
+        b.iter(|| Intension::analyse(schema.clone()))
+    });
+
+    // Full intension analysis (topologies + minimal-subbase search) up to
+    // 128 types; the subbase search is the quadratic part.
+    for n in [8usize, 32, 128] {
+        let schema = sweep_schema(n);
+        g.bench_with_input(
+            BenchmarkId::new("intension_analyse", schema.type_count()),
+            &schema,
+            |b, s| b.iter(|| Intension::analyse(s.clone())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! Regenerates every table and figure of the paper as text (and the
+//! symbolic results the theorems claim), printing paper-vs-measured for
+//! EXPERIMENTS.md.
+//!
+//! Run with: `cargo run -p toposem-bench --bin figures` (optionally pass
+//! experiment ids, e.g. `figures t1 f2 r6`; no arguments = everything).
+
+use toposem_constraints::{check_jd, contributor_jd};
+use toposem_core::GeneralisationTopology;
+use toposem_extension::{check_all, verify_corollary, ContainmentPolicy};
+use toposem_fd::{
+    check_fd, nucleus, satisfied_fd_set, verify_completeness, verify_fd_corollary,
+    verify_soundness, ArmstrongEngine, Fd,
+};
+use toposem_sheaf::ExtensionPresheaf;
+use toposem_ur::{UniversalRelation, Window};
+
+use toposem_bench::employee_db;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a.eq_ignore_ascii_case(id));
+
+    if want("t1") {
+        t1();
+    }
+    if want("f1") {
+        f1();
+    }
+    if want("f2") {
+        f2();
+    }
+    if want("r1") {
+        r1();
+    }
+    if want("f3") {
+        f3();
+    }
+    if want("r2") {
+        r2();
+    }
+    if want("r3") {
+        r3();
+    }
+    if want("r4") {
+        r4();
+    }
+    if want("r5") {
+        r5();
+    }
+    if want("f4") {
+        f4();
+    }
+    if want("r6") {
+        r6();
+    }
+    if want("r7") {
+        r7();
+    }
+    if want("r8") {
+        r8();
+    }
+    if want("r9") {
+        r9();
+    }
+}
+
+fn header(id: &str, title: &str) {
+    println!("\n================ {id}: {title} ================");
+}
+
+/// T1: the p.5 table.
+fn t1() {
+    header("T1", "employee database: entity types and attribute sets");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    println!("{:<12} attribute set", "entity");
+    for e in s.type_ids() {
+        println!(
+            "{:<12} {{{}}}",
+            s.type_name(e),
+            s.attr_set_names(s.attrs_of(e)).join(", ")
+        );
+    }
+}
+
+/// F1: the disk diagram — each attribute a disk, a cut = an instance. We
+/// render each compatible cut (presheaf section over S_person).
+fn f1() {
+    header("F1", "attribute disks; a single cut = an entity instance");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let spec = db.intension().specialisation();
+    let person = s.type_id("person").unwrap();
+    let presheaf = ExtensionPresheaf::new(&db);
+    let open = spec.s_set(person).clone();
+    let sections = presheaf.sections_over(&open);
+    println!(
+        "cuts through S_person = {:?}: {} compatible cut(s)",
+        s.type_set_names(&open),
+        sections.len()
+    );
+    for (i, fam) in sections.iter().enumerate() {
+        println!("cut #{i}:");
+        for (t, inst) in &fam.members {
+            println!("  at {:<10} {}", s.type_name(*t), inst.display(s));
+        }
+    }
+}
+
+/// F2: the Venn diagram of specialisation sets.
+fn f2() {
+    header("F2", "specialisation sets S_e (paper's Venn diagram)");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let spec = db.intension().specialisation();
+    for e in s.type_ids() {
+        println!(
+            "S_{:<10} = {{{}}}",
+            s.type_name(e),
+            s.type_set_names(spec.s_set(e)).join(", ")
+        );
+    }
+    println!("paper: S_person ⊃ S_employee ⊃ S_manager; S_department ⊃ S_worksfor ⊂ S_employee");
+}
+
+/// R1: subbase and constructed types.
+fn r1() {
+    header("R1", "chosen subbase R_T and constructed types");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let i = db.intension();
+    println!(
+        "R_T        = {:?}",
+        i.subbase_types().iter().map(|&e| s.type_name(e)).collect::<Vec<_>>()
+    );
+    println!(
+        "constructed = {:?}",
+        i.constructed_types().iter().map(|&e| s.type_name(e)).collect::<Vec<_>>()
+    );
+    println!("paper: R_T = {{person, department, employee, manager}}; worksfor constructed");
+}
+
+/// F3: generalisation sets.
+fn f3() {
+    header("F3", "generalisation sets G_e (paper's §3.2 diagrams)");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let gen = db.intension().generalisation();
+    for e in s.type_ids() {
+        println!(
+            "G_{:<10} = {{{}}}",
+            s.type_name(e),
+            s.type_set_names(gen.g_set(e)).join(", ")
+        );
+    }
+    println!("paper: G_manager = {{employee, person, manager}}, G_worksfor = {{employee, person, department, worksfor}}");
+}
+
+/// R2: duality corollary and non-complementarity.
+fn r2() {
+    header("R2", "duality: y ∈ S_x ⇔ x ∈ G_y; S/G are not complements");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let spec = db.intension().specialisation();
+    let gen = db.intension().generalisation();
+    let mut checked = 0;
+    let mut holds = true;
+    for x in s.type_ids() {
+        for y in s.type_ids() {
+            checked += 1;
+            if spec.s_set(x).contains(y.index()) != gen.g_set(y).contains(x.index()) {
+                holds = false;
+            }
+        }
+    }
+    println!("duality checked on {checked} pairs: {holds}");
+    let person = s.type_id("person").unwrap();
+    let u = spec.s_set(person).union(gen.g_set(person));
+    let i = spec.s_set(person).intersection(gen.g_set(person));
+    println!(
+        "S_person ∪ G_person = {:?} (≠ E: {})",
+        s.type_set_names(&u),
+        !u.is_full()
+    );
+    println!(
+        "S_person ∩ G_person = {:?} (= {{person}}: {})",
+        s.type_set_names(&i),
+        s.type_set_names(&i) == vec!["person"]
+    );
+}
+
+/// R3: contributors.
+fn r3() {
+    header("R3", "contributors CO_e = direct generalisations");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    for e in s.type_ids() {
+        let co = db.intension().contributors_of(e);
+        println!(
+            "CO_{:<9} = {:?}",
+            s.type_name(e),
+            co.iter().map(|&c| s.type_name(c)).collect::<Vec<_>>()
+        );
+    }
+    println!("paper: CO_worksfor = {{employee, department}}");
+}
+
+/// R4: containment and the extension-mapping corollary.
+fn r4() {
+    header("R4", "containment + extension-mapping corollary (a)(b)(c)");
+    for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+        let db = employee_db(policy);
+        let report = verify_corollary(&db);
+        println!(
+            "{policy:?}: containment violations: {}, corollary chains: {}, all hold: {}",
+            db.verify_containment().len(),
+            report.triples_checked,
+            report.all_hold()
+        );
+    }
+}
+
+/// R5: the Extension Axiom.
+fn r5() {
+    header("R5", "Extension Axiom: injective i : E_e(e) → Π E_c(c)");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    for report in check_all(&db) {
+        if report.contributors.is_empty() {
+            continue;
+        }
+        println!(
+            "{:<10} contributors {:?}: undetermined {}, injectivity failures {}",
+            s.type_name(report.entity_type),
+            report.contributors.iter().map(|&c| s.type_name(c)).collect::<Vec<_>>(),
+            report.undetermined.len(),
+            report.injectivity_failures.len()
+        );
+    }
+    let worksfor = s.type_id("worksfor").unwrap();
+    let jd = contributor_jd(&db, worksfor);
+    let jr = check_jd(&db, &jd);
+    println!(
+        "join dependency over CO_worksfor: holds {} (spurious {}, missing {})",
+        jr.holds, jr.spurious, jr.missing
+    );
+}
+
+/// F4: the FD commuting triangle.
+fn f4() {
+    header("F4", "fd(e,f,g) ⇔ ∃λ with commuting triangle");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let gen = GeneralisationTopology::of_schema(s);
+    let fd = Fd::new(
+        &gen,
+        s.type_id("employee").unwrap(),
+        s.type_id("department").unwrap(),
+        s.type_id("worksfor").unwrap(),
+    )
+    .unwrap();
+    match check_fd(&db, &fd) {
+        toposem_fd::FdCheck::Holds(lambda) => {
+            println!("{} holds; λ has {} entries:", fd.display(s), lambda.len());
+            for (k, v) in &lambda {
+                println!("  λ({}) = {}", k.display(s), v.display(s));
+            }
+            println!(
+                "triangle commutes: {}",
+                toposem_fd::triangle_commutes(&db, &fd, &lambda)
+            );
+        }
+        toposem_fd::FdCheck::Violated(a, b) => {
+            println!("{} violated by {} / {}", fd.display(s), a.display(s), b.display(s));
+        }
+    }
+}
+
+/// R6: Armstrong axioms, propagation, soundness & completeness.
+fn r6() {
+    header("R6", "Armstrong axioms + propagation: sound and complete");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let gen = db.intension().generalisation();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let engine = ArmstrongEngine::new(s, gen, worksfor);
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let sigma = [(employee, department)];
+    let sound = verify_soundness(&engine, &sigma);
+    let complete = verify_completeness(&engine, &sigma);
+    println!(
+        "context worksfor, Σ = {{employee → department}}: derivable FDs {}, unsound {}, underivable {}, incomplete {}",
+        sound.checked,
+        sound.unsound.len(),
+        complete.checked,
+        complete.incomplete.len()
+    );
+    println!(
+        "derivable: {:?}",
+        engine
+            .derivable_fds(&sigma)
+            .iter()
+            .map(|fd| fd.display(s))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// R7: nucleus and dependency mappings.
+fn r7() {
+    header("R7", "nucleus N_e, DF_e, dependency-mapping corollary");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let gen = db.intension().generalisation();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let n = nucleus(gen, worksfor);
+    println!("|N_worksfor| = {} reflexive dependencies:", n.len());
+    for (x, y) in &n {
+        println!("  fd({}, {}, worksfor)", s.type_name(*x), s.type_name(*y));
+    }
+    let sat = satisfied_fd_set(&db, worksfor);
+    println!(
+        "satisfied FD set in worksfor context: {} pairs (⊇ nucleus: {})",
+        sat.len(),
+        n.is_subset(&sat)
+    );
+    let report = verify_fd_corollary(&db);
+    println!(
+        "dependency-mapping corollary: {} chains, all hold: {}",
+        report.chains_checked,
+        report.all_hold()
+    );
+}
+
+/// R8: view updates vs the Universal Relation.
+fn r8() {
+    header("R8", "unique view-update translation vs UR placeholders");
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema().clone();
+    let mut ur = UniversalRelation::new(&s);
+    let w = Window::new(&s, &["name", "age", "depname"]).unwrap();
+    let row = vec![
+        (s.attr_id("name").unwrap(), toposem_extension::Value::str("ann")),
+        (s.attr_id("age").unwrap(), toposem_extension::Value::Int(40)),
+        (s.attr_id("depname").unwrap(), toposem_extension::Value::str("sales")),
+    ];
+    println!(
+        "{:<22} {:>12} {:>16}",
+        "duplicate inserts k", "UR 2^k - 1", "toposem (always)"
+    );
+    for k in [1usize, 2, 4, 8] {
+        let mut ur2 = UniversalRelation::new(&s);
+        for _ in 0..k {
+            ur2.insert_through_window(&w, &row);
+        }
+        println!(
+            "{:<22} {:>12} {:>16}",
+            k,
+            ur2.delete_translation_count(&w, &row),
+            1
+        );
+    }
+    let _ = (&mut ur, db, row);
+}
+
+/// R9: the §6 extensions.
+fn r9() {
+    header("R9", "§6 extensions: nulls, MVDs, sheaf condition");
+    use toposem_constraints::{BooleanAlgebra, IncompleteRelation, PartialTuple};
+    let a = BooleanAlgebra::with_atoms(2);
+    println!("boolean algebra laws on 2-atom algebra: {}", a.verify_laws());
+    let mut rel = IncompleteRelation::new(vec![
+        BooleanAlgebra::with_atoms(2),
+        BooleanAlgebra::with_atoms(2),
+    ]);
+    let t = PartialTuple::new(vec![rel.algebras()[0].atom(0), rel.algebras()[1].top()]);
+    rel.insert(t.clone());
+    rel.insert(t);
+    println!(
+        "null-FD semantics (two identical partial tuples): state {}, certain {}, possible {}",
+        rel.fd_holds_state(&[0], &[1]),
+        rel.fd_holds_certain(&[0], &[1]),
+        rel.fd_holds_possible(&[0], &[1])
+    );
+    let db = employee_db(ContainmentPolicy::Eager);
+    let s = db.schema();
+    let mvd = toposem_constraints::Mvd {
+        lhs: s.type_id("person").unwrap(),
+        rhs: s.type_id("employee").unwrap(),
+        context: s.type_id("worksfor").unwrap(),
+    };
+    println!(
+        "MVD pairwise == product-shape formulation: {}",
+        toposem_constraints::mvd_holds_pairwise(&db, &mvd)
+            == toposem_constraints::mvd_holds_as_product(&db, &mvd)
+    );
+    let p = ExtensionPresheaf::new(&db);
+    let spec = db.intension().specialisation();
+    let employee = s.type_id("employee").unwrap();
+    let open = spec.s_set(employee).clone();
+    println!(
+        "extension presheaf: {} section(s) over S_employee, gluing failures {}",
+        p.sections_over(&open).len(),
+        p.gluing_failures(&open, std::slice::from_ref(&open))
+    );
+}

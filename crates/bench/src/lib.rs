@@ -1,0 +1,129 @@
+//! # toposem-bench
+//!
+//! Shared fixtures and workload builders for the benchmark harness. Every
+//! table and figure of the paper has (a) a Criterion bench under
+//! `benches/` named after its experiment id (see DESIGN.md §4), and (b) a
+//! textual regenerator in the `figures` binary.
+
+use toposem_core::{employee_schema, Intension, Schema, TypeId};
+use toposem_design::{random_database, random_schema, ExtensionParams, SchemaParams};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+
+/// The employee database loaded with the canonical rows used across the
+/// experiment suite (2 managers, 2 plain employees, 2 departments, and
+/// the matching worksfor facts).
+pub fn employee_db(policy: ContainmentPolicy) -> Database {
+    let mut db = Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        policy,
+    );
+    let s = db.schema().clone();
+    for (n, a, d, b) in [("ann", 40, "sales", 100_000), ("bob", 50, "research", 80_000)] {
+        db.insert_fields(
+            s.type_id("manager").unwrap(),
+            &[
+                ("name", Value::str(n)),
+                ("age", Value::Int(a)),
+                ("depname", Value::str(d)),
+                ("budget", Value::Int(b)),
+            ],
+        )
+        .unwrap();
+    }
+    for (n, a, d) in [("carol", 25, "sales"), ("dave", 35, "research")] {
+        db.insert_fields(
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str(n)),
+                ("age", Value::Int(a)),
+                ("depname", Value::str(d)),
+            ],
+        )
+        .unwrap();
+    }
+    for (d, l) in [("sales", "amsterdam"), ("research", "utrecht")] {
+        db.insert_fields(
+            s.type_id("department").unwrap(),
+            &[("depname", Value::str(d)), ("location", Value::str(l))],
+        )
+        .unwrap();
+    }
+    for (n, a, d, l) in [
+        ("ann", 40, "sales", "amsterdam"),
+        ("carol", 25, "sales", "amsterdam"),
+        ("bob", 50, "research", "utrecht"),
+    ] {
+        db.insert_fields(
+            s.type_id("worksfor").unwrap(),
+            &[
+                ("name", Value::str(n)),
+                ("age", Value::Int(a)),
+                ("depname", Value::str(d)),
+                ("location", Value::str(l)),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// The sweep of schema sizes used by the intension-level experiments
+/// (F2, F3, R1, R2, R3).
+pub const SCHEMA_SWEEP: [usize; 4] = [8, 32, 128, 512];
+
+/// The sweep of relation cardinalities used by the extension-level
+/// experiments (R4, R5, F4, R8).
+pub const TUPLE_SWEEP: [usize; 4] = [10, 100, 1_000, 10_000];
+
+/// A synthesised schema with roughly `n_types` entity types and a dense
+/// ISA hierarchy, deterministic per size.
+pub fn sweep_schema(n_types: usize) -> Schema {
+    random_schema(&SchemaParams {
+        n_attrs: (n_types * 2).clamp(8, 4096),
+        n_types,
+        isa_bias: 0.6,
+        max_width: 8,
+        seed: 0xC5_8711, // the report number
+    })
+}
+
+/// A synthesised database over `schema` with `tuples_per_type` rows per
+/// entity type, deterministic per size.
+pub fn sweep_db(schema: &Schema, tuples_per_type: usize) -> Database {
+    random_database(
+        schema,
+        &ExtensionParams {
+            tuples_per_type,
+            value_range: (tuples_per_type as i64 / 4).max(4),
+            policy: ContainmentPolicy::Eager,
+            seed: 0xC5_8711,
+        },
+    )
+}
+
+/// Type names resolved for display.
+pub fn names(schema: &Schema, ids: &[TypeId]) -> Vec<String> {
+    ids.iter().map(|&e| schema.type_name(e).to_owned()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_loads_and_validates() {
+        let db = employee_db(ContainmentPolicy::Eager);
+        assert!(db.verify_containment().is_empty());
+        let s = db.schema();
+        assert_eq!(db.extension(s.type_id("person").unwrap()).len(), 4);
+        assert_eq!(db.extension(s.type_id("worksfor").unwrap()).len(), 3);
+    }
+
+    #[test]
+    fn sweep_schema_sizes_scale() {
+        let small = sweep_schema(8);
+        let large = sweep_schema(32);
+        assert!(large.type_count() > small.type_count());
+    }
+}

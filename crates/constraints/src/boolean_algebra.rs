@@ -1,0 +1,197 @@
+//! Finite boolean algebras (§6, after Rasiowa & Sikorski \[10\]).
+//!
+//! "Imposing a structure on the domain, a boolean algebra structure,
+//! results in a formal definition of null values and incomplete
+//! information." Every finite boolean algebra is isomorphic to the power
+//! set of its atoms, so elements are represented as atom bitsets; the
+//! laws then come for free and are re-verified by the test suite as
+//! executable documentation.
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::BitSet;
+
+/// A finite boolean algebra presented by its atoms (named for
+/// diagnostics). Elements are atom subsets.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BooleanAlgebra {
+    atom_names: Vec<String>,
+}
+
+/// An element of a [`BooleanAlgebra`]: a join of atoms.
+pub type BaElement = BitSet;
+
+impl BooleanAlgebra {
+    /// An algebra over the given atom names.
+    pub fn new(atom_names: Vec<String>) -> Self {
+        BooleanAlgebra { atom_names }
+    }
+
+    /// An algebra with `n` anonymous atoms.
+    pub fn with_atoms(n: usize) -> Self {
+        BooleanAlgebra {
+            atom_names: (0..n).map(|i| format!("atom{i}")).collect(),
+        }
+    }
+
+    /// Number of atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atom_names.len()
+    }
+
+    /// Number of elements, `2^atoms`.
+    pub fn element_count(&self) -> usize {
+        1usize << self.atom_names.len()
+    }
+
+    /// The name of atom `i`.
+    pub fn atom_name(&self, i: usize) -> &str {
+        &self.atom_names[i]
+    }
+
+    /// The atom element `{i}`.
+    pub fn atom(&self, i: usize) -> BaElement {
+        BitSet::singleton(self.atom_count(), i)
+    }
+
+    /// Bottom `0` (the empty join).
+    pub fn bottom(&self) -> BaElement {
+        BitSet::empty(self.atom_count())
+    }
+
+    /// Top `1` (the join of all atoms).
+    pub fn top(&self) -> BaElement {
+        BitSet::full(self.atom_count())
+    }
+
+    /// Meet `x ∧ y`.
+    pub fn meet(&self, x: &BaElement, y: &BaElement) -> BaElement {
+        x.intersection(y)
+    }
+
+    /// Join `x ∨ y`.
+    pub fn join(&self, x: &BaElement, y: &BaElement) -> BaElement {
+        x.union(y)
+    }
+
+    /// Complement `¬x`.
+    pub fn not(&self, x: &BaElement) -> BaElement {
+        x.complement()
+    }
+
+    /// Relative pseudo-complement / implication `x → y = ¬x ∨ y`.
+    pub fn implies(&self, x: &BaElement, y: &BaElement) -> BaElement {
+        self.join(&self.not(x), y)
+    }
+
+    /// The order `x ≤ y ⇔ x ∧ y = x`.
+    pub fn le(&self, x: &BaElement, y: &BaElement) -> bool {
+        x.is_subset(y)
+    }
+
+    /// Is `x` an atom (minimal nonzero element)?
+    pub fn is_atom(&self, x: &BaElement) -> bool {
+        x.card() == 1
+    }
+
+    /// Enumerates every element (exponential; test-sized algebras only).
+    pub fn elements(&self) -> Vec<BaElement> {
+        let n = self.atom_count();
+        assert!(n <= 20, "element enumeration is for small algebras");
+        (0u64..(1 << n))
+            .map(|mask| BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0)))
+            .collect()
+    }
+
+    /// Checks every boolean-algebra law on the materialised element set —
+    /// executable documentation used by the test suite.
+    pub fn verify_laws(&self) -> bool {
+        let els = self.elements();
+        let top = self.top();
+        let bot = self.bottom();
+        for x in &els {
+            if self.join(x, &self.not(x)) != top || self.meet(x, &self.not(x)) != bot {
+                return false;
+            }
+            for y in &els {
+                // Commutativity and absorption.
+                if self.meet(x, y) != self.meet(y, x) || self.join(x, y) != self.join(y, x) {
+                    return false;
+                }
+                if self.join(x, &self.meet(x, y)) != *x || self.meet(x, &self.join(x, y)) != *x {
+                    return false;
+                }
+                for z in &els {
+                    // Distributivity both ways.
+                    if self.meet(x, &self.join(y, z))
+                        != self.join(&self.meet(x, y), &self.meet(x, z))
+                    {
+                        return false;
+                    }
+                    if self.join(x, &self.meet(y, z))
+                        != self.meet(&self.join(x, y), &self.join(x, z))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laws_hold() {
+        assert!(BooleanAlgebra::with_atoms(3).verify_laws());
+        assert!(BooleanAlgebra::with_atoms(0).verify_laws());
+        assert!(BooleanAlgebra::with_atoms(1).verify_laws());
+    }
+
+    #[test]
+    fn structure() {
+        let ba = BooleanAlgebra::new(vec!["red".into(), "green".into(), "blue".into()]);
+        assert_eq!(ba.atom_count(), 3);
+        assert_eq!(ba.element_count(), 8);
+        assert_eq!(ba.atom_name(1), "green");
+        assert!(ba.is_atom(&ba.atom(0)));
+        assert!(!ba.is_atom(&ba.top()));
+        assert!(!ba.is_atom(&ba.bottom()));
+        assert!(ba.le(&ba.atom(0), &ba.top()));
+        assert!(ba.le(&ba.bottom(), &ba.atom(2)));
+    }
+
+    #[test]
+    fn implication_is_residuation() {
+        // x ∧ y ≤ z  ⇔  x ≤ (y → z)
+        let ba = BooleanAlgebra::with_atoms(3);
+        for x in ba.elements() {
+            for y in ba.elements() {
+                for z in ba.elements() {
+                    let lhs = ba.le(&ba.meet(&x, &y), &z);
+                    let rhs = ba.le(&x, &ba.implies(&y, &z));
+                    assert_eq!(lhs, rhs);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn de_morgan() {
+        let ba = BooleanAlgebra::with_atoms(4);
+        for x in ba.elements() {
+            for y in ba.elements() {
+                assert_eq!(
+                    ba.not(&ba.meet(&x, &y)),
+                    ba.join(&ba.not(&x), &ba.not(&y))
+                );
+                assert_eq!(
+                    ba.not(&ba.join(&x, &y)),
+                    ba.meet(&ba.not(&x), &ba.not(&y))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Domain constraints (§6): restrictions on the allowable sub-domains of
+//! an entity type's extension, subsuming value restrictions, MVDs (product
+//! shape) and subset dependencies.
+//!
+//! The Integrity Axiom reading: every constraint is a predicate over
+//! entity types and *implies an entity type* — each variant below names
+//! the entity types it constrains, and checking is always a pure function
+//! of their extensions.
+
+use toposem_core::{AttrId, TypeId};
+use toposem_extension::{Database, DomainSpec};
+
+use crate::jd::{check_jd, JoinDependency};
+use crate::mvd::{mvd_holds_as_product, Mvd};
+
+/// A domain constraint over entity types.
+#[derive(Clone, Debug)]
+pub enum DomainConstraint {
+    /// Values of `attr` within the extension of `entity` must lie in the
+    /// (narrower) value set `allowed`.
+    AttributeRange {
+        /// Constrained entity type.
+        entity: TypeId,
+        /// Constrained attribute.
+        attr: AttrId,
+        /// The allowed sub-domain.
+        allowed: DomainSpec,
+    },
+    /// The product-shape constraint: an MVD (§6 "multi-valued dependencies
+    /// are a special case of domain constraints").
+    ProductShape(Mvd),
+    /// A join dependency.
+    Lossless(JoinDependency),
+    /// Subset dependency: the `sub`'s projection lies inside `sup`'s
+    /// extension ("each manager should be an employee") — the constraint
+    /// the paper represents intensionally as a subset hierarchy.
+    Subset {
+        /// The specialised type.
+        sub: TypeId,
+        /// The general type (a generalisation of `sub`).
+        sup: TypeId,
+    },
+}
+
+/// A violation report: which constraint and a short diagnosis.
+#[derive(Clone, Debug)]
+pub struct ConstraintViolation {
+    /// Index of the violated constraint in the checked list.
+    pub index: usize,
+    /// Diagnosis.
+    pub message: String,
+}
+
+/// Checks a single constraint against the database.
+pub fn check_constraint(db: &Database, c: &DomainConstraint) -> Result<(), String> {
+    let schema = db.schema();
+    match c {
+        DomainConstraint::AttributeRange {
+            entity,
+            attr,
+            allowed,
+        } => {
+            for t in db.extension(*entity).iter() {
+                if let Some(v) = t.get(*attr) {
+                    if !allowed.contains(v) {
+                        return Err(format!(
+                            "value {v} of attribute `{}` in `{}` outside the allowed sub-domain",
+                            schema.attr_name(*attr),
+                            schema.type_name(*entity),
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        DomainConstraint::ProductShape(mvd) => {
+            if mvd_holds_as_product(db, mvd) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "extension of `{}` is not product-shaped over `{}` →→ `{}`",
+                    schema.type_name(mvd.context),
+                    schema.type_name(mvd.lhs),
+                    schema.type_name(mvd.rhs),
+                ))
+            }
+        }
+        DomainConstraint::Lossless(jd) => {
+            let report = check_jd(db, jd);
+            if report.holds {
+                Ok(())
+            } else {
+                Err(format!(
+                    "join dependency violated in `{}`: {} spurious, {} missing",
+                    schema.type_name(jd.context),
+                    report.spurious,
+                    report.missing,
+                ))
+            }
+        }
+        DomainConstraint::Subset { sub, sup } => {
+            let projected = db
+                .extension(*sub)
+                .project_to_type(schema, *sub, *sup)
+                .map_err(|e| e.to_string())?;
+            if projected.is_subset(&db.extension(*sup)) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "subset dependency violated: `{}` ⊄ `{}`",
+                    schema.type_name(*sub),
+                    schema.type_name(*sup),
+                ))
+            }
+        }
+    }
+}
+
+/// Checks a list of constraints; returns every violation.
+pub fn check_constraints(db: &Database, cs: &[DomainConstraint]) -> Vec<ConstraintViolation> {
+    cs.iter()
+        .enumerate()
+        .filter_map(|(index, c)| {
+            check_constraint(db, c).err().map(|message| ConstraintViolation { index, message })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn loaded_db() -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        d.insert_fields(
+            s.type_id("manager").unwrap(),
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn attribute_range_constraint() {
+        let d = loaded_db();
+        let s = d.schema();
+        let ok = DomainConstraint::AttributeRange {
+            entity: s.type_id("manager").unwrap(),
+            attr: s.attr_id("age").unwrap(),
+            allowed: DomainSpec::IntRange(18, 67),
+        };
+        assert!(check_constraint(&d, &ok).is_ok());
+        let bad = DomainConstraint::AttributeRange {
+            entity: s.type_id("manager").unwrap(),
+            attr: s.attr_id("age").unwrap(),
+            allowed: DomainSpec::IntRange(18, 30),
+        };
+        assert!(check_constraint(&d, &bad).is_err());
+    }
+
+    #[test]
+    fn subset_constraint_follows_containment() {
+        let d = loaded_db();
+        let s = d.schema();
+        let c = DomainConstraint::Subset {
+            sub: s.type_id("manager").unwrap(),
+            sup: s.type_id("employee").unwrap(),
+        };
+        assert!(check_constraint(&d, &c).is_ok());
+    }
+
+    #[test]
+    fn subset_constraint_detects_orphans() {
+        let mut d = loaded_db();
+        let s = d.schema().clone();
+        let manager = s.type_id("manager").unwrap();
+        // Bulk-load an orphan manager.
+        let orphan = toposem_extension::Instance::new(
+            &s,
+            d.catalog(),
+            manager,
+            &[
+                ("name", Value::str("eve")),
+                ("age", Value::Int(33)),
+                ("depname", Value::str("admin")),
+                ("budget", Value::Int(5)),
+            ],
+        )
+        .unwrap();
+        d.insert_unchecked(manager, orphan);
+        let c = DomainConstraint::Subset {
+            sub: manager,
+            sup: s.type_id("employee").unwrap(),
+        };
+        assert!(check_constraint(&d, &c).is_err());
+    }
+
+    #[test]
+    fn check_constraints_reports_indices() {
+        let d = loaded_db();
+        let s = d.schema();
+        let cs = vec![
+            DomainConstraint::AttributeRange {
+                entity: s.type_id("manager").unwrap(),
+                attr: s.attr_id("budget").unwrap(),
+                allowed: DomainSpec::IntRange(0, 10),
+            },
+            DomainConstraint::Subset {
+                sub: s.type_id("manager").unwrap(),
+                sup: s.type_id("person").unwrap(),
+            },
+        ];
+        let violations = check_constraints(&d, &cs);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].index, 0);
+    }
+}

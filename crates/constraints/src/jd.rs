@@ -1,0 +1,159 @@
+//! Join dependencies over entity types (§6 "currently we investigate …
+//! join-dependencies").
+//!
+//! A join dependency `*(e₁, …, eₖ)` in context `h` (all `eᵢ ∈ G_h`)
+//! requires the context relation to be reconstructible from its
+//! projections: `R_h = π_{e₁}(R_h) ⋈ … ⋈ π_{eₖ}(R_h)`. The Extension
+//! Axiom is precisely the join dependency over the contributors plus
+//! injectivity, so the checker here generalises `check_extension_axiom`.
+
+use toposem_core::TypeId;
+use toposem_extension::{multi_join, Database, Relation};
+use toposem_topology::BitSet;
+
+/// A join dependency `*(components)` in a context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinDependency {
+    /// The component entity types (each a generalisation of the context).
+    pub components: Vec<TypeId>,
+    /// The constrained context.
+    pub context: TypeId,
+}
+
+/// Result of a JD check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JdReport {
+    /// Does the dependency hold?
+    pub holds: bool,
+    /// Tuples produced by the join but absent from the context projection
+    /// (spurious tuples — the lossy-join anomaly).
+    pub spurious: usize,
+    /// Context tuples not reproduced by the join (only possible when the
+    /// components fail to cover the context's attributes).
+    pub missing: usize,
+}
+
+/// Checks `jd` against the current data. The comparison happens on the
+/// attribute union of the components (the context may carry extra
+/// attributes, which a JD cannot constrain).
+pub fn check_jd(db: &Database, jd: &JoinDependency) -> JdReport {
+    let schema = db.schema();
+    let universe = schema.attr_count();
+    let rel = db.extension(jd.context);
+    let mut covered = BitSet::empty(universe);
+    for &c in &jd.components {
+        covered.union_with(schema.attrs_of(c));
+    }
+    let base: Relation = rel.project(&covered);
+    let projections: Vec<Relation> = jd
+        .components
+        .iter()
+        .map(|&c| rel.project(schema.attrs_of(c)))
+        .collect();
+    let refs: Vec<&Relation> = projections.iter().collect();
+    let joined = multi_join(universe, &refs);
+    let spurious = joined.iter().filter(|t| !base.contains(t)).count();
+    let missing = base.iter().filter(|t| !joined.contains(t)).count();
+    JdReport {
+        holds: spurious == 0 && missing == 0,
+        spurious,
+        missing,
+    }
+}
+
+/// The Extension Axiom's JD: the context joined over its contributors.
+pub fn contributor_jd(db: &Database, e: TypeId) -> JoinDependency {
+    JoinDependency {
+        components: db.intension().contributors_of(e),
+        context: e,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn db_with_worksfor(rows: &[(&str, i64, &str, &str)]) -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        for (name, age, dep, loc) in rows {
+            d.insert_fields(
+                s.type_id("worksfor").unwrap(),
+                &[
+                    ("name", Value::str(name)),
+                    ("age", Value::Int(*age)),
+                    ("depname", Value::str(dep)),
+                    ("location", Value::str(loc)),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn lossless_case_holds() {
+        // One employee per department: the join is lossless.
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "research", "utrecht"),
+        ]);
+        let s = d.schema();
+        let jd = contributor_jd(&d, s.type_id("worksfor").unwrap());
+        let report = check_jd(&d, &jd);
+        assert!(report.holds, "{report:?}");
+    }
+
+    #[test]
+    fn lossy_join_produces_spurious_tuples() {
+        // ann works for sales@amsterdam, bob for sales@utrecht: the sales
+        // department exists at two locations, so employee ⋈ department
+        // manufactures (ann, utrecht) and (bob, amsterdam).
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "sales", "utrecht"),
+        ]);
+        let s = d.schema();
+        let jd = contributor_jd(&d, s.type_id("worksfor").unwrap());
+        let report = check_jd(&d, &jd);
+        assert!(!report.holds);
+        assert_eq!(report.spurious, 2);
+        assert_eq!(report.missing, 0);
+    }
+
+    #[test]
+    fn empty_relation_holds_vacuously() {
+        let d = db_with_worksfor(&[]);
+        let s = d.schema();
+        let jd = contributor_jd(&d, s.type_id("worksfor").unwrap());
+        assert!(check_jd(&d, &jd).holds);
+    }
+
+    #[test]
+    fn custom_component_jd() {
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "research", "utrecht"),
+        ]);
+        let s = d.schema();
+        // *(person, department) in worksfor: persons × departments must
+        // reconstruct — fails because person ⋈ department is a cross
+        // product (no shared attributes).
+        let jd = JoinDependency {
+            components: vec![
+                s.type_id("person").unwrap(),
+                s.type_id("department").unwrap(),
+            ],
+            context: s.type_id("worksfor").unwrap(),
+        };
+        let report = check_jd(&d, &jd);
+        assert!(!report.holds);
+        assert_eq!(report.spurious, 2); // the two cross pairs
+    }
+}

@@ -1,0 +1,21 @@
+//! # toposem-constraints
+//!
+//! The constraint extensions sketched in §6 of Siebes & Kersten 1987:
+//! finite boolean algebras as domain structure, null values / incomplete
+//! information with context-independent semantics, multi-valued
+//! dependencies as domain constraints, join dependencies, and a general
+//! domain-constraint checker subsuming them all plus subset dependencies.
+
+pub mod boolean_algebra;
+pub mod chase;
+pub mod domain_constraint;
+pub mod jd;
+pub mod mvd;
+pub mod null;
+
+pub use boolean_algebra::{BaElement, BooleanAlgebra};
+pub use chase::fds_imply_jd;
+pub use domain_constraint::{check_constraint, check_constraints, ConstraintViolation, DomainConstraint};
+pub use jd::{check_jd, contributor_jd, JdReport, JoinDependency};
+pub use mvd::{complement_mvd, fd_implies_mvd, mvd_holds_as_product, mvd_holds_pairwise, Mvd};
+pub use null::{IncompleteRelation, PartialTuple};

@@ -1,0 +1,288 @@
+//! Multi-valued dependencies as domain constraints (§6).
+//!
+//! "It can be shown that multi-valued dependencies are a special case of
+//! domain constraints." The classical MVD `X →→ Y` in a relation over
+//! `X ∪ Y ∪ Z` says that within every `X`-group the `Y` and `Z` parts
+//! vary independently — i.e. each group is a *product* `Y-part × Z-part`.
+//! Requiring every group to have product shape is a constraint on the
+//! allowable sub-domains of the group, which is exactly a domain
+//! constraint; [`mvd_holds_pairwise`] and [`mvd_holds_as_product`] give
+//! both formulations and the test suite proves them equivalent on data.
+
+use toposem_core::TypeId;
+use toposem_extension::{Database, Instance};
+
+/// An entity-type MVD `mvd(lhs, rhs, context)`: within the context's
+/// relation, `A_lhs →→ A_rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mvd {
+    /// The group-by side `X` (an entity type).
+    pub lhs: TypeId,
+    /// The multivalued side `Y` (an entity type).
+    pub rhs: TypeId,
+    /// The context entity type whose relation is constrained.
+    pub context: TypeId,
+}
+
+/// Classical pairwise formulation: for every `t1, t2` agreeing on `X`
+/// there is `t3` with `t3[XY] = t1[XY]` and `t3[Z] = t2[Z]`.
+pub fn mvd_holds_pairwise(db: &Database, mvd: &Mvd) -> bool {
+    let schema = db.schema();
+    let universe = schema.attr_count();
+    let x = schema.attrs_of(mvd.lhs).clone();
+    let y = schema.attrs_of(mvd.rhs).difference(&x);
+    let all = schema.attrs_of(mvd.context).clone();
+    let z = all.difference(&x.union(&y));
+    let rel = db.extension(mvd.context);
+    let tuples: Vec<&Instance> = rel.iter().collect();
+    let _ = universe;
+    for t1 in &tuples {
+        for t2 in &tuples {
+            if t1.project(&x) != t2.project(&x) {
+                continue;
+            }
+            // Need t3 = t1[X Y] ⊎ t2[Z].
+            let want_xy = t1.project(&x.union(&y));
+            let want_z = t2.project(&z);
+            let found = tuples.iter().any(|t3| {
+                t3.project(&x.union(&y)) == want_xy && t3.project(&z) == want_z
+            });
+            if !found {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Domain-constraint formulation: every `X`-group of the context relation
+/// equals the product of its `Y`-projection and its `Z`-projection.
+pub fn mvd_holds_as_product(db: &Database, mvd: &Mvd) -> bool {
+    let schema = db.schema();
+    let x = schema.attrs_of(mvd.lhs).clone();
+    let y = schema.attrs_of(mvd.rhs).difference(&x);
+    let all = schema.attrs_of(mvd.context).clone();
+    let z = all.difference(&x.union(&y));
+    let rel = db.extension(mvd.context);
+    // Group by X projection.
+    let mut groups: std::collections::HashMap<Instance, Vec<&Instance>> =
+        std::collections::HashMap::new();
+    for t in rel.iter() {
+        groups.entry(t.project(&x)).or_default().push(t);
+    }
+    for (key, members) in groups {
+        let ys: std::collections::BTreeSet<Instance> =
+            members.iter().map(|t| t.project(&y)).collect();
+        let zs: std::collections::BTreeSet<Instance> =
+            members.iter().map(|t| t.project(&z)).collect();
+        // The group must be exactly {key} × ys × zs.
+        if members.len() != ys.len() * zs.len() {
+            return false;
+        }
+        let group: std::collections::BTreeSet<Instance> =
+            members.iter().map(|t| (*t).clone()).collect();
+        for yv in &ys {
+            for zv in &zs {
+                let rebuilt = key.merge(&yv.merge(zv));
+                if !group.contains(&rebuilt) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Every FD is an MVD: convenience check used by tests and the MVD
+/// inference examples.
+pub fn fd_implies_mvd(db: &Database, lhs: TypeId, rhs: TypeId, context: TypeId) -> bool {
+    let fd = toposem_fd::Fd::unchecked(lhs, rhs, context);
+    if !toposem_fd::check_fd(db, &fd).holds() {
+        return true; // vacuous: premise fails
+    }
+    mvd_holds_pairwise(db, &Mvd { lhs, rhs, context })
+}
+
+/// The complementation rule: `X →→ Y` iff `X →→ Z` where `Z` is the rest
+/// of the context's attributes. Returns the complement MVD for checking.
+pub fn complement_mvd(db: &Database, mvd: &Mvd) -> Option<Mvd> {
+    let schema = db.schema();
+    let x = schema.attrs_of(mvd.lhs);
+    let y = schema.attrs_of(mvd.rhs).difference(x);
+    let z = schema
+        .attrs_of(mvd.context)
+        .difference(&x.union(&y));
+    // The complement is expressible only when some entity type has
+    // attribute set X ∪ Z (the Integrity Axiom: explicate it!).
+    let want = x.union(&z);
+    schema
+        .type_ids()
+        .find(|&t| schema.attrs_of(t) == &want)
+        .map(|t| Mvd {
+            lhs: mvd.lhs,
+            rhs: t,
+            context: mvd.context,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn db_with_worksfor(rows: &[(&str, i64, &str, &str)]) -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        for (name, age, dep, loc) in rows {
+            d.insert_fields(
+                s.type_id("worksfor").unwrap(),
+                &[
+                    ("name", Value::str(name)),
+                    ("age", Value::Int(*age)),
+                    ("depname", Value::str(dep)),
+                    ("location", Value::str(loc)),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    fn mvd_dep_person(d: &Database) -> Mvd {
+        let s = d.schema();
+        Mvd {
+            lhs: s.type_id("department").unwrap(),
+            rhs: s.type_id("person").unwrap(),
+            context: s.type_id("worksfor").unwrap(),
+        }
+    }
+
+    #[test]
+    fn product_shaped_group_satisfies_mvd() {
+        // Department determines its set of people independently of… there
+        // is no Z left beyond X ∪ Y here: X = {depname, location},
+        // Y = {name, age}, Z = ∅ — trivially product-shaped.
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "sales", "amsterdam"),
+        ]);
+        let m = mvd_dep_person(&d);
+        assert!(mvd_holds_pairwise(&d, &m));
+        assert!(mvd_holds_as_product(&d, &m));
+    }
+
+    #[test]
+    fn genuine_mvd_with_nonempty_z() {
+        // X = person {name, age}, Y = department-name part… use
+        // lhs = person, rhs = department: X = {name,age},
+        // Y = {depname, location}, Z = ∅ again. To get nonempty Z use
+        // lhs = person, rhs = employee: Y = {depname}, Z = {location}.
+        let s_rows: &[(&str, i64, &str, &str)] = &[
+            // ann: departments {sales, research} × locations {amsterdam, utrecht}
+            ("ann", 40, "sales", "amsterdam"),
+            ("ann", 40, "sales", "utrecht"),
+            ("ann", 40, "research", "amsterdam"),
+            ("ann", 40, "research", "utrecht"),
+        ];
+        let d = db_with_worksfor(s_rows);
+        let s = d.schema();
+        let m = Mvd {
+            lhs: s.type_id("person").unwrap(),
+            rhs: s.type_id("employee").unwrap(),
+            context: s.type_id("worksfor").unwrap(),
+        };
+        assert!(mvd_holds_pairwise(&d, &m));
+        assert!(mvd_holds_as_product(&d, &m));
+    }
+
+    #[test]
+    fn violated_mvd_detected_by_both_formulations() {
+        // ann's (depname, location) pairs are NOT a product: sales only in
+        // amsterdam, research only in utrecht.
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("ann", 40, "research", "utrecht"),
+        ]);
+        let s = d.schema();
+        let m = Mvd {
+            lhs: s.type_id("person").unwrap(),
+            rhs: s.type_id("employee").unwrap(),
+            context: s.type_id("worksfor").unwrap(),
+        };
+        assert!(!mvd_holds_pairwise(&d, &m));
+        assert!(!mvd_holds_as_product(&d, &m));
+    }
+
+    #[test]
+    fn formulations_agree_on_random_like_data() {
+        for rows in [
+            vec![("ann", 40, "sales", "amsterdam")],
+            vec![
+                ("ann", 40, "sales", "amsterdam"),
+                ("ann", 40, "sales", "utrecht"),
+                ("bob", 30, "research", "utrecht"),
+            ],
+            vec![
+                ("ann", 40, "sales", "amsterdam"),
+                ("ann", 40, "research", "amsterdam"),
+                ("ann", 40, "sales", "utrecht"),
+            ],
+        ] {
+            let d = db_with_worksfor(&rows);
+            let s = d.schema();
+            let m = Mvd {
+                lhs: s.type_id("person").unwrap(),
+                rhs: s.type_id("employee").unwrap(),
+                context: s.type_id("worksfor").unwrap(),
+            };
+            assert_eq!(
+                mvd_holds_pairwise(&d, &m),
+                mvd_holds_as_product(&d, &m),
+                "formulations diverged on {rows:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fd_is_a_special_mvd() {
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "research", "utrecht"),
+        ]);
+        let s = d.schema();
+        assert!(fd_implies_mvd(
+            &d,
+            s.type_id("employee").unwrap(),
+            s.type_id("department").unwrap(),
+            s.type_id("worksfor").unwrap(),
+        ));
+    }
+
+    #[test]
+    fn complement_requires_explicated_type() {
+        let d = db_with_worksfor(&[]);
+        let s = d.schema();
+        // X = employee {name,age,depname}, Y = department ⇒ Y\X = {location},
+        // Z = ∅ ⇒ complement needs a type over X ∪ ∅ = employee itself.
+        let m = Mvd {
+            lhs: s.type_id("employee").unwrap(),
+            rhs: s.type_id("department").unwrap(),
+            context: s.type_id("worksfor").unwrap(),
+        };
+        let c = complement_mvd(&d, &m).expect("employee explicates X ∪ Z");
+        assert_eq!(c.rhs, s.type_id("employee").unwrap());
+        // X = person, Y = employee ⇒ Z = {location}; X ∪ Z = {name, age,
+        // location} is NOT an entity type: complement inexpressible.
+        let m2 = Mvd {
+            lhs: s.type_id("person").unwrap(),
+            rhs: s.type_id("employee").unwrap(),
+            context: s.type_id("worksfor").unwrap(),
+        };
+        assert!(complement_mvd(&d, &m2).is_none());
+    }
+}

@@ -1,0 +1,318 @@
+//! Null values and incomplete information via boolean-algebra domains
+//! (§6).
+//!
+//! "In our approach, the null interpretation can be defined independent of
+//! the entity type structure and its semantics carry over to functional
+//! dependencies." A *partial value* over a finite atomic value set is an
+//! element of the boolean algebra over that set: the set of values the
+//! attribute might have.
+//!
+//! - a **known** value is an atom;
+//! - the **unknown** null is the top (any value possible);
+//! - **partial knowledge** is any other nonempty element;
+//! - the **inconsistent** state is the bottom.
+//!
+//! Information states are compared by the *information order*: `x` is at
+//! least as informative as `y` when `x ≤ y` in the algebra (fewer
+//! possibilities = more information). FD semantics then comes in two
+//! context-independent flavours — certain (holds in every completion) and
+//! possible (holds in some completion) — both defined purely on the
+//! algebra, never on the entity-type structure, which is the paper's
+//! advertised contrast with Reiter's context-dependent nulls.
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::BitSet;
+
+use crate::boolean_algebra::{BaElement, BooleanAlgebra};
+
+/// A tuple of partial values over a fixed list of attribute algebras.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PartialTuple {
+    values: Vec<BaElement>,
+}
+
+impl PartialTuple {
+    /// Builds a partial tuple; one element per attribute.
+    pub fn new(values: Vec<BaElement>) -> Self {
+        PartialTuple { values }
+    }
+
+    /// The partial value of attribute `i`.
+    pub fn value(&self, i: usize) -> &BaElement {
+        &self.values[i]
+    }
+
+    /// Width (number of attributes).
+    pub fn width(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is any attribute in the inconsistent (bottom) state?
+    pub fn is_inconsistent(&self) -> bool {
+        self.values.iter().any(|v| v.is_empty())
+    }
+
+    /// Is every attribute fully known (an atom)?
+    pub fn is_total(&self) -> bool {
+        self.values.iter().all(|v| v.card() == 1)
+    }
+
+    /// Information order: `self` refines `other` when every attribute
+    /// state of `self` is at least as informative.
+    pub fn refines(&self, other: &PartialTuple) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.is_subset(b))
+    }
+
+    /// The meet of two information states: combine knowledge
+    /// attribute-wise (may become inconsistent).
+    pub fn combine(&self, other: &PartialTuple) -> PartialTuple {
+        assert_eq!(self.values.len(), other.values.len());
+        PartialTuple {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a.intersection(b))
+                .collect(),
+        }
+    }
+
+    /// All total completions of this tuple (cartesian product of the
+    /// possibilities; exponential, test-sized data only).
+    pub fn completions(&self) -> Vec<PartialTuple> {
+        let mut out = vec![Vec::new()];
+        for v in &self.values {
+            let mut next = Vec::new();
+            for prefix in &out {
+                for atom in v.iter() {
+                    let mut p = prefix.clone();
+                    p.push(BitSet::singleton(v.universe_len(), atom));
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out.into_iter().map(PartialTuple::new).collect()
+    }
+
+    /// Projects onto the attribute positions in `keep`.
+    pub fn project(&self, keep: &[usize]) -> PartialTuple {
+        PartialTuple {
+            values: keep.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+}
+
+/// A relation of partial tuples over a shared list of attribute algebras.
+#[derive(Clone, Debug, Default)]
+pub struct IncompleteRelation {
+    algebras: Vec<BooleanAlgebra>,
+    tuples: Vec<PartialTuple>,
+}
+
+impl IncompleteRelation {
+    /// An empty incomplete relation over the given attribute algebras.
+    pub fn new(algebras: Vec<BooleanAlgebra>) -> Self {
+        IncompleteRelation {
+            algebras,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The attribute algebras.
+    pub fn algebras(&self) -> &[BooleanAlgebra] {
+        &self.algebras
+    }
+
+    /// Adds a tuple (must match width and atom counts).
+    pub fn insert(&mut self, t: PartialTuple) {
+        assert_eq!(t.width(), self.algebras.len(), "tuple width mismatch");
+        for (i, v) in (0..t.width()).map(|i| (i, t.value(i))) {
+            assert_eq!(
+                v.universe_len(),
+                self.algebras[i].atom_count(),
+                "attribute {i} algebra mismatch"
+            );
+        }
+        self.tuples.push(t);
+    }
+
+    /// The stored tuples.
+    pub fn tuples(&self) -> &[PartialTuple] {
+        &self.tuples
+    }
+
+    /// FD `lhs → rhs` under **state semantics**: information states are
+    /// compared as values (null = null); the check is the classical one
+    /// over states. Context-independent by construction.
+    pub fn fd_holds_state(&self, lhs: &[usize], rhs: &[usize]) -> bool {
+        let mut seen: std::collections::HashMap<PartialTuple, PartialTuple> =
+            std::collections::HashMap::new();
+        for t in &self.tuples {
+            let k = t.project(lhs);
+            let v = t.project(rhs);
+            match seen.get(&k) {
+                None => {
+                    seen.insert(k, v);
+                }
+                Some(prev) if *prev == v => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// FD `lhs → rhs` under **certain semantics**: the FD holds in *every*
+    /// total completion of the relation. Exponential in the amount of
+    /// incompleteness; intended for small test relations.
+    pub fn fd_holds_certain(&self, lhs: &[usize], rhs: &[usize]) -> bool {
+        self.all_completions()
+            .iter()
+            .all(|rel| Self::total_fd_holds(rel, lhs, rhs))
+    }
+
+    /// FD `lhs → rhs` under **possible semantics**: some completion
+    /// satisfies it.
+    pub fn fd_holds_possible(&self, lhs: &[usize], rhs: &[usize]) -> bool {
+        self.all_completions()
+            .iter()
+            .any(|rel| Self::total_fd_holds(rel, lhs, rhs))
+    }
+
+    fn all_completions(&self) -> Vec<Vec<PartialTuple>> {
+        let mut rels: Vec<Vec<PartialTuple>> = vec![Vec::new()];
+        for t in &self.tuples {
+            let comps = t.completions();
+            let mut next = Vec::new();
+            for rel in &rels {
+                for c in &comps {
+                    let mut r = rel.clone();
+                    r.push(c.clone());
+                    next.push(r);
+                }
+            }
+            rels = next;
+        }
+        rels
+    }
+
+    fn total_fd_holds(rel: &[PartialTuple], lhs: &[usize], rhs: &[usize]) -> bool {
+        let mut seen: std::collections::HashMap<PartialTuple, PartialTuple> =
+            std::collections::HashMap::new();
+        for t in rel {
+            let k = t.project(lhs);
+            let v = t.project(rhs);
+            match seen.get(&k) {
+                None => {
+                    seen.insert(k, v);
+                }
+                Some(prev) if *prev == v => {}
+                Some(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_attr_relation() -> IncompleteRelation {
+        IncompleteRelation::new(vec![
+            BooleanAlgebra::with_atoms(2),
+            BooleanAlgebra::with_atoms(2),
+        ])
+    }
+
+    fn known(rel: &IncompleteRelation, i: usize, atom: usize) -> BaElement {
+        rel.algebras()[i].atom(atom)
+    }
+
+    fn unknown(rel: &IncompleteRelation, i: usize) -> BaElement {
+        rel.algebras()[i].top()
+    }
+
+    #[test]
+    fn information_order() {
+        let rel = two_attr_relation();
+        let total = PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 1)]);
+        let nully = PartialTuple::new(vec![known(&rel, 0, 0), unknown(&rel, 1)]);
+        assert!(total.is_total());
+        assert!(!nully.is_total());
+        assert!(total.refines(&nully));
+        assert!(!nully.refines(&total));
+        assert!(!total.is_inconsistent());
+        let combined = total.combine(&nully);
+        assert_eq!(combined, total);
+        // Conflicting knowledge is inconsistent.
+        let other = PartialTuple::new(vec![known(&rel, 0, 1), known(&rel, 1, 1)]);
+        assert!(total.combine(&other).is_inconsistent());
+    }
+
+    #[test]
+    fn completions_enumerate_possibilities() {
+        let rel = two_attr_relation();
+        let nully = PartialTuple::new(vec![known(&rel, 0, 0), unknown(&rel, 1)]);
+        let comps = nully.completions();
+        assert_eq!(comps.len(), 2);
+        assert!(comps.iter().all(|c| c.is_total()));
+        let total = PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 1)]);
+        assert_eq!(total.completions(), vec![total.clone()]);
+    }
+
+    #[test]
+    fn state_fd_treats_nulls_as_values() {
+        let mut rel = two_attr_relation();
+        // Two tuples with the same known lhs and the same *unknown* rhs
+        // state: under state semantics the FD holds (null = null).
+        let a = PartialTuple::new(vec![known(&rel, 0, 0), unknown(&rel, 1)]);
+        rel.insert(a.clone());
+        rel.insert(a);
+        assert!(rel.fd_holds_state(&[0], &[1]));
+        // Under certain semantics it fails: completions can diverge.
+        assert!(!rel.fd_holds_certain(&[0], &[1]));
+        // But it possibly holds.
+        assert!(rel.fd_holds_possible(&[0], &[1]));
+    }
+
+    #[test]
+    fn certain_fd_on_total_data_is_classical() {
+        let mut rel = two_attr_relation();
+        rel.insert(PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 0)]));
+        rel.insert(PartialTuple::new(vec![known(&rel, 0, 1), known(&rel, 1, 1)]));
+        assert!(rel.fd_holds_state(&[0], &[1]));
+        assert!(rel.fd_holds_certain(&[0], &[1]));
+        // Introduce a genuine violation.
+        rel.insert(PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 1)]));
+        assert!(!rel.fd_holds_state(&[0], &[1]));
+        assert!(!rel.fd_holds_certain(&[0], &[1]));
+        assert!(!rel.fd_holds_possible(&[0], &[1]));
+    }
+
+    #[test]
+    fn certain_implies_possible() {
+        let mut rel = two_attr_relation();
+        rel.insert(PartialTuple::new(vec![unknown(&rel, 0), known(&rel, 1, 0)]));
+        rel.insert(PartialTuple::new(vec![known(&rel, 0, 1), unknown(&rel, 1)]));
+        for lhs in [[0], [1]] {
+            for rhs in [[0], [1]] {
+                if rel.fd_holds_certain(&lhs, &rhs) {
+                    assert!(rel.fd_holds_possible(&lhs, &rhs));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut rel = two_attr_relation();
+        rel.insert(PartialTuple::new(vec![BitSet::singleton(2, 0)]));
+    }
+}

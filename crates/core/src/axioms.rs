@@ -1,0 +1,117 @@
+//! The six design axioms of §2, as data.
+//!
+//! The axioms are partly *structural* (the types of this crate make them
+//! unrepresentable to violate: a relationship **is** an entity type, a view
+//! **is** a set of entity types) and partly *checked* (validators emit
+//! [`AxiomViolation`]s with the remedial advice the paper gives in its
+//! design-process recipe).
+
+use serde::{Deserialize, Serialize};
+
+/// One of the six design axioms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DesignAxiom {
+    /// "Each attribute has a single non-decomposable semantic
+    /// interpretation."
+    Attribute,
+    /// "No two entity types can have the same set of property names."
+    EntityType,
+    /// "A relationship is an entity type."
+    Relationship,
+    /// "The extension of a compound entity type is fully determined by its
+    /// contributers."
+    Extension,
+    /// "An entity view type is a set of entity types."
+    View,
+    /// "An integrity constraint is a predicate over entity types and
+    /// implies an entity type."
+    Integrity,
+}
+
+impl DesignAxiom {
+    /// The axiom's statement, verbatim from the paper.
+    pub fn statement(self) -> &'static str {
+        match self {
+            DesignAxiom::Attribute => {
+                "Each attribute has a single non-decomposable semantic interpretation."
+            }
+            DesignAxiom::EntityType => {
+                "No two entity types can have the same set of property names."
+            }
+            DesignAxiom::Relationship => "A relationship is an entity type.",
+            DesignAxiom::Extension => {
+                "The extension of a compound entity type is fully determined by its contributers."
+            }
+            DesignAxiom::View => "An entity view type is a set of entity types.",
+            DesignAxiom::Integrity => {
+                "An integrity constraint is a predicate over entity types and implies an entity type."
+            }
+        }
+    }
+
+    /// All six axioms, in the paper's order.
+    pub fn all() -> [DesignAxiom; 6] {
+        [
+            DesignAxiom::Attribute,
+            DesignAxiom::EntityType,
+            DesignAxiom::Relationship,
+            DesignAxiom::Extension,
+            DesignAxiom::View,
+            DesignAxiom::Integrity,
+        ]
+    }
+}
+
+impl std::fmt::Display for DesignAxiom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DesignAxiom::Attribute => "Attribute Axiom",
+            DesignAxiom::EntityType => "Entity Type Axiom",
+            DesignAxiom::Relationship => "Relationship Axiom",
+            DesignAxiom::Extension => "Extension Axiom",
+            DesignAxiom::View => "View Axiom",
+            DesignAxiom::Integrity => "Integrity Axiom",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A recorded violation of a design axiom, with remedial advice.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AxiomViolation {
+    /// Which axiom was violated.
+    pub axiom: DesignAxiom,
+    /// Human-readable diagnosis (includes the paper's suggested fix where
+    /// one exists).
+    pub message: String,
+}
+
+impl std::fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.axiom, self.message)
+    }
+}
+
+impl std::error::Error for AxiomViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statements_are_the_papers() {
+        assert!(DesignAxiom::Relationship
+            .statement()
+            .contains("is an entity type"));
+        assert_eq!(DesignAxiom::all().len(), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = AxiomViolation {
+            axiom: DesignAxiom::View,
+            message: "bad view".into(),
+        };
+        assert_eq!(v.to_string(), "View Axiom: bad view");
+    }
+}

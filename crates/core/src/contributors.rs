@@ -1,0 +1,142 @@
+//! Contributors of compound entity types (§3.3).
+//!
+//! The Extension Axiom says the information in a compound entity is
+//! determined by its contributors. The designer may designate contributors
+//! explicitly; with well-chosen attributes the designation coincides with
+//!
+//! ```text
+//! CO_e = { f ∈ G_e | f ≠ e, ¬∃ g ∈ G_e \ {e,f} . f ∈ G_g }
+//! ```
+//!
+//! — "the contributers are the direct generalisations of an entity type":
+//! the lower covers of `e` in the generalisation (subset) order.
+
+use toposem_topology::BitSet;
+
+use crate::generalisation::GeneralisationTopology;
+use crate::ident::TypeId;
+use crate::schema::Schema;
+
+/// Computes `CO_e` as the direct generalisations of `e`.
+///
+/// `f` is a direct generalisation when `A_f ⊂ A_e` and no other entity type
+/// `g` sits strictly between (`A_f ⊂ A_g ⊂ A_e`).
+pub fn computed_contributors(schema: &Schema, gen: &GeneralisationTopology, e: TypeId) -> BitSet {
+    let n = schema.type_count();
+    let ge = gen.g_set(e);
+    BitSet::from_indices(
+        n,
+        ge.iter().filter(|&fi| {
+            let f = TypeId(fi as u32);
+            if f == e {
+                return false;
+            }
+            // No strictly intermediate g.
+            !ge.iter().any(|gi| {
+                let g = TypeId(gi as u32);
+                g != e && g != f && gen.is_generalisation(f, g)
+            })
+        }),
+    )
+}
+
+/// The effective contributor set of `e`: the designer's designation when
+/// present (Relationship declarations record one), otherwise the computed
+/// direct generalisations.
+pub fn contributors(schema: &Schema, gen: &GeneralisationTopology, e: TypeId) -> BitSet {
+    if let Some(declared) = &schema.entity_type(e).declared_contributors {
+        BitSet::from_indices(schema.type_count(), declared.iter().map(|c| c.index()))
+    } else {
+        computed_contributors(schema, gen, e)
+    }
+}
+
+/// Checks the contributor Property of §3.3: every contributor must be a
+/// proper generalisation (`f ∈ G_e`, `f ≠ e`). Returns offending type ids.
+pub fn property_violations(
+    schema: &Schema,
+    gen: &GeneralisationTopology,
+    e: TypeId,
+) -> Vec<TypeId> {
+    contributors(schema, gen, e)
+        .iter()
+        .map(|i| TypeId(i as u32))
+        .filter(|&f| f == e || !gen.is_generalisation(f, e))
+        .collect()
+}
+
+/// An entity type is *compound* when it has at least one proper
+/// generalisation — "every entity that has a generalisation can be seen as
+/// a compound entity".
+pub fn is_compound(gen: &GeneralisationTopology, e: TypeId) -> bool {
+    gen.g_set(e).card() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    fn setup() -> (Schema, GeneralisationTopology) {
+        let s = employee_schema();
+        let g = GeneralisationTopology::of_schema(&s);
+        (s, g)
+    }
+
+    /// R3: CO_worksfor = {employee, department} — and *not* person, which
+    /// is an indirect generalisation via employee.
+    #[test]
+    fn worksfor_contributors_match_paper() {
+        let (s, g) = setup();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let computed = computed_contributors(&s, &g, worksfor);
+        assert_eq!(s.type_set_names(&computed), vec!["employee", "department"]);
+        // The declared designation agrees with the computed definition —
+        // "by choosing the attributes carefully, the designer can achieve
+        // that the definition captures exactly the contributers".
+        let effective = contributors(&s, &g, worksfor);
+        assert_eq!(computed, effective);
+    }
+
+    #[test]
+    fn manager_contributors_are_employee_only() {
+        let (s, g) = setup();
+        let manager = s.type_id("manager").unwrap();
+        let co = contributors(&s, &g, manager);
+        assert_eq!(s.type_set_names(&co), vec!["employee"]);
+    }
+
+    #[test]
+    fn primitive_types_have_no_contributors() {
+        let (s, g) = setup();
+        for n in ["person", "department"] {
+            let e = s.type_id(n).unwrap();
+            assert!(contributors(&s, &g, e).is_empty(), "{n} is primitive");
+            assert!(!is_compound(&g, e));
+        }
+        for n in ["employee", "manager", "worksfor"] {
+            assert!(is_compound(&g, s.type_id(n).unwrap()));
+        }
+    }
+
+    #[test]
+    fn contributor_property_holds_for_paper_schema() {
+        let (s, g) = setup();
+        for e in s.type_ids() {
+            assert!(property_violations(&s, &g, e).is_empty());
+        }
+    }
+
+    #[test]
+    fn contributors_are_lower_covers_of_generalisation_order() {
+        // Cross-check against the Hasse diagram of the dual preorder: the
+        // computed CO_e must be exactly the direct covers below e.
+        let (s, g) = setup();
+        let order = g.order();
+        for e in s.type_ids() {
+            let co = computed_contributors(&s, &g, e);
+            let covers: Vec<usize> = order.lower_covers(e.index());
+            assert_eq!(co.to_vec(), covers, "type {}", s.type_name(e));
+        }
+    }
+}

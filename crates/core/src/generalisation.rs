@@ -1,0 +1,191 @@
+//! The generalisation topology of §3.2 — the dual construction.
+//!
+//! Define `Ā_e = A − A_e` and `V̄_a = {e ∈ E | a ∉ A_e}`. The minimal
+//! element of the generated lattice containing `e` is
+//!
+//! ```text
+//! G_e = ∩_{a ∉ A_e} V̄_a = { f ∈ E | A_f ⊆ A_e }
+//! ```
+//!
+//! — the set of *generalisations* of `e`. The paper stresses that `S_x` and
+//! `G_x` are **not** each other's complements (`S_person ∪ G_person ≠ E`,
+//! `S_person ∩ G_person = {person}`) but satisfy the duality corollary
+//! `y ∈ S_x ⇔ x ∈ G_y`.
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::{BitSet, FiniteSpace, Preorder};
+
+use crate::ident::{AttrId, TypeId};
+use crate::schema::Schema;
+
+/// The generalisation topology on the entity types of a schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneralisationTopology {
+    space: FiniteSpace,
+    /// `v_bar_sets[a] = V̄_a`.
+    v_bar_sets: Vec<BitSet>,
+}
+
+impl GeneralisationTopology {
+    /// Builds the dual topology from a schema.
+    pub fn of_schema(schema: &Schema) -> Self {
+        let v_bar_sets: Vec<BitSet> = schema
+            .attr_ids()
+            .map(|a| schema.co_occurrence_set(a))
+            .collect();
+        let space = FiniteSpace::from_subbase(schema.type_count(), &v_bar_sets);
+        GeneralisationTopology { space, v_bar_sets }
+    }
+
+    /// The underlying finite space.
+    pub fn space(&self) -> &FiniteSpace {
+        &self.space
+    }
+
+    /// The subbase member `V̄_a`.
+    pub fn v_bar_set(&self, a: AttrId) -> &BitSet {
+        &self.v_bar_sets[a.index()]
+    }
+
+    /// The full dual subbase.
+    pub fn subbase(&self) -> &[BitSet] {
+        &self.v_bar_sets
+    }
+
+    /// `G_e`: the generalisations of `e` (including `e`) — the minimal
+    /// open neighbourhood of `e` in the dual topology.
+    pub fn g_set(&self, e: TypeId) -> &BitSet {
+        self.space.min_neighbourhood(e.index())
+    }
+
+    /// `f ∈ G_e`? (Is `f` a generalisation of `e`?)
+    pub fn is_generalisation(&self, f: TypeId, e: TypeId) -> bool {
+        self.g_set(e).contains(f.index())
+    }
+
+    /// The cover `G = {G_e | e ∈ E}` in type-id order.
+    pub fn cover(&self) -> Vec<BitSet> {
+        (0..self.space.len())
+            .map(|i| self.space.min_neighbourhood(i).clone())
+            .collect()
+    }
+
+    /// The generalisation preorder (dual of the ISA order).
+    pub fn order(&self) -> Preorder {
+        Preorder::of_space(&self.space)
+    }
+
+    /// Verifies `E = ∪_e G_e`.
+    pub fn verify_cover(&self) -> bool {
+        let n = self.space.len();
+        let mut u = BitSet::empty(n);
+        for i in 0..n {
+            u.union_with(self.space.min_neighbourhood(i));
+        }
+        u.is_full() || n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+    use crate::specialisation::SpecialisationTopology;
+
+    fn topo() -> (Schema, GeneralisationTopology) {
+        let s = employee_schema();
+        let t = GeneralisationTopology::of_schema(&s);
+        (s, t)
+    }
+
+    /// F3: the §3.2 diagrams, checked set by set.
+    #[test]
+    fn g_sets_match_paper_diagrams() {
+        let (s, t) = topo();
+        let g = |n: &str| s.type_set_names(t.g_set(s.type_id(n).unwrap()));
+
+        // G_manager = {employee, person, manager}
+        assert_eq!(g("manager"), vec!["employee", "person", "manager"]);
+        // G_worksfor = {employee, person, department, worksfor}
+        assert_eq!(g("worksfor"), vec!["employee", "person", "department", "worksfor"]);
+        // G_department = {department}
+        assert_eq!(g("department"), vec!["department"]);
+        // G_person = {person}; G_employee = {employee, person}
+        assert_eq!(g("person"), vec!["person"]);
+        assert_eq!(g("employee"), vec!["employee", "person"]);
+    }
+
+    /// R2: the duality corollary `y ∈ S_x ⇔ x ∈ G_y`.
+    #[test]
+    fn duality_corollary() {
+        let s = employee_schema();
+        let spec = SpecialisationTopology::of_schema(&s);
+        let gen = GeneralisationTopology::of_schema(&s);
+        for x in s.type_ids() {
+            for y in s.type_ids() {
+                assert_eq!(
+                    spec.s_set(x).contains(y.index()),
+                    gen.g_set(y).contains(x.index()),
+                    "duality fails at x={}, y={}",
+                    s.type_name(x),
+                    s.type_name(y)
+                );
+            }
+        }
+    }
+
+    /// R2: S and G are *not* complements — the paper's person
+    /// counterexample.
+    #[test]
+    fn s_and_g_are_not_complements() {
+        let s = employee_schema();
+        let spec = SpecialisationTopology::of_schema(&s);
+        let gen = GeneralisationTopology::of_schema(&s);
+        let person = s.type_id("person").unwrap();
+        let union = spec.s_set(person).union(gen.g_set(person));
+        assert!(!union.is_full(), "S_person ∪ G_person ≠ E");
+        let inter = spec.s_set(person).intersection(gen.g_set(person));
+        assert_eq!(s.type_set_names(&inter), vec!["person"]);
+    }
+
+    #[test]
+    fn g_e_is_minimal_open_containing_e() {
+        let (s, t) = topo();
+        for e in s.type_ids() {
+            let ge = t.g_set(e);
+            assert!(ge.contains(e.index()));
+            assert!(t.space().is_open(ge));
+            for o in t.space().all_opens() {
+                if o.contains(e.index()) {
+                    assert!(ge.is_subset(&o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proper_subset_hierarchy_in_dual() {
+        let (s, t) = topo();
+        // y ∈ G_x and y ≠ x ⇒ G_y ⊂ G_x (the paper's §3.2 remark).
+        for x in s.type_ids() {
+            for y in s.type_ids() {
+                if x != y && t.is_generalisation(y, x) {
+                    assert!(t.g_set(y).is_proper_subset(t.g_set(x)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cover_property_holds() {
+        let (_, t) = topo();
+        assert!(t.verify_cover());
+        assert!(t.space().is_t0());
+    }
+
+    #[test]
+    fn v_bar_sets_form_subbase() {
+        let (_, t) = topo();
+        assert!(t.space().is_subbase(t.subbase()));
+    }
+}

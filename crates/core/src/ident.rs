@@ -1,0 +1,153 @@
+//! Identifiers for the symbolic name space.
+//!
+//! §2 of the paper: "any model needs a symbolic name space, the
+//! non-literals, and value space, the literals". Attributes and entity types
+//! are interned into dense ids so the attribute sets and entity-type sets
+//! can live in bitset universes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense id of an attribute (a property name bound to an atomic value set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AttrId(pub u32);
+
+/// Dense id of an entity type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TypeId(pub u32);
+
+impl AttrId {
+    /// The id as a bitset/vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TypeId {
+    /// The id as a bitset/vector index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A string interner mapping names to dense indices, preserving insertion
+/// order.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NameTable {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl NameTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its index; existing names return their
+    /// original index.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Looks up an existing name.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an index back to its name.
+    pub fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(index, name)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Rebuilds the lookup index after deserialisation (serde skips it).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = NameTable::new();
+        let a = t.intern("name");
+        let b = t.intern("age");
+        let a2 = t.intern("name");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "name");
+        assert_eq!(t.get("age"), Some(b));
+        assert_eq!(t.get("missing"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iteration_in_insertion_order() {
+        let mut t = NameTable::new();
+        t.intern("c");
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut t = NameTable::new();
+        t.intern("x");
+        t.intern("y");
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: NameTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("x"), None); // index skipped by serde
+        back.rebuild_index();
+        assert_eq!(back.get("x"), Some(0));
+        assert_eq!(back.get("y"), Some(1));
+    }
+}

@@ -1,0 +1,236 @@
+//! The database intension: schema + both topologies + subbase choice.
+//!
+//! §3: "the formal description of the database semantics, the conceptual
+//! model, starts with the complete list of property names and entity
+//! types". [`Intension`] derives from the schema everything the paper
+//! constructs: the specialisation and generalisation topologies, the ISA
+//! order, the contributors, and a chosen subbase `R_T` splitting entity
+//! types into *primitive* and *constructed* ones.
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::{BitSet, SubbaseAnalysis};
+
+use crate::contributors;
+use crate::generalisation::GeneralisationTopology;
+use crate::ident::TypeId;
+use crate::schema::Schema;
+use crate::specialisation::SpecialisationTopology;
+
+/// A fully analysed conceptual model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Intension {
+    schema: Schema,
+    spec: SpecialisationTopology,
+    gen: GeneralisationTopology,
+    /// The chosen subbase `R_T` as a set of entity types (indices into E).
+    chosen_subbase: BitSet,
+}
+
+impl Intension {
+    /// Analyses a schema, choosing as subbase the greedy-minimal generating
+    /// subfamily of the cover `S = {S_e}` (preferring to *drop*
+    /// later-declared types, which mirrors a designer marking derived
+    /// relationships as constructed).
+    pub fn analyse(schema: Schema) -> Self {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let analysis = SubbaseAnalysis::new(schema.type_count(), spec.cover());
+        let chosen_subbase = analysis.greedy_minimal();
+        Intension {
+            schema,
+            spec,
+            gen,
+            chosen_subbase,
+        }
+    }
+
+    /// Analyses a schema with an explicit designer-chosen subbase. Returns
+    /// `None` when the choice does not generate the entity-type topology.
+    pub fn analyse_with_subbase(schema: Schema, subbase: &[TypeId]) -> Option<Self> {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let analysis = SubbaseAnalysis::new(schema.type_count(), spec.cover());
+        let chosen =
+            BitSet::from_indices(schema.type_count(), subbase.iter().map(|t| t.index()));
+        if !analysis.generates(&chosen) {
+            return None;
+        }
+        Some(Intension {
+            schema,
+            spec,
+            gen,
+            chosen_subbase: chosen,
+        })
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Restores the schema's lookup indices after deserialisation.
+    pub fn rebuild_indices(&mut self) {
+        self.schema.rebuild_indices();
+    }
+
+    /// The specialisation topology.
+    pub fn specialisation(&self) -> &SpecialisationTopology {
+        &self.spec
+    }
+
+    /// The generalisation topology.
+    pub fn generalisation(&self) -> &GeneralisationTopology {
+        &self.gen
+    }
+
+    /// The chosen subbase `R_T` (primitive entity types).
+    pub fn subbase_types(&self) -> Vec<TypeId> {
+        self.chosen_subbase.iter().map(|i| TypeId(i as u32)).collect()
+    }
+
+    /// The constructed entity types: `E \ R_T` — "the entity types not in
+    /// the subbase are called constructed types".
+    pub fn constructed_types(&self) -> Vec<TypeId> {
+        self.schema
+            .type_ids()
+            .filter(|e| !self.chosen_subbase.contains(e.index()))
+            .collect()
+    }
+
+    /// Is `e` primitive (in the chosen subbase)?
+    pub fn is_primitive(&self, e: TypeId) -> bool {
+        self.chosen_subbase.contains(e.index())
+    }
+
+    /// The effective contributor set `CO_e`.
+    pub fn contributors_of(&self, e: TypeId) -> Vec<TypeId> {
+        contributors::contributors(&self.schema, &self.gen, e)
+            .iter()
+            .map(|i| TypeId(i as u32))
+            .collect()
+    }
+
+    /// The independent fragments of the schema: connected components of
+    /// the specialisation space. Types in different fragments share no
+    /// attributes (directly or transitively) and can evolve and be stored
+    /// independently.
+    pub fn fragments(&self) -> Vec<Vec<TypeId>> {
+        toposem_topology::components(self.spec.space())
+            .into_iter()
+            .map(|c| c.iter().map(|i| TypeId(i as u32)).collect())
+            .collect()
+    }
+
+    /// All minimal subbases of the specialisation cover — the design
+    /// freedom of §3.1 ("choose a subbase for T which reflects the bias to
+    /// the Universe of Discourse"). Exponential; design-time only.
+    pub fn all_minimal_subbases(&self) -> Vec<Vec<TypeId>> {
+        let analysis =
+            SubbaseAnalysis::new(self.schema.type_count(), self.spec.cover());
+        analysis
+            .all_minimal()
+            .into_iter()
+            .map(|b| b.iter().map(|i| TypeId(i as u32)).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    fn intension() -> Intension {
+        Intension::analyse(employee_schema())
+    }
+
+    /// R1: the paper's chosen subbase
+    /// `R_T = {person, department, employee, manager}` with `worksfor` the
+    /// only constructed element.
+    #[test]
+    fn paper_subbase_is_valid_and_worksfor_is_constructed() {
+        let s = employee_schema();
+        let names = ["person", "department", "employee", "manager"];
+        let ids: Vec<TypeId> = names.iter().map(|n| s.type_id(n).unwrap()).collect();
+        let i = Intension::analyse_with_subbase(s, &ids).expect("paper subbase generates T");
+        let constructed: Vec<&str> = i
+            .constructed_types()
+            .iter()
+            .map(|&e| i.schema().type_name(e))
+            .collect();
+        assert_eq!(constructed, vec!["worksfor"]);
+        for n in names {
+            assert!(i.is_primitive(i.schema().type_id(n).unwrap()));
+        }
+    }
+
+    #[test]
+    fn default_analysis_also_drops_worksfor() {
+        // The greedy choice drops the highest-indexed redundant S_e, which
+        // for the paper schema is exactly S_worksfor = S_employee ∩
+        // S_department.
+        let i = intension();
+        let constructed: Vec<&str> = i
+            .constructed_types()
+            .iter()
+            .map(|&e| i.schema().type_name(e))
+            .collect();
+        assert_eq!(constructed, vec!["worksfor"]);
+    }
+
+    #[test]
+    fn non_generating_subbase_is_rejected() {
+        let s = employee_schema();
+        let person = s.type_id("person").unwrap();
+        assert!(Intension::analyse_with_subbase(s, &[person]).is_none());
+    }
+
+    #[test]
+    fn minimal_subbases_enumerate_designer_freedom() {
+        let i = intension();
+        let all = i.all_minimal_subbases();
+        // Every minimal subbase generates and includes the four primitive
+        // types (worksfor's S-set is the only derivable one).
+        assert!(!all.is_empty());
+        for sb in &all {
+            let names: Vec<&str> =
+                sb.iter().map(|&e| i.schema().type_name(e)).collect();
+            assert!(!names.contains(&"worksfor"), "worksfor is never needed: {names:?}");
+        }
+    }
+
+    #[test]
+    fn employee_schema_is_one_fragment() {
+        let i = intension();
+        assert_eq!(i.fragments().len(), 1);
+    }
+
+    #[test]
+    fn disjoint_domains_split_into_fragments() {
+        let mut b = crate::schema::SchemaBuilder::new();
+        b.attribute("a", "d1");
+        b.attribute("b", "d2");
+        b.attribute("x", "d3");
+        b.attribute("y", "d4");
+        b.entity_type("t1", &["a"]);
+        b.entity_type("t2", &["a", "b"]);
+        b.entity_type("u1", &["x"]);
+        b.entity_type("u2", &["x", "y"]);
+        let i = Intension::analyse(b.build_strict().unwrap());
+        let frags = i.fragments();
+        assert_eq!(frags.len(), 2);
+        assert!(frags.iter().all(|f| f.len() == 2));
+    }
+
+    #[test]
+    fn contributors_via_intension() {
+        let i = intension();
+        let worksfor = i.schema().type_id("worksfor").unwrap();
+        let co: Vec<&str> = i
+            .contributors_of(worksfor)
+            .iter()
+            .map(|&c| i.schema().type_name(c))
+            .collect();
+        assert_eq!(co, vec!["employee", "department"]);
+    }
+}

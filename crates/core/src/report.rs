@@ -1,0 +1,131 @@
+//! Human-readable intension reports: Markdown summaries and Graphviz DOT
+//! renderings of the ISA hierarchy (the tooling face of the paper's
+//! diagrams).
+
+use std::fmt::Write as _;
+
+use crate::intension::Intension;
+
+/// A Markdown report of an intension: the T1-style table, both set
+/// families, the subbase split, and the contributors — the paper's §2–3
+/// analysis for an arbitrary schema.
+pub fn markdown_report(intension: &Intension) -> String {
+    let s = intension.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Intension report\n");
+    let _ = writeln!(
+        out,
+        "{} attributes, {} entity types.\n",
+        s.attr_count(),
+        s.type_count()
+    );
+
+    let _ = writeln!(out, "## Entity types\n");
+    let _ = writeln!(out, "| entity | attribute set | kind | contributors |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for e in s.type_ids() {
+        let kind = if intension.is_primitive(e) {
+            "primitive"
+        } else {
+            "constructed"
+        };
+        let co: Vec<&str> = intension
+            .contributors_of(e)
+            .iter()
+            .map(|&c| s.type_name(c))
+            .collect();
+        let _ = writeln!(
+            out,
+            "| {} | {{{}}} | {} | {} |",
+            s.type_name(e),
+            s.attr_set_names(s.attrs_of(e)).join(", "),
+            kind,
+            if co.is_empty() {
+                "—".to_owned()
+            } else {
+                co.join(", ")
+            }
+        );
+    }
+
+    let _ = writeln!(out, "\n## Specialisation sets\n");
+    for e in s.type_ids() {
+        let _ = writeln!(
+            out,
+            "- `S_{}` = {{{}}}",
+            s.type_name(e),
+            s.type_set_names(intension.specialisation().s_set(e)).join(", ")
+        );
+    }
+
+    let _ = writeln!(out, "\n## Generalisation sets\n");
+    for e in s.type_ids() {
+        let _ = writeln!(
+            out,
+            "- `G_{}` = {{{}}}",
+            s.type_name(e),
+            s.type_set_names(intension.generalisation().g_set(e)).join(", ")
+        );
+    }
+
+    let _ = writeln!(out, "\n## ISA hierarchy (direct edges)\n");
+    for (sub, sup) in intension.specialisation().isa_edges() {
+        let _ = writeln!(out, "- {} ISA {}", s.type_name(sub), s.type_name(sup));
+    }
+    out
+}
+
+/// A Graphviz DOT rendering of the ISA Hasse diagram, primitive types as
+/// boxes and constructed types as ellipses (the paper's Venn diagram as a
+/// graph).
+pub fn dot_isa_diagram(intension: &Intension) -> String {
+    let s = intension.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph isa {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for e in s.type_ids() {
+        let shape = if intension.is_primitive(e) { "box" } else { "ellipse" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape={}, label=\"{}\\n{{{}}}\"];",
+            s.type_name(e),
+            shape,
+            s.type_name(e),
+            s.attr_set_names(s.attrs_of(e)).join(", ")
+        );
+    }
+    for (sub, sup) in intension.specialisation().isa_edges() {
+        let _ = writeln!(out, "  \"{}\" -> \"{}\";", s.type_name(sub), s.type_name(sup));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    #[test]
+    fn markdown_contains_key_facts() {
+        let i = Intension::analyse(employee_schema());
+        let md = markdown_report(&i);
+        assert!(md.contains("| worksfor |"));
+        assert!(md.contains("constructed"));
+        assert!(md.contains("employee, department")); // contributors
+        assert!(md.contains("`S_person` = {employee, person, manager, worksfor}"));
+        assert!(md.contains("manager ISA employee"));
+    }
+
+    #[test]
+    fn dot_is_wellformed() {
+        let i = Intension::analyse(employee_schema());
+        let dot = dot_isa_diagram(&i);
+        assert!(dot.starts_with("digraph isa {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Primitive types boxed, constructed elliptical.
+        assert!(dot.contains("\"person\" [shape=box"));
+        assert!(dot.contains("\"worksfor\" [shape=ellipse"));
+        assert_eq!(dot.matches(" -> ").count(), 4); // the 4 ISA edges
+    }
+}

@@ -1,0 +1,545 @@
+//! Conceptual schemas: the finite attribute universe `A` and the set of
+//! entity types `E`, each a *named subset of A* (§2, §3).
+//!
+//! "We define an entity as nothing more than a name for a set of attributes.
+//! [...] The entity name itself does not carry additional semantic
+//! information." The schema therefore stores exactly that: property names
+//! bound to atomic value sets (Attribute Axiom), and named attribute sets
+//! (entity types), with the Entity Type Axiom enforced at construction.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::BitSet;
+
+use crate::axioms::{AxiomViolation, DesignAxiom};
+use crate::ident::{AttrId, NameTable, TypeId};
+
+/// Declaration of a single attribute: a property name associated with a
+/// named atomic value set (its domain).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributeDef {
+    /// The property name, e.g. `"depname"`.
+    pub name: String,
+    /// The name of the atomic value set the attribute draws from, e.g.
+    /// `"department-names"`. The Attribute Axiom requires exactly one.
+    pub domain: String,
+}
+
+/// Declaration of an entity type: a name for a set of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntityTypeDef {
+    /// The designer-chosen name (synonym-level only; carries no semantics).
+    pub name: String,
+    /// The attribute set `A_e` as a subset of the attribute universe.
+    pub attrs: BitSet,
+    /// Contributor override: `Some` when the designer designates the
+    /// contributing entity types explicitly (§3.3); `None` means "compute
+    /// the direct generalisations".
+    pub declared_contributors: Option<Vec<TypeId>>,
+}
+
+/// A validated conceptual schema: the pair `(A, E)`.
+///
+/// Construction goes through [`SchemaBuilder`], which enforces the
+/// Attribute and Entity Type axioms and records any violation with a
+/// diagnosis mirroring the paper's design-process advice.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attr_names: NameTable,
+    attrs: Vec<AttributeDef>,
+    type_names: NameTable,
+    types: Vec<EntityTypeDef>,
+}
+
+impl Schema {
+    /// Number of attributes `|A|`.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Number of entity types `|E|`.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_names.get(name).map(AttrId)
+    }
+
+    /// Looks up an entity type by name.
+    pub fn type_id(&self, name: &str) -> Option<TypeId> {
+        self.type_names.get(name).map(TypeId)
+    }
+
+    /// The attribute definition for `id`.
+    pub fn attr(&self, id: AttrId) -> &AttributeDef {
+        &self.attrs[id.index()]
+    }
+
+    /// The entity type definition for `id`.
+    pub fn entity_type(&self, id: TypeId) -> &EntityTypeDef {
+        &self.types[id.index()]
+    }
+
+    /// The attribute name for `id`.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id.index()].name
+    }
+
+    /// The entity type name for `id`.
+    pub fn type_name(&self, id: TypeId) -> &str {
+        &self.types[id.index()].name
+    }
+
+    /// The attribute set `A_e` of entity type `e`.
+    pub fn attrs_of(&self, e: TypeId) -> &BitSet {
+        &self.types[e.index()].attrs
+    }
+
+    /// Iterates all attribute ids.
+    pub fn attr_ids(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attrs.len() as u32).map(AttrId)
+    }
+
+    /// Iterates all entity type ids.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// Resolves attribute names of an attribute set, in id order.
+    pub fn attr_set_names(&self, set: &BitSet) -> Vec<&str> {
+        set.iter().map(|i| self.attrs[i].name.as_str()).collect()
+    }
+
+    /// Resolves entity type names of a type set, in id order.
+    pub fn type_set_names(&self, set: &BitSet) -> Vec<&str> {
+        set.iter().map(|i| self.types[i].name.as_str()).collect()
+    }
+
+    /// `V_a = { e ∈ E | a ∈ A_e }` — the entity types using attribute `a`
+    /// (§3.1). This family is the subbase of the specialisation topology.
+    pub fn occurrence_set(&self, a: AttrId) -> BitSet {
+        BitSet::from_indices(
+            self.types.len(),
+            self.type_ids()
+                .filter(|&e| self.attrs_of(e).contains(a.index()))
+                .map(|e| e.index()),
+        )
+    }
+
+    /// `V̄_a = { e ∈ E | a ∉ A_e }` — the dual subbase of the
+    /// generalisation topology (§3.2).
+    pub fn co_occurrence_set(&self, a: AttrId) -> BitSet {
+        self.occurrence_set(a).complement()
+    }
+
+    /// `A_e ⊆ A_f`? (f specialises e; equivalently `f ∈ S_e`, `e ∈ G_f`.)
+    pub fn is_specialisation(&self, f: TypeId, e: TypeId) -> bool {
+        self.attrs_of(e).is_subset(self.attrs_of(f))
+    }
+
+    /// Restores internal lookup indices after deserialisation.
+    pub fn rebuild_indices(&mut self) {
+        self.attr_names.rebuild_index();
+        self.type_names.rebuild_index();
+    }
+}
+
+/// Incrementally builds a [`Schema`], enforcing the design axioms.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaBuilder {
+    attr_names: NameTable,
+    attrs: Vec<AttributeDef>,
+    type_names: NameTable,
+    types: Vec<EntityTypeDef>,
+    violations: Vec<AxiomViolation>,
+    /// Attribute-set → first type declared with it (for synonym detection).
+    seen_attr_sets: HashMap<Vec<usize>, TypeId>,
+}
+
+impl SchemaBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares an attribute with its atomic value set.
+    ///
+    /// Attribute Axiom: "Each attribute has a single non-decomposable
+    /// semantic interpretation." Re-declaring a name with a *different*
+    /// domain is the tell-tale of an attribute playing multiple semantic
+    /// roles and is recorded as a violation (the fix the paper prescribes is
+    /// one name per role).
+    pub fn attribute(&mut self, name: &str, domain: &str) -> AttrId {
+        if let Some(existing) = self.attr_names.get(name) {
+            let prior = &self.attrs[existing as usize];
+            if prior.domain != domain {
+                self.violations.push(AxiomViolation {
+                    axiom: DesignAxiom::Attribute,
+                    message: format!(
+                        "attribute `{name}` bound to two atomic value sets \
+                         (`{}` and `{domain}`): it plays multiple semantic \
+                         roles; introduce one attribute per role",
+                        prior.domain
+                    ),
+                });
+            }
+            return AttrId(existing);
+        }
+        let id = self.attr_names.intern(name);
+        self.attrs.push(AttributeDef {
+            name: name.to_owned(),
+            domain: domain.to_owned(),
+        });
+        AttrId(id)
+    }
+
+    /// Declares an entity type over previously declared attributes.
+    ///
+    /// Entity Type Axiom: "No two entity types can have the same set of
+    /// property names." A duplicate attribute set is recorded as a violation
+    /// naming both types (the paper: they are synonyms — drop one — or the
+    /// design is underspecified — add a role attribute).
+    pub fn entity_type(&mut self, name: &str, attr_names: &[&str]) -> TypeId {
+        let ids: Vec<AttrId> = attr_names
+            .iter()
+            .map(|a| {
+                self.attr_names.get(a).map(AttrId).unwrap_or_else(|| {
+                    self.violations.push(AxiomViolation {
+                        axiom: DesignAxiom::Attribute,
+                        message: format!(
+                            "entity type `{name}` references undeclared attribute `{a}`"
+                        ),
+                    });
+                    // Intern it with an unknown domain so building proceeds.
+                    let id = self.attr_names.intern(a);
+                    self.attrs.push(AttributeDef {
+                        name: (*a).to_owned(),
+                        domain: "<undeclared>".to_owned(),
+                    });
+                    AttrId(id)
+                })
+            })
+            .collect();
+        self.entity_type_by_ids(name, &ids)
+    }
+
+    /// Declares an entity type from attribute ids.
+    pub fn entity_type_by_ids(&mut self, name: &str, attrs: &[AttrId]) -> TypeId {
+        if attrs.is_empty() {
+            self.violations.push(AxiomViolation {
+                axiom: DesignAxiom::EntityType,
+                message: format!(
+                    "entity type `{name}` has no attributes: it is fully \
+                     underspecified (an entity is a name for a set of attributes)"
+                ),
+            });
+        }
+        if let Some(existing) = self.type_names.get(name) {
+            self.violations.push(AxiomViolation {
+                axiom: DesignAxiom::EntityType,
+                message: format!("entity type name `{name}` declared twice"),
+            });
+            return TypeId(existing);
+        }
+        let id = TypeId(self.type_names.intern(name));
+        // The attribute universe may still grow, so store indices and build
+        // bitsets at `build()` time.
+        let mut key: Vec<usize> = attrs.iter().map(|a| a.index()).collect();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(&prior) = self.seen_attr_sets.get(&key) {
+            self.violations.push(AxiomViolation {
+                axiom: DesignAxiom::EntityType,
+                message: format!(
+                    "entity types `{}` and `{name}` have identical attribute \
+                     sets: either they are synonyms (drop one) or the design \
+                     is underspecified (add a role attribute)",
+                    self.types[prior.index()].name
+                ),
+            });
+        } else {
+            self.seen_attr_sets.insert(key.clone(), id);
+        }
+        self.types.push(EntityTypeDef {
+            name: name.to_owned(),
+            // Placeholder universe; fixed up in build().
+            attrs: BitSet::from_indices(self.attrs.len().max(key.iter().max().map_or(0, |m| m + 1)), key),
+            declared_contributors: None,
+        });
+        id
+    }
+
+    /// Declares a relationship: per the Relationship Axiom it *is* an entity
+    /// type whose attribute set is the union of its contributors' attribute
+    /// sets plus the given relationship attributes. The contributors are
+    /// recorded as designated (§3.3).
+    pub fn relationship(
+        &mut self,
+        name: &str,
+        contributors: &[TypeId],
+        extra_attrs: &[&str],
+    ) -> TypeId {
+        let mut attr_ids: Vec<AttrId> = Vec::new();
+        for &c in contributors {
+            let def = &self.types[c.index()];
+            attr_ids.extend(def.attrs.iter().map(|i| AttrId(i as u32)));
+        }
+        for a in extra_attrs {
+            let id = self.attr_names.get(a).map(AttrId).unwrap_or_else(|| {
+                self.violations.push(AxiomViolation {
+                    axiom: DesignAxiom::Attribute,
+                    message: format!(
+                        "relationship `{name}` references undeclared attribute `{a}`"
+                    ),
+                });
+                let id = self.attr_names.intern(a);
+                self.attrs.push(AttributeDef {
+                    name: (*a).to_owned(),
+                    domain: "<undeclared>".to_owned(),
+                });
+                AttrId(id)
+            });
+            attr_ids.push(id);
+        }
+        let id = self.entity_type_by_ids(name, &attr_ids);
+        self.types[id.index()].declared_contributors = Some(contributors.to_vec());
+        id
+    }
+
+    /// Finishes the schema. Returns the schema together with all recorded
+    /// axiom violations; callers wanting strictness use
+    /// [`SchemaBuilder::build_strict`].
+    pub fn build(mut self) -> (Schema, Vec<AxiomViolation>) {
+        let universe = self.attrs.len();
+        // Re-normalise every attribute set to the final universe size.
+        for t in &mut self.types {
+            let members: Vec<usize> = t.attrs.iter().collect();
+            t.attrs = BitSet::from_indices(universe, members);
+        }
+        // Validate designated contributors: each must be a generalisation
+        // (Extension Axiom precondition / contributor Property of §3.3).
+        let types_snapshot = self.types.clone();
+        for (i, t) in types_snapshot.iter().enumerate() {
+            if let Some(contributors) = &t.declared_contributors {
+                for &c in contributors {
+                    if c.index() == i {
+                        self.violations.push(AxiomViolation {
+                            axiom: DesignAxiom::Extension,
+                            message: format!(
+                                "entity type `{}` lists itself as a contributor",
+                                t.name
+                            ),
+                        });
+                        continue;
+                    }
+                    let ca = &types_snapshot[c.index()].attrs;
+                    if !ca.is_subset(&t.attrs) {
+                        self.violations.push(AxiomViolation {
+                            axiom: DesignAxiom::Extension,
+                            message: format!(
+                                "contributor `{}` of `{}` is not a generalisation \
+                                 (its attributes are not a subset)",
+                                types_snapshot[c.index()].name, t.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let schema = Schema {
+            attr_names: self.attr_names,
+            attrs: self.attrs,
+            type_names: self.type_names,
+            types: self.types,
+        };
+        (schema, self.violations)
+    }
+
+    /// Builds, failing on any axiom violation.
+    pub fn build_strict(self) -> Result<Schema, Vec<AxiomViolation>> {
+        let (schema, violations) = self.build();
+        if violations.is_empty() {
+            Ok(schema)
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    #[test]
+    fn employee_schema_matches_paper_table() {
+        // T1: the p.5 table of the paper.
+        let s = employee_schema();
+        assert_eq!(s.attr_count(), 5);
+        assert_eq!(s.type_count(), 5);
+        let expect = [
+            ("employee", vec!["name", "age", "depname"]),
+            ("person", vec!["name", "age"]),
+            ("department", vec!["depname", "location"]),
+            ("manager", vec!["name", "age", "depname", "budget"]),
+            ("worksfor", vec!["name", "age", "depname", "location"]),
+        ];
+        for (tname, attrs) in expect {
+            let id = s.type_id(tname).unwrap();
+            let mut got = s.attr_set_names(s.attrs_of(id));
+            got.sort_unstable();
+            let mut want = attrs.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "attribute set of {tname}");
+        }
+    }
+
+    #[test]
+    fn entity_type_axiom_rejects_duplicate_attr_sets() {
+        let mut b = SchemaBuilder::new();
+        b.attribute("name", "strings");
+        b.attribute("age", "numbers");
+        b.entity_type("person", &["name", "age"]);
+        b.entity_type("human", &["name", "age"]);
+        let err = b.build_strict().unwrap_err();
+        assert!(err.iter().any(|v| v.axiom == DesignAxiom::EntityType
+            && v.message.contains("identical attribute sets")));
+    }
+
+    #[test]
+    fn attribute_axiom_rejects_conflicting_domains() {
+        let mut b = SchemaBuilder::new();
+        b.attribute("name", "person-names");
+        b.attribute("name", "department-names");
+        let (_, violations) = b.build();
+        assert!(violations
+            .iter()
+            .any(|v| v.axiom == DesignAxiom::Attribute && v.message.contains("multiple semantic roles")));
+    }
+
+    #[test]
+    fn redeclaring_attribute_with_same_domain_is_fine() {
+        let mut b = SchemaBuilder::new();
+        let a1 = b.attribute("name", "strings");
+        let a2 = b.attribute("name", "strings");
+        assert_eq!(a1, a2);
+        b.entity_type("person", &["name"]);
+        assert!(b.build_strict().is_ok());
+    }
+
+    #[test]
+    fn undeclared_attribute_is_reported() {
+        let mut b = SchemaBuilder::new();
+        b.entity_type("ghost", &["spooky"]);
+        let (_, violations) = b.build();
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("undeclared attribute `spooky`")));
+    }
+
+    #[test]
+    fn empty_entity_type_is_reported() {
+        let mut b = SchemaBuilder::new();
+        b.entity_type("nothing", &[]);
+        let (_, violations) = b.build();
+        assert!(violations.iter().any(|v| v.message.contains("no attributes")));
+    }
+
+    #[test]
+    fn duplicate_type_name_is_reported() {
+        let mut b = SchemaBuilder::new();
+        b.attribute("x", "d");
+        b.attribute("y", "d2");
+        b.entity_type("t", &["x"]);
+        b.entity_type("t", &["y"]);
+        let (_, violations) = b.build();
+        assert!(violations.iter().any(|v| v.message.contains("declared twice")));
+    }
+
+    #[test]
+    fn relationship_takes_union_of_contributors() {
+        let s = employee_schema();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let union = s.attrs_of(employee).union(s.attrs_of(department));
+        assert_eq!(s.attrs_of(worksfor), &union);
+        assert_eq!(
+            s.entity_type(worksfor).declared_contributors,
+            Some(vec![employee, department])
+        );
+    }
+
+    #[test]
+    fn common_attribute_occurs_once_in_relationship() {
+        // §2: "when two entity types that participate in a relationship have
+        // an attribute in common, that attribute occurs only once".
+        let mut b = SchemaBuilder::new();
+        b.attribute("k", "keys");
+        b.attribute("p", "ps");
+        b.attribute("q", "qs");
+        let t1 = b.entity_type("t1", &["k", "p"]);
+        let t2 = b.entity_type("t2", &["k", "q"]);
+        let r = b.relationship("r", &[t1, t2], &[]);
+        let s = b.build_strict().unwrap();
+        assert_eq!(s.attrs_of(r).card(), 3);
+    }
+
+    #[test]
+    fn bad_contributor_designation_is_reported() {
+        let mut b = SchemaBuilder::new();
+        b.attribute("x", "d");
+        b.attribute("y", "d2");
+        let t1 = b.entity_type("t1", &["x"]);
+        let _t2 = b.entity_type("t2", &["y"]);
+        // t3 = {y} plus contributor t1 = {x}: not a subset after we tamper.
+        let t3 = b.entity_type("t3", &["x", "y"]);
+        b.types[t3.index()].declared_contributors = Some(vec![t1, t3]);
+        let (_, violations) = b.build();
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("lists itself as a contributor")));
+    }
+
+    #[test]
+    fn occurrence_sets_match_paper() {
+        let s = employee_schema();
+        // V_name = {employee, person, manager, worksfor}
+        let v_name = s.occurrence_set(s.attr_id("name").unwrap());
+        let names = s.type_set_names(&v_name);
+        assert_eq!(names, vec!["employee", "person", "manager", "worksfor"]);
+        // V_location = {department, worksfor}
+        let v_loc = s.occurrence_set(s.attr_id("location").unwrap());
+        assert_eq!(s.type_set_names(&v_loc), vec!["department", "worksfor"]);
+        // Dual: V̄_location = complement
+        assert_eq!(
+            s.co_occurrence_set(s.attr_id("location").unwrap()),
+            v_loc.complement()
+        );
+    }
+
+    #[test]
+    fn specialisation_relation_matches_subsets() {
+        let s = employee_schema();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        assert!(s.is_specialisation(employee, person));
+        assert!(s.is_specialisation(manager, employee));
+        assert!(s.is_specialisation(manager, person));
+        assert!(!s.is_specialisation(person, employee));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = employee_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.rebuild_indices();
+        assert_eq!(back.type_id("manager"), s.type_id("manager"));
+        assert_eq!(back.attr_count(), 5);
+    }
+}

@@ -1,0 +1,210 @@
+//! The specialisation topology of §3.1.
+//!
+//! With each attribute `a` associate `V_a = {e ∈ E | a ∈ A_e}`. The family
+//! `V = {V_a}` is a subbase; the minimal element of the generated lattice
+//! containing `e` is
+//!
+//! ```text
+//! S_e = ∩_{a ∈ A_e} V_a = { f ∈ E | A_e ⊆ A_f }
+//! ```
+//!
+//! — the set of *specialisations* of `e`, the root of an ISA hierarchy.
+//! Since `E = ∪ S_e`, the family `S = {S_e}` is an open cover and a subbase
+//! of a topology `T` on `E`; ISA hierarchies are exactly proper subset
+//! hierarchies in `T`.
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::{BitSet, FiniteSpace, Preorder};
+
+use crate::ident::{AttrId, TypeId};
+use crate::schema::Schema;
+
+/// The specialisation topology on the entity types of a schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecialisationTopology {
+    /// The topological space on points = entity types, generated from the
+    /// attribute-occurrence subbase `{V_a}`.
+    space: FiniteSpace,
+    /// The subbase, indexed by attribute id: `v_sets[a] = V_a`.
+    v_sets: Vec<BitSet>,
+}
+
+impl SpecialisationTopology {
+    /// Builds the topology from a schema.
+    pub fn of_schema(schema: &Schema) -> Self {
+        let v_sets: Vec<BitSet> = schema
+            .attr_ids()
+            .map(|a| schema.occurrence_set(a))
+            .collect();
+        let space = FiniteSpace::from_subbase(schema.type_count(), &v_sets);
+        SpecialisationTopology { space, v_sets }
+    }
+
+    /// The underlying finite space.
+    pub fn space(&self) -> &FiniteSpace {
+        &self.space
+    }
+
+    /// The subbase member `V_a`.
+    pub fn v_set(&self, a: AttrId) -> &BitSet {
+        &self.v_sets[a.index()]
+    }
+
+    /// The full attribute-occurrence subbase.
+    pub fn subbase(&self) -> &[BitSet] {
+        &self.v_sets
+    }
+
+    /// `S_e`: the set of specialisations of `e` (including `e` itself) —
+    /// the minimal open neighbourhood of `e`.
+    pub fn s_set(&self, e: TypeId) -> &BitSet {
+        self.space.min_neighbourhood(e.index())
+    }
+
+    /// `f ∈ S_e`? (Is `f` a specialisation of `e`?)
+    pub fn is_specialisation(&self, f: TypeId, e: TypeId) -> bool {
+        self.s_set(e).contains(f.index())
+    }
+
+    /// The cover `S = {S_e | e ∈ E}` in type-id order.
+    pub fn cover(&self) -> Vec<BitSet> {
+        (0..self.space.len())
+            .map(|i| self.space.min_neighbourhood(i).clone())
+            .collect()
+    }
+
+    /// The ISA preorder induced by the topology: `x ≤ y` iff
+    /// `x ∈ S_y` (x specialises y). The Entity Type Axiom makes it a
+    /// partial order (the space is T0).
+    pub fn isa_order(&self) -> Preorder {
+        Preorder::of_space(&self.space)
+    }
+
+    /// Direct ISA edges `(sub, super)` — the Hasse diagram of the
+    /// specialisation order.
+    pub fn isa_edges(&self) -> Vec<(TypeId, TypeId)> {
+        self.isa_order()
+            .covers()
+            .into_iter()
+            .map(|(x, y)| (TypeId(x as u32), TypeId(y as u32)))
+            .collect()
+    }
+
+    /// Verifies `E = ∪_e S_e` (the cover property the paper states before
+    /// declaring `S` a subbase).
+    pub fn verify_cover(&self) -> bool {
+        let n = self.space.len();
+        let mut u = BitSet::empty(n);
+        for i in 0..n {
+            u.union_with(self.space.min_neighbourhood(i));
+        }
+        u.is_full() || n == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    fn topo() -> (Schema, SpecialisationTopology) {
+        let s = employee_schema();
+        let t = SpecialisationTopology::of_schema(&s);
+        (s, t)
+    }
+
+    /// F2: the Venn diagram of §3.1 — checked set by set.
+    #[test]
+    fn s_sets_match_paper_venn_diagram() {
+        let (s, t) = topo();
+        let by_name = |n: &str| t.s_set(s.type_id(n).unwrap());
+        let names = |b: &BitSet| s.type_set_names(b);
+
+        // S_person = {employee, person, manager, worksfor}: everything with
+        // name and age.
+        assert_eq!(
+            names(by_name("person")),
+            vec!["employee", "person", "manager", "worksfor"]
+        );
+        // S_employee = {employee, manager, worksfor}
+        assert_eq!(names(by_name("employee")), vec!["employee", "manager", "worksfor"]);
+        // S_department = {department, worksfor}
+        assert_eq!(names(by_name("department")), vec!["department", "worksfor"]);
+        // S_manager = {manager}; S_worksfor = {worksfor}
+        assert_eq!(names(by_name("manager")), vec!["manager"]);
+        assert_eq!(names(by_name("worksfor")), vec!["worksfor"]);
+    }
+
+    #[test]
+    fn s_e_is_minimal_open_containing_e() {
+        let (s, t) = topo();
+        for e in s.type_ids() {
+            let se = t.s_set(e);
+            assert!(se.contains(e.index()));
+            assert!(t.space().is_open(se));
+            // Any open containing e contains S_e.
+            for o in t.space().all_opens() {
+                if o.contains(e.index()) {
+                    assert!(se.is_subset(&o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isa_follows_proper_subset_hierarchy() {
+        let (s, t) = topo();
+        // y ∈ S_x and y ≠ x ⇒ x ∉ S_y (Entity Type Axiom consequence
+        // stated in §3.1).
+        for x in s.type_ids() {
+            for y in s.type_ids() {
+                if x != y && t.is_specialisation(y, x) {
+                    assert!(!t.is_specialisation(x, y));
+                    assert!(t.s_set(y).is_proper_subset(t.s_set(x)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_t0() {
+        let (_, t) = topo();
+        // Entity Type Axiom ⇒ distinct attribute sets ⇒ T0.
+        assert!(t.space().is_t0());
+        assert!(t.isa_order().is_partial_order());
+    }
+
+    #[test]
+    fn cover_property_holds() {
+        let (_, t) = topo();
+        assert!(t.verify_cover());
+    }
+
+    #[test]
+    fn isa_edges_match_expected_hierarchy() {
+        let (s, t) = topo();
+        let mut edges: Vec<(String, String)> = t
+            .isa_edges()
+            .into_iter()
+            .map(|(sub, sup)| (s.type_name(sub).to_owned(), s.type_name(sup).to_owned()))
+            .collect();
+        edges.sort();
+        // manager ISA employee, employee ISA person, worksfor ISA employee,
+        // worksfor ISA department.
+        assert_eq!(
+            edges,
+            vec![
+                ("employee".to_owned(), "person".to_owned()),
+                ("manager".to_owned(), "employee".to_owned()),
+                ("worksfor".to_owned(), "department".to_owned()),
+                ("worksfor".to_owned(), "employee".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn v_sets_form_subbase_of_space() {
+        let (_, t) = topo();
+        assert!(t.space().is_subbase(t.subbase()));
+    }
+}

@@ -1,0 +1,177 @@
+//! Entity view types (§2, View Axiom).
+//!
+//! "An entity view type is a set of entity types." Views are pure
+//! aggregation: no projection is allowed, so every view decomposes uniquely
+//! into its constituent entity types and "all information about its
+//! constituents remains available" — which is what makes view updates
+//! uniquely translatable (§6).
+
+use serde::{Deserialize, Serialize};
+use toposem_topology::BitSet;
+
+use crate::axioms::{AxiomViolation, DesignAxiom};
+use crate::ident::TypeId;
+use crate::schema::Schema;
+
+/// A named set of entity types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViewType {
+    /// User-convenience name of the cluster.
+    pub name: String,
+    /// The constituent entity types (subset of `E`).
+    pub members: BitSet,
+}
+
+impl ViewType {
+    /// Builds a view from member type ids, validating the View Axiom
+    /// structurally (members must exist in the schema; a view must be
+    /// non-empty to denote anything).
+    pub fn new(
+        schema: &Schema,
+        name: &str,
+        members: &[TypeId],
+    ) -> Result<Self, AxiomViolation> {
+        if members.is_empty() {
+            return Err(AxiomViolation {
+                axiom: DesignAxiom::View,
+                message: format!("view `{name}` has no constituent entity types"),
+            });
+        }
+        for &m in members {
+            if m.index() >= schema.type_count() {
+                return Err(AxiomViolation {
+                    axiom: DesignAxiom::View,
+                    message: format!(
+                        "view `{name}` references unknown entity type id {m}"
+                    ),
+                });
+            }
+        }
+        Ok(ViewType {
+            name: name.to_owned(),
+            members: BitSet::from_indices(
+                schema.type_count(),
+                members.iter().map(|m| m.index()),
+            ),
+        })
+    }
+
+    /// The unique decomposition of the view: its member entity types. This
+    /// is trivial *by construction* — which is the point of the View Axiom.
+    pub fn decompose(&self) -> Vec<TypeId> {
+        self.members.iter().map(|i| TypeId(i as u32)).collect()
+    }
+
+    /// Number of constituents.
+    pub fn len(&self) -> usize {
+        self.members.card()
+    }
+
+    /// True when the view has no members (unreachable through `new`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Routes an update targeted at entity type `target` to the unique
+    /// constituent responsible for it. `None` when the target is not a
+    /// constituent — such an update is not expressible against this view,
+    /// by design.
+    pub fn route_update(&self, target: TypeId) -> Option<TypeId> {
+        self.members.contains(target.index()).then_some(target)
+    }
+
+    /// The set of attributes visible through the view: the union of the
+    /// members' attribute sets. A user "sees only part of a view object",
+    /// but the decomposition retains full update information.
+    pub fn visible_attrs(&self, schema: &Schema) -> BitSet {
+        let mut u = BitSet::empty(schema.attr_count());
+        for m in self.decompose() {
+            u.union_with(schema.attrs_of(m));
+        }
+        u
+    }
+}
+
+/// Detects entity types that are *entity views in disguise*: a type whose
+/// attribute set is exactly the union of other types' attribute sets and
+/// which adds no attribute of its own. The design recipe of §2 says
+/// "Remove all entities that are entity views" — unless removing one loses
+/// information, which means attributes were missing anyway.
+pub fn view_like_types(schema: &Schema) -> Vec<TypeId> {
+    schema
+        .type_ids()
+        .filter(|&e| {
+            let ae = schema.attrs_of(e);
+            let mut u = BitSet::empty(schema.attr_count());
+            for f in schema.type_ids() {
+                if f != e && schema.attrs_of(f).is_subset(ae) {
+                    u.union_with(schema.attrs_of(f));
+                }
+            }
+            &u == ae
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employee::employee_schema;
+
+    #[test]
+    fn view_construction_and_decomposition() {
+        let s = employee_schema();
+        let emp = s.type_id("employee").unwrap();
+        let dep = s.type_id("department").unwrap();
+        let v = ViewType::new(&s, "staffing", &[emp, dep]).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.decompose(), vec![emp, dep]);
+    }
+
+    #[test]
+    fn empty_view_is_rejected() {
+        let s = employee_schema();
+        let err = ViewType::new(&s, "void", &[]).unwrap_err();
+        assert_eq!(err.axiom, DesignAxiom::View);
+    }
+
+    #[test]
+    fn unknown_member_is_rejected() {
+        let s = employee_schema();
+        let err = ViewType::new(&s, "bad", &[TypeId(99)]).unwrap_err();
+        assert_eq!(err.axiom, DesignAxiom::View);
+    }
+
+    #[test]
+    fn update_routing_is_unique() {
+        let s = employee_schema();
+        let emp = s.type_id("employee").unwrap();
+        let dep = s.type_id("department").unwrap();
+        let mgr = s.type_id("manager").unwrap();
+        let v = ViewType::new(&s, "staffing", &[emp, dep]).unwrap();
+        assert_eq!(v.route_update(emp), Some(emp));
+        assert_eq!(v.route_update(mgr), None);
+    }
+
+    #[test]
+    fn visible_attrs_is_union() {
+        let s = employee_schema();
+        let emp = s.type_id("employee").unwrap();
+        let dep = s.type_id("department").unwrap();
+        let v = ViewType::new(&s, "staffing", &[emp, dep]).unwrap();
+        let mut names = s.attr_set_names(&v.visible_attrs(&s));
+        names.sort_unstable();
+        assert_eq!(names, vec!["age", "depname", "location", "name"]);
+    }
+
+    #[test]
+    fn worksfor_is_view_like() {
+        // worksfor = employee ∪ department with no extra attribute, so the
+        // §2 recipe flags it as removable (the paper keeps it to designate
+        // the relationship explicitly).
+        let s = employee_schema();
+        let v = view_like_types(&s);
+        let names: Vec<&str> = v.iter().map(|&e| s.type_name(e)).collect();
+        assert_eq!(names, vec!["worksfor"]);
+    }
+}

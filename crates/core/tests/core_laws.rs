@@ -1,0 +1,152 @@
+//! Property-based tests of the §3 constructions over randomly generated
+//! schemas: the duality corollary, the subset-hierarchy characterisation,
+//! and the contributor definition are checked on arbitrary attribute
+//! assignments, not just the employee example.
+
+use proptest::prelude::*;
+use toposem_core::{
+    contributors::{computed_contributors, contributors},
+    GeneralisationTopology, Schema, SchemaBuilder, SpecialisationTopology, TypeId,
+};
+
+/// Builds a random schema over `n_attrs` attributes and up to `max_types`
+/// entity types with distinct non-empty attribute sets.
+fn random_schema(n_attrs: usize, max_types: usize) -> impl Strategy<Value = Schema> {
+    prop::collection::btree_set(1u32..(1 << n_attrs), 1..=max_types).prop_map(move |masks| {
+        let mut b = SchemaBuilder::new();
+        let attr_names: Vec<String> = (0..n_attrs).map(|i| format!("a{i}")).collect();
+        for name in &attr_names {
+            b.attribute(name, &format!("dom-{name}"));
+        }
+        for (t, mask) in masks.iter().enumerate() {
+            let attrs: Vec<&str> = (0..n_attrs)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| attr_names[i].as_str())
+                .collect();
+            b.entity_type(&format!("t{t}"), &attrs);
+        }
+        b.build_strict().expect("distinct masks satisfy the axioms")
+    })
+}
+
+proptest! {
+    /// §3.1: S_e = { f | A_e ⊆ A_f } — the topological construction must
+    /// coincide with the direct subset characterisation.
+    #[test]
+    fn s_set_equals_superset_types(schema in random_schema(5, 10)) {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        for e in schema.type_ids() {
+            for f in schema.type_ids() {
+                let by_subset = schema.attrs_of(e).is_subset(schema.attrs_of(f));
+                prop_assert_eq!(spec.s_set(e).contains(f.index()), by_subset);
+            }
+        }
+    }
+
+    /// §3.2: G_e = { f | A_f ⊆ A_e }.
+    #[test]
+    fn g_set_equals_subset_types(schema in random_schema(5, 10)) {
+        let gen = GeneralisationTopology::of_schema(&schema);
+        for e in schema.type_ids() {
+            for f in schema.type_ids() {
+                let by_subset = schema.attrs_of(f).is_subset(schema.attrs_of(e));
+                prop_assert_eq!(gen.g_set(e).contains(f.index()), by_subset);
+            }
+        }
+    }
+
+    /// R2 on random schemas: y ∈ S_x ⇔ x ∈ G_y.
+    #[test]
+    fn duality_corollary(schema in random_schema(5, 10)) {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        for x in schema.type_ids() {
+            for y in schema.type_ids() {
+                prop_assert_eq!(
+                    spec.s_set(x).contains(y.index()),
+                    gen.g_set(y).contains(x.index())
+                );
+            }
+        }
+    }
+
+    /// §3.1: ISA hierarchies are *proper* subset hierarchies: y ∈ S_x,
+    /// y ≠ x ⇒ x ∉ S_y (forced by the Entity Type Axiom).
+    #[test]
+    fn isa_is_antisymmetric(schema in random_schema(5, 10)) {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        prop_assert!(spec.space().is_t0());
+        for x in schema.type_ids() {
+            for y in schema.type_ids() {
+                if x != y && spec.s_set(x).contains(y.index()) {
+                    prop_assert!(!spec.s_set(y).contains(x.index()));
+                }
+            }
+        }
+    }
+
+    /// Both families cover E (so they are subbases of topologies).
+    #[test]
+    fn covers_hold(schema in random_schema(5, 10)) {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        prop_assert!(spec.verify_cover());
+        prop_assert!(gen.verify_cover());
+    }
+
+    /// §3.3: the computed CO_e are exactly the maximal proper
+    /// generalisations (no g strictly between f and e), and satisfy the
+    /// contributor Property.
+    #[test]
+    fn contributors_are_direct_generalisations(schema in random_schema(5, 10)) {
+        let gen = GeneralisationTopology::of_schema(&schema);
+        for e in schema.type_ids() {
+            let co = computed_contributors(&schema, &gen, e);
+            for fi in co.iter() {
+                let f = TypeId(fi as u32);
+                // Property: f ∈ G_e, f ≠ e.
+                prop_assert!(f != e);
+                prop_assert!(gen.is_generalisation(f, e));
+                // Directness: nothing strictly between.
+                for g in schema.type_ids() {
+                    if g != e && g != f {
+                        let between = schema.attrs_of(f).is_proper_subset(schema.attrs_of(g))
+                            && schema.attrs_of(g).is_proper_subset(schema.attrs_of(e));
+                        prop_assert!(!between, "found intermediate type");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Effective contributors default to the computed ones when no
+    /// designation exists.
+    #[test]
+    fn effective_contributors_default_to_computed(schema in random_schema(4, 8)) {
+        let gen = GeneralisationTopology::of_schema(&schema);
+        for e in schema.type_ids() {
+            prop_assert_eq!(
+                contributors(&schema, &gen, e),
+                computed_contributors(&schema, &gen, e)
+            );
+        }
+    }
+
+    /// The specialisation and generalisation orders are mutually dual:
+    /// covers of one are reversed covers of the other.
+    #[test]
+    fn hasse_duality(schema in random_schema(4, 8)) {
+        let spec = SpecialisationTopology::of_schema(&schema);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let mut s_edges = spec.isa_order().covers();
+        let mut g_edges: Vec<(usize, usize)> = gen
+            .order()
+            .covers()
+            .into_iter()
+            .map(|(x, y)| (y, x))
+            .collect();
+        s_edges.sort_unstable();
+        g_edges.sort_unstable();
+        prop_assert_eq!(s_edges, g_edges);
+    }
+}

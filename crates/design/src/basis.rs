@@ -1,0 +1,103 @@
+//! Designer-biased subbase (basis) selection (§3.1).
+//!
+//! "Clearly, S doesn't have to be the smallest subbase. Nor is the
+//! subbase per definition unique. […] This gives the freedom to choose a
+//! subbase for T which reflects the bias to the Universe of Discourse."
+//! The designer expresses bias as per-type weights; selection picks,
+//! among all minimal generating subfamilies of the specialisation cover,
+//! the heaviest.
+
+use toposem_core::{Schema, SpecialisationTopology, TypeId};
+use toposem_topology::SubbaseAnalysis;
+
+/// A bias profile: weight per entity type (higher = more essential in the
+/// designer's view of the Universe of Discourse).
+#[derive(Clone, Debug)]
+pub struct Bias {
+    weights: Vec<f64>,
+}
+
+impl Bias {
+    /// Uniform bias.
+    pub fn uniform(schema: &Schema) -> Self {
+        Bias {
+            weights: vec![1.0; schema.type_count()],
+        }
+    }
+
+    /// Sets the weight of one type.
+    pub fn set(&mut self, e: TypeId, w: f64) -> &mut Self {
+        self.weights[e.index()] = w;
+        self
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Selects the minimal generating subbase maximising total bias weight.
+/// Returns the chosen primitive types; the rest are constructed.
+pub fn select_subbase(schema: &Schema, bias: &Bias) -> Vec<TypeId> {
+    let spec = SpecialisationTopology::of_schema(schema);
+    let analysis = SubbaseAnalysis::new(schema.type_count(), spec.cover());
+    analysis
+        .best_minimal_by_weight(bias.weights())
+        .map(|b| b.iter().map(|i| TypeId(i as u32)).collect())
+        .unwrap_or_default()
+}
+
+/// All minimal subbase choices with their total weights, heaviest first —
+/// the menu a design tool would show.
+pub fn subbase_menu(schema: &Schema, bias: &Bias) -> Vec<(Vec<TypeId>, f64)> {
+    let spec = SpecialisationTopology::of_schema(schema);
+    let analysis = SubbaseAnalysis::new(schema.type_count(), spec.cover());
+    let mut menu: Vec<(Vec<TypeId>, f64)> = analysis
+        .all_minimal()
+        .into_iter()
+        .map(|b| {
+            let w: f64 = b.iter().map(|i| bias.weights()[i]).sum();
+            (b.iter().map(|i| TypeId(i as u32)).collect(), w)
+        })
+        .collect();
+    menu.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    menu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    #[test]
+    fn employee_selection_matches_paper() {
+        let s = employee_schema();
+        let chosen = select_subbase(&s, &Bias::uniform(&s));
+        let names: Vec<&str> = chosen.iter().map(|&e| s.type_name(e)).collect();
+        // R1: the four primitive types; worksfor constructed.
+        assert_eq!(names, vec!["employee", "person", "department", "manager"]);
+    }
+
+    #[test]
+    fn menu_is_sorted_by_weight() {
+        let s = employee_schema();
+        let menu = subbase_menu(&s, &Bias::uniform(&s));
+        assert!(!menu.is_empty());
+        for w in menu.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn bias_changes_nothing_when_choice_is_forced() {
+        // The employee schema has a unique minimal subbase, so bias cannot
+        // alter the outcome — the paper's freedom only exists when S is
+        // redundant in more than one way.
+        let s = employee_schema();
+        let mut bias = Bias::uniform(&s);
+        bias.set(s.type_id("manager").unwrap(), 0.01);
+        let chosen = select_subbase(&s, &bias);
+        assert_eq!(chosen.len(), 4);
+    }
+}

@@ -1,0 +1,251 @@
+//! EAR (Entity-Attribute-Relationship) import: the Chen-model baseline
+//! translated into axiom-conform schemas.
+//!
+//! §1: "The important contribution of the EAR model over the relational
+//! data model is the distinction between entities and relationships […]
+//! However, lack of formalisation of the EAR model makes the analysis of
+//! a conceptual schema cumbersome." The translation demonstrates the
+//! Relationship Axiom: an EAR relationship becomes just another entity
+//! type (the union of its participants plus relationship attributes), and
+//! its cardinality annotations become FD suggestions in the new type's
+//! context.
+
+use toposem_core::{GeneralisationTopology, Schema, SchemaBuilder, TypeId};
+use toposem_fd::Fd;
+
+/// Relationship cardinality in the EAR sense.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cardinality {
+    /// 1:1 — each side determines the other.
+    OneToOne,
+    /// 1:n — the "n" side determines the "1" side.
+    OneToMany,
+    /// n:m — no functional constraint.
+    ManyToMany,
+}
+
+/// An EAR entity.
+#[derive(Clone, Debug)]
+pub struct ErEntity {
+    /// Entity name.
+    pub name: String,
+    /// `(attribute, domain)` pairs.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// An EAR relationship between exactly two entities (the common case; the
+/// paper's argument does not depend on arity).
+#[derive(Clone, Debug)]
+pub struct ErRelationship {
+    /// Relationship name.
+    pub name: String,
+    /// The "1"/left participant.
+    pub left: String,
+    /// The "n"/right participant.
+    pub right: String,
+    /// Relationship-own attributes.
+    pub attrs: Vec<(String, String)>,
+    /// Cardinality annotation.
+    pub cardinality: Cardinality,
+}
+
+/// An EAR schema.
+#[derive(Clone, Debug, Default)]
+pub struct ErSchema {
+    /// Entities.
+    pub entities: Vec<ErEntity>,
+    /// Relationships.
+    pub relationships: Vec<ErRelationship>,
+}
+
+/// Errors during import.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImportError {
+    /// A relationship references an unknown entity.
+    UnknownParticipant(String),
+    /// The translated schema violates the design axioms.
+    AxiomViolation(String),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::UnknownParticipant(n) => write!(f, "unknown participant `{n}`"),
+            ImportError::AxiomViolation(m) => write!(f, "axioms violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// The import result: the schema plus the FDs the cardinalities induce.
+#[derive(Debug)]
+pub struct Imported {
+    /// The axiom-conform schema (relationships are entity types).
+    pub schema: Schema,
+    /// Cardinality-induced FDs, in each relationship's context.
+    pub fds: Vec<Fd>,
+}
+
+/// Translates an EAR schema.
+pub fn import(er: &ErSchema) -> Result<Imported, ImportError> {
+    let mut b = SchemaBuilder::new();
+    for e in &er.entities {
+        for (a, d) in &e.attrs {
+            b.attribute(a, d);
+        }
+    }
+    for r in &er.relationships {
+        for (a, d) in &r.attrs {
+            b.attribute(a, d);
+        }
+    }
+    let mut ids: std::collections::HashMap<&str, TypeId> = std::collections::HashMap::new();
+    for e in &er.entities {
+        let attr_names: Vec<&str> = e.attrs.iter().map(|(a, _)| a.as_str()).collect();
+        ids.insert(e.name.as_str(), b.entity_type(&e.name, &attr_names));
+    }
+    let mut rel_plan: Vec<(TypeId, TypeId, TypeId, Cardinality)> = Vec::new();
+    for r in &er.relationships {
+        let left = *ids
+            .get(r.left.as_str())
+            .ok_or_else(|| ImportError::UnknownParticipant(r.left.clone()))?;
+        let right = *ids
+            .get(r.right.as_str())
+            .ok_or_else(|| ImportError::UnknownParticipant(r.right.clone()))?;
+        let extra: Vec<&str> = r.attrs.iter().map(|(a, _)| a.as_str()).collect();
+        let rel = b.relationship(&r.name, &[left, right], &extra);
+        rel_plan.push((rel, left, right, r.cardinality));
+    }
+    let schema = b.build_strict().map_err(|v| {
+        ImportError::AxiomViolation(
+            v.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+        )
+    })?;
+    let gen = GeneralisationTopology::of_schema(&schema);
+    let mut fds = Vec::new();
+    for (rel, left, right, card) in rel_plan {
+        match card {
+            Cardinality::OneToOne => {
+                fds.push(Fd::new(&gen, left, right, rel).expect("participants generalise"));
+                fds.push(Fd::new(&gen, right, left, rel).expect("participants generalise"));
+            }
+            Cardinality::OneToMany => {
+                // The "many" (right) side determines the "one" (left) side.
+                fds.push(Fd::new(&gen, right, left, rel).expect("participants generalise"));
+            }
+            Cardinality::ManyToMany => {}
+        }
+    }
+    Ok(Imported { schema, fds })
+}
+
+/// The employee database expressed as an EAR schema (worksfor as a 1:n
+/// relationship, department side "1"). Importing it reproduces the
+/// paper's schema — the executable form of the Relationship Axiom
+/// argument.
+pub fn employee_er() -> ErSchema {
+    ErSchema {
+        entities: vec![
+            ErEntity {
+                name: "employee".into(),
+                attrs: vec![
+                    ("name".into(), "person-names".into()),
+                    ("age".into(), "ages".into()),
+                    ("depname".into(), "department-names".into()),
+                ],
+            },
+            ErEntity {
+                name: "person".into(),
+                attrs: vec![
+                    ("name".into(), "person-names".into()),
+                    ("age".into(), "ages".into()),
+                ],
+            },
+            ErEntity {
+                name: "department".into(),
+                attrs: vec![
+                    ("depname".into(), "department-names".into()),
+                    ("location".into(), "locations".into()),
+                ],
+            },
+            ErEntity {
+                name: "manager".into(),
+                attrs: vec![
+                    ("name".into(), "person-names".into()),
+                    ("age".into(), "ages".into()),
+                    ("depname".into(), "department-names".into()),
+                    ("budget".into(), "amounts".into()),
+                ],
+            },
+        ],
+        relationships: vec![ErRelationship {
+            name: "worksfor".into(),
+            left: "department".into(),
+            right: "employee".into(),
+            attrs: vec![],
+            cardinality: Cardinality::OneToMany,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    #[test]
+    fn employee_er_reproduces_paper_schema() {
+        let imported = import(&employee_er()).unwrap();
+        let reference = employee_schema();
+        assert_eq!(imported.schema.type_count(), reference.type_count());
+        for e in reference.type_ids() {
+            let name = reference.type_name(e);
+            let other = imported.schema.type_id(name).expect("same type names");
+            let mut a: Vec<&str> = imported
+                .schema
+                .attr_set_names(imported.schema.attrs_of(other));
+            let mut b: Vec<&str> = reference.attr_set_names(reference.attrs_of(e));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "attribute set of {name}");
+        }
+    }
+
+    #[test]
+    fn one_to_many_induces_one_fd() {
+        let imported = import(&employee_er()).unwrap();
+        assert_eq!(imported.fds.len(), 1);
+        let fd = imported.fds[0];
+        let s = &imported.schema;
+        assert_eq!(s.type_name(fd.lhs), "employee");
+        assert_eq!(s.type_name(fd.rhs), "department");
+        assert_eq!(s.type_name(fd.context), "worksfor");
+    }
+
+    #[test]
+    fn one_to_one_induces_two_fds() {
+        let mut er = employee_er();
+        er.relationships[0].cardinality = Cardinality::OneToOne;
+        let imported = import(&er).unwrap();
+        assert_eq!(imported.fds.len(), 2);
+    }
+
+    #[test]
+    fn many_to_many_induces_none() {
+        let mut er = employee_er();
+        er.relationships[0].cardinality = Cardinality::ManyToMany;
+        let imported = import(&er).unwrap();
+        assert!(imported.fds.is_empty());
+    }
+
+    #[test]
+    fn unknown_participant_rejected() {
+        let mut er = employee_er();
+        er.relationships[0].left = "ghost".into();
+        assert!(matches!(
+            import(&er),
+            Err(ImportError::UnknownParticipant(_))
+        ));
+    }
+}

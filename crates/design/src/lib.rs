@@ -1,0 +1,24 @@
+//! # toposem-design
+//!
+//! Design-time tooling around the toposem model: the §2 design
+//! methodology as executable passes, EAR-schema import (the Relationship
+//! Axiom in action), designer-biased subbase selection (§3.1), and the
+//! random schema/extension synthesiser that powers the benchmark
+//! harness.
+
+pub mod basis;
+pub mod er_import;
+pub mod normalize;
+pub mod process;
+pub mod synth;
+
+pub use basis::{select_subbase, subbase_menu, Bias};
+pub use er_import::{
+    employee_er, import, Cardinality, ErEntity, ErRelationship, ErSchema, Imported, ImportError,
+};
+pub use normalize::{decompose, missing_types, Component};
+pub use process::{run_design_process, Finding};
+pub use synth::{
+    int_catalog, isa_edge_count, random_database, random_schema, random_workload, scale_params,
+    ExtensionParams, SchemaParams,
+};

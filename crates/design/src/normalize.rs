@@ -1,0 +1,175 @@
+//! Dependency-driven decomposition (the §2 recipe's last bullet, made
+//! algorithmic).
+//!
+//! "Thus a dependency might help us in two ways. First we check whether
+//! the dependencies varies over entity types. [...] Second we can check
+//! whether entity types mentioned in the dependency have been observed as
+//! an entity already."
+//!
+//! This module runs the classical BCNF split at the entity-type level:
+//! an FD `x → y` in context `h` whose left side is not a key of `h`
+//! signals that `h` bundles two semantic units; splitting `A_h` into
+//! `closure(A_x)` and `A_h − (closure(A_x) − A_x)` explicates them. On
+//! the employee database the decomposition of `worksfor` under its
+//! natural dependency recovers exactly the contributors `{employee,
+//! department}` — the recipe converges with §3.3.
+
+use toposem_core::{GeneralisationTopology, Schema, TypeId};
+use toposem_fd::ArmstrongEngine;
+use toposem_topology::BitSet;
+
+/// A suggested decomposition component: an attribute set, plus the name
+/// of the existing entity type with exactly that set when one exists
+/// (the unit is already explicated).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// The attribute set of the component.
+    pub attrs: BitSet,
+    /// The already-declared entity type matching it, if any.
+    pub existing: Option<TypeId>,
+}
+
+/// Decomposes the context's attribute set under `sigma` until every
+/// component is dependency-local (no FD with a non-superkey left side
+/// applies inside it). Returns the components; attribute sets may overlap
+/// (on the FD left sides), exactly like classical BCNF.
+pub fn decompose(
+    schema: &Schema,
+    gen: &GeneralisationTopology,
+    context: TypeId,
+    sigma: &[(TypeId, TypeId)],
+) -> Vec<Component> {
+    let engine = ArmstrongEngine::new(schema, gen, context);
+    let mut worklist = vec![schema.attrs_of(context).clone()];
+    let mut components = Vec::new();
+    while let Some(attrs) = worklist.pop() {
+        // Find a violating FD: lhs attrs ⊂ attrs, closure within attrs
+        // strictly between lhs and attrs.
+        let mut split = None;
+        for &(x, _) in sigma {
+            let lhs = schema.attrs_of(x);
+            if !lhs.is_subset(&attrs) {
+                continue;
+            }
+            let closed = engine.attr_closure(sigma, lhs).intersection(&attrs);
+            if closed.is_proper_subset(&attrs) && lhs.is_proper_subset(&closed) {
+                split = Some((lhs.clone(), closed));
+                break;
+            }
+        }
+        match split {
+            Some((lhs, closed)) => {
+                // Component 1: the closure; component 2: the rest plus the
+                // shared left side.
+                let rest = attrs.difference(&closed.difference(&lhs));
+                worklist.push(closed);
+                worklist.push(rest);
+            }
+            None => components.push(attrs),
+        }
+    }
+    components.sort();
+    components.dedup();
+    components
+        .into_iter()
+        .map(|attrs| {
+            let existing = schema.type_ids().find(|&t| schema.attrs_of(t) == &attrs);
+            Component { attrs, existing }
+        })
+        .collect()
+}
+
+/// Components not yet explicated as entity types — the recipe's "there
+/// should be entity types covering these attributes that have not been
+/// made explicit".
+pub fn missing_types(components: &[Component]) -> Vec<&Component> {
+    components.iter().filter(|c| c.existing.is_none()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::SchemaBuilder;
+
+    /// The employee schema *with the {depname} unit explicated*, which is
+    /// what lets `depname → location` be stated as a type-level FD.
+    fn explicated_employee_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.attribute("name", "person-names");
+        b.attribute("age", "ages");
+        b.attribute("depname", "department-names");
+        b.attribute("budget", "amounts");
+        b.attribute("location", "locations");
+        b.entity_type("employee", &["name", "age", "depname"]);
+        b.entity_type("person", &["name", "age"]);
+        b.entity_type("department", &["depname", "location"]);
+        b.entity_type("manager", &["name", "age", "depname", "budget"]);
+        b.entity_type("worksfor", &["name", "age", "depname", "location"]);
+        b.entity_type("depkey", &["depname"]);
+        b.build_strict().unwrap()
+    }
+
+    #[test]
+    fn worksfor_decomposes_into_its_contributors() {
+        let s = explicated_employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let worksfor = s.type_id("worksfor").unwrap();
+        let department = s.type_id("department").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let depkey = s.type_id("depkey").unwrap();
+        // The natural dependency: the department name determines the
+        // location — expressible now that {depname} is explicated.
+        let sigma = [(depkey, department)];
+        let comps = decompose(&s, &gen, worksfor, &sigma);
+        // The split peels off closure({depname}) = department and leaves
+        // {name, age, depname} = employee: the recipe recovers exactly
+        // the §3.3 contributors.
+        let ids: Vec<Option<TypeId>> = comps.iter().map(|c| c.existing).collect();
+        assert!(ids.contains(&Some(department)));
+        assert!(ids.contains(&Some(employee)));
+        assert_eq!(comps.len(), 2);
+        assert!(missing_types(&comps).is_empty(), "both units are explicated");
+    }
+
+    #[test]
+    fn key_side_fd_needs_no_decomposition() {
+        let s = explicated_employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        // employee → department: employee is a key of worksfor, so the
+        // context is already dependency-local.
+        let comps = decompose(&s, &gen, worksfor, &[(employee, department)]);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].existing, Some(worksfor));
+    }
+
+    #[test]
+    fn missing_unit_is_reported() {
+        // A context bundling {a, b, c} with b → c (b not a key): the split
+        // yields {b, c} and {a, b}, neither declared as an entity type.
+        let mut b = SchemaBuilder::new();
+        for x in ["a", "b", "c"] {
+            b.attribute(x, &format!("d{x}"));
+        }
+        let tb = b.entity_type("tb", &["b"]);
+        let tc = b.entity_type("tc", &["c"]);
+        let all = b.entity_type("all", &["a", "b", "c"]);
+        let schema = b.build_strict().unwrap();
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let comps = decompose(&schema, &gen, all, &[(tb, tc)]);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(missing_types(&comps).len(), 2);
+    }
+
+    #[test]
+    fn no_fds_means_no_split() {
+        let s = explicated_employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let manager = s.type_id("manager").unwrap();
+        let comps = decompose(&s, &gen, manager, &[]);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].existing, Some(manager));
+    }
+}

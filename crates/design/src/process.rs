@@ -1,0 +1,229 @@
+//! The §2 design methodology as executable passes.
+//!
+//! The paper ends §2 with a recipe ("The axioms introduced so far can be
+//! used in the database design process to obtain a concise description of
+//! the database as follows: …"). Each bullet becomes a pass producing
+//! [`Finding`]s; running them over a draft schema yields the same advice
+//! the paper dispenses by hand.
+
+use toposem_core::{view_like_types, GeneralisationTopology, Schema, TypeId};
+use toposem_topology::BitSet;
+
+/// A finding of the design process, with the paper's remedial advice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Finding {
+    /// Two entity types share an attribute set: synonyms or underspecified
+    /// (recipe step 2).
+    Synonyms {
+        /// First type.
+        a: TypeId,
+        /// Second type.
+        b: TypeId,
+    },
+    /// An entity type adds nothing over the union of other types: an
+    /// entity view to remove (recipe step 5).
+    ViewLike {
+        /// The removable type.
+        entity: TypeId,
+    },
+    /// An attribute occurs in exactly one entity type — fine — or in
+    /// *zero* entity types: dead weight in the universe.
+    UnusedAttribute {
+        /// The unused attribute.
+        attr: toposem_core::AttrId,
+    },
+    /// A pair of entity types overlaps on attributes without either
+    /// containing the other and with no explicated intersection type: the
+    /// Integrity-Axiom discipline (and FD completeness, see
+    /// `toposem-fd::implication`) wants the shared unit explicated
+    /// (recipe step 6).
+    UnexplicatedIntersection {
+        /// First type.
+        a: TypeId,
+        /// Second type.
+        b: TypeId,
+        /// The shared attribute set nobody explicates.
+        shared: BitSet,
+    },
+    /// A relationship-looking type (compound, no extra attributes) whose
+    /// designated contributors differ from the computed direct
+    /// generalisations (recipe steps 3–4).
+    ContributorMismatch {
+        /// The compound type.
+        entity: TypeId,
+        /// The designer's designation.
+        declared: Vec<TypeId>,
+        /// The computed direct generalisations.
+        computed: Vec<TypeId>,
+    },
+}
+
+/// Runs every design pass over a schema.
+pub fn run_design_process(schema: &Schema) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    synonyms_pass(schema, &mut findings);
+    view_pass(schema, &mut findings);
+    unused_attribute_pass(schema, &mut findings);
+    intersection_pass(schema, &mut findings);
+    contributor_pass(schema, &mut findings);
+    findings
+}
+
+fn synonyms_pass(schema: &Schema, findings: &mut Vec<Finding>) {
+    for a in schema.type_ids() {
+        for b in schema.type_ids() {
+            if a < b && schema.attrs_of(a) == schema.attrs_of(b) {
+                findings.push(Finding::Synonyms { a, b });
+            }
+        }
+    }
+}
+
+fn view_pass(schema: &Schema, findings: &mut Vec<Finding>) {
+    for entity in view_like_types(schema) {
+        findings.push(Finding::ViewLike { entity });
+    }
+}
+
+fn unused_attribute_pass(schema: &Schema, findings: &mut Vec<Finding>) {
+    for attr in schema.attr_ids() {
+        if schema.occurrence_set(attr).is_empty() {
+            findings.push(Finding::UnusedAttribute { attr });
+        }
+    }
+}
+
+fn intersection_pass(schema: &Schema, findings: &mut Vec<Finding>) {
+    for a in schema.type_ids() {
+        for b in schema.type_ids() {
+            if a >= b {
+                continue;
+            }
+            let shared = schema.attrs_of(a).intersection(schema.attrs_of(b));
+            if shared.is_empty()
+                || schema.attrs_of(a).is_subset(schema.attrs_of(b))
+                || schema.attrs_of(b).is_subset(schema.attrs_of(a))
+            {
+                continue;
+            }
+            let explicated = schema.type_ids().any(|t| schema.attrs_of(t) == &shared);
+            if !explicated {
+                findings.push(Finding::UnexplicatedIntersection { a, b, shared });
+            }
+        }
+    }
+}
+
+fn contributor_pass(schema: &Schema, findings: &mut Vec<Finding>) {
+    let gen = GeneralisationTopology::of_schema(schema);
+    for e in schema.type_ids() {
+        if let Some(declared) = &schema.entity_type(e).declared_contributors {
+            let computed: Vec<TypeId> =
+                toposem_core::contributors::computed_contributors(schema, &gen, e)
+                    .iter()
+                    .map(|i| TypeId(i as u32))
+                    .collect();
+            let mut d = declared.clone();
+            d.sort_unstable();
+            let mut c = computed.clone();
+            c.sort_unstable();
+            if d != c {
+                findings.push(Finding::ContributorMismatch {
+                    entity: e,
+                    declared: declared.clone(),
+                    computed,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, SchemaBuilder};
+
+    #[test]
+    fn employee_schema_findings() {
+        // The paper's schema triggers two classes of advice:
+        // 1. worksfor is view-like (the recipe keeps it to designate the
+        //    relationship);
+        // 2. the intersection {depname} shared by employee/department and
+        //    department/manager is never explicated as an entity type —
+        //    the very discipline §5's completeness needs (and a finding
+        //    the paper's own example would receive from its own recipe).
+        let findings = run_design_process(&employee_schema());
+        let views = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::ViewLike { .. }))
+            .count();
+        let intersections = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::UnexplicatedIntersection { .. }))
+            .count();
+        assert_eq!(views, 1);
+        assert_eq!(intersections, 2);
+        assert_eq!(findings.len(), 3);
+    }
+
+    #[test]
+    fn unexplicated_intersection_detected() {
+        let mut b = SchemaBuilder::new();
+        for a in ["a", "b", "c"] {
+            b.attribute(a, &format!("d-{a}"));
+        }
+        b.entity_type("x", &["a", "b"]);
+        b.entity_type("y", &["b", "c"]);
+        let (schema, violations) = b.build();
+        assert!(violations.is_empty());
+        let findings = run_design_process(&schema);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnexplicatedIntersection { .. })));
+        // Explicating {b} clears it.
+        let mut b2 = SchemaBuilder::new();
+        for a in ["a", "b", "c"] {
+            b2.attribute(a, &format!("d-{a}"));
+        }
+        b2.entity_type("x", &["a", "b"]);
+        b2.entity_type("y", &["b", "c"]);
+        b2.entity_type("shared", &["b"]);
+        let schema2 = b2.build_strict().unwrap();
+        assert!(!run_design_process(&schema2)
+            .iter()
+            .any(|f| matches!(f, Finding::UnexplicatedIntersection { .. })));
+    }
+
+    #[test]
+    fn unused_attribute_detected() {
+        let mut b = SchemaBuilder::new();
+        b.attribute("used", "d1");
+        b.attribute("dangling", "d2");
+        b.entity_type("t", &["used"]);
+        let (schema, _) = b.build();
+        let findings = run_design_process(&schema);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnusedAttribute { .. })));
+    }
+
+    #[test]
+    fn contributor_mismatch_detected() {
+        let mut b = SchemaBuilder::new();
+        for a in ["a", "b", "c"] {
+            b.attribute(a, &format!("d-{a}"));
+        }
+        let x = b.entity_type("x", &["a"]);
+        let _y = b.entity_type("y", &["b"]);
+        let z = b.entity_type("z", &["c"]);
+        // r = x ⊎ y ⊎ z but declared with only {x, z}: mismatch vs the
+        // computed direct generalisations {x, y, z}.
+        let r = b.relationship("r", &[x, z], &["b"]);
+        let schema = b.build_strict().unwrap();
+        let findings = run_design_process(&schema);
+        assert!(findings.iter().any(|f| matches!(
+            f,
+            Finding::ContributorMismatch { entity, .. } if *entity == r
+        )));
+    }
+}

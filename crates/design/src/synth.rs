@@ -1,0 +1,268 @@
+//! Random schema and extension synthesis — the workload generator for the
+//! benchmark harness.
+//!
+//! The paper has no workload; the synthesiser produces families of
+//! schemas with controlled size and ISA density, and extensions with
+//! controlled cardinality, so that every experiment can sweep the axes
+//! that matter (entity-type count, hierarchy depth, relation size).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use toposem_core::{AttrId, Intension, Schema, SchemaBuilder};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, DomainSpec, Instance, Value};
+
+/// Parameters of the schema synthesiser.
+#[derive(Clone, Debug)]
+pub struct SchemaParams {
+    /// Size of the attribute universe.
+    pub n_attrs: usize,
+    /// Number of entity types to aim for (distinctness may cap it).
+    pub n_types: usize,
+    /// Probability that a new type extends an existing one (creating ISA
+    /// edges) instead of drawing attributes independently.
+    pub isa_bias: f64,
+    /// Attribute-set width drawn uniformly from `1..=max_width`.
+    pub max_width: usize,
+    /// RNG seed (synthesis is deterministic given the parameters).
+    pub seed: u64,
+}
+
+impl Default for SchemaParams {
+    fn default() -> Self {
+        SchemaParams {
+            n_attrs: 12,
+            n_types: 16,
+            isa_bias: 0.5,
+            max_width: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// Synthesises a schema. All attribute domains are integer-valued.
+pub fn random_schema(params: &SchemaParams) -> Schema {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = SchemaBuilder::new();
+    let attr_names: Vec<String> = (0..params.n_attrs).map(|i| format!("a{i}")).collect();
+    for n in &attr_names {
+        b.attribute(n, &format!("dom-{n}"));
+    }
+    let mut seen: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+    let mut sets: Vec<Vec<usize>> = Vec::new();
+    let mut tries = 0;
+    while sets.len() < params.n_types && tries < params.n_types * 20 {
+        tries += 1;
+        let set: Vec<usize> = if !sets.is_empty() && rng.gen_bool(params.isa_bias) {
+            // Extend an existing set by 1-2 fresh attributes → ISA edge.
+            let base = sets.choose(&mut rng).expect("nonempty").clone();
+            let mut set = base;
+            let extra = rng.gen_range(1..=2usize);
+            for _ in 0..extra {
+                let a = rng.gen_range(0..params.n_attrs);
+                if !set.contains(&a) {
+                    set.push(a);
+                }
+            }
+            set.sort_unstable();
+            set
+        } else {
+            let width = rng.gen_range(1..=params.max_width.min(params.n_attrs));
+            let mut pool: Vec<usize> = (0..params.n_attrs).collect();
+            pool.shuffle(&mut rng);
+            let mut set: Vec<usize> = pool.into_iter().take(width).collect();
+            set.sort_unstable();
+            set
+        };
+        if seen.insert(set.clone()) {
+            sets.push(set);
+        }
+    }
+    for (i, set) in sets.iter().enumerate() {
+        let names: Vec<&str> = set.iter().map(|&a| attr_names[a].as_str()).collect();
+        b.entity_type(&format!("t{i}"), &names);
+    }
+    b.build_strict().expect("distinct attribute sets")
+}
+
+/// A domain catalog giving every synthesised attribute the integer range
+/// `0..value_range`.
+pub fn int_catalog(schema: &Schema, value_range: i64) -> DomainCatalog {
+    let mut c = DomainCatalog::new();
+    for a in schema.attr_ids() {
+        c.bind(&schema.attr(a).domain, DomainSpec::IntRange(0, value_range - 1));
+    }
+    c
+}
+
+/// Parameters of the extension synthesiser.
+#[derive(Clone, Debug)]
+pub struct ExtensionParams {
+    /// Tuples inserted per entity type.
+    pub tuples_per_type: usize,
+    /// Attribute values drawn from `0..value_range`; smaller ranges create
+    /// more shared projections and denser joins.
+    pub value_range: i64,
+    /// Containment policy of the produced database.
+    pub policy: ContainmentPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExtensionParams {
+    fn default() -> Self {
+        ExtensionParams {
+            tuples_per_type: 50,
+            value_range: 8,
+            policy: ContainmentPolicy::Eager,
+            seed: 7,
+        }
+    }
+}
+
+/// Synthesises a database over `schema` with random extensions.
+pub fn random_database(schema: &Schema, params: &ExtensionParams) -> Database {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let catalog = int_catalog(schema, params.value_range);
+    let mut db = Database::new(
+        Intension::analyse(schema.clone()),
+        catalog,
+        params.policy,
+    );
+    for e in schema.type_ids() {
+        for _ in 0..params.tuples_per_type {
+            let fields: Vec<(AttrId, Value)> = schema
+                .attrs_of(e)
+                .iter()
+                .map(|a| {
+                    (
+                        AttrId(a as u32),
+                        Value::Int(rng.gen_range(0..params.value_range)),
+                    )
+                })
+                .collect();
+            db.insert(e, Instance::from_parts(fields));
+        }
+    }
+    db
+}
+
+/// Convenience: synthesise schema and database in one call.
+pub fn random_workload(
+    schema_params: &SchemaParams,
+    ext_params: &ExtensionParams,
+) -> (Schema, Database) {
+    let schema = random_schema(schema_params);
+    let db = random_database(&schema, ext_params);
+    (schema, db)
+}
+
+/// The ISA edge count of a schema — the density metric the sweeps report.
+pub fn isa_edge_count(schema: &Schema) -> usize {
+    let mut edges = 0;
+    for a in schema.type_ids() {
+        for b in schema.type_ids() {
+            if a != b && schema.attrs_of(a).is_proper_subset(schema.attrs_of(b)) {
+                edges += 1;
+            }
+        }
+    }
+    edges
+}
+
+/// Widens a schema universe multiplicatively: `scale_schema(p, k)` builds
+/// parameters for a `k`-times larger instance along every axis the sweeps
+/// vary.
+pub fn scale_params(base: &SchemaParams, k: usize) -> SchemaParams {
+    SchemaParams {
+        n_attrs: base.n_attrs * k,
+        n_types: base.n_types * k,
+        isa_bias: base.isa_bias,
+        max_width: base.max_width,
+        seed: base.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+        #[test]
+    fn synthesis_is_deterministic() {
+        let p = SchemaParams::default();
+        let a = random_schema(&p);
+        let b = random_schema(&p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schemas_satisfy_axioms_and_have_isa_edges() {
+        let p = SchemaParams {
+            isa_bias: 0.8,
+            ..Default::default()
+        };
+        let s = random_schema(&p);
+        assert!(s.type_count() > 1);
+        assert!(isa_edge_count(&s) > 0, "high bias must create hierarchy");
+    }
+
+    #[test]
+    fn zero_bias_schema_still_valid() {
+        let p = SchemaParams {
+            isa_bias: 0.0,
+            n_types: 8,
+            ..Default::default()
+        };
+        let s = random_schema(&p);
+        assert!(s.type_count() >= 1);
+    }
+
+    #[test]
+    fn databases_maintain_containment() {
+        let (_, db) = random_workload(
+            &SchemaParams {
+                n_attrs: 6,
+                n_types: 6,
+                ..Default::default()
+            },
+            &ExtensionParams {
+                tuples_per_type: 10,
+                ..Default::default()
+            },
+        );
+        assert!(db.verify_containment().is_empty());
+        assert!(db.total_stored() > 0);
+    }
+
+    #[test]
+    fn extension_size_scales_with_parameter() {
+        let p = SchemaParams {
+            n_attrs: 6,
+            n_types: 4,
+            ..Default::default()
+        };
+        let s = random_schema(&p);
+        let small = random_database(
+            &s,
+            &ExtensionParams {
+                tuples_per_type: 5,
+                ..Default::default()
+            },
+        );
+        let large = random_database(
+            &s,
+            &ExtensionParams {
+                tuples_per_type: 50,
+                ..Default::default()
+            },
+        );
+        assert!(large.total_stored() > small.total_stored());
+    }
+
+    #[test]
+    fn scale_params_scales() {
+        let base = SchemaParams::default();
+        let big = scale_params(&base, 3);
+        assert_eq!(big.n_attrs, base.n_attrs * 3);
+        assert_eq!(big.n_types, base.n_types * 3);
+    }
+}

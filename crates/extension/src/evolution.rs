@@ -1,0 +1,452 @@
+//! Schema evolution (§1, §6): "changes in the database intension can be
+//! translated directly into information preserving properties of the
+//! database extension. This makes a formal analysis of an evolutionary
+//! database schema more tractable."
+//!
+//! An evolution step rebuilds the intension and migrates every stored
+//! relation. The relationship between the old and the new intension is a
+//! point map between the two specialisation spaces; the step is
+//! *information preserving* exactly when every surviving entity type keeps
+//! its attribute set (so relations migrate verbatim) and the map is a
+//! continuous embedding of the surviving subspace.
+
+use toposem_core::{Intension, Schema, SchemaBuilder, TypeId};
+use toposem_topology::PointMap;
+
+use crate::database::{ContainmentPolicy, Database};
+use crate::instance::Instance;
+use crate::value::Value;
+
+/// One schema-evolution operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvolutionOp {
+    /// Introduce a new entity type over existing attributes.
+    AddEntityType {
+        /// Name of the new type.
+        name: String,
+        /// Attribute names (must already be declared).
+        attrs: Vec<String>,
+    },
+    /// Remove an entity type (its relation is dropped; information held
+    /// only there is lost and reported).
+    RemoveEntityType {
+        /// Name of the type to remove.
+        name: String,
+    },
+    /// Add an attribute to one entity type; existing instances get the
+    /// default value. Specialisations of the type acquire the attribute
+    /// too (their attribute sets must remain supersets).
+    AddAttribute {
+        /// The entity type gaining the attribute.
+        type_name: String,
+        /// The new attribute's name.
+        attr: String,
+        /// The new attribute's domain name.
+        domain: String,
+        /// Value assigned to pre-existing instances.
+        default: Value,
+    },
+}
+
+/// How one entity type fared in a migration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeFate {
+    /// Same attribute set; relation copied verbatim.
+    Preserved,
+    /// Attribute set widened; instances extended with defaults.
+    Widened,
+    /// The type no longer exists; its relation was dropped.
+    Dropped,
+}
+
+/// Result of an evolution step.
+#[derive(Debug)]
+pub struct Migration {
+    /// The migrated database over the new intension.
+    pub database: Database,
+    /// `(old type id, old name, fate)` for every old type.
+    pub fates: Vec<(TypeId, String, TypeFate)>,
+    /// The map from surviving old types to new types.
+    pub type_map: PointMap,
+    /// Whether the surviving-type map is a continuous embedding of
+    /// specialisation spaces (the information-preservation criterion).
+    pub continuous_embedding: bool,
+    /// Tuples dropped because their type was removed.
+    pub dropped_tuples: usize,
+}
+
+/// Errors raised during evolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvolveError {
+    /// Named type does not exist.
+    UnknownType(String),
+    /// Named attribute does not exist.
+    UnknownAttribute(String),
+    /// The new schema violates a design axiom.
+    AxiomViolation(String),
+}
+
+impl std::fmt::Display for EvolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvolveError::UnknownType(n) => write!(f, "unknown entity type `{n}`"),
+            EvolveError::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            EvolveError::AxiomViolation(m) => write!(f, "evolved schema violates axioms: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvolveError {}
+
+/// Applies `op` to `db`, producing a migrated database and a report.
+pub fn evolve(db: &Database, op: &EvolutionOp) -> Result<Migration, EvolveError> {
+    let old_schema = db.schema();
+    // Describe the new schema as (name, attr-name list, declared contributors
+    // by name) triples, then rebuild through the validating builder.
+    let mut attr_decls: Vec<(String, String)> = old_schema
+        .attr_ids()
+        .map(|a| {
+            let d = old_schema.attr(a);
+            (d.name.clone(), d.domain.clone())
+        })
+        .collect();
+    let mut type_decls: Vec<(String, Vec<String>)> = old_schema
+        .type_ids()
+        .map(|e| {
+            (
+                old_schema.type_name(e).to_owned(),
+                old_schema
+                    .attr_set_names(old_schema.attrs_of(e))
+                    .into_iter()
+                    .map(str::to_owned)
+                    .collect(),
+            )
+        })
+        .collect();
+
+    // Per-type default fill for widened types: (type name, attr, value).
+    let mut fills: Vec<(String, String, Value)> = Vec::new();
+
+    match op {
+        EvolutionOp::AddEntityType { name, attrs } => {
+            for a in attrs {
+                if old_schema.attr_id(a).is_none() {
+                    return Err(EvolveError::UnknownAttribute(a.clone()));
+                }
+            }
+            type_decls.push((name.clone(), attrs.clone()));
+        }
+        EvolutionOp::RemoveEntityType { name } => {
+            if old_schema.type_id(name).is_none() {
+                return Err(EvolveError::UnknownType(name.clone()));
+            }
+            type_decls.retain(|(n, _)| n != name);
+        }
+        EvolutionOp::AddAttribute {
+            type_name,
+            attr,
+            domain,
+            default,
+        } => {
+            let target = old_schema
+                .type_id(type_name)
+                .ok_or_else(|| EvolveError::UnknownType(type_name.clone()))?;
+            if old_schema.attr_id(attr).is_none() {
+                attr_decls.push((attr.clone(), domain.clone()));
+            }
+            // The target and all its specialisations gain the attribute so
+            // the subset hierarchy (and thus containment) is preserved.
+            let spec = db.intension().specialisation();
+            for e in old_schema.type_ids() {
+                if spec.is_specialisation(e, target) {
+                    let name = old_schema.type_name(e).to_owned();
+                    let decl = type_decls
+                        .iter_mut()
+                        .find(|(n, _)| *n == name)
+                        .expect("type present");
+                    if !decl.1.contains(attr) {
+                        decl.1.push(attr.clone());
+                        fills.push((name, attr.clone(), default.clone()));
+                    }
+                }
+            }
+        }
+    }
+
+    // Rebuild the schema through the axiom-validating builder.
+    let mut builder = SchemaBuilder::new();
+    for (name, domain) in &attr_decls {
+        builder.attribute(name, domain);
+    }
+    for (name, attrs) in &type_decls {
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        builder.entity_type(name, &refs);
+    }
+    let new_schema: Schema = builder.build_strict().map_err(|violations| {
+        EvolveError::AxiomViolation(
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "),
+        )
+    })?;
+    let new_intension = Intension::analyse(new_schema);
+
+    // Migrate relations.
+    let mut out = Database::new(
+        new_intension,
+        db.catalog().clone(),
+        ContainmentPolicy::OnDemand,
+    );
+    let mut fates = Vec::new();
+    let mut dropped_tuples = 0;
+    let mut survivors: Vec<(TypeId, TypeId)> = Vec::new();
+    for e in old_schema.type_ids() {
+        let name = old_schema.type_name(e).to_owned();
+        match out.schema().type_id(&name) {
+            None => {
+                dropped_tuples += db.stored(e).len();
+                fates.push((e, name, TypeFate::Dropped));
+            }
+            Some(new_e) => {
+                survivors.push((e, new_e));
+                let widened = out.schema().attrs_of(new_e).card()
+                    > old_schema.attrs_of(e).card();
+                let fill: Vec<(String, Value)> = fills
+                    .iter()
+                    .filter(|(n, _, _)| *n == name)
+                    .map(|(_, a, v)| (a.clone(), v.clone()))
+                    .collect();
+                for t in db.stored(e).iter() {
+                    let mut parts: Vec<_> = t
+                        .fields()
+                        .iter()
+                        .map(|(a, v)| {
+                            // Attribute ids may shift; re-resolve by name.
+                            let new_a = out
+                                .schema()
+                                .attr_id(old_schema.attr_name(*a))
+                                .expect("attributes survive evolution");
+                            (new_a, v.clone())
+                        })
+                        .collect();
+                    for (a, v) in &fill {
+                        let new_a = out.schema().attr_id(a).expect("fill attr exists");
+                        parts.push((new_a, v.clone()));
+                    }
+                    out.insert(new_e, Instance::from_parts(parts));
+                }
+                fates.push((
+                    e,
+                    name,
+                    if widened { TypeFate::Widened } else { TypeFate::Preserved },
+                ));
+            }
+        }
+    }
+
+    // Build the old→new point map on survivors and test the embedding
+    // criterion on the specialisation spaces.
+    let map_vec: Vec<usize> = survivors.iter().map(|(_, n)| n.index()).collect();
+    let survivor_ids: Vec<TypeId> = survivors.iter().map(|(o, _)| *o).collect();
+    let type_map = PointMap::new(map_vec, out.schema().type_count())
+        .expect("new ids are in range");
+    // Restrict the old space to survivors, then check continuity +
+    // injectivity of the induced map.
+    let continuous_embedding = {
+        let old_space = restrict_space(db, &survivor_ids);
+        let new_space = out.intension().specialisation().space().clone();
+        type_map.is_injective() && type_map.is_continuous(&old_space, &new_space)
+    };
+
+    Ok(Migration {
+        database: out,
+        fates,
+        type_map,
+        continuous_embedding,
+        dropped_tuples,
+    })
+}
+
+/// The subspace of the old specialisation space induced on the surviving
+/// types, with points renumbered by survivor position.
+fn restrict_space(
+    db: &Database,
+    survivors: &[TypeId],
+) -> toposem_topology::FiniteSpace {
+    let old = db.intension().specialisation().space();
+    let pos: std::collections::HashMap<usize, usize> = survivors
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.index(), i))
+        .collect();
+    let nbhds = survivors
+        .iter()
+        .map(|t| {
+            toposem_topology::BitSet::from_indices(
+                survivors.len(),
+                old.min_neighbourhood(t.index())
+                    .iter()
+                    .filter_map(|x| pos.get(&x).copied()),
+            )
+        })
+        .collect();
+    toposem_topology::FiniteSpace::from_min_neighbourhoods(nbhds)
+        .expect("subspace of a valid space is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DomainCatalog;
+    use toposem_core::employee_schema;
+
+    fn loaded_db() -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::OnDemand,
+        );
+        let s = d.schema().clone();
+        d.insert_fields(
+            s.type_id("manager").unwrap(),
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(1000)),
+            ],
+        )
+        .unwrap();
+        d.insert_fields(
+            s.type_id("department").unwrap(),
+            &[
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn add_entity_type_preserves_everything() {
+        let d = loaded_db();
+        let m = evolve(
+            &d,
+            &EvolutionOp::AddEntityType {
+                name: "located".into(),
+                attrs: vec!["name".into(), "age".into(), "location".into()],
+            },
+        )
+        .unwrap();
+        assert!(m.continuous_embedding);
+        assert_eq!(m.dropped_tuples, 0);
+        assert!(m
+            .fates
+            .iter()
+            .all(|(_, _, f)| *f == TypeFate::Preserved));
+        assert_eq!(m.database.schema().type_count(), 6);
+        // Old data still present.
+        let mgr = m.database.schema().type_id("manager").unwrap();
+        assert_eq!(m.database.extension(mgr).len(), 1);
+    }
+
+    #[test]
+    fn remove_entity_type_drops_its_tuples() {
+        let d = loaded_db();
+        let m = evolve(
+            &d,
+            &EvolutionOp::RemoveEntityType {
+                name: "manager".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(m.dropped_tuples, 1);
+        assert!(m
+            .fates
+            .iter()
+            .any(|(_, n, f)| n == "manager" && *f == TypeFate::Dropped));
+        assert!(m.database.schema().type_id("manager").is_none());
+        // The employee projection of ann was never stored (OnDemand), so
+        // removing manager loses her — that is precisely the information
+        // loss the report surfaces.
+        let emp = m.database.schema().type_id("employee").unwrap();
+        assert_eq!(m.database.extension(emp).len(), 0);
+        assert!(m.continuous_embedding);
+    }
+
+    #[test]
+    fn add_attribute_widens_type_and_specialisations() {
+        let d = loaded_db();
+        let m = evolve(
+            &d,
+            &EvolutionOp::AddAttribute {
+                type_name: "employee".into(),
+                attr: "salary".into(),
+                domain: "amounts".into(),
+                default: Value::Int(0),
+            },
+        )
+        .unwrap();
+        let s = m.database.schema();
+        // employee, manager, worksfor widened; person/department untouched.
+        let fates: std::collections::HashMap<&str, &TypeFate> = m
+            .fates
+            .iter()
+            .map(|(_, n, f)| (n.as_str(), f))
+            .collect();
+        assert_eq!(fates["employee"], &TypeFate::Widened);
+        assert_eq!(fates["manager"], &TypeFate::Widened);
+        assert_eq!(fates["worksfor"], &TypeFate::Widened);
+        assert_eq!(fates["person"], &TypeFate::Preserved);
+        // Migrated manager instance has the default salary.
+        let mgr = s.type_id("manager").unwrap();
+        let ext = m.database.extension(mgr);
+        assert_eq!(ext.len(), 1);
+        let t = ext.iter().next().unwrap();
+        let salary = s.attr_id("salary").unwrap();
+        assert_eq!(t.get(salary), Some(&Value::Int(0)));
+        // Hierarchy intact: manager still specialises employee.
+        let emp = s.type_id("employee").unwrap();
+        assert!(m
+            .database
+            .intension()
+            .specialisation()
+            .is_specialisation(mgr, emp));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let d = loaded_db();
+        assert!(matches!(
+            evolve(&d, &EvolutionOp::RemoveEntityType { name: "ghost".into() }),
+            Err(EvolveError::UnknownType(_))
+        ));
+        assert!(matches!(
+            evolve(
+                &d,
+                &EvolutionOp::AddEntityType {
+                    name: "x".into(),
+                    attrs: vec!["ghost".into()]
+                }
+            ),
+            Err(EvolveError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_attr_set_is_an_axiom_violation() {
+        let d = loaded_db();
+        let err = evolve(
+            &d,
+            &EvolutionOp::AddEntityType {
+                name: "human".into(),
+                attrs: vec!["name".into(), "age".into()],
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvolveError::AxiomViolation(_)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Extension mappings (§4.2): `E_e : S_e → P(D_e)` and the restriction
+//! maps `p(h,f,e)`, with the commuting-identities corollary as executable
+//! checks.
+//!
+//! ```text
+//! E_e(s) = π^e_s(R_s)            for s ∈ S_e
+//! p(h,f,e) : E_e(h) → E_e(f)     for S_h ⊆ S_f ⊆ S_e   (an inclusion)
+//!
+//! Corollary: if S_h ⊆ S_f ⊆ S_e then
+//!   (a) π^e_h = π^e_f ∘ π^f_h                    (projections compose)
+//!   (b) p(f,e,e) ∘ p(h,f,e) = p(h,e,e)           (inclusions compose)
+//!   (c) π^e_f ∘ p(h,f,f) = p(h,f,e) ∘ π^e_f      (naturality)
+//! ```
+//!
+//! The mappings are exactly a *presheaf* of extensions over the
+//! specialisation topology — made literal in the `toposem-sheaf` crate.
+
+use toposem_core::TypeId;
+
+use crate::database::Database;
+use crate::relation::Relation;
+
+/// A report from verifying the §4.2 corollary on concrete data.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorollaryReport {
+    /// Triples `(h, f, e)` checked.
+    pub triples_checked: usize,
+    /// Failures of identity (a): projection composition.
+    pub failed_projection_composition: Vec<(TypeId, TypeId, TypeId)>,
+    /// Failures of identity (b): inclusion composition (containment).
+    pub failed_inclusion: Vec<(TypeId, TypeId, TypeId)>,
+    /// Failures of identity (c): naturality of projection vs. restriction.
+    pub failed_naturality: Vec<(TypeId, TypeId, TypeId)>,
+}
+
+impl CorollaryReport {
+    /// True when all identities held on all checked triples.
+    pub fn all_hold(&self) -> bool {
+        self.failed_projection_composition.is_empty()
+            && self.failed_inclusion.is_empty()
+            && self.failed_naturality.is_empty()
+    }
+}
+
+/// `E_e(s) = π^e_s(R_s)`: the extension of `s` seen at type `e`.
+///
+/// Defined for `s ∈ S_e`; panics otherwise (an intension-level error).
+pub fn e_map(db: &Database, e: TypeId, s: TypeId) -> Relation {
+    let schema = db.schema();
+    assert!(
+        db.intension().specialisation().is_specialisation(s, e),
+        "E_{}({}) undefined: {} is not a specialisation",
+        schema.type_name(e),
+        schema.type_name(s),
+        schema.type_name(s),
+    );
+    db.extension(s)
+        .project_to_type(schema, s, e)
+        .expect("specialisation implies projectability")
+}
+
+/// The restriction map `p(h,f,e)` exists as an inclusion
+/// `E_e(h) ⊆ E_e(f)`; returns whether the inclusion actually holds on the
+/// current data (it must, when containment is maintained).
+pub fn p_inclusion_holds(db: &Database, h: TypeId, f: TypeId, e: TypeId) -> bool {
+    e_map(db, e, h).is_subset(&e_map(db, e, f))
+}
+
+/// Verifies the three corollary identities on every chain
+/// `S_h ⊆ S_f ⊆ S_e` present in the intension.
+pub fn verify_corollary(db: &Database) -> CorollaryReport {
+    let schema = db.schema();
+    let spec = db.intension().specialisation();
+    let mut report = CorollaryReport::default();
+    for e in schema.type_ids() {
+        for f in schema.type_ids() {
+            if !spec.is_specialisation(f, e) {
+                continue;
+            }
+            for h in schema.type_ids() {
+                if !spec.is_specialisation(h, f) {
+                    continue;
+                }
+                // Chain h ⟶ f ⟶ e (S_h ⊆ S_f ⊆ S_e).
+                report.triples_checked += 1;
+
+                // (a) π^e_h = π^e_f ∘ π^f_h on R_h.
+                let rh = db.extension(h);
+                let direct = rh
+                    .project_to_type(schema, h, e)
+                    .expect("h specialises e");
+                let via_f = rh
+                    .project_to_type(schema, h, f)
+                    .expect("h specialises f")
+                    .project(schema.attrs_of(e));
+                if direct != via_f {
+                    report.failed_projection_composition.push((h, f, e));
+                }
+
+                // (b) E_e(h) ⊆ E_e(f) ⊆ E_e(e).
+                if !(p_inclusion_holds(db, h, f, e) && p_inclusion_holds(db, f, e, e)) {
+                    report.failed_inclusion.push((h, f, e));
+                }
+
+                // (c) Naturality: projecting E_f(h) down to e equals E_e(h).
+                let lhs = e_map(db, f, h).project(schema.attrs_of(e));
+                let rhs = e_map(db, e, h);
+                if lhs != rhs {
+                    report.failed_naturality.push((h, f, e));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::ContainmentPolicy;
+    use crate::value::{DomainCatalog, Value};
+    use toposem_core::{employee_schema, Intension};
+
+    fn sample_db(policy: ContainmentPolicy) -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            policy,
+        );
+        let s = d.schema().clone();
+        let manager = s.type_id("manager").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        d.insert_fields(
+            manager,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(1000)),
+            ],
+        )
+        .unwrap();
+        d.insert_fields(
+            employee,
+            &[
+                ("name", Value::str("bob")),
+                ("age", Value::Int(30)),
+                ("depname", Value::str("research")),
+            ],
+        )
+        .unwrap();
+        d.insert_fields(
+            department,
+            &[
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn e_map_collects_information_from_specialisations() {
+        let d = sample_db(ContainmentPolicy::OnDemand);
+        let s = d.schema();
+        let person = s.type_id("person").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        // E_person(manager): ann seen as a person.
+        let em = e_map(&d, person, manager);
+        assert_eq!(em.len(), 1);
+        // E_person(person) collects ann *and* bob even though no person
+        // tuple was directly inserted.
+        let ep = e_map(&d, person, person);
+        assert_eq!(ep.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a specialisation")]
+    fn e_map_rejects_non_specialisations() {
+        let d = sample_db(ContainmentPolicy::Eager);
+        let s = d.schema();
+        let person = s.type_id("person").unwrap();
+        let department = s.type_id("department").unwrap();
+        let _ = e_map(&d, person, department);
+    }
+
+    /// R4: the §4.2 corollary holds under both policies.
+    #[test]
+    fn corollary_holds_eager() {
+        let report = verify_corollary(&sample_db(ContainmentPolicy::Eager));
+        assert!(report.all_hold(), "{report:?}");
+        assert!(report.triples_checked > 0);
+    }
+
+    #[test]
+    fn corollary_holds_on_demand() {
+        let report = verify_corollary(&sample_db(ContainmentPolicy::OnDemand));
+        assert!(report.all_hold(), "{report:?}");
+    }
+
+    #[test]
+    fn chains_counted_include_degenerate_ones() {
+        // h = f = e chains are valid (S_e ⊆ S_e ⊆ S_e); with 5 types the
+        // count must be at least 5.
+        let report = verify_corollary(&sample_db(ContainmentPolicy::Eager));
+        assert!(report.triples_checked >= 5);
+    }
+}

@@ -1,0 +1,321 @@
+//! The natural join `*` / `Π` and the Extension Axiom check (§4.2).
+//!
+//! "The axiom requires that the information contained in a relationship
+//! does not exceed the information obtainable from its contributers. [...]
+//!
+//! ```text
+//! Extension Axiom:  i : E_e(e) → Π_{c ∈ CO_e} E_c(c)   injective
+//! ```
+//!
+//! The injectivity means that when we choose an entity for every entity
+//! type in `CO_e`, this combination can form at most one entity of type
+//! `e`. For example, an employee can be a manager in at most one way."
+
+use std::collections::HashMap;
+
+use toposem_core::TypeId;
+use toposem_topology::BitSet;
+
+use crate::database::Database;
+use crate::instance::Instance;
+use crate::relation::Relation;
+
+/// The natural join `r * s`: all merges of compatible tuple pairs. A
+/// hash-join on the shared attribute projection; degrades to the cross
+/// product when the attribute sets are disjoint.
+pub fn natural_join(universe: usize, r: &Relation, s: &Relation) -> Relation {
+    // Determine the shared attribute set from the data; empty relations
+    // join to the empty relation regardless.
+    let (Some(rt), Some(st)) = (r.iter().next(), s.iter().next()) else {
+        return Relation::new();
+    };
+    let shared = rt.attr_set(universe).intersection(&st.attr_set(universe));
+    // Bucket the smaller relation by its shared projection.
+    let (build, probe, build_is_r) = if r.len() <= s.len() {
+        (r, s, true)
+    } else {
+        (s, r, false)
+    };
+    let mut buckets: HashMap<Instance, Vec<&Instance>> = HashMap::new();
+    for t in build.iter() {
+        buckets.entry(t.project(&shared)).or_default().push(t);
+    }
+    let mut out = Relation::new();
+    for t in probe.iter() {
+        if let Some(matches) = buckets.get(&t.project(&shared)) {
+            for m in matches {
+                let joined = if build_is_r { m.merge(t) } else { t.merge(m) };
+                out.insert(joined);
+            }
+        }
+    }
+    out
+}
+
+/// The multi-join `Π` over a non-empty list of relations, folding
+/// left-to-right (natural join is associative and commutative on sets of
+/// tuples).
+pub fn multi_join(universe: usize, relations: &[&Relation]) -> Relation {
+    match relations {
+        [] => Relation::new(),
+        [first, rest @ ..] => {
+            let mut acc = (*first).clone();
+            for r in rest {
+                acc = natural_join(universe, &acc, r);
+            }
+            acc
+        }
+    }
+}
+
+/// Outcome of checking the Extension Axiom for one compound entity type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExtensionAxiomReport {
+    /// The compound type checked.
+    pub entity_type: TypeId,
+    /// The contributors used.
+    pub contributors: Vec<TypeId>,
+    /// Tuples of `E_e(e)` whose contributor projection escapes the join of
+    /// contributor extensions (information not determined by contributors).
+    pub undetermined: Vec<Instance>,
+    /// Pairs of distinct tuples that map to the same contributor choice —
+    /// injectivity failures ("a manager in more than one way").
+    pub injectivity_failures: Vec<(Instance, Instance)>,
+}
+
+impl ExtensionAxiomReport {
+    /// True when the axiom holds for this type on the current data.
+    pub fn holds(&self) -> bool {
+        self.undetermined.is_empty() && self.injectivity_failures.is_empty()
+    }
+}
+
+/// Checks the Extension Axiom for `e`. Types without contributors hold
+/// vacuously ("if CO_e is nonempty").
+pub fn check_extension_axiom(db: &Database, e: TypeId) -> ExtensionAxiomReport {
+    let schema = db.schema();
+    let universe = schema.attr_count();
+    let contributors = db.intension().contributors_of(e);
+    let mut report = ExtensionAxiomReport {
+        entity_type: e,
+        contributors: contributors.clone(),
+        undetermined: Vec::new(),
+        injectivity_failures: Vec::new(),
+    };
+    if contributors.is_empty() {
+        return report;
+    }
+    // The union of contributor attribute sets: the image coordinates of i.
+    let mut contributed_attrs = BitSet::empty(universe);
+    for &c in &contributors {
+        contributed_attrs.union_with(schema.attrs_of(c));
+    }
+    // Join of contributor extensions.
+    let extensions: Vec<Relation> = contributors.iter().map(|&c| db.extension(c)).collect();
+    let refs: Vec<&Relation> = extensions.iter().collect();
+    let join = multi_join(universe, &refs);
+
+    // (1) Determination: every e-tuple's contributed part appears in the
+    // join. (2) Injectivity: no two e-tuples share a contributed part.
+    let mut seen: HashMap<Instance, Instance> = HashMap::new();
+    for t in db.extension(e).iter() {
+        let key = t.project(&contributed_attrs);
+        if !join.contains(&key) {
+            report.undetermined.push(t.clone());
+        }
+        if let Some(prev) = seen.get(&key) {
+            report
+                .injectivity_failures
+                .push((prev.clone(), t.clone()));
+        } else {
+            seen.insert(key, t.clone());
+        }
+    }
+    report
+}
+
+/// Checks the Extension Axiom for every entity type of the database.
+pub fn check_all(db: &Database) -> Vec<ExtensionAxiomReport> {
+    db.schema()
+        .type_ids()
+        .map(|e| check_extension_axiom(db, e))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::ContainmentPolicy;
+    use crate::value::{DomainCatalog, Value};
+    use toposem_core::{employee_schema, Intension};
+
+    fn db() -> Database {
+        Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        )
+    }
+
+    fn loaded_db() -> Database {
+        let mut d = db();
+        let s = d.schema().clone();
+        for (name, age, dep) in [("ann", 40, "sales"), ("bob", 30, "research")] {
+            d.insert_fields(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(name)),
+                    ("age", Value::Int(age)),
+                    ("depname", Value::str(dep)),
+                ],
+            )
+            .unwrap();
+        }
+        for (dep, loc) in [("sales", "amsterdam"), ("research", "utrecht")] {
+            d.insert_fields(
+                s.type_id("department").unwrap(),
+                &[
+                    ("depname", Value::str(dep)),
+                    ("location", Value::str(loc)),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn natural_join_matches_on_shared_attributes() {
+        let d = loaded_db();
+        let s = d.schema();
+        let emp = d.extension(s.type_id("employee").unwrap());
+        let dep = d.extension(s.type_id("department").unwrap());
+        let j = natural_join(s.attr_count(), &emp, &dep);
+        // ann joins sales, bob joins research: two tuples of width 4
+        // (name, age, depname, location).
+        assert_eq!(j.len(), 2);
+        for t in j.iter() {
+            assert_eq!(t.width(), 4);
+        }
+    }
+
+    #[test]
+    fn join_with_empty_is_empty() {
+        let d = loaded_db();
+        let s = d.schema();
+        let emp = d.extension(s.type_id("employee").unwrap());
+        let empty = Relation::new();
+        assert!(natural_join(s.attr_count(), &emp, &empty).is_empty());
+        assert!(natural_join(s.attr_count(), &empty, &emp).is_empty());
+    }
+
+    #[test]
+    fn disjoint_attribute_sets_give_cross_product() {
+        let d = loaded_db();
+        let s = d.schema();
+        let person = d.extension(s.type_id("person").unwrap());
+        let dep = d.extension(s.type_id("department").unwrap());
+        // person {name, age} and department {depname, location} are
+        // disjoint: 2 × 2 = 4 combinations.
+        let j = natural_join(s.attr_count(), &person, &dep);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn multi_join_folds() {
+        let d = loaded_db();
+        let s = d.schema();
+        let emp = d.extension(s.type_id("employee").unwrap());
+        let dep = d.extension(s.type_id("department").unwrap());
+        let person = d.extension(s.type_id("person").unwrap());
+        let j = multi_join(s.attr_count(), &[&person, &emp, &dep]);
+        assert_eq!(j.len(), 2);
+        assert!(multi_join(s.attr_count(), &[]).is_empty());
+    }
+
+    /// R5: a valid worksfor extension satisfies the axiom; an orphaned one
+    /// is flagged as undetermined.
+    #[test]
+    fn extension_axiom_on_worksfor() {
+        let mut d = loaded_db();
+        let s = d.schema().clone();
+        let worksfor = s.type_id("worksfor").unwrap();
+        d.insert_fields(
+            worksfor,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        let report = check_extension_axiom(&d, worksfor);
+        assert!(report.holds(), "{report:?}");
+
+        // An orphan: carol's worksfor fact bulk-loaded without containment
+        // maintenance. Her (employee, department) combination is absent
+        // from the contributor join, so the fact is undetermined — the
+        // Extension Axiom auditor must flag it. (Maintained inserts repair
+        // the contributors automatically, which is why the bypass is
+        // needed to exhibit a violation.)
+        let carol = Instance::new(
+            &s,
+            d.catalog(),
+            worksfor,
+            &[
+                ("name", Value::str("carol")),
+                ("age", Value::Int(25)),
+                ("depname", Value::str("admin")),
+                ("location", Value::str("utrecht")),
+            ],
+        )
+        .unwrap();
+        d.insert_unchecked(worksfor, carol);
+        let report = check_extension_axiom(&d, worksfor);
+        assert!(!report.holds());
+        assert_eq!(report.undetermined.len(), 1);
+    }
+
+    /// R5: "an employee can be a manager in at most one way" — two manager
+    /// tuples differing only in budget violate injectivity.
+    #[test]
+    fn extension_axiom_injectivity_manager() {
+        let mut d = loaded_db();
+        let s = d.schema().clone();
+        let manager = s.type_id("manager").unwrap();
+        for budget in [1000, 2000] {
+            d.insert_fields(
+                manager,
+                &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                    ("budget", Value::Int(budget)),
+                ],
+            )
+            .unwrap();
+        }
+        let report = check_extension_axiom(&d, manager);
+        assert!(!report.holds());
+        assert_eq!(report.injectivity_failures.len(), 1);
+    }
+
+    #[test]
+    fn primitive_types_hold_vacuously() {
+        let d = loaded_db();
+        let s = d.schema();
+        let person = s.type_id("person").unwrap();
+        let report = check_extension_axiom(&d, person);
+        assert!(report.holds());
+        assert!(report.contributors.is_empty());
+    }
+
+    #[test]
+    fn check_all_covers_every_type() {
+        let d = loaded_db();
+        let reports = check_all(&d);
+        assert_eq!(reports.len(), d.schema().type_count());
+        assert!(reports.iter().all(|r| r.holds()));
+    }
+}

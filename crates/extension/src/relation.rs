@@ -1,0 +1,207 @@
+//! Relations: finite sets of instances, `R_e ∈ P(D_e)` (§4.1).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+use toposem_core::{Schema, TypeId};
+use toposem_topology::BitSet;
+
+use crate::instance::{Instance, InstanceError};
+
+/// The set of instances of one entity type. A `BTreeSet` keeps iteration
+/// deterministic (instances order lexicographically by attribute id and
+/// value), which the figure regenerators and tests rely on.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    tuples: BTreeSet<Instance>,
+}
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple; returns whether it was new.
+    pub fn insert(&mut self, t: Instance) -> bool {
+        self.tuples.insert(t)
+    }
+
+    /// Removes a tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Instance) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Instance) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Instance> {
+        self.tuples.iter()
+    }
+
+    /// The projection `π^e_s(R_s)` of this whole relation onto the
+    /// attribute set of a generalisation (§4.1). Duplicate projections
+    /// collapse — projection is a set mapping into `P(D_e)`.
+    pub fn project_to_type(
+        &self,
+        schema: &Schema,
+        from: TypeId,
+        to: TypeId,
+    ) -> Result<Relation, InstanceError> {
+        // Validate the direction once, then project tuple-wise.
+        if !schema.attrs_of(to).is_subset(schema.attrs_of(from)) {
+            return Err(InstanceError::NotAGeneralisation {
+                from: schema.type_name(from).to_owned(),
+                to: schema.type_name(to).to_owned(),
+            });
+        }
+        let target = schema.attrs_of(to);
+        Ok(Relation {
+            tuples: self.tuples.iter().map(|t| t.project(target)).collect(),
+        })
+    }
+
+    /// Projects onto an arbitrary attribute set.
+    pub fn project(&self, target: &BitSet) -> Relation {
+        Relation {
+            tuples: self.tuples.iter().map(|t| t.project(target)).collect(),
+        }
+    }
+
+    /// Set inclusion `self ⊆ other`.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Set union (used by extension mappings to collect information stored
+    /// in specialisations).
+    pub fn union_with(&mut self, other: &Relation) {
+        for t in &other.tuples {
+            self.tuples.insert(t.clone());
+        }
+    }
+
+    /// Retains only tuples matching the predicate (selection).
+    pub fn retain<F: FnMut(&Instance) -> bool>(&mut self, mut f: F) {
+        self.tuples.retain(|t| f(t));
+    }
+
+    /// Selection as a new relation.
+    pub fn select<F: Fn(&Instance) -> bool>(&self, f: F) -> Relation {
+        Relation {
+            tuples: self.tuples.iter().filter(|t| f(t)).cloned().collect(),
+        }
+    }
+}
+
+impl FromIterator<Instance> for Relation {
+    fn from_iter<I: IntoIterator<Item = Instance>>(iter: I) -> Self {
+        Relation {
+            tuples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{DomainCatalog, Value};
+    use toposem_core::employee_schema;
+
+    fn emp(s: &Schema, c: &DomainCatalog, name: &str, age: i64, dep: &str) -> Instance {
+        Instance::new(
+            s,
+            c,
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str(name)),
+                ("age", Value::Int(age)),
+                ("depname", Value::str(dep)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let mut r = Relation::new();
+        let t = emp(&s, &c, "ann", 30, "sales");
+        assert!(r.insert(t.clone()));
+        assert!(!r.insert(t.clone()));
+        assert!(r.contains(&t));
+        assert_eq!(r.len(), 1);
+        assert!(r.remove(&t));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn projection_collapses_duplicates() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let employee = s.type_id("employee").unwrap();
+        let person = s.type_id("person").unwrap();
+        let mut r = Relation::new();
+        // Same (name, age), different departments.
+        r.insert(emp(&s, &c, "ann", 30, "sales"));
+        r.insert(emp(&s, &c, "ann", 30, "research"));
+        assert_eq!(r.len(), 2);
+        let p = r.project_to_type(&s, employee, person).unwrap();
+        assert_eq!(p.len(), 1, "projection is a set mapping");
+    }
+
+    #[test]
+    fn projection_wrong_direction_errors() {
+        let s = employee_schema();
+        let r = Relation::new();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        assert!(r.project_to_type(&s, person, employee).is_err());
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let t1 = emp(&s, &c, "ann", 30, "sales");
+        let t2 = emp(&s, &c, "bob", 40, "admin");
+        let mut a = Relation::new();
+        a.insert(t1.clone());
+        let mut b = Relation::new();
+        b.insert(t1);
+        b.insert(t2);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn selection() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let age = s.attr_id("age").unwrap();
+        let r: Relation = [
+            emp(&s, &c, "ann", 30, "sales"),
+            emp(&s, &c, "bob", 40, "admin"),
+        ]
+        .into_iter()
+        .collect();
+        let young = r.select(|t| matches!(t.get(age), Some(Value::Int(a)) if *a < 35));
+        assert_eq!(young.len(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Atomic values and attribute domains (§4.1).
+//!
+//! "An attribute value is just a member of a finite set." Each attribute
+//! draws from a named atomic value set `d_a`; the domain of an entity type
+//! is the product `D_e = Π_{a ∈ A_e} d_a`. Product domains are never
+//! materialised — membership is checked attribute-wise.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use toposem_core::{AttrId, Schema};
+
+/// An atomic value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// A boolean literal.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// The specification of an atomic value set.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainSpec {
+    /// Integers within an inclusive range.
+    IntRange(i64, i64),
+    /// An explicit finite enumeration of strings.
+    Enum(Vec<String>),
+    /// Any string (modelled as a large finite set; the paper's finiteness
+    /// assumption is a convenience, not a load-bearing restriction).
+    AnyStr,
+    /// Any integer.
+    AnyInt,
+    /// Booleans.
+    Boolean,
+}
+
+impl DomainSpec {
+    /// Is `v` a member of this atomic value set?
+    pub fn contains(&self, v: &Value) -> bool {
+        match (self, v) {
+            (DomainSpec::IntRange(lo, hi), Value::Int(i)) => lo <= i && i <= hi,
+            (DomainSpec::Enum(options), Value::Str(s)) => options.iter().any(|o| o == s),
+            (DomainSpec::AnyStr, Value::Str(_)) => true,
+            (DomainSpec::AnyInt, Value::Int(_)) => true,
+            (DomainSpec::Boolean, Value::Bool(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Cardinality when finite, `None` when unbounded-for-our-purposes.
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            DomainSpec::IntRange(lo, hi) => Some((hi - lo + 1).max(0) as usize),
+            DomainSpec::Enum(options) => Some(options.len()),
+            DomainSpec::Boolean => Some(2),
+            DomainSpec::AnyStr | DomainSpec::AnyInt => None,
+        }
+    }
+
+    /// Enumerates a finite domain's members (for exhaustive tests and the
+    /// workload generator). `None` for unbounded domains.
+    pub fn enumerate(&self) -> Option<Vec<Value>> {
+        match self {
+            DomainSpec::IntRange(lo, hi) => Some((*lo..=*hi).map(Value::Int).collect()),
+            DomainSpec::Enum(options) => {
+                Some(options.iter().map(|s| Value::Str(s.clone())).collect())
+            }
+            DomainSpec::Boolean => Some(vec![Value::Bool(false), Value::Bool(true)]),
+            DomainSpec::AnyStr | DomainSpec::AnyInt => None,
+        }
+    }
+}
+
+/// Binds every attribute of a schema to a [`DomainSpec`], by the *domain
+/// name* declared in the schema (Attribute Axiom: one value set per
+/// attribute; attributes sharing a domain name share the value set).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DomainCatalog {
+    by_domain_name: HashMap<String, DomainSpec>,
+}
+
+impl DomainCatalog {
+    /// Empty catalog; unbound domains default to [`DomainSpec::AnyStr`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a schema domain name to a value-set specification.
+    pub fn bind(&mut self, domain_name: &str, spec: DomainSpec) -> &mut Self {
+        self.by_domain_name.insert(domain_name.to_owned(), spec);
+        self
+    }
+
+    /// The value set `d_a` for attribute `a` of `schema`.
+    pub fn domain_of(&self, schema: &Schema, a: AttrId) -> &DomainSpec {
+        static ANY: DomainSpec = DomainSpec::AnyStr;
+        self.by_domain_name
+            .get(&schema.attr(a).domain)
+            .unwrap_or(&ANY)
+    }
+
+    /// Is `v` admissible for attribute `a`?
+    pub fn admits(&self, schema: &Schema, a: AttrId, v: &Value) -> bool {
+        self.domain_of(schema, a).contains(v)
+    }
+
+    /// The catalog for the paper's employee database, with small finite
+    /// domains suitable for exhaustive experiments.
+    pub fn employee_defaults() -> Self {
+        let mut c = Self::new();
+        c.bind("person-names", DomainSpec::AnyStr)
+            .bind("ages", DomainSpec::IntRange(0, 150))
+            .bind(
+                "department-names",
+                DomainSpec::Enum(vec![
+                    "sales".into(),
+                    "research".into(),
+                    "admin".into(),
+                ]),
+            )
+            .bind("amounts", DomainSpec::AnyInt)
+            .bind(
+                "locations",
+                DomainSpec::Enum(vec!["amsterdam".into(), "utrecht".into()]),
+            );
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    #[test]
+    fn domain_membership() {
+        let ages = DomainSpec::IntRange(0, 150);
+        assert!(ages.contains(&Value::Int(42)));
+        assert!(!ages.contains(&Value::Int(200)));
+        assert!(!ages.contains(&Value::str("forty")));
+        let locs = DomainSpec::Enum(vec!["a".into(), "b".into()]);
+        assert!(locs.contains(&Value::str("a")));
+        assert!(!locs.contains(&Value::str("c")));
+        assert!(DomainSpec::Boolean.contains(&Value::Bool(true)));
+        assert!(!DomainSpec::Boolean.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn cardinality_and_enumeration() {
+        assert_eq!(DomainSpec::IntRange(1, 3).cardinality(), Some(3));
+        assert_eq!(
+            DomainSpec::IntRange(1, 3).enumerate().unwrap(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+        assert_eq!(DomainSpec::AnyStr.cardinality(), None);
+        assert_eq!(DomainSpec::Boolean.enumerate().unwrap().len(), 2);
+        // Degenerate range.
+        assert_eq!(DomainSpec::IntRange(3, 1).cardinality(), Some(0));
+    }
+
+    #[test]
+    fn catalog_resolves_via_schema_domain_names() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let age = s.attr_id("age").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        assert!(c.admits(&s, age, &Value::Int(30)));
+        assert!(!c.admits(&s, age, &Value::Int(151)));
+        assert!(c.admits(&s, depname, &Value::str("sales")));
+        assert!(!c.admits(&s, depname, &Value::str("piracy")));
+    }
+
+    #[test]
+    fn unbound_domain_defaults_to_any_string() {
+        let s = employee_schema();
+        let c = DomainCatalog::new();
+        let name = s.attr_id("name").unwrap();
+        assert!(c.admits(&s, name, &Value::str("anything")));
+        assert!(!c.admits(&s, name, &Value::Int(7)));
+    }
+}

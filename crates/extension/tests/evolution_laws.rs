@@ -1,0 +1,134 @@
+//! Property-based tests of schema evolution: migrations preserve exactly
+//! the data they claim to, and add/remove round-trips restore the
+//! original extension.
+
+use proptest::prelude::*;
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{
+    evolve, ContainmentPolicy, Database, DomainCatalog, EvolutionOp, TypeFate, Value,
+};
+
+const NAMES: [&str; 5] = ["ann", "bob", "carol", "dave", "eve"];
+const DEPS: [&str; 3] = ["sales", "research", "admin"];
+
+fn loaded_db(rows: &[(usize, i64, usize)]) -> Database {
+    let mut db = Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::OnDemand,
+    );
+    let s = db.schema().clone();
+    for (n, a, d) in rows {
+        db.insert_fields(
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str(NAMES[*n])),
+                ("age", Value::Int(*a)),
+                ("depname", Value::str(DEPS[*d])),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(usize, i64, usize)>> {
+    prop::collection::vec((0..NAMES.len(), 0i64..100, 0..DEPS.len()), 0..15)
+}
+
+proptest! {
+    /// Adding a fresh entity type never loses data and always embeds.
+    #[test]
+    fn add_type_is_lossless(rows in rows_strategy()) {
+        let db = loaded_db(&rows);
+        let m = evolve(
+            &db,
+            &EvolutionOp::AddEntityType {
+                name: "fresh".into(),
+                attrs: vec!["name".into(), "location".into()],
+            },
+        )
+        .unwrap();
+        prop_assert!(m.continuous_embedding);
+        prop_assert_eq!(m.dropped_tuples, 0);
+        prop_assert!(m.fates.iter().all(|(_, _, f)| *f == TypeFate::Preserved));
+        // Every surviving type's extension is preserved verbatim.
+        for e in db.schema().type_ids() {
+            let name = db.schema().type_name(e);
+            let new_e = m.database.schema().type_id(name).unwrap();
+            prop_assert_eq!(
+                db.extension(e).len(),
+                m.database.extension(new_e).len()
+            );
+        }
+    }
+
+    /// Add-then-remove of a fresh type restores the original extension.
+    #[test]
+    fn add_remove_roundtrip(rows in rows_strategy()) {
+        let db = loaded_db(&rows);
+        let added = evolve(
+            &db,
+            &EvolutionOp::AddEntityType {
+                name: "scratch".into(),
+                attrs: vec!["budget".into()],
+            },
+        )
+        .unwrap()
+        .database;
+        let removed = evolve(
+            &added,
+            &EvolutionOp::RemoveEntityType { name: "scratch".into() },
+        )
+        .unwrap()
+        .database;
+        prop_assert_eq!(removed.schema().type_count(), db.schema().type_count());
+        for e in db.schema().type_ids() {
+            let name = db.schema().type_name(e);
+            let back = removed.schema().type_id(name).unwrap();
+            prop_assert_eq!(db.extension(e), removed.extension(back));
+        }
+    }
+
+    /// Widening with a default keeps tuple counts and fills the default.
+    #[test]
+    fn widening_fills_defaults(rows in rows_strategy()) {
+        let db = loaded_db(&rows);
+        let employee = db.schema().type_id("employee").unwrap();
+        let before = db.extension(employee).len();
+        let m = evolve(
+            &db,
+            &EvolutionOp::AddAttribute {
+                type_name: "employee".into(),
+                attr: "grade".into(),
+                domain: "grades".into(),
+                default: Value::Int(1),
+            },
+        )
+        .unwrap();
+        let s2 = m.database.schema();
+        let e2 = s2.type_id("employee").unwrap();
+        let ext = m.database.extension(e2);
+        prop_assert_eq!(ext.len(), before);
+        let grade = s2.attr_id("grade").unwrap();
+        for t in ext.iter() {
+            prop_assert_eq!(t.get(grade), Some(&Value::Int(1)));
+        }
+        // Containment survives the migration.
+        prop_assert!(m.database.verify_containment().is_empty());
+    }
+
+    /// Migration never invents tuples: total stored never grows except by
+    /// the declared widening/fill mechanics.
+    #[test]
+    fn migration_conserves_tuples(rows in rows_strategy()) {
+        let db = loaded_db(&rows);
+        let m = evolve(
+            &db,
+            &EvolutionOp::RemoveEntityType { name: "manager".into() },
+        )
+        .unwrap();
+        prop_assert!(m.database.total_stored() <= db.total_stored());
+        prop_assert!(m.database.verify_containment().is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Property-based tests of §4 over randomly generated employee-database
+//! extensions: policy equivalence, containment preservation, the extension
+//! corollary, and join algebra laws.
+
+use proptest::prelude::*;
+use toposem_core::{employee_schema, Intension, TypeId};
+use toposem_extension::{
+    check_all, natural_join, verify_corollary, ContainmentPolicy, Database, DomainCatalog,
+    Instance, Relation, Value,
+};
+
+const NAMES: [&str; 6] = ["ann", "bob", "carol", "dave", "eve", "frank"];
+const DEPS: [&str; 3] = ["sales", "research", "admin"];
+const LOCS: [&str; 2] = ["amsterdam", "utrecht"];
+
+#[derive(Clone, Debug)]
+enum Op {
+    InsertEmployee(usize, i64, usize),
+    InsertManager(usize, i64, usize, i64),
+    InsertDepartment(usize, usize),
+    InsertPerson(usize, i64),
+    DeletePersonByName(usize, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..NAMES.len(), 0i64..100, 0..DEPS.len()).prop_map(|(n, a, d)| Op::InsertEmployee(n, a, d)),
+        (0..NAMES.len(), 0i64..100, 0..DEPS.len(), 0i64..5000)
+            .prop_map(|(n, a, d, b)| Op::InsertManager(n, a, d, b)),
+        (0..DEPS.len(), 0..LOCS.len()).prop_map(|(d, l)| Op::InsertDepartment(d, l)),
+        (0..NAMES.len(), 0i64..100).prop_map(|(n, a)| Op::InsertPerson(n, a)),
+        (0..NAMES.len(), 0i64..100).prop_map(|(n, a)| Op::DeletePersonByName(n, a)),
+    ]
+}
+
+fn apply(db: &mut Database, op: &Op) {
+    let s = db.schema().clone();
+    match op {
+        Op::InsertEmployee(n, a, d) => {
+            db.insert_fields(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(NAMES[*n])),
+                    ("age", Value::Int(*a)),
+                    ("depname", Value::str(DEPS[*d])),
+                ],
+            )
+            .unwrap();
+        }
+        Op::InsertManager(n, a, d, b) => {
+            db.insert_fields(
+                s.type_id("manager").unwrap(),
+                &[
+                    ("name", Value::str(NAMES[*n])),
+                    ("age", Value::Int(*a)),
+                    ("depname", Value::str(DEPS[*d])),
+                    ("budget", Value::Int(*b)),
+                ],
+            )
+            .unwrap();
+        }
+        Op::InsertDepartment(d, l) => {
+            db.insert_fields(
+                s.type_id("department").unwrap(),
+                &[
+                    ("depname", Value::str(DEPS[*d])),
+                    ("location", Value::str(LOCS[*l])),
+                ],
+            )
+            .unwrap();
+        }
+        Op::InsertPerson(n, a) => {
+            db.insert_fields(
+                s.type_id("person").unwrap(),
+                &[("name", Value::str(NAMES[*n])), ("age", Value::Int(*a))],
+            )
+            .unwrap();
+        }
+        Op::DeletePersonByName(n, a) => {
+            let person = s.type_id("person").unwrap();
+            let t = Instance::new(
+                &s,
+                db.catalog(),
+                person,
+                &[("name", Value::str(NAMES[*n])), ("age", Value::Int(*a))],
+            )
+            .unwrap();
+            db.delete(person, &t);
+        }
+    }
+}
+
+fn fresh(policy: ContainmentPolicy) -> Database {
+    Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        policy,
+    )
+}
+
+proptest! {
+    /// The two containment policies present identical extensions under any
+    /// workload of maintained operations.
+    #[test]
+    fn policies_agree(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        let mut eager = fresh(ContainmentPolicy::Eager);
+        let mut lazy = fresh(ContainmentPolicy::OnDemand);
+        for op in &ops {
+            apply(&mut eager, op);
+            apply(&mut lazy, op);
+        }
+        for e in eager.schema().type_ids() {
+            prop_assert_eq!(eager.extension(e), lazy.extension(e));
+        }
+    }
+
+    /// Containment holds after any maintained workload, under both
+    /// policies.
+    #[test]
+    fn containment_invariant(ops in prop::collection::vec(op_strategy(), 0..30)) {
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let mut db = fresh(policy);
+            for op in &ops {
+                apply(&mut db, op);
+            }
+            prop_assert!(db.verify_containment().is_empty());
+        }
+    }
+
+    /// R4 as a property: the §4.2 corollary identities hold on arbitrary
+    /// maintained extensions.
+    #[test]
+    fn extension_corollary_invariant(ops in prop::collection::vec(op_strategy(), 0..25)) {
+        let mut db = fresh(ContainmentPolicy::Eager);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let report = verify_corollary(&db);
+        prop_assert!(report.all_hold(), "{:?}", report);
+    }
+
+    /// R5 determination as a property: maintained inserts always satisfy
+    /// the determination half of the Extension Axiom (injectivity can be
+    /// violated by two managers differing only in budget, so it is checked
+    /// separately below).
+    #[test]
+    fn maintained_inserts_are_determined(ops in prop::collection::vec(op_strategy(), 0..25)) {
+        let mut db = fresh(ContainmentPolicy::Eager);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        for report in check_all(&db) {
+            prop_assert!(report.undetermined.is_empty(), "{:?}", report);
+        }
+    }
+
+    /// Join algebra: commutativity and idempotence on employee relations.
+    #[test]
+    fn join_laws(ops in prop::collection::vec(op_strategy(), 0..20)) {
+        let mut db = fresh(ContainmentPolicy::Eager);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let s = db.schema();
+        let n = s.attr_count();
+        let emp = db.extension(s.type_id("employee").unwrap());
+        let dep = db.extension(s.type_id("department").unwrap());
+        // r * s = s * r
+        prop_assert_eq!(natural_join(n, &emp, &dep), natural_join(n, &dep, &emp));
+        // r * r = r
+        prop_assert_eq!(natural_join(n, &emp, &emp), emp.clone());
+        // r * ∅ = ∅
+        prop_assert!(natural_join(n, &emp, &Relation::new()).is_empty());
+    }
+
+    /// Deleting everything that was inserted empties the database
+    /// (delete cascades cover propagated projections).
+    #[test]
+    fn delete_by_root_type_empties(ops in prop::collection::vec(op_strategy(), 0..15)) {
+        let mut db = fresh(ContainmentPolicy::Eager);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let s = db.schema().clone();
+        let person = s.type_id("person").unwrap();
+        let department = s.type_id("department").unwrap();
+        // Delete all persons (cascades to employee/manager/worksfor) and
+        // all departments (cascades to worksfor).
+        for t in db.extension(person).iter().cloned().collect::<Vec<_>>() {
+            db.delete(person, &t);
+        }
+        for t in db.extension(department).iter().cloned().collect::<Vec<_>>() {
+            db.delete(department, &t);
+        }
+        prop_assert_eq!(db.total_stored(), 0);
+        prop_assert!(db.verify_containment().is_empty());
+    }
+
+    /// Projection monotonicity: R ⊆ S ⇒ π(R) ⊆ π(S) at the person level.
+    #[test]
+    fn projection_monotone(ops in prop::collection::vec(op_strategy(), 0..20)) {
+        let mut db = fresh(ContainmentPolicy::Eager);
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let s = db.schema();
+        let employee = s.type_id("employee").unwrap();
+        let person = s.type_id("person").unwrap();
+        let full = db.extension(employee);
+        let half: Relation = full.iter().take(full.len() / 2).cloned().collect();
+        let p_full = full.project_to_type(s, employee, person).unwrap();
+        let p_half = half.project_to_type(s, employee, person).unwrap();
+        prop_assert!(p_half.is_subset(&p_full));
+    }
+}
+
+/// Injectivity failures are exactly same-combination duplicates: a focused
+/// deterministic regression kept beside the properties.
+#[test]
+fn manager_budget_duplicate_breaks_injectivity() {
+    let mut db = fresh(ContainmentPolicy::Eager);
+    let s = db.schema().clone();
+    let manager = s.type_id("manager").unwrap();
+    for b in [1, 2] {
+        db.insert_fields(
+            manager,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(b)),
+            ],
+        )
+        .unwrap();
+    }
+    let reports = check_all(&db);
+    let mgr_report = reports
+        .iter()
+        .find(|r| r.entity_type == TypeId(s.type_id("manager").unwrap().0))
+        .unwrap();
+    assert_eq!(mgr_report.injectivity_failures.len(), 1);
+}

@@ -1,0 +1,314 @@
+//! The Armstrong axioms, rephrased over entity types (§5.2), as an
+//! inference engine.
+//!
+//! ```text
+//! A1  g ∈ G_e                 ⇒  fd(e, g, e)          (reflexivity)
+//! A2  fd(f, g, e)  iff  ∀ h ∈ G_g : fd(f, h, e)       (union/decomposition)
+//! A3  fd(f, g, e) ∧ fd(g, h, e)  ⇒  fd(f, h, e)       (transitivity)
+//! ```
+//!
+//! "Note 2 is sound because of the Extension Axiom": the ⇐ direction of A2
+//! assembles `g` from its generalisations, which is only information-sound
+//! when `g` carries no attribute of its own beyond its contributors —
+//! exactly the compound types whose attribute set equals the union of
+//! their contributors' sets. The engine applies the assembling rule under
+//! that proviso; [`crate::implication`] measures what this costs in
+//! completeness on schemas that ignore the Integrity Axiom's discipline of
+//! explicating every semantic unit as an entity type.
+
+use std::collections::BTreeSet;
+
+use toposem_core::{
+    contributors::computed_contributors, GeneralisationTopology, Schema, TypeId,
+};
+use toposem_topology::BitSet;
+
+use crate::fd::Fd;
+
+/// An Armstrong-axiom inference engine for a fixed context.
+pub struct ArmstrongEngine<'a> {
+    schema: &'a Schema,
+    gen: &'a GeneralisationTopology,
+    context: TypeId,
+    /// Types assemblable by A2⇐: their attribute set equals the union of
+    /// their direct generalisations' sets.
+    assemblable: Vec<(TypeId, Vec<TypeId>)>,
+}
+
+impl<'a> ArmstrongEngine<'a> {
+    /// Sets up inference in the context `h`; the type universe is `G_h`.
+    pub fn new(schema: &'a Schema, gen: &'a GeneralisationTopology, context: TypeId) -> Self {
+        let mut assemblable = Vec::new();
+        for yi in gen.g_set(context).iter() {
+            let y = TypeId(yi as u32);
+            let co = computed_contributors(schema, gen, y);
+            if co.is_empty() {
+                continue;
+            }
+            let mut union = BitSet::empty(schema.attr_count());
+            for ci in co.iter() {
+                union.union_with(schema.attrs_of(TypeId(ci as u32)));
+            }
+            if &union == schema.attrs_of(y) {
+                assemblable.push((y, co.iter().map(|i| TypeId(i as u32)).collect()));
+            }
+        }
+        ArmstrongEngine {
+            schema,
+            gen,
+            context,
+            assemblable,
+        }
+    }
+
+    /// The context of this engine.
+    pub fn context(&self) -> TypeId {
+        self.context
+    }
+
+    /// The type universe `G_context`.
+    pub fn universe(&self) -> Vec<TypeId> {
+        self.gen
+            .g_set(self.context)
+            .iter()
+            .map(|i| TypeId(i as u32))
+            .collect()
+    }
+
+    /// All types derivable from `x` under `sigma` (given FDs in this
+    /// context, as lhs/rhs pairs): the entity-type closure `x⁺`.
+    ///
+    /// Saturates three rules to a fixpoint:
+    /// - A1: every generalisation of a derived type is derived;
+    /// - A3 (+A2⇒): for `(u, v) ∈ sigma` with `u` derived, `v` is derived;
+    /// - A2⇐ (Extension-Axiom assembly): an assemblable `y` whose direct
+    ///   generalisations are all derived is derived.
+    pub fn closure_of(&self, sigma: &[(TypeId, TypeId)], x: TypeId) -> BTreeSet<TypeId> {
+        let mut derived: BTreeSet<TypeId> = BTreeSet::new();
+        let mut frontier = vec![x];
+        // A1 seeds: x and all its generalisations (fd(x, g, ·) for g ∈ G_x).
+        while let Some(t) = frontier.pop() {
+            if !derived.insert(t) {
+                continue;
+            }
+            for gi in self.gen.g_set(t).iter() {
+                frontier.push(TypeId(gi as u32));
+            }
+        }
+        loop {
+            let mut grew = false;
+            for (u, v) in sigma {
+                if derived.contains(u) && !derived.contains(v) {
+                    // A3: x → u → v; then A1 closes v's generalisations.
+                    let mut stack = vec![*v];
+                    while let Some(t) = stack.pop() {
+                        if derived.insert(t) {
+                            grew = true;
+                            for gi in self.gen.g_set(t).iter() {
+                                stack.push(TypeId(gi as u32));
+                            }
+                        }
+                    }
+                }
+            }
+            for (y, co) in &self.assemblable {
+                if !derived.contains(y) && co.iter().all(|c| derived.contains(c)) {
+                    derived.insert(*y);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return derived;
+            }
+        }
+    }
+
+    /// Is `fd(x, y, context)` derivable from `sigma`?
+    pub fn derives(&self, sigma: &[(TypeId, TypeId)], x: TypeId, y: TypeId) -> bool {
+        self.closure_of(sigma, x).contains(&y)
+    }
+
+    /// The full derivable relation over `G_context × G_context`.
+    pub fn full_closure(&self, sigma: &[(TypeId, TypeId)]) -> BTreeSet<(TypeId, TypeId)> {
+        let mut out = BTreeSet::new();
+        for x in self.universe() {
+            for y in self.closure_of(sigma, x) {
+                out.insert((x, y));
+            }
+        }
+        out
+    }
+
+    /// Derivable FDs as [`Fd`] values.
+    pub fn derivable_fds(&self, sigma: &[(TypeId, TypeId)]) -> Vec<Fd> {
+        self.full_closure(sigma)
+            .into_iter()
+            .map(|(x, y)| Fd::unchecked(x, y, self.context))
+            .collect()
+    }
+
+    /// The attribute-level closure of `start` under the attribute images
+    /// of `sigma` — the classical Armstrong baseline the paper's
+    /// type-level system is measured against.
+    pub fn attr_closure(&self, sigma: &[(TypeId, TypeId)], start: &BitSet) -> BitSet {
+        let rules: Vec<(&BitSet, &BitSet)> = sigma
+            .iter()
+            .map(|(u, v)| (self.schema.attrs_of(*u), self.schema.attrs_of(*v)))
+            .collect();
+        let mut closed = start.clone();
+        loop {
+            let mut grew = false;
+            for (lhs, rhs) in &rules {
+                if lhs.is_subset(&closed) && !rhs.is_subset(&closed) {
+                    closed.union_with(rhs);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return closed;
+            }
+        }
+    }
+
+    /// Semantic implication via the attribute baseline: does every
+    /// relation over `A_context` satisfying `sigma` (read attribute-wise)
+    /// satisfy `x → y`? Classical soundness/completeness of attribute
+    /// closure makes this decidable by one closure computation.
+    pub fn implied_semantically(
+        &self,
+        sigma: &[(TypeId, TypeId)],
+        x: TypeId,
+        y: TypeId,
+    ) -> bool {
+        let closed = self.attr_closure(sigma, self.schema.attrs_of(x));
+        self.schema.attrs_of(y).is_subset(&closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    struct Setup {
+        schema: Schema,
+        gen: GeneralisationTopology,
+    }
+
+    fn setup() -> Setup {
+        let schema = employee_schema();
+        let gen = GeneralisationTopology::of_schema(&schema);
+        Setup { schema, gen }
+    }
+
+    #[test]
+    fn reflexivity_axiom_a1() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        // With empty sigma, every type derives exactly its generalisations.
+        let employee = s.schema.type_id("employee").unwrap();
+        let person = s.schema.type_id("person").unwrap();
+        let closure = engine.closure_of(&[], employee);
+        assert!(closure.contains(&employee));
+        assert!(closure.contains(&person));
+        assert!(!closure.contains(&worksfor));
+    }
+
+    #[test]
+    fn transitivity_axiom_a3() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let person = s.schema.type_id("person").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        // person → employee, employee → department ⊢ person → department.
+        let sigma = [(person, employee), (employee, department)];
+        assert!(engine.derives(&sigma, person, department));
+    }
+
+    #[test]
+    fn assembly_axiom_a2_backward() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let person = s.schema.type_id("person").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        // worksfor is assemblable from {employee, department}. Deriving
+        // both from employee assembles worksfor itself:
+        // employee → department ⊢ employee → worksfor.
+        let sigma = [(employee, department)];
+        assert!(engine.derives(&sigma, employee, worksfor));
+        // But person alone derives neither.
+        assert!(!engine.derives(&sigma, person, worksfor));
+    }
+
+    #[test]
+    fn manager_is_not_assemblable() {
+        let s = setup();
+        let manager = s.schema.type_id("manager").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, manager);
+        // manager has budget beyond its contributor employee, so nothing
+        // short of manager itself derives manager.
+        assert!(!engine.derives(&[], employee, manager));
+        assert!(engine.derives(&[], manager, employee));
+    }
+
+    #[test]
+    fn type_derivation_is_sound_for_attribute_semantics() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let universe = engine.universe();
+        let person = s.schema.type_id("person").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let sigma = [(person, department), (employee, department)];
+        for &x in &universe {
+            for &y in &universe {
+                if engine.derives(&sigma, x, y) {
+                    assert!(
+                        engine.implied_semantically(&sigma, x, y),
+                        "unsound: derived {} -> {} without semantic implication",
+                        s.schema.type_name(x),
+                        s.schema.type_name(y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attr_closure_baseline() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let sigma = [(employee, department)];
+        let closed = engine.attr_closure(&sigma, s.schema.attrs_of(employee));
+        // employee's attrs plus department's attrs.
+        let expect = s
+            .schema
+            .attrs_of(employee)
+            .union(s.schema.attrs_of(department));
+        assert_eq!(closed, expect);
+    }
+
+    #[test]
+    fn full_closure_contains_nucleus() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let closure = engine.full_closure(&[]);
+        // Every (x, g) with g ∈ G_x must be present (A1).
+        for x in engine.universe() {
+            for gi in s.gen.g_set(x).iter() {
+                assert!(closure.contains(&(x, TypeId(gi as u32))));
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! FD satisfaction on extensions, and the §5.1 commuting-triangle theorem.
+//!
+//! ```text
+//! Theorem: for e, f ∈ G_g:  fd(e, f, g)  iff  ∃ λ : E_e(g) → E_f(g)
+//! such that the triangle commutes:   E_g(g) --π^e--> E_e(g)
+//!                                        \            |
+//!                                       π^f           λ
+//!                                          \           v
+//!                                           +-----> E_f(g)
+//! ```
+//!
+//! On finite data the theorem is constructive: scan `R_g` building λ as a
+//! map from lhs-projections to rhs-projections; a conflict is both an FD
+//! violation and a proof that no commuting λ exists.
+
+use std::collections::HashMap;
+
+use toposem_extension::{Database, Instance};
+
+use crate::fd::Fd;
+
+/// The outcome of checking one FD on the current data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdCheck {
+    /// The FD holds; the witnessing λ is returned as an explicit map from
+    /// lhs-projections to rhs-projections.
+    Holds(HashMap<Instance, Instance>),
+    /// The FD is violated by the two context tuples returned.
+    Violated(Instance, Instance),
+}
+
+impl FdCheck {
+    /// True when the FD holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, FdCheck::Holds(_))
+    }
+}
+
+/// Checks `fd` against the (collected) extension of its context,
+/// constructing λ in one scan.
+pub fn check_fd(db: &Database, fd: &Fd) -> FdCheck {
+    let schema = db.schema();
+    let lhs_attrs = schema.attrs_of(fd.lhs);
+    let rhs_attrs = schema.attrs_of(fd.rhs);
+    let mut lambda: HashMap<Instance, Instance> = HashMap::new();
+    // Remember one witness tuple per lhs-projection for diagnostics.
+    let mut witness: HashMap<Instance, Instance> = HashMap::new();
+    for t in db.extension(fd.context).iter() {
+        let key = t.project(lhs_attrs);
+        let val = t.project(rhs_attrs);
+        match lambda.get(&key) {
+            None => {
+                lambda.insert(key.clone(), val);
+                witness.insert(key, t.clone());
+            }
+            Some(prev) if *prev == val => {}
+            Some(_) => {
+                let w = witness.remove(&key).expect("witness recorded with lambda");
+                return FdCheck::Violated(w, t.clone());
+            }
+        }
+    }
+    FdCheck::Holds(lambda)
+}
+
+/// Verifies the commuting triangle for a λ produced by [`check_fd`]:
+/// `λ(π^e(t)) = π^f(t)` for every `t ∈ E_g(g)`.
+pub fn triangle_commutes(db: &Database, fd: &Fd, lambda: &HashMap<Instance, Instance>) -> bool {
+    let schema = db.schema();
+    let lhs_attrs = schema.attrs_of(fd.lhs);
+    let rhs_attrs = schema.attrs_of(fd.rhs);
+    db.extension(fd.context).iter().all(|t| {
+        lambda
+            .get(&t.project(lhs_attrs))
+            .is_some_and(|v| *v == t.project(rhs_attrs))
+    })
+}
+
+/// Checks a whole set of FDs; returns the violated ones.
+pub fn violated<'a>(db: &Database, fds: impl IntoIterator<Item = &'a Fd>) -> Vec<Fd> {
+    fds.into_iter()
+        .filter(|fd| !check_fd(db, fd).holds())
+        .copied()
+        .collect()
+}
+
+/// True when the database satisfies every FD in the set.
+pub fn satisfies<'a>(db: &Database, fds: impl IntoIterator<Item = &'a Fd>) -> bool {
+    violated(db, fds).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, GeneralisationTopology, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn db_with_worksfor(rows: &[(&str, i64, &str, &str)]) -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        let worksfor = s.type_id("worksfor").unwrap();
+        for (name, age, dep, loc) in rows {
+            d.insert_fields(
+                worksfor,
+                &[
+                    ("name", Value::str(name)),
+                    ("age", Value::Int(*age)),
+                    ("depname", Value::str(dep)),
+                    ("location", Value::str(loc)),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    fn fd_emp_dep(d: &Database) -> Fd {
+        let s = d.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        Fd::new(
+            &gen,
+            s.type_id("employee").unwrap(),
+            s.type_id("department").unwrap(),
+            s.type_id("worksfor").unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// F4: "each employee works for at most one department" as
+    /// fd(employee, department, worksfor), with λ constructed explicitly.
+    #[test]
+    fn fd_holds_and_triangle_commutes() {
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("bob", 30, "research", "utrecht"),
+        ]);
+        let fd = fd_emp_dep(&d);
+        match check_fd(&d, &fd) {
+            FdCheck::Holds(lambda) => {
+                assert_eq!(lambda.len(), 2);
+                assert!(triangle_commutes(&d, &fd, &lambda));
+            }
+            FdCheck::Violated(a, b) => {
+                panic!("unexpected violation: {a:?} vs {b:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn fd_violation_is_detected_with_witnesses() {
+        // The sales department in two locations: the employee projection
+        // (which includes depname) fails to determine the department
+        // projection (depname, location).
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("ann", 40, "sales", "utrecht"),
+        ]);
+        let fd = fd_emp_dep(&d);
+        match check_fd(&d, &fd) {
+            FdCheck::Violated(a, b) => {
+                let s = d.schema();
+                let name = s.attr_id("name").unwrap();
+                assert_eq!(a.get(name), b.get(name));
+            }
+            FdCheck::Holds(_) => panic!("violation missed"),
+        }
+        assert!(!satisfies(&d, &[fd]));
+        assert_eq!(violated(&d, &[fd]).len(), 1);
+    }
+
+    #[test]
+    fn empty_context_satisfies_everything() {
+        let d = db_with_worksfor(&[]);
+        let fd = fd_emp_dep(&d);
+        assert!(check_fd(&d, &fd).holds());
+    }
+
+    #[test]
+    fn reflexive_fd_always_holds() {
+        let d = db_with_worksfor(&[
+            ("ann", 40, "sales", "amsterdam"),
+            ("ann", 40, "research", "utrecht"),
+        ]);
+        let s = d.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        // fd(worksfor, employee, worksfor): the whole tuple determines any
+        // generalisation's projection — the nucleus in action.
+        let fd = Fd::new(&gen, worksfor, employee, worksfor).unwrap();
+        assert!(check_fd(&d, &fd).holds());
+    }
+}

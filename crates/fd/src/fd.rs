@@ -1,0 +1,135 @@
+//! Functional dependencies over entity types (§5.1).
+//!
+//! The Integrity Axiom shifts dependencies from attributes to entity
+//! types: an FD is a pair of entity types *in the context of* a third,
+//! which must specialise both ("the context is necessary to disambiguate
+//! dependencies [...] since entity types may be related in several ways").
+//!
+//! ```text
+//! fd(e, f, h), with e, f ∈ G_h:
+//!   ∀ t¹_h, t²_h ∈ R_h :  π^e_h(t¹) = π^e_h(t²) ⇒ π^f_h(t¹) = π^f_h(t²)
+//! ```
+
+use serde::{Deserialize, Serialize};
+use toposem_core::{GeneralisationTopology, Schema, TypeId};
+
+/// A functional dependency `fd(lhs, rhs, context)`: within the relation of
+/// `context`, the `lhs` projection determines the `rhs` projection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fd {
+    /// The determining entity type `e`.
+    pub lhs: TypeId,
+    /// The determined entity type `f`.
+    pub rhs: TypeId,
+    /// The context `h` (a common specialisation of `lhs` and `rhs`).
+    pub context: TypeId,
+}
+
+/// Errors raised validating an FD against an intension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdError {
+    /// `lhs ∉ G_context`.
+    LhsOutsideContext { fd: Fd },
+    /// `rhs ∉ G_context`.
+    RhsOutsideContext { fd: Fd },
+}
+
+impl std::fmt::Display for FdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdError::LhsOutsideContext { fd } => write!(
+                f,
+                "fd lhs {} is not a generalisation of context {}",
+                fd.lhs, fd.context
+            ),
+            FdError::RhsOutsideContext { fd } => write!(
+                f,
+                "fd rhs {} is not a generalisation of context {}",
+                fd.rhs, fd.context
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+impl Fd {
+    /// Builds and validates an FD: both sides must be generalisations of
+    /// the context (the Integrity Axiom's "there exists an entity type
+    /// which is a specialisation of all the entity types involved").
+    pub fn new(
+        gen: &GeneralisationTopology,
+        lhs: TypeId,
+        rhs: TypeId,
+        context: TypeId,
+    ) -> Result<Self, FdError> {
+        let fd = Fd { lhs, rhs, context };
+        if !gen.is_generalisation(lhs, context) {
+            return Err(FdError::LhsOutsideContext { fd });
+        }
+        if !gen.is_generalisation(rhs, context) {
+            return Err(FdError::RhsOutsideContext { fd });
+        }
+        Ok(fd)
+    }
+
+    /// Builds an FD without validation (for inference-internal use where
+    /// membership in `G_context` is already established).
+    pub fn unchecked(lhs: TypeId, rhs: TypeId, context: TypeId) -> Self {
+        Fd { lhs, rhs, context }
+    }
+
+    /// Renders the FD with type names.
+    pub fn display(&self, schema: &Schema) -> String {
+        format!(
+            "fd({}, {}, {})",
+            schema.type_name(self.lhs),
+            schema.type_name(self.rhs),
+            schema.type_name(self.context)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    #[test]
+    fn validation_requires_generalisations_of_context() {
+        let s = employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let worksfor = s.type_id("worksfor").unwrap();
+
+        // person, department ∈ G_worksfor: valid in context worksfor.
+        assert!(Fd::new(&gen, person, department, worksfor).is_ok());
+        // department ∉ G_employee: invalid in context employee.
+        let err = Fd::new(&gen, person, department, employee).unwrap_err();
+        assert!(matches!(err, FdError::RhsOutsideContext { .. }));
+        let err = Fd::new(&gen, department, person, employee).unwrap_err();
+        assert!(matches!(err, FdError::LhsOutsideContext { .. }));
+    }
+
+    #[test]
+    fn reflexive_context_is_allowed() {
+        // e ∈ G_e, so fd(e, e, e) is well-formed.
+        let s = employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let person = s.type_id("person").unwrap();
+        assert!(Fd::new(&gen, person, person, person).is_ok());
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let s = employee_schema();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let fd = Fd::new(&gen, employee, department, worksfor).unwrap();
+        assert_eq!(fd.display(&s), "fd(employee, department, worksfor)");
+    }
+}

@@ -1,0 +1,282 @@
+//! The implication problem, and the soundness & completeness theorems of
+//! §5.2 as an executable harness.
+//!
+//! The paper claims (proofs omitted): *"The Armstrong Axioms, together
+//! with the propagation theorem are a sound and complete system."* This
+//! module substitutes for the missing proofs:
+//!
+//! - **Soundness** is checked by construction: whenever `fd(x,y,h)` is
+//!   derivable from Σ, the classical attribute-level closure (sound and
+//!   complete for projection semantics by Armstrong's theorem) must also
+//!   imply it — see [`verify_soundness`].
+//! - **Completeness** is checked witness-style: whenever `fd(x,y,h)` is
+//!   *not* derivable, [`counterexample`] builds the two-tuple Armstrong
+//!   relation that satisfies Σ yet violates the goal — see
+//!   [`verify_completeness`].
+//!
+//! Completeness depends on the schema honouring the Integrity Axiom's
+//! discipline ("check whether entity types mentioned in the dependency
+//! have been observed as an entity already"): every semantically relevant
+//! attribute set must be explicated as an entity type. On schemas with
+//! overlapping types whose intersections are left implicit, the type-level
+//! calculus can miss implications the attribute level sees;
+//! `verify_completeness` returns the witnesses either way, and the
+//! experiment suite quantifies the gap (experiment R6).
+
+use toposem_core::{Intension, TypeId};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Instance, Value};
+
+use crate::armstrong::ArmstrongEngine;
+use crate::check::{check_fd, satisfies};
+use crate::fd::Fd;
+use crate::propagation::propagate;
+
+/// Outcome of the soundness sweep over one context.
+#[derive(Clone, Debug, Default)]
+pub struct SoundnessReport {
+    /// Derivable FDs checked.
+    pub checked: usize,
+    /// Derivable FDs that are *not* semantically implied — each one is a
+    /// soundness bug (expected empty).
+    pub unsound: Vec<(TypeId, TypeId)>,
+}
+
+/// Outcome of the completeness sweep over one context.
+#[derive(Clone, Debug, Default)]
+pub struct CompletenessReport {
+    /// Underivable FDs checked.
+    pub checked: usize,
+    /// Underivable FDs for which the two-tuple counterexample failed to
+    /// satisfy Σ or failed to violate the goal — i.e. semantically implied
+    /// but not derivable. Empty iff the system is complete on this schema.
+    pub incomplete: Vec<(TypeId, TypeId)>,
+}
+
+/// Checks soundness of the type-level calculus in context `h`: everything
+/// derivable must be semantically implied (via the attribute baseline).
+pub fn verify_soundness(
+    engine: &ArmstrongEngine<'_>,
+    sigma: &[(TypeId, TypeId)],
+) -> SoundnessReport {
+    let mut report = SoundnessReport::default();
+    let universe = engine.universe();
+    for &x in &universe {
+        for &y in &universe {
+            if engine.derives(sigma, x, y) {
+                report.checked += 1;
+                if !engine.implied_semantically(sigma, x, y) {
+                    report.unsound.push((x, y));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Checks completeness in context `h`: everything underivable must have a
+/// genuine counterexample database (which [`counterexample`] constructs
+/// whenever the goal is not semantically implied; when the goal *is*
+/// implied yet underivable, the pair is recorded as incomplete).
+pub fn verify_completeness(
+    engine: &ArmstrongEngine<'_>,
+    sigma: &[(TypeId, TypeId)],
+) -> CompletenessReport {
+    let mut report = CompletenessReport::default();
+    let universe = engine.universe();
+    for &x in &universe {
+        for &y in &universe {
+            if !engine.derives(sigma, x, y) {
+                report.checked += 1;
+                if engine.implied_semantically(sigma, x, y) {
+                    report.incomplete.push((x, y));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Builds the classical two-tuple Armstrong counterexample for
+/// `fd(x, y, context)` under Σ, as a full [`Database`]: two context tuples
+/// agreeing exactly on the attribute closure of `A_x`. Returns `None`
+/// when the goal is semantically implied (no counterexample exists).
+///
+/// The returned database uses an all-integer domain catalog (every
+/// attribute admits 0 and 1) and on-demand containment so the two tuples
+/// live only in the context relation.
+pub fn counterexample(
+    intension: &Intension,
+    sigma: &[(TypeId, TypeId)],
+    goal: &Fd,
+) -> Option<Database> {
+    let schema = intension.schema();
+    let gen = intension.generalisation();
+    let engine = ArmstrongEngine::new(schema, gen, goal.context);
+    if engine.implied_semantically(sigma, goal.lhs, goal.rhs) {
+        return None;
+    }
+    let closed = engine.attr_closure(sigma, schema.attrs_of(goal.lhs));
+    // Integer catalog admitting {0, 1} for every attribute regardless of
+    // declared domain names.
+    let mut catalog = DomainCatalog::new();
+    for a in schema.attr_ids() {
+        catalog.bind(
+            &schema.attr(a).domain,
+            toposem_extension::DomainSpec::AnyInt,
+        );
+    }
+    let mut db = Database::new(
+        intension.clone(),
+        catalog,
+        ContainmentPolicy::OnDemand,
+    );
+    let ctx_attrs = schema.attrs_of(goal.context).clone();
+    let t1 = Instance::from_parts(
+        ctx_attrs
+            .iter()
+            .map(|a| (toposem_core::AttrId(a as u32), Value::Int(0)))
+            .collect(),
+    );
+    let t2 = Instance::from_parts(
+        ctx_attrs
+            .iter()
+            .map(|a| {
+                let v = if closed.contains(a) { 0 } else { 1 };
+                (toposem_core::AttrId(a as u32), Value::Int(v))
+            })
+            .collect(),
+    );
+    db.insert(goal.context, t1);
+    db.insert(goal.context, t2);
+    Some(db)
+}
+
+/// End-to-end witness check: the counterexample database satisfies every
+/// FD of Σ (in the goal's context) and violates the goal.
+pub fn counterexample_is_valid(
+    intension: &Intension,
+    sigma: &[(TypeId, TypeId)],
+    goal: &Fd,
+) -> bool {
+    let Some(db) = counterexample(intension, sigma, goal) else {
+        return false;
+    };
+    let sigma_fds: Vec<Fd> = sigma
+        .iter()
+        .map(|(u, v)| Fd::unchecked(*u, *v, goal.context))
+        .collect();
+    satisfies(&db, &sigma_fds) && !check_fd(&db, goal).holds()
+}
+
+/// Global implication: is `goal` derivable from `fds` using the Armstrong
+/// axioms *plus the propagation theorem* across contexts? Base FDs whose
+/// contexts generalise the goal's context apply after propagation.
+pub fn derivable_globally(intension: &Intension, fds: &[Fd], goal: &Fd) -> bool {
+    let schema = intension.schema();
+    let gen = intension.generalisation();
+    // Propagate every base FD down the ISA hierarchy, keep the ones landing
+    // in the goal's context, then run the in-context engine.
+    let propagated = propagate(intension, fds);
+    let sigma: Vec<(TypeId, TypeId)> = propagated
+        .iter()
+        .filter(|fd| fd.context == goal.context)
+        .map(|fd| (fd.lhs, fd.rhs))
+        .collect();
+    let engine = ArmstrongEngine::new(schema, gen, goal.context);
+    engine.derives(&sigma, goal.lhs, goal.rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, GeneralisationTopology, Intension};
+
+    fn intension() -> Intension {
+        Intension::analyse(employee_schema())
+    }
+
+    #[test]
+    fn soundness_on_employee_schema() {
+        let i = intension();
+        let s = i.schema();
+        let gen = i.generalisation();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(s, gen, worksfor);
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let person = s.type_id("person").unwrap();
+        for sigma in [
+            vec![],
+            vec![(employee, department)],
+            vec![(person, department), (department, person)],
+        ] {
+            let report = verify_soundness(&engine, &sigma);
+            assert!(report.unsound.is_empty(), "{report:?}");
+            assert!(report.checked > 0);
+        }
+    }
+
+    /// R6: the employee schema explicates all relevant units, so the
+    /// system is also complete there.
+    #[test]
+    fn completeness_on_employee_schema() {
+        let i = intension();
+        let s = i.schema();
+        let gen = i.generalisation();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(s, gen, worksfor);
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        for sigma in [vec![], vec![(employee, department)]] {
+            let report = verify_completeness(&engine, &sigma);
+            assert!(report.incomplete.is_empty(), "{report:?}");
+            assert!(report.checked > 0);
+        }
+    }
+
+    #[test]
+    fn counterexample_witnesses_underivability() {
+        let i = intension();
+        let s = i.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let worksfor = s.type_id("worksfor").unwrap();
+        let person = s.type_id("person").unwrap();
+        let department = s.type_id("department").unwrap();
+        // person → department is not implied by the empty Σ.
+        let goal = Fd::new(&gen, person, department, worksfor).unwrap();
+        assert!(counterexample_is_valid(&i, &[], &goal));
+    }
+
+    #[test]
+    fn no_counterexample_for_implied_goals() {
+        let i = intension();
+        let s = i.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let person = s.type_id("person").unwrap();
+        // employee → person is reflexively implied.
+        let goal = Fd::new(&gen, employee, person, worksfor).unwrap();
+        assert!(counterexample(&i, &[], &goal).is_none());
+    }
+
+    #[test]
+    fn global_derivation_uses_propagation() {
+        let i = intension();
+        let s = i.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        // Base FD stated at the employee level…
+        let base = Fd::new(&gen, person, employee, employee).unwrap();
+        // …must hold at the manager level by propagation.
+        let goal = Fd::new(&gen, person, employee, manager).unwrap();
+        assert!(derivable_globally(&i, &[base], &goal));
+        // But not at unrelated contexts lacking the base.
+        let unrelated = Fd::new(&gen, person, person, person).unwrap();
+        assert!(derivable_globally(&i, &[], &unrelated)); // reflexive
+        let not_derivable = Fd::new(&gen, person, employee, employee).unwrap();
+        assert!(!derivable_globally(&i, &[], &not_derivable));
+    }
+}

@@ -1,0 +1,153 @@
+//! Key inference: minimal determining sets of entity types for a context.
+//!
+//! A *key* of context `h` under Σ is a minimal set `X ⊆ G_h` of entity
+//! types whose combined attributes determine all of `A_h` (attribute-level
+//! semantics, which §5.1's projection definition induces). Keys are the
+//! workhorse the engine uses to pick physical identifiers for subbase
+//! relations.
+
+use toposem_core::{GeneralisationTopology, Schema, TypeId};
+use toposem_topology::BitSet;
+
+use crate::armstrong::ArmstrongEngine;
+
+/// All minimal keys of `context` under `sigma`, as sets of entity types
+/// drawn from `G_context \ {context}` (the proper generalisations; the
+/// context itself is always a trivial superkey). When no proper subset
+/// determines the context, the result is empty — the context is its own
+/// only key.
+pub fn minimal_keys(
+    schema: &Schema,
+    gen: &GeneralisationTopology,
+    context: TypeId,
+    sigma: &[(TypeId, TypeId)],
+) -> Vec<Vec<TypeId>> {
+    let engine = ArmstrongEngine::new(schema, gen, context);
+    let candidates: Vec<TypeId> = gen
+        .g_set(context)
+        .iter()
+        .map(|i| TypeId(i as u32))
+        .filter(|&t| t != context)
+        .collect();
+    let target = schema.attrs_of(context);
+    let m = candidates.len();
+    if m == 0 || m > 20 {
+        return Vec::new(); // design-time sizes only
+    }
+    let determines = |subset: &[TypeId]| -> bool {
+        let mut start = BitSet::empty(schema.attr_count());
+        for t in subset {
+            start.union_with(schema.attrs_of(*t));
+        }
+        let closed = engine.attr_closure(sigma, &start);
+        target.is_subset(&closed)
+    };
+    // Enumerate subsets in order of increasing cardinality; keep those
+    // determining the context with no smaller determining subset.
+    let mut keys: Vec<Vec<TypeId>> = Vec::new();
+    let mut masks: Vec<u32> = (0u32..(1 << m)).collect();
+    masks.sort_by_key(|mask| mask.count_ones());
+    for mask in masks {
+        if mask == 0 {
+            continue;
+        }
+        let subset: Vec<TypeId> = (0..m)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| candidates[i])
+            .collect();
+        let contains_smaller_key = keys.iter().any(|k| k.iter().all(|t| subset.contains(t)));
+        if contains_smaller_key {
+            continue;
+        }
+        if determines(&subset) {
+            keys.push(subset);
+        }
+    }
+    keys
+}
+
+/// Is `subset` a superkey of `context` under `sigma`?
+pub fn is_superkey(
+    schema: &Schema,
+    gen: &GeneralisationTopology,
+    context: TypeId,
+    sigma: &[(TypeId, TypeId)],
+    subset: &[TypeId],
+) -> bool {
+    let engine = ArmstrongEngine::new(schema, gen, context);
+    let mut start = BitSet::empty(schema.attr_count());
+    for t in subset {
+        start.union_with(schema.attrs_of(*t));
+    }
+    let closed = engine.attr_closure(sigma, &start);
+    schema.attrs_of(context).is_subset(&closed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    fn setup() -> (Schema, GeneralisationTopology) {
+        let s = employee_schema();
+        let g = GeneralisationTopology::of_schema(&s);
+        (s, g)
+    }
+
+    #[test]
+    fn worksfor_key_without_fds_is_both_contributors() {
+        let (s, g) = setup();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let person = s.type_id("person").unwrap();
+        let keys = minimal_keys(&s, &g, worksfor, &[]);
+        // Both {employee, department} and {person, department} cover all
+        // of worksfor's attributes, and neither contains the other.
+        assert_eq!(
+            keys,
+            vec![vec![employee, department], vec![person, department]]
+        );
+    }
+
+    #[test]
+    fn fd_shrinks_the_key() {
+        let (s, g) = setup();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        // employee → department: the employee alone keys worksfor.
+        // {person, department} stays minimal as a type set (it does not
+        // contain the key {employee}).
+        let person = s.type_id("person").unwrap();
+        let keys = minimal_keys(&s, &g, worksfor, &[(employee, department)]);
+        assert_eq!(keys, vec![vec![employee], vec![person, department]]);
+    }
+
+    #[test]
+    fn manager_has_no_proper_key() {
+        let (s, g) = setup();
+        let manager = s.type_id("manager").unwrap();
+        // budget is not derivable from any generalisation.
+        assert!(minimal_keys(&s, &g, manager, &[]).is_empty());
+        let employee = s.type_id("employee").unwrap();
+        assert!(!is_superkey(&s, &g, manager, &[], &[employee]));
+        assert!(is_superkey(&s, &g, manager, &[], &[manager]));
+    }
+
+    #[test]
+    fn multiple_minimal_keys() {
+        let (s, g) = setup();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let person = s.type_id("person").unwrap();
+        // person → employee and employee → department: person and employee
+        // each key worksfor (person subsumes via closure).
+        let sigma = [(person, employee), (employee, department)];
+        let keys = minimal_keys(&s, &g, worksfor, &sigma);
+        assert!(keys.contains(&vec![person]));
+        assert!(keys.contains(&vec![employee]));
+        assert_eq!(keys.len(), 2);
+    }
+}

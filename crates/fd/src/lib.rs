@@ -1,0 +1,36 @@
+//! # toposem-fd
+//!
+//! Functional dependencies over entity types (§5 of Siebes & Kersten
+//! 1987): the context-indexed FD notion, satisfaction checking via the
+//! commuting-triangle theorem, the rephrased Armstrong axioms as an
+//! inference engine, the propagation theorem, the nucleus / `DF_e`
+//! dependency domain with its mappings, key inference, and an executable
+//! soundness & completeness harness substituting for the paper's omitted
+//! proofs.
+
+pub mod armstrong;
+pub mod armstrong_relation;
+pub mod check;
+pub mod derivation;
+pub mod fd;
+pub mod implication;
+pub mod keys;
+pub mod mapping;
+pub mod min_cover;
+pub mod nucleus;
+pub mod propagation;
+
+pub use armstrong::ArmstrongEngine;
+pub use armstrong_relation::armstrong_relation;
+pub use check::{check_fd, satisfies, triangle_commutes, violated, FdCheck};
+pub use derivation::{check_proof, derive_with_proof, Derivation};
+pub use fd::{Fd, FdError};
+pub use implication::{
+    counterexample, counterexample_is_valid, derivable_globally, verify_completeness,
+    verify_soundness, CompletenessReport, SoundnessReport,
+};
+pub use keys::{is_superkey, minimal_keys};
+pub use mapping::{f_map, satisfied_fd_set, verify_fd_corollary, FdCorollaryReport};
+pub use min_cover::{equivalent, minimal_cover};
+pub use nucleus::{df_completion, is_in_df, nucleus, restrict_to_context, transitive_closure, FdPairs};
+pub use propagation::{propagate, propagated_contexts};

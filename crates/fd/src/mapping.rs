@@ -1,0 +1,220 @@
+//! Dependency mappings (§5.3): `F_e : S_e → DF_e` with the maps `pF` and
+//! `πF`, mirroring the extension mappings of §4.2.
+//!
+//! ```text
+//! F_e(f) = fd_f ∩ DF_e                        for f ∈ S_e
+//! pF(f,g,e) : F_e(f) → F_e(g)                 for S_g ⊆ S_f ⊆ S_e
+//! πF^f_g   : F_e(g) → F_f(g)
+//!
+//! Corollary: if S_g ⊆ S_f ⊆ S_e then
+//!   (a) πF^e_g = πF^e_f ∘ πF^f_g
+//!   (b) pF(f,g,e) ∘ pF(e,f,e) = pF(e,g,e)
+//!   (c) πF^f_g ∘ pF(f,g,e) = pF(f,g,f) ∘ πF^f_f   (naturality)
+//! ```
+//!
+//! "So again we translated the ordering reached at the intensional level
+//! to an ordering at a different level." Here `fd_f` is taken to be the
+//! set of dependencies *satisfied by the current database state* in
+//! context `f`, which by the propagation theorem grows along
+//! specialisation — making every `pF` an inclusion, exactly like the
+//! extension restriction maps.
+
+use toposem_core::TypeId;
+use toposem_extension::Database;
+
+use crate::check::check_fd;
+use crate::fd::Fd;
+use crate::nucleus::{restrict_to_context, FdPairs};
+
+/// `fd_f`: all FD pairs over `G_f × G_f` satisfied by the current state
+/// of `db` in context `f`.
+pub fn satisfied_fd_set(db: &Database, f: TypeId) -> FdPairs {
+    let gen = db.intension().generalisation();
+    let mut out = FdPairs::new();
+    let members: Vec<TypeId> = gen.g_set(f).iter().map(|i| TypeId(i as u32)).collect();
+    for &x in &members {
+        for &y in &members {
+            if check_fd(db, &Fd::unchecked(x, y, f)).holds() {
+                out.insert((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// `F_e(f) = fd_f ∩ DF_e`: the dependencies of context `f` expressible in
+/// the universe of `e`. Defined for `f ∈ S_e`.
+pub fn f_map(db: &Database, e: TypeId, f: TypeId) -> FdPairs {
+    assert!(
+        db.intension().specialisation().is_specialisation(f, e),
+        "F_e(f) requires f ∈ S_e"
+    );
+    let gen = db.intension().generalisation();
+    restrict_to_context(gen, e, &satisfied_fd_set(db, f))
+}
+
+/// Report of the §5.3 corollary checks on concrete data.
+#[derive(Clone, Debug, Default)]
+pub struct FdCorollaryReport {
+    /// Chains `(g, f, e)` with `S_g ⊆ S_f ⊆ S_e` checked.
+    pub chains_checked: usize,
+    /// Propagation failures: `F_e(f) ⊄ F_e(g)` for `g ∈ S_f` (pF not an
+    /// inclusion).
+    pub failed_inclusion: Vec<(TypeId, TypeId, TypeId)>,
+    /// Naturality failures: restricting to `e` then widening to `f`
+    /// disagrees with widening first.
+    pub failed_naturality: Vec<(TypeId, TypeId, TypeId)>,
+}
+
+impl FdCorollaryReport {
+    /// True when every identity held.
+    pub fn all_hold(&self) -> bool {
+        self.failed_inclusion.is_empty() && self.failed_naturality.is_empty()
+    }
+}
+
+/// Verifies the dependency-mapping corollary on every chain
+/// `S_g ⊆ S_f ⊆ S_e` of the intension, against the satisfied-FD sets of
+/// the current database state.
+pub fn verify_fd_corollary(db: &Database) -> FdCorollaryReport {
+    let schema = db.schema();
+    let spec = db.intension().specialisation();
+    let gen = db.intension().generalisation();
+    let mut report = FdCorollaryReport::default();
+    // Precompute fd_f per context.
+    let satisfied: Vec<FdPairs> = schema
+        .type_ids()
+        .map(|f| satisfied_fd_set(db, f))
+        .collect();
+    for e in schema.type_ids() {
+        for f in schema.type_ids() {
+            if !spec.is_specialisation(f, e) {
+                continue;
+            }
+            for g in schema.type_ids() {
+                if !spec.is_specialisation(g, f) {
+                    continue;
+                }
+                report.chains_checked += 1;
+                // (b) inclusions: F_e(e) ⊆ F_e(f) ⊆ F_e(g) — propagation.
+                let fe_e = restrict_to_context(gen, e, &satisfied[e.index()]);
+                let fe_f = restrict_to_context(gen, e, &satisfied[f.index()]);
+                let fe_g = restrict_to_context(gen, e, &satisfied[g.index()]);
+                if !(fe_e.is_subset(&fe_f) && fe_f.is_subset(&fe_g)) {
+                    report.failed_inclusion.push((g, f, e));
+                }
+                // (a)/(c) naturality: restricting fd_g to e directly equals
+                // restricting to f first, then to e.
+                let via_f = restrict_to_context(
+                    gen,
+                    e,
+                    &restrict_to_context(gen, f, &satisfied[g.index()]),
+                );
+                if via_f != fe_g {
+                    report.failed_naturality.push((g, f, e));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn loaded_db() -> Database {
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let manager = s.type_id("manager").unwrap();
+        let worksfor = s.type_id("worksfor").unwrap();
+        for (n, a, d, b) in [("ann", 40, "sales", 100), ("bob", 30, "research", 200)] {
+            db.insert_fields(
+                manager,
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                    ("budget", Value::Int(b)),
+                ],
+            )
+            .unwrap();
+        }
+        db.insert_fields(
+            worksfor,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn satisfied_sets_contain_nucleus() {
+        let db = loaded_db();
+        let gen = db.intension().generalisation();
+        for f in db.schema().type_ids() {
+            let sat = satisfied_fd_set(&db, f);
+            let nuc = crate::nucleus::nucleus(gen, f);
+            assert!(
+                nuc.is_subset(&sat),
+                "nucleus must always hold in {}",
+                db.schema().type_name(f)
+            );
+        }
+    }
+
+    #[test]
+    fn f_map_requires_specialisation() {
+        let db = loaded_db();
+        let s = db.schema();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        // employee ∈ S_person: fine.
+        let _ = f_map(&db, person, employee);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires f ∈ S_e")]
+    fn f_map_panics_outside_s_e() {
+        let db = loaded_db();
+        let s = db.schema();
+        let person = s.type_id("person").unwrap();
+        let department = s.type_id("department").unwrap();
+        let _ = f_map(&db, person, department);
+    }
+
+    /// R7: the dependency-mapping corollary on real data.
+    #[test]
+    fn corollary_holds_on_loaded_database() {
+        let db = loaded_db();
+        let report = verify_fd_corollary(&db);
+        assert!(report.all_hold(), "{report:?}");
+        assert!(report.chains_checked >= 5);
+    }
+
+    #[test]
+    fn propagation_makes_f_maps_monotone() {
+        let db = loaded_db();
+        let s = db.schema();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        // F_person(person) ⊆ F_person(employee) ⊆ F_person(manager).
+        let a = f_map(&db, person, person);
+        let b = f_map(&db, person, employee);
+        let c = f_map(&db, person, manager);
+        assert!(a.is_subset(&b));
+        assert!(b.is_subset(&c));
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal covers of entity-type FD sets.
+//!
+//! A *minimal cover* of Σ is an equivalent FD set with no redundant
+//! dependency: removing any member weakens the semantic closure. The
+//! designer-facing use is the same as classically — present the smallest
+//! set of constraints that says everything Σ says — but membership is
+//! judged by the paper's type-level semantics (attribute projections in a
+//! context).
+
+use toposem_core::TypeId;
+
+use crate::armstrong::ArmstrongEngine;
+
+/// Removes semantically redundant FDs from `sigma` (same context),
+/// returning a subset with the same semantic closure from which no
+/// further member can be dropped. Deterministic: members are considered
+/// for removal in reverse declaration order.
+pub fn minimal_cover(
+    engine: &ArmstrongEngine<'_>,
+    sigma: &[(TypeId, TypeId)],
+) -> Vec<(TypeId, TypeId)> {
+    let mut keep: Vec<(TypeId, TypeId)> = sigma.to_vec();
+    // Drop duplicates first.
+    keep.dedup();
+    let mut i = keep.len();
+    while i > 0 {
+        i -= 1;
+        let candidate = keep[i];
+        let mut trial = keep.clone();
+        trial.remove(i);
+        // Redundant iff the rest still implies it.
+        if engine.implied_semantically(&trial, candidate.0, candidate.1) {
+            keep = trial;
+        }
+    }
+    keep
+}
+
+/// Are two FD sets semantically equivalent in the engine's context?
+pub fn equivalent(
+    engine: &ArmstrongEngine<'_>,
+    a: &[(TypeId, TypeId)],
+    b: &[(TypeId, TypeId)],
+) -> bool {
+    a.iter().all(|&(x, y)| engine.implied_semantically(b, x, y))
+        && b.iter().all(|&(x, y)| engine.implied_semantically(a, x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, GeneralisationTopology, Schema};
+
+    struct Setup {
+        schema: Schema,
+        gen: GeneralisationTopology,
+    }
+
+    fn setup() -> Setup {
+        let schema = employee_schema();
+        let gen = GeneralisationTopology::of_schema(&schema);
+        Setup { schema, gen }
+    }
+
+    #[test]
+    fn drops_reflexive_and_transitive_redundancy() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let person = s.schema.type_id("person").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let sigma = vec![
+            (employee, person),      // reflexive: implied by ∅
+            (person, employee),      // genuine
+            (employee, department),  // genuine
+            (person, department),    // transitive consequence
+        ];
+        let min = minimal_cover(&engine, &sigma);
+        assert!(equivalent(&engine, &sigma, &min));
+        assert_eq!(min, vec![(person, employee), (employee, department)]);
+    }
+
+    #[test]
+    fn minimal_cover_of_empty_is_empty() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        assert!(minimal_cover(&engine, &[]).is_empty());
+    }
+
+    #[test]
+    fn irredundant_sets_survive_unchanged() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let person = s.schema.type_id("person").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let sigma = vec![(person, department)];
+        assert_eq!(minimal_cover(&engine, &sigma), sigma);
+    }
+
+    #[test]
+    fn result_is_actually_minimal() {
+        let s = setup();
+        let worksfor = s.schema.type_id("worksfor").unwrap();
+        let engine = ArmstrongEngine::new(&s.schema, &s.gen, worksfor);
+        let person = s.schema.type_id("person").unwrap();
+        let employee = s.schema.type_id("employee").unwrap();
+        let department = s.schema.type_id("department").unwrap();
+        let sigma = vec![
+            (person, employee),
+            (employee, department),
+            (department, person),
+            (person, department),
+        ];
+        let min = minimal_cover(&engine, &sigma);
+        assert!(equivalent(&engine, &sigma, &min));
+        for i in 0..min.len() {
+            let mut trial = min.clone();
+            trial.remove(i);
+            assert!(!equivalent(&engine, &min, &trial), "member {i} was redundant");
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! The propagation theorem (§5.2).
+//!
+//! ```text
+//! Theorem: e, f ∈ G_g, fd(e, f, g), h ∈ S_g  ⇒  fd(e, f, h)
+//! ```
+//!
+//! Dependencies extend down ISA hierarchies "in a way that is not captured
+//! by the axioms"; together with the Armstrong axioms this yields the
+//! globally sound and complete system. The proof (omitted in the paper)
+//! rests on the containment condition: tuples of `R_h` project into `R_g`,
+//! where the dependency already binds them.
+
+use toposem_core::{Intension, TypeId};
+
+use crate::fd::Fd;
+
+/// All FDs obtained from `fds` by propagating each one to every
+/// specialisation of its context (including the original).
+pub fn propagate(intension: &Intension, fds: &[Fd]) -> Vec<Fd> {
+    let spec = intension.specialisation();
+    let mut out = Vec::new();
+    for fd in fds {
+        for hi in spec.s_set(fd.context).iter() {
+            out.push(Fd {
+                lhs: fd.lhs,
+                rhs: fd.rhs,
+                context: TypeId(hi as u32),
+            });
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The propagated context set of one FD: `S_g` for its context `g`.
+pub fn propagated_contexts(intension: &Intension, fd: &Fd) -> Vec<TypeId> {
+    intension
+        .specialisation()
+        .s_set(fd.context)
+        .iter()
+        .map(|i| TypeId(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_fd, satisfies};
+    use toposem_core::{employee_schema, GeneralisationTopology, Intension};
+    use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+
+    fn intension() -> Intension {
+        Intension::analyse(employee_schema())
+    }
+
+    #[test]
+    fn propagation_targets_are_specialisations() {
+        let i = intension();
+        let s = i.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let person = s.type_id("person").unwrap();
+        // fd(person, person, person) propagates to all specialisations of
+        // person: employee, manager, worksfor.
+        let fd = Fd::new(&gen, person, person, person).unwrap();
+        let contexts = propagated_contexts(&i, &fd);
+        let names: Vec<&str> = contexts.iter().map(|&c| s.type_name(c)).collect();
+        assert_eq!(names, vec!["employee", "person", "manager", "worksfor"]);
+    }
+
+    #[test]
+    fn propagate_deduplicates() {
+        let i = intension();
+        let s = i.schema();
+        let gen = GeneralisationTopology::of_schema(s);
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let fd_p = Fd::new(&gen, person, person, person).unwrap();
+        let fd_e = Fd::new(&gen, person, person, employee).unwrap();
+        // fd_e is already among fd_p's propagations.
+        let all = propagate(&i, &[fd_p, fd_e]);
+        let count = all.iter().filter(|f| f.context == employee).count();
+        assert_eq!(count, 1);
+    }
+
+    /// The theorem, checked semantically: a database satisfying fd(e,f,g)
+    /// with maintained containment satisfies fd(e,f,h) for every h ∈ S_g.
+    #[test]
+    fn propagation_holds_semantically() {
+        let i = intension();
+        let s = i.schema().clone();
+        let gen = GeneralisationTopology::of_schema(&s);
+        let mut db = Database::new(
+            intension(),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let manager = s.type_id("manager").unwrap();
+        // Managers: name determines department (one job each).
+        for (n, a, d, b) in [
+            ("ann", 40, "sales", 100),
+            ("bob", 30, "research", 200),
+            ("carol", 50, "sales", 300),
+        ] {
+            db.insert_fields(
+                manager,
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                    ("budget", Value::Int(b)),
+                ],
+            )
+            .unwrap();
+        }
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        // fd(person, employee, employee): a person is one employee.
+        let base = Fd::new(&gen, person, employee, employee).unwrap();
+        assert!(check_fd(&db, &base).holds());
+        // It must propagate to manager (and worksfor, trivially empty).
+        let propagated = propagate(&i, &[base]);
+        assert!(propagated.len() >= 2);
+        assert!(satisfies(&db, &propagated));
+    }
+}

@@ -1,0 +1,285 @@
+//! Property-based substitutes for the §5 proofs the paper omits.
+//!
+//! - Soundness of the type-level Armstrong calculus: everything derivable
+//!   is semantically implied — on *arbitrary* random schemas.
+//! - Completeness: on schemas that honour the Integrity Axiom's discipline
+//!   (every nonempty intersection of entity types is itself explicated as
+//!   an entity type), everything semantically implied is derivable.
+//! - The propagation theorem, checked semantically on random extensions.
+//! - Counterexample construction: two-tuple Armstrong witnesses.
+
+use proptest::prelude::*;
+use toposem_core::{GeneralisationTopology, Intension, Schema, SchemaBuilder, TypeId};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, DomainSpec, Value};
+use toposem_fd::{
+    check_fd, counterexample_is_valid, satisfies, verify_completeness, verify_soundness,
+    ArmstrongEngine, Fd,
+};
+
+const N_ATTRS: usize = 5;
+
+/// Random schema from distinct attribute-set masks.
+fn schema_from_masks(masks: &[u32]) -> Schema {
+    let mut b = SchemaBuilder::new();
+    for i in 0..N_ATTRS {
+        b.attribute(&format!("a{i}"), &format!("d{i}"));
+    }
+    let names: Vec<String> = (0..N_ATTRS).map(|i| format!("a{i}")).collect();
+    for (t, mask) in masks.iter().enumerate() {
+        let attrs: Vec<&str> = (0..N_ATTRS)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| names[i].as_str())
+            .collect();
+        b.entity_type(&format!("t{t}"), &attrs);
+    }
+    b.build_strict().expect("distinct masks")
+}
+
+fn random_masks() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(1u32..(1 << N_ATTRS), 1..10)
+        .prop_map(|s| s.into_iter().collect())
+}
+
+/// Closes a mask set under nonempty pairwise intersection — the Integrity
+/// Axiom's "explicate every semantic unit" discipline.
+fn intersection_close(masks: &[u32]) -> Vec<u32> {
+    let mut set: std::collections::BTreeSet<u32> = masks.iter().copied().collect();
+    loop {
+        let mut additions = Vec::new();
+        for &a in &set {
+            for &b in &set {
+                let c = a & b;
+                if c != 0 && !set.contains(&c) {
+                    additions.push(c);
+                }
+            }
+        }
+        if additions.is_empty() {
+            return set.into_iter().collect();
+        }
+        set.extend(additions);
+    }
+}
+
+/// Random Σ for a context: pairs of generalisations of the context.
+fn random_sigma(
+    schema: &Schema,
+    gen: &GeneralisationTopology,
+    context: TypeId,
+    picks: &[(usize, usize)],
+) -> Vec<(TypeId, TypeId)> {
+    let members: Vec<TypeId> = gen.g_set(context).iter().map(|i| TypeId(i as u32)).collect();
+    let _ = schema;
+    picks
+        .iter()
+        .map(|(i, j)| (members[i % members.len()], members[j % members.len()]))
+        .collect()
+}
+
+proptest! {
+    /// Soundness on arbitrary schemas: derivable ⇒ semantically implied.
+    #[test]
+    fn armstrong_is_sound(
+        masks in random_masks(),
+        picks in prop::collection::vec((0usize..8, 0usize..8), 0..5),
+        ctx_pick in 0usize..8,
+    ) {
+        let schema = schema_from_masks(&masks);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let context = TypeId((ctx_pick % schema.type_count()) as u32);
+        let sigma = random_sigma(&schema, &gen, context, &picks);
+        let engine = ArmstrongEngine::new(&schema, &gen, context);
+        let report = verify_soundness(&engine, &sigma);
+        prop_assert!(report.unsound.is_empty(), "{:?}", report.unsound);
+    }
+
+    /// R6 headline: completeness on intersection-closed schemas.
+    #[test]
+    fn armstrong_is_complete_on_explicated_schemas(
+        masks in random_masks(),
+        picks in prop::collection::vec((0usize..8, 0usize..8), 0..5),
+        ctx_pick in 0usize..8,
+    ) {
+        let closed = intersection_close(&masks);
+        if closed.len() > 24 {
+            return Ok(()); // keep the exhaustive sweep cheap
+        }
+        let schema = schema_from_masks(&closed);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let context = TypeId((ctx_pick % schema.type_count()) as u32);
+        let sigma = random_sigma(&schema, &gen, context, &picks);
+        let engine = ArmstrongEngine::new(&schema, &gen, context);
+        let report = verify_completeness(&engine, &sigma);
+        prop_assert!(
+            report.incomplete.is_empty(),
+            "incomplete on intersection-closed schema: {:?}",
+            report.incomplete
+        );
+    }
+
+    /// Counterexamples: for underivable goals that are also semantically
+    /// unimplied, the two-tuple witness satisfies Σ and violates the goal.
+    #[test]
+    fn counterexamples_are_genuine(
+        masks in random_masks(),
+        picks in prop::collection::vec((0usize..8, 0usize..8), 0..4),
+        ctx_pick in 0usize..8,
+        goal_pick in (0usize..8, 0usize..8),
+    ) {
+        let schema = schema_from_masks(&masks);
+        let gen = GeneralisationTopology::of_schema(&schema);
+        let context = TypeId((ctx_pick % schema.type_count()) as u32);
+        let sigma = random_sigma(&schema, &gen, context, &picks);
+        let engine = ArmstrongEngine::new(&schema, &gen, context);
+        let members: Vec<TypeId> = gen.g_set(context).iter().map(|i| TypeId(i as u32)).collect();
+        let x = members[goal_pick.0 % members.len()];
+        let y = members[goal_pick.1 % members.len()];
+        if !engine.implied_semantically(&sigma, x, y) {
+            let intension = Intension::analyse(schema);
+            let goal = Fd::unchecked(x, y, context);
+            prop_assert!(counterexample_is_valid(&intension, &sigma, &goal));
+        }
+    }
+
+    /// The propagation theorem semantically: any database (random
+    /// extensions under Eager containment) satisfying fd(e,f,g) satisfies
+    /// fd(e,f,h) for h ∈ S_g.
+    #[test]
+    fn propagation_theorem_semantic(
+        masks in random_masks(),
+        rows in prop::collection::vec(prop::collection::vec(0i64..3, N_ATTRS), 0..12),
+    ) {
+        let schema = schema_from_masks(&masks);
+        let intension = Intension::analyse(schema.clone());
+        let mut catalog = DomainCatalog::new();
+        for i in 0..N_ATTRS {
+            catalog.bind(&format!("d{i}"), DomainSpec::AnyInt);
+        }
+        let mut db = Database::new(intension.clone(), catalog, ContainmentPolicy::Eager);
+        // Load each row into a round-robin entity type.
+        for (k, row) in rows.iter().enumerate() {
+            let e = TypeId((k % schema.type_count()) as u32);
+            let fields: Vec<(toposem_core::AttrId, Value)> = schema
+                .attrs_of(e)
+                .iter()
+                .map(|a| (toposem_core::AttrId(a as u32), Value::Int(row[a])))
+                .collect();
+            db.insert(e, toposem_extension::Instance::from_parts(fields));
+        }
+        let gen = intension.generalisation();
+        let spec = intension.specialisation();
+        for g in schema.type_ids() {
+            let members: Vec<TypeId> =
+                gen.g_set(g).iter().map(|i| TypeId(i as u32)).collect();
+            for &e in &members {
+                for &f in &members {
+                    let base = Fd::unchecked(e, f, g);
+                    if check_fd(&db, &base).holds() {
+                        for hi in spec.s_set(g).iter() {
+                            let h = TypeId(hi as u32);
+                            let prop_fd = Fd::unchecked(e, f, h);
+                            prop_assert!(
+                                check_fd(&db, &prop_fd).holds(),
+                                "propagation failed: {} at {}",
+                                base.display(&schema),
+                                schema.type_name(h)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Derived FDs hold on any database satisfying Σ (soundness against
+    /// real data, not just the attribute baseline).
+    #[test]
+    fn derived_fds_hold_on_satisfying_databases(
+        masks in random_masks(),
+        rows in prop::collection::vec(prop::collection::vec(0i64..2, N_ATTRS), 0..8),
+        picks in prop::collection::vec((0usize..8, 0usize..8), 0..3),
+        ctx_pick in 0usize..8,
+    ) {
+        let schema = schema_from_masks(&masks);
+        let intension = Intension::analyse(schema.clone());
+        let mut catalog = DomainCatalog::new();
+        for i in 0..N_ATTRS {
+            catalog.bind(&format!("d{i}"), DomainSpec::AnyInt);
+        }
+        let context = TypeId((ctx_pick % schema.type_count()) as u32);
+        let mut db = Database::new(intension.clone(), catalog, ContainmentPolicy::Eager);
+        for row in &rows {
+            let fields: Vec<(toposem_core::AttrId, Value)> = schema
+                .attrs_of(context)
+                .iter()
+                .map(|a| (toposem_core::AttrId(a as u32), Value::Int(row[a])))
+                .collect();
+            db.insert(context, toposem_extension::Instance::from_parts(fields));
+        }
+        let gen = intension.generalisation();
+        let sigma = random_sigma(&schema, gen, context, &picks);
+        let sigma_fds: Vec<Fd> = sigma
+            .iter()
+            .map(|(u, v)| Fd::unchecked(*u, *v, context))
+            .collect();
+        if satisfies(&db, &sigma_fds) {
+            let engine = ArmstrongEngine::new(&schema, gen, context);
+            for fd in engine.derivable_fds(&sigma) {
+                prop_assert!(
+                    check_fd(&db, &fd).holds(),
+                    "derived FD {} violated",
+                    fd.display(&schema)
+                );
+            }
+        }
+    }
+}
+
+/// A deterministic incompleteness witness on a schema that hides its
+/// intersections — documents why the Integrity Axiom's explication
+/// discipline matters (recorded in EXPERIMENTS.md under R6).
+#[test]
+fn incompleteness_without_explicated_intersections() {
+    // Types: X = {a0}, Y = {a0, a1}, W = {a1, a2}. Σ = {X → W}.
+    // Semantically {a0}⁺ = {a0, a1, a2} ⊇ A_Y, so X → Y is implied; but the
+    // type calculus cannot assemble Y (its only generalisation is X and
+    // A_Y ≠ A_X), so X → Y is underivable.
+    let mut b = SchemaBuilder::new();
+    for i in 0..3 {
+        b.attribute(&format!("a{i}"), &format!("d{i}"));
+    }
+    let x = b.entity_type("x", &["a0"]);
+    let y = b.entity_type("y", &["a0", "a1"]);
+    let w = b.entity_type("w", &["a1", "a2"]);
+    // Context: a type specialising everything.
+    b.entity_type("all", &["a0", "a1", "a2"]);
+    let schema = b.build_strict().unwrap();
+    let gen = GeneralisationTopology::of_schema(&schema);
+    let context = schema.type_id("all").unwrap();
+    let engine = ArmstrongEngine::new(&schema, &gen, context);
+    let sigma = [(x, w)];
+    assert!(engine.implied_semantically(&sigma, x, y));
+    assert!(!engine.derives(&sigma, x, y));
+    let report = verify_completeness(&engine, &sigma);
+    assert!(report.incomplete.contains(&(x, y)));
+    // Explicating the missing unit {a1} restores completeness.
+    let mut b2 = SchemaBuilder::new();
+    for i in 0..3 {
+        b2.attribute(&format!("a{i}"), &format!("d{i}"));
+    }
+    b2.entity_type("x", &["a0"]);
+    b2.entity_type("y", &["a0", "a1"]);
+    b2.entity_type("w", &["a1", "a2"]);
+    b2.entity_type("b", &["a1"]); // the explicated intersection
+    b2.entity_type("all", &["a0", "a1", "a2"]);
+    let schema2 = b2.build_strict().unwrap();
+    let gen2 = GeneralisationTopology::of_schema(&schema2);
+    let ctx2 = schema2.type_id("all").unwrap();
+    let engine2 = ArmstrongEngine::new(&schema2, &gen2, ctx2);
+    let x2 = schema2.type_id("x").unwrap();
+    let y2 = schema2.type_id("y").unwrap();
+    let w2 = schema2.type_id("w").unwrap();
+    assert!(engine2.derives(&[(x2, w2)], x2, y2));
+    let report2 = verify_completeness(&engine2, &[(x2, w2)]);
+    assert!(report2.incomplete.is_empty());
+}

@@ -1,0 +1,318 @@
+//! The extension presheaf: §4.2's mappings `E_e` / `p(h,f,e)` as an
+//! actual presheaf on the specialisation topology.
+//!
+//! For an open set `U` of the specialisation space (a set of entity types
+//! closed under specialisation), a **section over `U`** is a *compatible
+//! family*: one instance per type in `U` such that whenever `f ∈ S_e`
+//! (both in `U`), the instance at `e` is the projection of the instance
+//! at `f`. A section over `S_e` is exactly the paper's F1 picture — "a
+//! single cut" through the attribute disks, seen at every level of the
+//! ISA hierarchy at once.
+//!
+//! Restriction maps just drop family members, so the functor laws hold by
+//! construction; what is *checked* here is the sheaf condition — locality
+//! and gluing of compatible families over open covers — and how gluing
+//! failures relate to Extension Axiom violations.
+
+use std::collections::BTreeMap;
+
+use toposem_core::TypeId;
+use toposem_extension::{Database, Instance};
+use toposem_topology::BitSet;
+
+/// A compatible family of instances over an open set of entity types.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Family {
+    /// `type → instance`, covering exactly the open's members.
+    pub members: BTreeMap<TypeId, Instance>,
+}
+
+impl Family {
+    /// The family restricted to a smaller open.
+    pub fn restrict(&self, open: &BitSet) -> Family {
+        Family {
+            members: self
+                .members
+                .iter()
+                .filter(|(t, _)| open.contains(t.index()))
+                .map(|(t, i)| (*t, i.clone()))
+                .collect(),
+        }
+    }
+}
+
+/// The extension presheaf of a database.
+pub struct ExtensionPresheaf<'a> {
+    db: &'a Database,
+}
+
+impl<'a> ExtensionPresheaf<'a> {
+    /// Wraps a database.
+    pub fn new(db: &'a Database) -> Self {
+        ExtensionPresheaf { db }
+    }
+
+    /// Is a family compatible over `open`? Every member must be an
+    /// instance of its type's extension, and projections must agree along
+    /// the specialisation order within the open.
+    pub fn is_section(&self, open: &BitSet, family: &Family) -> bool {
+        let schema = self.db.schema();
+        let spec = self.db.intension().specialisation();
+        // Exact coverage.
+        if family.members.len() != open.card()
+            || !family.members.keys().all(|t| open.contains(t.index()))
+        {
+            return false;
+        }
+        for (&t, inst) in &family.members {
+            if !self.db.extension(t).contains(inst) {
+                return false;
+            }
+        }
+        for (&e, ie) in &family.members {
+            for (&f, if_) in &family.members {
+                if e != f && spec.is_specialisation(f, e) {
+                    // e is a generalisation of f: i_e must be π(i_f).
+                    if &if_.project(schema.attrs_of(e)) != ie {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Enumerates all sections over `open` (product of extensions filtered
+    /// by compatibility; exponential — test-sized extensions only).
+    pub fn sections_over(&self, open: &BitSet) -> Vec<Family> {
+        let types: Vec<TypeId> = open.iter().map(|i| TypeId(i as u32)).collect();
+        let mut families: Vec<BTreeMap<TypeId, Instance>> = vec![BTreeMap::new()];
+        for &t in &types {
+            let ext: Vec<Instance> = self.db.extension(t).iter().cloned().collect();
+            let mut next = Vec::new();
+            for fam in &families {
+                for inst in &ext {
+                    let mut f = fam.clone();
+                    f.insert(t, inst.clone());
+                    next.push(f);
+                }
+            }
+            families = next;
+        }
+        families
+            .into_iter()
+            .map(|members| Family { members })
+            .filter(|f| self.is_section(open, f))
+            .collect()
+    }
+
+    /// Locality over a cover: sections agreeing on all cover members are
+    /// equal. Holds automatically when the cover covers (restrictions are
+    /// literal sub-families); checked exhaustively anyway.
+    pub fn locality_holds(&self, open: &BitSet, cover: &[BitSet]) -> bool {
+        let sections = self.sections_over(open);
+        for (i, s1) in sections.iter().enumerate() {
+            for s2 in sections.iter().skip(i + 1) {
+                if cover.iter().all(|c| s1.restrict(c) == s2.restrict(c)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Gluing over a cover: every pairwise-compatible family of sections
+    /// over the cover members assembles to a global section. Returns the
+    /// number of compatible families that FAILED to glue (0 = sheaf-like
+    /// on this cover).
+    pub fn gluing_failures(&self, open: &BitSet, cover: &[BitSet]) -> usize {
+        let member_sections: Vec<Vec<Family>> =
+            cover.iter().map(|c| self.sections_over(c)).collect();
+        let globals = self.sections_over(open);
+        let mut failures = 0;
+        let mut idx = vec![0usize; cover.len()];
+        if member_sections.iter().any(Vec::is_empty) {
+            return 0; // no families to glue
+        }
+        loop {
+            // Pairwise compatibility on overlaps.
+            let compatible = (0..cover.len()).all(|i| {
+                ((i + 1)..cover.len()).all(|j| {
+                    let inter = cover[i].intersection(&cover[j]);
+                    member_sections[i][idx[i]].restrict(&inter)
+                        == member_sections[j][idx[j]].restrict(&inter)
+                })
+            });
+            if compatible {
+                // Assemble and look for a global section matching.
+                let mut assembled = BTreeMap::new();
+                for (i, _) in cover.iter().enumerate() {
+                    for (t, inst) in &member_sections[i][idx[i]].members {
+                        assembled.insert(*t, inst.clone());
+                    }
+                }
+                let assembled = Family { members: assembled };
+                if !globals.contains(&assembled) {
+                    failures += 1;
+                }
+            }
+            // Odometer.
+            let mut k = 0;
+            loop {
+                if k == cover.len() {
+                    return failures;
+                }
+                idx[k] += 1;
+                if idx[k] < member_sections[k].len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn loaded_db() -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        d.insert_fields(
+            s.type_id("manager").unwrap(),
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        d.insert_fields(
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str("bob")),
+                ("age", Value::Int(30)),
+                ("depname", Value::str("research")),
+            ],
+        )
+        .unwrap();
+        d.insert_fields(
+            s.type_id("worksfor").unwrap(),
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        d
+    }
+
+    /// Sections over S_e = cuts through the disk diagram (F1).
+    #[test]
+    fn sections_over_s_person_are_consistent_cuts() {
+        let db = loaded_db();
+        let p = ExtensionPresheaf::new(&db);
+        let s = db.schema();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        // S_employee = {employee, manager, worksfor} (an open by
+        // construction): only ann is a manager AND in a worksfor fact, so
+        // exactly one compatible cut exists, and it is ann at every level.
+        let open = db.intension().specialisation().s_set(employee).clone();
+        let sections = p.sections_over(&open);
+        assert_eq!(sections.len(), 1, "only ann cuts all three disks");
+        let fam = &sections[0];
+        let name = s.attr_id("name").unwrap();
+        for inst in fam.members.values() {
+            assert_eq!(inst.get(name), Some(&Value::str("ann")));
+        }
+        // The same over S_person (adds the person level).
+        let open_p = db.intension().specialisation().s_set(person).clone();
+        let sections_p = p.sections_over(&open_p);
+        assert_eq!(sections_p.len(), 1);
+    }
+
+    #[test]
+    fn incompatible_families_are_rejected() {
+        let db = loaded_db();
+        let p = ExtensionPresheaf::new(&db);
+        let s = db.schema();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let open = BitSet::from_indices(
+            s.type_count(),
+            [person.index(), employee.index()],
+        );
+        // Mix ann's employee instance with bob's person projection.
+        let ann_emp = db
+            .extension(employee)
+            .iter()
+            .find(|t| t.get(s.attr_id("name").unwrap()) == Some(&Value::str("ann")))
+            .unwrap()
+            .clone();
+        let bob_person = db
+            .extension(person)
+            .iter()
+            .find(|t| t.get(s.attr_id("name").unwrap()) == Some(&Value::str("bob")))
+            .unwrap()
+            .clone();
+        let fam = Family {
+            members: [(person, bob_person), (employee, ann_emp)].into_iter().collect(),
+        };
+        assert!(!p.is_section(&open, &fam));
+    }
+
+    #[test]
+    fn singleton_opens_have_extension_many_sections() {
+        let db = loaded_db();
+        let p = ExtensionPresheaf::new(&db);
+        let s = db.schema();
+        let manager = s.type_id("manager").unwrap();
+        // S_manager = {manager} is open; sections = manager extension.
+        let open = db.intension().specialisation().s_set(manager).clone();
+        assert_eq!(p.sections_over(&open).len(), db.extension(manager).len());
+    }
+
+    #[test]
+    fn locality_holds_on_covers() {
+        let db = loaded_db();
+        let p = ExtensionPresheaf::new(&db);
+        let s = db.schema();
+        let spec = db.intension().specialisation();
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        // Cover S_employee by {S_manager, S_worksfor, S_employee}: the
+        // trivial cover including the open itself.
+        let open = spec.s_set(employee).clone();
+        let cover = vec![spec.s_set(manager).clone(), open.clone()];
+        assert!(p.locality_holds(&open, &cover));
+        let _ = person;
+    }
+
+    #[test]
+    fn gluing_succeeds_on_consistent_data() {
+        let db = loaded_db();
+        let p = ExtensionPresheaf::new(&db);
+        let s = db.schema();
+        let spec = db.intension().specialisation();
+        let employee = s.type_id("employee").unwrap();
+        let manager = s.type_id("manager").unwrap();
+        let open = spec.s_set(manager).clone();
+        // Trivial cover of S_manager by itself plus a sub-open.
+        let cover = vec![open.clone()];
+        assert_eq!(p.gluing_failures(&open, &cover), 0);
+        let _ = employee;
+    }
+}

@@ -1,0 +1,13 @@
+//! # toposem-sheaf
+//!
+//! Presheaves and the sheaf condition over finite spaces (§6 of
+//! Siebes & Kersten 1987, after Tennison's *Sheaf Theory*), plus the
+//! **extension presheaf**: the §4.2 extension mappings `E_e` / `p(h,f,e)`
+//! realised as a presheaf on the specialisation topology whose sections
+//! over `S_e` are the "single cuts" of the paper's disk diagram.
+
+pub mod extension_presheaf;
+pub mod presheaf;
+
+pub use extension_presheaf::{ExtensionPresheaf, Family};
+pub use presheaf::{Presheaf, PresheafLawViolation};

@@ -1,0 +1,163 @@
+//! Physical catalog: subbase-only storage and derivation of constructed
+//! types.
+//!
+//! §3.1: the chosen subbase `R_T` tells the designer "which entities are
+//! really essential and which entities should be considered derivable".
+//! The catalog takes that literally: with
+//! [`StoragePlan::SubbaseOnly`], only the primitive entity types get
+//! physical relations; constructed types are *derived on demand* from the
+//! join of their contributor extensions (legitimate exactly because the
+//! Extension Axiom says the contributors fully determine them). This is
+//! the ablation benchmarked in `bench_r1_subbase`.
+
+use toposem_core::TypeId;
+use toposem_extension::{multi_join, Database, Relation};
+
+/// Which entity types get physical storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoragePlan {
+    /// Every entity type is materialised (the extension crate's default).
+    MaterialiseAll,
+    /// Only the subbase types are materialised; constructed types are
+    /// derived from contributors when read.
+    SubbaseOnly,
+}
+
+/// The physical catalog: the plan plus the derivation logic.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    plan: StoragePlan,
+}
+
+impl Catalog {
+    /// Catalog with the given plan.
+    pub fn new(plan: StoragePlan) -> Self {
+        Catalog { plan }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> StoragePlan {
+        self.plan
+    }
+
+    /// Is `e` physically stored under this plan?
+    pub fn is_stored(&self, db: &Database, e: TypeId) -> bool {
+        match self.plan {
+            StoragePlan::MaterialiseAll => true,
+            StoragePlan::SubbaseOnly => db.intension().is_primitive(e),
+        }
+    }
+
+    /// Reads the extension of `e`: directly when stored, otherwise derived
+    /// as the join of its contributors' extensions restricted to tuples
+    /// admissible for `e` (constructed types add no attributes beyond
+    /// their contributors, so the join *is* the derivation).
+    pub fn read(&self, db: &Database, e: TypeId) -> Relation {
+        if self.is_stored(db, e) {
+            return db.extension(e);
+        }
+        let contributors = db.intension().contributors_of(e);
+        if contributors.is_empty() {
+            return db.extension(e);
+        }
+        let universe = db.schema().attr_count();
+        let parts: Vec<Relation> = contributors
+            .iter()
+            .map(|&c| self.read(db, c))
+            .collect();
+        let refs: Vec<&Relation> = parts.iter().collect();
+        let joined = multi_join(universe, &refs);
+        joined.project(db.schema().attrs_of(e))
+    }
+
+    /// Bytes-free storage metric: how many tuples are physically held
+    /// under the plan.
+    pub fn stored_tuples(&self, db: &Database) -> usize {
+        db.schema()
+            .type_ids()
+            .filter(|&e| self.is_stored(db, e))
+            .map(|e| db.stored(e).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    fn loaded_db() -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        for (n, a, dep) in [("ann", 40, "sales"), ("bob", 30, "research")] {
+            d.insert_fields(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(dep)),
+                ],
+            )
+            .unwrap();
+        }
+        for (dep, loc) in [("sales", "amsterdam"), ("research", "utrecht")] {
+            d.insert_fields(
+                s.type_id("department").unwrap(),
+                &[("depname", Value::str(dep)), ("location", Value::str(loc))],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn subbase_only_derives_worksfor() {
+        let db = loaded_db();
+        let s = db.schema();
+        let worksfor = s.type_id("worksfor").unwrap();
+        let catalog = Catalog::new(StoragePlan::SubbaseOnly);
+        assert!(!catalog.is_stored(&db, worksfor));
+        let derived = catalog.read(&db, worksfor);
+        // ann→sales, bob→research.
+        assert_eq!(derived.len(), 2);
+        // Derivation matches what eager materialisation would hold if the
+        // facts had been asserted directly.
+        for t in derived.iter() {
+            assert_eq!(t.width(), 4);
+        }
+    }
+
+    #[test]
+    fn materialise_all_reads_stored_relations() {
+        let db = loaded_db();
+        let s = db.schema();
+        let catalog = Catalog::new(StoragePlan::MaterialiseAll);
+        for e in s.type_ids() {
+            assert!(catalog.is_stored(&db, e));
+            assert_eq!(catalog.read(&db, e), db.extension(e));
+        }
+    }
+
+    #[test]
+    fn subbase_plan_stores_fewer_tuples() {
+        let db = loaded_db();
+        let all = Catalog::new(StoragePlan::MaterialiseAll);
+        let sub = Catalog::new(StoragePlan::SubbaseOnly);
+        assert!(sub.stored_tuples(&db) <= all.stored_tuples(&db));
+    }
+
+    #[test]
+    fn primitive_types_always_read_directly() {
+        let db = loaded_db();
+        let s = db.schema();
+        let catalog = Catalog::new(StoragePlan::SubbaseOnly);
+        let employee = s.type_id("employee").unwrap();
+        assert!(catalog.is_stored(&db, employee));
+        assert_eq!(catalog.read(&db, employee), db.extension(employee));
+    }
+}

@@ -1,0 +1,447 @@
+//! The storage engine: a concurrent, transaction-capable wrapper around
+//! [`toposem_extension::Database`] that *enforces* the model — containment
+//! by maintained inserts/deletes, declared FDs rejected on violation, and
+//! domain checks at the boundary.
+//!
+//! The engine is the piece the paper never built; it exists to prove the
+//! model is operational, not just descriptive.
+
+use parking_lot::RwLock;
+use toposem_core::TypeId;
+use toposem_extension::{Database, Instance, InstanceError, Value};
+use toposem_fd::{check_fd, Fd};
+
+use crate::index::HashIndex;
+
+/// Errors surfaced by engine operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The instance failed schema/domain validation.
+    Invalid(InstanceError),
+    /// The insert would violate a declared FD; the offending dependency is
+    /// returned.
+    FdViolation(Fd),
+    /// No active transaction to commit/rollback.
+    NoTransaction,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Invalid(e) => write!(f, "invalid instance: {e}"),
+            EngineError::FdViolation(fd) => write!(f, "functional dependency violated: {fd:?}"),
+            EngineError::NoTransaction => write!(f, "no active transaction"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<InstanceError> for EngineError {
+    fn from(e: InstanceError) -> Self {
+        EngineError::Invalid(e)
+    }
+}
+
+/// One undo-log entry.
+#[derive(Clone, Debug)]
+enum Undo {
+    /// Reverse of an insert: remove exactly these freshly-stored pairs
+    /// (the instance plus its eager containment propagations).
+    UnInsert(Vec<(TypeId, Instance)>),
+    /// Reverse of a delete: restore these (type, tuple) pairs.
+    Restore(Vec<(TypeId, Instance)>),
+}
+
+struct Inner {
+    db: Database,
+    declared_fds: Vec<Fd>,
+    indexes: Vec<Option<HashIndex>>,
+    txn_log: Option<Vec<Undo>>,
+}
+
+/// The engine. Interior-mutable and `Sync`; all operations take `&self`.
+pub struct Engine {
+    inner: RwLock<Inner>,
+}
+
+impl Engine {
+    /// Wraps a database.
+    pub fn new(db: Database) -> Self {
+        let n = db.schema().type_count();
+        Engine {
+            inner: RwLock::new(Inner {
+                db,
+                declared_fds: Vec::new(),
+                indexes: vec![None; n],
+                txn_log: None,
+            }),
+        }
+    }
+
+    /// Declares an FD the engine must keep satisfied. Returns `Err` with
+    /// the FD when the *current* data already violates it.
+    pub fn declare_fd(&self, fd: Fd) -> Result<(), EngineError> {
+        let mut inner = self.inner.write();
+        if !check_fd(&inner.db, &fd).holds() {
+            return Err(EngineError::FdViolation(fd));
+        }
+        inner.declared_fds.push(fd);
+        Ok(())
+    }
+
+    /// Builds a hash index on one attribute of `e`'s stored relation.
+    pub fn create_index(&self, e: TypeId, attr: toposem_core::AttrId) {
+        let mut inner = self.inner.write();
+        let mut idx = HashIndex::new(attr);
+        for t in inner.db.stored(e).iter() {
+            idx.insert(t);
+        }
+        inner.indexes[e.index()] = Some(idx);
+    }
+
+    /// Point lookup through the index of `e` (falls back to a scan when no
+    /// index exists).
+    pub fn lookup(&self, e: TypeId, attr: toposem_core::AttrId, v: &Value) -> Vec<Instance> {
+        let inner = self.inner.read();
+        match &inner.indexes[e.index()] {
+            Some(idx) if idx.attr() == attr => idx.lookup(v).to_vec(),
+            _ => inner
+                .db
+                .stored(e)
+                .iter()
+                .filter(|t| t.get(attr) == Some(v))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Inserts named fields as an instance of `e`, enforcing domains,
+    /// containment (via the database policy), and declared FDs. The FD
+    /// check is transactional: a violating insert leaves no trace.
+    pub fn insert(&self, e: TypeId, fields: &[(&str, Value)]) -> Result<bool, EngineError> {
+        let mut inner = self.inner.write();
+        let t = Instance::new(inner.db.schema(), inner.db.catalog(), e, fields)?;
+        let added = inner.db.insert_tracked(e, t.clone());
+        if added.is_empty() {
+            return Ok(false);
+        }
+        // Validate FDs; remove exactly what was added if any breaks.
+        let fds = inner.declared_fds.clone();
+        for fd in &fds {
+            if !check_fd(&inner.db, fd).holds() {
+                for (s, u) in &added {
+                    inner.db.stored_remove(*s, u);
+                }
+                return Err(EngineError::FdViolation(*fd));
+            }
+        }
+        if let Some(idx) = &mut inner.indexes[e.index()] {
+            idx.insert(&t);
+        }
+        if let Some(log) = &mut inner.txn_log {
+            log.push(Undo::UnInsert(added));
+        }
+        Ok(true)
+    }
+
+    /// Deletes an instance (cascading down the ISA hierarchy); returns the
+    /// number of tuples removed.
+    pub fn delete(&self, e: TypeId, t: &Instance) -> usize {
+        let mut inner = self.inner.write();
+        // Capture what a cascade will remove, for undo and index upkeep.
+        let schema = inner.db.schema().clone();
+        let victims: Vec<(TypeId, Instance)> = schema
+            .type_ids()
+            .flat_map(|s| {
+                let spec = inner.db.intension().specialisation();
+                if s != e && !spec.is_specialisation(s, e) {
+                    return Vec::new();
+                }
+                let ae = schema.attrs_of(e);
+                inner
+                    .db
+                    .stored(s)
+                    .iter()
+                    .filter(|u| &u.project(ae) == t)
+                    .map(|u| (s, u.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let removed = inner.db.delete(e, t);
+        for (s, u) in &victims {
+            if let Some(idx) = &mut inner.indexes[s.index()] {
+                idx.remove(u);
+            }
+        }
+        if removed > 0 {
+            if let Some(log) = &mut inner.txn_log {
+                log.push(Undo::Restore(victims));
+            }
+        }
+        removed
+    }
+
+    /// Begins a transaction (single-writer; nested begins are flattened).
+    pub fn begin(&self) {
+        let mut inner = self.inner.write();
+        if inner.txn_log.is_none() {
+            inner.txn_log = Some(Vec::new());
+        }
+    }
+
+    /// Commits the active transaction.
+    pub fn commit(&self) -> Result<(), EngineError> {
+        let mut inner = self.inner.write();
+        inner.txn_log.take().map(|_| ()).ok_or(EngineError::NoTransaction)
+    }
+
+    /// Rolls the active transaction back, undoing its operations in
+    /// reverse order.
+    pub fn rollback(&self) -> Result<(), EngineError> {
+        let mut inner = self.inner.write();
+        let log = inner.txn_log.take().ok_or(EngineError::NoTransaction)?;
+        for entry in log.into_iter().rev() {
+            match entry {
+                Undo::UnInsert(added) => {
+                    for (s, u) in added {
+                        inner.db.stored_remove(s, &u);
+                        if let Some(idx) = &mut inner.indexes[s.index()] {
+                            idx.remove(&u);
+                        }
+                    }
+                }
+                Undo::Restore(victims) => {
+                    for (s, u) in victims {
+                        inner.db.insert(s, u.clone());
+                        if let Some(idx) = &mut inner.indexes[s.index()] {
+                            idx.insert(&u);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the semantic extension of `e`.
+    pub fn extension(&self, e: TypeId) -> toposem_extension::Relation {
+        self.inner.read().db.extension(e)
+    }
+
+    /// Runs `f` with read access to the underlying database.
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.inner.read().db)
+    }
+
+    /// Consumes the engine, returning the database.
+    pub fn into_db(self) -> Database {
+        self.inner.into_inner().db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, GeneralisationTopology, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog};
+
+    fn engine() -> Engine {
+        Engine::new(Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        ))
+    }
+
+    fn worksfor_row(n: &str, a: i64, d: &str, l: &str) -> Vec<(&'static str, Value)> {
+        vec![
+            ("name", Value::str(n)),
+            ("age", Value::Int(a)),
+            ("depname", Value::str(d)),
+            ("location", Value::str(l)),
+        ]
+    }
+
+    #[test]
+    fn insert_and_extension() {
+        let eng = engine();
+        let worksfor = eng.with_db(|db| db.schema().type_id("worksfor").unwrap());
+        assert!(eng
+            .insert(worksfor, &worksfor_row("ann", 40, "sales", "amsterdam"))
+            .unwrap());
+        assert_eq!(eng.extension(worksfor).len(), 1);
+        // Duplicate insert reports not-fresh.
+        assert!(!eng
+            .insert(worksfor, &worksfor_row("ann", 40, "sales", "amsterdam"))
+            .unwrap());
+    }
+
+    #[test]
+    fn declared_fd_is_enforced() {
+        let eng = engine();
+        let (worksfor, fd) = eng.with_db(|db| {
+            let s = db.schema();
+            let gen = GeneralisationTopology::of_schema(s);
+            let fd = Fd::new(
+                &gen,
+                s.type_id("employee").unwrap(),
+                s.type_id("department").unwrap(),
+                s.type_id("worksfor").unwrap(),
+            )
+            .unwrap();
+            (s.type_id("worksfor").unwrap(), fd)
+        });
+        eng.declare_fd(fd).unwrap();
+        eng.insert(worksfor, &worksfor_row("ann", 40, "sales", "amsterdam"))
+            .unwrap();
+        // Same employee projection (sales) in a second location: rejected.
+        let err = eng
+            .insert(worksfor, &worksfor_row("ann", 40, "sales", "utrecht"))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::FdViolation(_)));
+        // The violating tuple left no trace.
+        assert_eq!(eng.extension(worksfor).len(), 1);
+    }
+
+    #[test]
+    fn declaring_fd_on_dirty_data_fails() {
+        let eng = engine();
+        let (worksfor, fd) = eng.with_db(|db| {
+            let s = db.schema();
+            let gen = GeneralisationTopology::of_schema(s);
+            (
+                s.type_id("worksfor").unwrap(),
+                Fd::new(
+                    &gen,
+                    s.type_id("employee").unwrap(),
+                    s.type_id("department").unwrap(),
+                    s.type_id("worksfor").unwrap(),
+                )
+                .unwrap(),
+            )
+        });
+        eng.insert(worksfor, &worksfor_row("ann", 40, "sales", "amsterdam"))
+            .unwrap();
+        eng.insert(worksfor, &worksfor_row("ann", 40, "sales", "utrecht"))
+            .unwrap();
+        assert!(matches!(
+            eng.declare_fd(fd),
+            Err(EngineError::FdViolation(_))
+        ));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let eng = engine();
+        let (employee, depname) = eng.with_db(|db| {
+            let s = db.schema();
+            (
+                s.type_id("employee").unwrap(),
+                s.attr_id("depname").unwrap(),
+            )
+        });
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+        eng.create_index(employee, depname);
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str("bob")),
+                ("age", Value::Int(30)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 2);
+        assert_eq!(
+            eng.lookup(employee, depname, &Value::str("research")).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn rollback_restores_state() {
+        let eng = engine();
+        let manager = eng.with_db(|db| db.schema().type_id("manager").unwrap());
+        let employee = eng.with_db(|db| db.schema().type_id("employee").unwrap());
+        eng.begin();
+        eng.insert(
+            manager,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(eng.extension(employee).len(), 1);
+        eng.rollback().unwrap();
+        assert_eq!(eng.extension(manager).len(), 0);
+        assert_eq!(eng.extension(employee).len(), 0, "propagations undone too");
+        eng.with_db(|db| assert_eq!(db.total_stored(), 0));
+    }
+
+    #[test]
+    fn rollback_restores_deletes() {
+        let eng = engine();
+        let s = eng.with_db(|db| db.schema().clone());
+        let manager = s.type_id("manager").unwrap();
+        let person = s.type_id("person").unwrap();
+        eng.insert(
+            manager,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        let ann = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                person,
+                &[("name", Value::str("ann")), ("age", Value::Int(40))],
+            )
+            .unwrap()
+        });
+        eng.begin();
+        assert_eq!(eng.delete(person, &ann), 3);
+        eng.with_db(|db| assert_eq!(db.total_stored(), 0));
+        eng.rollback().unwrap();
+        eng.with_db(|db| assert_eq!(db.total_stored(), 3));
+        assert_eq!(eng.extension(manager).len(), 1);
+    }
+
+    #[test]
+    fn commit_finalises() {
+        let eng = engine();
+        let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
+        eng.begin();
+        eng.insert(
+            person,
+            &[("name", Value::str("x")), ("age", Value::Int(1))],
+        )
+        .unwrap();
+        eng.commit().unwrap();
+        assert!(eng.rollback().is_err(), "nothing to roll back after commit");
+        assert_eq!(eng.extension(person).len(), 1);
+    }
+
+    #[test]
+    fn no_transaction_errors() {
+        let eng = engine();
+        assert_eq!(eng.commit(), Err(EngineError::NoTransaction));
+        assert_eq!(eng.rollback(), Err(EngineError::NoTransaction));
+    }
+}

@@ -1,0 +1,116 @@
+//! Hash indexes on single attributes of stored relations.
+
+use std::collections::HashMap;
+
+use toposem_core::AttrId;
+use toposem_extension::{Instance, Value};
+
+/// A secondary index: attribute value → matching instances of one entity
+/// type's relation.
+#[derive(Clone, Debug, Default)]
+pub struct HashIndex {
+    attr: Option<AttrId>,
+    buckets: HashMap<Value, Vec<Instance>>,
+}
+
+impl HashIndex {
+    /// An index on `attr`.
+    pub fn new(attr: AttrId) -> Self {
+        HashIndex {
+            attr: Some(attr),
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr.expect("index built with an attribute")
+    }
+
+    /// Registers an instance.
+    pub fn insert(&mut self, t: &Instance) {
+        if let Some(v) = t.get(self.attr()) {
+            self.buckets.entry(v.clone()).or_default().push(t.clone());
+        }
+    }
+
+    /// Unregisters an instance.
+    pub fn remove(&mut self, t: &Instance) {
+        if let Some(v) = t.get(self.attr()) {
+            if let Some(bucket) = self.buckets.get_mut(v) {
+                bucket.retain(|u| u != t);
+                if bucket.is_empty() {
+                    self.buckets.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, v: &Value) -> &[Instance] {
+        self.buckets.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+    use toposem_extension::DomainCatalog;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let employee = s.type_id("employee").unwrap();
+        let dep = s.attr_id("depname").unwrap();
+        let mut idx = HashIndex::new(dep);
+        let t1 = Instance::new(
+            &s,
+            &c,
+            employee,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+        let t2 = Instance::new(
+            &s,
+            &c,
+            employee,
+            &[
+                ("name", Value::str("bob")),
+                ("age", Value::Int(30)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+        idx.insert(&t1);
+        idx.insert(&t2);
+        assert_eq!(idx.lookup(&Value::str("sales")).len(), 2);
+        assert_eq!(idx.lookup(&Value::str("research")).len(), 0);
+        assert_eq!(idx.distinct_values(), 1);
+        assert_eq!(idx.len(), 2);
+        idx.remove(&t1);
+        assert_eq!(idx.lookup(&Value::str("sales")).len(), 1);
+        idx.remove(&t2);
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! # toposem-storage
+//!
+//! The operational layer the paper never built: an axiom-enforcing
+//! in-memory storage engine over the toposem model. Maintained
+//! containment, declared-FD enforcement, hash indexes, undo-log
+//! transactions, a query algebra restricted to topology-sanctioned paths,
+//! views with unique update translation, subbase-only physical storage
+//! with derivation of constructed types, and JSON snapshots.
+
+pub mod catalog;
+pub mod engine;
+pub mod index;
+pub mod query;
+pub mod snapshot;
+pub mod view_exec;
+
+pub use catalog::{Catalog, StoragePlan};
+pub use engine::{Engine, EngineError};
+pub use index::HashIndex;
+pub use query::{Query, QueryError};
+pub use snapshot::{load, save, SnapshotError};
+pub use view_exec::{
+    apply_update, materialise, translation_count, MaterialisedView, ViewError, ViewUpdate,
+};

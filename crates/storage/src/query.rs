@@ -1,0 +1,342 @@
+//! A query algebra restricted to topology-sanctioned paths.
+//!
+//! §1: the model "limits their use along well-defined paths" — free
+//! recombination of attributes (the Universal Relation's failure mode) is
+//! ruled out. Concretely:
+//!
+//! - **Project** is allowed only onto a *generalisation* of the input's
+//!   entity type (moving up the ISA hierarchy);
+//! - **Join** is allowed only when the combined attribute set is itself a
+//!   declared entity type (the Relationship Axiom: combinations must be
+//!   explicated as entities);
+//! - **Select** never changes the entity type.
+//!
+//! Every well-typed query therefore *has* an entity type, so its result is
+//! interpretable and updatable — queries cannot "destroy the semantic
+//! bonds between attributes composing an entity".
+
+use toposem_core::TypeId;
+use toposem_extension::{natural_join, Database, Instance, Relation, Value};
+
+/// A query over the database, with its statically-known entity type.
+#[derive(Clone, Debug)]
+pub enum Query {
+    /// The extension of an entity type.
+    Scan(TypeId),
+    /// Filter by attribute equality; type-preserving.
+    Select {
+        /// Input query.
+        input: Box<Query>,
+        /// Attribute to compare.
+        attr: toposem_core::AttrId,
+        /// Value it must equal.
+        value: Value,
+    },
+    /// Project onto a generalisation.
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Target entity type (must generalise the input's type).
+        to: TypeId,
+    },
+    /// Natural join; the result must be a declared entity type.
+    Join(Box<Query>, Box<Query>),
+    /// Set union of two queries of the *same* entity type (opens of the
+    /// entity-type topology are closed under union, so same-type unions
+    /// are always sanctioned).
+    Union(Box<Query>, Box<Query>),
+    /// Set intersection of two queries of the same entity type.
+    Intersect(Box<Query>, Box<Query>),
+}
+
+/// Typing/validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Projection target is not a generalisation of the input type.
+    NotAGeneralisation {
+        /// Input entity type.
+        from: TypeId,
+        /// Attempted target.
+        to: TypeId,
+    },
+    /// The joined attribute set matches no declared entity type.
+    JoinNotAnEntityType,
+    /// Union/intersection operands have different entity types.
+    TypeMismatch(TypeId, TypeId),
+    /// A selection attribute does not belong to the input type.
+    ForeignAttribute(toposem_core::AttrId),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotAGeneralisation { from, to } => {
+                write!(f, "cannot project {from} onto non-generalisation {to}")
+            }
+            QueryError::JoinNotAnEntityType => write!(
+                f,
+                "join result is not a declared entity type; explicate the relationship first"
+            ),
+            QueryError::ForeignAttribute(a) => write!(f, "attribute {a} not in input type"),
+            QueryError::TypeMismatch(a, b) => {
+                write!(f, "set operation requires equal entity types, got {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl Query {
+    /// Convenience: a scan.
+    pub fn scan(e: TypeId) -> Query {
+        Query::Scan(e)
+    }
+
+    /// Convenience: equality selection.
+    pub fn select(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        Query::Select {
+            input: Box::new(self),
+            attr,
+            value,
+        }
+    }
+
+    /// Convenience: projection.
+    pub fn project(self, to: TypeId) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            to,
+        }
+    }
+
+    /// Convenience: join.
+    pub fn join(self, other: Query) -> Query {
+        Query::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: same-type union.
+    pub fn union(self, other: Query) -> Query {
+        Query::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Convenience: same-type intersection.
+    pub fn intersect(self, other: Query) -> Query {
+        Query::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Statically types the query: its result entity type, or the first
+    /// sanction violation.
+    pub fn entity_type(&self, db: &Database) -> Result<TypeId, QueryError> {
+        let schema = db.schema();
+        match self {
+            Query::Scan(e) => Ok(*e),
+            Query::Select { input, attr, .. } => {
+                let e = input.entity_type(db)?;
+                if !schema.attrs_of(e).contains(attr.index()) {
+                    return Err(QueryError::ForeignAttribute(*attr));
+                }
+                Ok(e)
+            }
+            Query::Project { input, to } => {
+                let from = input.entity_type(db)?;
+                if !schema.attrs_of(*to).is_subset(schema.attrs_of(from)) {
+                    return Err(QueryError::NotAGeneralisation { from, to: *to });
+                }
+                Ok(*to)
+            }
+            Query::Join(a, b) => {
+                let ta = a.entity_type(db)?;
+                let tb = b.entity_type(db)?;
+                let combined = schema.attrs_of(ta).union(schema.attrs_of(tb));
+                schema
+                    .type_ids()
+                    .find(|&t| schema.attrs_of(t) == &combined)
+                    .ok_or(QueryError::JoinNotAnEntityType)
+            }
+            Query::Union(a, b) | Query::Intersect(a, b) => {
+                let ta = a.entity_type(db)?;
+                let tb = b.entity_type(db)?;
+                if ta != tb {
+                    return Err(QueryError::TypeMismatch(ta, tb));
+                }
+                Ok(ta)
+            }
+        }
+    }
+
+    /// Executes the query. Typing runs first; execution then cannot fail.
+    pub fn execute(&self, db: &Database) -> Result<(TypeId, Relation), QueryError> {
+        let out_type = self.entity_type(db)?;
+        Ok((out_type, self.eval(db)))
+    }
+
+    fn eval(&self, db: &Database) -> Relation {
+        let schema = db.schema();
+        match self {
+            Query::Scan(e) => db.extension(*e),
+            Query::Select { input, attr, value } => input
+                .eval(db)
+                .select(|t: &Instance| t.get(*attr) == Some(value)),
+            Query::Project { input, to } => input.eval(db).project(schema.attrs_of(*to)),
+            Query::Join(a, b) => {
+                natural_join(schema.attr_count(), &a.eval(db), &b.eval(db))
+            }
+            Query::Union(a, b) => {
+                let mut r = a.eval(db);
+                r.union_with(&b.eval(db));
+                r
+            }
+            Query::Intersect(a, b) => {
+                let rb = b.eval(db);
+                a.eval(db).select(|t| rb.contains(t))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog};
+
+    fn loaded_db() -> Database {
+        let mut d = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = d.schema().clone();
+        for (n, a, dep) in [("ann", 40, "sales"), ("bob", 30, "research")] {
+            d.insert_fields(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(dep)),
+                ],
+            )
+            .unwrap();
+        }
+        for (dep, loc) in [("sales", "amsterdam"), ("research", "utrecht")] {
+            d.insert_fields(
+                s.type_id("department").unwrap(),
+                &[("depname", Value::str(dep)), ("location", Value::str(loc))],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let db = loaded_db();
+        let s = db.schema();
+        let employee = s.type_id("employee").unwrap();
+        let person = s.type_id("person").unwrap();
+        let q = Query::scan(employee)
+            .select(s.attr_id("depname").unwrap(), Value::str("sales"))
+            .project(person);
+        let (t, rel) = q.execute(&db).unwrap();
+        assert_eq!(t, person);
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn sanctioned_join_types_as_worksfor() {
+        let db = loaded_db();
+        let s = db.schema();
+        let q = Query::scan(s.type_id("employee").unwrap())
+            .join(Query::scan(s.type_id("department").unwrap()));
+        let (t, rel) = q.execute(&db).unwrap();
+        assert_eq!(t, s.type_id("worksfor").unwrap());
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn unsanctioned_join_is_rejected() {
+        let db = loaded_db();
+        let s = db.schema();
+        // person ⋈ department = {name, age, depname, location}… that IS
+        // worksfor! Use manager ⋈ department = all five attributes — no
+        // entity type covers that.
+        let q = Query::scan(s.type_id("manager").unwrap())
+            .join(Query::scan(s.type_id("department").unwrap()));
+        assert_eq!(
+            q.entity_type(&db).unwrap_err(),
+            QueryError::JoinNotAnEntityType
+        );
+    }
+
+    #[test]
+    fn downward_projection_is_rejected() {
+        let db = loaded_db();
+        let s = db.schema();
+        let q = Query::scan(s.type_id("person").unwrap())
+            .project(s.type_id("employee").unwrap());
+        assert!(matches!(
+            q.entity_type(&db),
+            Err(QueryError::NotAGeneralisation { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_selection_attribute_is_rejected() {
+        let db = loaded_db();
+        let s = db.schema();
+        let q = Query::scan(s.type_id("person").unwrap())
+            .select(s.attr_id("budget").unwrap(), Value::Int(1));
+        assert!(matches!(
+            q.entity_type(&db),
+            Err(QueryError::ForeignAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn union_and_intersection_are_type_preserving() {
+        let db = loaded_db();
+        let s = db.schema();
+        let employee = s.type_id("employee").unwrap();
+        let dep = s.attr_id("depname").unwrap();
+        let sales = Query::scan(employee).select(dep, Value::str("sales"));
+        let research = Query::scan(employee).select(dep, Value::str("research"));
+        let (t, both) = sales.clone().union(research.clone()).execute(&db).unwrap();
+        assert_eq!(t, employee);
+        assert_eq!(both.len(), 2);
+        let (t2, none) = sales.intersect(research).execute(&db).unwrap();
+        assert_eq!(t2, employee);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn cross_type_set_operations_are_rejected() {
+        let db = loaded_db();
+        let s = db.schema();
+        let q = Query::scan(s.type_id("employee").unwrap())
+            .union(Query::scan(s.type_id("department").unwrap()));
+        assert!(matches!(q.entity_type(&db), Err(QueryError::TypeMismatch(_, _))));
+    }
+
+    #[test]
+    fn every_result_is_updatable_in_principle() {
+        // The invariant the algebra exists for: every well-typed query has
+        // an entity type, so its tuples are instances of a declared type.
+        let db = loaded_db();
+        let s = db.schema();
+        let queries = [
+            Query::scan(s.type_id("employee").unwrap()),
+            Query::scan(s.type_id("employee").unwrap())
+                .project(s.type_id("person").unwrap()),
+            Query::scan(s.type_id("employee").unwrap())
+                .join(Query::scan(s.type_id("department").unwrap())),
+        ];
+        for q in queries {
+            let (t, rel) = q.execute(&db).unwrap();
+            let want = s.attrs_of(t);
+            for tuple in rel.iter() {
+                assert_eq!(&tuple.attr_set(s.attr_count()), want);
+            }
+        }
+    }
+}

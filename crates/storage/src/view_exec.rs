@@ -1,0 +1,265 @@
+//! View execution and the **unique view-update translation** (§1, §6).
+//!
+//! "We only allow a user to combine entities such that there is always a
+//! proper translation back to its constituents. This way it avoids the
+//! view-update problems encountered in other approaches where the
+//! projection operator can easily destroy the semantic bonds between
+//! attributes composing an entity."
+//!
+//! A view is a *set of entity types* (View Axiom). Reading it
+//! materialises each constituent; updating it names a constituent, so the
+//! translation to base updates is the identity routing — there is exactly
+//! **one** translation, always. `toposem-ur` exhibits the contrast.
+
+use toposem_core::{TypeId, ViewType};
+use toposem_extension::{Instance, Relation, Value};
+
+use crate::engine::{Engine, EngineError};
+
+/// A materialised view: the relations of each constituent, in member
+/// order.
+#[derive(Clone, Debug)]
+pub struct MaterialisedView {
+    /// `(entity type, relation)` pairs.
+    pub parts: Vec<(TypeId, Relation)>,
+}
+
+impl MaterialisedView {
+    /// Total tuples across constituents.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// True when every constituent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|(_, r)| r.is_empty())
+    }
+
+    /// The relation of one constituent.
+    pub fn part(&self, e: TypeId) -> Option<&Relation> {
+        self.parts.iter().find(|(t, _)| *t == e).map(|(_, r)| r)
+    }
+}
+
+/// An update issued against a view.
+#[derive(Clone, Debug)]
+pub enum ViewUpdate<'a> {
+    /// Insert named fields into a constituent.
+    Insert {
+        /// The constituent entity type the user addresses.
+        target: TypeId,
+        /// Field values.
+        fields: &'a [(&'a str, Value)],
+    },
+    /// Delete an instance from a constituent.
+    Delete {
+        /// The constituent entity type the user addresses.
+        target: TypeId,
+        /// The instance to remove.
+        instance: &'a Instance,
+    },
+}
+
+/// Errors from view operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewError {
+    /// The addressed type is not a constituent of the view — such an
+    /// update is inexpressible, *not* ambiguous.
+    NotAConstituent(TypeId),
+    /// The underlying engine rejected the translated update.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::NotAConstituent(t) => {
+                write!(f, "entity type {t} is not a constituent of the view")
+            }
+            ViewError::Engine(e) => write!(f, "translated update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Materialises a view against the engine.
+pub fn materialise(engine: &Engine, view: &ViewType) -> MaterialisedView {
+    MaterialisedView {
+        parts: view
+            .decompose()
+            .into_iter()
+            .map(|e| (e, engine.extension(e)))
+            .collect(),
+    }
+}
+
+/// Translates a view update into base-table updates. The translation is
+/// unique by construction: the update names its constituent, and the
+/// constituent is a base entity type. Returns the number of base tuples
+/// affected.
+pub fn apply_update(
+    engine: &Engine,
+    view: &ViewType,
+    update: ViewUpdate<'_>,
+) -> Result<usize, ViewError> {
+    match update {
+        ViewUpdate::Insert { target, fields } => {
+            let routed = view
+                .route_update(target)
+                .ok_or(ViewError::NotAConstituent(target))?;
+            let fresh = engine.insert(routed, fields).map_err(ViewError::Engine)?;
+            Ok(usize::from(fresh))
+        }
+        ViewUpdate::Delete { target, instance } => {
+            let routed = view
+                .route_update(target)
+                .ok_or(ViewError::NotAConstituent(target))?;
+            Ok(engine.delete(routed, instance))
+        }
+    }
+}
+
+/// The number of distinct base-update translations of a view update:
+/// always exactly 1 for expressible updates, 0 for inexpressible ones.
+/// Exists so the comparison bench against the Universal Relation baseline
+/// reports the same metric for both systems.
+pub fn translation_count(view: &ViewType, target: TypeId) -> usize {
+    usize::from(view.route_update(target).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, Database, DomainCatalog};
+
+    fn engine() -> Engine {
+        Engine::new(Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        ))
+    }
+
+    fn staffing_view(engine: &Engine) -> ViewType {
+        engine.with_db(|db| {
+            let s = db.schema();
+            ViewType::new(
+                s,
+                "staffing",
+                &[
+                    s.type_id("employee").unwrap(),
+                    s.type_id("department").unwrap(),
+                ],
+            )
+            .unwrap()
+        })
+    }
+
+    #[test]
+    fn insert_through_view_routes_uniquely() {
+        let eng = engine();
+        let view = staffing_view(&eng);
+        let employee = eng.with_db(|db| db.schema().type_id("employee").unwrap());
+        let affected = apply_update(
+            &eng,
+            &view,
+            ViewUpdate::Insert {
+                target: employee,
+                fields: &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                ],
+            },
+        )
+        .unwrap();
+        assert_eq!(affected, 1);
+        let m = materialise(&eng, &view);
+        assert_eq!(m.part(employee).unwrap().len(), 1);
+        assert_eq!(translation_count(&view, employee), 1);
+    }
+
+    #[test]
+    fn update_outside_constituents_is_inexpressible() {
+        let eng = engine();
+        let view = staffing_view(&eng);
+        let manager = eng.with_db(|db| db.schema().type_id("manager").unwrap());
+        let err = apply_update(
+            &eng,
+            &view,
+            ViewUpdate::Insert {
+                target: manager,
+                fields: &[],
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ViewError::NotAConstituent(manager));
+        assert_eq!(translation_count(&view, manager), 0);
+    }
+
+    #[test]
+    fn delete_through_view_cascades_correctly() {
+        let eng = engine();
+        let view = staffing_view(&eng);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        apply_update(
+            &eng,
+            &view,
+            ViewUpdate::Insert {
+                target: employee,
+                fields: &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                ],
+            },
+        )
+        .unwrap();
+        let ann = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                employee,
+                &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                ],
+            )
+            .unwrap()
+        });
+        let removed = apply_update(
+            &eng,
+            &view,
+            ViewUpdate::Delete {
+                target: employee,
+                instance: &ann,
+            },
+        )
+        .unwrap();
+        assert_eq!(removed, 1);
+        assert!(materialise(&eng, &view).is_empty());
+    }
+
+    #[test]
+    fn materialised_view_reflects_all_parts() {
+        let eng = engine();
+        let view = staffing_view(&eng);
+        let s = eng.with_db(|db| db.schema().clone());
+        eng.insert(
+            s.type_id("department").unwrap(),
+            &[
+                ("depname", Value::str("sales")),
+                ("location", Value::str("amsterdam")),
+            ],
+        )
+        .unwrap();
+        let m = materialise(&eng, &view);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert!(m.part(s.type_id("person").unwrap()).is_none());
+    }
+}

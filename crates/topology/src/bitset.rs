@@ -1,0 +1,432 @@
+//! Dense bitsets over a fixed finite universe.
+//!
+//! Entity-type attribute sets, specialisation sets `S_e`, and open sets of
+//! the entity-type topology are all subsets of small finite universes, so a
+//! word-parallel bitset is the natural representation. All set algebra used
+//! by the paper (`∩`, `∪`, `⊆`, complement) is a handful of word operations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+const WORD_BITS: usize = 64;
+
+/// A subset of the finite universe `{0, 1, ..., len-1}`.
+///
+/// The universe size (`len`) is fixed at construction; all binary operations
+/// require both operands to share it and panic otherwise (mixing universes is
+/// always a logic error in this codebase).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty subset of a universe with `len` elements.
+    pub fn empty(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// The full universe `{0, ..., len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::empty(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// A singleton `{i}` in a universe with `len` elements.
+    pub fn singleton(len: usize, i: usize) -> Self {
+        let mut s = Self::empty(len);
+        s.insert(i);
+        s
+    }
+
+    /// Builds a subset of a `len`-element universe from listed members.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(len: usize, iter: I) -> Self {
+        let mut s = Self::empty(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Size of the universe this set lives in (not the cardinality).
+    pub fn universe_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of members.
+    pub fn card(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True when the set is the whole universe.
+    pub fn is_full(&self) -> bool {
+        self.card() == self.len
+    }
+
+    /// Membership test. Panics if `i` is outside the universe.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} outside universe of {}", self.len);
+        self.words[i / WORD_BITS] & (1 << (i % WORD_BITS)) != 0
+    }
+
+    /// Adds `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} outside universe of {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Removes `i`; returns whether it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} outside universe of {}", self.len);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1 << (i % WORD_BITS);
+        let present = *w & mask != 0;
+        *w &= !mask;
+        present
+    }
+
+    fn check_same_universe(&self, other: &BitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "bitset universe mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// `self ∩ other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        self.check_same_universe(other);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        self.check_same_universe(other);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &BitSet) -> BitSet {
+        self.check_same_universe(other);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Symmetric difference `self Δ other`.
+    pub fn symmetric_difference(&self, other: &BitSet) -> BitSet {
+        self.check_same_universe(other);
+        BitSet {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
+        }
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> BitSet {
+        let mut out = BitSet {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.clear_tail();
+        out
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place `self \= other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        self.check_same_universe(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ⊂ other` (subset and not equal).
+    pub fn is_proper_subset(&self, other: &BitSet) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// `self ⊇ other`.
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// True when the two sets share no member.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check_same_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// True when the two sets share at least one member.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        !self.is_disjoint(other)
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The smallest member, if any.
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Collects members into a `Vec` (mostly for tests and display).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Zeroes bits beyond `len` so that equality/hash stay canonical.
+    fn clear_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of a [`BitSet`].
+pub struct BitSetIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = BitSetIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitSet::empty(10);
+        let f = BitSet::full(10);
+        assert!(e.is_empty());
+        assert!(!e.is_full());
+        assert!(f.is_full());
+        assert_eq!(f.card(), 10);
+        assert_eq!(e.card(), 0);
+        assert!(e.is_subset(&f));
+        assert!(!f.is_subset(&e));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::empty(100);
+        assert!(s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(3));
+        assert!(s.contains(3));
+        assert!(s.contains(64));
+        assert!(s.contains(99));
+        assert!(!s.contains(0));
+        assert_eq!(s.card(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.to_vec(), vec![3, 99]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(8, [0, 1, 2, 3]);
+        let b = BitSet::from_indices(8, [2, 3, 4, 5]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 1]);
+        assert_eq!(a.symmetric_difference(&b).to_vec(), vec![0, 1, 4, 5]);
+        assert_eq!(a.complement().to_vec(), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn complement_is_canonical_at_word_boundary() {
+        // Universe of 65 elements straddles a word boundary; the complement
+        // must not set bits beyond the universe.
+        let s = BitSet::from_indices(65, [0, 64]);
+        let c = s.complement();
+        assert_eq!(c.card(), 63);
+        assert_eq!(c.complement(), s);
+        assert_eq!(BitSet::full(65).complement(), BitSet::empty(65));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = BitSet::from_indices(6, [1, 2]);
+        let b = BitSet::from_indices(6, [1, 2, 4]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_proper_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.is_superset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_proper_subset(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = BitSet::from_indices(6, [0, 1]);
+        let b = BitSet::from_indices(6, [2, 3]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.intersects(&b));
+        let c = BitSet::from_indices(6, [1, 2]);
+        assert!(!a.is_disjoint(&c));
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = BitSet::from_indices(200, [199, 0, 70, 5]);
+        assert_eq!(s.to_vec(), vec![0, 5, 70, 199]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::empty(4).first(), None);
+    }
+
+    #[test]
+    fn in_place_ops_match_pure_ops() {
+        let a = BitSet::from_indices(10, [0, 2, 4, 6]);
+        let b = BitSet::from_indices(10, [4, 5, 6, 7]);
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        assert_eq!(x, a.intersection(&b));
+        let mut y = a.clone();
+        y.union_with(&b);
+        assert_eq!(y, a.union(&b));
+        let mut z = a.clone();
+        z.subtract(&b);
+        assert_eq!(z, a.difference(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mixing_universes_panics() {
+        let a = BitSet::empty(4);
+        let b = BitSet::empty(5);
+        let _ = a.union(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_contains_panics() {
+        let s = BitSet::empty(4);
+        let _ = s.contains(4);
+    }
+
+    #[test]
+    fn zero_sized_universe() {
+        let e = BitSet::empty(0);
+        assert!(e.is_empty());
+        assert!(e.is_full()); // vacuously: card == len == 0
+        assert_eq!(e.complement(), e);
+    }
+}

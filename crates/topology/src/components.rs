@@ -1,0 +1,128 @@
+//! Connected components of finite spaces.
+//!
+//! In a finite (Alexandrov) space, connectedness coincides with
+//! path-connectedness through the specialisation preorder: two points are
+//! in the same component iff they are linked by a zig-zag of order
+//! relations. Applied to the entity-type space this decomposes a schema
+//! into its independent fragments — sub-schemas sharing no attributes —
+//! which evolve and store independently.
+
+use crate::bitset::BitSet;
+use crate::space::FiniteSpace;
+
+/// The connected components of a space, each as a point set, ordered by
+/// smallest member.
+pub fn components(space: &FiniteSpace) -> Vec<BitSet> {
+    let n = space.len();
+    let mut seen = BitSet::empty(n);
+    let mut out = Vec::new();
+    for start in 0..n {
+        if seen.contains(start) {
+            continue;
+        }
+        // Flood fill through the symmetric closure of the minimal
+        // neighbourhood relation.
+        let mut comp = BitSet::empty(n);
+        let mut frontier = vec![start];
+        while let Some(p) = frontier.pop() {
+            if !comp.insert(p) {
+                continue;
+            }
+            for q in space.min_neighbourhood(p).iter() {
+                if !comp.contains(q) {
+                    frontier.push(q);
+                }
+            }
+            for q in 0..n {
+                if space.min_neighbourhood(q).contains(p) && !comp.contains(q) {
+                    frontier.push(q);
+                }
+            }
+        }
+        seen.union_with(&comp);
+        out.push(comp);
+    }
+    out
+}
+
+/// Is the space connected (at most one component)?
+pub fn is_connected(space: &FiniteSpace) -> bool {
+    components(space).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discrete_space_has_singleton_components() {
+        let d = FiniteSpace::discrete(4);
+        let comps = components(&d);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.iter().all(|c| c.card() == 1));
+        assert!(!is_connected(&d));
+    }
+
+    #[test]
+    fn indiscrete_space_is_connected() {
+        assert!(is_connected(&FiniteSpace::indiscrete(5)));
+    }
+
+    #[test]
+    fn two_fragment_space() {
+        // {0,1} linked, {2,3} linked, no cross edges.
+        let sp = FiniteSpace::from_subbase(
+            4,
+            &[
+                BitSet::from_indices(4, [0, 1]),
+                BitSet::from_indices(4, [1]),
+                BitSet::from_indices(4, [2, 3]),
+                BitSet::from_indices(4, [3]),
+            ],
+        );
+        let comps = components(&sp);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].to_vec(), vec![0, 1]);
+        assert_eq!(comps[1].to_vec(), vec![2, 3]);
+    }
+
+    #[test]
+    fn zigzag_connects() {
+        // 0 ← 1 → 2: 1's neighbourhood contains both ends.
+        let sp = FiniteSpace::from_min_neighbourhoods(vec![
+            BitSet::from_indices(3, [0]),
+            BitSet::from_indices(3, [0, 1, 2]),
+            BitSet::from_indices(3, [2]),
+        ])
+        .unwrap();
+        assert!(is_connected(&sp));
+    }
+
+    #[test]
+    fn empty_space_is_connected() {
+        assert!(is_connected(&FiniteSpace::discrete(0)));
+        assert!(components(&FiniteSpace::discrete(0)).is_empty());
+    }
+
+    #[test]
+    fn components_partition_the_space() {
+        let sp = FiniteSpace::from_subbase(
+            6,
+            &[
+                BitSet::from_indices(6, [0, 1, 2]),
+                BitSet::from_indices(6, [3, 4]),
+                BitSet::from_indices(6, [5]),
+            ],
+        );
+        let comps = components(&sp);
+        let mut union = BitSet::empty(6);
+        let mut total = 0;
+        for c in &comps {
+            assert!(union.is_disjoint(c), "components must be disjoint");
+            union.union_with(c);
+            total += c.card();
+        }
+        assert_eq!(total, 6);
+        assert!(union.is_full());
+    }
+}

@@ -1,0 +1,241 @@
+//! Space constructions: subspaces, products, and quotients.
+//!
+//! Schema evolution (§1) restricts the intension space to surviving
+//! entity types (subspace), combines independent schema fragments
+//! (product), and collapses synonym classes (quotient). Each construction
+//! is given in minimal-neighbourhood form with its universal-property
+//! tests in the suite.
+
+use crate::bitset::BitSet;
+use crate::maps::PointMap;
+use crate::space::FiniteSpace;
+
+/// The subspace induced on `points` (listed in the order they become the
+/// new indices). Minimal neighbourhood of a kept point is the
+/// intersection of its old neighbourhood with the kept set.
+pub fn subspace(space: &FiniteSpace, points: &[usize]) -> FiniteSpace {
+    let keep = BitSet::from_indices(space.len(), points.iter().copied());
+    let pos: std::collections::HashMap<usize, usize> = points
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let nbhds = points
+        .iter()
+        .map(|&old| {
+            BitSet::from_indices(
+                points.len(),
+                space
+                    .min_neighbourhood(old)
+                    .intersection(&keep)
+                    .iter()
+                    .map(|o| pos[&o]),
+            )
+        })
+        .collect();
+    FiniteSpace::from_min_neighbourhoods(nbhds)
+        .expect("subspace of a valid space is valid")
+}
+
+/// The inclusion map of a subspace back into the ambient space.
+pub fn subspace_inclusion(space: &FiniteSpace, points: &[usize]) -> PointMap {
+    PointMap::new(points.to_vec(), space.len()).expect("points are ambient indices")
+}
+
+/// The product space `X × Y`: points are pairs `(x, y)` numbered
+/// `x * |Y| + y`; minimal neighbourhoods are products of minimal
+/// neighbourhoods (finite products of Alexandrov spaces are Alexandrov).
+pub fn product(x: &FiniteSpace, y: &FiniteSpace) -> FiniteSpace {
+    let (nx, ny) = (x.len(), y.len());
+    let n = nx * ny;
+    let mut nbhds = Vec::with_capacity(n);
+    for i in 0..nx {
+        for j in 0..ny {
+            let ui = x.min_neighbourhood(i);
+            let uj = y.min_neighbourhood(j);
+            let mut u = BitSet::empty(n);
+            for a in ui.iter() {
+                for b in uj.iter() {
+                    u.insert(a * ny + b);
+                }
+            }
+            nbhds.push(u);
+        }
+    }
+    FiniteSpace::from_min_neighbourhoods(nbhds).expect("product preserves validity")
+}
+
+/// The two projection maps of a product built by [`product`].
+pub fn product_projections(x: &FiniteSpace, y: &FiniteSpace) -> (PointMap, PointMap) {
+    let ny = y.len();
+    let n = x.len() * ny;
+    let p1 = PointMap::new((0..n).map(|k| k / ny).collect(), x.len()).expect("in range");
+    let p2 = PointMap::new((0..n).map(|k| k % ny).collect(), ny).expect("in range");
+    (p1, p2)
+}
+
+/// The quotient by an equivalence relation given as a class index per
+/// point (classes must be numbered `0..k` densely). The quotient of an
+/// Alexandrov space by the T0-identification (equal minimal
+/// neighbourhoods) is again a space; for arbitrary equivalences the result
+/// is the finest topology making the projection continuous.
+pub fn quotient(space: &FiniteSpace, class_of: &[usize]) -> (FiniteSpace, PointMap) {
+    assert_eq!(class_of.len(), space.len(), "one class per point");
+    let k = class_of.iter().copied().max().map_or(0, |m| m + 1);
+    // U(class c) = image of the union of the members' neighbourhoods,
+    // saturated: iterate until each class-neighbourhood is a union of
+    // whole classes and transitively coherent.
+    let mut nbhds: Vec<BitSet> = vec![BitSet::empty(k); k];
+    for p in 0..space.len() {
+        let c = class_of[p];
+        for q in space.min_neighbourhood(p).iter() {
+            nbhds[c].insert(class_of[q]);
+        }
+    }
+    // Transitive saturation: if d ∈ U(c) then U(d) ⊆ U(c).
+    loop {
+        let mut grew = false;
+        for c in 0..k {
+            let members = nbhds[c].clone();
+            for d in members.iter() {
+                let ud = nbhds[d].clone();
+                if !ud.is_subset(&nbhds[c]) {
+                    nbhds[c].union_with(&ud);
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let q = FiniteSpace::from_min_neighbourhoods(nbhds)
+        .expect("saturated family is coherent");
+    let proj = PointMap::new(class_of.to_vec(), k).expect("dense classes");
+    (q, proj)
+}
+
+/// The T0 reflection (Kolmogorov quotient): identify points with equal
+/// minimal neighbourhoods. Returns the quotient space and projection.
+pub fn t0_reflection(space: &FiniteSpace) -> (FiniteSpace, PointMap) {
+    let mut class_of = Vec::with_capacity(space.len());
+    let mut reps: Vec<BitSet> = Vec::new();
+    for p in 0..space.len() {
+        let u = space.min_neighbourhood(p);
+        match reps.iter().position(|r| r == u) {
+            Some(c) => class_of.push(c),
+            None => {
+                class_of.push(reps.len());
+                reps.push(u.clone());
+            }
+        }
+    }
+    quotient(space, &class_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FiniteSpace {
+        FiniteSpace::from_subbase(
+            4,
+            &[
+                BitSet::from_indices(4, [0, 1]),
+                BitSet::from_indices(4, [1, 2]),
+                BitSet::from_indices(4, [2, 3]),
+            ],
+        )
+    }
+
+    #[test]
+    fn subspace_inclusion_is_embedding() {
+        let x = sample();
+        let points = [0usize, 1, 3];
+        let sub = subspace(&x, &points);
+        let inc = subspace_inclusion(&x, &points);
+        assert!(inc.is_continuous(&sub, &x));
+        assert!(inc.is_embedding(&sub, &x));
+    }
+
+    #[test]
+    fn full_subspace_is_identity() {
+        let x = sample();
+        let sub = subspace(&x, &[0, 1, 2, 3]);
+        assert_eq!(sub, x);
+    }
+
+    #[test]
+    fn product_projections_are_continuous_and_open() {
+        let x = FiniteSpace::discrete(2);
+        let y = sample();
+        let p = product(&x, &y);
+        assert_eq!(p.len(), 8);
+        let (p1, p2) = product_projections(&x, &y);
+        assert!(p1.is_continuous(&p, &x));
+        assert!(p2.is_continuous(&p, &y));
+        assert!(p1.is_open_map(&p, &x));
+        assert!(p2.is_open_map(&p, &y));
+    }
+
+    #[test]
+    fn product_with_point_is_homeomorphic_copy() {
+        let x = sample();
+        let pt = FiniteSpace::discrete(1);
+        let p = product(&x, &pt);
+        // x × {*} ≅ x via the first projection.
+        let (p1, _) = product_projections(&x, &pt);
+        assert!(p1.is_homeomorphism(&p, &x));
+    }
+
+    #[test]
+    fn quotient_projection_is_continuous() {
+        let x = sample();
+        // Collapse points 0 and 1.
+        let (q, proj) = quotient(&x, &[0, 0, 1, 2]);
+        assert_eq!(q.len(), 3);
+        assert!(proj.is_continuous(&x, &q));
+        assert!(proj.is_surjective());
+    }
+
+    #[test]
+    fn t0_reflection_of_t0_space_is_identity_shape() {
+        let x = sample();
+        assert!(x.is_t0());
+        let (q, proj) = t0_reflection(&x);
+        assert_eq!(q.len(), x.len());
+        assert!(proj.is_homeomorphism(&x, &q));
+    }
+
+    #[test]
+    fn t0_reflection_collapses_indiscrete() {
+        let x = FiniteSpace::indiscrete(4);
+        let (q, proj) = t0_reflection(&x);
+        assert_eq!(q.len(), 1);
+        assert!(proj.is_continuous(&x, &q));
+        assert!(q.is_t0());
+    }
+
+    #[test]
+    fn quotient_is_finest_making_projection_continuous() {
+        // Any open of the quotient must pull back open; conversely any
+        // saturated open of X must descend. Checked on a small example.
+        let x = sample();
+        let classes = [0usize, 1, 1, 2];
+        let (q, proj) = quotient(&x, &classes);
+        for o in q.all_opens() {
+            assert!(x.is_open(&proj.preimage(&o)));
+        }
+        for o in x.all_opens() {
+            // Saturated: union of whole classes.
+            let saturated = (0..x.len()).all(|p| {
+                !o.contains(p)
+                    || (0..x.len()).all(|r| classes[r] != classes[p] || o.contains(r))
+            });
+            if saturated {
+                let image = proj.image(&o);
+                assert!(q.is_open(&image), "saturated open must descend");
+            }
+        }
+    }
+}

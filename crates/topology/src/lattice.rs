@@ -1,0 +1,202 @@
+//! The lattice of open sets of a finite space.
+//!
+//! §3 of the paper leans on the fact that the open sets of the entity-type
+//! topology form a complete (distributive) lattice: entity types can be
+//! "phrased in terms of other entity types using a finite union/intersection
+//! expression over elements from the subbase". The join-irreducible opens
+//! are exactly the minimal neighbourhoods `S_e`, which is why the paper can
+//! talk about *the* primitive entities of a schema.
+
+use crate::bitset::BitSet;
+use crate::space::FiniteSpace;
+
+/// The (finite, distributive) lattice of open sets of a space, materialised.
+///
+/// Exponential in the worst case; fine for schema-sized spaces and for tests.
+#[derive(Clone, Debug)]
+pub struct OpenLattice {
+    space: FiniteSpace,
+    opens: Vec<BitSet>,
+}
+
+impl OpenLattice {
+    /// Materialises all opens of `space`.
+    pub fn of_space(space: &FiniteSpace) -> Self {
+        OpenLattice {
+            space: space.clone(),
+            opens: space.all_opens(),
+        }
+    }
+
+    /// All open sets, in ascending `BitSet` order.
+    pub fn opens(&self) -> &[BitSet] {
+        &self.opens
+    }
+
+    /// Number of opens.
+    pub fn len(&self) -> usize {
+        self.opens.len()
+    }
+
+    /// True when only ∅ exists (the empty space).
+    pub fn is_empty(&self) -> bool {
+        self.opens.is_empty()
+    }
+
+    /// Lattice meet = set intersection (open in any topology).
+    pub fn meet(&self, a: &BitSet, b: &BitSet) -> BitSet {
+        debug_assert!(self.space.is_open(a) && self.space.is_open(b));
+        a.intersection(b)
+    }
+
+    /// Lattice join = set union.
+    pub fn join(&self, a: &BitSet, b: &BitSet) -> BitSet {
+        debug_assert!(self.space.is_open(a) && self.space.is_open(b));
+        a.union(b)
+    }
+
+    /// Bottom element ∅.
+    pub fn bottom(&self) -> BitSet {
+        BitSet::empty(self.space.len())
+    }
+
+    /// Top element: the whole space.
+    pub fn top(&self) -> BitSet {
+        BitSet::full(self.space.len())
+    }
+
+    /// Join-irreducible opens: non-empty opens that are not the union of
+    /// two strictly smaller opens. In a finite space these are exactly the
+    /// minimal neighbourhoods `U(x)` (one per equivalence class of points).
+    pub fn join_irreducibles(&self) -> Vec<BitSet> {
+        self.opens
+            .iter()
+            .filter(|o| !o.is_empty())
+            .filter(|o| {
+                // o is join-irreducible iff the union of all opens strictly
+                // below it is strictly smaller than o.
+                let mut below = BitSet::empty(self.space.len());
+                for p in &self.opens {
+                    if p.is_proper_subset(o) {
+                        below.union_with(p);
+                    }
+                }
+                below != **o
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Every open is the union of the minimal neighbourhoods of its points;
+    /// returns that canonical decomposition (deduplicated, ascending).
+    pub fn decompose(&self, open: &BitSet) -> Vec<BitSet> {
+        assert!(self.space.is_open(open), "decompose expects an open set");
+        let mut parts: Vec<BitSet> = open
+            .iter()
+            .map(|x| self.space.min_neighbourhood(x).clone())
+            .collect();
+        parts.sort();
+        parts.dedup();
+        // Drop parts subsumed by other parts to get the irredundant cover.
+        let keep: Vec<BitSet> = parts
+            .iter()
+            .filter(|p| !parts.iter().any(|q| p.is_proper_subset(q)))
+            .cloned()
+            .collect();
+        keep
+    }
+
+    /// Checks distributivity on the materialised lattice (always true for a
+    /// topology; exposed for the test suite as an executable sanity law).
+    pub fn verify_distributive(&self) -> bool {
+        for a in &self.opens {
+            for b in &self.opens {
+                for c in &self.opens {
+                    let lhs = self.meet(a, &self.join(b, c));
+                    let rhs = self.join(&self.meet(a, b), &self.meet(a, c));
+                    if lhs != rhs {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_space() -> FiniteSpace {
+        FiniteSpace::from_subbase(
+            4,
+            &[
+                BitSet::from_indices(4, [0, 1]),
+                BitSet::from_indices(4, [1, 2]),
+                BitSet::from_indices(4, [2, 3]),
+            ],
+        )
+    }
+
+    #[test]
+    fn lattice_has_top_and_bottom() {
+        let l = OpenLattice::of_space(&sample_space());
+        assert!(l.opens().contains(&l.bottom()));
+        assert!(l.opens().contains(&l.top()));
+    }
+
+    #[test]
+    fn join_irreducibles_are_min_neighbourhoods() {
+        let sp = sample_space();
+        let l = OpenLattice::of_space(&sp);
+        let mut ji = l.join_irreducibles();
+        ji.sort();
+        let mut mn: Vec<BitSet> = (0..sp.len()).map(|x| sp.min_neighbourhood(x).clone()).collect();
+        mn.sort();
+        mn.dedup();
+        assert_eq!(ji, mn);
+    }
+
+    #[test]
+    fn decompose_reconstructs_open() {
+        let sp = sample_space();
+        let l = OpenLattice::of_space(&sp);
+        for o in l.opens() {
+            let parts = l.decompose(o);
+            let mut u = BitSet::empty(sp.len());
+            for p in &parts {
+                u.union_with(p);
+            }
+            assert_eq!(&u, o, "decomposition must cover the open exactly");
+            // Irredundant: no part inside another.
+            for (i, p) in parts.iter().enumerate() {
+                for (j, q) in parts.iter().enumerate() {
+                    if i != j {
+                        assert!(!p.is_subset(q));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_is_distributive() {
+        let l = OpenLattice::of_space(&sample_space());
+        assert!(l.verify_distributive());
+    }
+
+    #[test]
+    fn discrete_lattice_is_powerset() {
+        let l = OpenLattice::of_space(&FiniteSpace::discrete(3));
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.join_irreducibles().len(), 3); // the singletons
+    }
+
+    #[test]
+    fn indiscrete_lattice_is_two_element() {
+        let l = OpenLattice::of_space(&FiniteSpace::indiscrete(3));
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.join_irreducibles().len(), 1); // just the top
+    }
+}

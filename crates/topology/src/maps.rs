@@ -1,0 +1,276 @@
+//! Maps between finite spaces: continuity, openness, embeddings.
+//!
+//! The paper describes the relation between database intension and extension
+//! as "an injective mapping between two topological spaces" (§1) and studies
+//! schema evolution through information-preserving maps. This module gives
+//! those notions executable form.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitset::BitSet;
+use crate::space::FiniteSpace;
+
+/// A total function `f : X → Y` between the point sets of two finite spaces,
+/// stored as `f[x] = y`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointMap {
+    map: Vec<usize>,
+    codomain_len: usize,
+}
+
+/// Errors raised when a point map is malformed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// Image point out of range of the codomain.
+    ImageOutOfRange { point: usize, image: usize, codomain: usize },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::ImageOutOfRange { point, image, codomain } => write!(
+                f,
+                "f({point}) = {image} lies outside the codomain of {codomain} points"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl PointMap {
+    /// Builds a map given the image of each domain point and the codomain
+    /// size.
+    pub fn new(map: Vec<usize>, codomain_len: usize) -> Result<Self, MapError> {
+        for (point, &image) in map.iter().enumerate() {
+            if image >= codomain_len {
+                return Err(MapError::ImageOutOfRange { point, image, codomain: codomain_len });
+            }
+        }
+        Ok(PointMap { map, codomain_len })
+    }
+
+    /// The identity map on `n` points.
+    pub fn identity(n: usize) -> Self {
+        PointMap { map: (0..n).collect(), codomain_len: n }
+    }
+
+    /// Domain size.
+    pub fn domain_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Codomain size.
+    pub fn codomain_len(&self) -> usize {
+        self.codomain_len
+    }
+
+    /// Applies the map to a point.
+    pub fn apply(&self, x: usize) -> usize {
+        self.map[x]
+    }
+
+    /// Forward image of a set.
+    pub fn image(&self, s: &BitSet) -> BitSet {
+        BitSet::from_indices(self.codomain_len, s.iter().map(|x| self.map[x]))
+    }
+
+    /// Preimage of a set.
+    pub fn preimage(&self, s: &BitSet) -> BitSet {
+        BitSet::from_indices(
+            self.map.len(),
+            (0..self.map.len()).filter(|&x| s.contains(self.map[x])),
+        )
+    }
+
+    /// True when no two domain points share an image.
+    pub fn is_injective(&self) -> bool {
+        let mut seen = BitSet::empty(self.codomain_len);
+        self.map.iter().all(|&y| seen.insert(y))
+    }
+
+    /// True when every codomain point is hit.
+    pub fn is_surjective(&self) -> bool {
+        let mut seen = BitSet::empty(self.codomain_len);
+        for &y in &self.map {
+            seen.insert(y);
+        }
+        seen.is_full()
+    }
+
+    /// Composition `g ∘ self` (apply `self` first).
+    pub fn then(&self, g: &PointMap) -> PointMap {
+        assert_eq!(
+            self.codomain_len,
+            g.domain_len(),
+            "composition domain mismatch"
+        );
+        PointMap {
+            map: self.map.iter().map(|&y| g.apply(y)).collect(),
+            codomain_len: g.codomain_len,
+        }
+    }
+
+    /// Continuity: `f` is continuous iff the preimage of every open is open;
+    /// on finite spaces this reduces to `f(U_X(x)) ⊆ U_Y(f(x))` for all `x`
+    /// (equivalently, `f` is monotone for the specialisation preorders).
+    pub fn is_continuous(&self, dom: &FiniteSpace, cod: &FiniteSpace) -> bool {
+        assert_eq!(dom.len(), self.domain_len(), "domain space size mismatch");
+        assert_eq!(cod.len(), self.codomain_len, "codomain space size mismatch");
+        (0..dom.len()).all(|x| {
+            let fx = self.map[x];
+            dom.min_neighbourhood(x)
+                .iter()
+                .all(|x2| cod.min_neighbourhood(fx).contains(self.map[x2]))
+        })
+    }
+
+    /// Open map: the image of every open set is open. Checked on the
+    /// generating minimal neighbourhoods (images of unions are unions of
+    /// images, so this suffices).
+    pub fn is_open_map(&self, dom: &FiniteSpace, cod: &FiniteSpace) -> bool {
+        assert_eq!(dom.len(), self.domain_len(), "domain space size mismatch");
+        (0..dom.len()).all(|x| cod.is_open(&self.image(dom.min_neighbourhood(x))))
+    }
+
+    /// Topological embedding: injective, continuous, and a homeomorphism
+    /// onto its image (opens of the domain are exactly restricted opens of
+    /// the codomain).
+    pub fn is_embedding(&self, dom: &FiniteSpace, cod: &FiniteSpace) -> bool {
+        if !self.is_injective() || !self.is_continuous(dom, cod) {
+            return false;
+        }
+        // Embedding condition: the subspace topology induced on the image
+        // matches the domain topology, i.e. U_X(x) = f⁻¹(U_Y(f(x))) for
+        // every x (the ⊆ direction is continuity; ⊇ is checked here).
+        (0..dom.len()).all(|x| {
+            let back = self.preimage(cod.min_neighbourhood(self.map[x]));
+            back.is_subset(dom.min_neighbourhood(x))
+        })
+    }
+
+    /// Homeomorphism: continuous bijection with continuous inverse.
+    pub fn is_homeomorphism(&self, dom: &FiniteSpace, cod: &FiniteSpace) -> bool {
+        if dom.len() != cod.len() || !self.is_injective() || !self.is_surjective() {
+            return false;
+        }
+        if !self.is_continuous(dom, cod) {
+            return false;
+        }
+        let mut inv = vec![0usize; self.codomain_len];
+        for (x, &y) in self.map.iter().enumerate() {
+            inv[y] = x;
+        }
+        let inverse = PointMap { map: inv, codomain_len: self.map.len() };
+        inverse.is_continuous(cod, dom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sierpinski() -> FiniteSpace {
+        FiniteSpace::from_min_neighbourhoods(vec![BitSet::full(2), BitSet::singleton(2, 1)])
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_is_homeomorphism() {
+        let s = sierpinski();
+        let id = PointMap::identity(2);
+        assert!(id.is_continuous(&s, &s));
+        assert!(id.is_open_map(&s, &s));
+        assert!(id.is_homeomorphism(&s, &s));
+        assert!(id.is_embedding(&s, &s));
+    }
+
+    #[test]
+    fn swap_on_sierpinski_is_not_continuous() {
+        let s = sierpinski();
+        let swap = PointMap::new(vec![1, 0], 2).unwrap();
+        // Preimage of the open {1} is {0}, which is not open.
+        assert!(!swap.is_continuous(&s, &s));
+        assert!(!swap.is_homeomorphism(&s, &s));
+    }
+
+    #[test]
+    fn constant_maps_are_continuous() {
+        let s = sierpinski();
+        let d = FiniteSpace::discrete(3);
+        for target in 0..2 {
+            let c = PointMap::new(vec![target; 3], 2).unwrap();
+            assert!(c.is_continuous(&d, &s));
+        }
+    }
+
+    #[test]
+    fn any_map_from_discrete_is_continuous() {
+        let d = FiniteSpace::discrete(4);
+        let s = sierpinski();
+        let f = PointMap::new(vec![0, 1, 1, 0], 2).unwrap();
+        assert!(f.is_continuous(&d, &s));
+        assert!(!f.is_injective());
+        assert!(f.is_surjective());
+    }
+
+    #[test]
+    fn any_map_to_indiscrete_is_continuous() {
+        let i = FiniteSpace::indiscrete(2);
+        let d = FiniteSpace::discrete(2);
+        let f = PointMap::new(vec![1, 0], 2).unwrap();
+        assert!(f.is_continuous(&d, &i));
+        // But the inverse direction (indiscrete → discrete) is not, unless
+        // constant.
+        assert!(!f.is_continuous(&i, &d));
+    }
+
+    #[test]
+    fn image_preimage_adjunction() {
+        let f = PointMap::new(vec![0, 0, 1, 2], 3).unwrap();
+        let s = BitSet::from_indices(4, [0, 2]);
+        let t = BitSet::from_indices(3, [0, 1]);
+        // f(S) ⊆ T ⇔ S ⊆ f⁻¹(T)
+        assert_eq!(f.image(&s).is_subset(&t), s.is_subset(&f.preimage(&t)));
+        assert_eq!(f.image(&s).to_vec(), vec![0, 1]);
+        assert_eq!(f.preimage(&t).to_vec(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn injective_surjective_detection() {
+        let inj = PointMap::new(vec![2, 0], 3).unwrap();
+        assert!(inj.is_injective());
+        assert!(!inj.is_surjective());
+        let surj = PointMap::new(vec![0, 1, 1], 2).unwrap();
+        assert!(!surj.is_injective());
+        assert!(surj.is_surjective());
+    }
+
+    #[test]
+    fn composition() {
+        let f = PointMap::new(vec![1, 2], 3).unwrap();
+        let g = PointMap::new(vec![0, 0, 1], 2).unwrap();
+        let h = f.then(&g);
+        assert_eq!(h.apply(0), 0);
+        assert_eq!(h.apply(1), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(PointMap::new(vec![3], 3).is_err());
+    }
+
+    #[test]
+    fn embedding_of_open_subspace() {
+        // X = Sierpiński embedded into Y = subbase-generated 3-point space
+        // where Y's points 1,2 replicate the Sierpiński structure.
+        let y = FiniteSpace::from_subbase(
+            3,
+            &[BitSet::from_indices(3, [1, 2]), BitSet::from_indices(3, [2])],
+        );
+        let x = sierpinski();
+        let f = PointMap::new(vec![1, 2], 3).unwrap();
+        assert!(f.is_continuous(&x, &y));
+        assert!(f.is_embedding(&x, &y));
+    }
+}

@@ -1,0 +1,253 @@
+//! The specialisation preorder of a finite space, and its Hasse diagram.
+//!
+//! ISA hierarchies in the paper are "proper subset hierarchies" of the
+//! minimal open sets (§3.1); the *direct* specialisations/generalisations —
+//! needed for the contributor definition of §3.3 — are exactly the covering
+//! edges of the Hasse diagram of the specialisation preorder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitset::BitSet;
+use crate::space::FiniteSpace;
+
+/// The specialisation preorder `x ≤ y ⇔ x ∈ U(y)` of a finite space, with
+/// precomputed covering (Hasse) edges on its partial-order quotient.
+///
+/// When the space is T0 the preorder is a partial order and the quotient is
+/// trivial; schemas satisfying the Entity Type Axiom always yield T0 spaces.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Preorder {
+    n: usize,
+    /// `down[y]` = all x with x ≤ y (the minimal neighbourhood of y).
+    down: Vec<BitSet>,
+}
+
+impl Preorder {
+    /// Extracts the specialisation preorder of a space.
+    pub fn of_space(space: &FiniteSpace) -> Self {
+        Preorder {
+            n: space.len(),
+            down: (0..space.len())
+                .map(|y| space.min_neighbourhood(y).clone())
+                .collect(),
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `x ≤ y`?
+    pub fn le(&self, x: usize, y: usize) -> bool {
+        self.down[y].contains(x)
+    }
+
+    /// `x < y` (strictly below)?
+    pub fn lt(&self, x: usize, y: usize) -> bool {
+        x != y && self.le(x, y) && !self.le(y, x)
+    }
+
+    /// Two points are equivalent when each is ≤ the other. In a T0 space
+    /// this only happens for `x == y`.
+    pub fn equivalent(&self, x: usize, y: usize) -> bool {
+        self.le(x, y) && self.le(y, x)
+    }
+
+    /// True when the preorder is antisymmetric, i.e. an actual partial
+    /// order (equivalently the space is T0).
+    pub fn is_partial_order(&self) -> bool {
+        for x in 0..self.n {
+            for y in (x + 1)..self.n {
+                if self.equivalent(x, y) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All strict lower bounds of `y`.
+    pub fn strict_down_set(&self, y: usize) -> BitSet {
+        BitSet::from_indices(self.n, (0..self.n).filter(|&x| self.lt(x, y)))
+    }
+
+    /// All strict upper bounds of `x`.
+    pub fn strict_up_set(&self, x: usize) -> BitSet {
+        BitSet::from_indices(self.n, (0..self.n).filter(|&y| self.lt(x, y)))
+    }
+
+    /// Covering pairs `(x, y)`: `x < y` with nothing strictly between.
+    /// These are the Hasse diagram edges, drawn with `y` above `x`.
+    pub fn covers(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for y in 0..self.n {
+            for x in 0..self.n {
+                if self.lt(x, y) && self.is_cover(x, y) {
+                    edges.push((x, y));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Is `y` a direct cover of `x` (x < y with no z in between)?
+    pub fn is_cover(&self, x: usize, y: usize) -> bool {
+        self.lt(x, y) && !(0..self.n).any(|z| self.lt(x, z) && self.lt(z, y))
+    }
+
+    /// The elements directly above `x` (its covers).
+    pub fn upper_covers(&self, x: usize) -> Vec<usize> {
+        (0..self.n).filter(|&y| self.is_cover(x, y)).collect()
+    }
+
+    /// The elements directly below `y`.
+    pub fn lower_covers(&self, y: usize) -> Vec<usize> {
+        (0..self.n).filter(|&x| self.is_cover(x, y)).collect()
+    }
+
+    /// Maximal elements (no strict upper bound).
+    pub fn maximal(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&x| self.strict_up_set(x).is_empty())
+            .collect()
+    }
+
+    /// Minimal elements (no strict lower bound).
+    pub fn minimal(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&x| self.strict_down_set(x).is_empty())
+            .collect()
+    }
+
+    /// A topological (linear) extension of the *strict* order: if `x < y`
+    /// then `x` precedes `y`. Equivalent points (possible only in non-T0
+    /// spaces) are ordered by index. Deterministic.
+    pub fn linear_extension(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.n);
+        let mut placed = BitSet::empty(self.n);
+        while order.len() < self.n {
+            for x in 0..self.n {
+                if placed.contains(x) {
+                    continue;
+                }
+                // Place x when everything strictly below is placed. The
+                // strict order is acyclic even for preorders, so at least
+                // one unplaced point always qualifies per pass.
+                let below = self.strict_down_set(x);
+                if below.is_subset(&placed) {
+                    placed.insert(x);
+                    order.push(x);
+                }
+            }
+        }
+        order
+    }
+
+    /// Longest chain length ending at `x` (depth in the hierarchy, with
+    /// minimal elements at depth 0).
+    pub fn depth(&self, x: usize) -> usize {
+        let mut memo = vec![None; self.n];
+        self.depth_memo(x, &mut memo)
+    }
+
+    fn depth_memo(&self, x: usize, memo: &mut Vec<Option<usize>>) -> usize {
+        if let Some(d) = memo[x] {
+            return d;
+        }
+        let d = self
+            .lower_covers(x)
+            .into_iter()
+            .map(|c| self.depth_memo(c, memo) + 1)
+            .max()
+            .unwrap_or(0);
+        memo[x] = Some(d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: 0 < 1, 0 < 2, 1 < 3, 2 < 3 (as specialisation).
+    fn diamond() -> Preorder {
+        // Build via subbase on 4 points so down-sets are:
+        // down(0)={0}, down(1)={0,1}, down(2)={0,2}, down(3)={0,1,2,3}
+        let space = FiniteSpace::from_min_neighbourhoods(vec![
+            BitSet::from_indices(4, [0]),
+            BitSet::from_indices(4, [0, 1]),
+            BitSet::from_indices(4, [0, 2]),
+            BitSet::from_indices(4, [0, 1, 2, 3]),
+        ])
+        .unwrap();
+        Preorder::of_space(&space)
+    }
+
+    #[test]
+    fn diamond_structure() {
+        let p = diamond();
+        assert!(p.is_partial_order());
+        assert!(p.le(0, 3));
+        assert!(p.lt(0, 1));
+        assert!(!p.le(1, 2));
+        let mut covers = p.covers();
+        covers.sort();
+        assert_eq!(covers, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(p.maximal(), vec![3]);
+        assert_eq!(p.minimal(), vec![0]);
+        assert_eq!(p.depth(0), 0);
+        assert_eq!(p.depth(3), 2);
+    }
+
+    #[test]
+    fn covers_skip_transitive_edges() {
+        let p = diamond();
+        // 0 < 3 but via 1 (or 2), so not a cover.
+        assert!(!p.is_cover(0, 3));
+        assert_eq!(p.upper_covers(0), vec![1, 2]);
+        assert_eq!(p.lower_covers(3), vec![1, 2]);
+    }
+
+    #[test]
+    fn linear_extension_respects_order() {
+        let p = diamond();
+        let order = p.linear_extension();
+        let pos = |x: usize| order.iter().position(|&v| v == x).unwrap();
+        for x in 0..4 {
+            for y in 0..4 {
+                if p.lt(x, y) {
+                    assert!(pos(x) < pos(y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_space_is_antichain() {
+        let p = Preorder::of_space(&FiniteSpace::discrete(5));
+        assert!(p.is_partial_order());
+        assert!(p.covers().is_empty());
+        assert_eq!(p.maximal().len(), 5);
+        assert_eq!(p.minimal().len(), 5);
+    }
+
+    #[test]
+    fn indiscrete_space_is_one_equivalence_class() {
+        let p = Preorder::of_space(&FiniteSpace::indiscrete(3));
+        assert!(!p.is_partial_order());
+        assert!(p.equivalent(0, 2));
+    }
+
+    #[test]
+    fn linear_extension_handles_equivalence_classes() {
+        let p = Preorder::of_space(&FiniteSpace::indiscrete(2));
+        // All points equivalent: index order.
+        assert_eq!(p.linear_extension(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Property-based tests of the topological laws over randomly generated
+//! subbases. These stand in for the proofs the paper omits ("Actually the
+//! model is introduced informally; proofs are omitted").
+
+use proptest::prelude::*;
+use toposem_topology::{BitSet, FiniteSpace, OpenLattice, PointMap, Preorder, SubbaseAnalysis};
+
+const N: usize = 8;
+
+/// Strategy: a subset of an `n`-point universe as a bitmask.
+fn subset(n: usize) -> impl Strategy<Value = BitSet> {
+    prop::bits::u64::between(0, n).prop_map(move |mask| {
+        BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0))
+    })
+}
+
+/// Strategy: a random subbase of up to 6 subsets.
+fn random_subbase(n: usize) -> impl Strategy<Value = Vec<BitSet>> {
+    prop::collection::vec(subset(n), 0..6)
+}
+
+/// Strategy: a random finite space generated from a random subbase.
+fn random_space(n: usize) -> impl Strategy<Value = FiniteSpace> {
+    random_subbase(n).prop_map(move |sb| FiniteSpace::from_subbase(n, &sb))
+}
+
+proptest! {
+    #[test]
+    fn generated_space_validates(sb in random_subbase(N)) {
+        let sp = FiniteSpace::from_subbase(N, &sb);
+        // The minimal-neighbourhood family must satisfy the characterising
+        // invariants (re-validated through the checked constructor).
+        let rebuilt = FiniteSpace::from_min_neighbourhoods(
+            (0..N).map(|x| sp.min_neighbourhood(x).clone()).collect(),
+        );
+        prop_assert!(rebuilt.is_ok());
+        prop_assert_eq!(rebuilt.unwrap(), sp);
+    }
+
+    #[test]
+    fn min_neighbourhoods_are_open(sp in random_space(N)) {
+        for x in 0..N {
+            prop_assert!(sp.is_open(sp.min_neighbourhood(x)));
+        }
+    }
+
+    #[test]
+    fn interior_is_largest_open_subset(sp in random_space(N), s in subset(N)) {
+        let i = sp.interior(&s);
+        prop_assert!(sp.is_open(&i));
+        prop_assert!(i.is_subset(&s));
+        // Any open subset of s is inside the interior.
+        for o in sp.all_opens() {
+            if o.is_subset(&s) {
+                prop_assert!(o.is_subset(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn closure_is_smallest_closed_superset(sp in random_space(N), s in subset(N)) {
+        let c = sp.closure(&s);
+        prop_assert!(sp.is_closed(&c));
+        prop_assert!(s.is_subset(&c));
+        for o in sp.all_opens() {
+            let closed = o.complement();
+            if s.is_subset(&closed) {
+                prop_assert!(c.is_subset(&closed));
+            }
+        }
+    }
+
+    #[test]
+    fn kuratowski_laws(sp in random_space(N), s in subset(N), t in subset(N)) {
+        // cl(∅) = ∅
+        prop_assert!(sp.closure(&BitSet::empty(N)).is_empty());
+        // cl(s ∪ t) = cl(s) ∪ cl(t)
+        prop_assert_eq!(
+            sp.closure(&s.union(&t)),
+            sp.closure(&s).union(&sp.closure(&t))
+        );
+        // int/cl duality
+        prop_assert_eq!(sp.interior(&s), sp.closure(&s.complement()).complement());
+    }
+
+    #[test]
+    fn opens_closed_under_ops(sp in random_space(6)) {
+        let opens = sp.all_opens();
+        prop_assert!(opens.contains(&BitSet::empty(6)));
+        prop_assert!(opens.contains(&BitSet::full(6)));
+        for a in &opens {
+            for b in &opens {
+                prop_assert!(opens.contains(&a.union(b)));
+                prop_assert!(opens.contains(&a.intersection(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn specialisation_preorder_is_reflexive_transitive(sp in random_space(N)) {
+        let p = Preorder::of_space(&sp);
+        for x in 0..N {
+            prop_assert!(p.le(x, x));
+            for y in 0..N {
+                for z in 0..N {
+                    if p.le(x, y) && p.le(y, z) {
+                        prop_assert!(p.le(x, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_set_is_closure_of_singleton(sp in random_space(N)) {
+        for x in 0..N {
+            prop_assert_eq!(sp.up_set(x), sp.closure(&BitSet::singleton(N, x)));
+        }
+    }
+
+    #[test]
+    fn lattice_distributivity(sp in random_space(5)) {
+        let l = OpenLattice::of_space(&sp);
+        prop_assert!(l.verify_distributive());
+    }
+
+    #[test]
+    fn greedy_minimal_subbase_generates(sb in random_subbase(N)) {
+        let a = SubbaseAnalysis::new(N, sb);
+        let min = a.greedy_minimal();
+        prop_assert!(a.generates(&min));
+        // Minimality: removing any kept member changes the topology.
+        for i in min.iter() {
+            let mut trial = min.clone();
+            trial.remove(i);
+            prop_assert!(!a.generates(&trial));
+        }
+    }
+
+    #[test]
+    fn all_minimal_members_generate_and_are_minimal(sb in random_subbase(5)) {
+        let a = SubbaseAnalysis::new(5, sb);
+        for m in a.all_minimal() {
+            prop_assert!(a.generates(&m));
+            for i in m.iter() {
+                let mut trial = m.clone();
+                trial.remove(i);
+                prop_assert!(!a.generates(&trial));
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_composes(
+        sb1 in random_subbase(5),
+        sb2 in random_subbase(5),
+        sb3 in random_subbase(5),
+        f in prop::collection::vec(0usize..5, 5),
+        g in prop::collection::vec(0usize..5, 5),
+    ) {
+        let x = FiniteSpace::from_subbase(5, &sb1);
+        let y = FiniteSpace::from_subbase(5, &sb2);
+        let z = FiniteSpace::from_subbase(5, &sb3);
+        let f = PointMap::new(f, 5).unwrap();
+        let g = PointMap::new(g, 5).unwrap();
+        if f.is_continuous(&x, &y) && g.is_continuous(&y, &z) {
+            prop_assert!(f.then(&g).is_continuous(&x, &z));
+        }
+    }
+
+    #[test]
+    fn continuity_iff_preimages_of_opens_open(
+        sb1 in random_subbase(5),
+        sb2 in random_subbase(5),
+        f in prop::collection::vec(0usize..5, 5),
+    ) {
+        let x = FiniteSpace::from_subbase(5, &sb1);
+        let y = FiniteSpace::from_subbase(5, &sb2);
+        let f = PointMap::new(f, 5).unwrap();
+        let by_def = y.all_opens().iter().all(|o| x.is_open(&f.preimage(o)));
+        prop_assert_eq!(f.is_continuous(&x, &y), by_def);
+    }
+
+    #[test]
+    fn hasse_covers_reconstruct_order(sp in random_space(6)) {
+        let p = Preorder::of_space(&sp);
+        if !p.is_partial_order() {
+            return Ok(()); // covers only meaningful on partial orders
+        }
+        // Transitive closure of covers must equal the strict order.
+        let covers = p.covers();
+        let mut reach = vec![BitSet::empty(6); 6];
+        for &(x, y) in &covers {
+            reach[x].insert(y);
+        }
+        // Floyd-Warshall style closure.
+        for _ in 0..6 {
+            for x in 0..6 {
+                let ys = reach[x].clone();
+                for y in ys.iter() {
+                    let up = reach[y].clone();
+                    reach[x].union_with(&up);
+                }
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for x in 0..6 {
+            for y in 0..6 {
+                prop_assert_eq!(p.lt(x, y), reach[x].contains(y), "x={} y={}", x, y);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Subspace inclusions are always embeddings.
+    #[test]
+    fn subspace_inclusion_is_embedding(sb in random_subbase(N), keep_mask in 1u64..(1 << N)) {
+        let sp = FiniteSpace::from_subbase(N, &sb);
+        let points: Vec<usize> = (0..N).filter(|&i| keep_mask & (1 << i) != 0).collect();
+        let sub = toposem_topology::subspace(&sp, &points);
+        let inc = toposem_topology::subspace_inclusion(&sp, &points);
+        prop_assert!(inc.is_continuous(&sub, &sp));
+        prop_assert!(inc.is_embedding(&sub, &sp));
+    }
+
+    /// Product projections are continuous open surjections.
+    #[test]
+    fn product_projections_behave(sb1 in random_subbase(4), sb2 in random_subbase(3)) {
+        let x = FiniteSpace::from_subbase(4, &sb1);
+        let y = FiniteSpace::from_subbase(3, &sb2);
+        let p = toposem_topology::product(&x, &y);
+        let (p1, p2) = toposem_topology::product_projections(&x, &y);
+        prop_assert!(p1.is_continuous(&p, &x));
+        prop_assert!(p2.is_continuous(&p, &y));
+        prop_assert!(p1.is_open_map(&p, &x));
+        prop_assert!(p2.is_open_map(&p, &y));
+        prop_assert!(p1.is_surjective());
+        prop_assert!(p2.is_surjective());
+    }
+
+    /// The T0 reflection is T0 and its projection is continuous.
+    #[test]
+    fn t0_reflection_laws(sb in random_subbase(N)) {
+        let sp = FiniteSpace::from_subbase(N, &sb);
+        let (q, proj) = toposem_topology::t0_reflection(&sp);
+        prop_assert!(q.is_t0());
+        prop_assert!(proj.is_continuous(&sp, &q));
+        prop_assert!(proj.is_surjective());
+        // Reflecting twice changes nothing.
+        let (q2, _) = toposem_topology::t0_reflection(&q);
+        prop_assert_eq!(q2.len(), q.len());
+    }
+
+    /// Components partition the space and each is connected.
+    #[test]
+    fn components_partition(sb in random_subbase(N)) {
+        let sp = FiniteSpace::from_subbase(N, &sb);
+        let comps = toposem_topology::components(&sp);
+        let mut union = BitSet::empty(N);
+        for c in &comps {
+            prop_assert!(union.is_disjoint(c));
+            union.union_with(c);
+            // Each component, as a subspace, is connected.
+            let pts: Vec<usize> = c.iter().collect();
+            let sub = toposem_topology::subspace(&sp, &pts);
+            prop_assert!(toposem_topology::is_connected(&sub));
+        }
+        prop_assert!(union.is_full());
+    }
+}

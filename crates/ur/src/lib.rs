@@ -1,0 +1,23 @@
+//! # toposem-ur
+//!
+//! The Universal Relation baseline (Maier, *The Theory of Relational
+//! Databases*) that §1 of Siebes & Kersten argues against:
+//!
+//! > "Under the Universal Relationship model the database is defined by a
+//! > single relation. Consequently all actions on the database require a
+//! > projection first. The prime weakness is its lack of rigidity [...]
+//! > there is no proper separation between semantics at the intensional
+//! > level and semantics at the extensional level. This leads to one
+//! > approach where Maier introduces 'placeholders': members of a set that
+//! > might not be members of that set after all (sic)."
+//!
+//! This crate implements exactly that: one relation over *all* attributes,
+//! with **placeholders** (fresh variables) padding the attributes a user
+//! never supplied, and **window functions** (projections onto attribute
+//! subsets) as the only read primitive. The update-ambiguity metrics are
+//! what the R8 benchmark compares against toposem's unique view-update
+//! translation.
+
+pub mod universal;
+
+pub use universal::{PlaceholderValue, UniversalRelation, UrTuple, Window};

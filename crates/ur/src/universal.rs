@@ -1,0 +1,285 @@
+//! The Universal Relation with placeholders and window functions.
+
+use std::collections::BTreeSet;
+
+use toposem_core::{AttrId, Schema};
+use toposem_extension::Value;
+use toposem_topology::BitSet;
+
+/// A universal-relation cell: a real value or a placeholder variable.
+///
+/// Placeholders are Maier's "members of a set that might not be members of
+/// that set after all": unique variables standing for unknown values, so
+/// that every tuple can span the full attribute universe.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PlaceholderValue {
+    /// A known atomic value.
+    Known(Value),
+    /// A placeholder variable, identified by its allocation number.
+    Placeholder(u64),
+}
+
+impl PlaceholderValue {
+    /// Is this cell a placeholder?
+    pub fn is_placeholder(&self) -> bool {
+        matches!(self, PlaceholderValue::Placeholder(_))
+    }
+}
+
+/// A tuple over the *entire* attribute universe.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UrTuple {
+    cells: Vec<PlaceholderValue>,
+}
+
+impl UrTuple {
+    /// The cell of attribute `a`.
+    pub fn cell(&self, a: AttrId) -> &PlaceholderValue {
+        &self.cells[a.index()]
+    }
+
+    /// How many cells are placeholders.
+    pub fn placeholder_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_placeholder()).count()
+    }
+}
+
+/// A window: the attribute set a user reads or writes through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Window {
+    attrs: BitSet,
+}
+
+impl Window {
+    /// A window over the named attributes.
+    pub fn new(schema: &Schema, attr_names: &[&str]) -> Option<Window> {
+        let mut attrs = BitSet::empty(schema.attr_count());
+        for n in attr_names {
+            attrs.insert(schema.attr_id(n)?.index());
+        }
+        Some(Window { attrs })
+    }
+
+    /// The underlying attribute set.
+    pub fn attrs(&self) -> &BitSet {
+        &self.attrs
+    }
+}
+
+/// The single relation of the Universal Relation model.
+#[derive(Clone, Debug, Default)]
+pub struct UniversalRelation {
+    universe: usize,
+    tuples: BTreeSet<UrTuple>,
+    next_placeholder: u64,
+}
+
+impl UniversalRelation {
+    /// An empty universal relation over a schema's attribute universe.
+    pub fn new(schema: &Schema) -> Self {
+        UniversalRelation {
+            universe: schema.attr_count(),
+            tuples: BTreeSet::new(),
+            next_placeholder: 0,
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total placeholders across all tuples (the model's "information
+    /// debt": cells the user never asserted but the model forces into
+    /// existence).
+    pub fn total_placeholders(&self) -> usize {
+        self.tuples.iter().map(UrTuple::placeholder_count).sum()
+    }
+
+    /// Inserts through a window: the supplied attributes get the supplied
+    /// values, every other attribute gets a **fresh placeholder**.
+    pub fn insert_through_window(&mut self, window: &Window, values: &[(AttrId, Value)]) {
+        let mut cells = Vec::with_capacity(self.universe);
+        for a in 0..self.universe {
+            if window.attrs().contains(a) {
+                let v = values
+                    .iter()
+                    .find(|(attr, _)| attr.index() == a)
+                    .map(|(_, v)| v.clone())
+                    .expect("window attributes must be supplied");
+                cells.push(PlaceholderValue::Known(v));
+            } else {
+                cells.push(PlaceholderValue::Placeholder(self.next_placeholder));
+                self.next_placeholder += 1;
+            }
+        }
+        self.tuples.insert(UrTuple { cells });
+    }
+
+    /// The window function: project every tuple onto the window, dropping
+    /// rows that are placeholder-only in the window. Duplicates collapse.
+    pub fn window(&self, window: &Window) -> BTreeSet<Vec<PlaceholderValue>> {
+        self.tuples
+            .iter()
+            .map(|t| {
+                window
+                    .attrs()
+                    .iter()
+                    .map(|a| t.cells[a].clone())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|row| row.iter().any(|c| !c.is_placeholder()))
+            .collect()
+    }
+
+    /// The tuples matching a window row on known values.
+    fn matching(&self, window: &Window, row: &[(AttrId, Value)]) -> Vec<UrTuple> {
+        self.tuples
+            .iter()
+            .filter(|t| {
+                row.iter().all(|(a, v)| {
+                    window.attrs().contains(a.index())
+                        && t.cells[a.index()] == PlaceholderValue::Known(v.clone())
+                })
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// **The ambiguity the paper is about.** Deleting a row seen through a
+    /// window can be translated to base deletions in many ways: removing
+    /// any nonempty subset of the matching universal tuples removes the
+    /// row from the window. Returns that count, `2^k − 1` for `k` matches
+    /// (0 means the row does not exist; 1 means the translation happens to
+    /// be unique).
+    pub fn delete_translation_count(&self, window: &Window, row: &[(AttrId, Value)]) -> u128 {
+        let k = self.matching(window, row).len() as u32;
+        if k == 0 {
+            0
+        } else {
+            (1u128 << k) - 1
+        }
+    }
+
+    /// Executes one (arbitrary) translation: deletes *all* matching
+    /// universal tuples. Side effects on other windows are unavoidable and
+    /// uncontrolled — which is the point of the comparison.
+    pub fn delete_through_window(&mut self, window: &Window, row: &[(AttrId, Value)]) -> usize {
+        let victims = self.matching(window, row);
+        for v in &victims {
+            self.tuples.remove(v);
+        }
+        victims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::employee_schema;
+
+    fn setup() -> (Schema, UniversalRelation) {
+        let s = employee_schema();
+        let ur = UniversalRelation::new(&s);
+        (s, ur)
+    }
+
+    fn emp_window(s: &Schema) -> Window {
+        Window::new(s, &["name", "age", "depname"]).unwrap()
+    }
+
+    fn emp_values(s: &Schema, n: &str, a: i64, d: &str) -> Vec<(AttrId, Value)> {
+        vec![
+            (s.attr_id("name").unwrap(), Value::str(n)),
+            (s.attr_id("age").unwrap(), Value::Int(a)),
+            (s.attr_id("depname").unwrap(), Value::str(d)),
+        ]
+    }
+
+    #[test]
+    fn insert_pads_with_placeholders() {
+        let (s, mut ur) = setup();
+        let w = emp_window(&s);
+        ur.insert_through_window(&w, &emp_values(&s, "ann", 40, "sales"));
+        assert_eq!(ur.len(), 1);
+        // budget and location got placeholders.
+        assert_eq!(ur.total_placeholders(), 2);
+    }
+
+    #[test]
+    fn window_reads_back_known_cells() {
+        let (s, mut ur) = setup();
+        let w = emp_window(&s);
+        ur.insert_through_window(&w, &emp_values(&s, "ann", 40, "sales"));
+        ur.insert_through_window(&w, &emp_values(&s, "bob", 30, "research"));
+        let rows = ur.window(&w);
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .all(|r| r.iter().all(|c| !c.is_placeholder())));
+    }
+
+    #[test]
+    fn placeholders_prevent_window_collapse() {
+        // Two inserts of the same employee row create two universal tuples
+        // (their placeholders differ) — the "members of a set that might
+        // not be members" problem.
+        let (s, mut ur) = setup();
+        let w = emp_window(&s);
+        ur.insert_through_window(&w, &emp_values(&s, "ann", 40, "sales"));
+        ur.insert_through_window(&w, &emp_values(&s, "ann", 40, "sales"));
+        assert_eq!(ur.len(), 2, "duplicate facts stored twice");
+        assert_eq!(ur.window(&w).len(), 1, "yet the window shows one row");
+    }
+
+    #[test]
+    fn delete_translation_is_ambiguous() {
+        let (s, mut ur) = setup();
+        let w = emp_window(&s);
+        let row = emp_values(&s, "ann", 40, "sales");
+        ur.insert_through_window(&w, &row);
+        ur.insert_through_window(&w, &row);
+        ur.insert_through_window(&w, &emp_values(&s, "bob", 30, "research"));
+        // Two universal tuples match ann: 2² − 1 = 3 candidate translations.
+        assert_eq!(ur.delete_translation_count(&w, &row), 3);
+        // toposem's unique translation corresponds to count 1; the UR model
+        // only reaches it when exactly one tuple matches.
+        assert_eq!(
+            ur.delete_translation_count(&w, &emp_values(&s, "bob", 30, "research")),
+            1
+        );
+        // Executing "delete all" removes both ann tuples.
+        assert_eq!(ur.delete_through_window(&w, &row), 2);
+        assert_eq!(ur.len(), 1);
+    }
+
+    #[test]
+    fn missing_row_has_no_translation() {
+        let (s, ur) = setup();
+        let w = emp_window(&s);
+        assert_eq!(
+            ur.delete_translation_count(&w, &emp_values(&s, "ghost", 1, "sales")),
+            0
+        );
+    }
+
+    #[test]
+    fn cross_window_side_effects() {
+        // Deleting through the employee window destroys budget information
+        // seen through the manager window — an uncontrolled side effect.
+        let (s, mut ur) = setup();
+        let mgr_window = Window::new(&s, &["name", "age", "depname", "budget"]).unwrap();
+        let mut vals = emp_values(&s, "ann", 40, "sales");
+        vals.push((s.attr_id("budget").unwrap(), Value::Int(100)));
+        ur.insert_through_window(&mgr_window, &vals);
+        assert_eq!(ur.window(&mgr_window).len(), 1);
+        let w = emp_window(&s);
+        ur.delete_through_window(&w, &emp_values(&s, "ann", 40, "sales"));
+        assert_eq!(ur.window(&mgr_window).len(), 0, "budget fact silently lost");
+    }
+}

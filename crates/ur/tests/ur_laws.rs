@@ -1,0 +1,75 @@
+//! Property-based tests of the Universal Relation baseline: the ambiguity
+//! formula, placeholder accounting, and window behaviour under arbitrary
+//! insert sequences.
+
+use proptest::prelude::*;
+use toposem_core::employee_schema;
+use toposem_extension::Value;
+use toposem_ur::{UniversalRelation, Window};
+
+const NAMES: [&str; 4] = ["ann", "bob", "carol", "dave"];
+const DEPS: [&str; 3] = ["sales", "research", "admin"];
+
+fn row(schema: &toposem_core::Schema, n: usize, a: i64, d: usize) -> Vec<(toposem_core::AttrId, Value)> {
+    vec![
+        (schema.attr_id("name").unwrap(), Value::str(NAMES[n])),
+        (schema.attr_id("age").unwrap(), Value::Int(a)),
+        (schema.attr_id("depname").unwrap(), Value::str(DEPS[d])),
+    ]
+}
+
+proptest! {
+    /// Inserting k copies of a row yields translation count 2^k − 1 and k
+    /// universal tuples; other rows are unaffected.
+    #[test]
+    fn ambiguity_formula(k in 0usize..10, other in 0usize..5) {
+        let schema = employee_schema();
+        let mut ur = UniversalRelation::new(&schema);
+        let w = Window::new(&schema, &["name", "age", "depname"]).unwrap();
+        let target = row(&schema, 0, 40, 0);
+        for _ in 0..k {
+            ur.insert_through_window(&w, &target);
+        }
+        for i in 0..other {
+            ur.insert_through_window(&w, &row(&schema, 1 + (i % 3), i as i64, i % 3));
+        }
+        let expect = if k == 0 { 0 } else { (1u128 << k) - 1 };
+        prop_assert_eq!(ur.delete_translation_count(&w, &target), expect);
+        prop_assert_eq!(ur.len(), k + other);
+    }
+
+    /// Placeholders: every insert through a 3-attribute window of the
+    /// 5-attribute universe creates exactly 2 placeholders.
+    #[test]
+    fn placeholder_accounting(inserts in prop::collection::vec((0usize..4, 0i64..80, 0usize..3), 0..12)) {
+        let schema = employee_schema();
+        let mut ur = UniversalRelation::new(&schema);
+        let w = Window::new(&schema, &["name", "age", "depname"]).unwrap();
+        for (n, a, d) in &inserts {
+            ur.insert_through_window(&w, &row(&schema, *n, *a, *d));
+        }
+        prop_assert_eq!(ur.total_placeholders(), inserts.len() * 2);
+        // The window collapses duplicates to distinct known rows.
+        let distinct: std::collections::BTreeSet<_> =
+            inserts.iter().map(|(n, a, d)| (*n, *a, *d)).collect();
+        prop_assert_eq!(ur.window(&w).len(), distinct.len());
+    }
+
+    /// delete_through_window removes exactly the matching tuples.
+    #[test]
+    fn delete_removes_all_matches(k in 1usize..6, keep in 0usize..5) {
+        let schema = employee_schema();
+        let mut ur = UniversalRelation::new(&schema);
+        let w = Window::new(&schema, &["name", "age", "depname"]).unwrap();
+        let target = row(&schema, 0, 30, 1);
+        for _ in 0..k {
+            ur.insert_through_window(&w, &target);
+        }
+        for i in 0..keep {
+            ur.insert_through_window(&w, &row(&schema, 1 + (i % 3), i as i64, i % 3));
+        }
+        prop_assert_eq!(ur.delete_through_window(&w, &target), k);
+        prop_assert_eq!(ur.len(), keep);
+        prop_assert_eq!(ur.delete_translation_count(&w, &target), 0);
+    }
+}

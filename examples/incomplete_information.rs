@@ -1,0 +1,61 @@
+//! Null values and incomplete information via boolean algebras (§6).
+//!
+//! The paper's future-work section: give each attribute domain a boolean
+//! algebra structure; a value becomes an information state (set of
+//! possible atoms), nulls are the top element, and FD semantics carries
+//! over context-independently. This example contrasts the three FD
+//! readings — state, certain, and possible — on a small incomplete
+//! relation.
+//!
+//! Run with: `cargo run --example incomplete_information`
+
+use toposem::constraints::{BooleanAlgebra, IncompleteRelation, PartialTuple};
+
+fn main() {
+    // Attribute 0: department ∈ {sales, research}; attribute 1: location
+    // ∈ {amsterdam, utrecht}.
+    let dep = BooleanAlgebra::new(vec!["sales".into(), "research".into()]);
+    let loc = BooleanAlgebra::new(vec!["amsterdam".into(), "utrecht".into()]);
+    let mut rel = IncompleteRelation::new(vec![dep.clone(), loc.clone()]);
+
+    // A fully known fact: sales is in amsterdam.
+    rel.insert(PartialTuple::new(vec![dep.atom(0), loc.atom(0)]));
+    // Research is… somewhere (unknown null = top).
+    rel.insert(PartialTuple::new(vec![dep.atom(1), loc.top()]));
+    // Someone reported sales again with *partial* knowledge: not utrecht…
+    // which in a two-atom algebra pins it to amsterdam — partial values
+    // carry exactly the information they contain.
+    rel.insert(PartialTuple::new(vec![dep.atom(0), loc.atom(0)]));
+
+    println!("tuples:");
+    for t in rel.tuples() {
+        println!("  dep={:?} loc={:?}  total={}", t.value(0), t.value(1), t.is_total());
+    }
+
+    let fd = "department -> location";
+    println!("\nFD {fd}:");
+    println!("  state semantics    : {}", rel.fd_holds_state(&[0], &[1]));
+    println!("  certain semantics  : {}", rel.fd_holds_certain(&[0], &[1]));
+    println!("  possible semantics : {}", rel.fd_holds_possible(&[0], &[1]));
+
+    // Now add a conflicting *unknown* for sales: under state semantics the
+    // top-null differs from the known value, so the FD breaks; under
+    // possible semantics a completion can still rescue it.
+    rel.insert(PartialTuple::new(vec![dep.atom(0), loc.top()]));
+    println!("\nafter inserting sales with an unknown location:");
+    println!("  state semantics    : {}", rel.fd_holds_state(&[0], &[1]));
+    println!("  certain semantics  : {}", rel.fd_holds_certain(&[0], &[1]));
+    println!("  possible semantics : {}", rel.fd_holds_possible(&[0], &[1]));
+
+    // Information order and combination.
+    let known = PartialTuple::new(vec![dep.atom(0), loc.atom(0)]);
+    let vague = PartialTuple::new(vec![dep.atom(0), loc.top()]);
+    println!("\ninformation order: known refines vague: {}", known.refines(&vague));
+    let combined = vague.combine(&known);
+    println!("combine(vague, known) == known: {}", combined == known);
+    let clash = PartialTuple::new(vec![dep.atom(0), loc.atom(1)]);
+    println!(
+        "combining contradictory reports is inconsistent: {}",
+        known.combine(&clash).is_inconsistent()
+    );
+}

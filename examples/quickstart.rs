@@ -1,0 +1,112 @@
+//! Quickstart: build the paper's employee database, inspect its topology,
+//! load data, and watch the axioms do their work.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use toposem::core::{employee_schema, Intension};
+use toposem::extension::{
+    check_extension_axiom, verify_corollary, ContainmentPolicy, Database, DomainCatalog, Value,
+};
+
+fn main() {
+    // 1. The intension: schema + topologies + subbase analysis.
+    let intension = Intension::analyse(employee_schema());
+    let schema = intension.schema().clone();
+
+    println!("== T1: entity types and attribute sets ==");
+    for e in schema.type_ids() {
+        println!(
+            "  {:<12} {:?}",
+            schema.type_name(e),
+            schema.attr_set_names(schema.attrs_of(e))
+        );
+    }
+
+    println!("\n== F2: specialisation sets S_e ==");
+    for e in schema.type_ids() {
+        let se = intension.specialisation().s_set(e);
+        println!(
+            "  S_{:<10} = {:?}",
+            schema.type_name(e),
+            schema.type_set_names(se)
+        );
+    }
+
+    println!("\n== R1: chosen subbase and constructed types ==");
+    let primitive: Vec<&str> = intension
+        .subbase_types()
+        .iter()
+        .map(|&e| schema.type_name(e))
+        .collect();
+    let constructed: Vec<&str> = intension
+        .constructed_types()
+        .iter()
+        .map(|&e| schema.type_name(e))
+        .collect();
+    println!("  R_T        = {primitive:?}");
+    println!("  constructed = {constructed:?}");
+
+    println!("\n== R3: contributors CO_e ==");
+    for e in schema.type_ids() {
+        let co: Vec<&str> = intension
+            .contributors_of(e)
+            .iter()
+            .map(|&c| schema.type_name(c))
+            .collect();
+        println!("  CO_{:<9} = {co:?}", schema.type_name(e));
+    }
+
+    // 2. An extension under eager containment maintenance.
+    let mut db = Database::new(
+        intension,
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    );
+    let manager = schema.type_id("manager").unwrap();
+    let department = schema.type_id("department").unwrap();
+    db.insert_fields(
+        manager,
+        &[
+            ("name", Value::str("ann")),
+            ("age", Value::Int(40)),
+            ("depname", Value::str("sales")),
+            ("budget", Value::Int(100_000)),
+        ],
+    )
+    .unwrap();
+    db.insert_fields(
+        department,
+        &[
+            ("depname", Value::str("sales")),
+            ("location", Value::str("amsterdam")),
+        ],
+    )
+    .unwrap();
+
+    println!("\n== Containment: inserting a manager creates the whole cut ==");
+    for e in schema.type_ids() {
+        println!(
+            "  |R_{:<9}| = {}",
+            schema.type_name(e),
+            db.extension(e).len()
+        );
+    }
+    assert!(db.verify_containment().is_empty());
+
+    // 3. The §4.2 corollary and the Extension Axiom, verified on the data.
+    let report = verify_corollary(&db);
+    println!(
+        "\n== R4: extension-mapping corollary: {} chains checked, all hold: {} ==",
+        report.triples_checked,
+        report.all_hold()
+    );
+    let ea = check_extension_axiom(&db, manager);
+    println!(
+        "== R5: Extension Axiom for manager holds: {} (contributors: {:?}) ==",
+        ea.holds(),
+        ea.contributors
+            .iter()
+            .map(|&c| schema.type_name(c))
+            .collect::<Vec<_>>()
+    );
+}

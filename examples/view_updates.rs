@@ -1,0 +1,111 @@
+//! View updates: the paper's headline claim, demonstrated head-to-head.
+//!
+//! toposem views are sets of entity types (View Axiom), so every view
+//! update routes to exactly one base update. The Universal Relation
+//! baseline answers the same requests with placeholder-padded tuples and
+//! ambiguous delete translations.
+//!
+//! Run with: `cargo run --example view_updates`
+
+use toposem::core::{employee_schema, Intension, ViewType};
+use toposem::extension::{ContainmentPolicy, Database, DomainCatalog, Instance, Value};
+use toposem::storage::{apply_update, materialise, translation_count, Engine, ViewUpdate};
+use toposem::ur::{UniversalRelation, Window};
+
+fn main() {
+    let schema = employee_schema();
+    let employee = schema.type_id("employee").unwrap();
+    let department = schema.type_id("department").unwrap();
+
+    // ---------- toposem ----------
+    let engine = Engine::new(Database::new(
+        Intension::analyse(schema.clone()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    ));
+    let view = ViewType::new(&schema, "staffing", &[employee, department]).unwrap();
+
+    apply_update(
+        &engine,
+        &view,
+        ViewUpdate::Insert {
+            target: employee,
+            fields: &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+            ],
+        },
+    )
+    .unwrap();
+    // Insert the same employee twice: idempotent (sets, not bags).
+    apply_update(
+        &engine,
+        &view,
+        ViewUpdate::Insert {
+            target: employee,
+            fields: &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+            ],
+        },
+    )
+    .unwrap();
+    let m = materialise(&engine, &view);
+    println!("toposem: staffing view holds {} tuple(s)", m.len());
+    println!(
+        "toposem: update translations for employee target: {}",
+        translation_count(&view, employee)
+    );
+
+    let ann = engine.with_db(|db| {
+        Instance::new(
+            db.schema(),
+            db.catalog(),
+            employee,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap()
+    });
+    let removed = apply_update(
+        &engine,
+        &view,
+        ViewUpdate::Delete {
+            target: employee,
+            instance: &ann,
+        },
+    )
+    .unwrap();
+    println!("toposem: delete removed {removed} base tuple(s), view now empty: {}", materialise(&engine, &view).is_empty());
+
+    // ---------- Universal Relation baseline ----------
+    let mut ur = UniversalRelation::new(&schema);
+    let window = Window::new(&schema, &["name", "age", "depname"]).unwrap();
+    let row = vec![
+        (schema.attr_id("name").unwrap(), Value::str("ann")),
+        (schema.attr_id("age").unwrap(), Value::Int(40)),
+        (schema.attr_id("depname").unwrap(), Value::str("sales")),
+    ];
+    ur.insert_through_window(&window, &row);
+    ur.insert_through_window(&window, &row);
+    println!(
+        "\nUR: same two inserts created {} universal tuples carrying {} placeholders",
+        ur.len(),
+        ur.total_placeholders()
+    );
+    println!(
+        "UR: the window shows {} row(s) — the duplicates are invisible",
+        ur.window(&window).len()
+    );
+    println!(
+        "UR: deleting ann through the window has {} candidate translations",
+        ur.delete_translation_count(&window, &row)
+    );
+    ur.delete_through_window(&window, &row);
+    println!("UR: after executing one translation, {} tuples remain", ur.len());
+}

@@ -1,0 +1,92 @@
+//! # toposem
+//!
+//! A complete Rust implementation of Siebes & Kersten, *Using Design
+//! Axioms and Topology to Model Database Semantics* (CWI CS-R8711, 1987):
+//! six design axioms, entity-type topologies, extensions with containment
+//! and the Extension Axiom, entity-type functional dependencies with the
+//! Armstrong calculus, the §6 constraint extensions, a presheaf view of
+//! extensions, an enforcing storage engine, and the Universal Relation
+//! baseline the paper argues against.
+//!
+//! This crate is a facade: every subsystem lives in its own crate and is
+//! re-exported here under a module named after its role.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use toposem::core::{employee_schema, Intension};
+//! use toposem::extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+//!
+//! let intension = Intension::analyse(employee_schema());
+//! // R1 of the paper: worksfor is the only constructed entity type.
+//! let constructed: Vec<&str> = intension
+//!     .constructed_types()
+//!     .iter()
+//!     .map(|&e| intension.schema().type_name(e))
+//!     .collect();
+//! assert_eq!(constructed, vec!["worksfor"]);
+//!
+//! let mut db = Database::new(
+//!     intension,
+//!     DomainCatalog::employee_defaults(),
+//!     ContainmentPolicy::Eager,
+//! );
+//! let manager = db.schema().type_id("manager").unwrap();
+//! db.insert_fields(manager, &[
+//!     ("name", Value::str("ann")),
+//!     ("age", Value::Int(40)),
+//!     ("depname", Value::str("sales")),
+//!     ("budget", Value::Int(100_000)),
+//! ]).unwrap();
+//! // Containment: ann is automatically an employee and a person.
+//! let person = db.schema().type_id("person").unwrap();
+//! assert_eq!(db.extension(person).len(), 1);
+//! ```
+
+/// Finite topological spaces (bitsets, subbases, preorders, continuity).
+pub mod topology {
+    pub use toposem_topology::*;
+}
+
+/// The conceptual model: schemas, axioms, S/G topologies, contributors,
+/// views, intensions.
+pub mod core {
+    pub use toposem_core::*;
+}
+
+/// Extensions: domains, instances, relations, containment, joins, the
+/// Extension Axiom, evolution.
+pub mod extension {
+    pub use toposem_extension::*;
+}
+
+/// Functional dependencies over entity types: Armstrong calculus,
+/// propagation, nucleus, mappings, keys, soundness/completeness harness.
+pub mod fd {
+    pub use toposem_fd::*;
+}
+
+/// §6 constraints: boolean algebras, nulls, MVDs, join dependencies.
+pub mod constraints {
+    pub use toposem_constraints::*;
+}
+
+/// Presheaves and the extension presheaf.
+pub mod sheaf {
+    pub use toposem_sheaf::*;
+}
+
+/// The enforcing storage engine, query algebra, and views.
+pub mod storage {
+    pub use toposem_storage::*;
+}
+
+/// The Universal Relation baseline.
+pub mod ur {
+    pub use toposem_ur::*;
+}
+
+/// Design methodology, EAR import, subbase selection, synthesiser.
+pub mod design {
+    pub use toposem_design::*;
+}
