@@ -15,7 +15,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f1_disk_cuts");
 
@@ -43,10 +42,14 @@ fn bench(c: &mut Criterion) {
                 seed: 1,
             },
         );
-        g.bench_with_input(BenchmarkId::new("sections_singleton_open", n), &sdb, |b, db| {
-            let p = ExtensionPresheaf::new(db);
-            b.iter(|| p.sections_over(&open_manager).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sections_singleton_open", n),
+            &sdb,
+            |b, db| {
+                let p = ExtensionPresheaf::new(db);
+                b.iter(|| p.sections_over(&open_manager).len())
+            },
+        );
     }
     g.finish();
 }

@@ -12,7 +12,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f2_specialisation");
     for n in SCHEMA_SWEEP {
@@ -32,10 +31,7 @@ fn bench(c: &mut Criterion) {
                     let mut total = 0usize;
                     for e in s.type_ids() {
                         for f in s.type_ids() {
-                            if s.attrs_of(e)
-                                .iter()
-                                .all(|a| s.attrs_of(f).contains(a))
-                            {
+                            if s.attrs_of(e).iter().all(|a| s.attrs_of(f).contains(a)) {
                                 total += 1;
                             }
                         }

@@ -11,7 +11,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("f3_generalisation");
     for n in SCHEMA_SWEEP {

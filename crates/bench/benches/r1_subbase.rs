@@ -15,7 +15,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r1_subbase");
     for n in [8usize, 32, 128] {
@@ -26,9 +25,7 @@ fn bench(c: &mut Criterion) {
             BenchmarkId::new("greedy_minimal", schema.type_count()),
             &cover,
             |b, cov| {
-                b.iter(|| {
-                    SubbaseAnalysis::new(schema.type_count(), cov.clone()).greedy_minimal()
-                })
+                b.iter(|| SubbaseAnalysis::new(schema.type_count(), cov.clone()).greedy_minimal())
             },
         );
     }

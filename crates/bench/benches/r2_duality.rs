@@ -12,7 +12,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r2_duality");
     for n in SCHEMA_SWEEP {
@@ -27,8 +26,8 @@ fn bench(c: &mut Criterion) {
                     let mut ok = true;
                     for x in schema.type_ids() {
                         for y in schema.type_ids() {
-                            ok &= sp.s_set(x).contains(y.index())
-                                == gn.g_set(y).contains(x.index());
+                            ok &=
+                                sp.s_set(x).contains(y.index()) == gn.g_set(y).contains(x.index());
                         }
                     }
                     ok

@@ -13,7 +13,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r5_extension_axiom");
     let schema = employee_schema();
@@ -35,9 +34,11 @@ fn bench(c: &mut Criterion) {
         });
         let emp = db.extension(employee);
         let dep = db.extension(department);
-        g.bench_with_input(BenchmarkId::new("contributor_join", n), &(emp, dep), |b, (e, d)| {
-            b.iter(|| multi_join(schema.attr_count(), &[e, d]).len())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("contributor_join", n),
+            &(emp, dep),
+            |b, (e, d)| b.iter(|| multi_join(schema.attr_count(), &[e, d]).len()),
+        );
     }
     g.finish();
 }

@@ -15,7 +15,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r7_fd_mappings");
     let db = employee_db(ContainmentPolicy::Eager);
@@ -23,7 +22,9 @@ fn bench(c: &mut Criterion) {
     let worksfor = s.type_id("worksfor").unwrap();
     let gen = db.intension().generalisation();
 
-    g.bench_function("nucleus_worksfor", |b| b.iter(|| nucleus(gen, worksfor).len()));
+    g.bench_function("nucleus_worksfor", |b| {
+        b.iter(|| nucleus(gen, worksfor).len())
+    });
 
     for n in [10usize, 100, 1000] {
         let sdb = random_database(

@@ -15,7 +15,6 @@ fn cfg() -> Criterion {
         .measurement_time(std::time::Duration::from_secs(2))
 }
 
-
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r8_view_updates");
     let schema = employee_schema();
@@ -58,7 +57,10 @@ fn bench(c: &mut Criterion) {
                     ur.insert_through_window(
                         &w,
                         &[
-                            (schema.attr_id("name").unwrap(), Value::str(&format!("p{i}"))),
+                            (
+                                schema.attr_id("name").unwrap(),
+                                Value::str(&format!("p{i}")),
+                            ),
                             (schema.attr_id("age").unwrap(), Value::Int((i % 60) as i64)),
                             (schema.attr_id("depname").unwrap(), Value::str("sales")),
                         ],

@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use toposem_bench::employee_db;
 use toposem_constraints::{
-    mvd_holds_as_product, mvd_holds_pairwise, BooleanAlgebra, IncompleteRelation, Mvd,
-    PartialTuple,
+    mvd_holds_as_product, mvd_holds_pairwise, BooleanAlgebra, IncompleteRelation, Mvd, PartialTuple,
 };
 use toposem_core::employee_schema;
 use toposem_design::{random_database, ExtensionParams};
@@ -18,7 +17,6 @@ fn cfg() -> Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2))
 }
-
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("r9_extensions");
@@ -37,7 +35,11 @@ fn bench(c: &mut Criterion) {
         let mut rel = IncompleteRelation::new(algebras.clone());
         for i in 0..n {
             let dep = algebras[0].atom(i % 2);
-            let loc = if i % 3 == 0 { algebras[1].top() } else { algebras[1].atom(i % 2) };
+            let loc = if i % 3 == 0 {
+                algebras[1].top()
+            } else {
+                algebras[1].atom(i % 2)
+            };
             rel.insert(PartialTuple::new(vec![dep, loc]));
         }
         g.bench_with_input(BenchmarkId::new("fd_state_semantics", n), &rel, |b, r| {

@@ -132,11 +132,17 @@ fn r1() {
     let i = db.intension();
     println!(
         "R_T        = {:?}",
-        i.subbase_types().iter().map(|&e| s.type_name(e)).collect::<Vec<_>>()
+        i.subbase_types()
+            .iter()
+            .map(|&e| s.type_name(e))
+            .collect::<Vec<_>>()
     );
     println!(
         "constructed = {:?}",
-        i.constructed_types().iter().map(|&e| s.type_name(e)).collect::<Vec<_>>()
+        i.constructed_types()
+            .iter()
+            .map(|&e| s.type_name(e))
+            .collect::<Vec<_>>()
     );
     println!("paper: R_T = {{person, department, employee, manager}}; worksfor constructed");
 }
@@ -233,7 +239,11 @@ fn r5() {
         println!(
             "{:<10} contributors {:?}: undetermined {}, injectivity failures {}",
             s.type_name(report.entity_type),
-            report.contributors.iter().map(|&c| s.type_name(c)).collect::<Vec<_>>(),
+            report
+                .contributors
+                .iter()
+                .map(|&c| s.type_name(c))
+                .collect::<Vec<_>>(),
             report.undetermined.len(),
             report.injectivity_failures.len()
         );
@@ -272,7 +282,12 @@ fn f4() {
             );
         }
         toposem_fd::FdCheck::Violated(a, b) => {
-            println!("{} violated by {} / {}", fd.display(s), a.display(s), b.display(s));
+            println!(
+                "{} violated by {} / {}",
+                fd.display(s),
+                a.display(s),
+                b.display(s)
+            );
         }
     }
 }
@@ -341,9 +356,15 @@ fn r8() {
     let mut ur = UniversalRelation::new(&s);
     let w = Window::new(&s, &["name", "age", "depname"]).unwrap();
     let row = vec![
-        (s.attr_id("name").unwrap(), toposem_extension::Value::str("ann")),
+        (
+            s.attr_id("name").unwrap(),
+            toposem_extension::Value::str("ann"),
+        ),
         (s.attr_id("age").unwrap(), toposem_extension::Value::Int(40)),
-        (s.attr_id("depname").unwrap(), toposem_extension::Value::str("sales")),
+        (
+            s.attr_id("depname").unwrap(),
+            toposem_extension::Value::str("sales"),
+        ),
     ];
     println!(
         "{:<22} {:>12} {:>16}",
@@ -369,7 +390,10 @@ fn r9() {
     header("R9", "§6 extensions: nulls, MVDs, sheaf condition");
     use toposem_constraints::{BooleanAlgebra, IncompleteRelation, PartialTuple};
     let a = BooleanAlgebra::with_atoms(2);
-    println!("boolean algebra laws on 2-atom algebra: {}", a.verify_laws());
+    println!(
+        "boolean algebra laws on 2-atom algebra: {}",
+        a.verify_laws()
+    );
     let mut rel = IncompleteRelation::new(vec![
         BooleanAlgebra::with_atoms(2),
         BooleanAlgebra::with_atoms(2),

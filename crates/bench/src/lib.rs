@@ -19,7 +19,10 @@ pub fn employee_db(policy: ContainmentPolicy) -> Database {
         policy,
     );
     let s = db.schema().clone();
-    for (n, a, d, b) in [("ann", 40, "sales", 100_000), ("bob", 50, "research", 80_000)] {
+    for (n, a, d, b) in [
+        ("ann", 40, "sales", 100_000),
+        ("bob", 50, "research", 80_000),
+    ] {
         db.insert_fields(
             s.type_id("manager").unwrap(),
             &[
@@ -104,7 +107,9 @@ pub fn sweep_db(schema: &Schema, tuples_per_type: usize) -> Database {
 
 /// Type names resolved for display.
 pub fn names(schema: &Schema, ids: &[TypeId]) -> Vec<String> {
-    ids.iter().map(|&e| schema.type_name(e).to_owned()).collect()
+    ids.iter()
+        .map(|&e| schema.type_name(e).to_owned())
+        .collect()
 }
 
 #[cfg(test)]

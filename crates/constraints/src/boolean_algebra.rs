@@ -183,14 +183,8 @@ mod tests {
         let ba = BooleanAlgebra::with_atoms(4);
         for x in ba.elements() {
             for y in ba.elements() {
-                assert_eq!(
-                    ba.not(&ba.meet(&x, &y)),
-                    ba.join(&ba.not(&x), &ba.not(&y))
-                );
-                assert_eq!(
-                    ba.not(&ba.join(&x, &y)),
-                    ba.meet(&ba.not(&x), &ba.not(&y))
-                );
+                assert_eq!(ba.not(&ba.meet(&x, &y)), ba.join(&ba.not(&x), &ba.not(&y)));
+                assert_eq!(ba.not(&ba.join(&x, &y)), ba.meet(&ba.not(&x), &ba.not(&y)));
             }
         }
     }

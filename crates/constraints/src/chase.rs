@@ -163,7 +163,11 @@ mod tests {
         let s = explicated_schema();
         let employee = s.type_id("employee").unwrap();
         let department = s.type_id("department").unwrap();
-        assert!(!fds_imply_jd(&s, &[(employee, department)], &worksfor_jd(&s)));
+        assert!(!fds_imply_jd(
+            &s,
+            &[(employee, department)],
+            &worksfor_jd(&s)
+        ));
     }
 
     #[test]
@@ -179,7 +183,11 @@ mod tests {
         let s = explicated_schema();
         let employee = s.type_id("employee").unwrap();
         let department = s.type_id("department").unwrap();
-        assert!(!fds_imply_jd(&s, &[(department, employee)], &worksfor_jd(&s)));
+        assert!(!fds_imply_jd(
+            &s,
+            &[(department, employee)],
+            &worksfor_jd(&s)
+        ));
     }
 
     #[test]

@@ -121,7 +121,9 @@ pub fn check_constraints(db: &Database, cs: &[DomainConstraint]) -> Vec<Constrai
     cs.iter()
         .enumerate()
         .filter_map(|(index, c)| {
-            check_constraint(db, c).err().map(|message| ConstraintViolation { index, message })
+            check_constraint(db, c)
+                .err()
+                .map(|message| ConstraintViolation { index, message })
         })
         .collect()
 }

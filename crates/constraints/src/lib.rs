@@ -15,7 +15,9 @@ pub mod null;
 
 pub use boolean_algebra::{BaElement, BooleanAlgebra};
 pub use chase::fds_imply_jd;
-pub use domain_constraint::{check_constraint, check_constraints, ConstraintViolation, DomainConstraint};
+pub use domain_constraint::{
+    check_constraint, check_constraints, ConstraintViolation, DomainConstraint,
+};
 pub use jd::{check_jd, contributor_jd, JdReport, JoinDependency};
 pub use mvd::{complement_mvd, fd_implies_mvd, mvd_holds_as_product, mvd_holds_pairwise, Mvd};
 pub use null::{IncompleteRelation, PartialTuple};

@@ -44,9 +44,9 @@ pub fn mvd_holds_pairwise(db: &Database, mvd: &Mvd) -> bool {
             // Need t3 = t1[X Y] ⊎ t2[Z].
             let want_xy = t1.project(&x.union(&y));
             let want_z = t2.project(&z);
-            let found = tuples.iter().any(|t3| {
-                t3.project(&x.union(&y)) == want_xy && t3.project(&z) == want_z
-            });
+            let found = tuples
+                .iter()
+                .any(|t3| t3.project(&x.union(&y)) == want_xy && t3.project(&z) == want_z);
             if !found {
                 return false;
             }
@@ -109,9 +109,7 @@ pub fn complement_mvd(db: &Database, mvd: &Mvd) -> Option<Mvd> {
     let schema = db.schema();
     let x = schema.attrs_of(mvd.lhs);
     let y = schema.attrs_of(mvd.rhs).difference(x);
-    let z = schema
-        .attrs_of(mvd.context)
-        .difference(&x.union(&y));
+    let z = schema.attrs_of(mvd.context).difference(&x.union(&y));
     // The complement is expressible only when some entity type has
     // attribute set X ∪ Z (the Integrity Axiom: explicate it!).
     let want = x.union(&z);

@@ -284,12 +284,21 @@ mod tests {
     #[test]
     fn certain_fd_on_total_data_is_classical() {
         let mut rel = two_attr_relation();
-        rel.insert(PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 0)]));
-        rel.insert(PartialTuple::new(vec![known(&rel, 0, 1), known(&rel, 1, 1)]));
+        rel.insert(PartialTuple::new(vec![
+            known(&rel, 0, 0),
+            known(&rel, 1, 0),
+        ]));
+        rel.insert(PartialTuple::new(vec![
+            known(&rel, 0, 1),
+            known(&rel, 1, 1),
+        ]));
         assert!(rel.fd_holds_state(&[0], &[1]));
         assert!(rel.fd_holds_certain(&[0], &[1]));
         // Introduce a genuine violation.
-        rel.insert(PartialTuple::new(vec![known(&rel, 0, 0), known(&rel, 1, 1)]));
+        rel.insert(PartialTuple::new(vec![
+            known(&rel, 0, 0),
+            known(&rel, 1, 1),
+        ]));
         assert!(!rel.fd_holds_state(&[0], &[1]));
         assert!(!rel.fd_holds_certain(&[0], &[1]));
         assert!(!rel.fd_holds_possible(&[0], &[1]));

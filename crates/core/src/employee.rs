@@ -60,7 +60,11 @@ mod tests {
     fn worksfor_is_an_entity_type_with_designated_contributors() {
         let s = employee_schema();
         let worksfor = s.type_id("worksfor").unwrap();
-        let contributors = s.entity_type(worksfor).declared_contributors.as_ref().unwrap();
+        let contributors = s
+            .entity_type(worksfor)
+            .declared_contributors
+            .as_ref()
+            .unwrap();
         let names: Vec<&str> = contributors.iter().map(|&c| s.type_name(c)).collect();
         assert_eq!(names, vec!["employee", "department"]);
     }

@@ -107,7 +107,10 @@ mod tests {
         // G_manager = {employee, person, manager}
         assert_eq!(g("manager"), vec!["employee", "person", "manager"]);
         // G_worksfor = {employee, person, department, worksfor}
-        assert_eq!(g("worksfor"), vec!["employee", "person", "department", "worksfor"]);
+        assert_eq!(
+            g("worksfor"),
+            vec!["employee", "person", "department", "worksfor"]
+        );
         // G_department = {department}
         assert_eq!(g("department"), vec!["department"]);
         // G_person = {person}; G_employee = {employee, person}

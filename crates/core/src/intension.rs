@@ -50,8 +50,7 @@ impl Intension {
         let spec = SpecialisationTopology::of_schema(&schema);
         let gen = GeneralisationTopology::of_schema(&schema);
         let analysis = SubbaseAnalysis::new(schema.type_count(), spec.cover());
-        let chosen =
-            BitSet::from_indices(schema.type_count(), subbase.iter().map(|t| t.index()));
+        let chosen = BitSet::from_indices(schema.type_count(), subbase.iter().map(|t| t.index()));
         if !analysis.generates(&chosen) {
             return None;
         }
@@ -85,7 +84,10 @@ impl Intension {
 
     /// The chosen subbase `R_T` (primitive entity types).
     pub fn subbase_types(&self) -> Vec<TypeId> {
-        self.chosen_subbase.iter().map(|i| TypeId(i as u32)).collect()
+        self.chosen_subbase
+            .iter()
+            .map(|i| TypeId(i as u32))
+            .collect()
     }
 
     /// The constructed entity types: `E \ R_T` — "the entity types not in
@@ -125,8 +127,7 @@ impl Intension {
     /// freedom of §3.1 ("choose a subbase for T which reflects the bias to
     /// the Universe of Discourse"). Exponential; design-time only.
     pub fn all_minimal_subbases(&self) -> Vec<Vec<TypeId>> {
-        let analysis =
-            SubbaseAnalysis::new(self.schema.type_count(), self.spec.cover());
+        let analysis = SubbaseAnalysis::new(self.schema.type_count(), self.spec.cover());
         analysis
             .all_minimal()
             .into_iter()
@@ -193,9 +194,11 @@ mod tests {
         // types (worksfor's S-set is the only derivable one).
         assert!(!all.is_empty());
         for sb in &all {
-            let names: Vec<&str> =
-                sb.iter().map(|&e| i.schema().type_name(e)).collect();
-            assert!(!names.contains(&"worksfor"), "worksfor is never needed: {names:?}");
+            let names: Vec<&str> = sb.iter().map(|&e| i.schema().type_name(e)).collect();
+            assert!(
+                !names.contains(&"worksfor"),
+                "worksfor is never needed: {names:?}"
+            );
         }
     }
 

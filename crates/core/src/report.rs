@@ -54,7 +54,8 @@ pub fn markdown_report(intension: &Intension) -> String {
             out,
             "- `S_{}` = {{{}}}",
             s.type_name(e),
-            s.type_set_names(intension.specialisation().s_set(e)).join(", ")
+            s.type_set_names(intension.specialisation().s_set(e))
+                .join(", ")
         );
     }
 
@@ -64,7 +65,8 @@ pub fn markdown_report(intension: &Intension) -> String {
             out,
             "- `G_{}` = {{{}}}",
             s.type_name(e),
-            s.type_set_names(intension.generalisation().g_set(e)).join(", ")
+            s.type_set_names(intension.generalisation().g_set(e))
+                .join(", ")
         );
     }
 
@@ -84,7 +86,11 @@ pub fn dot_isa_diagram(intension: &Intension) -> String {
     let _ = writeln!(out, "digraph isa {{");
     let _ = writeln!(out, "  rankdir=BT;");
     for e in s.type_ids() {
-        let shape = if intension.is_primitive(e) { "box" } else { "ellipse" };
+        let shape = if intension.is_primitive(e) {
+            "box"
+        } else {
+            "ellipse"
+        };
         let _ = writeln!(
             out,
             "  \"{}\" [shape={}, label=\"{}\\n{{{}}}\"];",
@@ -95,7 +101,12 @@ pub fn dot_isa_diagram(intension: &Intension) -> String {
         );
     }
     for (sub, sup) in intension.specialisation().isa_edges() {
-        let _ = writeln!(out, "  \"{}\" -> \"{}\";", s.type_name(sub), s.type_name(sup));
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            s.type_name(sub),
+            s.type_name(sup)
+        );
     }
     let _ = writeln!(out, "}}");
     out

@@ -266,7 +266,10 @@ impl SchemaBuilder {
         self.types.push(EntityTypeDef {
             name: name.to_owned(),
             // Placeholder universe; fixed up in build().
-            attrs: BitSet::from_indices(self.attrs.len().max(key.iter().max().map_or(0, |m| m + 1)), key),
+            attrs: BitSet::from_indices(
+                self.attrs.len().max(key.iter().max().map_or(0, |m| m + 1)),
+                key,
+            ),
             declared_contributors: None,
         });
         id
@@ -291,9 +294,7 @@ impl SchemaBuilder {
             let id = self.attr_names.get(a).map(AttrId).unwrap_or_else(|| {
                 self.violations.push(AxiomViolation {
                     axiom: DesignAxiom::Attribute,
-                    message: format!(
-                        "relationship `{name}` references undeclared attribute `{a}`"
-                    ),
+                    message: format!("relationship `{name}` references undeclared attribute `{a}`"),
                 });
                 let id = self.attr_names.intern(a);
                 self.attrs.push(AttributeDef {
@@ -342,7 +343,8 @@ impl SchemaBuilder {
                             message: format!(
                                 "contributor `{}` of `{}` is not a generalisation \
                                  (its attributes are not a subset)",
-                                types_snapshot[c.index()].name, t.name
+                                types_snapshot[c.index()].name,
+                                t.name
                             ),
                         });
                     }
@@ -417,7 +419,8 @@ mod tests {
         let (_, violations) = b.build();
         assert!(violations
             .iter()
-            .any(|v| v.axiom == DesignAxiom::Attribute && v.message.contains("multiple semantic roles")));
+            .any(|v| v.axiom == DesignAxiom::Attribute
+                && v.message.contains("multiple semantic roles")));
     }
 
     #[test]
@@ -445,7 +448,9 @@ mod tests {
         let mut b = SchemaBuilder::new();
         b.entity_type("nothing", &[]);
         let (_, violations) = b.build();
-        assert!(violations.iter().any(|v| v.message.contains("no attributes")));
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("no attributes")));
     }
 
     #[test]
@@ -456,7 +461,9 @@ mod tests {
         b.entity_type("t", &["x"]);
         b.entity_type("t", &["y"]);
         let (_, violations) = b.build();
-        assert!(violations.iter().any(|v| v.message.contains("declared twice")));
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("declared twice")));
     }
 
     #[test]

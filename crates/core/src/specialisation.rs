@@ -127,7 +127,10 @@ mod tests {
             vec!["employee", "person", "manager", "worksfor"]
         );
         // S_employee = {employee, manager, worksfor}
-        assert_eq!(names(by_name("employee")), vec!["employee", "manager", "worksfor"]);
+        assert_eq!(
+            names(by_name("employee")),
+            vec!["employee", "manager", "worksfor"]
+        );
         // S_department = {department, worksfor}
         assert_eq!(names(by_name("department")), vec!["department", "worksfor"]);
         // S_manager = {manager}; S_worksfor = {worksfor}

@@ -26,11 +26,7 @@ impl ViewType {
     /// Builds a view from member type ids, validating the View Axiom
     /// structurally (members must exist in the schema; a view must be
     /// non-empty to denote anything).
-    pub fn new(
-        schema: &Schema,
-        name: &str,
-        members: &[TypeId],
-    ) -> Result<Self, AxiomViolation> {
+    pub fn new(schema: &Schema, name: &str, members: &[TypeId]) -> Result<Self, AxiomViolation> {
         if members.is_empty() {
             return Err(AxiomViolation {
                 axiom: DesignAxiom::View,
@@ -41,18 +37,13 @@ impl ViewType {
             if m.index() >= schema.type_count() {
                 return Err(AxiomViolation {
                     axiom: DesignAxiom::View,
-                    message: format!(
-                        "view `{name}` references unknown entity type id {m}"
-                    ),
+                    message: format!("view `{name}` references unknown entity type id {m}"),
                 });
             }
         }
         Ok(ViewType {
             name: name.to_owned(),
-            members: BitSet::from_indices(
-                schema.type_count(),
-                members.iter().map(|m| m.index()),
-            ),
+            members: BitSet::from_indices(schema.type_count(), members.iter().map(|m| m.index())),
         })
     }
 

@@ -119,7 +119,10 @@ pub fn import(er: &ErSchema) -> Result<Imported, ImportError> {
     }
     let schema = b.build_strict().map_err(|v| {
         ImportError::AxiomViolation(
-            v.iter().map(ToString::to_string).collect::<Vec<_>>().join("; "),
+            v.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; "),
         )
     })?;
     let gen = GeneralisationTopology::of_schema(&schema);

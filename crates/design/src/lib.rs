@@ -14,7 +14,7 @@ pub mod synth;
 
 pub use basis::{select_subbase, subbase_menu, Bias};
 pub use er_import::{
-    employee_er, import, Cardinality, ErEntity, ErRelationship, ErSchema, Imported, ImportError,
+    employee_er, import, Cardinality, ErEntity, ErRelationship, ErSchema, ImportError, Imported,
 };
 pub use normalize::{decompose, missing_types, Component};
 pub use process::{run_design_process, Finding};

@@ -128,7 +128,10 @@ mod tests {
         assert!(ids.contains(&Some(department)));
         assert!(ids.contains(&Some(employee)));
         assert_eq!(comps.len(), 2);
-        assert!(missing_types(&comps).is_empty(), "both units are explicated");
+        assert!(
+            missing_types(&comps).is_empty(),
+            "both units are explicated"
+        );
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn random_schema(params: &SchemaParams) -> Schema {
 pub fn int_catalog(schema: &Schema, value_range: i64) -> DomainCatalog {
     let mut c = DomainCatalog::new();
     for a in schema.attr_ids() {
-        c.bind(&schema.attr(a).domain, DomainSpec::IntRange(0, value_range - 1));
+        c.bind(
+            &schema.attr(a).domain,
+            DomainSpec::IntRange(0, value_range - 1),
+        );
     }
     c
 }
@@ -124,11 +127,7 @@ impl Default for ExtensionParams {
 pub fn random_database(schema: &Schema, params: &ExtensionParams) -> Database {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let catalog = int_catalog(schema, params.value_range);
-    let mut db = Database::new(
-        Intension::analyse(schema.clone()),
-        catalog,
-        params.policy,
-    );
+    let mut db = Database::new(Intension::analyse(schema.clone()), catalog, params.policy);
     for e in schema.type_ids() {
         for _ in 0..params.tuples_per_type {
             let fields: Vec<(AttrId, Value)> = schema
@@ -186,7 +185,7 @@ pub fn scale_params(base: &SchemaParams, k: usize) -> SchemaParams {
 #[cfg(test)]
 mod tests {
     use super::*;
-        #[test]
+    #[test]
     fn synthesis_is_deterministic() {
         let p = SchemaParams::default();
         let a = random_schema(&p);

@@ -198,6 +198,26 @@ impl Database {
         }
     }
 
+    /// The semantic extension of `e` without cloning when the policy
+    /// permits: under eager maintenance the stored relation *is* the
+    /// extension, so a borrow suffices; under on-demand the collected
+    /// union is owned. Executors use this to scan without copying.
+    pub fn extension_cow(&self, e: TypeId) -> std::borrow::Cow<'_, Relation> {
+        match self.policy {
+            ContainmentPolicy::Eager => std::borrow::Cow::Borrowed(&self.relations[e.index()]),
+            ContainmentPolicy::OnDemand => std::borrow::Cow::Owned(self.extension(e)),
+        }
+    }
+
+    /// Cardinality of the semantic extension of `e`, without materialising
+    /// it under the eager policy.
+    pub fn extension_len(&self, e: TypeId) -> usize {
+        match self.policy {
+            ContainmentPolicy::Eager => self.relations[e.index()].len(),
+            ContainmentPolicy::OnDemand => self.extension(e).len(),
+        }
+    }
+
     /// Number of stored tuples across all relations.
     pub fn total_stored(&self) -> usize {
         self.relations.iter().map(|r| r.len()).sum()
@@ -298,9 +318,7 @@ mod tests {
     fn policies_agree_on_extensions() {
         let mut eager = db(ContainmentPolicy::Eager);
         let mut lazy = db(ContainmentPolicy::OnDemand);
-        for (name, age, dep, budget) in
-            [("ann", 40, "sales", 1000), ("bob", 50, "research", 500)]
-        {
+        for (name, age, dep, budget) in [("ann", 40, "sales", 1000), ("bob", 50, "research", 500)] {
             insert_manager(&mut eager, name, age, dep, budget);
             insert_manager(&mut lazy, name, age, dep, budget);
         }
@@ -361,6 +379,25 @@ mod tests {
         assert_eq!(removed, 1);
         assert_eq!(d.stored(employee).len(), 1);
         assert!(d.verify_containment().is_empty());
+    }
+
+    #[test]
+    fn extension_len_and_cow_match_extension() {
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let mut d = db(policy);
+            insert_manager(&mut d, "ann", 40, "sales", 1000);
+            insert_manager(&mut d, "bob", 50, "research", 500);
+            for e in d.schema().type_ids() {
+                let full = d.extension(e);
+                assert_eq!(d.extension_len(e), full.len());
+                assert_eq!(d.extension_cow(e).as_ref(), &full);
+            }
+            // Under eager maintenance the cow is a borrow of the stored
+            // relation (no clone); on-demand collects an owned union.
+            let person = d.schema().type_id("person").unwrap();
+            let is_borrowed = matches!(d.extension_cow(person), std::borrow::Cow::Borrowed(_));
+            assert_eq!(is_borrowed, policy == ContainmentPolicy::Eager);
+        }
     }
 
     #[test]

@@ -211,8 +211,7 @@ pub fn evolve(db: &Database, op: &EvolutionOp) -> Result<Migration, EvolveError>
             }
             Some(new_e) => {
                 survivors.push((e, new_e));
-                let widened = out.schema().attrs_of(new_e).card()
-                    > old_schema.attrs_of(e).card();
+                let widened = out.schema().attrs_of(new_e).card() > old_schema.attrs_of(e).card();
                 let fill: Vec<(String, Value)> = fills
                     .iter()
                     .filter(|(n, _, _)| *n == name)
@@ -240,7 +239,11 @@ pub fn evolve(db: &Database, op: &EvolutionOp) -> Result<Migration, EvolveError>
                 fates.push((
                     e,
                     name,
-                    if widened { TypeFate::Widened } else { TypeFate::Preserved },
+                    if widened {
+                        TypeFate::Widened
+                    } else {
+                        TypeFate::Preserved
+                    },
                 ));
             }
         }
@@ -250,8 +253,7 @@ pub fn evolve(db: &Database, op: &EvolutionOp) -> Result<Migration, EvolveError>
     // criterion on the specialisation spaces.
     let map_vec: Vec<usize> = survivors.iter().map(|(_, n)| n.index()).collect();
     let survivor_ids: Vec<TypeId> = survivors.iter().map(|(o, _)| *o).collect();
-    let type_map = PointMap::new(map_vec, out.schema().type_count())
-        .expect("new ids are in range");
+    let type_map = PointMap::new(map_vec, out.schema().type_count()).expect("new ids are in range");
     // Restrict the old space to survivors, then check continuity +
     // injectivity of the induced map.
     let continuous_embedding = {
@@ -271,10 +273,7 @@ pub fn evolve(db: &Database, op: &EvolutionOp) -> Result<Migration, EvolveError>
 
 /// The subspace of the old specialisation space induced on the surviving
 /// types, with points renumbered by survivor position.
-fn restrict_space(
-    db: &Database,
-    survivors: &[TypeId],
-) -> toposem_topology::FiniteSpace {
+fn restrict_space(db: &Database, survivors: &[TypeId]) -> toposem_topology::FiniteSpace {
     let old = db.intension().specialisation().space();
     let pos: std::collections::HashMap<usize, usize> = survivors
         .iter()
@@ -343,10 +342,7 @@ mod tests {
         .unwrap();
         assert!(m.continuous_embedding);
         assert_eq!(m.dropped_tuples, 0);
-        assert!(m
-            .fates
-            .iter()
-            .all(|(_, _, f)| *f == TypeFate::Preserved));
+        assert!(m.fates.iter().all(|(_, _, f)| *f == TypeFate::Preserved));
         assert_eq!(m.database.schema().type_count(), 6);
         // Old data still present.
         let mgr = m.database.schema().type_id("manager").unwrap();
@@ -392,11 +388,8 @@ mod tests {
         .unwrap();
         let s = m.database.schema();
         // employee, manager, worksfor widened; person/department untouched.
-        let fates: std::collections::HashMap<&str, &TypeFate> = m
-            .fates
-            .iter()
-            .map(|(_, n, f)| (n.as_str(), f))
-            .collect();
+        let fates: std::collections::HashMap<&str, &TypeFate> =
+            m.fates.iter().map(|(_, n, f)| (n.as_str(), f)).collect();
         assert_eq!(fates["employee"], &TypeFate::Widened);
         assert_eq!(fates["manager"], &TypeFate::Widened);
         assert_eq!(fates["worksfor"], &TypeFate::Widened);
@@ -421,7 +414,12 @@ mod tests {
     fn unknown_names_error() {
         let d = loaded_db();
         assert!(matches!(
-            evolve(&d, &EvolutionOp::RemoveEntityType { name: "ghost".into() }),
+            evolve(
+                &d,
+                &EvolutionOp::RemoveEntityType {
+                    name: "ghost".into()
+                }
+            ),
             Err(EvolveError::UnknownType(_))
         ));
         assert!(matches!(

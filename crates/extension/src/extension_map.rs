@@ -86,9 +86,7 @@ pub fn verify_corollary(db: &Database) -> CorollaryReport {
 
                 // (a) π^e_h = π^e_f ∘ π^f_h on R_h.
                 let rh = db.extension(h);
-                let direct = rh
-                    .project_to_type(schema, h, e)
-                    .expect("h specialises e");
+                let direct = rh.project_to_type(schema, h, e).expect("h specialises e");
                 let via_f = rh
                     .project_to_type(schema, h, f)
                     .expect("h specialises f")

@@ -45,7 +45,10 @@ impl std::fmt::Display for InstanceError {
                 write!(f, "value {value} outside the domain of attribute `{attr}`")
             }
             InstanceError::NotAGeneralisation { from, to } => {
-                write!(f, "`{to}` is not a generalisation of `{from}`; cannot project")
+                write!(
+                    f,
+                    "`{to}` is not a generalisation of `{from}`; cannot project"
+                )
             }
         }
     }
@@ -65,11 +68,15 @@ impl Instance {
         let want = schema.attrs_of(ty);
         let mut resolved: Vec<(AttrId, Value)> = Vec::with_capacity(fields.len());
         for (name, value) in fields {
-            let attr = schema.attr_id(name).ok_or_else(|| InstanceError::ForeignAttribute {
-                attr: (*name).to_owned(),
-            })?;
+            let attr = schema
+                .attr_id(name)
+                .ok_or_else(|| InstanceError::ForeignAttribute {
+                    attr: (*name).to_owned(),
+                })?;
             if !want.contains(attr.index()) {
-                return Err(InstanceError::ForeignAttribute { attr: (*name).to_owned() });
+                return Err(InstanceError::ForeignAttribute {
+                    attr: (*name).to_owned(),
+                });
             }
             if !catalog.admits(schema, attr, value) {
                 return Err(InstanceError::OutsideDomain {

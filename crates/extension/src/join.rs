@@ -124,9 +124,7 @@ pub fn check_extension_axiom(db: &Database, e: TypeId) -> ExtensionAxiomReport {
             report.undetermined.push(t.clone());
         }
         if let Some(prev) = seen.get(&key) {
-            report
-                .injectivity_failures
-                .push((prev.clone(), t.clone()));
+            report.injectivity_failures.push((prev.clone(), t.clone()));
         } else {
             seen.insert(key, t.clone());
         }
@@ -174,10 +172,7 @@ mod tests {
         for (dep, loc) in [("sales", "amsterdam"), ("research", "utrecht")] {
             d.insert_fields(
                 s.type_id("department").unwrap(),
-                &[
-                    ("depname", Value::str(dep)),
-                    ("location", Value::str(loc)),
-                ],
+                &[("depname", Value::str(dep)), ("location", Value::str(loc))],
             )
             .unwrap();
         }

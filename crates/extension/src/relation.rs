@@ -1,9 +1,9 @@
 //! Relations: finite sets of instances, `R_e ∈ P(D_e)` (§4.1).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use serde::{Deserialize, Serialize};
-use toposem_core::{Schema, TypeId};
+use toposem_core::{AttrId, Schema, TypeId};
 use toposem_topology::BitSet;
 
 use crate::instance::{Instance, InstanceError};
@@ -104,6 +104,17 @@ impl Relation {
         Relation {
             tuples: self.tuples.iter().filter(|t| f(t)).cloned().collect(),
         }
+    }
+
+    /// Number of distinct values of `attr` across the relation (tuples
+    /// lacking the attribute don't contribute). The statistics layer uses
+    /// this to estimate access-path selectivity.
+    pub fn distinct_count(&self, attr: AttrId) -> usize {
+        self.tuples
+            .iter()
+            .filter_map(|t| t.get(attr))
+            .collect::<HashSet<_>>()
+            .len()
     }
 }
 

@@ -132,11 +132,7 @@ impl DomainCatalog {
             .bind("ages", DomainSpec::IntRange(0, 150))
             .bind(
                 "department-names",
-                DomainSpec::Enum(vec![
-                    "sales".into(),
-                    "research".into(),
-                    "admin".into(),
-                ]),
+                DomainSpec::Enum(vec!["sales".into(), "research".into(), "admin".into()]),
             )
             .bind("amounts", DomainSpec::AnyInt)
             .bind(

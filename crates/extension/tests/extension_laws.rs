@@ -24,7 +24,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0..NAMES.len(), 0i64..100, 0..DEPS.len()).prop_map(|(n, a, d)| Op::InsertEmployee(n, a, d)),
+        (0..NAMES.len(), 0i64..100, 0..DEPS.len())
+            .prop_map(|(n, a, d)| Op::InsertEmployee(n, a, d)),
         (0..NAMES.len(), 0i64..100, 0..DEPS.len(), 0i64..5000)
             .prop_map(|(n, a, d, b)| Op::InsertManager(n, a, d, b)),
         (0..DEPS.len(), 0..LOCS.len()).prop_map(|(d, l)| Op::InsertDepartment(d, l)),

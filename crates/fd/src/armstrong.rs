@@ -18,9 +18,7 @@
 
 use std::collections::BTreeSet;
 
-use toposem_core::{
-    contributors::computed_contributors, GeneralisationTopology, Schema, TypeId,
-};
+use toposem_core::{contributors::computed_contributors, GeneralisationTopology, Schema, TypeId};
 use toposem_topology::BitSet;
 
 use crate::fd::Fd;
@@ -174,12 +172,7 @@ impl<'a> ArmstrongEngine<'a> {
     /// relation over `A_context` satisfying `sigma` (read attribute-wise)
     /// satisfy `x → y`? Classical soundness/completeness of attribute
     /// closure makes this decidable by one closure computation.
-    pub fn implied_semantically(
-        &self,
-        sigma: &[(TypeId, TypeId)],
-        x: TypeId,
-        y: TypeId,
-    ) -> bool {
+    pub fn implied_semantically(&self, sigma: &[(TypeId, TypeId)], x: TypeId, y: TypeId) -> bool {
         let closed = self.attr_closure(sigma, self.schema.attrs_of(x));
         self.schema.attrs_of(y).is_subset(&closed)
     }

@@ -73,11 +73,7 @@ mod tests {
     use crate::fd::Fd;
     use toposem_core::employee_schema;
 
-    fn all_pairs_agree(
-        intension: &Intension,
-        context: TypeId,
-        sigma: &[(TypeId, TypeId)],
-    ) -> bool {
+    fn all_pairs_agree(intension: &Intension, context: TypeId, sigma: &[(TypeId, TypeId)]) -> bool {
         let schema = intension.schema();
         let gen = intension.generalisation();
         let engine = ArmstrongEngine::new(schema, gen, context);

@@ -54,8 +54,7 @@ impl Derivation {
     /// The conclusion `(x, y)` of this derivation.
     pub fn conclusion(&self) -> (TypeId, TypeId) {
         match self {
-            Derivation::Reflexive { x, y }
-            | Derivation::Given { x, y, .. } => (*x, *y),
+            Derivation::Reflexive { x, y } | Derivation::Given { x, y, .. } => (*x, *y),
             Derivation::Transitive { x, y, .. } => (*x, *y),
             Derivation::Assembled { x, y, .. } => (*x, *y),
         }
@@ -167,9 +166,8 @@ pub fn derive_with_proof(
             for c in co.iter() {
                 union.union_with(schema.attrs_of(TypeId(c as u32)));
             }
-            (&union == schema.attrs_of(t)).then(|| {
-                (t, co.iter().map(|c| TypeId(c as u32)).collect::<Vec<_>>())
-            })
+            (&union == schema.attrs_of(t))
+                .then(|| (t, co.iter().map(|c| TypeId(c as u32)).collect::<Vec<_>>()))
         })
         .collect();
     loop {
@@ -184,7 +182,11 @@ pub fn derive_with_proof(
                         mid: u,
                         y: v,
                         left: Box::new(proofs[&u].clone()),
-                        right: Box::new(Derivation::Given { index: i, x: u, y: v }),
+                        right: Box::new(Derivation::Given {
+                            index: i,
+                            x: u,
+                            y: v,
+                        }),
                     }
                 };
                 proofs.insert(v, proof);
@@ -226,15 +228,17 @@ pub fn derive_with_proof(
 
 /// Validates a derivation against the schema, Σ, and the A1/A2/A3 side
 /// conditions — a proof checker independent of the proof search.
-pub fn check_proof(
-    schema: &Schema,
-    sigma: &[(TypeId, TypeId)],
-    d: &Derivation,
-) -> bool {
+pub fn check_proof(schema: &Schema, sigma: &[(TypeId, TypeId)], d: &Derivation) -> bool {
     match d {
         Derivation::Reflexive { x, y } => schema.attrs_of(*y).is_subset(schema.attrs_of(*x)),
         Derivation::Given { index, x, y } => sigma.get(*index) == Some(&(*x, *y)),
-        Derivation::Transitive { x, mid, y, left, right } => {
+        Derivation::Transitive {
+            x,
+            mid,
+            y,
+            left,
+            right,
+        } => {
             left.conclusion() == (*x, *mid)
                 && right.conclusion() == (*mid, *y)
                 && check_proof(schema, sigma, left)
@@ -276,7 +280,11 @@ mod tests {
         let proof = derive_with_proof(&engine, &schema, &sigma, employee, worksfor)
             .expect("derivable by assembly");
         assert_eq!(proof.conclusion(), (employee, worksfor));
-        assert!(check_proof(&schema, &sigma, &proof), "{}", proof.render(&schema));
+        assert!(
+            check_proof(&schema, &sigma, &proof),
+            "{}",
+            proof.render(&schema)
+        );
         assert!(matches!(proof, Derivation::Assembled { .. }));
         let rendered = proof.render(&schema);
         assert!(rendered.contains("[A2 assembly]"));
@@ -292,7 +300,11 @@ mod tests {
         let employee = schema.type_id("employee").unwrap();
         let department = schema.type_id("department").unwrap();
         let person = schema.type_id("person").unwrap();
-        for sigma in [vec![], vec![(employee, department)], vec![(person, department)]] {
+        for sigma in [
+            vec![],
+            vec![(employee, department)],
+            vec![(person, department)],
+        ] {
             for &x in &engine.universe() {
                 for &y in &engine.universe() {
                     let derivable = engine.derives(&sigma, x, y);
@@ -313,10 +325,17 @@ mod tests {
         let person = schema.type_id("person").unwrap();
         let manager = schema.type_id("manager").unwrap();
         // person → manager is not reflexive (manager has more attributes).
-        let bogus = Derivation::Reflexive { x: person, y: manager };
+        let bogus = Derivation::Reflexive {
+            x: person,
+            y: manager,
+        };
         assert!(!check_proof(&schema, &[], &bogus));
         // Given with a wrong index.
-        let bogus2 = Derivation::Given { index: 0, x: person, y: manager };
+        let bogus2 = Derivation::Given {
+            index: 0,
+            x: person,
+            y: manager,
+        };
         assert!(!check_proof(&schema, &[], &bogus2));
     }
 

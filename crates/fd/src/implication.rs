@@ -125,11 +125,7 @@ pub fn counterexample(
             toposem_extension::DomainSpec::AnyInt,
         );
     }
-    let mut db = Database::new(
-        intension.clone(),
-        catalog,
-        ContainmentPolicy::OnDemand,
-    );
+    let mut db = Database::new(intension.clone(), catalog, ContainmentPolicy::OnDemand);
     let ctx_attrs = schema.attrs_of(goal.context).clone();
     let t1 = Instance::from_parts(
         ctx_attrs

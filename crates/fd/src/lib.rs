@@ -32,5 +32,7 @@ pub use implication::{
 pub use keys::{is_superkey, minimal_keys};
 pub use mapping::{f_map, satisfied_fd_set, verify_fd_corollary, FdCorollaryReport};
 pub use min_cover::{equivalent, minimal_cover};
-pub use nucleus::{df_completion, is_in_df, nucleus, restrict_to_context, transitive_closure, FdPairs};
+pub use nucleus::{
+    df_completion, is_in_df, nucleus, restrict_to_context, transitive_closure, FdPairs,
+};
 pub use propagation::{propagate, propagated_contexts};

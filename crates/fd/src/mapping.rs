@@ -82,10 +82,7 @@ pub fn verify_fd_corollary(db: &Database) -> FdCorollaryReport {
     let gen = db.intension().generalisation();
     let mut report = FdCorollaryReport::default();
     // Precompute fd_f per context.
-    let satisfied: Vec<FdPairs> = schema
-        .type_ids()
-        .map(|f| satisfied_fd_set(db, f))
-        .collect();
+    let satisfied: Vec<FdPairs> = schema.type_ids().map(|f| satisfied_fd_set(db, f)).collect();
     for e in schema.type_ids() {
         for f in schema.type_ids() {
             if !spec.is_specialisation(f, e) {

@@ -71,10 +71,10 @@ mod tests {
         let employee = s.schema.type_id("employee").unwrap();
         let department = s.schema.type_id("department").unwrap();
         let sigma = vec![
-            (employee, person),      // reflexive: implied by ∅
-            (person, employee),      // genuine
-            (employee, department),  // genuine
-            (person, department),    // transitive consequence
+            (employee, person),     // reflexive: implied by ∅
+            (person, employee),     // genuine
+            (employee, department), // genuine
+            (person, department),   // transitive consequence
         ];
         let min = minimal_cover(&engine, &sigma);
         assert!(equivalent(&engine, &sigma, &min));
@@ -119,7 +119,10 @@ mod tests {
         for i in 0..min.len() {
             let mut trial = min.clone();
             trial.remove(i);
-            assert!(!equivalent(&engine, &min, &trial), "member {i} was redundant");
+            assert!(
+                !equivalent(&engine, &min, &trial),
+                "member {i} was redundant"
+            );
         }
     }
 }

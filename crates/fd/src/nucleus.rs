@@ -150,7 +150,10 @@ mod tests {
         let mut set = nucleus(&g, worksfor);
         set.insert((person, employee));
         set.insert((employee, department));
-        assert!(!is_in_df(&g, worksfor, &set), "missing (person, department)");
+        assert!(
+            !is_in_df(&g, worksfor, &set),
+            "missing (person, department)"
+        );
         set.insert((person, department));
         assert!(is_in_df(&g, worksfor, &set));
     }

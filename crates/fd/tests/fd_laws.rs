@@ -36,8 +36,7 @@ fn schema_from_masks(masks: &[u32]) -> Schema {
 }
 
 fn random_masks() -> impl Strategy<Value = Vec<u32>> {
-    prop::collection::btree_set(1u32..(1 << N_ATTRS), 1..10)
-        .prop_map(|s| s.into_iter().collect())
+    prop::collection::btree_set(1u32..(1 << N_ATTRS), 1..10).prop_map(|s| s.into_iter().collect())
 }
 
 /// Closes a mask set under nonempty pairwise intersection — the Integrity
@@ -68,7 +67,11 @@ fn random_sigma(
     context: TypeId,
     picks: &[(usize, usize)],
 ) -> Vec<(TypeId, TypeId)> {
-    let members: Vec<TypeId> = gen.g_set(context).iter().map(|i| TypeId(i as u32)).collect();
+    let members: Vec<TypeId> = gen
+        .g_set(context)
+        .iter()
+        .map(|i| TypeId(i as u32))
+        .collect();
     let _ = schema;
     picks
         .iter()

@@ -1,0 +1,108 @@
+//! The cost model: cardinality and cost estimation over the statistics
+//! layer, driving access-path selection and join-side choice.
+//!
+//! Costs are abstract "tuple touches". The estimates only need to *rank*
+//! alternatives correctly (index seek vs. sequential scan, build side vs.
+//! probe side), not predict wall-clock time.
+
+use toposem_storage::Statistics;
+
+use crate::physical::Physical;
+
+/// Estimated output rows and cumulative cost of a physical subplan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Expected result cardinality.
+    pub rows: f64,
+    /// Expected tuple touches to produce it.
+    pub cost: f64,
+}
+
+/// Per-probe overhead of a hash lookup relative to a scan step.
+const HASH_PROBE_COST: f64 = 1.2;
+/// Fixed overhead of instantiating any operator.
+const OPERATOR_SETUP_COST: f64 = 1.0;
+
+/// Estimates a physical subplan bottom-up.
+pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
+    match plan {
+        Physical::Empty { .. } => Estimate {
+            rows: 0.0,
+            cost: OPERATOR_SETUP_COST,
+        },
+        Physical::SeqScan { ty, preds } => {
+            let n = stats.cardinality(*ty) as f64;
+            let selectivity: f64 = preds
+                .iter()
+                .map(|(a, _)| stats.selectivity(*ty, *a))
+                .product();
+            Estimate {
+                rows: n * selectivity,
+                cost: OPERATOR_SETUP_COST + n,
+            }
+        }
+        Physical::IndexSeek {
+            ty, attr, residual, ..
+        } => {
+            let n = stats.cardinality(*ty) as f64;
+            let bucket = n * stats.selectivity(*ty, *attr);
+            let selectivity: f64 = residual
+                .iter()
+                .map(|(a, _)| stats.selectivity(*ty, *a))
+                .product();
+            Estimate {
+                rows: bucket * selectivity,
+                cost: OPERATOR_SETUP_COST + HASH_PROBE_COST + bucket,
+            }
+        }
+        Physical::Filter { input, preds } => {
+            let e = estimate(input, stats);
+            let ty = input.ty();
+            let selectivity: f64 = preds
+                .iter()
+                .map(|(a, _)| stats.selectivity(ty, *a))
+                .product();
+            Estimate {
+                rows: e.rows * selectivity,
+                cost: e.cost + e.rows,
+            }
+        }
+        Physical::Project { input, .. } => {
+            let e = estimate(input, stats);
+            Estimate {
+                // Projection onto a generalisation can collapse duplicates;
+                // without correlation knowledge keep the input estimate.
+                rows: e.rows,
+                cost: e.cost + e.rows,
+            }
+        }
+        Physical::HashJoin { build, probe, .. } => {
+            let b = estimate(build, stats);
+            let p = estimate(probe, stats);
+            // Join on shared attributes: assume the smaller side's keys all
+            // find partners spread over the larger side (containment-style
+            // estimate, reasonable under the ISA discipline).
+            let rows = b.rows.min(p.rows).max(0.0);
+            Estimate {
+                rows,
+                cost: b.cost + p.cost + b.rows + HASH_PROBE_COST * p.rows + rows,
+            }
+        }
+        Physical::Union { left, right, .. } => {
+            let l = estimate(left, stats);
+            let r = estimate(right, stats);
+            Estimate {
+                rows: l.rows + r.rows,
+                cost: l.cost + r.cost + l.rows + r.rows,
+            }
+        }
+        Physical::Intersect { build, probe, .. } => {
+            let b = estimate(build, stats);
+            let p = estimate(probe, stats);
+            Estimate {
+                rows: b.rows.min(p.rows),
+                cost: b.cost + p.cost + b.rows + HASH_PROBE_COST * p.rows,
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The vectorised executor: a push-based batch pipeline over a consistent
+//! engine snapshot.
+//!
+//! Every operator streams [`super::physical::BATCH_SIZE`]-tuple batches
+//! into a sink closure; only hash-join build sides, intersection membership
+//! sets, and the final result relation are materialised. Under the eager
+//! containment policy scans borrow the stored relation directly (no
+//! extension clone); on-demand extensions are collected once per scan.
+//!
+//! With the `parallel` feature enabled, an unfiltered-or-filtered
+//! sequential scan over a large relation fans out across worker threads
+//! (a scoped-thread morsel scheme), each thread filtering its share before
+//! batches are forwarded.
+
+use std::collections::HashMap;
+
+use toposem_core::AttrId;
+use toposem_extension::{Database, Instance, Relation, Value};
+use toposem_storage::HashIndex;
+
+use crate::physical::{Physical, BATCH_SIZE};
+
+/// Minimum relation size before a parallel scan pays for thread spawn.
+#[cfg(feature = "parallel")]
+const PARALLEL_SCAN_THRESHOLD: usize = 4096;
+
+/// Executes a physical plan against a database + index snapshot (acquire
+/// both through `Engine::with_parts` for consistency).
+pub fn execute(plan: &Physical, db: &Database, indexes: &[Option<HashIndex>]) -> Relation {
+    let mut out = Relation::new();
+    for_each_batch(plan, db, indexes, &mut |batch| {
+        for t in batch.drain(..) {
+            out.insert(t);
+        }
+    });
+    out
+}
+
+fn matches(t: &Instance, preds: &[(AttrId, Value)]) -> bool {
+    preds.iter().all(|(a, v)| t.get(*a) == Some(v))
+}
+
+/// Runs `sink` over every output batch of `plan`. Batches arrive as owned
+/// vectors the sink may drain.
+fn for_each_batch(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Option<HashIndex>],
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    match plan {
+        Physical::Empty { .. } => {}
+        Physical::SeqScan { ty, preds } => {
+            let rel = db.extension_cow(*ty);
+            #[cfg(feature = "parallel")]
+            if rel.len() >= PARALLEL_SCAN_THRESHOLD {
+                parallel_scan(&rel, preds, sink);
+                return;
+            }
+            let mut batch = Vec::with_capacity(BATCH_SIZE);
+            for t in rel.iter() {
+                if matches(t, preds) {
+                    batch.push(t.clone());
+                    if batch.len() == BATCH_SIZE {
+                        sink(&mut batch);
+                        batch.clear();
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                sink(&mut batch);
+            }
+        }
+        Physical::IndexSeek {
+            ty,
+            attr: _,
+            value,
+            residual,
+        } => {
+            let idx = indexes[ty.index()]
+                .as_ref()
+                .expect("planner chose IndexSeek only when an index exists");
+            let mut batch = Vec::with_capacity(BATCH_SIZE);
+            for t in idx.lookup(value) {
+                if matches(t, residual) {
+                    batch.push(t.clone());
+                    if batch.len() == BATCH_SIZE {
+                        sink(&mut batch);
+                        batch.clear();
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                sink(&mut batch);
+            }
+        }
+        Physical::Filter { input, preds } => {
+            for_each_batch(input, db, indexes, &mut |batch| {
+                batch.retain(|t| matches(t, preds));
+                if !batch.is_empty() {
+                    sink(batch);
+                }
+            });
+        }
+        Physical::Project { input, to } => {
+            let target = db.schema().attrs_of(*to).clone();
+            for_each_batch(input, db, indexes, &mut |batch| {
+                let mut projected: Vec<Instance> =
+                    batch.drain(..).map(|t| t.project(&target)).collect();
+                sink(&mut projected);
+            });
+        }
+        Physical::HashJoin { build, probe, .. } => {
+            // Shared attributes of the two input types, in id order.
+            let schema = db.schema();
+            let shared = schema
+                .attrs_of(build.ty())
+                .intersection(schema.attrs_of(probe.ty()));
+            let key_of = |t: &Instance| -> Vec<Value> {
+                shared
+                    .iter()
+                    .filter_map(|a| t.get(AttrId(a as u32)).cloned())
+                    .collect()
+            };
+            // Materialise the build side into a hash table.
+            let mut table: HashMap<Vec<Value>, Vec<Instance>> = HashMap::new();
+            for_each_batch(build, db, indexes, &mut |batch| {
+                for t in batch.drain(..) {
+                    table.entry(key_of(&t)).or_default().push(t);
+                }
+            });
+            // Stream the probe side.
+            let mut out = Vec::with_capacity(BATCH_SIZE);
+            for_each_batch(probe, db, indexes, &mut |batch| {
+                for p in batch.drain(..) {
+                    if let Some(partners) = table.get(&key_of(&p)) {
+                        for b in partners {
+                            out.push(b.merge(&p));
+                            if out.len() == BATCH_SIZE {
+                                sink(&mut out);
+                                out.clear();
+                            }
+                        }
+                    }
+                }
+            });
+            if !out.is_empty() {
+                sink(&mut out);
+            }
+        }
+        Physical::Union { left, right, .. } => {
+            // Bag semantics here; the collecting sink deduplicates.
+            for_each_batch(left, db, indexes, sink);
+            for_each_batch(right, db, indexes, sink);
+        }
+        Physical::Intersect { build, probe, .. } => {
+            let mut members = Relation::new();
+            for_each_batch(build, db, indexes, &mut |batch| {
+                for t in batch.drain(..) {
+                    members.insert(t);
+                }
+            });
+            for_each_batch(probe, db, indexes, &mut |batch| {
+                batch.retain(|t| members.contains(t));
+                if !batch.is_empty() {
+                    sink(batch);
+                }
+            });
+        }
+    }
+}
+
+/// Scatter the relation across worker threads, filter locally, forward the
+/// survivors batch-wise from the calling thread (sinks are not `Sync`).
+#[cfg(feature = "parallel")]
+fn parallel_scan(
+    rel: &Relation,
+    preds: &[(AttrId, Value)],
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    let tuples: Vec<&Instance> = rel.iter().collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(tuples.len().div_ceil(PARALLEL_SCAN_THRESHOLD / 4))
+        .max(1);
+    let chunk = tuples.len().div_ceil(workers);
+    let survivors: Vec<Vec<Instance>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = tuples
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .filter(|t| matches(t, preds))
+                        .map(|t| (*t).clone())
+                        .collect::<Vec<Instance>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scan worker"))
+            .collect()
+    });
+    for part in survivors {
+        let mut iter = part.into_iter();
+        loop {
+            let mut batch: Vec<Instance> = iter.by_ref().take(BATCH_SIZE).collect();
+            if batch.is_empty() {
+                break;
+            }
+            sink(&mut batch);
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! # toposem-planner
+//!
+//! A cost-based query planner and vectorised executor for the
+//! topology-sanctioned query algebra of `toposem-storage`.
+//!
+//! The naive `Query::execute` interpreter materialises every
+//! intermediate relation and never consults the engine's hash indexes.
+//! This crate compiles the same `Query` AST through three stages:
+//!
+//! 1. **[`logical`]** — lowering into a typed logical plan plus a rewrite
+//!    pass (selection pushdown through sanctioned projections, joins, and
+//!    set operations; select-merge; dead-branch elimination). Every
+//!    rewrite preserves the entity type of every subplan — the paper's
+//!    core invariant that a query result is always an instance set of a
+//!    declared entity type.
+//! 2. **[`cost`]** — cardinality/cost estimation over the engine's
+//!    [`toposem_storage::Statistics`] layer (per-type cardinalities,
+//!    per-attribute distinct counts), driving access-path selection and
+//!    build-side choice.
+//! 3. **[`physical`] / [`exec`]** — physical operators (`IndexSeek`,
+//!    `SeqScan`, `Filter`, `Project`, `HashJoin`, `Union`, `Intersect`)
+//!    executed as a push-based batch pipeline; the `parallel` feature adds
+//!    a scoped-thread parallel scan path.
+//!
+//! The entry point is [`PlannedExecution::query_planned`] on
+//! [`toposem_storage::Engine`]:
+//!
+//! ```
+//! use toposem_core::{employee_schema, Intension};
+//! use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+//! use toposem_planner::PlannedExecution;
+//! use toposem_storage::{Engine, Query};
+//!
+//! let eng = Engine::new(Database::new(
+//!     Intension::analyse(employee_schema()),
+//!     DomainCatalog::employee_defaults(),
+//!     ContainmentPolicy::Eager,
+//! ));
+//! let (employee, depname) = eng.with_db(|db| {
+//!     let s = db.schema();
+//!     (s.type_id("employee").unwrap(), s.attr_id("depname").unwrap())
+//! });
+//! for (name, age, dep) in [
+//!     ("ann", 40, "sales"),
+//!     ("bob", 30, "research"),
+//!     ("carol", 25, "admin"),
+//!     ("dave", 35, "research"),
+//! ] {
+//!     eng.insert(employee, &[
+//!         ("name", Value::str(name)),
+//!         ("age", Value::Int(age)),
+//!         ("depname", Value::str(dep)),
+//!     ]).unwrap();
+//! }
+//! eng.create_index(employee, depname);
+//!
+//! let q = Query::scan(employee).select(depname, Value::str("sales"));
+//! let (ty, rel) = eng.query_planned(&q).unwrap();
+//! assert_eq!(ty, employee);
+//! assert_eq!(rel.len(), 1);
+//! // The same query explains as an index seek:
+//! assert!(eng.explain(&q).unwrap().contains("IndexSeek"));
+//! ```
+
+pub mod cost;
+pub mod exec;
+pub mod logical;
+pub mod physical;
+
+use toposem_core::TypeId;
+use toposem_extension::Relation;
+use toposem_storage::{Engine, Query, QueryError};
+
+pub use cost::{estimate, Estimate};
+pub use exec::execute;
+pub use logical::{lower_and_rewrite, Logical};
+pub use physical::{plan, Physical, BATCH_SIZE};
+
+/// Planned execution of sanctioned queries — implemented for
+/// [`Engine`], giving it the `query_planned` entry point.
+///
+/// **Integrity assumption.** The optimizer performs *semantic* rewrites
+/// that rely on declared constraints: a selection constant outside its
+/// attribute's domain proves a branch empty. Every mutation through the
+/// engine enforces those constraints, so the assumption is sound for
+/// engine-managed data; only `toposem_extension::Database::insert_unchecked`
+/// bulk loads can plant violating tuples, and such data must be audited
+/// (or re-validated) before planned execution is meaningful over it.
+pub trait PlannedExecution {
+    /// Plans and executes `q`, returning its entity type and result
+    /// relation — observably identical to the naive `Query::execute`
+    /// on domain-respecting extensions, just faster.
+    fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError>;
+
+    /// Renders the chosen physical plan with cost estimates.
+    fn explain(&self, q: &Query) -> Result<String, QueryError>;
+}
+
+impl PlannedExecution for Engine {
+    fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError> {
+        let stats = self.statistics();
+        self.with_parts(|db, indexes| {
+            let logical = lower_and_rewrite(q, db)?;
+            let physical = plan(&logical, db, indexes, &stats);
+            debug_assert_eq!(physical.ty(), logical.ty());
+            Ok((logical.ty(), execute(&physical, db, indexes)))
+        })
+    }
+
+    fn explain(&self, q: &Query) -> Result<String, QueryError> {
+        let stats = self.statistics();
+        self.with_parts(|db, indexes| {
+            let logical = lower_and_rewrite(q, db)?;
+            let physical = plan(&logical, db, indexes, &stats);
+            Ok(physical.explain(db, &stats))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+
+    fn engine(policy: ContainmentPolicy) -> Engine {
+        let eng = Engine::new(Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            policy,
+        ));
+        let s = eng.with_db(|db| db.schema().clone());
+        for (n, a, d, b) in [("ann", 40, "sales", 100), ("bob", 50, "research", 80)] {
+            eng.insert(
+                s.type_id("manager").unwrap(),
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                    ("budget", Value::Int(b)),
+                ],
+            )
+            .unwrap();
+        }
+        for (n, a, d) in [("carol", 25, "sales"), ("dave", 35, "research")] {
+            eng.insert(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                ],
+            )
+            .unwrap();
+        }
+        for (d, l) in [("sales", "amsterdam"), ("research", "utrecht")] {
+            eng.insert(
+                s.type_id("department").unwrap(),
+                &[("depname", Value::str(d)), ("location", Value::str(l))],
+            )
+            .unwrap();
+        }
+        eng
+    }
+
+    fn agree(eng: &Engine, q: &Query) {
+        let naive = eng.with_db(|db| q.execute(db));
+        let planned = eng.query_planned(q);
+        match (naive, planned) {
+            (Ok(n), Ok(p)) => assert_eq!(n, p, "planned != naive for {q:?}"),
+            (Err(en), Err(ep)) => assert_eq!(en, ep),
+            (n, p) => panic!("divergent outcomes: naive {n:?}, planned {p:?}"),
+        }
+    }
+
+    #[test]
+    fn planned_matches_naive_across_operators() {
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let eng = engine(policy);
+            let s = eng.with_db(|db| db.schema().clone());
+            let employee = s.type_id("employee").unwrap();
+            let person = s.type_id("person").unwrap();
+            let department = s.type_id("department").unwrap();
+            let depname = s.attr_id("depname").unwrap();
+            let age = s.attr_id("age").unwrap();
+            let queries = [
+                Query::scan(employee),
+                Query::scan(employee).select(depname, Value::str("sales")),
+                Query::scan(employee)
+                    .select(depname, Value::str("sales"))
+                    .select(age, Value::Int(25)),
+                Query::scan(employee).project(person),
+                Query::scan(employee)
+                    .select(depname, Value::str("research"))
+                    .project(person),
+                Query::scan(employee).join(Query::scan(department)),
+                Query::scan(employee)
+                    .join(Query::scan(department))
+                    .select(depname, Value::str("sales")),
+                Query::scan(employee)
+                    .select(depname, Value::str("sales"))
+                    .union(Query::scan(employee).select(depname, Value::str("research"))),
+                Query::scan(employee)
+                    .select(depname, Value::str("sales"))
+                    .intersect(Query::scan(employee).select(age, Value::Int(25))),
+                // Select after project-of-join: exercises pushdown through
+                // two operator layers.
+                Query::scan(employee)
+                    .join(Query::scan(department))
+                    .project(person)
+                    .select(age, Value::Int(40)),
+            ];
+            for q in &queries {
+                agree(&eng, q);
+            }
+        }
+    }
+
+    #[test]
+    fn planned_matches_naive_with_indexes() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        let age = s.attr_id("age").unwrap();
+        eng.create_index(employee, depname);
+        eng.create_index(department, depname);
+        let queries = [
+            Query::scan(employee).select(depname, Value::str("sales")),
+            Query::scan(employee)
+                .select(age, Value::Int(25))
+                .select(depname, Value::str("sales")),
+            Query::scan(employee).join(Query::scan(department)),
+            Query::scan(employee)
+                .join(Query::scan(department))
+                .select(depname, Value::str("research")),
+        ];
+        for q in &queries {
+            agree(&eng, q);
+        }
+        let plan = eng
+            .explain(&Query::scan(employee).select(depname, Value::str("sales")))
+            .unwrap();
+        assert!(
+            plan.contains("IndexSeek"),
+            "expected an index seek:\n{plan}"
+        );
+    }
+
+    #[test]
+    fn sanction_violations_error_identically() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let manager = s.type_id("manager").unwrap();
+        let department = s.type_id("department").unwrap();
+        let person = s.type_id("person").unwrap();
+        let budget = s.attr_id("budget").unwrap();
+        // Unsanctioned join, downward projection, foreign attribute,
+        // cross-type set operation.
+        agree(&eng, &Query::scan(manager).join(Query::scan(department)));
+        agree(&eng, &Query::scan(person).project(manager));
+        agree(&eng, &Query::scan(person).select(budget, Value::Int(1)));
+        agree(&eng, &Query::scan(person).union(Query::scan(department)));
+    }
+
+    #[test]
+    fn dead_branches_are_eliminated() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        // Contradictory conjunction → Empty.
+        let q = Query::scan(employee)
+            .select(depname, Value::str("sales"))
+            .select(depname, Value::str("research"));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("Empty"),
+            "contradiction not eliminated:\n{plan}"
+        );
+        agree(&eng, &q);
+        // Out-of-domain constant → Empty.
+        let q = Query::scan(employee).select(depname, Value::str("piracy"));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("Empty"),
+            "domain violation not eliminated:\n{plan}"
+        );
+        agree(&eng, &q);
+        // Union with a dead branch degenerates to the live branch.
+        let q = Query::scan(employee)
+            .select(depname, Value::str("piracy"))
+            .union(Query::scan(employee));
+        let plan = eng.explain(&q).unwrap();
+        assert!(!plan.contains("Union"), "dead union arm survived:\n{plan}");
+        agree(&eng, &q);
+    }
+
+    #[test]
+    fn selection_pushdown_reaches_join_leaves() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let location = s.attr_id("location").unwrap();
+        let q = Query::scan(employee)
+            .join(Query::scan(department))
+            .select(location, Value::str("utrecht"));
+        let plan = eng.explain(&q).unwrap();
+        // The location predicate belongs to department only; it must have
+        // sunk into that side's scan, leaving no post-join filter.
+        assert!(
+            !plan.contains("Filter"),
+            "selection was not pushed down:\n{plan}"
+        );
+        assert!(
+            plan.contains("SeqScan department filter location"),
+            "expected filtered department scan:\n{plan}"
+        );
+        agree(&eng, &q);
+    }
+
+    #[test]
+    fn rewrites_preserve_entity_types() {
+        let eng = engine(ContainmentPolicy::Eager);
+        eng.with_db(|db| {
+            let s = db.schema();
+            let employee = s.type_id("employee").unwrap();
+            let person = s.type_id("person").unwrap();
+            let department = s.type_id("department").unwrap();
+            let depname = s.attr_id("depname").unwrap();
+            let queries = [
+                Query::scan(employee)
+                    .join(Query::scan(department))
+                    .select(depname, Value::str("sales"))
+                    .project(person),
+                Query::scan(employee)
+                    .select(depname, Value::str("sales"))
+                    .union(Query::scan(employee).select(depname, Value::str("piracy"))),
+            ];
+            for q in &queries {
+                let expect = q.entity_type(db).unwrap();
+                let plan = lower_and_rewrite(q, db).unwrap();
+                // verify_types recomputes every node's type structurally
+                // and panics on any unsanctioned node.
+                assert_eq!(plan.verify_types(db), expect);
+                assert_eq!(plan.ty(), expect);
+            }
+        });
+    }
+
+    #[test]
+    fn statistics_cache_invalidates_on_mutation() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let before = eng.statistics().cardinality(employee);
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str("eve")),
+                ("age", Value::Int(28)),
+                ("depname", Value::str("admin")),
+            ],
+        )
+        .unwrap();
+        let after = eng.statistics().cardinality(employee);
+        assert_eq!(after, before + 1, "stats must refresh after insert");
+    }
+}

@@ -1,0 +1,427 @@
+//! The logical plan: a typed, normalised form of the sanctioned-path
+//! [`Query`] algebra, plus the rewrite pass.
+//!
+//! Every node carries its entity type, computed once during lowering (which
+//! also runs the sanction checks via [`Query::entity_type`]). The rewrites —
+//! selection pushdown, select-merge, idempotent set operations, and
+//! dead-branch elimination — all preserve each subplan's entity type, which
+//! is the paper's core invariant: a plan node without an entity type would
+//! be a recombination of attributes the topology never sanctioned.
+//! [`Logical::verify_types`] re-derives every node's type from its children
+//! so tests (and debug builds) can prove the invariant held.
+
+use toposem_core::{AttrId, TypeId};
+use toposem_extension::{Database, Value};
+use toposem_storage::{Query, QueryError};
+
+/// A typed logical plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Logical {
+    /// A provably empty relation of the given type (dead branch).
+    Empty {
+        /// Entity type of the (empty) result.
+        ty: TypeId,
+    },
+    /// The full extension of an entity type.
+    Scan {
+        /// Scanned entity type.
+        ty: TypeId,
+    },
+    /// Conjunctive equality selection; type-preserving.
+    Select {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Conjunction of `attr = value` predicates.
+        preds: Vec<(AttrId, Value)>,
+    },
+    /// Projection onto a generalisation.
+    Project {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Target (generalisation) type.
+        to: TypeId,
+    },
+    /// Natural join whose attribute union is the declared type `ty`.
+    Join {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+        /// The declared entity type of the combined attribute set.
+        ty: TypeId,
+    },
+    /// Same-type union.
+    Union {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+    },
+    /// Same-type intersection.
+    Intersect {
+        /// Left input.
+        left: Box<Logical>,
+        /// Right input.
+        right: Box<Logical>,
+    },
+}
+
+impl Logical {
+    /// The entity type of this plan's result.
+    pub fn ty(&self) -> TypeId {
+        match self {
+            Logical::Empty { ty } | Logical::Scan { ty } | Logical::Join { ty, .. } => *ty,
+            Logical::Select { input, .. }
+            | Logical::Union { left: input, .. }
+            | Logical::Intersect { left: input, .. } => input.ty(),
+            Logical::Project { to, .. } => *to,
+        }
+    }
+
+    /// Lowers a [`Query`] into a typed logical plan, running the full
+    /// sanction validation first (so lowering itself cannot go wrong) and
+    /// merging nested selections along the way.
+    pub fn lower(q: &Query, db: &Database) -> Result<Logical, QueryError> {
+        q.entity_type(db)?;
+        let mut plan = Self::lower_validated(q);
+        plan.patch_join_types(db);
+        Ok(plan)
+    }
+
+    fn lower_validated(q: &Query) -> Logical {
+        match q {
+            Query::Scan(e) => Logical::Scan { ty: *e },
+            Query::Select { input, attr, value } => {
+                let mut preds = vec![(*attr, value.clone())];
+                let mut inner = input.as_ref();
+                // Select-merge: collapse Select chains into one predicate
+                // list (deepest predicate first, order is irrelevant for a
+                // conjunction).
+                while let Query::Select { input, attr, value } = inner {
+                    preds.push((*attr, value.clone()));
+                    inner = input.as_ref();
+                }
+                preds.reverse();
+                Logical::Select {
+                    input: Box::new(Self::lower_validated(inner)),
+                    preds,
+                }
+            }
+            Query::Project { input, to } => Logical::Project {
+                input: Box::new(Self::lower_validated(input)),
+                to: *to,
+            },
+            Query::Join(a, b) => {
+                // Resolving the combined type needs the schema, which this
+                // recursion does not carry; `patch_join_types` fills every
+                // join's type immediately after (both are called only from
+                // `lower`).
+                Logical::Join {
+                    left: Box::new(Self::lower_validated(a)),
+                    right: Box::new(Self::lower_validated(b)),
+                    ty: TypeId(u32::MAX), // patched by `patch_join_types`
+                }
+            }
+            Query::Union(a, b) => Logical::Union {
+                left: Box::new(Self::lower_validated(a)),
+                right: Box::new(Self::lower_validated(b)),
+            },
+            Query::Intersect(a, b) => Logical::Intersect {
+                left: Box::new(Self::lower_validated(a)),
+                right: Box::new(Self::lower_validated(b)),
+            },
+        }
+    }
+
+    /// Patches join output types (which need the schema) after
+    /// `lower_validated`. Called by [`Logical::lower`] — kept separate so
+    /// the recursion stays readable.
+    fn patch_join_types(&mut self, db: &Database) {
+        match self {
+            Logical::Join { left, right, ty } => {
+                left.patch_join_types(db);
+                right.patch_join_types(db);
+                let schema = db.schema();
+                let combined = schema
+                    .attrs_of(left.ty())
+                    .union(schema.attrs_of(right.ty()));
+                *ty = schema
+                    .type_ids()
+                    .find(|&t| schema.attrs_of(t) == &combined)
+                    .expect("validated join has a declared type");
+            }
+            Logical::Select { input, .. } | Logical::Project { input, .. } => {
+                input.patch_join_types(db)
+            }
+            Logical::Union { left, right } | Logical::Intersect { left, right } => {
+                left.patch_join_types(db);
+                right.patch_join_types(db);
+            }
+            Logical::Empty { .. } | Logical::Scan { .. } => {}
+        }
+    }
+
+    /// Recomputes the entity type of every node from its children and the
+    /// schema, confirming the sanction invariant still holds. Returns the
+    /// root type; panics (with a description) when any node's structure
+    /// stopped being sanctioned — rewrites must make this impossible.
+    pub fn verify_types(&self, db: &Database) -> TypeId {
+        let schema = db.schema();
+        match self {
+            Logical::Empty { ty } | Logical::Scan { ty } => *ty,
+            Logical::Select { input, preds } => {
+                let t = input.verify_types(db);
+                for (a, _) in preds {
+                    assert!(
+                        schema.attrs_of(t).contains(a.index()),
+                        "selection attribute {a} outside type {t}"
+                    );
+                }
+                t
+            }
+            Logical::Project { input, to } => {
+                let from = input.verify_types(db);
+                assert!(
+                    schema.attrs_of(*to).is_subset(schema.attrs_of(from)),
+                    "projection target {to} is not a generalisation of {from}"
+                );
+                *to
+            }
+            Logical::Join { left, right, ty } => {
+                let tl = left.verify_types(db);
+                let tr = right.verify_types(db);
+                let combined = schema.attrs_of(tl).union(schema.attrs_of(tr));
+                assert!(
+                    schema.attrs_of(*ty) == &combined,
+                    "join output {ty} does not cover its inputs' attributes"
+                );
+                *ty
+            }
+            Logical::Union { left, right } | Logical::Intersect { left, right } => {
+                let tl = left.verify_types(db);
+                let tr = right.verify_types(db);
+                assert_eq!(tl, tr, "set operation over distinct types");
+                tl
+            }
+        }
+    }
+
+    /// The rewrite pass: selection pushdown, dead-branch elimination, and
+    /// idempotent set-operation removal, to fixpoint. Every rule preserves
+    /// node types (checked by `verify_types` in tests).
+    pub fn rewrite(self, db: &Database) -> Logical {
+        let mut plan = self;
+        loop {
+            let (next, changed) = plan.rewrite_once(db);
+            plan = next;
+            if !changed {
+                return plan;
+            }
+        }
+    }
+
+    fn rewrite_once(self, db: &Database) -> (Logical, bool) {
+        let schema = db.schema();
+        match self {
+            Logical::Select { input, preds } => {
+                let (input, mut changed) = input.rewrite_once(db);
+                if preds.is_empty() {
+                    return (input, true);
+                }
+                // Contradictory conjunction: same attribute, two values.
+                for (i, (a, v)) in preds.iter().enumerate() {
+                    if preds[i + 1..].iter().any(|(b, w)| a == b && v != w) {
+                        return (Logical::Empty { ty: input.ty() }, true);
+                    }
+                }
+                // Semantic optimization: values outside the attribute's
+                // declared domain can never match a domain-validated tuple,
+                // so the branch is provably empty. This assumes extensions
+                // honour their domains — true for everything inserted
+                // through the engine; `Database::insert_unchecked` bulk
+                // loads bypass validation and must be audited before
+                // planned execution (see `PlannedExecution`).
+                if preds
+                    .iter()
+                    .any(|(a, v)| !db.catalog().admits(schema, *a, v))
+                {
+                    return (Logical::Empty { ty: input.ty() }, true);
+                }
+                let node = match input {
+                    Logical::Empty { ty } => {
+                        changed = true;
+                        Logical::Empty { ty }
+                    }
+                    // Push below a projection: predicates mention only
+                    // attributes of `to`, all present below.
+                    Logical::Project { input, to } => {
+                        changed = true;
+                        Logical::Project {
+                            input: Box::new(Logical::Select { input, preds }),
+                            to,
+                        }
+                    }
+                    // Push into every join side that carries the attribute;
+                    // shared attributes agree across merged tuples, so
+                    // filtering either side is equivalent to filtering the
+                    // merge.
+                    Logical::Join { left, right, ty } => {
+                        changed = true;
+                        let la = schema.attrs_of(left.ty());
+                        let ra = schema.attrs_of(right.ty());
+                        let lp: Vec<_> = preds
+                            .iter()
+                            .filter(|(a, _)| la.contains(a.index()))
+                            .cloned()
+                            .collect();
+                        let rp: Vec<_> = preds
+                            .iter()
+                            .filter(|(a, _)| ra.contains(a.index()))
+                            .cloned()
+                            .collect();
+                        Logical::Join {
+                            left: Box::new(Logical::Select {
+                                input: left,
+                                preds: lp,
+                            }),
+                            right: Box::new(Logical::Select {
+                                input: right,
+                                preds: rp,
+                            }),
+                            ty,
+                        }
+                    }
+                    // Push through set operations into both branches.
+                    Logical::Union { left, right } => {
+                        changed = true;
+                        Logical::Union {
+                            left: Box::new(Logical::Select {
+                                input: left,
+                                preds: preds.clone(),
+                            }),
+                            right: Box::new(Logical::Select {
+                                input: right,
+                                preds,
+                            }),
+                        }
+                    }
+                    Logical::Intersect { left, right } => {
+                        changed = true;
+                        Logical::Intersect {
+                            left: Box::new(Logical::Select {
+                                input: left,
+                                preds: preds.clone(),
+                            }),
+                            right: Box::new(Logical::Select {
+                                input: right,
+                                preds,
+                            }),
+                        }
+                    }
+                    // Merge stacked selections produced by other rewrites.
+                    Logical::Select {
+                        input,
+                        preds: inner,
+                    } => {
+                        changed = true;
+                        let mut merged = inner;
+                        merged.extend(preds);
+                        Logical::Select {
+                            input,
+                            preds: merged,
+                        }
+                    }
+                    other => Logical::Select {
+                        input: Box::new(other),
+                        preds,
+                    },
+                };
+                (node, changed)
+            }
+            Logical::Project { input, to } => {
+                let (input, changed) = input.rewrite_once(db);
+                match input {
+                    Logical::Empty { .. } => (Logical::Empty { ty: to }, true),
+                    // Collapse projection towers: only the final target
+                    // matters (each step is a further generalisation).
+                    Logical::Project { input, .. } => (Logical::Project { input, to }, true),
+                    // A projection onto the input's own type is the
+                    // identity.
+                    other if other.ty() == to => (other, true),
+                    other => (
+                        Logical::Project {
+                            input: Box::new(other),
+                            to,
+                        },
+                        changed,
+                    ),
+                }
+            }
+            Logical::Join { left, right, ty } => {
+                let (left, cl) = left.rewrite_once(db);
+                let (right, cr) = right.rewrite_once(db);
+                if matches!(left, Logical::Empty { .. }) || matches!(right, Logical::Empty { .. }) {
+                    return (Logical::Empty { ty }, true);
+                }
+                (
+                    Logical::Join {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        ty,
+                    },
+                    cl || cr,
+                )
+            }
+            Logical::Union { left, right } => {
+                let (left, cl) = left.rewrite_once(db);
+                let (right, cr) = right.rewrite_once(db);
+                if matches!(left, Logical::Empty { .. }) {
+                    return (right, true);
+                }
+                if matches!(right, Logical::Empty { .. }) {
+                    return (left, true);
+                }
+                if left == right {
+                    return (left, true);
+                }
+                (
+                    Logical::Union {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            Logical::Intersect { left, right } => {
+                let (left, cl) = left.rewrite_once(db);
+                let (right, cr) = right.rewrite_once(db);
+                if matches!(left, Logical::Empty { .. }) {
+                    return (Logical::Empty { ty: left.ty() }, true);
+                }
+                if matches!(right, Logical::Empty { .. }) {
+                    return (Logical::Empty { ty: right.ty() }, true);
+                }
+                if left == right {
+                    return (left, true);
+                }
+                (
+                    Logical::Intersect {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    cl || cr,
+                )
+            }
+            leaf @ (Logical::Empty { .. } | Logical::Scan { .. }) => (leaf, false),
+        }
+    }
+}
+
+/// Lowers and rewrites in one step — the planner front half.
+pub fn lower_and_rewrite(q: &Query, db: &Database) -> Result<Logical, QueryError> {
+    let plan = Logical::lower(q, db)?;
+    debug_assert_eq!(plan.verify_types(db), plan.ty());
+    let rewritten = plan.rewrite(db);
+    debug_assert_eq!(rewritten.verify_types(db), rewritten.ty());
+    Ok(rewritten)
+}

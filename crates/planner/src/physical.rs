@@ -1,0 +1,286 @@
+//! Physical plans: operator selection and the vectorised executor.
+//!
+//! Planning walks the rewritten [`Logical`] tree bottom-up, choosing access
+//! paths (index seek vs. sequential scan) and hash-join / intersection
+//! build sides by cost. Execution is a push-based batch pipeline: scans
+//! emit [`BATCH_SIZE`]-tuple batches into operator sinks, so selections and
+//! projections are applied a batch at a time without materialising
+//! intermediate relations (hash joins materialise their build side only).
+//! With the `parallel` feature, qualifying sequential scans fan out across
+//! threads.
+
+use toposem_core::{AttrId, TypeId};
+use toposem_extension::{Database, Value};
+use toposem_storage::{HashIndex, Statistics};
+
+use crate::cost::{estimate, Estimate};
+use crate::logical::Logical;
+
+/// Tuples per executor batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A physical operator tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Physical {
+    /// Produces nothing.
+    Empty {
+        /// Result type.
+        ty: TypeId,
+    },
+    /// Full scan of an extension with a fused conjunctive filter.
+    SeqScan {
+        /// Scanned type.
+        ty: TypeId,
+        /// Fused equality predicates (may be empty).
+        preds: Vec<(AttrId, Value)>,
+    },
+    /// Hash-index point lookup with a residual filter.
+    IndexSeek {
+        /// Scanned type.
+        ty: TypeId,
+        /// Indexed attribute.
+        attr: AttrId,
+        /// Sought value.
+        value: Value,
+        /// Predicates not covered by the index.
+        residual: Vec<(AttrId, Value)>,
+    },
+    /// Batch-wise conjunctive filter over a composite input (filters over
+    /// plain scans are fused into the scan instead).
+    Filter {
+        /// Input operator.
+        input: Box<Physical>,
+        /// Conjunction of equality predicates.
+        preds: Vec<(AttrId, Value)>,
+    },
+    /// Projection onto a generalisation.
+    Project {
+        /// Input operator.
+        input: Box<Physical>,
+        /// Target type.
+        to: TypeId,
+    },
+    /// Hash join; `build` is materialised into a hash table keyed on the
+    /// shared attributes, `probe` streams.
+    HashJoin {
+        /// Materialised side (chosen smaller by cost).
+        build: Box<Physical>,
+        /// Streaming side.
+        probe: Box<Physical>,
+        /// Declared output type.
+        ty: TypeId,
+    },
+    /// Bag concatenation; the final set collection deduplicates.
+    Union {
+        /// Left input.
+        left: Box<Physical>,
+        /// Right input.
+        right: Box<Physical>,
+        /// Result type.
+        ty: TypeId,
+    },
+    /// Set intersection; `build` is materialised into a membership set.
+    Intersect {
+        /// Materialised side (chosen smaller by cost).
+        build: Box<Physical>,
+        /// Streaming side.
+        probe: Box<Physical>,
+        /// Result type.
+        ty: TypeId,
+    },
+}
+
+impl Physical {
+    /// The entity type of this operator's output.
+    pub fn ty(&self) -> TypeId {
+        match self {
+            Physical::Empty { ty }
+            | Physical::SeqScan { ty, .. }
+            | Physical::IndexSeek { ty, .. }
+            | Physical::HashJoin { ty, .. }
+            | Physical::Union { ty, .. }
+            | Physical::Intersect { ty, .. } => *ty,
+            Physical::Filter { input, .. } => input.ty(),
+            Physical::Project { to, .. } => *to,
+        }
+    }
+
+    /// Renders the plan as an indented EXPLAIN tree with estimates.
+    pub fn explain(&self, db: &Database, stats: &Statistics) -> String {
+        let mut out = String::new();
+        self.explain_into(db, stats, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, db: &Database, stats: &Statistics, depth: usize, out: &mut String) {
+        let schema = db.schema();
+        let Estimate { rows, cost } = estimate(self, stats);
+        let pad = "  ".repeat(depth);
+        let render_preds = |preds: &[(AttrId, Value)]| {
+            preds
+                .iter()
+                .map(|(a, v)| format!("{}={}", schema.attr_name(*a), v))
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        };
+        let line = match self {
+            Physical::Empty { ty } => format!("Empty [{}]", schema.type_name(*ty)),
+            Physical::SeqScan { ty, preds } if preds.is_empty() => {
+                format!("SeqScan {}", schema.type_name(*ty))
+            }
+            Physical::SeqScan { ty, preds } => {
+                format!(
+                    "SeqScan {} filter {}",
+                    schema.type_name(*ty),
+                    render_preds(preds)
+                )
+            }
+            Physical::IndexSeek {
+                ty,
+                attr,
+                value,
+                residual,
+            } => {
+                let mut s = format!(
+                    "IndexSeek {}.{} = {}",
+                    schema.type_name(*ty),
+                    schema.attr_name(*attr),
+                    value
+                );
+                if !residual.is_empty() {
+                    s.push_str(&format!(" residual {}", render_preds(residual)));
+                }
+                s
+            }
+            Physical::Filter { preds, .. } => format!("Filter {}", render_preds(preds)),
+            Physical::Project { to, .. } => format!("Project → {}", schema.type_name(*to)),
+            Physical::HashJoin { ty, .. } => format!("HashJoin [{}]", schema.type_name(*ty)),
+            Physical::Union { ty, .. } => format!("Union [{}]", schema.type_name(*ty)),
+            Physical::Intersect { ty, .. } => {
+                format!("Intersect [{}]", schema.type_name(*ty))
+            }
+        };
+        out.push_str(&format!("{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1})\n"));
+        match self {
+            Physical::Filter { input, .. } | Physical::Project { input, .. } => {
+                input.explain_into(db, stats, depth + 1, out)
+            }
+            Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
+                build.explain_into(db, stats, depth + 1, out);
+                probe.explain_into(db, stats, depth + 1, out);
+            }
+            Physical::Union { left, right, .. } => {
+                left.explain_into(db, stats, depth + 1, out);
+                right.explain_into(db, stats, depth + 1, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compiles a rewritten logical plan into a physical plan, choosing access
+/// paths and build sides by cost.
+pub fn plan(
+    logical: &Logical,
+    db: &Database,
+    indexes: &[Option<HashIndex>],
+    stats: &Statistics,
+) -> Physical {
+    match logical {
+        Logical::Empty { ty } => Physical::Empty { ty: *ty },
+        Logical::Scan { ty } => Physical::SeqScan {
+            ty: *ty,
+            preds: Vec::new(),
+        },
+        Logical::Select { input, preds } => match input.as_ref() {
+            // Access-path selection happens where a filter meets a scan.
+            Logical::Scan { ty } => {
+                let seq = Physical::SeqScan {
+                    ty: *ty,
+                    preds: preds.clone(),
+                };
+                match index_path(*ty, preds, db, indexes) {
+                    Some(seek) if estimate(&seek, stats).cost < estimate(&seq, stats).cost => seek,
+                    _ => seq,
+                }
+            }
+            // The rewrite pass pushes selections to the leaves, so a
+            // residual filter over a composite input is rare (e.g. a
+            // selection the pushdown could not fully sink); it gets a
+            // batch-wise Filter operator.
+            _ => Physical::Filter {
+                input: Box::new(plan(input, db, indexes, stats)),
+                preds: preds.clone(),
+            },
+        },
+        Logical::Project { input, to } => Physical::Project {
+            input: Box::new(plan(input, db, indexes, stats)),
+            to: *to,
+        },
+        Logical::Join { left, right, ty } => {
+            let l = plan(left, db, indexes, stats);
+            let r = plan(right, db, indexes, stats);
+            let (build, probe) = if estimate(&l, stats).rows <= estimate(&r, stats).rows {
+                (l, r)
+            } else {
+                (r, l)
+            };
+            Physical::HashJoin {
+                build: Box::new(build),
+                probe: Box::new(probe),
+                ty: *ty,
+            }
+        }
+        Logical::Union { left, right } => {
+            let ty = left.ty();
+            Physical::Union {
+                left: Box::new(plan(left, db, indexes, stats)),
+                right: Box::new(plan(right, db, indexes, stats)),
+                ty,
+            }
+        }
+        Logical::Intersect { left, right } => {
+            let ty = left.ty();
+            let l = plan(left, db, indexes, stats);
+            let r = plan(right, db, indexes, stats);
+            let (build, probe) = if estimate(&l, stats).rows <= estimate(&r, stats).rows {
+                (l, r)
+            } else {
+                (r, l)
+            };
+            Physical::Intersect {
+                build: Box::new(build),
+                probe: Box::new(probe),
+                ty,
+            }
+        }
+    }
+}
+
+/// An index-seek plan for `preds` over `ty`, when the engine holds a
+/// usable index. Indexes mirror *stored* relations, which equal semantic
+/// extensions only under eager containment — the planner refuses the index
+/// path otherwise.
+fn index_path(
+    ty: TypeId,
+    preds: &[(AttrId, Value)],
+    db: &Database,
+    indexes: &[Option<HashIndex>],
+) -> Option<Physical> {
+    if db.policy() != toposem_extension::ContainmentPolicy::Eager {
+        return None;
+    }
+    let idx = indexes.get(ty.index())?.as_ref()?;
+    let (i, (attr, value)) = preds
+        .iter()
+        .enumerate()
+        .find(|(_, (a, _))| *a == idx.attr())?;
+    let mut residual = preds.to_vec();
+    residual.remove(i);
+    Some(Physical::IndexSeek {
+        ty,
+        attr: *attr,
+        value: value.clone(),
+        residual,
+    })
+}

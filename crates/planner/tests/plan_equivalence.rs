@@ -1,0 +1,268 @@
+//! The plan/eval equivalence oracle: for randomly generated *sanctioned*
+//! queries over randomly loaded databases, planned execution must return
+//! exactly the same `(TypeId, Relation)` as the naive tree-walking
+//! interpreter — under both containment policies, with and without
+//! indexes.
+//!
+//! Queries are grown bottom-up from a decision script so every generated
+//! query is valid by construction: selections use attributes of the input
+//! type, projections move up the generalisation topology, joins are kept
+//! only when their attribute union is a declared entity type, and set
+//! operations pair subqueries of equal type.
+
+use proptest::prelude::*;
+use toposem_core::{employee_schema, Intension, TypeId};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_planner::PlannedExecution;
+use toposem_storage::{Engine, Query};
+
+const NAMES: [&str; 5] = ["ann", "bob", "carol", "dave", "eve"];
+const DEPS: [&str; 3] = ["sales", "research", "admin"];
+const LOCS: [&str; 2] = ["amsterdam", "utrecht"];
+
+/// One inserted row, decoded from strategy-picked indices.
+#[derive(Clone, Debug)]
+enum Row {
+    Employee(usize, i64, usize),
+    Manager(usize, i64, usize, i64),
+    Department(usize, usize),
+    Person(usize, i64),
+    Worksfor(usize, i64, usize, usize),
+}
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    prop_oneof![
+        (0..NAMES.len(), 0i64..90, 0..DEPS.len()).prop_map(|(n, a, d)| Row::Employee(n, a, d)),
+        (0..NAMES.len(), 0i64..90, 0..DEPS.len(), 0i64..500)
+            .prop_map(|(n, a, d, b)| Row::Manager(n, a, d, b)),
+        (0..DEPS.len(), 0..LOCS.len()).prop_map(|(d, l)| Row::Department(d, l)),
+        (0..NAMES.len(), 0i64..90).prop_map(|(n, a)| Row::Person(n, a)),
+        (0..NAMES.len(), 0i64..90, 0..DEPS.len(), 0..LOCS.len())
+            .prop_map(|(n, a, d, l)| Row::Worksfor(n, a, d, l)),
+    ]
+}
+
+fn load(eng: &Engine, rows: &[Row]) {
+    let s = eng.with_db(|db| db.schema().clone());
+    for row in rows {
+        let _ = match row {
+            Row::Employee(n, a, d) => eng.insert(
+                s.type_id("employee").unwrap(),
+                &[
+                    ("name", Value::str(NAMES[*n])),
+                    ("age", Value::Int(*a)),
+                    ("depname", Value::str(DEPS[*d])),
+                ],
+            ),
+            Row::Manager(n, a, d, b) => eng.insert(
+                s.type_id("manager").unwrap(),
+                &[
+                    ("name", Value::str(NAMES[*n])),
+                    ("age", Value::Int(*a)),
+                    ("depname", Value::str(DEPS[*d])),
+                    ("budget", Value::Int(*b)),
+                ],
+            ),
+            Row::Department(d, l) => eng.insert(
+                s.type_id("department").unwrap(),
+                &[
+                    ("depname", Value::str(DEPS[*d])),
+                    ("location", Value::str(LOCS[*l])),
+                ],
+            ),
+            Row::Person(n, a) => eng.insert(
+                s.type_id("person").unwrap(),
+                &[("name", Value::str(NAMES[*n])), ("age", Value::Int(*a))],
+            ),
+            Row::Worksfor(n, a, d, l) => eng.insert(
+                s.type_id("worksfor").unwrap(),
+                &[
+                    ("name", Value::str(NAMES[*n])),
+                    ("age", Value::Int(*a)),
+                    ("depname", Value::str(DEPS[*d])),
+                    ("location", Value::str(LOCS[*l])),
+                ],
+            ),
+        };
+    }
+}
+
+/// A value for attribute `a`, drawn from a pool that mixes matching,
+/// non-matching, and out-of-domain constants (the latter exercise
+/// dead-branch elimination).
+fn value_for(db: &Database, attr: toposem_core::AttrId, pick: usize) -> Value {
+    let name = db.schema().attr_name(attr);
+    match name {
+        "name" => {
+            let pool = ["ann", "bob", "carol", "nobody"];
+            Value::str(pool[pick % pool.len()])
+        }
+        "age" => {
+            let pool = [0i64, 17, 42, 89, 200]; // 200 is outside ages 0..=150
+            Value::Int(pool[pick % pool.len()])
+        }
+        "depname" => {
+            let pool = ["sales", "research", "admin", "piracy"]; // piracy off-domain
+            Value::str(pool[pick % pool.len()])
+        }
+        "location" => {
+            let pool = ["amsterdam", "utrecht", "rotterdam"]; // rotterdam off-domain
+            Value::str(pool[pick % pool.len()])
+        }
+        "budget" => {
+            let pool = [0i64, 100, 250];
+            Value::Int(pool[pick % pool.len()])
+        }
+        other => panic!("unknown attribute {other}"),
+    }
+}
+
+/// Grows a sanctioned query from the decision script. Each decision is
+/// `(op, pick_a, pick_b)`; invalid constructions (unsanctioned joins) fall
+/// back to their left operand, so the result is always well-typed.
+fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
+    let schema = db.schema();
+    let types: Vec<TypeId> = schema.type_ids().collect();
+    let gen = db.intension().generalisation();
+    let mut q =
+        Query::scan(types[decisions.first().map(|d| d.1 as usize).unwrap_or(0) % types.len()]);
+    for (op, a, b) in decisions {
+        let ty = q.entity_type(db).expect("invariant: q stays sanctioned");
+        match op % 5 {
+            // Selection on an attribute of the current type.
+            0 => {
+                let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                let attr = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                q = q.select(attr, value_for(db, attr, *b as usize));
+            }
+            // Projection onto a generalisation (possibly the type itself).
+            1 => {
+                let gens: Vec<TypeId> = gen.g_set(ty).iter().map(|i| TypeId(i as u32)).collect();
+                q = q.project(gens[*a as usize % gens.len()]);
+            }
+            // Join with a scanned type; keep only if sanctioned.
+            2 => {
+                let other = types[*a as usize % types.len()];
+                let candidate = q.clone().join(Query::scan(other));
+                if candidate.entity_type(db).is_ok() {
+                    q = candidate;
+                }
+            }
+            // Union with a same-type subquery (optionally filtered).
+            3 => {
+                let mut rhs = Query::scan(ty);
+                let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                let attr = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                rhs = rhs.select(attr, value_for(db, attr, *b as usize));
+                q = q.union(rhs);
+            }
+            // Intersection with a same-type subquery.
+            _ => {
+                let mut rhs = Query::scan(ty);
+                if b % 2 == 0 {
+                    let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                    let attr = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                    rhs = rhs.select(attr, value_for(db, attr, *b as usize));
+                }
+                q = q.intersect(rhs);
+            }
+        }
+    }
+    q
+}
+
+fn engine(policy: ContainmentPolicy) -> Engine {
+    Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        policy,
+    ))
+}
+
+proptest! {
+    /// The headline oracle: planned == naive on both policies.
+    #[test]
+    fn planned_equals_naive(
+        rows in prop::collection::vec(row_strategy(), 0..25),
+        decisions in prop::collection::vec((0u8..5, 0u8..16, 0u8..16), 0..8),
+    ) {
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let eng = engine(policy);
+            load(&eng, &rows);
+            let q = eng.with_db(|db| grow_query(db, &decisions));
+            let naive = eng.with_db(|db| q.execute(db)).expect("generated query is sanctioned");
+            let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+            prop_assert_eq!(&naive.0, &planned.0, "entity types diverged for {:?}", q);
+            prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
+        }
+    }
+
+    /// Same oracle with every type indexed on a (per-case random)
+    /// attribute, exercising the IndexSeek path and residual filters.
+    /// Indexes are created *before* the load, so incremental index
+    /// maintenance — including eager containment propagations into
+    /// generalisation relations — is on the hook, not just bulk builds.
+    #[test]
+    fn planned_equals_naive_with_indexes(
+        rows in prop::collection::vec(row_strategy(), 0..25),
+        decisions in prop::collection::vec((0u8..5, 0u8..16, 0u8..16), 0..8),
+        index_picks in prop::collection::vec(0usize..8, 5),
+        index_first in 0u8..2,
+    ) {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let build_indexes = |eng: &Engine| {
+            for (e, pick) in s.type_ids().zip(&index_picks) {
+                let attrs: Vec<_> = s.attrs_of(e).iter().collect();
+                eng.create_index(e, toposem_core::AttrId(attrs[pick % attrs.len()] as u32));
+            }
+        };
+        if index_first == 0 {
+            build_indexes(&eng);
+            load(&eng, &rows);
+        } else {
+            load(&eng, &rows);
+            build_indexes(&eng);
+        }
+        let q = eng.with_db(|db| grow_query(db, &decisions));
+        let naive = eng.with_db(|db| q.execute(db)).expect("generated query is sanctioned");
+        let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+        prop_assert_eq!(&naive.0, &planned.0);
+        prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
+    }
+}
+
+/// Batch-boundary coverage: a relation larger than one executor batch
+/// (and past the parallel-scan threshold when that feature is on) agrees
+/// with naive execution.
+#[test]
+fn large_scan_crosses_batch_boundaries() {
+    let eng = engine(ContainmentPolicy::Eager);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let name = s.attr_id("name").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    for i in 0..5000 {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i}"))),
+                ("age", Value::Int(i % 90)),
+                ("depname", Value::str(DEPS[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+    }
+    eng.create_index(employee, name);
+    let queries = [
+        Query::scan(employee),
+        Query::scan(employee).select(depname, Value::str("sales")),
+        Query::scan(employee).select(name, Value::str("w4242")),
+        Query::scan(employee).project(s.type_id("person").unwrap()),
+    ];
+    for q in &queries {
+        let naive = eng.with_db(|db| q.execute(db)).unwrap();
+        let planned = eng.query_planned(q).unwrap();
+        assert_eq!(naive, planned);
+    }
+}

@@ -250,10 +250,7 @@ mod tests {
         let s = db.schema();
         let person = s.type_id("person").unwrap();
         let employee = s.type_id("employee").unwrap();
-        let open = BitSet::from_indices(
-            s.type_count(),
-            [person.index(), employee.index()],
-        );
+        let open = BitSet::from_indices(s.type_count(), [person.index(), employee.index()]);
         // Mix ann's employee instance with bob's person projection.
         let ann_emp = db
             .extension(employee)
@@ -268,7 +265,9 @@ mod tests {
             .unwrap()
             .clone();
         let fam = Family {
-            members: [(person, bob_person), (employee, ann_emp)].into_iter().collect(),
+            members: [(person, bob_person), (employee, ann_emp)]
+                .into_iter()
+                .collect(),
         };
         assert!(!p.is_section(&open, &fam));
     }

@@ -190,9 +190,9 @@ impl Presheaf {
         let sections: Vec<&String> = self.sections[open].iter().collect();
         for (i, s1) in sections.iter().enumerate() {
             for s2 in sections.iter().skip(i + 1) {
-                let agree_everywhere = cover.iter().all(|c| {
-                    self.restrict(open, c, s1) == self.restrict(open, c, s2)
-                });
+                let agree_everywhere = cover
+                    .iter()
+                    .all(|c| self.restrict(open, c, s1) == self.restrict(open, c, s2));
                 if agree_everywhere {
                     return Err(format!(
                         "locality fails: sections `{s1}` and `{s2}` agree on the cover"
@@ -227,8 +227,7 @@ impl Presheaf {
                     .iter()
                     .filter(|s| {
                         cover.iter().enumerate().all(|(i, c)| {
-                            self.restrict(open, c, s)
-                                == Some(member_sections[i][family[i]])
+                            self.restrict(open, c, s) == Some(member_sections[i][family[i]])
                                 || self.restrict(open, c, s).map(String::as_str)
                                     == Some(member_sections[i][family[i]].as_str())
                         })
@@ -265,11 +264,9 @@ mod tests {
     /// A sheaf-like presheaf on the Sierpiński space: F({0,1}) = pairs,
     /// F({1}) = values, restriction = second projection.
     fn sierpinski_presheaf() -> (Presheaf, BitSet, BitSet) {
-        let space = FiniteSpace::from_min_neighbourhoods(vec![
-            BitSet::full(2),
-            BitSet::singleton(2, 1),
-        ])
-        .unwrap();
+        let space =
+            FiniteSpace::from_min_neighbourhoods(vec![BitSet::full(2), BitSet::singleton(2, 1)])
+                .unwrap();
         let top = BitSet::full(2);
         let small = BitSet::singleton(2, 1);
         let empty = BitSet::empty(2);
@@ -330,7 +327,8 @@ mod tests {
         let (p, top, small) = sierpinski_presheaf();
         // Cover of top by {top}: trivially fine (locality via identity).
         p.sheaf_condition(&top, std::slice::from_ref(&top)).unwrap();
-        p.sheaf_condition(&small, std::slice::from_ref(&small)).unwrap();
+        p.sheaf_condition(&small, std::slice::from_ref(&small))
+            .unwrap();
     }
 
     #[test]

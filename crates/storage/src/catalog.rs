@@ -61,10 +61,7 @@ impl Catalog {
             return db.extension(e);
         }
         let universe = db.schema().attr_count();
-        let parts: Vec<Relation> = contributors
-            .iter()
-            .map(|&c| self.read(db, c))
-            .collect();
+        let parts: Vec<Relation> = contributors.iter().map(|&c| self.read(db, c)).collect();
         let refs: Vec<&Relation> = parts.iter().collect();
         let joined = multi_join(universe, &refs);
         joined.project(db.schema().attrs_of(e))

@@ -6,12 +6,15 @@
 //! The engine is the piece the paper never built; it exists to prove the
 //! model is operational, not just descriptive.
 
+use std::sync::Arc;
+
 use parking_lot::RwLock;
 use toposem_core::TypeId;
 use toposem_extension::{Database, Instance, InstanceError, Value};
 use toposem_fd::{check_fd, Fd};
 
 use crate::index::HashIndex;
+use crate::stats::Statistics;
 
 /// Errors surfaced by engine operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,6 +61,8 @@ struct Inner {
     declared_fds: Vec<Fd>,
     indexes: Vec<Option<HashIndex>>,
     txn_log: Option<Vec<Undo>>,
+    /// Cached planner statistics; dropped on any mutation.
+    stats: Option<Arc<Statistics>>,
 }
 
 /// The engine. Interior-mutable and `Sync`; all operations take `&self`.
@@ -75,6 +80,7 @@ impl Engine {
                 declared_fds: Vec::new(),
                 indexes: vec![None; n],
                 txn_log: None,
+                stats: None,
             }),
         }
     }
@@ -136,12 +142,18 @@ impl Engine {
                 return Err(EngineError::FdViolation(*fd));
             }
         }
-        if let Some(idx) = &mut inner.indexes[e.index()] {
-            idx.insert(&t);
+        // Maintain every affected index: eager containment stores projected
+        // tuples in generalisation relations too, and their indexes must
+        // see them (delete/rollback already walk the full pair list).
+        for (s, u) in &added {
+            if let Some(idx) = &mut inner.indexes[s.index()] {
+                idx.insert(u);
+            }
         }
         if let Some(log) = &mut inner.txn_log {
             log.push(Undo::UnInsert(added));
         }
+        inner.stats = None;
         Ok(true)
     }
 
@@ -178,6 +190,7 @@ impl Engine {
             if let Some(log) = &mut inner.txn_log {
                 log.push(Undo::Restore(victims));
             }
+            inner.stats = None;
         }
         removed
     }
@@ -193,7 +206,11 @@ impl Engine {
     /// Commits the active transaction.
     pub fn commit(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
-        inner.txn_log.take().map(|_| ()).ok_or(EngineError::NoTransaction)
+        inner
+            .txn_log
+            .take()
+            .map(|_| ())
+            .ok_or(EngineError::NoTransaction)
     }
 
     /// Rolls the active transaction back, undoing its operations in
@@ -201,6 +218,7 @@ impl Engine {
     pub fn rollback(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
         let log = inner.txn_log.take().ok_or(EngineError::NoTransaction)?;
+        inner.stats = None;
         for entry in log.into_iter().rev() {
             match entry {
                 Undo::UnInsert(added) => {
@@ -232,6 +250,35 @@ impl Engine {
     /// Runs `f` with read access to the underlying database.
     pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
         f(&self.inner.read().db)
+    }
+
+    /// Runs `f` with read access to the database *and* the index array
+    /// under one lock acquisition — the planner's executor uses this so a
+    /// whole query sees a consistent snapshot.
+    pub fn with_parts<R>(&self, f: impl FnOnce(&Database, &[Option<HashIndex>]) -> R) -> R {
+        let inner = self.inner.read();
+        f(&inner.db, &inner.indexes)
+    }
+
+    /// The attribute indexed for `e`, when an index exists.
+    pub fn indexed_attr(&self, e: TypeId) -> Option<toposem_core::AttrId> {
+        self.inner.read().indexes[e.index()]
+            .as_ref()
+            .map(HashIndex::attr)
+    }
+
+    /// Current statistics, collected lazily and cached until the next
+    /// mutation (insert, delete, or rollback).
+    pub fn statistics(&self) -> Arc<Statistics> {
+        if let Some(s) = &self.inner.read().stats {
+            return Arc::clone(s);
+        }
+        let mut inner = self.inner.write();
+        if inner.stats.is_none() {
+            let s = Arc::new(Statistics::collect(&inner.db, &inner.indexes));
+            inner.stats = Some(s);
+        }
+        Arc::clone(inner.stats.as_ref().expect("just filled"))
     }
 
     /// Consumes the engine, returning the database.
@@ -365,6 +412,71 @@ mod tests {
             eng.lookup(employee, depname, &Value::str("research")).len(),
             0
         );
+        assert_eq!(eng.indexed_attr(employee), Some(depname));
+        assert_eq!(
+            eng.indexed_attr(eng.with_db(|db| db.schema().type_id("person").unwrap())),
+            None
+        );
+    }
+
+    #[test]
+    fn containment_propagations_maintain_generalisation_indexes() {
+        // Regression: inserting a manager eagerly stores a projected
+        // employee tuple; an index on employee must see it.
+        let eng = engine();
+        let (employee, manager, depname) = eng.with_db(|db| {
+            let s = db.schema();
+            (
+                s.type_id("employee").unwrap(),
+                s.type_id("manager").unwrap(),
+                s.attr_id("depname").unwrap(),
+            )
+        });
+        eng.create_index(employee, depname);
+        eng.insert(
+            manager,
+            &[
+                ("name", Value::str("ann")),
+                ("age", Value::Int(40)),
+                ("depname", Value::str("sales")),
+                ("budget", Value::Int(100)),
+            ],
+        )
+        .unwrap();
+        // The projected employee tuple is reachable through the index…
+        assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 1);
+        // …and deleting the manager (cascading) clears it again.
+        let ann = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                manager,
+                &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                    ("budget", Value::Int(100)),
+                ],
+            )
+            .unwrap()
+        });
+        assert_eq!(eng.delete(manager, &ann), 1);
+        assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 1);
+        let ann_emp = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                employee,
+                &[
+                    ("name", Value::str("ann")),
+                    ("age", Value::Int(40)),
+                    ("depname", Value::str("sales")),
+                ],
+            )
+            .unwrap()
+        });
+        assert_eq!(eng.delete(employee, &ann_emp), 1);
+        assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 0);
     }
 
     #[test]
@@ -428,11 +540,8 @@ mod tests {
         let eng = engine();
         let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
         eng.begin();
-        eng.insert(
-            person,
-            &[("name", Value::str("x")), ("age", Value::Int(1))],
-        )
-        .unwrap();
+        eng.insert(person, &[("name", Value::str("x")), ("age", Value::Int(1))])
+            .unwrap();
         eng.commit().unwrap();
         assert!(eng.rollback().is_err(), "nothing to roll back after commit");
         assert_eq!(eng.extension(person).len(), 1);

@@ -7,9 +7,13 @@ use toposem_extension::{Instance, Value};
 
 /// A secondary index: attribute value → matching instances of one entity
 /// type's relation.
-#[derive(Clone, Debug, Default)]
+///
+/// There is deliberately no `Default` impl: an index always knows its
+/// attribute, so an unconfigured index is unrepresentable and `attr()`
+/// cannot fail.
+#[derive(Clone, Debug)]
 pub struct HashIndex {
-    attr: Option<AttrId>,
+    attr: AttrId,
     buckets: HashMap<Value, Vec<Instance>>,
 }
 
@@ -17,26 +21,27 @@ impl HashIndex {
     /// An index on `attr`.
     pub fn new(attr: AttrId) -> Self {
         HashIndex {
-            attr: Some(attr),
+            attr,
             buckets: HashMap::new(),
         }
     }
 
     /// The indexed attribute.
     pub fn attr(&self) -> AttrId {
-        self.attr.expect("index built with an attribute")
+        self.attr
     }
 
     /// Registers an instance.
     pub fn insert(&mut self, t: &Instance) {
-        if let Some(v) = t.get(self.attr()) {
+        if let Some(v) = t.get(self.attr) {
             self.buckets.entry(v.clone()).or_default().push(t.clone());
         }
     }
 
-    /// Unregisters an instance.
+    /// Unregisters an instance, dropping the bucket when it empties so
+    /// long-lived engines under churn don't accumulate dead entries.
     pub fn remove(&mut self, t: &Instance) {
-        if let Some(v) = t.get(self.attr()) {
+        if let Some(v) = t.get(self.attr) {
             if let Some(bucket) = self.buckets.get_mut(v) {
                 bucket.retain(|u| u != t);
                 if bucket.is_empty() {
@@ -73,37 +78,32 @@ mod tests {
     use toposem_core::employee_schema;
     use toposem_extension::DomainCatalog;
 
+    fn emp(name: &str, age: i64, dep: &str) -> Instance {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        Instance::new(
+            &s,
+            &c,
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str(name)),
+                ("age", Value::Int(age)),
+                ("depname", Value::str(dep)),
+            ],
+        )
+        .unwrap()
+    }
+
     #[test]
     fn insert_lookup_remove() {
         let s = employee_schema();
-        let c = DomainCatalog::employee_defaults();
-        let employee = s.type_id("employee").unwrap();
         let dep = s.attr_id("depname").unwrap();
         let mut idx = HashIndex::new(dep);
-        let t1 = Instance::new(
-            &s,
-            &c,
-            employee,
-            &[
-                ("name", Value::str("ann")),
-                ("age", Value::Int(40)),
-                ("depname", Value::str("sales")),
-            ],
-        )
-        .unwrap();
-        let t2 = Instance::new(
-            &s,
-            &c,
-            employee,
-            &[
-                ("name", Value::str("bob")),
-                ("age", Value::Int(30)),
-                ("depname", Value::str("sales")),
-            ],
-        )
-        .unwrap();
+        let t1 = emp("ann", 40, "sales");
+        let t2 = emp("bob", 30, "sales");
         idx.insert(&t1);
         idx.insert(&t2);
+        assert_eq!(idx.attr(), dep);
         assert_eq!(idx.lookup(&Value::str("sales")).len(), 2);
         assert_eq!(idx.lookup(&Value::str("research")).len(), 0);
         assert_eq!(idx.distinct_values(), 1);
@@ -112,5 +112,29 @@ mod tests {
         assert_eq!(idx.lookup(&Value::str("sales")).len(), 1);
         idx.remove(&t2);
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn remove_compacts_empty_buckets() {
+        // Churn: many distinct values inserted then removed must not leave
+        // tombstone buckets behind (the leak this regression test pins).
+        let s = employee_schema();
+        let name = s.attr_id("name").unwrap();
+        let mut idx = HashIndex::new(name);
+        let tuples: Vec<Instance> = (0..100)
+            .map(|i| emp(&format!("p{i}"), 30, "sales"))
+            .collect();
+        for t in &tuples {
+            idx.insert(t);
+        }
+        assert_eq!(idx.distinct_values(), 100);
+        for t in &tuples {
+            idx.remove(t);
+        }
+        assert_eq!(idx.distinct_values(), 0, "empty buckets must be dropped");
+        assert!(idx.is_empty());
+        // Removing an absent tuple on an empty index is a no-op.
+        idx.remove(&tuples[0]);
+        assert_eq!(idx.distinct_values(), 0);
     }
 }

@@ -12,6 +12,7 @@ pub mod engine;
 pub mod index;
 pub mod query;
 pub mod snapshot;
+pub mod stats;
 pub mod view_exec;
 
 pub use catalog::{Catalog, StoragePlan};
@@ -19,6 +20,7 @@ pub use engine::{Engine, EngineError};
 pub use index::HashIndex;
 pub use query::{Query, QueryError};
 pub use snapshot::{load, save, SnapshotError};
+pub use stats::{Statistics, TypeStats};
 pub use view_exec::{
     apply_update, materialise, translation_count, MaterialisedView, ViewError, ViewUpdate,
 };

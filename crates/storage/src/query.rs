@@ -79,7 +79,10 @@ impl std::fmt::Display for QueryError {
             ),
             QueryError::ForeignAttribute(a) => write!(f, "attribute {a} not in input type"),
             QueryError::TypeMismatch(a, b) => {
-                write!(f, "set operation requires equal entity types, got {a} and {b}")
+                write!(
+                    f,
+                    "set operation requires equal entity types, got {a} and {b}"
+                )
             }
         }
     }
@@ -179,9 +182,7 @@ impl Query {
                 .eval(db)
                 .select(|t: &Instance| t.get(*attr) == Some(value)),
             Query::Project { input, to } => input.eval(db).project(schema.attrs_of(*to)),
-            Query::Join(a, b) => {
-                natural_join(schema.attr_count(), &a.eval(db), &b.eval(db))
-            }
+            Query::Join(a, b) => natural_join(schema.attr_count(), &a.eval(db), &b.eval(db)),
             Query::Union(a, b) => {
                 let mut r = a.eval(db);
                 r.union_with(&b.eval(db));
@@ -273,8 +274,7 @@ mod tests {
     fn downward_projection_is_rejected() {
         let db = loaded_db();
         let s = db.schema();
-        let q = Query::scan(s.type_id("person").unwrap())
-            .project(s.type_id("employee").unwrap());
+        let q = Query::scan(s.type_id("person").unwrap()).project(s.type_id("employee").unwrap());
         assert!(matches!(
             q.entity_type(&db),
             Err(QueryError::NotAGeneralisation { .. })
@@ -315,7 +315,10 @@ mod tests {
         let s = db.schema();
         let q = Query::scan(s.type_id("employee").unwrap())
             .union(Query::scan(s.type_id("department").unwrap()));
-        assert!(matches!(q.entity_type(&db), Err(QueryError::TypeMismatch(_, _))));
+        assert!(matches!(
+            q.entity_type(&db),
+            Err(QueryError::TypeMismatch(_, _))
+        ));
     }
 
     #[test]
@@ -326,8 +329,7 @@ mod tests {
         let s = db.schema();
         let queries = [
             Query::scan(s.type_id("employee").unwrap()),
-            Query::scan(s.type_id("employee").unwrap())
-                .project(s.type_id("person").unwrap()),
+            Query::scan(s.type_id("employee").unwrap()).project(s.type_id("person").unwrap()),
             Query::scan(s.type_id("employee").unwrap())
                 .join(Query::scan(s.type_id("department").unwrap())),
         ];

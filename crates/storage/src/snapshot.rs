@@ -99,4 +99,66 @@ mod tests {
             Err(SnapshotError::Decode(_))
         ));
     }
+
+    #[test]
+    fn roundtrip_deep_equality_and_rebuilt_indices() {
+        // Exercise both policies and a mixed load so the snapshot carries
+        // every Value variant and a non-trivial ISA spread.
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let mut db = Database::new(
+                Intension::analyse(employee_schema()),
+                DomainCatalog::employee_defaults(),
+                policy,
+            );
+            let s = db.schema().clone();
+            for (n, a, d, b) in [("ann", 40, "sales", 100), ("bob", 30, "research", 7)] {
+                db.insert_fields(
+                    s.type_id("manager").unwrap(),
+                    &[
+                        ("name", Value::str(n)),
+                        ("age", Value::Int(a)),
+                        ("depname", Value::str(d)),
+                        ("budget", Value::Int(b)),
+                    ],
+                )
+                .unwrap();
+            }
+            db.insert_fields(
+                s.type_id("department").unwrap(),
+                &[
+                    ("depname", Value::str("sales")),
+                    ("location", Value::str("amsterdam")),
+                ],
+            )
+            .unwrap();
+
+            let mut buf = Vec::new();
+            save(&db, &mut buf).unwrap();
+            let back = load(&buf[..]).unwrap();
+
+            // Deep schema equality, not just name agreement.
+            assert_eq!(back.schema(), db.schema());
+            assert_eq!(back.policy(), db.policy());
+            // Stored relations and semantic extensions agree everywhere.
+            for e in s.type_ids() {
+                assert_eq!(back.stored(e), db.stored(e));
+                assert_eq!(back.extension(e), db.extension(e));
+            }
+            // The serde-skipped lookup indices were rebuilt by `load`:
+            // name→id resolution works on the loaded schema.
+            for e in s.type_ids() {
+                let name = s.type_name(e);
+                assert_eq!(back.schema().type_id(name), Some(e));
+            }
+            for a in s.attr_ids() {
+                let name = s.attr_name(a);
+                assert_eq!(back.schema().attr_id(name), Some(a));
+            }
+            // And a second save of the loaded database is byte-identical —
+            // the round trip is a fixpoint.
+            let mut buf2 = Vec::new();
+            save(&back, &mut buf2).unwrap();
+            assert_eq!(buf, buf2);
+        }
+    }
 }

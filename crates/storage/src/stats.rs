@@ -1,0 +1,130 @@
+//! Per-type statistics feeding the planner's cost model.
+//!
+//! EMBANKS-style access-path selection needs two numbers per relation:
+//! its cardinality and, per attribute, how many distinct values occur
+//! (equality selectivity ≈ 1/distinct under the uniformity assumption).
+//! Collection is exact — extensions here are in-memory — and the engine
+//! caches the result, invalidating on any mutation, so statistics cost is
+//! amortised across a query workload.
+
+use toposem_core::{AttrId, TypeId};
+use toposem_extension::Database;
+
+use crate::index::HashIndex;
+
+/// Statistics of one entity type's extension.
+#[derive(Clone, Debug, Default)]
+pub struct TypeStats {
+    /// Cardinality of the semantic extension.
+    pub cardinality: usize,
+    /// Distinct value counts, indexed by `AttrId::index()`; zero for
+    /// attributes outside the type.
+    pub distinct: Vec<usize>,
+}
+
+/// Statistics for every entity type of a database.
+#[derive(Clone, Debug)]
+pub struct Statistics {
+    per_type: Vec<TypeStats>,
+}
+
+impl Statistics {
+    /// Collects exact statistics. Indexes shortcut the distinct count of
+    /// their attribute; other attributes are counted from the extension.
+    pub fn collect(db: &Database, indexes: &[Option<HashIndex>]) -> Statistics {
+        let schema = db.schema();
+        let n_attrs = schema.attr_count();
+        let per_type = schema
+            .type_ids()
+            .map(|e| {
+                let rel = db.extension_cow(e);
+                let mut distinct = vec![0usize; n_attrs];
+                let indexed = indexes.get(e.index()).and_then(Option::as_ref);
+                for a in schema.attrs_of(e).iter() {
+                    let attr = AttrId(a as u32);
+                    distinct[a] = match indexed {
+                        // The index mirrors the stored relation, which is
+                        // the extension under eager maintenance (the only
+                        // policy under which indexes are consulted).
+                        Some(idx) if idx.attr() == attr && idx.len() == rel.len() => {
+                            idx.distinct_values()
+                        }
+                        _ => rel.distinct_count(attr),
+                    };
+                }
+                TypeStats {
+                    cardinality: rel.len(),
+                    distinct,
+                }
+            })
+            .collect();
+        Statistics { per_type }
+    }
+
+    /// Cardinality of `e`'s extension.
+    pub fn cardinality(&self, e: TypeId) -> usize {
+        self.per_type[e.index()].cardinality
+    }
+
+    /// Distinct values of `a` within `e`'s extension.
+    pub fn distinct_count(&self, e: TypeId, a: AttrId) -> usize {
+        self.per_type[e.index()].distinct[a.index()]
+    }
+
+    /// Estimated fraction of `e`'s tuples matching an equality predicate
+    /// on `a`, assuming uniformity.
+    pub fn selectivity(&self, e: TypeId, a: AttrId) -> f64 {
+        1.0 / self.distinct_count(e, a).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toposem_core::{employee_schema, Intension};
+    use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    #[test]
+    fn collect_counts_cardinality_and_distincts() {
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let employee = s.type_id("employee").unwrap();
+        for (n, a, d) in [
+            ("ann", 40, "sales"),
+            ("bob", 30, "sales"),
+            ("carol", 30, "research"),
+        ] {
+            db.insert_fields(
+                employee,
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                ],
+            )
+            .unwrap();
+        }
+        let stats = Statistics::collect(&db, &[]);
+        assert_eq!(stats.cardinality(employee), 3);
+        assert_eq!(
+            stats.distinct_count(employee, s.attr_id("name").unwrap()),
+            3
+        );
+        assert_eq!(stats.distinct_count(employee, s.attr_id("age").unwrap()), 2);
+        assert_eq!(
+            stats.distinct_count(employee, s.attr_id("depname").unwrap()),
+            2
+        );
+        let sel = stats.selectivity(employee, s.attr_id("depname").unwrap());
+        assert!((sel - 0.5).abs() < 1e-9);
+        // An attribute outside the type has no distincts.
+        assert_eq!(
+            stats.distinct_count(employee, s.attr_id("budget").unwrap()),
+            0
+        );
+    }
+}

@@ -98,9 +98,7 @@ fn concurrent_readers_see_consistent_snapshots() {
                     eng.with_db(|db| {
                         let m = db.extension(manager);
                         let e = db.extension(employee);
-                        let projected = m
-                            .project_to_type(db.schema(), manager, employee)
-                            .unwrap();
+                        let projected = m.project_to_type(db.schema(), manager, employee).unwrap();
                         assert!(projected.is_subset(&e));
                     });
                 }

@@ -203,7 +203,10 @@ impl BitSet {
     /// `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.check_same_universe(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `self ⊂ other` (subset and not equal).

@@ -33,8 +33,7 @@ pub fn subspace(space: &FiniteSpace, points: &[usize]) -> FiniteSpace {
             )
         })
         .collect();
-    FiniteSpace::from_min_neighbourhoods(nbhds)
-        .expect("subspace of a valid space is valid")
+    FiniteSpace::from_min_neighbourhoods(nbhds).expect("subspace of a valid space is valid")
 }
 
 /// The inclusion map of a subspace back into the ambient space.
@@ -109,8 +108,7 @@ pub fn quotient(space: &FiniteSpace, class_of: &[usize]) -> (FiniteSpace, PointM
             break;
         }
     }
-    let q = FiniteSpace::from_min_neighbourhoods(nbhds)
-        .expect("saturated family is coherent");
+    let q = FiniteSpace::from_min_neighbourhoods(nbhds).expect("saturated family is coherent");
     let proj = PointMap::new(class_of.to_vec(), k).expect("dense classes");
     (q, proj)
 }
@@ -229,8 +227,7 @@ mod tests {
         for o in x.all_opens() {
             // Saturated: union of whole classes.
             let saturated = (0..x.len()).all(|p| {
-                !o.contains(p)
-                    || (0..x.len()).all(|r| classes[r] != classes[p] || o.contains(r))
+                !o.contains(p) || (0..x.len()).all(|r| classes[r] != classes[p] || o.contains(r))
             });
             if saturated {
                 let image = proj.image(&o);

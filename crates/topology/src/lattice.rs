@@ -152,7 +152,9 @@ mod tests {
         let l = OpenLattice::of_space(&sp);
         let mut ji = l.join_irreducibles();
         ji.sort();
-        let mut mn: Vec<BitSet> = (0..sp.len()).map(|x| sp.min_neighbourhood(x).clone()).collect();
+        let mut mn: Vec<BitSet> = (0..sp.len())
+            .map(|x| sp.min_neighbourhood(x).clone())
+            .collect();
         mn.sort();
         mn.dedup();
         assert_eq!(ji, mn);

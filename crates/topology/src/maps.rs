@@ -22,13 +22,21 @@ pub struct PointMap {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MapError {
     /// Image point out of range of the codomain.
-    ImageOutOfRange { point: usize, image: usize, codomain: usize },
+    ImageOutOfRange {
+        point: usize,
+        image: usize,
+        codomain: usize,
+    },
 }
 
 impl std::fmt::Display for MapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MapError::ImageOutOfRange { point, image, codomain } => write!(
+            MapError::ImageOutOfRange {
+                point,
+                image,
+                codomain,
+            } => write!(
                 f,
                 "f({point}) = {image} lies outside the codomain of {codomain} points"
             ),
@@ -44,7 +52,11 @@ impl PointMap {
     pub fn new(map: Vec<usize>, codomain_len: usize) -> Result<Self, MapError> {
         for (point, &image) in map.iter().enumerate() {
             if image >= codomain_len {
-                return Err(MapError::ImageOutOfRange { point, image, codomain: codomain_len });
+                return Err(MapError::ImageOutOfRange {
+                    point,
+                    image,
+                    codomain: codomain_len,
+                });
             }
         }
         Ok(PointMap { map, codomain_len })
@@ -52,7 +64,10 @@ impl PointMap {
 
     /// The identity map on `n` points.
     pub fn identity(n: usize) -> Self {
-        PointMap { map: (0..n).collect(), codomain_len: n }
+        PointMap {
+            map: (0..n).collect(),
+            codomain_len: n,
+        }
     }
 
     /// Domain size.
@@ -161,7 +176,10 @@ impl PointMap {
         for (x, &y) in self.map.iter().enumerate() {
             inv[y] = x;
         }
-        let inverse = PointMap { map: inv, codomain_len: self.map.len() };
+        let inverse = PointMap {
+            map: inv,
+            codomain_len: self.map.len(),
+        };
         inverse.is_continuous(cod, dom)
     }
 }
@@ -266,7 +284,10 @@ mod tests {
         // where Y's points 1,2 replicate the Sierpiński structure.
         let y = FiniteSpace::from_subbase(
             3,
-            &[BitSet::from_indices(3, [1, 2]), BitSet::from_indices(3, [2])],
+            &[
+                BitSet::from_indices(3, [1, 2]),
+                BitSet::from_indices(3, [2]),
+            ],
         );
         let x = sierpinski();
         let f = PointMap::new(vec![1, 2], 3).unwrap();

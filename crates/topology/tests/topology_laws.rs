@@ -9,9 +9,8 @@ const N: usize = 8;
 
 /// Strategy: a subset of an `n`-point universe as a bitmask.
 fn subset(n: usize) -> impl Strategy<Value = BitSet> {
-    prop::bits::u64::between(0, n).prop_map(move |mask| {
-        BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0))
-    })
+    prop::bits::u64::between(0, n)
+        .prop_map(move |mask| BitSet::from_indices(n, (0..n).filter(|&i| mask & (1 << i) != 0)))
 }
 
 /// Strategy: a random subbase of up to 6 subsets.

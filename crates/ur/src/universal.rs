@@ -219,9 +219,7 @@ mod tests {
         ur.insert_through_window(&w, &emp_values(&s, "bob", 30, "research"));
         let rows = ur.window(&w);
         assert_eq!(rows.len(), 2);
-        assert!(rows
-            .iter()
-            .all(|r| r.iter().all(|c| !c.is_placeholder())));
+        assert!(rows.iter().all(|r| r.iter().all(|c| !c.is_placeholder())));
     }
 
     #[test]

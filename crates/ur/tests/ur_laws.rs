@@ -10,7 +10,12 @@ use toposem_ur::{UniversalRelation, Window};
 const NAMES: [&str; 4] = ["ann", "bob", "carol", "dave"];
 const DEPS: [&str; 3] = ["sales", "research", "admin"];
 
-fn row(schema: &toposem_core::Schema, n: usize, a: i64, d: usize) -> Vec<(toposem_core::AttrId, Value)> {
+fn row(
+    schema: &toposem_core::Schema,
+    n: usize,
+    a: i64,
+    d: usize,
+) -> Vec<(toposem_core::AttrId, Value)> {
     vec![
         (schema.attr_id("name").unwrap(), Value::str(NAMES[n])),
         (schema.attr_id("age").unwrap(), Value::Int(a)),

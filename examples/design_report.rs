@@ -35,11 +35,19 @@ fn main() {
     let min = minimal_cover(&engine, &draft);
     println!("draft ({} FDs):", draft.len());
     for (x, y) in &draft {
-        println!("  fd({}, {}, worksfor)", schema.type_name(*x), schema.type_name(*y));
+        println!(
+            "  fd({}, {}, worksfor)",
+            schema.type_name(*x),
+            schema.type_name(*y)
+        );
     }
     println!("minimal cover ({} FDs):", min.len());
     for (x, y) in &min {
-        println!("  fd({}, {}, worksfor)", schema.type_name(*x), schema.type_name(*y));
+        println!(
+            "  fd({}, {}, worksfor)",
+            schema.type_name(*x),
+            schema.type_name(*y)
+        );
     }
 
     println!("\n## ISA diagram (Graphviz DOT)\n");

@@ -29,14 +29,25 @@ fn main() {
 
     println!("tuples:");
     for t in rel.tuples() {
-        println!("  dep={:?} loc={:?}  total={}", t.value(0), t.value(1), t.is_total());
+        println!(
+            "  dep={:?} loc={:?}  total={}",
+            t.value(0),
+            t.value(1),
+            t.is_total()
+        );
     }
 
     let fd = "department -> location";
     println!("\nFD {fd}:");
     println!("  state semantics    : {}", rel.fd_holds_state(&[0], &[1]));
-    println!("  certain semantics  : {}", rel.fd_holds_certain(&[0], &[1]));
-    println!("  possible semantics : {}", rel.fd_holds_possible(&[0], &[1]));
+    println!(
+        "  certain semantics  : {}",
+        rel.fd_holds_certain(&[0], &[1])
+    );
+    println!(
+        "  possible semantics : {}",
+        rel.fd_holds_possible(&[0], &[1])
+    );
 
     // Now add a conflicting *unknown* for sales: under state semantics the
     // top-null differs from the known value, so the FD breaks; under
@@ -44,13 +55,22 @@ fn main() {
     rel.insert(PartialTuple::new(vec![dep.atom(0), loc.top()]));
     println!("\nafter inserting sales with an unknown location:");
     println!("  state semantics    : {}", rel.fd_holds_state(&[0], &[1]));
-    println!("  certain semantics  : {}", rel.fd_holds_certain(&[0], &[1]));
-    println!("  possible semantics : {}", rel.fd_holds_possible(&[0], &[1]));
+    println!(
+        "  certain semantics  : {}",
+        rel.fd_holds_certain(&[0], &[1])
+    );
+    println!(
+        "  possible semantics : {}",
+        rel.fd_holds_possible(&[0], &[1])
+    );
 
     // Information order and combination.
     let known = PartialTuple::new(vec![dep.atom(0), loc.atom(0)]);
     let vague = PartialTuple::new(vec![dep.atom(0), loc.top()]);
-    println!("\ninformation order: known refines vague: {}", known.refines(&vague));
+    println!(
+        "\ninformation order: known refines vague: {}",
+        known.refines(&vague)
+    );
     let combined = vague.combine(&known);
     println!("combine(vague, known) == known: {}", combined == known);
     let clash = PartialTuple::new(vec![dep.atom(0), loc.atom(1)]);

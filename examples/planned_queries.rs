@@ -1,0 +1,73 @@
+//! Planned query execution: load the employee engine, index it, and watch
+//! the optimizer choose access paths.
+//!
+//! Run with `cargo run --example planned_queries`.
+
+use toposem::core::{employee_schema, Intension};
+use toposem::extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem::planner::PlannedExecution;
+use toposem::storage::{Engine, Query};
+
+fn main() {
+    let eng = Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    ));
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let person = s.type_id("person").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    let name = s.attr_id("name").unwrap();
+
+    let deps = ["sales", "research", "admin"];
+    for i in 0..2000i64 {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i}"))),
+                ("age", Value::Int(i % 120)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+    }
+    for (d, l) in [("sales", "amsterdam"), ("research", "utrecht")] {
+        eng.insert(
+            department,
+            &[("depname", Value::str(d)), ("location", Value::str(l))],
+        )
+        .unwrap();
+    }
+    eng.create_index(employee, name);
+
+    let queries = [
+        (
+            "point lookup",
+            Query::scan(employee).select(name, Value::str("w1234")),
+        ),
+        (
+            "join + pushdown",
+            Query::scan(employee)
+                .join(Query::scan(department))
+                .select(depname, Value::str("sales")),
+        ),
+        (
+            "projection",
+            Query::scan(employee)
+                .select(depname, Value::str("research"))
+                .project(person),
+        ),
+        (
+            "dead branch",
+            Query::scan(employee).select(depname, Value::str("piracy")),
+        ),
+    ];
+    for (label, q) in queries {
+        let (ty, rel) = eng.query_planned(&q).unwrap();
+        println!("── {label} → {} rows of {}", rel.len(), s.type_name(ty));
+        print!("{}", eng.explain(&q).unwrap());
+        println!();
+    }
+}

@@ -8,9 +8,7 @@
 //! Run with: `cargo run --example schema_evolution`
 
 use toposem::core::{employee_schema, Intension};
-use toposem::extension::{
-    evolve, ContainmentPolicy, Database, DomainCatalog, EvolutionOp, Value,
-};
+use toposem::extension::{evolve, ContainmentPolicy, Database, DomainCatalog, EvolutionOp, Value};
 
 fn main() {
     let mut db = Database::new(

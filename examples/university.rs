@@ -96,7 +96,10 @@ fn main() {
     let subbase = select_subbase(&schema, &bias);
     println!(
         "\nchosen subbase: {:?}",
-        subbase.iter().map(|&e| schema.type_name(e)).collect::<Vec<_>>()
+        subbase
+            .iter()
+            .map(|&e| schema.type_name(e))
+            .collect::<Vec<_>>()
     );
 
     // 4. Key inference for the enrolled context under the induced FDs.
@@ -131,11 +134,7 @@ fn main() {
         .bind("lecturer-names", DomainSpec::AnyStr)
         .bind("offices", DomainSpec::AnyStr)
         .bind("grades", DomainSpec::IntRange(1, 10));
-    let engine = Engine::new(Database::new(
-        intension,
-        catalog,
-        ContainmentPolicy::Eager,
-    ));
+    let engine = Engine::new(Database::new(intension, catalog, ContainmentPolicy::Eager));
     for fd in &imported.fds {
         engine.declare_fd(*fd).unwrap();
     }
@@ -161,7 +160,10 @@ fn main() {
             ("credits", Value::Int(6)),
         ],
     );
-    println!("\nsecond lecturer for `algorithms` rejected: {}", rejected.is_err());
+    println!(
+        "\nsecond lecturer for `algorithms` rejected: {}",
+        rejected.is_err()
+    );
 
     // 6. A topology-sanctioned query: who teaches, projected to lecturer.
     let lecturer = schema.type_id("lecturer").unwrap();

@@ -81,7 +81,10 @@ fn main() {
         },
     )
     .unwrap();
-    println!("toposem: delete removed {removed} base tuple(s), view now empty: {}", materialise(&engine, &view).is_empty());
+    println!(
+        "toposem: delete removed {removed} base tuple(s), view now empty: {}",
+        materialise(&engine, &view).is_empty()
+    );
 
     // ---------- Universal Relation baseline ----------
     let mut ur = UniversalRelation::new(&schema);
@@ -107,5 +110,8 @@ fn main() {
         ur.delete_translation_count(&window, &row)
     );
     ur.delete_through_window(&window, &row);
-    println!("UR: after executing one translation, {} tuples remain", ur.len());
+    println!(
+        "UR: after executing one translation, {} tuples remain",
+        ur.len()
+    );
 }

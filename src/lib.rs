@@ -81,6 +81,11 @@ pub mod storage {
     pub use toposem_storage::*;
 }
 
+/// The cost-based query planner and vectorised executor.
+pub mod planner {
+    pub use toposem_planner::*;
+}
+
 /// The Universal Relation baseline.
 pub mod ur {
     pub use toposem_ur::*;

@@ -2,9 +2,9 @@
 //! through the engine, exercising the public facade API exactly as a
 //! downstream user would.
 
-use toposem::constraints::{check_constraint, contributor_jd, check_jd, DomainConstraint, Mvd};
+use toposem::constraints::{check_constraint, check_jd, contributor_jd, DomainConstraint, Mvd};
 use toposem::core::{employee_schema, Intension, ViewType};
-use toposem::design::{import, employee_er, random_workload, ExtensionParams, SchemaParams};
+use toposem::design::{employee_er, import, random_workload, ExtensionParams, SchemaParams};
 use toposem::extension::{
     check_all, evolve, verify_corollary, ContainmentPolicy, Database, DomainCatalog, DomainSpec,
     EvolutionOp, Instance, Value,
@@ -339,8 +339,15 @@ fn ur_vs_toposem_ambiguity() {
         .unwrap()
     });
     assert_eq!(
-        apply_update(&engine, &view, ViewUpdate::Delete { target: employee, instance: &ann })
-            .unwrap(),
+        apply_update(
+            &engine,
+            &view,
+            ViewUpdate::Delete {
+                target: employee,
+                instance: &ann
+            }
+        )
+        .unwrap(),
         1
     );
 }

@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the bench suite uses — `Criterion` with
+//! `sample_size`/`warm_up_time`/`measurement_time`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! sampler that prints a median per benchmark. No statistics machinery, no
+//! reports; enough to compare operators and catch order-of-magnitude
+//! regressions offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration and top-level entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Upper bound on time spent sampling one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(self, &id.to_string(), &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing the group prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, &mut f);
+    }
+
+    /// Runs `f` with an input value, as `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A function-plus-parameter benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-call cost to batch cheap functions.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut calls: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            calls += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        // Aim for ~1ms per sample so Instant overhead stays negligible.
+        let batch = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_secs_f64() / batch as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.samples = samples.len();
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+fn run_benchmark(c: &Criterion, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size: c.sample_size,
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        median_ns: f64::NAN,
+        samples: 0,
+    };
+    f(&mut b);
+    if b.samples == 0 {
+        println!("{name:<60} (no samples — closure never called iter)");
+    } else {
+        println!(
+            "{name:<60} time: {:>12} ({} samples)",
+            format_ns(b.median_ns),
+            b.samples
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, `prop::collection::{vec, btree_set}`, `prop::bits`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros. Cases are generated from a deterministic per-test seed
+//! (overridable via `PROPTEST_CASES` / `PROPTEST_SEED`); there is **no
+//! shrinking** — failures report the case index so the run can be
+//! reproduced by seed.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring proptest's `prop` module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{btree_set, vec, SizeRange};
+    }
+
+    /// Bit-pattern strategies.
+    pub mod bits {
+        /// Strategies over `u64` bit masks.
+        pub mod u64 {
+            use crate::strategy::BitsBetween;
+
+            /// A mask whose set bits all lie in `[lo, hi)`.
+            pub fn between(lo: usize, hi: usize) -> BitsBetween {
+                assert!(lo <= hi && hi <= 64, "invalid bit range");
+                BitsBetween { lo, hi }
+            }
+        }
+    }
+}
+
+/// The glob-import surface used by the tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Chooses uniformly among the listed strategies (which must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let mut arms = ::std::vec::Vec::new();
+        $($crate::strategy::push_boxed(&mut arms, $strategy);)+
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `PROPTEST_CASES` random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {case}/{cases} failed: {e}\n(rerun with PROPTEST_SEED to vary cases)",
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,93 @@
+//! Deterministic per-case RNG and failure plumbing.
+
+use std::fmt;
+
+/// Number of cases per property, from `PROPTEST_CASES` (default 32).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+fn base_seed() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x7052_0057_3357_0001)
+}
+
+/// A failed property case (distinct from a panic so `proptest!` can report
+/// the case index).
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// Alias used by real proptest; kept for drop-in compatibility.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// xoshiro256**, seeded from the test name, case index, and global seed so
+/// every property test gets an independent deterministic stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: usize) -> Self {
+        let mut state = base_seed() ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        for b in name.bytes() {
+            state = state.rotate_left(8) ^ u64::from(b);
+            splitmix64(&mut state);
+        }
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        TestRng { s }
+    }
+
+    /// The next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below 0");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}

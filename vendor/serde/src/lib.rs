@@ -1,0 +1,329 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! minimal serialization facility the workspace needs: a self-describing
+//! JSON value ([`json::Json`]), `Serialize`/`Deserialize` traits that
+//! convert to and from it, impls for the primitives and std collections the
+//! workspace serializes, and re-exported derive macros from the sibling
+//! `serde_derive` stub.
+//!
+//! The representation follows real serde_json's externally-tagged defaults
+//! closely enough for human inspection (structs are objects, unit enum
+//! variants are strings, data variants are single-key objects); maps are
+//! encoded as arrays of `[key, value]` pairs so non-string keys round-trip.
+
+pub mod json;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+use json::{Json, JsonError};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Conversion into the [`Json`] data model.
+pub trait Serialize {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from the [`Json`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Box::new(T::from_json(v)?))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JsonError::expected("bool", "boolean")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n: i64 = match v {
+                    Json::Int(n) => *n,
+                    Json::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| JsonError::expected(stringify!($t), "integer in range"))?,
+                    _ => return Err(JsonError::expected(stringify!($t), "integer")),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::expected(stringify!($t), "integer in range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let n: u64 = match v {
+                    Json::UInt(n) => *n,
+                    Json::Int(n) => u64::try_from(*n)
+                        .map_err(|_| JsonError::expected(stringify!($t), "unsigned integer"))?,
+                    _ => return Err(JsonError::expected(stringify!($t), "integer")),
+                };
+                <$t>::try_from(n).map_err(|_| JsonError::expected(stringify!($t), "integer in range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Float(f) => Ok(*f),
+            Json::Int(n) => Ok(*n as f64),
+            Json::UInt(n) => Ok(*n as f64),
+            _ => Err(JsonError::expected("f64", "number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(JsonError::expected("String", "string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(JsonError::expected("char", "single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(x) => x.to_json(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::expected("Vec", "array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::expected("BTreeSet", "array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            _ => Err(JsonError::expected("HashSet", "array")),
+        }
+    }
+}
+
+fn map_to_json<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) -> Json {
+    // Sort by the rendered key so hash maps serialize canonically —
+    // snapshots of equal databases are byte-identical.
+    let mut rendered: Vec<(String, Json)> = entries
+        .map(|(k, v)| {
+            let mut key_text = String::new();
+            json::write_json(&k.to_json(), &mut key_text);
+            (key_text, Json::Array(vec![k.to_json(), v.to_json()]))
+        })
+        .collect();
+    rendered.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Array(rendered.into_iter().map(|(_, pair)| pair).collect())
+}
+
+fn map_entry_from_json<K: Deserialize, V: Deserialize>(v: &Json) -> Result<(K, V), JsonError> {
+    match v {
+        Json::Array(pair) if pair.len() == 2 => {
+            Ok((K::from_json(&pair[0])?, V::from_json(&pair[1])?))
+        }
+        _ => Err(JsonError::expected("map entry", "[key, value] pair")),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(map_entry_from_json).collect(),
+            _ => Err(JsonError::expected("BTreeMap", "array of pairs")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Array(items) => items.iter().map(map_entry_from_json).collect(),
+            _ => Err(JsonError::expected("HashMap", "array of pairs")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$i.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                const LEN: usize = [$($i),+].len();
+                match v {
+                    Json::Array(items) if items.len() == LEN => {
+                        Ok(($($t::from_json(&items[$i])?,)+))
+                    }
+                    _ => Err(JsonError::expected("tuple", "array of matching arity")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

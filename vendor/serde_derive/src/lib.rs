@@ -1,0 +1,447 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive stack (syn/quote/proc-macro2) is unavailable. This crate
+//! hand-parses the derive input token stream — which is tractable because
+//! the workspace only derives on plain named-field structs, tuple structs,
+//! and enums without generics — and emits impls of the vendored `serde`
+//! crate's JSON-backed `Serialize`/`Deserialize` traits.
+//!
+//! Supported attribute: `#[serde(skip)]` on named struct fields (omitted on
+//! serialize, filled from `Default` on deserialize).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(ts: TokenStream) -> Self {
+        Parser {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` attribute groups, returning whether any of them was
+    /// `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    self.pos += 2;
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Counts top-level comma-separated items in a field list, tracking `<>`
+/// nesting (generic arguments are not wrapped in token groups).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        count += 1;
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(stream);
+    let mut fields = Vec::new();
+    while !p.at_end() {
+        let skip = p.skip_attrs();
+        p.skip_visibility();
+        let name = p.expect_ident();
+        match p.next() {
+            Some(TokenTree::Punct(c)) if c.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type up to a top-level comma.
+        let mut depth = 0i32;
+        while let Some(t) = p.peek() {
+            match t {
+                TokenTree::Punct(pc) if pc.as_char() == '<' => depth += 1,
+                TokenTree::Punct(pc) if pc.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(pc) if pc.as_char() == ',' && depth == 0 => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            p.pos += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut p = Parser::new(stream);
+    let mut variants = Vec::new();
+    while !p.at_end() {
+        p.skip_attrs();
+        let name = p.expect_ident();
+        let kind = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                p.pos += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                p.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(t) = p.peek() {
+            if matches!(t, TokenTree::Punct(pc) if pc.as_char() == ',') {
+                p.pos += 1;
+                break;
+            }
+            p.pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_visibility();
+    let keyword = p.expect_ident();
+    let name = p.expect_ident();
+    if matches!(p.peek(), Some(TokenTree::Punct(pc)) if pc.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (deriving on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(pc)) if pc.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+        },
+        "enum" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde_derive stub: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, got `{other}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            format!(
+                "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::json::Json)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::json::Json::Object(fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Json::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::json::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Json::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::json::Json::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::json::Json::Object(vec![(\"{vn}\".to_string(), ::serde::json::Json::Array(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::json::Json::Object(vec![(\"{vn}\".to_string(), ::serde::json::Json::Object(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::json::Json {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{f}: ::std::default::Default::default(),\n",
+                        f = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: match ::serde::json::get_field(obj, \"{f}\") {{\n\
+                         Some(x) => ::serde::Deserialize::from_json(x)?,\n\
+                         None => return ::std::result::Result::Err(::serde::json::JsonError::missing_field(\"{name}\", \"{f}\")),\n\
+                         }},\n",
+                        f = f.name
+                    ));
+                }
+            }
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::json::JsonError::expected(\"{name}\", \"object\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::json::JsonError::expected(\"{name}\", \"array\"))?;\n\
+                 if arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::json::JsonError::expected(\"{name}\", \"array of {n}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_json(val)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&arr[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let arr = val.as_array().ok_or_else(|| ::serde::json::JsonError::expected(\"{name}::{vn}\", \"array\"))?;\n\
+                             if arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::json::JsonError::expected(\"{name}::{vn}\", \"array of {n}\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{f}: ::std::default::Default::default(),\n",
+                                    f = f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{f}: match ::serde::json::get_field(obj, \"{f}\") {{\n\
+                                     Some(x) => ::serde::Deserialize::from_json(x)?,\n\
+                                     None => return ::std::result::Result::Err(::serde::json::JsonError::missing_field(\"{name}::{vn}\", \"{f}\")),\n\
+                                     }},\n",
+                                    f = f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = val.as_object().ok_or_else(|| ::serde::json::JsonError::expected(\"{name}::{vn}\", \"object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::json::Json::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::json::JsonError::unknown_variant(\"{name}\", other)),\n\
+                 }},\n\
+                 ::serde::json::Json::Object(o) if o.len() == 1 => {{\n\
+                 let (k, val) = &o[0];\n\
+                 let _ = val;\n\
+                 match k.as_str() {{\n\
+                 {data_arms}\
+                 other => ::std::result::Result::Err(::serde::json::JsonError::unknown_variant(\"{name}\", other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::json::JsonError::expected(\"{name}\", \"enum representation\")),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::json::JsonError> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    out.parse()
+        .expect("serde_derive stub: generated invalid Deserialize impl")
+}

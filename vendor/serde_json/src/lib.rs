@@ -1,0 +1,50 @@
+//! Offline stand-in for `serde_json`: text encoding of the vendored
+//! `serde` crate's [`serde::json::Json`] data model.
+
+use std::fmt;
+
+use serde::json::{parse_json, write_json, JsonError};
+use serde::{Deserialize, Serialize};
+
+/// A serialization or deserialization failure.
+#[derive(Debug)]
+pub struct Error(JsonError);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<JsonError> for Error {
+    fn from(e: JsonError) -> Self {
+        Error(e)
+    }
+}
+
+/// Serializes a value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse_json(text)?;
+    Ok(T::from_json(&v)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| Error(JsonError::syntax(0, "input is not utf-8")))?;
+    from_str(text)
+}
