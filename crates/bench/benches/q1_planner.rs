@@ -54,7 +54,7 @@ fn loaded_engine() -> Engine {
         )
         .unwrap();
     }
-    eng.create_index(employee, name);
+    eng.create_index(employee, name).unwrap();
     eng
 }
 

@@ -17,6 +17,7 @@ pub mod evolution;
 pub mod extension_map;
 pub mod instance;
 pub mod join;
+pub mod logical_op;
 pub mod relation;
 pub mod value;
 
@@ -25,5 +26,6 @@ pub use evolution::{evolve, EvolutionOp, EvolveError, Migration, TypeFate};
 pub use extension_map::{e_map, p_inclusion_holds, verify_corollary, CorollaryReport};
 pub use instance::{Instance, InstanceError};
 pub use join::{check_all, check_extension_axiom, multi_join, natural_join, ExtensionAxiomReport};
+pub use logical_op::{LogicalOp, ReplayError};
 pub use relation::Relation;
 pub use value::{DomainCatalog, DomainSpec, Value};

@@ -52,7 +52,7 @@
 //!         ("depname", Value::str(dep)),
 //!     ]).unwrap();
 //! }
-//! eng.create_index(employee, depname);
+//! eng.create_index(employee, depname).unwrap();
 //!
 //! let q = Query::scan(employee).select(depname, Value::str("sales"));
 //! let (ty, rel) = eng.query_planned(&q).unwrap();
@@ -66,6 +66,8 @@ pub mod cost;
 pub mod exec;
 pub mod logical;
 pub mod physical;
+
+use std::sync::Arc;
 
 use toposem_core::TypeId;
 use toposem_extension::Relation;
@@ -89,30 +91,79 @@ pub use physical::{plan, Physical, BATCH_SIZE};
 pub trait PlannedExecution {
     /// Plans and executes `q`, returning its entity type and result
     /// relation — observably identical to the naive `Query::execute`
-    /// on domain-respecting extensions, just faster.
+    /// on domain-respecting extensions, just faster. Physical plans are
+    /// cached on the engine keyed by `(query fingerprint, statistics
+    /// epoch)`, so a hot query repeated between mutations skips
+    /// rewrite+costing entirely.
     fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError>;
 
-    /// Renders the chosen physical plan with cost estimates.
+    /// Renders the chosen physical plan with cost estimates and the plan
+    /// cache's hit/miss counters.
     fn explain(&self, q: &Query) -> Result<String, QueryError>;
+}
+
+/// A cache entry: the physical plan plus the canonical rendering of the
+/// query it was planned for. The cache key is a 64-bit fingerprint of
+/// that rendering; the stored rendering is compared on every hit so a
+/// fingerprint collision degrades to a miss instead of silently
+/// executing another query's plan.
+struct CachedPlan {
+    query_repr: String,
+    physical: Physical,
 }
 
 impl PlannedExecution for Engine {
     fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError> {
+        // Epoch before statistics: a mutation in between invalidates the
+        // epoch, so a stale plan can be cached but never *stored* as
+        // current (plan_cache_store re-checks the epoch).
+        let epoch = self.statistics_epoch();
+        let query_repr = format!("{q:?}");
+        let fingerprint = Query::fingerprint_str(&query_repr);
+        if let Some(cached) = self.plan_cache_lookup(fingerprint, epoch) {
+            if let Some(entry) = cached.downcast_ref::<CachedPlan>() {
+                if entry.query_repr == query_repr {
+                    let physical = &entry.physical;
+                    return self.with_parts(|db, indexes| {
+                        Ok((physical.ty(), execute(physical, db, indexes)))
+                    });
+                }
+            }
+        }
         let stats = self.statistics();
-        self.with_parts(|db, indexes| {
+        let (ty, physical, rel) = self.with_parts(|db, indexes| {
             let logical = lower_and_rewrite(q, db)?;
             let physical = plan(&logical, db, indexes, &stats);
             debug_assert_eq!(physical.ty(), logical.ty());
-            Ok((logical.ty(), execute(&physical, db, indexes)))
-        })
+            let rel = execute(&physical, db, indexes);
+            Ok::<_, QueryError>((logical.ty(), physical, rel))
+        })?;
+        self.plan_cache_store(
+            fingerprint,
+            epoch,
+            Arc::new(CachedPlan {
+                query_repr,
+                physical,
+            }),
+        );
+        Ok((ty, rel))
     }
 
     fn explain(&self, q: &Query) -> Result<String, QueryError> {
         let stats = self.statistics();
+        let epoch = self.statistics_epoch();
+        let (hits, misses) = self.plan_cache_counters();
         self.with_parts(|db, indexes| {
             let logical = lower_and_rewrite(q, db)?;
             let physical = plan(&logical, db, indexes, &stats);
-            Ok(physical.explain(db, &stats))
+            let mut out = physical.explain(db, &stats);
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "PlanCache: {hits} hits, {misses} misses (statistics epoch {epoch})\n"
+            ));
+            Ok(out)
         })
     }
 }
@@ -224,8 +275,8 @@ mod tests {
         let department = s.type_id("department").unwrap();
         let depname = s.attr_id("depname").unwrap();
         let age = s.attr_id("age").unwrap();
-        eng.create_index(employee, depname);
-        eng.create_index(department, depname);
+        eng.create_index(employee, depname).unwrap();
+        eng.create_index(department, depname).unwrap();
         let queries = [
             Query::scan(employee).select(depname, Value::str("sales")),
             Query::scan(employee)
@@ -348,6 +399,49 @@ mod tests {
                 assert_eq!(plan.ty(), expect);
             }
         });
+    }
+
+    #[test]
+    fn plan_cache_hits_repeated_queries_and_invalidates_on_mutation() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        let q = Query::scan(employee).select(depname, Value::str("sales"));
+        assert_eq!(eng.plan_cache_counters(), (0, 0));
+        let first = eng.query_planned(&q).unwrap();
+        assert_eq!(eng.plan_cache_counters(), (0, 1), "cold cache misses");
+        let second = eng.query_planned(&q).unwrap();
+        assert_eq!(eng.plan_cache_counters(), (1, 1), "repeat hits");
+        assert_eq!(first, second, "cached plan returns identical results");
+        // A structurally different query is its own entry.
+        let q2 = Query::scan(employee).select(depname, Value::str("research"));
+        eng.query_planned(&q2).unwrap();
+        assert_eq!(eng.plan_cache_counters(), (1, 2));
+        // Mutations bump the statistics epoch: the cached plans are stale
+        // (an index created now could change the best access path), so
+        // the next lookup misses and replans.
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str("erin")),
+                ("age", Value::Int(33)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+        let third = eng.query_planned(&q).unwrap();
+        assert_eq!(eng.plan_cache_counters(), (1, 3), "epoch change misses");
+        assert_eq!(third.1.len(), first.1.len() + 1);
+        // The counters surface through explain.
+        let text = eng.explain(&q).unwrap();
+        assert!(
+            text.contains("PlanCache: 1 hits, 3 misses"),
+            "explain must report cache counters:\n{text}"
+        );
+        // And cached execution agrees with naive even via the cache path.
+        agree(&eng, &q);
+        agree(&eng, &q);
     }
 
     #[test]

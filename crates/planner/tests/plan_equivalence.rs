@@ -214,7 +214,8 @@ proptest! {
         let build_indexes = |eng: &Engine| {
             for (e, pick) in s.type_ids().zip(&index_picks) {
                 let attrs: Vec<_> = s.attrs_of(e).iter().collect();
-                eng.create_index(e, toposem_core::AttrId(attrs[pick % attrs.len()] as u32));
+                eng.create_index(e, toposem_core::AttrId(attrs[pick % attrs.len()] as u32))
+                    .unwrap();
             }
         };
         if index_first == 0 {
@@ -253,7 +254,7 @@ fn large_scan_crosses_batch_boundaries() {
         )
         .unwrap();
     }
-    eng.create_index(employee, name);
+    eng.create_index(employee, name).unwrap();
     let queries = [
         Query::scan(employee),
         Query::scan(employee).select(depname, Value::str("sales")),

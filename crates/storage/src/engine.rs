@@ -4,16 +4,27 @@
 //! domain checks at the boundary.
 //!
 //! The engine is the piece the paper never built; it exists to prove the
-//! model is operational, not just descriptive.
+//! model is operational, not just descriptive. Since PR 2 it is also
+//! *durable*: attach a [`toposem_wal::Wal`] (via [`Engine::durable`] or
+//! [`Engine::open`]) and every mutation is redo-logged logically,
+//! [`Engine::commit`] becomes the durability point under the configured
+//! flush policy, [`Engine::checkpoint`] installs a snapshot and truncates
+//! the log, and [`Engine::recover`] rebuilds the committed state — with
+//! indexes and statistics — after a crash.
 
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use toposem_core::TypeId;
-use toposem_extension::{Database, Instance, InstanceError, Value};
+use toposem_extension::{Database, Instance, InstanceError, LogicalOp, Value};
 use toposem_fd::{check_fd, Fd};
+use toposem_wal::{LogScan, Wal, WalConfig, WalEntry, WalError};
 
 use crate::index::HashIndex;
+use crate::snapshot;
 use crate::stats::Statistics;
 
 /// Errors surfaced by engine operations.
@@ -26,6 +37,19 @@ pub enum EngineError {
     FdViolation(Fd),
     /// No active transaction to commit/rollback.
     NoTransaction,
+    /// `begin` was called while a transaction is already active. The
+    /// engine is single-writer with flat transactions; silently
+    /// flattening nested begins would let one transaction emit two WAL
+    /// `Begin` records.
+    TransactionActive,
+    /// A durable-only operation (checkpoint, sync) was called on an
+    /// engine with no write-ahead log attached.
+    NotDurable,
+    /// The write-ahead log failed (message carries the
+    /// [`toposem_wal::WalError`] rendering).
+    Wal(String),
+    /// Checkpoint encoding or recovery replay failed.
+    Recovery(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -34,6 +58,12 @@ impl std::fmt::Display for EngineError {
             EngineError::Invalid(e) => write!(f, "invalid instance: {e}"),
             EngineError::FdViolation(fd) => write!(f, "functional dependency violated: {fd:?}"),
             EngineError::NoTransaction => write!(f, "no active transaction"),
+            EngineError::TransactionActive => {
+                write!(f, "a transaction is already active; commit or roll it back")
+            }
+            EngineError::NotDurable => write!(f, "engine has no write-ahead log attached"),
+            EngineError::Wal(e) => write!(f, "write-ahead log failure: {e}"),
+            EngineError::Recovery(e) => write!(f, "recovery failure: {e}"),
         }
     }
 }
@@ -43,6 +73,12 @@ impl std::error::Error for EngineError {}
 impl From<InstanceError> for EngineError {
     fn from(e: InstanceError) -> Self {
         EngineError::Invalid(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e.to_string())
     }
 }
 
@@ -56,13 +92,66 @@ enum Undo {
     Restore(Vec<(TypeId, Instance)>),
 }
 
+/// Which way a logged logical operation mutates.
+#[derive(Clone, Copy, Debug)]
+enum LogKind {
+    Insert,
+    Delete,
+}
+
+/// Entries retained at most; a full cache evicts an arbitrary entry
+/// (plans are cheap to rebuild, so dumb eviction beats LRU bookkeeping).
+const PLAN_CACHE_CAP: usize = 512;
+
+/// Cached physical plans, keyed by query fingerprint and validated
+/// against the statistics epoch: any mutation bumps the epoch, making
+/// every cached plan unreachable; the map is cleared lazily when a plan
+/// from a *newer* epoch is stored (never rolled backwards by a lagging
+/// reader). Values are type-erased so the planner crate — which depends
+/// on this one — can cache its own plan type here. Counters are atomic
+/// so cache hits need only the engine's read lock.
+struct PlanCache {
+    epoch: u64,
+    plans: HashMap<u64, Arc<dyn Any + Send + Sync>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            epoch: 0,
+            plans: HashMap::new(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
 struct Inner {
     db: Database,
     declared_fds: Vec<Fd>,
     indexes: Vec<Option<HashIndex>>,
     txn_log: Option<Vec<Undo>>,
+    /// WAL transaction id of the active explicit transaction.
+    current_txn: Option<u64>,
+    /// The redo log, when the engine is durable.
+    wal: Option<Wal>,
     /// Cached planner statistics; dropped on any mutation.
     stats: Option<Arc<Statistics>>,
+    /// Generation counter for `stats`: bumped on every mutation, so
+    /// plans and other statistics-derived artefacts can be validated.
+    stats_epoch: u64,
+    plan_cache: PlanCache,
+}
+
+impl Inner {
+    /// Every mutation invalidates cached statistics and advances the
+    /// epoch that keys the plan cache.
+    fn note_mutation(&mut self) {
+        self.stats = None;
+        self.stats_epoch += 1;
+    }
 }
 
 /// The engine. Interior-mutable and `Sync`; all operations take `&self`.
@@ -71,7 +160,7 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wraps a database.
+    /// Wraps a database (volatile: no write-ahead log).
     pub fn new(db: Database) -> Self {
         let n = db.schema().type_count();
         Engine {
@@ -80,30 +169,240 @@ impl Engine {
                 declared_fds: Vec::new(),
                 indexes: vec![None; n],
                 txn_log: None,
+                current_txn: None,
+                wal: None,
                 stats: None,
+                stats_epoch: 0,
+                plan_cache: PlanCache::new(),
             }),
         }
     }
 
+    /// Wraps a database durably: writes an initial checkpoint of `db`
+    /// through `wal` (so recovery always has a base snapshot) and
+    /// attaches the log. Subsequent mutations are redo-logged.
+    pub fn durable(db: Database, mut wal: Wal) -> Result<Engine, EngineError> {
+        let payload = snapshot::to_vec(&db).map_err(|e| EngineError::Recovery(e.to_string()))?;
+        wal.checkpoint(&payload, &[], &[])?;
+        let mut eng = Engine::new(db);
+        eng.inner.get_mut().wal = Some(wal);
+        Ok(eng)
+    }
+
+    /// Opens a durable engine from an existing log directory: recovers
+    /// the committed state (checkpoint + committed log suffix), truncates
+    /// any torn tail, and continues appending to the same log.
+    pub fn open(path: impl AsRef<Path>, cfg: WalConfig) -> Result<Engine, EngineError> {
+        let (wal, scan) = Wal::open(path, cfg)?;
+        let mut eng = Self::from_scan(scan)?;
+        eng.inner.get_mut().wal = Some(wal);
+        Ok(eng)
+    }
+
+    /// Recovers the committed state from a log directory **read-only**:
+    /// loads the latest valid checkpoint, replays committed transactions
+    /// in commit order, discards uncommitted suffixes, tolerates a torn
+    /// final record, and rebuilds indexes and statistics. The returned
+    /// engine has no log attached and never modifies the directory —
+    /// safe to call repeatedly over the same crash artefact.
+    pub fn recover(path: impl AsRef<Path>) -> Result<Engine, EngineError> {
+        let eng = Self::from_scan(toposem_wal::scan(path)?)?;
+        // Rebuild statistics eagerly so the recovered engine is
+        // immediately plannable.
+        let _ = eng.statistics();
+        Ok(eng)
+    }
+
+    /// Replays a scanned log into a fresh engine: committed transactions
+    /// only, applied in commit order, with indexes and declared FDs
+    /// restored from the checkpoint's and log's definitions.
+    fn from_scan(scan: LogScan) -> Result<Engine, EngineError> {
+        let mut db =
+            snapshot::load(&scan.snapshot[..]).map_err(|e| EngineError::Recovery(e.to_string()))?;
+        let mut index_defs = scan.meta.indexes.clone();
+        let mut fd_defs = scan.meta.fds.clone();
+        let mut active: HashMap<u64, Vec<(LogKind, LogicalOp)>> = HashMap::new();
+        for rec in scan.records {
+            match rec.entry {
+                WalEntry::Begin { txn } => {
+                    active.insert(txn, Vec::new());
+                }
+                WalEntry::Insert { txn, op } => {
+                    active.entry(txn).or_default().push((LogKind::Insert, op));
+                }
+                WalEntry::Delete { txn, op } => {
+                    active.entry(txn).or_default().push((LogKind::Delete, op));
+                }
+                WalEntry::Commit { txn } => {
+                    for (kind, op) in active.remove(&txn).unwrap_or_default() {
+                        let res = match kind {
+                            LogKind::Insert => op.apply_insert(&mut db).map(|_| ()),
+                            LogKind::Delete => op.apply_delete(&mut db).map(|_| ()),
+                        };
+                        res.map_err(|e| EngineError::Recovery(e.to_string()))?;
+                    }
+                }
+                WalEntry::Abort { txn } => {
+                    active.remove(&txn);
+                }
+                WalEntry::Checkpoint { .. } => {}
+                WalEntry::CreateIndex { entity, attr } => index_defs.push((entity, attr)),
+                WalEntry::DeclareFd { lhs, rhs, context } => fd_defs.push((lhs, rhs, context)),
+            }
+        }
+        // Transactions still in `active` never committed: discarded.
+        let eng = Engine::new(db);
+        for (entity, attr) in index_defs {
+            let (e, a) = eng.with_db(|db| {
+                let s = db.schema();
+                (s.type_id(&entity), s.attr_id(&attr))
+            });
+            match (e, a) {
+                (Some(e), Some(a)) => eng.create_index(e, a)?,
+                _ => {
+                    return Err(EngineError::Recovery(format!(
+                        "logged index ({entity}, {attr}) names no schema element"
+                    )))
+                }
+            }
+        }
+        // Every replayed mutation passed its FD checks on the live
+        // engine, so the recovered state satisfies every declared FD;
+        // re-declaring at the end re-verifies that and restores
+        // enforcement for post-recovery writes.
+        for (lhs, rhs, context) in fd_defs {
+            let resolved = eng.with_db(|db| {
+                let s = db.schema();
+                Some(Fd::unchecked(
+                    s.type_id(&lhs)?,
+                    s.type_id(&rhs)?,
+                    s.type_id(&context)?,
+                ))
+            });
+            match resolved {
+                Some(fd) => eng.declare_fd(fd)?,
+                None => {
+                    return Err(EngineError::Recovery(format!(
+                        "logged fd ({lhs}, {rhs}, {context}) names no schema element"
+                    )))
+                }
+            }
+        }
+        Ok(eng)
+    }
+
+    /// Whether a write-ahead log is attached.
+    pub fn is_durable(&self) -> bool {
+        self.inner.read().wal.is_some()
+    }
+
+    /// Forces every appended log record to disk — drains any pending
+    /// group-commit window. Errors on a volatile engine.
+    pub fn sync(&self) -> Result<(), EngineError> {
+        match self.inner.write().wal.as_mut() {
+            Some(wal) => Ok(wal.flush()?),
+            None => Err(EngineError::NotDurable),
+        }
+    }
+
+    /// Installs a checkpoint: serialises the database in the canonical
+    /// snapshot format (with the self-identifying header), atomically
+    /// replaces the checkpoint file, and truncates old log segments.
+    /// Refuses while a transaction is active — the snapshot must capture
+    /// a transaction-consistent state.
+    pub fn checkpoint(&self) -> Result<(), EngineError> {
+        let mut inner = self.inner.write();
+        if inner.txn_log.is_some() {
+            return Err(EngineError::TransactionActive);
+        }
+        if inner.wal.is_none() {
+            return Err(EngineError::NotDurable);
+        }
+        let payload =
+            snapshot::to_vec(&inner.db).map_err(|e| EngineError::Recovery(e.to_string()))?;
+        let schema = inner.db.schema();
+        let defs: Vec<(String, String)> = schema
+            .type_ids()
+            .filter_map(|e| {
+                inner.indexes[e.index()].as_ref().map(|idx| {
+                    (
+                        schema.type_name(e).to_owned(),
+                        schema.attr_name(idx.attr()).to_owned(),
+                    )
+                })
+            })
+            .collect();
+        let fds: Vec<(String, String, String)> = inner
+            .declared_fds
+            .iter()
+            .map(|fd| {
+                (
+                    schema.type_name(fd.lhs).to_owned(),
+                    schema.type_name(fd.rhs).to_owned(),
+                    schema.type_name(fd.context).to_owned(),
+                )
+            })
+            .collect();
+        inner
+            .wal
+            .as_mut()
+            .expect("checked above")
+            .checkpoint(&payload, &defs, &fds)?;
+        Ok(())
+    }
+
     /// Declares an FD the engine must keep satisfied. Returns `Err` with
-    /// the FD when the *current* data already violates it.
+    /// the FD when the *current* data already violates it. On a durable
+    /// engine the declaration is logged (and immediately synced) so
+    /// recovery restores enforcement.
     pub fn declare_fd(&self, fd: Fd) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
         if !check_fd(&inner.db, &fd).holds() {
             return Err(EngineError::FdViolation(fd));
         }
         inner.declared_fds.push(fd);
+        let (lhs, rhs, context) = {
+            let schema = inner.db.schema();
+            (
+                schema.type_name(fd.lhs).to_owned(),
+                schema.type_name(fd.rhs).to_owned(),
+                schema.type_name(fd.context).to_owned(),
+            )
+        };
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(WalEntry::DeclareFd { lhs, rhs, context })?;
+            wal.flush()?;
+        }
         Ok(())
     }
 
     /// Builds a hash index on one attribute of `e`'s stored relation.
-    pub fn create_index(&self, e: TypeId, attr: toposem_core::AttrId) {
+    /// On a durable engine the definition is logged (and immediately
+    /// synced) so recovery rebuilds the index.
+    pub fn create_index(&self, e: TypeId, attr: toposem_core::AttrId) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
         let mut idx = HashIndex::new(attr);
         for t in inner.db.stored(e).iter() {
             idx.insert(t);
         }
         inner.indexes[e.index()] = Some(idx);
+        // Index presence changes access paths: invalidate cached plans.
+        inner.note_mutation();
+        let (entity, attr_name) = {
+            let schema = inner.db.schema();
+            (
+                schema.type_name(e).to_owned(),
+                schema.attr_name(attr).to_owned(),
+            )
+        };
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(WalEntry::CreateIndex {
+                entity,
+                attr: attr_name,
+            })?;
+            wal.flush()?;
+        }
+        Ok(())
     }
 
     /// Point lookup through the index of `e` (falls back to a scan when no
@@ -122,9 +421,40 @@ impl Engine {
         }
     }
 
+    /// Appends a redo record for one logical operation. Outside an
+    /// explicit transaction the op is its own transaction
+    /// (`Begin`/op/`Commit`) and the flush policy runs; inside one, the
+    /// record joins the open transaction and durability waits for
+    /// [`Engine::commit`].
+    fn log_op(inner: &mut Inner, kind: LogKind, op: LogicalOp) -> Result<(), EngineError> {
+        let autocommit = inner.txn_log.is_none();
+        let current = inner.current_txn;
+        let Some(wal) = inner.wal.as_mut() else {
+            return Ok(());
+        };
+        let entry = |txn: u64, op: LogicalOp| match kind {
+            LogKind::Insert => WalEntry::Insert { txn, op },
+            LogKind::Delete => WalEntry::Delete { txn, op },
+        };
+        if autocommit {
+            let txn = wal.alloc_txn();
+            wal.append(WalEntry::Begin { txn })?;
+            wal.append(entry(txn, op))?;
+            wal.append(WalEntry::Commit { txn })?;
+            wal.commit_appended()?;
+        } else if let Some(txn) = current {
+            wal.append(entry(txn, op))?;
+        }
+        Ok(())
+    }
+
     /// Inserts named fields as an instance of `e`, enforcing domains,
     /// containment (via the database policy), and declared FDs. The FD
     /// check is transactional: a violating insert leaves no trace.
+    ///
+    /// On a durable engine the *declared* instance is redo-logged after
+    /// validation succeeds (propagations are re-derived on replay); a log
+    /// failure is reported even though the in-memory insert stands.
     pub fn insert(&self, e: TypeId, fields: &[(&str, Value)]) -> Result<bool, EngineError> {
         let mut inner = self.inner.write();
         let t = Instance::new(inner.db.schema(), inner.db.catalog(), e, fields)?;
@@ -153,13 +483,18 @@ impl Engine {
         if let Some(log) = &mut inner.txn_log {
             log.push(Undo::UnInsert(added));
         }
-        inner.stats = None;
+        if inner.wal.is_some() {
+            let op = LogicalOp::describe(&inner.db, e, &t);
+            Self::log_op(&mut inner, LogKind::Insert, op)?;
+        }
+        inner.note_mutation();
         Ok(true)
     }
 
     /// Deletes an instance (cascading down the ISA hierarchy); returns the
-    /// number of tuples removed.
-    pub fn delete(&self, e: TypeId, t: &Instance) -> usize {
+    /// number of tuples removed. On a durable engine the addressed
+    /// instance is redo-logged (the cascade is recomputed on replay).
+    pub fn delete(&self, e: TypeId, t: &Instance) -> Result<usize, EngineError> {
         let mut inner = self.inner.write();
         // Capture what a cascade will remove, for undo and index upkeep.
         let schema = inner.db.schema().clone();
@@ -190,35 +525,67 @@ impl Engine {
             if let Some(log) = &mut inner.txn_log {
                 log.push(Undo::Restore(victims));
             }
-            inner.stats = None;
+            if inner.wal.is_some() {
+                let op = LogicalOp::describe(&inner.db, e, t);
+                Self::log_op(&mut inner, LogKind::Delete, op)?;
+            }
+            inner.note_mutation();
         }
-        removed
+        Ok(removed)
     }
 
-    /// Begins a transaction (single-writer; nested begins are flattened).
-    pub fn begin(&self) {
+    /// Begins a transaction. The engine is single-writer with flat
+    /// transactions: beginning while one is active is an error (it would
+    /// otherwise silently flatten, emitting two WAL `Begin` records for
+    /// what the caller believes are distinct transactions).
+    pub fn begin(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
-        if inner.txn_log.is_none() {
-            inner.txn_log = Some(Vec::new());
+        if inner.txn_log.is_some() {
+            return Err(EngineError::TransactionActive);
         }
+        // Append the Begin record *before* marking the transaction
+        // active: if the log rejects it, no transaction starts — the
+        // caller sees the error and the engine is not left with a
+        // phantom open transaction that blocks every later begin while
+        // silently skipping the log.
+        let txn = match inner.wal.as_mut() {
+            Some(wal) => {
+                let txn = wal.alloc_txn();
+                wal.append(WalEntry::Begin { txn })?;
+                Some(txn)
+            }
+            None => None,
+        };
+        inner.txn_log = Some(Vec::new());
+        inner.current_txn = txn;
+        Ok(())
     }
 
-    /// Commits the active transaction.
+    /// Commits the active transaction. On a durable engine this is the
+    /// durability point: the `Commit` record is appended and the flush
+    /// policy decides when it reaches disk (`PerCommit` = before this
+    /// returns).
     pub fn commit(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
-        inner
-            .txn_log
-            .take()
-            .map(|_| ())
-            .ok_or(EngineError::NoTransaction)
+        if inner.txn_log.take().is_none() {
+            return Err(EngineError::NoTransaction);
+        }
+        let txn = inner.current_txn.take();
+        if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
+            wal.append(WalEntry::Commit { txn })?;
+            wal.commit_appended()?;
+        }
+        Ok(())
     }
 
     /// Rolls the active transaction back, undoing its operations in
-    /// reverse order.
+    /// reverse order. On a durable engine an `Abort` record marks the
+    /// transaction so recovery discards it without waiting for the
+    /// no-commit heuristic.
     pub fn rollback(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
         let log = inner.txn_log.take().ok_or(EngineError::NoTransaction)?;
-        inner.stats = None;
+        inner.note_mutation();
         for entry in log.into_iter().rev() {
             match entry {
                 Undo::UnInsert(added) => {
@@ -238,6 +605,10 @@ impl Engine {
                     }
                 }
             }
+        }
+        let txn = inner.current_txn.take();
+        if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
+            wal.append(WalEntry::Abort { txn })?;
         }
         Ok(())
     }
@@ -281,7 +652,75 @@ impl Engine {
         Arc::clone(inner.stats.as_ref().expect("just filled"))
     }
 
-    /// Consumes the engine, returning the database.
+    /// The statistics generation: bumped by every mutation. Two calls
+    /// returning the same epoch bracket a mutation-free window, so
+    /// anything derived from statistics (plans, estimates) in between is
+    /// still valid.
+    pub fn statistics_epoch(&self) -> u64 {
+        self.inner.read().stats_epoch
+    }
+
+    /// Looks up a cached plan for `fingerprint`, valid only at `epoch`
+    /// (obtain it from [`Engine::statistics_epoch`] *before* planning).
+    /// Counts a hit or miss. Hits take only the engine's read lock;
+    /// an epoch mismatch in either direction is a miss (a lagging
+    /// reader never disturbs the current cache).
+    ///
+    /// Do **not** call while holding a [`Engine::with_parts`] borrow —
+    /// lock acquisition is not reentrant.
+    pub fn plan_cache_lookup(
+        &self,
+        fingerprint: u64,
+        epoch: u64,
+    ) -> Option<Arc<dyn Any + Send + Sync>> {
+        use std::sync::atomic::Ordering;
+        let inner = self.inner.read();
+        let cache = &inner.plan_cache;
+        if cache.epoch == epoch {
+            if let Some(plan) = cache.plans.get(&fingerprint) {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(Arc::clone(plan));
+            }
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores a plan under `fingerprint` as of `epoch`. A plan from a
+    /// *newer* epoch rolls the cache forward (clearing superseded
+    /// entries); a plan computed against superseded statistics is
+    /// silently dropped rather than poisoning the cache. A full cache
+    /// evicts an arbitrary entry.
+    pub fn plan_cache_store(&self, fingerprint: u64, epoch: u64, plan: Arc<dyn Any + Send + Sync>) {
+        let mut inner = self.inner.write();
+        let cache = &mut inner.plan_cache;
+        if epoch > cache.epoch {
+            cache.plans.clear();
+            cache.epoch = epoch;
+        }
+        if cache.epoch != epoch {
+            return;
+        }
+        if cache.plans.len() >= PLAN_CACHE_CAP && !cache.plans.contains_key(&fingerprint) {
+            if let Some(&victim) = cache.plans.keys().next() {
+                cache.plans.remove(&victim);
+            }
+        }
+        cache.plans.insert(fingerprint, plan);
+    }
+
+    /// Lifetime `(hits, misses)` of the plan cache.
+    pub fn plan_cache_counters(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        let inner = self.inner.read();
+        (
+            inner.plan_cache.hits.load(Ordering::Relaxed),
+            inner.plan_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Consumes the engine, returning the database. Pending group-commit
+    /// windows are flushed by the log's destructor (best effort).
     pub fn into_db(self) -> Database {
         self.inner.into_inner().db
     }
@@ -397,7 +836,7 @@ mod tests {
             ],
         )
         .unwrap();
-        eng.create_index(employee, depname);
+        eng.create_index(employee, depname).unwrap();
         eng.insert(
             employee,
             &[
@@ -432,7 +871,7 @@ mod tests {
                 s.attr_id("depname").unwrap(),
             )
         });
-        eng.create_index(employee, depname);
+        eng.create_index(employee, depname).unwrap();
         eng.insert(
             manager,
             &[
@@ -460,7 +899,7 @@ mod tests {
             )
             .unwrap()
         });
-        assert_eq!(eng.delete(manager, &ann), 1);
+        assert_eq!(eng.delete(manager, &ann).unwrap(), 1);
         assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 1);
         let ann_emp = eng.with_db(|db| {
             Instance::new(
@@ -475,7 +914,7 @@ mod tests {
             )
             .unwrap()
         });
-        assert_eq!(eng.delete(employee, &ann_emp), 1);
+        assert_eq!(eng.delete(employee, &ann_emp).unwrap(), 1);
         assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 0);
     }
 
@@ -484,7 +923,7 @@ mod tests {
         let eng = engine();
         let manager = eng.with_db(|db| db.schema().type_id("manager").unwrap());
         let employee = eng.with_db(|db| db.schema().type_id("employee").unwrap());
-        eng.begin();
+        eng.begin().unwrap();
         eng.insert(
             manager,
             &[
@@ -527,8 +966,8 @@ mod tests {
             )
             .unwrap()
         });
-        eng.begin();
-        assert_eq!(eng.delete(person, &ann), 3);
+        eng.begin().unwrap();
+        assert_eq!(eng.delete(person, &ann).unwrap(), 3);
         eng.with_db(|db| assert_eq!(db.total_stored(), 0));
         eng.rollback().unwrap();
         eng.with_db(|db| assert_eq!(db.total_stored(), 3));
@@ -539,7 +978,7 @@ mod tests {
     fn commit_finalises() {
         let eng = engine();
         let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
-        eng.begin();
+        eng.begin().unwrap();
         eng.insert(person, &[("name", Value::str("x")), ("age", Value::Int(1))])
             .unwrap();
         eng.commit().unwrap();
@@ -552,5 +991,85 @@ mod tests {
         let eng = engine();
         assert_eq!(eng.commit(), Err(EngineError::NoTransaction));
         assert_eq!(eng.rollback(), Err(EngineError::NoTransaction));
+    }
+
+    #[test]
+    fn nested_begin_is_rejected_not_flattened() {
+        let eng = engine();
+        let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
+        eng.begin().unwrap();
+        eng.insert(person, &[("name", Value::str("x")), ("age", Value::Int(1))])
+            .unwrap();
+        // A second begin must not silently join the first transaction.
+        assert_eq!(eng.begin(), Err(EngineError::TransactionActive));
+        // The original transaction is unaffected by the failed begin.
+        eng.rollback().unwrap();
+        assert_eq!(eng.extension(person).len(), 0);
+        // After it ends, begin works again.
+        eng.begin().unwrap();
+        eng.commit().unwrap();
+    }
+
+    #[test]
+    fn statistics_epoch_tracks_mutations() {
+        let eng = engine();
+        let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
+        let e0 = eng.statistics_epoch();
+        // Reading statistics does not advance the epoch.
+        let _ = eng.statistics();
+        assert_eq!(eng.statistics_epoch(), e0);
+        eng.insert(person, &[("name", Value::str("x")), ("age", Value::Int(1))])
+            .unwrap();
+        let e1 = eng.statistics_epoch();
+        assert!(e1 > e0);
+        // A failed (duplicate) insert that changes nothing still reports
+        // cleanly; only real mutations need to advance the epoch, but
+        // duplicates go through the same path harmlessly.
+        let ann = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                person,
+                &[("name", Value::str("x")), ("age", Value::Int(1))],
+            )
+            .unwrap()
+        });
+        eng.delete(person, &ann).unwrap();
+        assert!(eng.statistics_epoch() > e1);
+    }
+
+    #[test]
+    fn plan_cache_hits_misses_and_epoch_invalidation() {
+        let eng = engine();
+        let fp = 0xFEED_u64;
+        let epoch = eng.statistics_epoch();
+        assert!(eng.plan_cache_lookup(fp, epoch).is_none());
+        eng.plan_cache_store(fp, epoch, Arc::new(42_u32));
+        let cached = eng.plan_cache_lookup(fp, epoch).expect("cached");
+        assert_eq!(cached.downcast_ref::<u32>(), Some(&42));
+        assert_eq!(eng.plan_cache_counters(), (1, 1));
+        // A mutation bumps the epoch; the old entry is unreachable.
+        let person = eng.with_db(|db| db.schema().type_id("person").unwrap());
+        eng.insert(person, &[("name", Value::str("x")), ("age", Value::Int(1))])
+            .unwrap();
+        let epoch2 = eng.statistics_epoch();
+        assert!(eng.plan_cache_lookup(fp, epoch2).is_none());
+        assert_eq!(eng.plan_cache_counters(), (1, 2));
+        // A plan stored under a superseded epoch never reaches current
+        // readers.
+        eng.plan_cache_store(fp, epoch, Arc::new(7_u32));
+        assert!(eng.plan_cache_lookup(fp, epoch2).is_none());
+        // Rolling forward: a store at the current epoch clears the old
+        // generation and is immediately visible…
+        eng.plan_cache_store(fp, epoch2, Arc::new(9_u32));
+        let fresh = eng.plan_cache_lookup(fp, epoch2).expect("current plan");
+        assert_eq!(fresh.downcast_ref::<u32>(), Some(&9));
+        // …and a *lagging* reader using the old epoch misses without
+        // disturbing the current generation (no backwards roll).
+        assert!(eng.plan_cache_lookup(fp, epoch).is_none());
+        assert!(
+            eng.plan_cache_lookup(fp, epoch2).is_some(),
+            "a stale-epoch lookup must not clear current plans"
+        );
     }
 }

@@ -1,11 +1,13 @@
 //! # toposem-storage
 //!
 //! The operational layer the paper never built: an axiom-enforcing
-//! in-memory storage engine over the toposem model. Maintained
-//! containment, declared-FD enforcement, hash indexes, undo-log
-//! transactions, a query algebra restricted to topology-sanctioned paths,
-//! views with unique update translation, subbase-only physical storage
-//! with derivation of constructed types, and JSON snapshots.
+//! storage engine over the toposem model. Maintained containment,
+//! declared-FD enforcement, hash indexes, undo-log transactions, a query
+//! algebra restricted to topology-sanctioned paths, views with unique
+//! update translation, subbase-only physical storage with derivation of
+//! constructed types, self-identifying JSON snapshots, and — through
+//! `toposem-wal` — durable commits, checkpointing, and crash recovery
+//! ([`Engine::durable`] / [`Engine::open`] / [`Engine::recover`]).
 
 pub mod catalog;
 pub mod engine;

@@ -128,6 +128,26 @@ impl Query {
         Query::Intersect(Box::new(self), Box::new(other))
     }
 
+    /// A stable in-process fingerprint of the query's structure (FNV-1a
+    /// over the canonical debug rendering). Two structurally identical
+    /// queries collide on purpose — the planner's cache keys on this
+    /// together with the engine's statistics epoch.
+    pub fn fingerprint(&self) -> u64 {
+        Self::fingerprint_str(&format!("{self:?}"))
+    }
+
+    /// [`Query::fingerprint`] over an already-rendered `format!("{q:?}")`
+    /// string — callers that also need the rendering (e.g. to verify
+    /// cache hits against collisions) avoid formatting the tree twice.
+    pub fn fingerprint_str(repr: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
     /// Statically types the query: its result entity type, or the first
     /// sanction violation.
     pub fn entity_type(&self, db: &Database) -> Result<TypeId, QueryError> {

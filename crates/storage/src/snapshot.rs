@@ -1,20 +1,31 @@
-//! Durable snapshots of a database, as JSON via serde.
+//! Durable snapshots of a database, as JSON via serde behind a
+//! self-identifying header.
 //!
 //! The paper is about semantics, not recovery; a snapshot format
-//! nevertheless makes the engine usable and lets the experiments persist
-//! generated workloads. Schemas carry skipped lookup indices, so loading
-//! rebuilds them.
+//! nevertheless makes the engine usable, lets the experiments persist
+//! generated workloads, and serves as the WAL's checkpoint payload.
+//! Every snapshot starts with [`MAGIC`] (format name + version), so a
+//! checkpoint file is recognisable on its own and future format
+//! evolution is detectable instead of surfacing as a JSON parse error
+//! deep inside the payload. Schemas carry skipped lookup indices, so
+//! loading rebuilds them.
 
 use std::io::{Read, Write};
 
 use toposem_extension::Database;
+
+/// Header line every snapshot begins with: magic plus format version.
+pub const MAGIC: &[u8] = b"TOPOSEM-SNAPSHOT v1\n";
 
 /// Errors from snapshot I/O.
 #[derive(Debug)]
 pub enum SnapshotError {
     /// Underlying I/O failure.
     Io(std::io::Error),
-    /// Malformed snapshot.
+    /// The input does not start with the snapshot magic/version header —
+    /// either not a snapshot at all, or a format this build cannot read.
+    BadHeader,
+    /// Malformed snapshot payload.
     Decode(serde_json::Error),
 }
 
@@ -22,6 +33,11 @@ impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::BadHeader => write!(
+                f,
+                "snapshot header missing or unsupported (expected {:?})",
+                String::from_utf8_lossy(MAGIC)
+            ),
             SnapshotError::Decode(e) => write!(f, "snapshot decode error: {e}"),
         }
     }
@@ -41,18 +57,28 @@ impl From<serde_json::Error> for SnapshotError {
     }
 }
 
-/// Serialises the database to a writer.
+/// Serialises the database to a writer: header line, then canonical JSON.
 pub fn save<W: Write>(db: &Database, mut w: W) -> Result<(), SnapshotError> {
     let json = serde_json::to_vec(db)?;
+    w.write_all(MAGIC)?;
     w.write_all(&json)?;
     Ok(())
 }
 
-/// Deserialises a database from a reader, rebuilding lookup indices.
+/// Serialises the database to owned bytes (the WAL checkpoint payload).
+pub fn to_vec(db: &Database) -> Result<Vec<u8>, SnapshotError> {
+    let mut buf = Vec::new();
+    save(db, &mut buf)?;
+    Ok(buf)
+}
+
+/// Deserialises a database from a reader, validating the header and
+/// rebuilding lookup indices.
 pub fn load<R: Read>(mut r: R) -> Result<Database, SnapshotError> {
     let mut buf = Vec::new();
     r.read_to_end(&mut buf)?;
-    let mut db: Database = serde_json::from_slice(&buf)?;
+    let payload = buf.strip_prefix(MAGIC).ok_or(SnapshotError::BadHeader)?;
+    let mut db: Database = serde_json::from_slice(payload)?;
     db.rebuild_indices();
     Ok(db)
 }
@@ -93,11 +119,39 @@ mod tests {
     }
 
     #[test]
-    fn loading_garbage_errors() {
+    fn loading_garbage_errors_with_bad_header() {
+        // No header at all: the input is not self-identifying.
         assert!(matches!(
             load(&b"not json"[..]),
-            Err(SnapshotError::Decode(_))
+            Err(SnapshotError::BadHeader)
         ));
+        // Raw JSON from the pre-header format is likewise rejected up
+        // front rather than misparsed.
+        assert!(matches!(
+            load(&b"{\"intension\":{}}"[..]),
+            Err(SnapshotError::BadHeader)
+        ));
+        // A future version is detected as a header problem…
+        assert!(matches!(
+            load(&b"TOPOSEM-SNAPSHOT v2\n{}"[..]),
+            Err(SnapshotError::BadHeader)
+        ));
+        // …while garbage *behind* a valid header is a decode problem.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(b"not json");
+        assert!(matches!(load(&bytes[..]), Err(SnapshotError::Decode(_))));
+    }
+
+    #[test]
+    fn snapshots_are_self_identifying() {
+        let db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let bytes = to_vec(&db).unwrap();
+        assert!(bytes.starts_with(MAGIC));
+        assert_eq!(load(&bytes[..]).unwrap().total_stored(), 0);
     }
 
     #[test]

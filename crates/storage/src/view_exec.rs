@@ -115,7 +115,7 @@ pub fn apply_update(
             let routed = view
                 .route_update(target)
                 .ok_or(ViewError::NotAConstituent(target))?;
-            Ok(engine.delete(routed, instance))
+            engine.delete(routed, instance).map_err(ViewError::Engine)
         }
     }
 }

@@ -40,7 +40,7 @@ fn main() {
         )
         .unwrap();
     }
-    eng.create_index(employee, name);
+    eng.create_index(employee, name).unwrap();
 
     let queries = [
         (

@@ -81,6 +81,11 @@ pub mod storage {
     pub use toposem_storage::*;
 }
 
+/// Write-ahead logging, checkpointing, and crash recovery.
+pub mod wal {
+    pub use toposem_wal::*;
+}
+
 /// The cost-based query planner and vectorised executor.
 pub mod planner {
     pub use toposem_planner::*;
