@@ -1,0 +1,129 @@
+//! Q2: ordered-index range seek vs. sequential scan on 10 000 tuples
+//! across selectivities (0.1% / 1% / 10%).
+//!
+//! The headline claim: an `IndexRangeSeek` access path beats the naive
+//! interpreter's clone-the-extension-then-filter evaluation by ≥5× on a
+//! 1%-selective range query (in practice by much more at 0.1%, and the
+//! gap narrows as the range widens). The bench asserts the 1% ratio
+//! directly — with a measured wall-clock comparison — before handing the
+//! individual timings to Criterion.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_planner::PlannedExecution;
+use toposem_storage::{Engine, Query};
+
+const N: i64 = 10_000;
+
+fn cfg() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+/// 10k managers with a dense unique `budget` (an unbounded integer
+/// domain, so range selectivity is controlled exactly by the interval
+/// width), ordered-indexed on `budget`.
+fn loaded_engine() -> Engine {
+    let eng = Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    ));
+    let (manager, budget) = eng.with_db(|db| {
+        let s = db.schema();
+        (s.type_id("manager").unwrap(), s.attr_id("budget").unwrap())
+    });
+    let deps = ["sales", "research", "admin"];
+    for i in 0..N {
+        eng.insert(
+            manager,
+            &[
+                ("name", Value::str(&format!("m{i}"))),
+                ("age", Value::Int(i % 120)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+                ("budget", Value::Int(i)),
+            ],
+        )
+        .unwrap();
+    }
+    eng.create_ord_index(manager, budget).unwrap();
+    eng
+}
+
+/// Median-of-`runs` wall time of `f`.
+fn time<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            criterion::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let manager = s.type_id("manager").unwrap();
+    let budget = s.attr_id("budget").unwrap();
+
+    // Interval widths for 0.1% / 1% / 10% of 10k tuples, anchored
+    // mid-distribution so the BTree walk is not an edge case.
+    let range = |width: i64| {
+        Query::scan(manager).select_between(
+            budget,
+            Value::Int(5_000),
+            Value::Int(5_000 + width - 1),
+        )
+    };
+    let selectivities = [("0.1pct", 10i64), ("1pct", 100), ("10pct", 1_000)];
+
+    // The acceptance claim, measured head-to-head before Criterion runs:
+    // warm the statistics + plan caches, then compare medians at 1%.
+    let q1pct = range(100);
+    let (_, rows) = eng.query_planned(&q1pct).unwrap();
+    assert_eq!(rows.len(), 100, "1% range must match exactly 100 tuples");
+    assert!(
+        eng.explain(&q1pct).unwrap().contains("IndexRangeSeek"),
+        "1% range query must choose the ordered-index range seek:\n{}",
+        eng.explain(&q1pct).unwrap()
+    );
+    let naive_t = time(30, || eng.with_db(|db| q1pct.execute(db).unwrap()));
+    let planned_t = time(30, || eng.query_planned(&q1pct).unwrap());
+    let speedup = naive_t / planned_t;
+    println!(
+        "q2 1% range over {N} tuples: naive seq {:.1} µs, planned (IndexRangeSeek) {:.1} µs → {speedup:.0}×",
+        naive_t * 1e6,
+        planned_t * 1e6
+    );
+    assert!(
+        speedup >= 5.0,
+        "IndexRangeSeek must beat the sequential scan ≥5× at 1% selectivity on {N} tuples, got {speedup:.1}×"
+    );
+
+    let mut g = c.benchmark_group("q2_range_scan");
+    for (label, width) in selectivities {
+        let q = range(width);
+        // Correctness alongside the numbers: both paths agree.
+        let naive = eng.with_db(|db| q.execute(db).unwrap());
+        let planned = eng.query_planned(&q).unwrap();
+        assert_eq!(naive, planned, "paths diverged at {label}");
+        g.bench_with_input(BenchmarkId::new("seqscan_naive", label), &q, |b, q| {
+            b.iter(|| eng.with_db(|db| q.execute(db).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("index_range_seek", label), &q, |b, q| {
+            b.iter(|| eng.query_planned(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(name = benches; config = cfg(); targets = bench);
+criterion_main!(benches);

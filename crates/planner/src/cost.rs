@@ -2,12 +2,15 @@
 //! layer, driving access-path selection and join-side choice.
 //!
 //! Costs are abstract "tuple touches". The estimates only need to *rank*
-//! alternatives correctly (index seek vs. sequential scan, build side vs.
-//! probe side), not predict wall-clock time.
+//! alternatives correctly (index seek vs. range seek vs. sequential scan,
+//! build side vs. probe side), not predict wall-clock time.
 
-use toposem_storage::Statistics;
+use toposem_storage::{Predicate, Statistics};
 
 use crate::physical::Physical;
+
+use toposem_core::{AttrId, TypeId};
+use toposem_extension::Value;
 
 /// Estimated output rows and cumulative cost of a physical subplan.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -20,8 +23,18 @@ pub struct Estimate {
 
 /// Per-probe overhead of a hash lookup relative to a scan step.
 const HASH_PROBE_COST: f64 = 1.2;
+/// Fixed overhead of descending a BTree to position a range/prefix seek.
+const TREE_DESCENT_COST: f64 = 2.0;
 /// Fixed overhead of instantiating any operator.
 const OPERATOR_SETUP_COST: f64 = 1.0;
+
+/// Combined selectivity of a predicate conjunction under independence.
+fn conj_selectivity(ty: TypeId, preds: &[(AttrId, Predicate)], stats: &Statistics) -> f64 {
+    preds
+        .iter()
+        .map(|(a, p)| stats.pred_selectivity(ty, *a, p))
+        .product()
+}
 
 /// Estimates a physical subplan bottom-up.
 pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
@@ -32,12 +45,8 @@ pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
         },
         Physical::SeqScan { ty, preds } => {
             let n = stats.cardinality(*ty) as f64;
-            let selectivity: f64 = preds
-                .iter()
-                .map(|(a, _)| stats.selectivity(*ty, *a))
-                .product();
             Estimate {
-                rows: n * selectivity,
+                rows: n * conj_selectivity(*ty, preds, stats),
                 cost: OPERATOR_SETUP_COST + n,
             }
         }
@@ -46,24 +55,80 @@ pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
         } => {
             let n = stats.cardinality(*ty) as f64;
             let bucket = n * stats.selectivity(*ty, *attr);
-            let selectivity: f64 = residual
-                .iter()
-                .map(|(a, _)| stats.selectivity(*ty, *a))
-                .product();
             Estimate {
-                rows: bucket * selectivity,
+                rows: bucket * conj_selectivity(*ty, residual, stats),
                 cost: OPERATOR_SETUP_COST + HASH_PROBE_COST + bucket,
+            }
+        }
+        Physical::IndexRangeSeek {
+            ty,
+            attr,
+            lo,
+            hi,
+            residual,
+        } => {
+            let n = stats.cardinality(*ty) as f64;
+            // The range seek touches exactly the tuples inside the
+            // interval; rebuild the interval's selectivity from the
+            // bounds it was planned with.
+            let interval = range_selectivity(*ty, *attr, lo, hi, stats);
+            let touched = n * interval;
+            Estimate {
+                rows: touched * conj_selectivity(*ty, residual, stats),
+                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched,
+            }
+        }
+        Physical::CompositeSeek {
+            ty,
+            attrs,
+            prefix,
+            residual,
+        } => {
+            let n = stats.cardinality(*ty) as f64;
+            // Each equality-bound prefix attribute narrows by its own
+            // distinct count (independence assumption), never below one
+            // tuple's worth.
+            let prefix_sel: f64 = attrs
+                .iter()
+                .take(prefix.len())
+                .map(|a| stats.selectivity(*ty, *a))
+                .product();
+            let touched = (n * prefix_sel).max(1.0_f64.min(n));
+            Estimate {
+                rows: touched * conj_selectivity(*ty, residual, stats),
+                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched,
+            }
+        }
+        Physical::IndexOnlyScan {
+            ty,
+            key_attrs,
+            preds,
+            ..
+        } => {
+            let n = stats.cardinality(*ty) as f64;
+            // The executor walks *every* distinct key of the covering
+            // index (it does not narrow by the predicates), so the cost
+            // must charge the full key walk: the independence-assumption
+            // key count, capped by the relation size. Still cheaper than
+            // SeqScan + Project (≈ n + rows) because no base tuples are
+            // touched and no separate projection pass runs — but a
+            // selective Project(IndexRangeSeek) correctly beats it.
+            let keys = key_attrs
+                .iter()
+                .map(|a| stats.distinct_count(*ty, *a).max(1) as f64)
+                .product::<f64>()
+                .min(n);
+            let matched = n * conj_selectivity(*ty, preds, stats);
+            Estimate {
+                rows: matched,
+                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + keys,
             }
         }
         Physical::Filter { input, preds } => {
             let e = estimate(input, stats);
             let ty = input.ty();
-            let selectivity: f64 = preds
-                .iter()
-                .map(|(a, _)| stats.selectivity(ty, *a))
-                .product();
             Estimate {
-                rows: e.rows * selectivity,
+                rows: e.rows * conj_selectivity(ty, preds, stats),
                 cost: e.cost + e.rows,
             }
         }
@@ -105,4 +170,24 @@ pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
             }
         }
     }
+}
+
+/// Selectivity of an explicit interval, via the statistics layer's
+/// min/max interpolation (expressed as the equivalent [`Predicate`]).
+fn range_selectivity(
+    ty: TypeId,
+    attr: AttrId,
+    lo: &Option<(Value, bool)>,
+    hi: &Option<(Value, bool)>,
+    stats: &Statistics,
+) -> f64 {
+    let pred = match (lo, hi) {
+        (Some((l, _)), Some((h, _))) => Predicate::Between(l.clone(), h.clone()),
+        (Some((l, true)), None) => Predicate::Ge(l.clone()),
+        (Some((l, false)), None) => Predicate::Gt(l.clone()),
+        (None, Some((h, true))) => Predicate::Le(h.clone()),
+        (None, Some((h, false))) => Predicate::Lt(h.clone()),
+        (None, None) => return 1.0,
+    };
+    stats.pred_selectivity(ty, attr, &pred)
 }

@@ -6,6 +6,9 @@
 //! sets, and the final result relation are materialised. Under the eager
 //! containment policy scans borrow the stored relation directly (no
 //! extension clone); on-demand extensions are collected once per scan.
+//! Index seeks walk hash buckets, BTree ranges, or composite key prefixes;
+//! index-only scans rebuild projected tuples from index *keys* without
+//! touching base tuples at all.
 //!
 //! With the `parallel` feature enabled, an unfiltered-or-filtered
 //! sequential scan over a large relation fans out across worker threads
@@ -16,7 +19,7 @@ use std::collections::HashMap;
 
 use toposem_core::AttrId;
 use toposem_extension::{Database, Instance, Relation, Value};
-use toposem_storage::HashIndex;
+use toposem_storage::{Index, Predicate};
 
 use crate::physical::{Physical, BATCH_SIZE};
 
@@ -26,7 +29,7 @@ const PARALLEL_SCAN_THRESHOLD: usize = 4096;
 
 /// Executes a physical plan against a database + index snapshot (acquire
 /// both through `Engine::with_parts` for consistency).
-pub fn execute(plan: &Physical, db: &Database, indexes: &[Option<HashIndex>]) -> Relation {
+pub fn execute(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Relation {
     let mut out = Relation::new();
     for_each_batch(plan, db, indexes, &mut |batch| {
         for t in batch.drain(..) {
@@ -36,8 +39,37 @@ pub fn execute(plan: &Physical, db: &Database, indexes: &[Option<HashIndex>]) ->
     out
 }
 
-fn matches(t: &Instance, preds: &[(AttrId, Value)]) -> bool {
-    preds.iter().all(|(a, v)| t.get(*a) == Some(v))
+fn matches(t: &Instance, preds: &[(AttrId, Predicate)]) -> bool {
+    preds
+        .iter()
+        .all(|(a, p)| t.get(*a).is_some_and(|v| p.matches(v)))
+}
+
+/// The type's indexes (planner and executor see the same snapshot, so an
+/// operator's index is always present).
+fn indexes_of(indexes: &[Vec<Index>], ty: toposem_core::TypeId) -> &[Index] {
+    indexes.get(ty.index()).map(Vec::as_slice).unwrap_or(&[])
+}
+
+/// Streams `iter` into `sink` in batches, applying the residual filter.
+fn stream_filtered<'a>(
+    iter: impl Iterator<Item = &'a Instance>,
+    residual: &[(AttrId, Predicate)],
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    let mut batch = Vec::with_capacity(BATCH_SIZE);
+    for t in iter {
+        if matches(t, residual) {
+            batch.push(t.clone());
+            if batch.len() == BATCH_SIZE {
+                sink(&mut batch);
+                batch.clear();
+            }
+        }
+    }
+    if !batch.is_empty() {
+        sink(&mut batch);
+    }
 }
 
 /// Runs `sink` over every output batch of `plan`. Batches arrive as owned
@@ -45,7 +77,7 @@ fn matches(t: &Instance, preds: &[(AttrId, Value)]) -> bool {
 fn for_each_batch(
     plan: &Physical,
     db: &Database,
-    indexes: &[Option<HashIndex>],
+    indexes: &[Vec<Index>],
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
     match plan {
@@ -57,36 +89,104 @@ fn for_each_batch(
                 parallel_scan(&rel, preds, sink);
                 return;
             }
-            let mut batch = Vec::with_capacity(BATCH_SIZE);
-            for t in rel.iter() {
-                if matches(t, preds) {
-                    batch.push(t.clone());
-                    if batch.len() == BATCH_SIZE {
-                        sink(&mut batch);
-                        batch.clear();
-                    }
-                }
-            }
-            if !batch.is_empty() {
-                sink(&mut batch);
-            }
+            stream_filtered(rel.iter(), preds, sink);
         }
         Physical::IndexSeek {
             ty,
-            attr: _,
+            attr,
             value,
             residual,
         } => {
-            let idx = indexes[ty.index()]
-                .as_ref()
-                .expect("planner chose IndexSeek only when an index exists");
+            let hit = indexes_of(indexes, *ty)
+                .iter()
+                .find_map(|idx| idx.lookup(*attr, value))
+                .expect("planner chose IndexSeek only when a point index exists");
+            stream_filtered(hit.iter(), residual, sink);
+        }
+        Physical::IndexRangeSeek {
+            ty,
+            attr,
+            lo,
+            hi,
+            residual,
+        } => {
+            let ord = indexes_of(indexes, *ty)
+                .iter()
+                .find_map(|idx| idx.as_ord().filter(|o| o.attr() == *attr))
+                .expect("planner chose IndexRangeSeek only when an ordered index exists");
+            let lo = lo.as_ref().map(|(v, inc)| (v, *inc));
+            let hi = hi.as_ref().map(|(v, inc)| (v, *inc));
+            stream_filtered(ord.range(lo, hi), residual, sink);
+        }
+        Physical::CompositeSeek {
+            ty,
+            attrs,
+            prefix,
+            residual,
+        } => {
+            let comp = indexes_of(indexes, *ty)
+                .iter()
+                .find_map(|idx| idx.as_composite().filter(|c| c.attrs() == attrs))
+                .expect("planner chose CompositeSeek only when the composite index exists");
+            stream_filtered(comp.lookup_prefix(prefix), residual, sink);
+        }
+        Physical::IndexOnlyScan {
+            ty,
+            to,
+            key_attrs,
+            preds,
+        } => {
+            let idx = indexes_of(indexes, *ty)
+                .iter()
+                .find(|idx| idx.attrs() == *key_attrs)
+                .expect("planner chose IndexOnlyScan only when the covering index exists");
+            let target = db.schema().attrs_of(*to);
             let mut batch = Vec::with_capacity(BATCH_SIZE);
-            for t in idx.lookup(value) {
-                if matches(t, residual) {
-                    batch.push(t.clone());
-                    if batch.len() == BATCH_SIZE {
-                        sink(&mut batch);
-                        batch.clear();
+            let emit = |key: &[&Value], batch: &mut Vec<Instance>| {
+                let bound: Vec<(AttrId, &Value)> =
+                    key_attrs.iter().copied().zip(key.iter().copied()).collect();
+                if !preds.iter().all(|(a, p)| {
+                    bound
+                        .iter()
+                        .find(|(b, _)| b == a)
+                        .is_some_and(|(_, v)| p.matches(v))
+                }) {
+                    return;
+                }
+                let fields: Vec<(AttrId, Value)> = bound
+                    .iter()
+                    .filter(|(a, _)| target.contains(a.index()))
+                    .map(|(a, v)| (*a, (*v).clone()))
+                    .collect();
+                batch.push(Instance::from_parts(fields));
+            };
+            match idx {
+                Index::Hash(h) => {
+                    for k in h.keys() {
+                        emit(&[k], &mut batch);
+                        if batch.len() >= BATCH_SIZE {
+                            sink(&mut batch);
+                            batch.clear();
+                        }
+                    }
+                }
+                Index::Ord(o) => {
+                    for k in o.keys() {
+                        emit(&[k], &mut batch);
+                        if batch.len() >= BATCH_SIZE {
+                            sink(&mut batch);
+                            batch.clear();
+                        }
+                    }
+                }
+                Index::Composite(c) => {
+                    for key in c.keys() {
+                        let refs: Vec<&Value> = key.iter().collect();
+                        emit(&refs, &mut batch);
+                        if batch.len() >= BATCH_SIZE {
+                            sink(&mut batch);
+                            batch.clear();
+                        }
                     }
                 }
             }
@@ -175,7 +275,7 @@ fn for_each_batch(
 #[cfg(feature = "parallel")]
 fn parallel_scan(
     rel: &Relation,
-    preds: &[(AttrId, Value)],
+    preds: &[(AttrId, Predicate)],
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
     let tuples: Vec<&Instance> = rel.iter().collect();

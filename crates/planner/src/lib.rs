@@ -4,20 +4,24 @@
 //! topology-sanctioned query algebra of `toposem-storage`.
 //!
 //! The naive `Query::execute` interpreter materialises every
-//! intermediate relation and never consults the engine's hash indexes.
-//! This crate compiles the same `Query` AST through three stages:
+//! intermediate relation and never consults the engine's secondary
+//! indexes. This crate compiles the same `Query` AST through three
+//! stages:
 //!
 //! 1. **[`logical`]** — lowering into a typed logical plan plus a rewrite
 //!    pass (selection pushdown through sanctioned projections, joins, and
-//!    set operations; select-merge; dead-branch elimination). Every
-//!    rewrite preserves the entity type of every subplan — the paper's
-//!    core invariant that a query result is always an instance set of a
-//!    declared entity type.
+//!    set operations; select-merge over equality *and* range predicates;
+//!    dead-branch elimination via per-attribute interval intersection and
+//!    finite-domain exclusion). Every rewrite preserves the entity type
+//!    of every subplan — the paper's core invariant that a query result
+//!    is always an instance set of a declared entity type.
 //! 2. **[`cost`]** — cardinality/cost estimation over the engine's
 //!    [`toposem_storage::Statistics`] layer (per-type cardinalities,
-//!    per-attribute distinct counts), driving access-path selection and
-//!    build-side choice.
+//!    per-attribute distinct counts, min/max spans for range
+//!    selectivity), driving access-path selection and build-side choice.
 //! 3. **[`physical`] / [`exec`]** — physical operators (`IndexSeek`,
+//!    `IndexRangeSeek` over ordered indexes, `CompositeSeek` over
+//!    composite-index prefixes, `IndexOnlyScan` over covering indexes,
 //!    `SeqScan`, `Filter`, `Project`, `HashJoin`, `Union`, `Intersect`)
 //!    executed as a push-based batch pipeline; the `parallel` feature adds
 //!    a scoped-thread parallel scan path.
@@ -36,9 +40,13 @@
 //!     DomainCatalog::employee_defaults(),
 //!     ContainmentPolicy::Eager,
 //! ));
-//! let (employee, depname) = eng.with_db(|db| {
+//! let (employee, depname, age) = eng.with_db(|db| {
 //!     let s = db.schema();
-//!     (s.type_id("employee").unwrap(), s.attr_id("depname").unwrap())
+//!     (
+//!         s.type_id("employee").unwrap(),
+//!         s.attr_id("depname").unwrap(),
+//!         s.attr_id("age").unwrap(),
+//!     )
 //! });
 //! for (name, age, dep) in [
 //!     ("ann", 40, "sales"),
@@ -53,6 +61,7 @@
 //!     ]).unwrap();
 //! }
 //! eng.create_index(employee, depname).unwrap();
+//! eng.create_ord_index(employee, age).unwrap();
 //!
 //! let q = Query::scan(employee).select(depname, Value::str("sales"));
 //! let (ty, rel) = eng.query_planned(&q).unwrap();
@@ -60,6 +69,12 @@
 //! assert_eq!(rel.len(), 1);
 //! // The same query explains as an index seek:
 //! assert!(eng.explain(&q).unwrap().contains("IndexSeek"));
+//!
+//! // A range select walks only the qualifying slice of the BTree:
+//! let r = Query::scan(employee).select_between(age, Value::Int(25), Value::Int(31));
+//! let (_, rel) = eng.query_planned(&r).unwrap();
+//! assert_eq!(rel.len(), 2); // bob (30) and carol (25)
+//! assert!(eng.explain(&r).unwrap().contains("IndexRangeSeek"));
 //! ```
 
 pub mod cost;
@@ -297,6 +312,232 @@ mod tests {
             plan.contains("IndexSeek"),
             "expected an index seek:\n{plan}"
         );
+    }
+
+    #[test]
+    fn planned_matches_naive_for_range_and_composite_queries() {
+        use toposem_storage::Predicate;
+        for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
+            let eng = engine(policy);
+            let s = eng.with_db(|db| db.schema().clone());
+            let employee = s.type_id("employee").unwrap();
+            let person = s.type_id("person").unwrap();
+            let age = s.attr_id("age").unwrap();
+            let name = s.attr_id("name").unwrap();
+            let depname = s.attr_id("depname").unwrap();
+            if policy == ContainmentPolicy::Eager {
+                eng.create_ord_index(employee, age).unwrap();
+                eng.create_composite_index(employee, &[depname, name])
+                    .unwrap();
+            }
+            let queries = [
+                Query::scan(employee).select_lt(age, Value::Int(35)),
+                Query::scan(employee).select_le(age, Value::Int(35)),
+                Query::scan(employee).select_gt(age, Value::Int(35)),
+                Query::scan(employee).select_ge(age, Value::Int(40)),
+                Query::scan(employee).select_between(age, Value::Int(25), Value::Int(40)),
+                // Conjunctive range + equality across attributes.
+                Query::scan(employee)
+                    .select_between(age, Value::Int(20), Value::Int(60))
+                    .select(depname, Value::str("sales")),
+                // Conjunctive multi-attribute equality (composite prefix).
+                Query::scan(employee)
+                    .select_all(&[(depname, Value::str("sales")), (name, Value::str("carol"))]),
+                // Two ranges on the same attribute intersect.
+                Query::scan(employee)
+                    .select_ge(age, Value::Int(25))
+                    .select_lt(age, Value::Int(50)),
+                // Degenerate range collapsing to a point.
+                Query::scan(employee)
+                    .select_ge(age, Value::Int(25))
+                    .select_le(age, Value::Int(25)),
+                // Range below a projection.
+                Query::scan(employee)
+                    .select_between(age, Value::Int(20), Value::Int(45))
+                    .project(person),
+                // Inverted range: provably empty.
+                Query::scan(employee).select_between(age, Value::Int(50), Value::Int(20)),
+                // Range predicate via the generic constructor.
+                Query::scan(employee).select_pred(age, Predicate::Gt(Value::Int(29))),
+            ];
+            for q in &queries {
+                agree(&eng, q);
+            }
+        }
+    }
+
+    #[test]
+    fn selective_range_query_chooses_index_range_seek() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        // Bulk data so the range is selective.
+        for i in 0..500 {
+            eng.insert(
+                employee,
+                &[
+                    ("name", Value::str(&format!("w{i}"))),
+                    ("age", Value::Int(i % 90)),
+                    ("depname", Value::str("admin")),
+                ],
+            )
+            .unwrap();
+        }
+        eng.create_ord_index(employee, age).unwrap();
+        let q = Query::scan(employee).select_between(age, Value::Int(10), Value::Int(12));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("IndexRangeSeek"),
+            "selective range must choose the ordered index:\n{plan}"
+        );
+        agree(&eng, &q);
+        // A point query through the same ordered index degenerates to a
+        // point seek.
+        let point = Query::scan(employee).select(age, Value::Int(41));
+        let plan = eng.explain(&point).unwrap();
+        assert!(
+            plan.contains("IndexSeek"),
+            "equality over an ordered index seeks a point:\n{plan}"
+        );
+        agree(&eng, &point);
+    }
+
+    #[test]
+    fn composite_prefix_and_index_only_scans_are_chosen() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let person = s.type_id("person").unwrap();
+        let name = s.attr_id("name").unwrap();
+        let age = s.attr_id("age").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        for i in 0..300 {
+            eng.insert(
+                employee,
+                &[
+                    ("name", Value::str(&format!("w{i}"))),
+                    ("age", Value::Int(i % 90)),
+                    (
+                        "depname",
+                        Value::str(["sales", "research", "admin"][(i % 3) as usize]),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        eng.create_composite_index(employee, &[depname, name])
+            .unwrap();
+        // Full-prefix conjunctive equality: CompositeSeek.
+        let q = Query::scan(employee)
+            .select(depname, Value::str("sales"))
+            .select(name, Value::str("w42"));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("CompositeSeek"),
+            "conjunctive equality must use the composite prefix:\n{plan}"
+        );
+        agree(&eng, &q);
+        // Partial prefix (leading attribute only) still seeks.
+        let q = Query::scan(employee).select(depname, Value::str("research"));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("CompositeSeek"),
+            "leading-attribute equality must use the composite prefix:\n{plan}"
+        );
+        agree(&eng, &q);
+        // A projection covered by an index's key attributes goes
+        // index-only: person = {name, age} ⊆ composite (name, age).
+        eng.create_composite_index(employee, &[name, age]).unwrap();
+        let q = Query::scan(employee).project(person);
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("IndexOnlyScan"),
+            "covered projection must scan the index only:\n{plan}"
+        );
+        agree(&eng, &q);
+        // Covered projection *with* covered predicates stays index-only.
+        let q = Query::scan(employee)
+            .select_between(age, Value::Int(10), Value::Int(30))
+            .project(person);
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("IndexOnlyScan"),
+            "covered filtered projection must scan the index only:\n{plan}"
+        );
+        agree(&eng, &q);
+        // An uncovered predicate (depname) forces the base path.
+        let q = Query::scan(employee)
+            .select(depname, Value::str("sales"))
+            .project(person);
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            !plan.contains("IndexOnlyScan"),
+            "uncovered predicate must not go index-only:\n{plan}"
+        );
+        agree(&eng, &q);
+        // Cost crossover: once a *selective* range seek is available
+        // (ordered index on age), a covered-but-unfiltered key walk must
+        // lose to Project(IndexRangeSeek) — the executor's index-only
+        // path walks every distinct key, and the cost model must charge
+        // for that.
+        eng.create_ord_index(employee, age).unwrap();
+        let q = Query::scan(employee)
+            .select_between(age, Value::Int(10), Value::Int(11))
+            .project(person);
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("IndexRangeSeek") && !plan.contains("IndexOnlyScan"),
+            "selective range + projection must range-seek, not walk all keys:\n{plan}"
+        );
+        agree(&eng, &q);
+        // The unfiltered covered projection still goes index-only.
+        let q = Query::scan(employee).project(person);
+        assert!(eng.explain(&q).unwrap().contains("IndexOnlyScan"));
+        agree(&eng, &q);
+    }
+
+    #[test]
+    fn range_contradictions_are_eliminated() {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        // Disjoint ranges on one attribute.
+        let q = Query::scan(employee)
+            .select_lt(age, Value::Int(30))
+            .select_gt(age, Value::Int(40));
+        let plan = eng.explain(&q).unwrap();
+        assert!(plan.contains("Empty"), "disjoint ranges survived:\n{plan}");
+        agree(&eng, &q);
+        // Equality outside a range.
+        let q = Query::scan(employee)
+            .select(age, Value::Int(50))
+            .select_lt(age, Value::Int(20));
+        let plan = eng.explain(&q).unwrap();
+        assert!(plan.contains("Empty"), "eq-vs-range survived:\n{plan}");
+        agree(&eng, &q);
+        // Touching exclusive bounds are empty; touching inclusive bounds
+        // are not.
+        let q = Query::scan(employee)
+            .select_lt(age, Value::Int(30))
+            .select_ge(age, Value::Int(30));
+        assert!(eng.explain(&q).unwrap().contains("Empty"));
+        agree(&eng, &q);
+        let q = Query::scan(employee)
+            .select_le(age, Value::Int(40))
+            .select_ge(age, Value::Int(40));
+        assert!(!eng.explain(&q).unwrap().contains("Empty"));
+        agree(&eng, &q);
+        // A range no member of a finite domain can satisfy is dead.
+        let q = Query::scan(employee).select_gt(depname, Value::str("zzz"));
+        let plan = eng.explain(&q).unwrap();
+        assert!(
+            plan.contains("Empty"),
+            "domain-excluded range survived:\n{plan}"
+        );
+        agree(&eng, &q);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! so tests (and debug builds) can prove the invariant held.
 
 use toposem_core::{AttrId, TypeId};
-use toposem_extension::{Database, Value};
-use toposem_storage::{Query, QueryError};
+use toposem_extension::Database;
+use toposem_storage::{Predicate, Query, QueryError};
 
 /// A typed logical plan node.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,12 +27,13 @@ pub enum Logical {
         /// Scanned entity type.
         ty: TypeId,
     },
-    /// Conjunctive equality selection; type-preserving.
+    /// Conjunctive selection (equality and range predicates);
+    /// type-preserving.
     Select {
         /// Input plan.
         input: Box<Logical>,
-        /// Conjunction of `attr = value` predicates.
-        preds: Vec<(AttrId, Value)>,
+        /// Conjunction of single-attribute predicates.
+        preds: Vec<(AttrId, Predicate)>,
     },
     /// Projection onto a generalisation.
     Project {
@@ -91,14 +92,14 @@ impl Logical {
     fn lower_validated(q: &Query) -> Logical {
         match q {
             Query::Scan(e) => Logical::Scan { ty: *e },
-            Query::Select { input, attr, value } => {
-                let mut preds = vec![(*attr, value.clone())];
+            Query::Select { input, attr, pred } => {
+                let mut preds = vec![(*attr, pred.clone())];
                 let mut inner = input.as_ref();
                 // Select-merge: collapse Select chains into one predicate
                 // list (deepest predicate first, order is irrelevant for a
                 // conjunction).
-                while let Query::Select { input, attr, value } = inner {
-                    preds.push((*attr, value.clone()));
+                while let Query::Select { input, attr, pred } = inner {
+                    preds.push((*attr, pred.clone()));
                     inner = input.as_ref();
                 }
                 preds.reverse();
@@ -228,23 +229,23 @@ impl Logical {
                 if preds.is_empty() {
                     return (input, true);
                 }
-                // Contradictory conjunction: same attribute, two values.
-                for (i, (a, v)) in preds.iter().enumerate() {
-                    if preds[i + 1..].iter().any(|(b, w)| a == b && v != w) {
-                        return (Logical::Empty { ty: input.ty() }, true);
-                    }
+                // Contradictory conjunction: per attribute, the
+                // intersection of all predicate intervals is empty
+                // (covers two different equality constants, disjoint
+                // ranges, an equality outside a range, and inverted
+                // `Between`s alike).
+                if conjunction_unsatisfiable(&preds) {
+                    return (Logical::Empty { ty: input.ty() }, true);
                 }
-                // Semantic optimization: values outside the attribute's
-                // declared domain can never match a domain-validated tuple,
-                // so the branch is provably empty. This assumes extensions
-                // honour their domains — true for everything inserted
-                // through the engine; `Database::insert_unchecked` bulk
-                // loads bypass validation and must be audited before
-                // planned execution (see `PlannedExecution`).
-                if preds
-                    .iter()
-                    .any(|(a, v)| !db.catalog().admits(schema, *a, v))
-                {
+                // Semantic optimization: a predicate no member of the
+                // attribute's declared domain can satisfy never matches a
+                // domain-validated tuple, so the branch is provably
+                // empty. This assumes extensions honour their domains —
+                // true for everything inserted through the engine;
+                // `Database::insert_unchecked` bulk loads bypass
+                // validation and must be audited before planned
+                // execution (see `PlannedExecution`).
+                if preds.iter().any(|(a, p)| domain_excludes(db, *a, p)) {
                     return (Logical::Empty { ty: input.ty() }, true);
                 }
                 let node = match input {
@@ -414,6 +415,66 @@ impl Logical {
             }
             leaf @ (Logical::Empty { .. } | Logical::Scan { .. }) => (leaf, false),
         }
+    }
+}
+
+/// True when no single value can satisfy every predicate some attribute
+/// carries: per attribute the predicates are intersected as
+/// [`toposem_storage::Interval`]s under the total [`Ord`] on values
+/// (equality is the degenerate interval), and an empty intersection
+/// proves the conjunction unsatisfiable.
+fn conjunction_unsatisfiable(preds: &[(AttrId, Predicate)]) -> bool {
+    use std::collections::HashMap;
+    use toposem_storage::Interval;
+    let mut intervals: HashMap<AttrId, Interval> = HashMap::new();
+    for (a, p) in preds {
+        if p.is_empty() {
+            return true;
+        }
+        intervals
+            .entry(*a)
+            .or_insert_with(Interval::full)
+            .tighten(p);
+    }
+    intervals.values().any(Interval::is_empty)
+}
+
+/// True when no member of `a`'s declared domain satisfies `p`: equality
+/// against the membership test directly; ranges over integer-range
+/// domains analytically (no enumeration — a bound integer range may be
+/// huge); other *finite* domains by checking every member. Unbounded
+/// domains are never excluded.
+fn domain_excludes(db: &Database, a: AttrId, p: &Predicate) -> bool {
+    use toposem_extension::{DomainSpec, Value};
+    let schema = db.schema();
+    if let Some(v) = p.as_eq() {
+        return !db.catalog().admits(schema, a, v);
+    }
+    let spec = db.catalog().domain_of(schema, a);
+    match spec {
+        // The integers of [lo, hi] that satisfy the predicate form a
+        // contiguous run; if it is non-empty it contains the domain edge
+        // or an integer adjacent to one of the predicate's own integer
+        // bounds, so testing those candidates decides membership without
+        // materialising the domain.
+        DomainSpec::IntRange(lo, hi) => {
+            let mut candidates = vec![*lo, *hi];
+            let (plo, phi) = p.bounds();
+            for (v, _) in [plo, phi].into_iter().flatten() {
+                if let Value::Int(b) = v {
+                    candidates.extend(
+                        [b.saturating_sub(1), *b, b.saturating_add(1)].map(|c| c.clamp(*lo, *hi)),
+                    );
+                }
+            }
+            !candidates
+                .into_iter()
+                .any(|c| (*lo..=*hi).contains(&c) && p.matches(&Value::Int(c)))
+        }
+        _ => match spec.enumerate() {
+            Some(members) => !members.iter().any(|m| p.matches(m)),
+            None => false,
+        },
     }
 }
 

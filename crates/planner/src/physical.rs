@@ -1,17 +1,18 @@
 //! Physical plans: operator selection and the vectorised executor.
 //!
 //! Planning walks the rewritten [`Logical`] tree bottom-up, choosing access
-//! paths (index seek vs. sequential scan) and hash-join / intersection
-//! build sides by cost. Execution is a push-based batch pipeline: scans
-//! emit [`BATCH_SIZE`]-tuple batches into operator sinks, so selections and
-//! projections are applied a batch at a time without materialising
-//! intermediate relations (hash joins materialise their build side only).
-//! With the `parallel` feature, qualifying sequential scans fan out across
-//! threads.
+//! paths (hash/ordered index seeks, ordered range seeks, composite prefix
+//! seeks, index-only scans, or sequential scans) and hash-join /
+//! intersection build sides by cost. Execution is a push-based batch
+//! pipeline: scans emit [`BATCH_SIZE`]-tuple batches into operator sinks,
+//! so selections and projections are applied a batch at a time without
+//! materialising intermediate relations (hash joins materialise their
+//! build side only). With the `parallel` feature, qualifying sequential
+//! scans fan out across threads.
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Database, Value};
-use toposem_storage::{HashIndex, Statistics};
+use toposem_storage::{Index, Predicate, Statistics};
 
 use crate::cost::{estimate, Estimate};
 use crate::logical::Logical;
@@ -31,10 +32,11 @@ pub enum Physical {
     SeqScan {
         /// Scanned type.
         ty: TypeId,
-        /// Fused equality predicates (may be empty).
-        preds: Vec<(AttrId, Value)>,
+        /// Fused predicates (may be empty).
+        preds: Vec<(AttrId, Predicate)>,
     },
-    /// Hash-index point lookup with a residual filter.
+    /// Single-attribute index point lookup (hash or ordered index) with a
+    /// residual filter.
     IndexSeek {
         /// Scanned type.
         ty: TypeId,
@@ -43,15 +45,54 @@ pub enum Physical {
         /// Sought value.
         value: Value,
         /// Predicates not covered by the index.
-        residual: Vec<(AttrId, Value)>,
+        residual: Vec<(AttrId, Predicate)>,
+    },
+    /// Ordered-index range seek: walks only the BTree range between the
+    /// bounds (`(value, inclusive)`; `None` = unbounded).
+    IndexRangeSeek {
+        /// Scanned type.
+        ty: TypeId,
+        /// Indexed attribute.
+        attr: AttrId,
+        /// Lower bound.
+        lo: Option<(Value, bool)>,
+        /// Upper bound.
+        hi: Option<(Value, bool)>,
+        /// Predicates not covered by the range.
+        residual: Vec<(AttrId, Predicate)>,
+    },
+    /// Composite-index prefix seek: equality constants for a prefix of
+    /// the index's attribute list select a contiguous key range.
+    CompositeSeek {
+        /// Scanned type.
+        ty: TypeId,
+        /// The index's full attribute list (identifies the index).
+        attrs: Vec<AttrId>,
+        /// Equality constants for `attrs[..prefix.len()]`.
+        prefix: Vec<Value>,
+        /// Predicates not covered by the prefix.
+        residual: Vec<(AttrId, Predicate)>,
+    },
+    /// Index-only (covering) scan: the projection target's attributes are
+    /// all index key attributes, so results are built from index keys
+    /// without touching base tuples.
+    IndexOnlyScan {
+        /// Scanned (base) type.
+        ty: TypeId,
+        /// Projection target (a generalisation of `ty`).
+        to: TypeId,
+        /// The covering index's attribute list (identifies the index).
+        key_attrs: Vec<AttrId>,
+        /// Predicates over key attributes, evaluated on the keys.
+        preds: Vec<(AttrId, Predicate)>,
     },
     /// Batch-wise conjunctive filter over a composite input (filters over
     /// plain scans are fused into the scan instead).
     Filter {
         /// Input operator.
         input: Box<Physical>,
-        /// Conjunction of equality predicates.
-        preds: Vec<(AttrId, Value)>,
+        /// Conjunction of predicates.
+        preds: Vec<(AttrId, Predicate)>,
     },
     /// Projection onto a generalisation.
     Project {
@@ -97,11 +138,13 @@ impl Physical {
             Physical::Empty { ty }
             | Physical::SeqScan { ty, .. }
             | Physical::IndexSeek { ty, .. }
+            | Physical::IndexRangeSeek { ty, .. }
+            | Physical::CompositeSeek { ty, .. }
             | Physical::HashJoin { ty, .. }
             | Physical::Union { ty, .. }
             | Physical::Intersect { ty, .. } => *ty,
             Physical::Filter { input, .. } => input.ty(),
-            Physical::Project { to, .. } => *to,
+            Physical::IndexOnlyScan { to, .. } | Physical::Project { to, .. } => *to,
         }
     }
 
@@ -116,12 +159,25 @@ impl Physical {
         let schema = db.schema();
         let Estimate { rows, cost } = estimate(self, stats);
         let pad = "  ".repeat(depth);
-        let render_preds = |preds: &[(AttrId, Value)]| {
+        let render_preds = |preds: &[(AttrId, Predicate)]| {
             preds
                 .iter()
-                .map(|(a, v)| format!("{}={}", schema.attr_name(*a), v))
+                .map(|(a, p)| format!("{} {}", schema.attr_name(*a), p))
                 .collect::<Vec<_>>()
                 .join(" ∧ ")
+        };
+        let render_range = |lo: &Option<(Value, bool)>, hi: &Option<(Value, bool)>| {
+            let lo_s = match lo {
+                Some((v, true)) => format!("[{v}"),
+                Some((v, false)) => format!("({v}"),
+                None => "(-∞".to_owned(),
+            };
+            let hi_s = match hi {
+                Some((v, true)) => format!("{v}]"),
+                Some((v, false)) => format!("{v})"),
+                None => "+∞)".to_owned(),
+            };
+            format!("{lo_s}, {hi_s}")
         };
         let line = match self {
             Physical::Empty { ty } => format!("Empty [{}]", schema.type_name(*ty)),
@@ -149,6 +205,70 @@ impl Physical {
                 );
                 if !residual.is_empty() {
                     s.push_str(&format!(" residual {}", render_preds(residual)));
+                }
+                s
+            }
+            Physical::IndexRangeSeek {
+                ty,
+                attr,
+                lo,
+                hi,
+                residual,
+            } => {
+                let mut s = format!(
+                    "IndexRangeSeek {}.{} ∈ {}",
+                    schema.type_name(*ty),
+                    schema.attr_name(*attr),
+                    render_range(lo, hi)
+                );
+                if !residual.is_empty() {
+                    s.push_str(&format!(" residual {}", render_preds(residual)));
+                }
+                s
+            }
+            Physical::CompositeSeek {
+                ty,
+                attrs,
+                prefix,
+                residual,
+            } => {
+                let cols = attrs
+                    .iter()
+                    .map(|a| schema.attr_name(*a))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let vals = prefix
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut s = format!(
+                    "CompositeSeek {}({cols}) prefix = ({vals})",
+                    schema.type_name(*ty)
+                );
+                if !residual.is_empty() {
+                    s.push_str(&format!(" residual {}", render_preds(residual)));
+                }
+                s
+            }
+            Physical::IndexOnlyScan {
+                ty,
+                to,
+                key_attrs,
+                preds,
+            } => {
+                let cols = key_attrs
+                    .iter()
+                    .map(|a| schema.attr_name(*a))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let mut s = format!(
+                    "IndexOnlyScan {}({cols}) → {}",
+                    schema.type_name(*ty),
+                    schema.type_name(*to)
+                );
+                if !preds.is_empty() {
+                    s.push_str(&format!(" filter {}", render_preds(preds)));
                 }
                 s
             }
@@ -183,7 +303,7 @@ impl Physical {
 pub fn plan(
     logical: &Logical,
     db: &Database,
-    indexes: &[Option<HashIndex>],
+    indexes: &[Vec<Index>],
     stats: &Statistics,
 ) -> Physical {
     match logical {
@@ -194,16 +314,7 @@ pub fn plan(
         },
         Logical::Select { input, preds } => match input.as_ref() {
             // Access-path selection happens where a filter meets a scan.
-            Logical::Scan { ty } => {
-                let seq = Physical::SeqScan {
-                    ty: *ty,
-                    preds: preds.clone(),
-                };
-                match index_path(*ty, preds, db, indexes) {
-                    Some(seek) if estimate(&seek, stats).cost < estimate(&seq, stats).cost => seek,
-                    _ => seq,
-                }
-            }
+            Logical::Scan { ty } => cheapest_scan(*ty, preds, db, indexes, stats),
             // The rewrite pass pushes selections to the leaves, so a
             // residual filter over a composite input is rare (e.g. a
             // selection the pushdown could not fully sink); it gets a
@@ -213,10 +324,31 @@ pub fn plan(
                 preds: preds.clone(),
             },
         },
-        Logical::Project { input, to } => Physical::Project {
-            input: Box::new(plan(input, db, indexes, stats)),
-            to: *to,
-        },
+        Logical::Project { input, to } => {
+            // A covering index can answer the projection from its keys
+            // alone when the target's attributes (and every predicate)
+            // are key attributes: an index-only scan.
+            let fallback = |input: &Logical| Physical::Project {
+                input: Box::new(plan(input, db, indexes, stats)),
+                to: *to,
+            };
+            let (ty, preds): (TypeId, &[(AttrId, Predicate)]) = match input.as_ref() {
+                Logical::Scan { ty } => (*ty, &[]),
+                Logical::Select {
+                    input: sel_in,
+                    preds,
+                } => match sel_in.as_ref() {
+                    Logical::Scan { ty } => (*ty, preds.as_slice()),
+                    _ => return fallback(input),
+                },
+                _ => return fallback(input),
+            };
+            let fb = fallback(input);
+            match index_only_path(ty, *to, preds, db, indexes) {
+                Some(ios) if estimate(&ios, stats).cost < estimate(&fb, stats).cost => ios,
+                _ => fb,
+            }
+        }
         Logical::Join { left, right, ty } => {
             let l = plan(left, db, indexes, stats);
             let r = plan(right, db, indexes, stats);
@@ -257,30 +389,158 @@ pub fn plan(
     }
 }
 
-/// An index-seek plan for `preds` over `ty`, when the engine holds a
-/// usable index. Indexes mirror *stored* relations, which equal semantic
-/// extensions only under eager containment — the planner refuses the index
-/// path otherwise.
-fn index_path(
-    ty: TypeId,
-    preds: &[(AttrId, Value)],
-    db: &Database,
-    indexes: &[Option<HashIndex>],
-) -> Option<Physical> {
+/// Indexes mirror *stored* relations, which equal semantic extensions
+/// only under eager containment — every index path refuses otherwise.
+fn indexes_usable<'a>(ty: TypeId, db: &Database, indexes: &'a [Vec<Index>]) -> Option<&'a [Index]> {
     if db.policy() != toposem_extension::ContainmentPolicy::Eager {
         return None;
     }
-    let idx = indexes.get(ty.index())?.as_ref()?;
-    let (i, (attr, value)) = preds
+    indexes.get(ty.index()).map(Vec::as_slice)
+}
+
+/// The cheapest access path for a conjunctive selection over a scan:
+/// every usable index path is generated and costed against the fused
+/// sequential scan.
+fn cheapest_scan(
+    ty: TypeId,
+    preds: &[(AttrId, Predicate)],
+    db: &Database,
+    indexes: &[Vec<Index>],
+    stats: &Statistics,
+) -> Physical {
+    let mut best = Physical::SeqScan {
+        ty,
+        preds: preds.to_vec(),
+    };
+    let mut best_cost = estimate(&best, stats).cost;
+    let Some(type_indexes) = indexes_usable(ty, db, indexes) else {
+        return best;
+    };
+    for idx in type_indexes {
+        let candidate = match idx {
+            Index::Hash(h) => hash_path(ty, h.attr(), preds),
+            Index::Ord(o) => ord_path(ty, o.attr(), preds),
+            Index::Composite(c) => composite_path(ty, c.attrs(), preds),
+        };
+        if let Some(c) = candidate {
+            let cost = estimate(&c, stats).cost;
+            if cost < best_cost {
+                best = c;
+                best_cost = cost;
+            }
+        }
+    }
+    best
+}
+
+/// A hash point seek when some equality predicate targets the hash
+/// index's attribute.
+fn hash_path(ty: TypeId, attr: AttrId, preds: &[(AttrId, Predicate)]) -> Option<Physical> {
+    let (i, value) = preds
         .iter()
         .enumerate()
-        .find(|(_, (a, _))| *a == idx.attr())?;
+        .find_map(|(i, (a, p))| (*a == attr).then(|| p.as_eq().map(|v| (i, v.clone())))?)?;
     let mut residual = preds.to_vec();
     residual.remove(i);
     Some(Physical::IndexSeek {
         ty,
-        attr: *attr,
-        value: value.clone(),
+        attr,
+        value,
         residual,
+    })
+}
+
+/// An ordered-index path: all predicates on the indexed attribute are
+/// intersected into one [`toposem_storage::Interval`] (the same
+/// bound-merge the rewriter's emptiness proof uses); a degenerate
+/// `[v, v]` becomes a point seek, anything else a range seek. Remaining
+/// predicates stay residual.
+fn ord_path(ty: TypeId, attr: AttrId, preds: &[(AttrId, Predicate)]) -> Option<Physical> {
+    let (on_attr, residual): (Vec<_>, Vec<_>) =
+        preds.iter().cloned().partition(|(a, _)| *a == attr);
+    if on_attr.is_empty() {
+        return None;
+    }
+    let mut interval = toposem_storage::Interval::full();
+    for (_, p) in &on_attr {
+        interval.tighten(p);
+    }
+    if let (Some((l, true)), Some((h, true))) = (&interval.lo, &interval.hi) {
+        if l == h {
+            return Some(Physical::IndexSeek {
+                ty,
+                attr,
+                value: l.clone(),
+                residual,
+            });
+        }
+    }
+    Some(Physical::IndexRangeSeek {
+        ty,
+        attr,
+        lo: interval.lo,
+        hi: interval.hi,
+        residual,
+    })
+}
+
+/// A composite prefix seek: the longest prefix of the index's attribute
+/// list whose every attribute carries an equality predicate. Predicates
+/// consumed by the prefix are dropped; everything else stays residual.
+fn composite_path(ty: TypeId, attrs: &[AttrId], preds: &[(AttrId, Predicate)]) -> Option<Physical> {
+    let mut prefix = Vec::new();
+    let mut consumed = vec![false; preds.len()];
+    for key_attr in attrs {
+        let hit = preds
+            .iter()
+            .enumerate()
+            .find_map(|(i, (a, p))| (a == key_attr).then(|| p.as_eq().map(|v| (i, v.clone())))?);
+        match hit {
+            Some((i, v)) => {
+                prefix.push(v);
+                consumed[i] = true;
+            }
+            None => break,
+        }
+    }
+    if prefix.is_empty() {
+        return None;
+    }
+    let residual: Vec<_> = preds
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !consumed[*i])
+        .map(|(_, p)| p.clone())
+        .collect();
+    Some(Physical::CompositeSeek {
+        ty,
+        attrs: attrs.to_vec(),
+        prefix,
+        residual,
+    })
+}
+
+/// An index-only scan for `π_to(σ_preds(ty))`, when some index's key
+/// attributes cover both the projection target and every predicate.
+fn index_only_path(
+    ty: TypeId,
+    to: TypeId,
+    preds: &[(AttrId, Predicate)],
+    db: &Database,
+    indexes: &[Vec<Index>],
+) -> Option<Physical> {
+    let type_indexes = indexes_usable(ty, db, indexes)?;
+    let schema = db.schema();
+    let target = schema.attrs_of(to);
+    type_indexes.iter().find_map(|idx| {
+        let key_attrs = idx.attrs();
+        let covers_target = target.iter().all(|a| key_attrs.contains(&AttrId(a as u32)));
+        let covers_preds = preds.iter().all(|(a, _)| key_attrs.contains(a));
+        (covers_target && covers_preds).then(|| Physical::IndexOnlyScan {
+            ty,
+            to,
+            key_attrs,
+            preds: preds.to_vec(),
+        })
     })
 }

@@ -1,20 +1,26 @@
-//! The plan/eval equivalence oracle: for randomly generated *sanctioned*
+//! The differential query oracle: for randomly generated *sanctioned*
 //! queries over randomly loaded databases, planned execution must return
 //! exactly the same `(TypeId, Relation)` as the naive tree-walking
 //! interpreter — under both containment policies, with and without
-//! indexes.
+//! indexes, across every plan shape the optimizer can produce (SeqScan,
+//! IndexSeek, IndexRangeSeek, CompositeSeek, IndexOnlyScan, joins, set
+//! operations, dead branches).
 //!
 //! Queries are grown bottom-up from a decision script so every generated
-//! query is valid by construction: selections use attributes of the input
-//! type, projections move up the generalisation topology, joins are kept
-//! only when their attribute union is a declared entity type, and set
-//! operations pair subqueries of equal type.
+//! query is valid by construction: selections (equality, range, and
+//! conjunctive multi-attribute) use attributes of the input type,
+//! projections move up the generalisation topology, joins are kept only
+//! when their attribute union is a declared entity type, and set
+//! operations pair subqueries of equal type. The indexed variant builds
+//! hash, ordered, *and* composite indexes chosen per case, before or
+//! after the load, so incremental maintenance of every index kind is on
+//! the hook.
 
 use proptest::prelude::*;
 use toposem_core::{employee_schema, Intension, TypeId};
 use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 use toposem_planner::PlannedExecution;
-use toposem_storage::{Engine, Query};
+use toposem_storage::{Engine, Predicate, Query};
 
 const NAMES: [&str; 5] = ["ann", "bob", "carol", "dave", "eve"];
 const DEPS: [&str; 3] = ["sales", "research", "admin"];
@@ -117,6 +123,31 @@ fn value_for(db: &Database, attr: toposem_core::AttrId, pick: usize) -> Value {
     }
 }
 
+/// A range predicate over attribute `attr`, with kind and constants
+/// decoded from the decision picks (pools deliberately include values
+/// outside the loaded data and outside finite domains, to exercise empty
+/// ranges and dead-branch elimination).
+fn range_pred_for(
+    db: &Database,
+    attr: toposem_core::AttrId,
+    kind: usize,
+    pick: usize,
+) -> Predicate {
+    let v = value_for(db, attr, pick);
+    match kind % 5 {
+        0 => Predicate::Lt(v),
+        1 => Predicate::Le(v),
+        2 => Predicate::Gt(v),
+        3 => Predicate::Ge(v),
+        _ => {
+            // Between with an independently drawn second bound — possibly
+            // inverted, which must plan to Empty and still agree.
+            let w = value_for(db, attr, pick.wrapping_add(kind));
+            Predicate::Between(v, w)
+        }
+    }
+}
+
 /// Grows a sanctioned query from the decision script. Each decision is
 /// `(op, pick_a, pick_b)`; invalid constructions (unsanctioned joins) fall
 /// back to their left operand, so the result is always well-typed.
@@ -128,7 +159,7 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
         Query::scan(types[decisions.first().map(|d| d.1 as usize).unwrap_or(0) % types.len()]);
     for (op, a, b) in decisions {
         let ty = q.entity_type(db).expect("invariant: q stays sanctioned");
-        match op % 5 {
+        match op % 7 {
             // Selection on an attribute of the current type.
             0 => {
                 let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
@@ -157,7 +188,7 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
                 q = q.union(rhs);
             }
             // Intersection with a same-type subquery.
-            _ => {
+            4 => {
                 let mut rhs = Query::scan(ty);
                 if b % 2 == 0 {
                     let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
@@ -165,6 +196,26 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
                     rhs = rhs.select(attr, value_for(db, attr, *b as usize));
                 }
                 q = q.intersect(rhs);
+            }
+            // Range selection on an attribute of the current type.
+            5 => {
+                let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                let attr = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                // `a` spans 0..16, so `kind % 5` inside reaches every
+                // arm — including `Between` (and its inverted form).
+                q = q.select_pred(attr, range_pred_for(db, attr, *a as usize, *b as usize));
+            }
+            // Conjunctive multi-attribute equality selection: equality on
+            // two (possibly equal) attributes in one step, so composite
+            // prefix matching gets regular coverage.
+            _ => {
+                let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                let a1 = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                let a2 = toposem_core::AttrId(attrs[*b as usize % attrs.len()] as u32);
+                q = q.select_all(&[
+                    (a1, value_for(db, a1, *b as usize)),
+                    (a2, value_for(db, a2, *a as usize)),
+                ]);
             }
         }
     }
@@ -184,7 +235,7 @@ proptest! {
     #[test]
     fn planned_equals_naive(
         rows in prop::collection::vec(row_strategy(), 0..25),
-        decisions in prop::collection::vec((0u8..5, 0u8..16, 0u8..16), 0..8),
+        decisions in prop::collection::vec((0u8..7, 0u8..16, 0u8..16), 0..8),
     ) {
         for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
             let eng = engine(policy);
@@ -197,25 +248,45 @@ proptest! {
         }
     }
 
-    /// Same oracle with every type indexed on a (per-case random)
-    /// attribute, exercising the IndexSeek path and residual filters.
-    /// Indexes are created *before* the load, so incremental index
-    /// maintenance — including eager containment propagations into
-    /// generalisation relations — is on the hook, not just bulk builds.
+    /// Same oracle with every type indexed — kind (hash / ordered /
+    /// composite) and attributes picked per case — exercising the
+    /// IndexSeek, IndexRangeSeek, CompositeSeek, and IndexOnlyScan paths
+    /// with residual filters. Indexes may be created *before* the load,
+    /// so incremental index maintenance — including eager containment
+    /// propagations into generalisation relations — is on the hook, not
+    /// just bulk builds.
     #[test]
     fn planned_equals_naive_with_indexes(
         rows in prop::collection::vec(row_strategy(), 0..25),
-        decisions in prop::collection::vec((0u8..5, 0u8..16, 0u8..16), 0..8),
-        index_picks in prop::collection::vec(0usize..8, 5),
+        decisions in prop::collection::vec((0u8..7, 0u8..16, 0u8..16), 0..8),
+        index_picks in prop::collection::vec(0usize..24, 5),
         index_first in 0u8..2,
     ) {
         let eng = engine(ContainmentPolicy::Eager);
         let s = eng.with_db(|db| db.schema().clone());
         let build_indexes = |eng: &Engine| {
             for (e, pick) in s.type_ids().zip(&index_picks) {
-                let attrs: Vec<_> = s.attrs_of(e).iter().collect();
-                eng.create_index(e, toposem_core::AttrId(attrs[pick % attrs.len()] as u32))
-                    .unwrap();
+                let attrs: Vec<toposem_core::AttrId> = s
+                    .attrs_of(e)
+                    .iter()
+                    .map(|a| toposem_core::AttrId(a as u32))
+                    .collect();
+                let attr = attrs[(pick / 3) % attrs.len()];
+                match pick % 3 {
+                    0 => eng.create_index(e, attr).unwrap(),
+                    1 => eng.create_ord_index(e, attr).unwrap(),
+                    _ => {
+                        // Composite over two adjacent attributes when the
+                        // type is wide enough (else a single-attr key).
+                        let i = (pick / 3) % attrs.len();
+                        let key: Vec<_> = if attrs.len() >= 2 {
+                            vec![attrs[i], attrs[(i + 1) % attrs.len()]]
+                        } else {
+                            vec![attrs[i]]
+                        };
+                        eng.create_composite_index(e, &key).unwrap();
+                    }
+                }
             }
         };
         if index_first == 0 {
@@ -242,6 +313,7 @@ fn large_scan_crosses_batch_boundaries() {
     let s = eng.with_db(|db| db.schema().clone());
     let employee = s.type_id("employee").unwrap();
     let name = s.attr_id("name").unwrap();
+    let age = s.attr_id("age").unwrap();
     let depname = s.attr_id("depname").unwrap();
     for i in 0..5000 {
         eng.insert(
@@ -255,11 +327,16 @@ fn large_scan_crosses_batch_boundaries() {
         .unwrap();
     }
     eng.create_index(employee, name).unwrap();
+    eng.create_ord_index(employee, age).unwrap();
     let queries = [
         Query::scan(employee),
         Query::scan(employee).select(depname, Value::str("sales")),
         Query::scan(employee).select(name, Value::str("w4242")),
         Query::scan(employee).project(s.type_id("person").unwrap()),
+        // A wide range crossing many batch boundaries through the
+        // ordered index.
+        Query::scan(employee).select_between(age, Value::Int(10), Value::Int(70)),
+        Query::scan(employee).select_ge(age, Value::Int(45)),
     ];
     for q in &queries {
         let naive = eng.with_db(|db| q.execute(db)).unwrap();

@@ -21,9 +21,9 @@ use parking_lot::RwLock;
 use toposem_core::TypeId;
 use toposem_extension::{Database, Instance, InstanceError, LogicalOp, Value};
 use toposem_fd::{check_fd, Fd};
-use toposem_wal::{LogScan, Wal, WalConfig, WalEntry, WalError};
+use toposem_wal::{IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry, WalError};
 
-use crate::index::HashIndex;
+use crate::index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
 use crate::snapshot;
 use crate::stats::Statistics;
 
@@ -45,6 +45,9 @@ pub enum EngineError {
     /// A durable-only operation (checkpoint, sync) was called on an
     /// engine with no write-ahead log attached.
     NotDurable,
+    /// An index DDL statement was malformed: no attributes, a repeated
+    /// attribute, or an attribute outside the indexed entity type.
+    BadIndexDefinition(String),
     /// The write-ahead log failed (message carries the
     /// [`toposem_wal::WalError`] rendering).
     Wal(String),
@@ -62,6 +65,7 @@ impl std::fmt::Display for EngineError {
                 write!(f, "a transaction is already active; commit or roll it back")
             }
             EngineError::NotDurable => write!(f, "engine has no write-ahead log attached"),
+            EngineError::BadIndexDefinition(why) => write!(f, "bad index definition: {why}"),
             EngineError::Wal(e) => write!(f, "write-ahead log failure: {e}"),
             EngineError::Recovery(e) => write!(f, "recovery failure: {e}"),
         }
@@ -131,7 +135,9 @@ impl PlanCache {
 struct Inner {
     db: Database,
     declared_fds: Vec<Fd>,
-    indexes: Vec<Option<HashIndex>>,
+    /// Secondary indexes, indexed by `TypeId::index()`; each entity type
+    /// may carry any number of hash, ordered, and composite indexes.
+    indexes: Vec<Vec<Index>>,
     txn_log: Option<Vec<Undo>>,
     /// WAL transaction id of the active explicit transaction.
     current_txn: Option<u64>,
@@ -167,7 +173,7 @@ impl Engine {
             inner: RwLock::new(Inner {
                 db,
                 declared_fds: Vec::new(),
-                indexes: vec![None; n],
+                indexes: vec![Vec::new(); n],
                 txn_log: None,
                 current_txn: None,
                 wal: None,
@@ -246,25 +252,28 @@ impl Engine {
                     active.remove(&txn);
                 }
                 WalEntry::Checkpoint { .. } => {}
-                WalEntry::CreateIndex { entity, attr } => index_defs.push((entity, attr)),
+                WalEntry::CreateIndex { def } => index_defs.push(def),
                 WalEntry::DeclareFd { lhs, rhs, context } => fd_defs.push((lhs, rhs, context)),
             }
         }
         // Transactions still in `active` never committed: discarded.
         let eng = Engine::new(db);
-        for (entity, attr) in index_defs {
-            let (e, a) = eng.with_db(|db| {
-                let s = db.schema();
-                (s.type_id(&entity), s.attr_id(&attr))
-            });
-            match (e, a) {
-                (Some(e), Some(a)) => eng.create_index(e, a)?,
-                _ => {
-                    return Err(EngineError::Recovery(format!(
-                        "logged index ({entity}, {attr}) names no schema element"
-                    )))
-                }
-            }
+        for def in index_defs {
+            let e = eng.with_db(|db| db.schema().type_id(&def.entity));
+            let attrs: Option<Vec<toposem_core::AttrId>> =
+                eng.with_db(|db| def.attrs.iter().map(|a| db.schema().attr_id(a)).collect());
+            let (Some(e), Some(attrs)) = (e, attrs) else {
+                return Err(EngineError::Recovery(format!(
+                    "logged index ({}, {:?}) names no schema element",
+                    def.entity, def.attrs
+                )));
+            };
+            let kind = match def.kind {
+                IndexKindDef::Hash => IndexKind::Hash,
+                IndexKindDef::Ordered => IndexKind::Ordered,
+                IndexKindDef::Composite => IndexKind::Composite,
+            };
+            eng.create_index_of(e, kind, &attrs)?;
         }
         // Every replayed mutation passed its FD checks on the live
         // engine, so the recovered state satisfies every declared FD;
@@ -321,15 +330,12 @@ impl Engine {
         let payload =
             snapshot::to_vec(&inner.db).map_err(|e| EngineError::Recovery(e.to_string()))?;
         let schema = inner.db.schema();
-        let defs: Vec<(String, String)> = schema
+        let defs: Vec<IndexDef> = schema
             .type_ids()
-            .filter_map(|e| {
-                inner.indexes[e.index()].as_ref().map(|idx| {
-                    (
-                        schema.type_name(e).to_owned(),
-                        schema.attr_name(idx.attr()).to_owned(),
-                    )
-                })
+            .flat_map(|e| {
+                inner.indexes[e.index()]
+                    .iter()
+                    .map(move |idx| Self::describe_index(schema, e, idx))
             })
             .collect();
         let fds: Vec<(String, String, String)> = inner
@@ -376,49 +382,134 @@ impl Engine {
         Ok(())
     }
 
+    /// The logged/checkpointed definition of one live index.
+    fn describe_index(schema: &toposem_core::Schema, e: TypeId, idx: &Index) -> IndexDef {
+        IndexDef {
+            entity: schema.type_name(e).to_owned(),
+            kind: match idx.kind() {
+                IndexKind::Hash => IndexKindDef::Hash,
+                IndexKind::Ordered => IndexKindDef::Ordered,
+                IndexKind::Composite => IndexKindDef::Composite,
+            },
+            attrs: idx
+                .attrs()
+                .iter()
+                .map(|a| schema.attr_name(*a).to_owned())
+                .collect(),
+        }
+    }
+
     /// Builds a hash index on one attribute of `e`'s stored relation.
     /// On a durable engine the definition is logged (and immediately
     /// synced) so recovery rebuilds the index.
     pub fn create_index(&self, e: TypeId, attr: toposem_core::AttrId) -> Result<(), EngineError> {
+        self.create_index_of(e, IndexKind::Hash, &[attr])
+    }
+
+    /// Builds an ordered (BTree) index on one attribute of `e`'s stored
+    /// relation, enabling index range seeks.
+    pub fn create_ord_index(
+        &self,
+        e: TypeId,
+        attr: toposem_core::AttrId,
+    ) -> Result<(), EngineError> {
+        self.create_index_of(e, IndexKind::Ordered, &[attr])
+    }
+
+    /// Builds a composite ordered index over `attrs` (order significant:
+    /// conjunctive equality selections matching a key *prefix* can seek).
+    pub fn create_composite_index(
+        &self,
+        e: TypeId,
+        attrs: &[toposem_core::AttrId],
+    ) -> Result<(), EngineError> {
+        self.create_index_of(e, IndexKind::Composite, attrs)
+    }
+
+    /// The shared index-DDL path: validates the definition, builds the
+    /// structure from the stored relation, installs it (replacing any
+    /// index of the same kind and attribute list), bumps the statistics
+    /// epoch so cached plans are invalidated, and logs the definition on
+    /// a durable engine.
+    pub fn create_index_of(
+        &self,
+        e: TypeId,
+        kind: IndexKind,
+        attrs: &[toposem_core::AttrId],
+    ) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
-        let mut idx = HashIndex::new(attr);
+        {
+            let schema = inner.db.schema();
+            if attrs.is_empty() {
+                return Err(EngineError::BadIndexDefinition(
+                    "no attributes named".into(),
+                ));
+            }
+            if matches!(kind, IndexKind::Hash | IndexKind::Ordered) && attrs.len() != 1 {
+                return Err(EngineError::BadIndexDefinition(format!(
+                    "{} indexes take exactly one attribute",
+                    kind.name()
+                )));
+            }
+            for (i, a) in attrs.iter().enumerate() {
+                if !schema.attrs_of(e).contains(a.index()) {
+                    return Err(EngineError::BadIndexDefinition(format!(
+                        "attribute {} is not in type {}",
+                        schema.attr_name(*a),
+                        schema.type_name(e)
+                    )));
+                }
+                if attrs[..i].contains(a) {
+                    return Err(EngineError::BadIndexDefinition(format!(
+                        "attribute {} repeated",
+                        schema.attr_name(*a)
+                    )));
+                }
+            }
+        }
+        let mut idx = match kind {
+            IndexKind::Hash => Index::Hash(HashIndex::new(attrs[0])),
+            IndexKind::Ordered => Index::Ord(OrdIndex::new(attrs[0])),
+            IndexKind::Composite => Index::Composite(CompositeIndex::new(attrs.to_vec())),
+        };
         for t in inner.db.stored(e).iter() {
             idx.insert(t);
         }
-        inner.indexes[e.index()] = Some(idx);
+        let slot = &mut inner.indexes[e.index()];
+        // Re-creating the same definition rebuilds in place; otherwise
+        // the new index joins the type's set.
+        slot.retain(|existing| !(existing.kind() == kind && existing.attrs() == attrs));
+        slot.push(idx);
         // Index presence changes access paths: invalidate cached plans.
         inner.note_mutation();
-        let (entity, attr_name) = {
+        let def = {
             let schema = inner.db.schema();
-            (
-                schema.type_name(e).to_owned(),
-                schema.attr_name(attr).to_owned(),
-            )
+            let idx = inner.indexes[e.index()].last().expect("just pushed");
+            Self::describe_index(schema, e, idx)
         };
         if let Some(wal) = inner.wal.as_mut() {
-            wal.append(WalEntry::CreateIndex {
-                entity,
-                attr: attr_name,
-            })?;
+            wal.append(WalEntry::CreateIndex { def })?;
             wal.flush()?;
         }
         Ok(())
     }
 
-    /// Point lookup through the index of `e` (falls back to a scan when no
-    /// index exists).
+    /// Point lookup through any single-attribute index of `e` on `attr`
+    /// (falls back to a scan when none exists).
     pub fn lookup(&self, e: TypeId, attr: toposem_core::AttrId, v: &Value) -> Vec<Instance> {
         let inner = self.inner.read();
-        match &inner.indexes[e.index()] {
-            Some(idx) if idx.attr() == attr => idx.lookup(v).to_vec(),
-            _ => inner
-                .db
-                .stored(e)
-                .iter()
-                .filter(|t| t.get(attr) == Some(v))
-                .cloned()
-                .collect(),
+        for idx in &inner.indexes[e.index()] {
+            if let Some(hit) = idx.lookup(attr, v) {
+                return hit.to_vec();
+            }
         }
+        inner
+            .db
+            .stored(e)
+            .iter()
+            .filter(|t| t.get(attr) == Some(v))
+            .cloned()
+            .collect()
     }
 
     /// Appends a redo record for one logical operation. Outside an
@@ -476,7 +567,7 @@ impl Engine {
         // tuples in generalisation relations too, and their indexes must
         // see them (delete/rollback already walk the full pair list).
         for (s, u) in &added {
-            if let Some(idx) = &mut inner.indexes[s.index()] {
+            for idx in &mut inner.indexes[s.index()] {
                 idx.insert(u);
             }
         }
@@ -517,7 +608,7 @@ impl Engine {
             .collect();
         let removed = inner.db.delete(e, t);
         for (s, u) in &victims {
-            if let Some(idx) = &mut inner.indexes[s.index()] {
+            for idx in &mut inner.indexes[s.index()] {
                 idx.remove(u);
             }
         }
@@ -591,7 +682,7 @@ impl Engine {
                 Undo::UnInsert(added) => {
                     for (s, u) in added {
                         inner.db.stored_remove(s, &u);
-                        if let Some(idx) = &mut inner.indexes[s.index()] {
+                        for idx in &mut inner.indexes[s.index()] {
                             idx.remove(&u);
                         }
                     }
@@ -599,7 +690,7 @@ impl Engine {
                 Undo::Restore(victims) => {
                     for (s, u) in victims {
                         inner.db.insert(s, u.clone());
-                        if let Some(idx) = &mut inner.indexes[s.index()] {
+                        for idx in &mut inner.indexes[s.index()] {
                             idx.insert(&u);
                         }
                     }
@@ -626,16 +717,30 @@ impl Engine {
     /// Runs `f` with read access to the database *and* the index array
     /// under one lock acquisition — the planner's executor uses this so a
     /// whole query sees a consistent snapshot.
-    pub fn with_parts<R>(&self, f: impl FnOnce(&Database, &[Option<HashIndex>]) -> R) -> R {
+    pub fn with_parts<R>(&self, f: impl FnOnce(&Database, &[Vec<Index>]) -> R) -> R {
         let inner = self.inner.read();
         f(&inner.db, &inner.indexes)
     }
 
-    /// The attribute indexed for `e`, when an index exists.
+    /// The attribute of the first single-attribute index on `e`, when one
+    /// exists (composites don't answer single-attribute point lookups).
     pub fn indexed_attr(&self, e: TypeId) -> Option<toposem_core::AttrId> {
         self.inner.read().indexes[e.index()]
-            .as_ref()
-            .map(HashIndex::attr)
+            .iter()
+            .find_map(|idx| match idx {
+                Index::Hash(h) => Some(h.attr()),
+                Index::Ord(o) => Some(o.attr()),
+                Index::Composite(_) => None,
+            })
+    }
+
+    /// The definitions of every live index of `e`: kind plus attribute
+    /// list, in creation order.
+    pub fn index_defs(&self, e: TypeId) -> Vec<(IndexKind, Vec<toposem_core::AttrId>)> {
+        self.inner.read().indexes[e.index()]
+            .iter()
+            .map(|idx| (idx.kind(), idx.attrs()))
+            .collect()
     }
 
     /// Current statistics, collected lazily and cached until the next
@@ -856,6 +961,101 @@ mod tests {
             eng.indexed_attr(eng.with_db(|db| db.schema().type_id("person").unwrap())),
             None
         );
+    }
+
+    #[test]
+    fn multiple_index_kinds_coexist_and_stay_maintained() {
+        let eng = engine();
+        let (employee, name, age, depname) = eng.with_db(|db| {
+            let s = db.schema();
+            (
+                s.type_id("employee").unwrap(),
+                s.attr_id("name").unwrap(),
+                s.attr_id("age").unwrap(),
+                s.attr_id("depname").unwrap(),
+            )
+        });
+        eng.create_index(employee, depname).unwrap();
+        eng.create_ord_index(employee, age).unwrap();
+        eng.create_composite_index(employee, &[depname, name])
+            .unwrap();
+        assert_eq!(
+            eng.index_defs(employee),
+            vec![
+                (IndexKind::Hash, vec![depname]),
+                (IndexKind::Ordered, vec![age]),
+                (IndexKind::Composite, vec![depname, name]),
+            ]
+        );
+        for (n, a, d) in [("ann", 40, "sales"), ("bob", 30, "research")] {
+            eng.insert(
+                employee,
+                &[
+                    ("name", Value::str(n)),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str(d)),
+                ],
+            )
+            .unwrap();
+        }
+        // Point lookups resolve through whichever index matches the
+        // attribute (hash for depname, ordered for age).
+        assert_eq!(eng.lookup(employee, depname, &Value::str("sales")).len(), 1);
+        assert_eq!(eng.lookup(employee, age, &Value::Int(30)).len(), 1);
+        // Every index sees deletes too.
+        let bob = eng.with_db(|db| {
+            Instance::new(
+                db.schema(),
+                db.catalog(),
+                employee,
+                &[
+                    ("name", Value::str("bob")),
+                    ("age", Value::Int(30)),
+                    ("depname", Value::str("research")),
+                ],
+            )
+            .unwrap()
+        });
+        eng.delete(employee, &bob).unwrap();
+        assert_eq!(eng.lookup(employee, age, &Value::Int(30)).len(), 0);
+        eng.with_parts(|_, indexes| {
+            for idx in &indexes[employee.index()] {
+                assert_eq!(idx.len(), 1, "{:?} out of sync after delete", idx.kind());
+            }
+        });
+        // Re-creating an existing definition rebuilds in place rather
+        // than duplicating it.
+        eng.create_ord_index(employee, age).unwrap();
+        assert_eq!(eng.index_defs(employee).len(), 3);
+    }
+
+    #[test]
+    fn bad_index_definitions_are_rejected() {
+        let eng = engine();
+        let (employee, budget, name) = eng.with_db(|db| {
+            let s = db.schema();
+            (
+                s.type_id("employee").unwrap(),
+                s.attr_id("budget").unwrap(),
+                s.attr_id("name").unwrap(),
+            )
+        });
+        // Foreign attribute: budget is not an employee attribute.
+        assert!(matches!(
+            eng.create_ord_index(employee, budget),
+            Err(EngineError::BadIndexDefinition(_))
+        ));
+        // Empty and duplicated composite keys.
+        assert!(matches!(
+            eng.create_composite_index(employee, &[]),
+            Err(EngineError::BadIndexDefinition(_))
+        ));
+        assert!(matches!(
+            eng.create_composite_index(employee, &[name, name]),
+            Err(EngineError::BadIndexDefinition(_))
+        ));
+        // Failed DDL installs nothing.
+        assert!(eng.index_defs(employee).is_empty());
     }
 
     #[test]

@@ -1,9 +1,16 @@
-//! Hash indexes on single attributes of stored relations.
+//! Secondary indexes on stored relations: single-attribute hash indexes
+//! (point lookups), single-attribute ordered BTree indexes (point and
+//! range lookups), and multi-attribute composite ordered indexes
+//! (prefix lookups). [`Index`] unifies the three for the engine, which
+//! keeps any number of them per entity type.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 
 use toposem_core::AttrId;
 use toposem_extension::{Instance, Value};
+
+use crate::query::Predicate;
 
 /// A secondary index: attribute value → matching instances of one entity
 /// type's relation.
@@ -69,6 +76,344 @@ impl HashIndex {
     /// True when the index is empty.
     pub fn is_empty(&self) -> bool {
         self.buckets.is_empty()
+    }
+
+    /// The distinct indexed values, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.buckets.keys()
+    }
+
+    /// The instances holding `key`, for key iteration callers.
+    pub fn group(&self, key: &Value) -> &[Instance] {
+        self.lookup(key)
+    }
+}
+
+/// An ordered secondary index: a BTree from attribute value to matching
+/// instances, supporting point *and* range lookups under the total
+/// order on [`Value`].
+#[derive(Clone, Debug)]
+pub struct OrdIndex {
+    attr: AttrId,
+    tree: BTreeMap<Value, Vec<Instance>>,
+}
+
+impl OrdIndex {
+    /// An ordered index on `attr`.
+    pub fn new(attr: AttrId) -> Self {
+        OrdIndex {
+            attr,
+            tree: BTreeMap::new(),
+        }
+    }
+
+    /// The indexed attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// Registers an instance.
+    pub fn insert(&mut self, t: &Instance) {
+        if let Some(v) = t.get(self.attr) {
+            self.tree.entry(v.clone()).or_default().push(t.clone());
+        }
+    }
+
+    /// Unregisters an instance, dropping the node when it empties (the
+    /// same churn guarantee as [`HashIndex::remove`]).
+    pub fn remove(&mut self, t: &Instance) {
+        if let Some(v) = t.get(self.attr) {
+            if let Some(node) = self.tree.get_mut(v) {
+                node.retain(|u| u != t);
+                if node.is_empty() {
+                    self.tree.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn lookup(&self, v: &Value) -> &[Instance] {
+        self.tree.get(v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Range lookup: every instance whose indexed value lies between the
+    /// bounds (`(value, inclusive)`; `None` = unbounded). An inverted
+    /// range yields nothing rather than panicking.
+    pub fn range<'a>(
+        &'a self,
+        lo: Option<(&'a Value, bool)>,
+        hi: Option<(&'a Value, bool)>,
+    ) -> impl Iterator<Item = &'a Instance> {
+        let start = match lo {
+            Some((v, true)) => Bound::Included(v),
+            Some((v, false)) => Bound::Excluded(v),
+            None => Bound::Unbounded,
+        };
+        let end = match hi {
+            Some((v, true)) => Bound::Included(v),
+            Some((v, false)) => Bound::Excluded(v),
+            None => Bound::Unbounded,
+        };
+        // BTreeMap::range panics on start > end; an inverted predicate
+        // simply matches nothing.
+        let inverted = match (lo, hi) {
+            (Some((l, li)), Some((h, hi_inc))) => l > h || (l == h && !(li && hi_inc)),
+            _ => false,
+        };
+        let iter = if inverted {
+            None
+        } else {
+            Some(self.tree.range::<Value, _>((start, end)))
+        };
+        iter.into_iter().flatten().flat_map(|(_, ts)| ts.iter())
+    }
+
+    /// Every instance whose indexed value satisfies `pred`, walking only
+    /// the qualifying BTree range.
+    pub fn seek<'a>(&'a self, pred: &'a Predicate) -> impl Iterator<Item = &'a Instance> {
+        let (lo, hi) = pred.bounds();
+        self.range(lo, hi)
+    }
+
+    /// Smallest indexed value.
+    pub fn min(&self) -> Option<&Value> {
+        self.tree.keys().next()
+    }
+
+    /// Largest indexed value.
+    pub fn max(&self) -> Option<&Value> {
+        self.tree.keys().next_back()
+    }
+
+    /// The distinct indexed values, in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.tree.keys()
+    }
+
+    /// The instances holding `key`.
+    pub fn group(&self, key: &Value) -> &[Instance] {
+        self.lookup(key)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.values().map(Vec::len).sum()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+/// A composite secondary index: a BTree from the tuple of values of an
+/// ordered attribute list to matching instances. Lexicographic key
+/// order makes any *prefix* of the attribute list seekable.
+#[derive(Clone, Debug)]
+pub struct CompositeIndex {
+    attrs: Vec<AttrId>,
+    tree: BTreeMap<Vec<Value>, Vec<Instance>>,
+}
+
+impl CompositeIndex {
+    /// A composite index over `attrs` (order is significant: lookups
+    /// match key *prefixes*). At least one attribute is required.
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        assert!(!attrs.is_empty(), "composite index needs attributes");
+        CompositeIndex {
+            attrs,
+            tree: BTreeMap::new(),
+        }
+    }
+
+    /// The indexed attributes, in key order.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    fn key_of(&self, t: &Instance) -> Option<Vec<Value>> {
+        self.attrs.iter().map(|a| t.get(*a).cloned()).collect()
+    }
+
+    /// Registers an instance (ignored when it lacks any key attribute).
+    pub fn insert(&mut self, t: &Instance) {
+        if let Some(key) = self.key_of(t) {
+            self.tree.entry(key).or_default().push(t.clone());
+        }
+    }
+
+    /// Unregisters an instance, dropping the node when it empties.
+    pub fn remove(&mut self, t: &Instance) {
+        if let Some(key) = self.key_of(t) {
+            if let Some(node) = self.tree.get_mut(&key) {
+                node.retain(|u| u != t);
+                if node.is_empty() {
+                    self.tree.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Prefix lookup: every instance whose first `prefix.len()` key
+    /// attributes equal `prefix` (which may be shorter than the full
+    /// attribute list, but not longer).
+    pub fn lookup_prefix<'a>(&'a self, prefix: &'a [Value]) -> impl Iterator<Item = &'a Instance> {
+        assert!(prefix.len() <= self.attrs.len(), "prefix too long");
+        self.tree
+            .range::<[Value], _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k[..prefix.len()] == *prefix)
+            .flat_map(|(_, ts)| ts.iter())
+    }
+
+    /// The distinct keys, in ascending lexicographic order.
+    pub fn keys(&self) -> impl Iterator<Item = &[Value]> {
+        self.tree.keys().map(Vec::as_slice)
+    }
+
+    /// The instances holding `key` (a full-length key).
+    pub fn group(&self, key: &[Value]) -> &[Instance] {
+        self.tree.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_values(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.values().map(Vec::len).sum()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+}
+
+/// The kind of a secondary index, for DDL and logging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Single-attribute hash index.
+    Hash,
+    /// Single-attribute ordered index.
+    Ordered,
+    /// Multi-attribute composite ordered index.
+    Composite,
+}
+
+impl IndexKind {
+    /// Lowercase name, as rendered in `explain` and logged definitions.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::Hash => "hash",
+            IndexKind::Ordered => "ordered",
+            IndexKind::Composite => "composite",
+        }
+    }
+}
+
+/// Any secondary index the engine can hold on an entity type.
+#[derive(Clone, Debug)]
+pub enum Index {
+    /// Hash index (point lookups only).
+    Hash(HashIndex),
+    /// Ordered index (point and range lookups).
+    Ord(OrdIndex),
+    /// Composite ordered index (prefix lookups).
+    Composite(CompositeIndex),
+}
+
+impl Index {
+    /// This index's kind.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::Hash(_) => IndexKind::Hash,
+            Index::Ord(_) => IndexKind::Ordered,
+            Index::Composite(_) => IndexKind::Composite,
+        }
+    }
+
+    /// The indexed attributes, in key order.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        match self {
+            Index::Hash(i) => vec![i.attr()],
+            Index::Ord(i) => vec![i.attr()],
+            Index::Composite(i) => i.attrs().to_vec(),
+        }
+    }
+
+    /// Registers an instance.
+    pub fn insert(&mut self, t: &Instance) {
+        match self {
+            Index::Hash(i) => i.insert(t),
+            Index::Ord(i) => i.insert(t),
+            Index::Composite(i) => i.insert(t),
+        }
+    }
+
+    /// Unregisters an instance.
+    pub fn remove(&mut self, t: &Instance) {
+        match self {
+            Index::Hash(i) => i.remove(t),
+            Index::Ord(i) => i.remove(t),
+            Index::Composite(i) => i.remove(t),
+        }
+    }
+
+    /// Total indexed entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Index::Hash(i) => i.len(),
+            Index::Ord(i) => i.len(),
+            Index::Composite(i) => i.len(),
+        }
+    }
+
+    /// True when the index holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup on a single-attribute index (`None` for composites
+    /// — use [`CompositeIndex::lookup_prefix`] through
+    /// [`Index::as_composite`]).
+    pub fn lookup(&self, attr: AttrId, v: &Value) -> Option<&[Instance]> {
+        match self {
+            Index::Hash(i) if i.attr() == attr => Some(i.lookup(v)),
+            Index::Ord(i) if i.attr() == attr => Some(i.lookup(v)),
+            _ => None,
+        }
+    }
+
+    /// The ordered index inside, if that's what this is.
+    pub fn as_ord(&self) -> Option<&OrdIndex> {
+        match self {
+            Index::Ord(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The composite index inside, if that's what this is.
+    pub fn as_composite(&self) -> Option<&CompositeIndex> {
+        match self {
+            Index::Composite(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The hash index inside, if that's what this is.
+    pub fn as_hash(&self) -> Option<&HashIndex> {
+        match self {
+            Index::Hash(i) => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -136,5 +481,145 @@ mod tests {
         // Removing an absent tuple on an empty index is a no-op.
         idx.remove(&tuples[0]);
         assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn ord_index_point_range_and_min_max() {
+        let s = employee_schema();
+        let age = s.attr_id("age").unwrap();
+        let mut idx = OrdIndex::new(age);
+        let tuples: Vec<Instance> = [25, 30, 30, 40, 55]
+            .iter()
+            .enumerate()
+            .map(|(i, a)| emp(&format!("p{i}"), *a, "sales"))
+            .collect();
+        for t in &tuples {
+            idx.insert(t);
+        }
+        assert_eq!(idx.attr(), age);
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.distinct_values(), 4);
+        assert_eq!(idx.min(), Some(&Value::Int(25)));
+        assert_eq!(idx.max(), Some(&Value::Int(55)));
+        assert_eq!(idx.lookup(&Value::Int(30)).len(), 2);
+        // [30, 40]: both 30s and the 40.
+        let v30 = Value::Int(30);
+        let v40 = Value::Int(40);
+        assert_eq!(idx.range(Some((&v30, true)), Some((&v40, true))).count(), 3);
+        // (30, 40): nothing strictly between.
+        assert_eq!(
+            idx.range(Some((&v30, false)), Some((&v40, false))).count(),
+            0
+        );
+        // Unbounded below, exclusive above.
+        assert_eq!(idx.range(None, Some((&v40, false))).count(), 3);
+        // Inverted range matches nothing (and must not panic).
+        assert_eq!(idx.range(Some((&v40, true)), Some((&v30, true))).count(), 0);
+        assert_eq!(
+            idx.range(Some((&v30, false)), Some((&v30, true))).count(),
+            0
+        );
+        // Predicate-driven seeks agree with matches().
+        for pred in [
+            Predicate::Eq(Value::Int(30)),
+            Predicate::Lt(Value::Int(40)),
+            Predicate::Ge(Value::Int(30)),
+            Predicate::Between(Value::Int(26), Value::Int(41)),
+        ] {
+            let via_seek = idx.seek(&pred).count();
+            let via_scan = tuples
+                .iter()
+                .filter(|t| pred.matches(t.get(age).unwrap()))
+                .count();
+            assert_eq!(via_seek, via_scan, "seek != scan for {pred:?}");
+        }
+        // Node compaction on removal.
+        for t in &tuples {
+            idx.remove(t);
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn composite_index_prefix_lookup() {
+        let s = employee_schema();
+        let name = s.attr_id("name").unwrap();
+        let dep = s.attr_id("depname").unwrap();
+        let mut idx = CompositeIndex::new(vec![dep, name]);
+        let rows = [
+            ("ann", "sales"),
+            ("bob", "sales"),
+            ("ann", "research"),
+            ("carol", "research"),
+        ];
+        let tuples: Vec<Instance> = rows.iter().map(|(n, d)| emp(n, 30, d)).collect();
+        for t in &tuples {
+            idx.insert(t);
+        }
+        assert_eq!(idx.attrs(), &[dep, name]);
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.distinct_values(), 4);
+        // Full-key lookup.
+        assert_eq!(
+            idx.lookup_prefix(&[Value::str("sales"), Value::str("ann")])
+                .count(),
+            1
+        );
+        // One-attribute prefix.
+        assert_eq!(idx.lookup_prefix(&[Value::str("sales")]).count(), 2);
+        assert_eq!(idx.lookup_prefix(&[Value::str("research")]).count(), 2);
+        // Empty prefix = everything.
+        assert_eq!(idx.lookup_prefix(&[]).count(), 4);
+        // Missing prefix.
+        assert_eq!(idx.lookup_prefix(&[Value::str("admin")]).count(), 0);
+        // Keys iterate in lexicographic order.
+        let keys: Vec<&[Value]> = idx.keys().collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // Removal compacts.
+        for t in &tuples {
+            idx.remove(t);
+        }
+        assert!(idx.is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn index_enum_dispatch() {
+        let s = employee_schema();
+        let dep = s.attr_id("depname").unwrap();
+        let name = s.attr_id("name").unwrap();
+        let t = emp("ann", 40, "sales");
+        for mut idx in [
+            Index::Hash(HashIndex::new(dep)),
+            Index::Ord(OrdIndex::new(dep)),
+            Index::Composite(CompositeIndex::new(vec![dep, name])),
+        ] {
+            assert!(idx.is_empty());
+            idx.insert(&t);
+            assert_eq!(idx.len(), 1);
+            assert_eq!(idx.attrs()[0], dep);
+            match idx.kind() {
+                IndexKind::Hash | IndexKind::Ordered => {
+                    assert_eq!(idx.lookup(dep, &Value::str("sales")).unwrap().len(), 1);
+                    assert!(idx.lookup(name, &Value::str("ann")).is_none());
+                }
+                IndexKind::Composite => {
+                    assert!(idx.lookup(dep, &Value::str("sales")).is_none());
+                    assert_eq!(
+                        idx.as_composite()
+                            .unwrap()
+                            .lookup_prefix(&[Value::str("sales")])
+                            .count(),
+                        1
+                    );
+                }
+            }
+            idx.remove(&t);
+            assert!(idx.is_empty());
+        }
+        assert_eq!(IndexKind::Hash.name(), "hash");
+        assert_eq!(IndexKind::Ordered.name(), "ordered");
+        assert_eq!(IndexKind::Composite.name(), "composite");
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! The operational layer the paper never built: an axiom-enforcing
 //! storage engine over the toposem model. Maintained containment,
-//! declared-FD enforcement, hash indexes, undo-log transactions, a query
+//! declared-FD enforcement, hash/ordered/composite secondary indexes,
+//! undo-log transactions, a query
 //! algebra restricted to topology-sanctioned paths, views with unique
 //! update translation, subbase-only physical storage with derivation of
 //! constructed types, self-identifying JSON snapshots, and — through
@@ -19,8 +20,8 @@ pub mod view_exec;
 
 pub use catalog::{Catalog, StoragePlan};
 pub use engine::{Engine, EngineError};
-pub use index::HashIndex;
-pub use query::{Query, QueryError};
+pub use index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
+pub use query::{Interval, PredBound, Predicate, Query, QueryError};
 pub use snapshot::{load, save, SnapshotError};
 pub use stats::{Statistics, TypeStats};
 pub use view_exec::{

@@ -18,19 +18,159 @@
 use toposem_core::TypeId;
 use toposem_extension::{natural_join, Database, Instance, Relation, Value};
 
+/// A selection predicate on one attribute: equality or a range
+/// comparison under the total [`Ord`] on [`Value`] (integers before
+/// strings before booleans, then the natural order within a variant —
+/// the same order `OrdIndex` sorts by, so indexed and naive evaluation
+/// cannot disagree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `attr = v`.
+    Eq(Value),
+    /// `attr < v`.
+    Lt(Value),
+    /// `attr ≤ v`.
+    Le(Value),
+    /// `attr > v`.
+    Gt(Value),
+    /// `attr ≥ v`.
+    Ge(Value),
+    /// `lo ≤ attr ≤ hi` (inclusive on both ends).
+    Between(Value, Value),
+}
+
+impl Predicate {
+    /// Does `v` satisfy this predicate?
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Predicate::Eq(w) => v == w,
+            Predicate::Lt(w) => v < w,
+            Predicate::Le(w) => v <= w,
+            Predicate::Gt(w) => v > w,
+            Predicate::Ge(w) => v >= w,
+            Predicate::Between(lo, hi) => lo <= v && v <= hi,
+        }
+    }
+
+    /// The sought value when this is an equality predicate.
+    pub fn as_eq(&self) -> Option<&Value> {
+        match self {
+            Predicate::Eq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The predicate as inclusive/exclusive interval bounds:
+    /// `(lower, upper)`, each `Some((value, inclusive))` when bounded.
+    /// Equality is the degenerate interval `[v, v]`.
+    pub fn bounds(&self) -> (PredBound<'_>, PredBound<'_>) {
+        match self {
+            Predicate::Eq(v) => (Some((v, true)), Some((v, true))),
+            Predicate::Lt(v) => (None, Some((v, false))),
+            Predicate::Le(v) => (None, Some((v, true))),
+            Predicate::Gt(v) => (Some((v, false)), None),
+            Predicate::Ge(v) => (Some((v, true)), None),
+            Predicate::Between(lo, hi) => (Some((lo, true)), Some((hi, true))),
+        }
+    }
+
+    /// True when no value can satisfy the predicate (an inverted
+    /// `Between`).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Predicate::Between(lo, hi) => lo > hi,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::Eq(v) => write!(f, "= {v}"),
+            Predicate::Lt(v) => write!(f, "< {v}"),
+            Predicate::Le(v) => write!(f, "≤ {v}"),
+            Predicate::Gt(v) => write!(f, "> {v}"),
+            Predicate::Ge(v) => write!(f, "≥ {v}"),
+            Predicate::Between(lo, hi) => write!(f, "∈ [{lo}, {hi}]"),
+        }
+    }
+}
+
+/// One interval bound of a [`Predicate`]: the bounding value and whether
+/// it is inclusive; `None` means unbounded on that side.
+pub type PredBound<'a> = Option<(&'a Value, bool)>;
+
+/// The intersection of predicate intervals on one attribute: an owned
+/// `(value, inclusive)` bound on each side, tightened one predicate at a
+/// time. This is the single home of the inclusive/exclusive bound-merge
+/// rules — the planner's emptiness proof (dead-branch elimination) and
+/// its ordered-index range seeks both build on it, so they cannot
+/// disagree about which values a conjunction admits.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound; `None` = unbounded below.
+    pub lo: Option<(Value, bool)>,
+    /// Upper bound; `None` = unbounded above.
+    pub hi: Option<(Value, bool)>,
+}
+
+impl Interval {
+    /// The full interval (no bounds).
+    pub fn full() -> Self {
+        Interval::default()
+    }
+
+    /// Narrows this interval by `p`'s interval: a higher lower bound is
+    /// tighter (at equal values, exclusive beats inclusive), and
+    /// symmetrically for upper bounds.
+    pub fn tighten(&mut self, p: &Predicate) {
+        let (plo, phi) = p.bounds();
+        if let Some((v, inc)) = plo {
+            let tighter = match &self.lo {
+                None => true,
+                Some((cur, cur_inc)) => v > cur || (v == cur && *cur_inc && !inc),
+            };
+            if tighter {
+                self.lo = Some((v.clone(), inc));
+            }
+        }
+        if let Some((v, inc)) = phi {
+            let tighter = match &self.hi {
+                None => true,
+                Some((cur, cur_inc)) => v < cur || (v == cur && *cur_inc && !inc),
+            };
+            if tighter {
+                self.hi = Some((v.clone(), inc));
+            }
+        }
+    }
+
+    /// True when no value lies in the interval: the lower bound exceeds
+    /// the upper, or they meet with either side exclusive.
+    pub fn is_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Some((l, li)), Some((h, hi))) => l > h || (l == h && !(*li && *hi)),
+            _ => false,
+        }
+    }
+}
+
 /// A query over the database, with its statically-known entity type.
 #[derive(Clone, Debug)]
 pub enum Query {
     /// The extension of an entity type.
     Scan(TypeId),
-    /// Filter by attribute equality; type-preserving.
+    /// Filter by a single-attribute predicate (equality or range);
+    /// type-preserving. Conjunctive multi-attribute selections are
+    /// chains of `Select` nodes — the planner merges them.
     Select {
         /// Input query.
         input: Box<Query>,
         /// Attribute to compare.
         attr: toposem_core::AttrId,
-        /// Value it must equal.
-        value: Value,
+        /// The predicate its value must satisfy.
+        pred: Predicate,
     },
     /// Project onto a generalisation.
     Project {
@@ -96,13 +236,51 @@ impl Query {
         Query::Scan(e)
     }
 
-    /// Convenience: equality selection.
-    pub fn select(self, attr: toposem_core::AttrId, value: Value) -> Query {
+    /// Convenience: selection by an arbitrary predicate.
+    pub fn select_pred(self, attr: toposem_core::AttrId, pred: Predicate) -> Query {
         Query::Select {
             input: Box::new(self),
             attr,
-            value,
+            pred,
         }
+    }
+
+    /// Convenience: equality selection.
+    pub fn select(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        self.select_pred(attr, Predicate::Eq(value))
+    }
+
+    /// Convenience: `attr < v`.
+    pub fn select_lt(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        self.select_pred(attr, Predicate::Lt(value))
+    }
+
+    /// Convenience: `attr ≤ v`.
+    pub fn select_le(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        self.select_pred(attr, Predicate::Le(value))
+    }
+
+    /// Convenience: `attr > v`.
+    pub fn select_gt(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        self.select_pred(attr, Predicate::Gt(value))
+    }
+
+    /// Convenience: `attr ≥ v`.
+    pub fn select_ge(self, attr: toposem_core::AttrId, value: Value) -> Query {
+        self.select_pred(attr, Predicate::Ge(value))
+    }
+
+    /// Convenience: `lo ≤ attr ≤ hi`.
+    pub fn select_between(self, attr: toposem_core::AttrId, lo: Value, hi: Value) -> Query {
+        self.select_pred(attr, Predicate::Between(lo, hi))
+    }
+
+    /// Convenience: conjunctive multi-attribute equality selection —
+    /// one `Select` node per `(attr, value)` pair; the planner merges
+    /// the chain into a single conjunction and matches it against
+    /// composite index prefixes.
+    pub fn select_all(self, preds: &[(toposem_core::AttrId, Value)]) -> Query {
+        preds.iter().fold(self, |q, (a, v)| q.select(*a, v.clone()))
     }
 
     /// Convenience: projection.
@@ -198,9 +376,9 @@ impl Query {
         let schema = db.schema();
         match self {
             Query::Scan(e) => db.extension(*e),
-            Query::Select { input, attr, value } => input
+            Query::Select { input, attr, pred } => input
                 .eval(db)
-                .select(|t: &Instance| t.get(*attr) == Some(value)),
+                .select(|t: &Instance| t.get(*attr).is_some_and(|v| pred.matches(v))),
             Query::Project { input, to } => input.eval(db).project(schema.attrs_of(*to)),
             Query::Join(a, b) => natural_join(schema.attr_count(), &a.eval(db), &b.eval(db)),
             Query::Union(a, b) => {
@@ -262,6 +440,81 @@ mod tests {
         let (t, rel) = q.execute(&db).unwrap();
         assert_eq!(t, person);
         assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn range_selects_are_type_preserving_and_filter_correctly() {
+        let db = loaded_db();
+        let s = db.schema();
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        // ann is 40, bob is 30.
+        let cases = [
+            (Query::scan(employee).select_lt(age, Value::Int(40)), 1),
+            (Query::scan(employee).select_le(age, Value::Int(40)), 2),
+            (Query::scan(employee).select_gt(age, Value::Int(30)), 1),
+            (Query::scan(employee).select_ge(age, Value::Int(30)), 2),
+            (
+                Query::scan(employee).select_between(age, Value::Int(30), Value::Int(39)),
+                1,
+            ),
+            // Inverted bounds: empty, not an error.
+            (
+                Query::scan(employee).select_between(age, Value::Int(40), Value::Int(30)),
+                0,
+            ),
+            // Conjunctive multi-attribute equality.
+            (
+                Query::scan(employee).select_all(&[
+                    (s.attr_id("depname").unwrap(), Value::str("sales")),
+                    (s.attr_id("name").unwrap(), Value::str("ann")),
+                ]),
+                1,
+            ),
+        ];
+        for (q, want) in cases {
+            let (t, rel) = q.execute(&db).unwrap();
+            assert_eq!(t, employee, "range select changed the type of {q:?}");
+            assert_eq!(rel.len(), want, "wrong cardinality for {q:?}");
+        }
+        // A range select on a foreign attribute is rejected like any
+        // other selection.
+        let q = Query::scan(s.type_id("person").unwrap())
+            .select_lt(s.attr_id("budget").unwrap(), Value::Int(10));
+        assert!(matches!(
+            q.entity_type(&db),
+            Err(QueryError::ForeignAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn predicate_matches_and_bounds_agree() {
+        let preds = [
+            Predicate::Eq(Value::Int(5)),
+            Predicate::Lt(Value::Int(5)),
+            Predicate::Le(Value::Int(5)),
+            Predicate::Gt(Value::Int(5)),
+            Predicate::Ge(Value::Int(5)),
+            Predicate::Between(Value::Int(3), Value::Int(7)),
+            Predicate::Between(Value::Int(7), Value::Int(3)),
+        ];
+        for p in &preds {
+            for v in (0..10).map(Value::Int) {
+                // bounds() must describe exactly the set matches() accepts.
+                let (lo, hi) = p.bounds();
+                let in_lo = lo.is_none_or(|(b, inc)| if inc { &v >= b } else { &v > b });
+                let in_hi = hi.is_none_or(|(b, inc)| if inc { &v <= b } else { &v < b });
+                assert_eq!(
+                    p.matches(&v),
+                    in_lo && in_hi,
+                    "bounds/matches disagree for {p:?} at {v:?}"
+                );
+            }
+        }
+        assert!(Predicate::Between(Value::Int(7), Value::Int(3)).is_empty());
+        assert!(!Predicate::Between(Value::Int(3), Value::Int(3)).is_empty());
+        assert_eq!(Predicate::Eq(Value::Int(1)).as_eq(), Some(&Value::Int(1)));
+        assert_eq!(Predicate::Lt(Value::Int(1)).as_eq(), None);
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! Per-type statistics feeding the planner's cost model.
 //!
-//! EMBANKS-style access-path selection needs two numbers per relation:
-//! its cardinality and, per attribute, how many distinct values occur
-//! (equality selectivity ≈ 1/distinct under the uniformity assumption).
-//! Collection is exact — extensions here are in-memory — and the engine
-//! caches the result, invalidating on any mutation, so statistics cost is
-//! amortised across a query workload.
+//! EMBANKS-style access-path selection needs, per relation: its
+//! cardinality; per attribute, how many distinct values occur (equality
+//! selectivity ≈ 1/distinct under the uniformity assumption); and — for
+//! range predicates — the attribute's min and max, so an interval's
+//! selectivity can be interpolated instead of guessed. Collection is
+//! exact — extensions here are in-memory — and the engine caches the
+//! result, invalidating on any mutation, so statistics cost is amortised
+//! across a query workload.
 
 use toposem_core::{AttrId, TypeId};
-use toposem_extension::Database;
+use toposem_extension::{Database, Value};
 
-use crate::index::HashIndex;
+use crate::index::Index;
+use crate::query::Predicate;
+
+/// Fallback selectivity for a half-open range when the attribute's
+/// bounds are unknown or non-numeric (the classic System R guess).
+const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
 
 /// Statistics of one entity type's extension.
 #[derive(Clone, Debug, Default)]
@@ -20,6 +27,11 @@ pub struct TypeStats {
     /// Distinct value counts, indexed by `AttrId::index()`; zero for
     /// attributes outside the type.
     pub distinct: Vec<usize>,
+    /// Smallest observed value per attribute; `None` when the type lacks
+    /// the attribute or the extension is empty.
+    pub min: Vec<Option<Value>>,
+    /// Largest observed value per attribute.
+    pub max: Vec<Option<Value>>,
 }
 
 /// Statistics for every entity type of a database.
@@ -29,9 +41,10 @@ pub struct Statistics {
 }
 
 impl Statistics {
-    /// Collects exact statistics. Indexes shortcut the distinct count of
-    /// their attribute; other attributes are counted from the extension.
-    pub fn collect(db: &Database, indexes: &[Option<HashIndex>]) -> Statistics {
+    /// Collects exact statistics. Single-attribute indexes shortcut the
+    /// distinct count (and, for ordered indexes, the min/max) of their
+    /// attribute; other attributes are counted from the extension.
+    pub fn collect(db: &Database, indexes: &[Vec<Index>]) -> Statistics {
         let schema = db.schema();
         let n_attrs = schema.attr_count();
         let per_type = schema
@@ -39,22 +52,48 @@ impl Statistics {
             .map(|e| {
                 let rel = db.extension_cow(e);
                 let mut distinct = vec![0usize; n_attrs];
-                let indexed = indexes.get(e.index()).and_then(Option::as_ref);
+                let mut min: Vec<Option<Value>> = vec![None; n_attrs];
+                let mut max: Vec<Option<Value>> = vec![None; n_attrs];
+                // One fused pass fills min/max for every attribute of the
+                // type (rather than one relation scan per attribute).
+                for t in rel.iter() {
+                    for (attr, v) in t.fields() {
+                        let a = attr.index();
+                        if min[a].as_ref().is_none_or(|m| v < m) {
+                            min[a] = Some(v.clone());
+                        }
+                        if max[a].as_ref().is_none_or(|m| v > m) {
+                            max[a] = Some(v.clone());
+                        }
+                    }
+                }
+                let type_indexes = indexes.get(e.index()).map(Vec::as_slice).unwrap_or(&[]);
                 for a in schema.attrs_of(e).iter() {
                     let attr = AttrId(a as u32);
-                    distinct[a] = match indexed {
-                        // The index mirrors the stored relation, which is
-                        // the extension under eager maintenance (the only
-                        // policy under which indexes are consulted).
-                        Some(idx) if idx.attr() == attr && idx.len() == rel.len() => {
-                            idx.distinct_values()
+                    // A single-attribute index shortcuts the distinct
+                    // count. The index mirrors the stored relation, which
+                    // is the extension under eager maintenance (the only
+                    // policy under which indexes are consulted); trust it
+                    // only when the sizes agree.
+                    let shortcut = type_indexes.iter().find_map(|i| match i {
+                        Index::Hash(h) if h.attr() == attr && h.len() == rel.len() => {
+                            Some(h.distinct_values())
                         }
-                        _ => rel.distinct_count(attr),
+                        Index::Ord(o) if o.attr() == attr && o.len() == rel.len() => {
+                            Some(o.distinct_values())
+                        }
+                        _ => None,
+                    });
+                    distinct[a] = match shortcut {
+                        Some(d) => d,
+                        None => rel.distinct_count(attr),
                     };
                 }
                 TypeStats {
                     cardinality: rel.len(),
                     distinct,
+                    min,
+                    max,
                 }
             })
             .collect();
@@ -71,10 +110,52 @@ impl Statistics {
         self.per_type[e.index()].distinct[a.index()]
     }
 
+    /// Smallest observed value of `a` within `e`'s extension.
+    pub fn min(&self, e: TypeId, a: AttrId) -> Option<&Value> {
+        self.per_type[e.index()].min[a.index()].as_ref()
+    }
+
+    /// Largest observed value of `a` within `e`'s extension.
+    pub fn max(&self, e: TypeId, a: AttrId) -> Option<&Value> {
+        self.per_type[e.index()].max[a.index()].as_ref()
+    }
+
     /// Estimated fraction of `e`'s tuples matching an equality predicate
     /// on `a`, assuming uniformity.
     pub fn selectivity(&self, e: TypeId, a: AttrId) -> f64 {
         1.0 / self.distinct_count(e, a).max(1) as f64
+    }
+
+    /// Estimated fraction of `e`'s tuples matching `pred` on `a`.
+    /// Equality uses 1/distinct; ranges over integer attributes
+    /// interpolate against the observed [min, max] span; anything else
+    /// falls back to the classic 1/3 guess.
+    pub fn pred_selectivity(&self, e: TypeId, a: AttrId, pred: &Predicate) -> f64 {
+        if pred.is_empty() {
+            return 0.0;
+        }
+        if pred.as_eq().is_some() {
+            return self.selectivity(e, a);
+        }
+        let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (self.min(e, a), self.max(e, a)) else {
+            return DEFAULT_RANGE_SELECTIVITY;
+        };
+        let (lo, hi) = (*lo as f64, *hi as f64);
+        let span = hi - lo;
+        if span <= 0.0 {
+            // Single observed value: either the predicate admits it or
+            // not; split the difference conservatively.
+            return 0.5;
+        }
+        let bound = |b: Option<(&Value, bool)>, default: f64| match b {
+            Some((Value::Int(v), _)) => (*v as f64).clamp(lo, hi),
+            Some(_) => default,
+            None => default,
+        };
+        let (plo, phi) = pred.bounds();
+        let covered = (bound(phi, hi) - bound(plo, lo)).max(0.0);
+        // Never estimate below one matching value's worth.
+        (covered / span).clamp(1.0 / self.cardinality(e).max(1) as f64, 1.0)
     }
 }
 
@@ -126,5 +207,57 @@ mod tests {
             stats.distinct_count(employee, s.attr_id("budget").unwrap()),
             0
         );
+    }
+
+    #[test]
+    fn min_max_and_range_selectivity() {
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        for i in 0..100i64 {
+            db.insert_fields(
+                employee,
+                &[
+                    ("name", Value::str(&format!("p{i}"))),
+                    ("age", Value::Int(i)),
+                    ("depname", Value::str("sales")),
+                ],
+            )
+            .unwrap();
+        }
+        let stats = Statistics::collect(&db, &[]);
+        assert_eq!(stats.min(employee, age), Some(&Value::Int(0)));
+        assert_eq!(stats.max(employee, age), Some(&Value::Int(99)));
+        // A 10% slice of the span estimates near 0.1.
+        let sel = stats.pred_selectivity(
+            employee,
+            age,
+            &Predicate::Between(Value::Int(10), Value::Int(20)),
+        );
+        assert!((0.05..0.2).contains(&sel), "got {sel}");
+        // An unbounded-below range covering ~half the span.
+        let half = stats.pred_selectivity(employee, age, &Predicate::Lt(Value::Int(50)));
+        assert!((0.4..0.6).contains(&half), "got {half}");
+        // Equality defers to 1/distinct.
+        let eq = stats.pred_selectivity(employee, age, &Predicate::Eq(Value::Int(7)));
+        assert!((eq - 0.01).abs() < 1e-9, "got {eq}");
+        // An inverted Between is provably empty.
+        assert_eq!(
+            stats.pred_selectivity(
+                employee,
+                age,
+                &Predicate::Between(Value::Int(9), Value::Int(1))
+            ),
+            0.0
+        );
+        // Non-numeric attributes fall back to the default guess.
+        let name = s.attr_id("name").unwrap();
+        let guess = stats.pred_selectivity(employee, name, &Predicate::Ge(Value::str("p5")));
+        assert!((guess - DEFAULT_RANGE_SELECTIVITY).abs() < 1e-9);
     }
 }

@@ -28,7 +28,7 @@ pub mod log;
 pub mod record;
 
 pub use crate::log::{read_checkpoint, scan, CheckpointMeta, LogScan, Wal};
-pub use crate::record::{WalEntry, WalRecord};
+pub use crate::record::{IndexDef, IndexKindDef, WalEntry, WalRecord};
 
 /// When commit records reach the disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -24,14 +24,20 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::record::{decode_record, encode_record, Decoded, WalEntry, WalRecord};
+use crate::record::{decode_record, encode_record, Decoded, IndexDef, WalEntry, WalRecord};
 use crate::{FlushPolicy, WalConfig, WalError};
 
 const SEG_MAGIC: &[u8; 8] = b"TSWALSEG";
-const SEG_VERSION: u32 = 1;
+// Version 2: `CreateIndex` records carry an `IndexDef` (kind + attribute
+// list) instead of a single attribute name, and checkpoint meta's
+// `indexes` field holds `IndexDef`s. Version-1 logs are rejected with an
+// explicit unsupported-version error rather than misdecoded (a v1
+// `CreateIndex` payload would otherwise read as a torn/corrupt record
+// and silently truncate the committed suffix behind it).
+const SEG_VERSION: u32 = 2;
 const SEG_HEADER_LEN: usize = 20; // magic(8) + version(4) + first_lsn(8)
 const CKPT_MAGIC: &str = "TOPOSEM-WAL-CKPT";
-const CKPT_VERSION: u32 = 1;
+const CKPT_VERSION: u32 = 2;
 const CKPT_NAME: &str = "checkpoint.snap";
 const CKPT_TMP_NAME: &str = "checkpoint.tmp";
 
@@ -48,9 +54,10 @@ pub struct CheckpointMeta {
     /// First transaction id to allocate after recovery from this
     /// checkpoint.
     pub next_txn: u64,
-    /// Index definitions live outside the snapshot payload; named
-    /// `(entity, attribute)` pairs so recovery can rebuild them.
-    pub indexes: Vec<(String, String)>,
+    /// Index definitions live outside the snapshot payload; each names
+    /// its entity, kind, and attribute list so recovery can rebuild
+    /// hash, ordered, and composite indexes alike.
+    pub indexes: Vec<IndexDef>,
     /// Declared functional dependencies, as named `(lhs, rhs, context)`
     /// triples, so recovery restores enforcement.
     pub fds: Vec<(String, String, String)>,
@@ -128,6 +135,15 @@ fn corrupt(segment: &Path, offset: usize, reason: &str) -> WalError {
     }
 }
 
+/// The version-stable prefix of a checkpoint header: decoded first so a
+/// header whose *other* fields changed shape across versions still
+/// reports "unsupported version N" instead of a decode error.
+#[derive(Debug, Deserialize)]
+struct CheckpointProbe {
+    magic: String,
+    version: u32,
+}
+
 /// Reads the checkpoint file of `dir`.
 pub fn read_checkpoint(dir: &Path) -> Result<(CheckpointMeta, Vec<u8>), WalError> {
     let path = dir.join(CKPT_NAME);
@@ -140,20 +156,22 @@ pub fn read_checkpoint(dir: &Path) -> Result<(CheckpointMeta, Vec<u8>), WalError
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| WalError::BadCheckpoint("missing header line".into()))?;
-    let meta: CheckpointMeta = serde_json::from_slice(&bytes[..nl])
+    let probe: CheckpointProbe = serde_json::from_slice(&bytes[..nl])
         .map_err(|e| WalError::BadCheckpoint(format!("undecodable header: {e}")))?;
-    if meta.magic != CKPT_MAGIC {
+    if probe.magic != CKPT_MAGIC {
         return Err(WalError::BadCheckpoint(format!(
             "bad magic {:?}",
-            meta.magic
+            probe.magic
         )));
     }
-    if meta.version != CKPT_VERSION {
+    if probe.version != CKPT_VERSION {
         return Err(WalError::BadCheckpoint(format!(
             "unsupported version {}",
-            meta.version
+            probe.version
         )));
     }
+    let meta: CheckpointMeta = serde_json::from_slice(&bytes[..nl])
+        .map_err(|e| WalError::BadCheckpoint(format!("undecodable header: {e}")))?;
     Ok((meta, bytes[nl + 1..].to_vec()))
 }
 
@@ -419,7 +437,7 @@ impl Wal {
     pub fn checkpoint(
         &mut self,
         snapshot: &[u8],
-        indexes: &[(String, String)],
+        indexes: &[IndexDef],
         fds: &[(String, String, String)],
     ) -> Result<(), WalError> {
         self.flush()?;

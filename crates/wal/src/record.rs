@@ -28,6 +28,32 @@ pub struct WalRecord {
     pub entry: WalEntry,
 }
 
+/// The kind of secondary index a [`IndexDef`] describes. The log only
+/// names the kind; building the right structure is the storage layer's
+/// job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexKindDef {
+    /// Hash index on a single attribute (point lookups).
+    Hash,
+    /// Ordered (BTree) index on a single attribute (point + range).
+    Ordered,
+    /// Composite ordered index over several attributes (prefix lookups).
+    Composite,
+}
+
+/// A logged index definition: entity type, index kind, and the indexed
+/// attributes — all by *name*, so the definition survives schema-id
+/// renumbering (same rationale as [`LogicalOp`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Entity type name.
+    pub entity: String,
+    /// What structure backs the index.
+    pub kind: IndexKindDef,
+    /// Indexed attribute names; order is significant for composites.
+    pub attrs: Vec<String>,
+}
+
 /// The logical operations the engine logs.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WalEntry {
@@ -69,12 +95,11 @@ pub enum WalEntry {
         next_txn: u64,
     },
     /// An index definition (non-transactional; named so it survives
-    /// id renumbering).
+    /// id renumbering). Carries the index kind and attribute list so
+    /// recovery rebuilds ordered and composite indexes, not just hashes.
     CreateIndex {
-        /// Entity type name.
-        entity: String,
-        /// Indexed attribute name.
-        attr: String,
+        /// The logged definition.
+        def: IndexDef,
     },
     /// A declared functional dependency `fd(lhs, rhs, context)`
     /// (non-transactional; entity type names, so recovery can restore

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use toposem_extension::LogicalOp;
-use toposem_wal::{scan, FlushPolicy, Wal, WalConfig, WalEntry, WalError};
+use toposem_wal::{scan, FlushPolicy, IndexDef, IndexKindDef, Wal, WalConfig, WalEntry, WalError};
 
 fn temp_dir(tag: &str) -> PathBuf {
     static N: AtomicU64 = AtomicU64::new(0);
@@ -54,15 +54,30 @@ fn last_segment(dir: &PathBuf) -> PathBuf {
 fn append_checkpoint_scan_roundtrip() {
     let dir = temp_dir("roundtrip");
     let mut wal = Wal::create(&dir, WalConfig::default()).unwrap();
-    wal.checkpoint(b"snapshot-0", &[("person".into(), "name".into())], &[])
-        .unwrap();
+    wal.checkpoint(
+        b"snapshot-0",
+        &[IndexDef {
+            entity: "person".into(),
+            kind: IndexKindDef::Ordered,
+            attrs: vec!["name".into()],
+        }],
+        &[],
+    )
+    .unwrap();
     commit_one(&mut wal, "ann");
     commit_one(&mut wal, "bob");
     drop(wal);
 
     let s = scan(&dir).unwrap();
     assert_eq!(s.snapshot, b"snapshot-0");
-    assert_eq!(s.meta.indexes, vec![("person".into(), "name".into())]);
+    assert_eq!(
+        s.meta.indexes,
+        vec![IndexDef {
+            entity: "person".into(),
+            kind: IndexKindDef::Ordered,
+            attrs: vec!["name".into()],
+        }]
+    );
     assert!(!s.torn_tail);
     // Checkpoint marker + 2 × (Begin, Insert, Commit).
     assert_eq!(s.records.len(), 7);
@@ -87,6 +102,34 @@ fn create_refuses_existing_log_and_scan_requires_checkpoint() {
     // A segment without a checkpoint is unrecoverable by design: the
     // engine always checkpoints at bootstrap.
     assert!(matches!(scan(&dir), Err(WalError::NoCheckpoint)));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn version_1_checkpoint_is_rejected_explicitly() {
+    // A pre-IndexDef (version 1) checkpoint header must fail with an
+    // explicit unsupported-version error — not an opaque decode error,
+    // and never a silent misread (its `indexes` field has a different
+    // shape).
+    let dir = temp_dir("v1-ckpt");
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("checkpoint.snap"),
+        concat!(
+            "{\"magic\":\"TOPOSEM-WAL-CKPT\",\"version\":1,\"next_lsn\":0,",
+            "\"next_txn\":0,\"indexes\":[[\"person\",\"name\"]],\"fds\":[]}\npayload"
+        ),
+    )
+    .unwrap();
+    match scan(&dir) {
+        Err(WalError::BadCheckpoint(why)) => {
+            assert!(
+                why.contains("unsupported version 1"),
+                "expected an unsupported-version error, got: {why}"
+            );
+        }
+        other => panic!("v1 checkpoint must be rejected, got {other:?}"),
+    }
     fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -40,12 +40,39 @@ fn main() {
         )
         .unwrap();
     }
+    let age = s.attr_id("age").unwrap();
     eng.create_index(employee, name).unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    eng.create_composite_index(employee, &[depname, name])
+        .unwrap();
+    eng.create_composite_index(employee, &[name, age]).unwrap();
 
     let queries = [
         (
-            "point lookup",
+            "point lookup (hash index)",
             Query::scan(employee).select(name, Value::str("w1234")),
+        ),
+        (
+            "range seek (ordered index)",
+            Query::scan(employee).select_between(age, Value::Int(30), Value::Int(33)),
+        ),
+        (
+            "half-open range seek",
+            Query::scan(employee).select_ge(age, Value::Int(110)),
+        ),
+        (
+            // The optimizer weighs the composite prefix against the
+            // unique hash index on name and picks the cheaper seek.
+            "conjunctive multi-attribute equality",
+            Query::scan(employee)
+                .select(depname, Value::str("sales"))
+                .select(name, Value::str("w42")),
+        ),
+        (
+            "index-only scan (covering composite)",
+            Query::scan(employee)
+                .select_lt(age, Value::Int(20))
+                .project(person),
         ),
         (
             "join + pushdown",
@@ -60,8 +87,14 @@ fn main() {
                 .project(person),
         ),
         (
-            "dead branch",
+            "dead branch (off-domain constant)",
             Query::scan(employee).select(depname, Value::str("piracy")),
+        ),
+        (
+            "dead branch (disjoint ranges)",
+            Query::scan(employee)
+                .select_lt(age, Value::Int(20))
+                .select_gt(age, Value::Int(90)),
         ),
     ];
     for (label, q) in queries {
