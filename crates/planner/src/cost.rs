@@ -82,18 +82,24 @@ pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
             ty,
             attrs,
             prefix,
+            suffix,
             residual,
         } => {
             let n = stats.cardinality(*ty) as f64;
             // Each equality-bound prefix attribute narrows by its own
-            // distinct count (independence assumption), never below one
-            // tuple's worth.
+            // distinct count (independence assumption); a range suffix
+            // on the next key attribute narrows further by the range's
+            // interpolated selectivity. Never below one tuple's worth.
             let prefix_sel: f64 = attrs
                 .iter()
                 .take(prefix.len())
                 .map(|a| stats.selectivity(*ty, *a))
                 .product();
-            let touched = (n * prefix_sel).max(1.0_f64.min(n));
+            let suffix_sel = match suffix {
+                Some(iv) => range_selectivity(*ty, attrs[prefix.len()], &iv.lo, &iv.hi, stats),
+                None => 1.0,
+            };
+            let touched = (n * prefix_sel * suffix_sel).max(1.0_f64.min(n));
             Estimate {
                 rows: touched * conj_selectivity(*ty, residual, stats),
                 cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched,
@@ -141,16 +147,37 @@ pub fn estimate(plan: &Physical, stats: &Statistics) -> Estimate {
                 cost: e.cost + e.rows,
             }
         }
-        Physical::HashJoin { build, probe, .. } => {
+        Physical::HashJoin {
+            build, probe, keys, ..
+        } => {
             let b = estimate(build, stats);
             let p = estimate(probe, stats);
-            // Join on shared attributes: assume the smaller side's keys all
-            // find partners spread over the larger side (containment-style
-            // estimate, reasonable under the ISA discipline).
-            let rows = b.rows.min(p.rows).max(0.0);
+            let rows = stats.join_cardinality(build.ty(), b.rows, probe.ty(), p.rows, keys);
             Estimate {
                 rows,
                 cost: b.cost + p.cost + b.rows + HASH_PROBE_COST * p.rows + rows,
+            }
+        }
+        Physical::MergeJoin {
+            left, right, keys, ..
+        } => {
+            let l = estimate(left, stats);
+            let r = estimate(right, stats);
+            let rows = stats.join_cardinality(left.ty(), l.rows, right.ty(), r.rows, keys);
+            // Both inputs arrive sorted, so the merge touches each input
+            // tuple once — no hash build, no per-probe overhead.
+            Estimate {
+                rows,
+                cost: l.cost + r.cost + l.rows + r.rows + rows,
+            }
+        }
+        Physical::Sort { input, .. } => {
+            let e = estimate(input, stats);
+            // Comparison sort over the materialised input.
+            let n = e.rows.max(2.0);
+            Estimate {
+                rows: e.rows,
+                cost: e.cost + e.rows * n.log2(),
             }
         }
         Physical::Union { left, right, .. } => {

@@ -15,11 +15,11 @@
 //! (a scoped-thread morsel scheme), each thread filtering its share before
 //! batches are forwarded.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use toposem_core::AttrId;
 use toposem_extension::{Database, Instance, Relation, Value};
-use toposem_storage::{Index, Predicate};
+use toposem_storage::{cmp_by_keys, Index, Predicate, SortDir};
 
 use crate::physical::{Physical, BATCH_SIZE};
 
@@ -37,6 +37,64 @@ pub fn execute(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Relati
         }
     });
     out
+}
+
+/// Executes a physical plan and returns the result as an *ordered*
+/// sequence: tuples in arrival order, deduplicated (results are sets).
+/// The planner guarantees the plan's output order satisfies the query's
+/// root `OrderBy` — an order-carrying access path or a `Sort` enforcer —
+/// so arrival order *is* the requested order.
+pub fn execute_ordered(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Vec<Instance> {
+    let mut out: Vec<Instance> = Vec::new();
+    let mut seen: HashSet<Instance> = HashSet::new();
+    for_each_batch(plan, db, indexes, &mut |batch| {
+        for t in batch.drain(..) {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+    });
+    out
+}
+
+/// Whether every index access path in `plan` is still backed by a live
+/// index of the snapshot — the mirror of the executor's index lookups.
+/// `Engine::drop_index` can remove an index between a cached plan's
+/// epoch check and its execution; executing a cached plan is therefore
+/// gated on this check (under the same lock acquisition as the
+/// execution itself), and a miss falls back to replanning instead of
+/// panicking in the executor.
+pub fn plan_supported(plan: &Physical, indexes: &[Vec<Index>]) -> bool {
+    match plan {
+        Physical::Empty { .. } | Physical::SeqScan { .. } => true,
+        Physical::IndexSeek { ty, attr, .. } => indexes_of(indexes, *ty).iter().any(|idx| {
+            matches!(idx, Index::Hash(h) if h.attr() == *attr)
+                || matches!(idx, Index::Ord(o) if o.attr() == *attr)
+        }),
+        Physical::IndexRangeSeek { ty, attr, .. } => indexes_of(indexes, *ty)
+            .iter()
+            .any(|idx| matches!(idx, Index::Ord(o) if o.attr() == *attr)),
+        Physical::CompositeSeek { ty, attrs, .. } => indexes_of(indexes, *ty)
+            .iter()
+            .any(|idx| matches!(idx, Index::Composite(c) if c.attrs() == attrs)),
+        Physical::IndexOnlyScan {
+            ty,
+            key_attrs,
+            ordered,
+            ..
+        } => indexes_of(indexes, *ty)
+            .iter()
+            .any(|idx| idx.attrs() == *key_attrs && (!ordered || !matches!(idx, Index::Hash(_)))),
+        Physical::Filter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Sort { input, .. } => plan_supported(input, indexes),
+        Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
+            plan_supported(build, indexes) && plan_supported(probe, indexes)
+        }
+        Physical::MergeJoin { left, right, .. } | Physical::Union { left, right, .. } => {
+            plan_supported(left, indexes) && plan_supported(right, indexes)
+        }
+    }
 }
 
 fn matches(t: &Instance, preds: &[(AttrId, Predicate)]) -> bool {
@@ -122,23 +180,36 @@ fn for_each_batch(
             ty,
             attrs,
             prefix,
+            suffix,
             residual,
         } => {
             let comp = indexes_of(indexes, *ty)
                 .iter()
                 .find_map(|idx| idx.as_composite().filter(|c| c.attrs() == attrs))
                 .expect("planner chose CompositeSeek only when the composite index exists");
-            stream_filtered(comp.lookup_prefix(prefix), residual, sink);
+            match suffix {
+                Some(iv) => {
+                    let lo = iv.lo.as_ref().map(|(v, inc)| (v, *inc));
+                    let hi = iv.hi.as_ref().map(|(v, inc)| (v, *inc));
+                    stream_filtered(comp.lookup_prefix_range(prefix, lo, hi), residual, sink);
+                }
+                None => stream_filtered(comp.lookup_prefix(prefix), residual, sink),
+            }
         }
         Physical::IndexOnlyScan {
             ty,
             to,
             key_attrs,
+            ordered,
             preds,
         } => {
+            // An ordered plan must walk an ordered structure — a hash
+            // index on the same attribute would return keys unsorted.
             let idx = indexes_of(indexes, *ty)
                 .iter()
-                .find(|idx| idx.attrs() == *key_attrs)
+                .find(|idx| {
+                    idx.attrs() == *key_attrs && (!ordered || !matches!(idx, Index::Hash(_)))
+                })
                 .expect("planner chose IndexOnlyScan only when the covering index exists");
             let target = db.schema().attrs_of(*to);
             let mut batch = Vec::with_capacity(BATCH_SIZE);
@@ -210,17 +281,13 @@ fn for_each_batch(
                 sink(&mut projected);
             });
         }
-        Physical::HashJoin { build, probe, .. } => {
-            // Shared attributes of the two input types, in id order.
-            let schema = db.schema();
-            let shared = schema
-                .attrs_of(build.ty())
-                .intersection(schema.attrs_of(probe.ty()));
+        Physical::HashJoin {
+            build, probe, keys, ..
+        } => {
+            // The natural-join key: shared attributes of the two input
+            // types, computed by the planner in id order.
             let key_of = |t: &Instance| -> Vec<Value> {
-                shared
-                    .iter()
-                    .filter_map(|a| t.get(AttrId(a as u32)).cloned())
-                    .collect()
+                keys.iter().filter_map(|a| t.get(*a).cloned()).collect()
             };
             // Materialise the build side into a hash table.
             let mut table: HashMap<Vec<Value>, Vec<Instance>> = HashMap::new();
@@ -246,6 +313,79 @@ fn for_each_batch(
             });
             if !out.is_empty() {
                 sink(&mut out);
+            }
+        }
+        Physical::MergeJoin {
+            left, right, keys, ..
+        } => {
+            // Both inputs arrive sorted on `keys` (an order-carrying
+            // access path, an order-preserving pipeline, or an explicit
+            // Sort enforcer below). Materialise each side and match
+            // equal-key groups pairwise.
+            let sorted_keys: Vec<(AttrId, SortDir)> =
+                keys.iter().map(|a| (*a, SortDir::Asc)).collect();
+            let collect = |side: &Physical| {
+                let mut rows: Vec<Instance> = Vec::new();
+                for_each_batch(side, db, indexes, &mut |batch| rows.append(batch));
+                debug_assert!(
+                    rows.windows(2)
+                        .all(|w| cmp_by_keys(&w[0], &w[1], &sorted_keys)
+                            != std::cmp::Ordering::Greater),
+                    "merge-join input not sorted on its keys"
+                );
+                rows
+            };
+            let lrows = collect(left);
+            let rrows = collect(right);
+            let group_end = |rows: &[Instance], start: usize| {
+                let mut end = start + 1;
+                while end < rows.len()
+                    && cmp_by_keys(&rows[start], &rows[end], &sorted_keys)
+                        == std::cmp::Ordering::Equal
+                {
+                    end += 1;
+                }
+                end
+            };
+            let mut out = Vec::with_capacity(BATCH_SIZE);
+            let (mut i, mut j) = (0, 0);
+            while i < lrows.len() && j < rrows.len() {
+                match cmp_by_keys(&lrows[i], &rrows[j], &sorted_keys) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let (i2, j2) = (group_end(&lrows, i), group_end(&rrows, j));
+                        for l in &lrows[i..i2] {
+                            for r in &rrows[j..j2] {
+                                out.push(l.merge(r));
+                                if out.len() == BATCH_SIZE {
+                                    sink(&mut out);
+                                    out.clear();
+                                }
+                            }
+                        }
+                        i = i2;
+                        j = j2;
+                    }
+                }
+            }
+            if !out.is_empty() {
+                sink(&mut out);
+            }
+        }
+        Physical::Sort { input, keys } => {
+            let mut rows: Vec<Instance> = Vec::new();
+            for_each_batch(input, db, indexes, &mut |batch| rows.append(batch));
+            // Stable, so an input order on a longer key list survives as
+            // the tie-break.
+            rows.sort_by(|a, b| cmp_by_keys(a, b, keys));
+            let mut iter = rows.into_iter();
+            loop {
+                let mut batch: Vec<Instance> = iter.by_ref().take(BATCH_SIZE).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                sink(&mut batch);
             }
         }
         Physical::Union { left, right, .. } => {

@@ -17,14 +17,20 @@
 //!    is always an instance set of a declared entity type.
 //! 2. **[`cost`]** — cardinality/cost estimation over the engine's
 //!    [`toposem_storage::Statistics`] layer (per-type cardinalities,
-//!    per-attribute distinct counts, min/max spans for range
-//!    selectivity), driving access-path selection and build-side choice.
-//! 3. **[`physical`] / [`exec`]** — physical operators (`IndexSeek`,
+//!    per-attribute distinct counts feeding join cardinalities, min/max
+//!    spans for range selectivity), driving access-path selection,
+//!    build-side choice, and join reordering.
+//! 3. **[`physical`] / [`exec`]** — *property-aware* physical planning:
+//!    every operator advertises its output sort order, each logical node
+//!    compiles to a non-dominated (cost, order) candidate frontier, and
+//!    multi-way joins are reordered by DPsize over the sanctioned subset
+//!    lattice (greedy above 8 relations). Operators: `IndexSeek`,
 //!    `IndexRangeSeek` over ordered indexes, `CompositeSeek` over
-//!    composite-index prefixes, `IndexOnlyScan` over covering indexes,
-//!    `SeqScan`, `Filter`, `Project`, `HashJoin`, `Union`, `Intersect`)
-//!    executed as a push-based batch pipeline; the `parallel` feature adds
-//!    a scoped-thread parallel scan path.
+//!    composite-index prefixes + range suffixes, `IndexOnlyScan` over
+//!    covering indexes, `SeqScan`, `Filter`, `Project`, `HashJoin`,
+//!    `MergeJoin` (consuming carried order), `Sort` (enforcing it),
+//!    `Union`, `Intersect` — executed as a push-based batch pipeline;
+//!    the `parallel` feature adds a scoped-thread parallel scan path.
 //!
 //! The entry point is [`PlannedExecution::query_planned`] on
 //! [`toposem_storage::Engine`]:
@@ -75,6 +81,14 @@
 //! let (_, rel) = eng.query_planned(&r).unwrap();
 //! assert_eq!(rel.len(), 2); // bob (30) and carol (25)
 //! assert!(eng.explain(&r).unwrap().contains("IndexRangeSeek"));
+//!
+//! // An ascending order-by over the ordered index is carried, not
+//! // enforced — the ordered entry point returns the sequence:
+//! let o = Query::scan(employee).order_by_asc(age);
+//! let (_, seq) = eng.query_planned_ordered(&o).unwrap();
+//! let ages: Vec<_> = seq.iter().map(|t| t.get(age).cloned().unwrap()).collect();
+//! assert_eq!(ages, vec![Value::Int(25), Value::Int(30), Value::Int(35), Value::Int(40)]);
+//! assert!(!eng.explain(&o).unwrap().contains("Sort"));
 //! ```
 
 pub mod cost;
@@ -85,13 +99,13 @@ pub mod physical;
 use std::sync::Arc;
 
 use toposem_core::TypeId;
-use toposem_extension::Relation;
+use toposem_extension::{Instance, Relation};
 use toposem_storage::{Engine, Query, QueryError};
 
 pub use cost::{estimate, Estimate};
-pub use exec::execute;
+pub use exec::{execute, execute_ordered, plan_supported};
 pub use logical::{lower_and_rewrite, Logical};
-pub use physical::{plan, Physical, BATCH_SIZE};
+pub use physical::{order_satisfies, plan, plan_with, Physical, PlannerOptions, BATCH_SIZE};
 
 /// Planned execution of sanctioned queries — implemented for
 /// [`Engine`], giving it the `query_planned` entry point.
@@ -112,6 +126,15 @@ pub trait PlannedExecution {
     /// rewrite+costing entirely.
     fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError>;
 
+    /// Plans and executes `q`, returning its tuples as a sequence
+    /// honouring the query's root [`Query::OrderBy`] (when it has one):
+    /// the planner either picks an order-carrying access path — index
+    /// walks and merge joins emit sorted output for free — or inserts a
+    /// `Sort` enforcer. The sequence is deduplicated (results are sets
+    /// with a presentation order). Shares the plan cache with
+    /// [`PlannedExecution::query_planned`].
+    fn query_planned_ordered(&self, q: &Query) -> Result<(TypeId, Vec<Instance>), QueryError>;
+
     /// Renders the chosen physical plan with cost estimates and the plan
     /// cache's hit/miss counters.
     fn explain(&self, q: &Query) -> Result<String, QueryError>;
@@ -127,41 +150,70 @@ struct CachedPlan {
     physical: Physical,
 }
 
-impl PlannedExecution for Engine {
-    fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError> {
-        // Epoch before statistics: a mutation in between invalidates the
-        // epoch, so a stale plan can be cached but never *stored* as
-        // current (plan_cache_store re-checks the epoch).
-        let epoch = self.statistics_epoch();
-        let query_repr = format!("{q:?}");
-        let fingerprint = Query::fingerprint_str(&query_repr);
-        if let Some(cached) = self.plan_cache_lookup(fingerprint, epoch) {
-            if let Some(entry) = cached.downcast_ref::<CachedPlan>() {
-                if entry.query_repr == query_repr {
-                    let physical = &entry.physical;
-                    return self.with_parts(|db, indexes| {
-                        Ok((physical.ty(), execute(physical, db, indexes)))
-                    });
+/// The shared plan-then-run path behind both execution entry points:
+/// consult the plan cache, otherwise lower/rewrite/plan and cache the
+/// result, and hand the physical plan (with a consistent database +
+/// index snapshot) to `run`.
+fn with_planned<R>(
+    eng: &Engine,
+    q: &Query,
+    run: impl Fn(&Physical, &toposem_extension::Database, &[Vec<toposem_storage::Index>]) -> R,
+) -> Result<(TypeId, R), QueryError> {
+    // Epoch before statistics: a mutation in between invalidates the
+    // epoch, so a stale plan can be cached but never *stored* as
+    // current (plan_cache_store re-checks the epoch).
+    let epoch = eng.statistics_epoch();
+    let query_repr = format!("{q:?}");
+    let fingerprint = Query::fingerprint_str(&query_repr);
+    if let Some(cached) = eng.plan_cache_lookup(fingerprint, epoch) {
+        if let Some(entry) = cached.downcast_ref::<CachedPlan>() {
+            if entry.query_repr == query_repr {
+                let physical = &entry.physical;
+                // A concurrent `drop_index` between the epoch read above
+                // and this execution can strand a cached plan whose index
+                // no longer exists; validate the plan against the live
+                // index snapshot *under the same lock acquisition* as the
+                // execution, and fall through to replanning on a miss.
+                let hit = eng.with_parts(|db, indexes| {
+                    exec::plan_supported(physical, indexes)
+                        .then(|| (physical.ty(), run(physical, db, indexes)))
+                });
+                if let Some(result) = hit {
+                    return Ok(result);
                 }
             }
         }
-        let stats = self.statistics();
-        let (ty, physical, rel) = self.with_parts(|db, indexes| {
-            let logical = lower_and_rewrite(q, db)?;
-            let physical = plan(&logical, db, indexes, &stats);
-            debug_assert_eq!(physical.ty(), logical.ty());
-            let rel = execute(&physical, db, indexes);
-            Ok::<_, QueryError>((logical.ty(), physical, rel))
-        })?;
-        self.plan_cache_store(
-            fingerprint,
-            epoch,
-            Arc::new(CachedPlan {
-                query_repr,
-                physical,
-            }),
-        );
-        Ok((ty, rel))
+    }
+    let stats = eng.statistics();
+    let (ty, physical, out) = eng.with_parts(|db, indexes| {
+        let logical = lower_and_rewrite(q, db)?;
+        let physical = plan(&logical, db, indexes, &stats);
+        debug_assert_eq!(physical.ty(), logical.ty());
+        let out = run(&physical, db, indexes);
+        Ok::<_, QueryError>((logical.ty(), physical, out))
+    })?;
+    eng.plan_cache_store(
+        fingerprint,
+        epoch,
+        Arc::new(CachedPlan {
+            query_repr,
+            physical,
+        }),
+    );
+    Ok((ty, out))
+}
+
+impl PlannedExecution for Engine {
+    fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError> {
+        with_planned(self, q, |physical, db, indexes| {
+            execute(physical, db, indexes)
+        })
+    }
+
+    fn query_planned_ordered(&self, q: &Query) -> Result<(TypeId, Vec<Instance>), QueryError> {
+        with_planned(self, q, |physical, db, indexes| {
+            execute_ordered(physical, db, indexes)
+        })
     }
 
     fn explain(&self, q: &Query) -> Result<String, QueryError> {
@@ -682,6 +734,38 @@ mod tests {
         );
         // And cached execution agrees with naive even via the cache path.
         agree(&eng, &q);
+        agree(&eng, &q);
+    }
+
+    #[test]
+    fn stale_cached_plan_for_dropped_index_replans_instead_of_panicking() {
+        use toposem_storage::IndexKind;
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        let employee = s.type_id("employee").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        eng.create_index(employee, depname).unwrap();
+        let q = Query::scan(employee).select(depname, Value::str("sales"));
+        assert!(eng.explain(&q).unwrap().contains("IndexSeek"));
+        // Seed the cache with the index-seek plan…
+        let (_, expect) = eng.query_planned(&q).unwrap();
+        let repr = format!("{q:?}");
+        let fp = Query::fingerprint_str(&repr);
+        let stale = eng
+            .plan_cache_lookup(fp, eng.statistics_epoch())
+            .expect("plan was just cached");
+        // …then emulate the drop_index race: the index disappears, but
+        // the stale plan ends up current again (the interleaving a
+        // concurrent reader that captured the pre-drop epoch produces).
+        assert!(eng
+            .drop_index(employee, IndexKind::Hash, &[depname])
+            .unwrap());
+        eng.plan_cache_store(fp, eng.statistics_epoch(), stale);
+        // Execution must detect the unsupported plan under the lock and
+        // replan rather than panic in the executor.
+        let (_, got) = eng.query_planned(&q).unwrap();
+        assert_eq!(got, expect);
+        assert!(!eng.explain(&q).unwrap().contains("IndexSeek"));
         agree(&eng, &q);
     }
 

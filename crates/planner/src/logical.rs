@@ -12,7 +12,7 @@
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::Database;
-use toposem_storage::{Predicate, Query, QueryError};
+use toposem_storage::{Predicate, Query, QueryError, SortKeys};
 
 /// A typed logical plan node.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +65,17 @@ pub enum Logical {
         /// Right input.
         right: Box<Logical>,
     },
+    /// A required output ordering — only ever the root of a plan
+    /// (ordering an intermediate set is meaningless, so lowering drops
+    /// nested `OrderBy` nodes). The physical planner satisfies it with
+    /// an order-carrying access path when one exists and a `Sort`
+    /// enforcer otherwise.
+    OrderBy {
+        /// Input plan.
+        input: Box<Logical>,
+        /// Required sort keys, applied left to right.
+        keys: SortKeys,
+    },
 }
 
 impl Logical {
@@ -73,6 +84,7 @@ impl Logical {
         match self {
             Logical::Empty { ty } | Logical::Scan { ty } | Logical::Join { ty, .. } => *ty,
             Logical::Select { input, .. }
+            | Logical::OrderBy { input, .. }
             | Logical::Union { left: input, .. }
             | Logical::Intersect { left: input, .. } => input.ty(),
             Logical::Project { to, .. } => *to,
@@ -84,9 +96,29 @@ impl Logical {
     /// merging nested selections along the way.
     pub fn lower(q: &Query, db: &Database) -> Result<Logical, QueryError> {
         q.entity_type(db)?;
-        let mut plan = Self::lower_validated(q);
+        // Only the root ordering is observable (results are sets);
+        // collapse a stack of root `OrderBy`s to the outermost keys and
+        // drop any nested ones during lowering.
+        let (keys, inner) = match q {
+            Query::OrderBy { input, keys } => {
+                let mut inner = input.as_ref();
+                while let Query::OrderBy { input, .. } = inner {
+                    inner = input.as_ref();
+                }
+                (keys.clone(), inner)
+            }
+            _ => (Vec::new(), q),
+        };
+        let mut plan = Self::lower_validated(inner);
         plan.patch_join_types(db);
-        Ok(plan)
+        Ok(if keys.is_empty() {
+            plan
+        } else {
+            Logical::OrderBy {
+                input: Box::new(plan),
+                keys,
+            }
+        })
     }
 
     fn lower_validated(q: &Query) -> Logical {
@@ -131,6 +163,8 @@ impl Logical {
                 left: Box::new(Self::lower_validated(a)),
                 right: Box::new(Self::lower_validated(b)),
             },
+            // Non-root orderings are meaningless over sets.
+            Query::OrderBy { input, .. } => Self::lower_validated(input),
         }
     }
 
@@ -151,9 +185,9 @@ impl Logical {
                     .find(|&t| schema.attrs_of(t) == &combined)
                     .expect("validated join has a declared type");
             }
-            Logical::Select { input, .. } | Logical::Project { input, .. } => {
-                input.patch_join_types(db)
-            }
+            Logical::Select { input, .. }
+            | Logical::Project { input, .. }
+            | Logical::OrderBy { input, .. } => input.patch_join_types(db),
             Logical::Union { left, right } | Logical::Intersect { left, right } => {
                 left.patch_join_types(db);
                 right.patch_join_types(db);
@@ -203,6 +237,16 @@ impl Logical {
                 let tr = right.verify_types(db);
                 assert_eq!(tl, tr, "set operation over distinct types");
                 tl
+            }
+            Logical::OrderBy { input, keys } => {
+                let t = input.verify_types(db);
+                for (a, _) in keys {
+                    assert!(
+                        schema.attrs_of(t).contains(a.index()),
+                        "sort key {a} outside type {t}"
+                    );
+                }
+                t
             }
         }
     }
@@ -411,6 +455,20 @@ impl Logical {
                         right: Box::new(right),
                     },
                     cl || cr,
+                )
+            }
+            Logical::OrderBy { input, keys } => {
+                let (input, changed) = input.rewrite_once(db);
+                // Ordering an empty result is vacuous.
+                if matches!(input, Logical::Empty { .. }) {
+                    return (input, true);
+                }
+                (
+                    Logical::OrderBy {
+                        input: Box::new(input),
+                        keys,
+                    },
+                    changed,
                 )
             }
             leaf @ (Logical::Empty { .. } | Logical::Scan { .. }) => (leaf, false),

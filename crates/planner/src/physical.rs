@@ -1,24 +1,71 @@
-//! Physical plans: operator selection and the vectorised executor.
+//! Physical plans: property-aware operator selection and join ordering.
 //!
-//! Planning walks the rewritten [`Logical`] tree bottom-up, choosing access
-//! paths (hash/ordered index seeks, ordered range seeks, composite prefix
-//! seeks, index-only scans, or sequential scans) and hash-join /
-//! intersection build sides by cost. Execution is a push-based batch
-//! pipeline: scans emit [`BATCH_SIZE`]-tuple batches into operator sinks,
-//! so selections and projections are applied a batch at a time without
-//! materialising intermediate relations (hash joins materialise their
-//! build side only). With the `parallel` feature, qualifying sequential
-//! scans fan out across threads.
+//! Planning walks the rewritten [`Logical`] tree bottom-up, but instead of
+//! a single plan per node it derives a *candidate set*: alternative
+//! physical plans annotated with their cost and their **output ordering**
+//! ([`SortKeys`]), pruned to the non-dominated frontier (a candidate
+//! survives when no cheaper candidate provides at least its order). Orders
+//! originate at access paths — `IndexRangeSeek` and `CompositeSeek` walk
+//! BTrees in key order, and a `SeqScan` streams the canonical
+//! `BTreeSet`-backed relation in attribute-id-lexicographic order — and
+//! are propagated through order-preserving operators (`Filter`, `Project`
+//! prefixes, hash-join probe sides). A **`MergeJoin`** consumes matching
+//! orders from both inputs; a **`Sort`** enforcer (n·log n) establishes an
+//! order only when no candidate carries one cheaply enough.
+//!
+//! Multi-way joins are reordered by a **DPsize** dynamic program over the
+//! *sanctioned* join lattice: a subset of relations is combinable only
+//! when its attribute union is itself a declared entity type (the
+//! Relationship Axiom survives into physical planning). Each DP entry
+//! keeps its non-dominated (cost, order) frontier, so a merge-join
+//!-friendly order can win the final plan even when locally more
+//! expensive. Above [`PlannerOptions::dp_max_leaves`] relations the
+//! enumeration falls back to a greedy cheapest-pair heuristic.
+//!
+//! Execution is a push-based batch pipeline: scans emit
+//! [`BATCH_SIZE`]-tuple batches into operator sinks; hash joins
+//! materialise their build side, merge joins and sorts their inputs.
+//! With the `parallel` feature, qualifying sequential scans fan out
+//! across threads (preserving the canonical order).
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Database, Value};
-use toposem_storage::{Index, Predicate, Statistics};
+use toposem_storage::{Index, Interval, Predicate, SortDir, SortKeys, Statistics};
 
 use crate::cost::{estimate, Estimate};
 use crate::logical::Logical;
 
 /// Tuples per executor batch.
 pub const BATCH_SIZE: usize = 1024;
+
+/// Hard ceiling on the DP enumeration width, whatever
+/// [`PlannerOptions::dp_max_leaves`] asks for: the subset table holds
+/// 2^n frontiers and the masks are `u32`, so wider joins must take the
+/// greedy path instead of overflowing.
+const DP_LEAF_HARD_CAP: usize = 16;
+
+/// Planner knobs. The defaults enable everything; benchmarks and the
+/// differential oracle switch individual features off to compare plans
+/// (e.g. the left-deep hash-join baseline in `q3_join_order`).
+#[derive(Clone, Copy, Debug)]
+pub struct PlannerOptions {
+    /// Reorder >2-way joins (DPsize up to `dp_max_leaves`, greedy above).
+    pub reorder_joins: bool,
+    /// Consider `MergeJoin` (with `Sort` enforcers when order is absent).
+    pub merge_joins: bool,
+    /// Largest relation count the DP enumerates exhaustively.
+    pub dp_max_leaves: usize,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            reorder_joins: true,
+            merge_joins: true,
+            dp_max_leaves: 8,
+        }
+    }
+}
 
 /// A physical operator tree.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,7 +75,9 @@ pub enum Physical {
         /// Result type.
         ty: TypeId,
     },
-    /// Full scan of an extension with a fused conjunctive filter.
+    /// Full scan of an extension with a fused conjunctive filter. Emits
+    /// the canonical relation order: tuples ascend lexicographically by
+    /// attribute id, then value.
     SeqScan {
         /// Scanned type.
         ty: TypeId,
@@ -48,7 +97,9 @@ pub enum Physical {
         residual: Vec<(AttrId, Predicate)>,
     },
     /// Ordered-index range seek: walks only the BTree range between the
-    /// bounds (`(value, inclusive)`; `None` = unbounded).
+    /// bounds (`(value, inclusive)`; `None` = unbounded). Unbounded on
+    /// both sides it is the *ordered full scan* — chosen when the order
+    /// it emits pays downstream.
     IndexRangeSeek {
         /// Scanned type.
         ty: TypeId,
@@ -61,8 +112,9 @@ pub enum Physical {
         /// Predicates not covered by the range.
         residual: Vec<(AttrId, Predicate)>,
     },
-    /// Composite-index prefix seek: equality constants for a prefix of
-    /// the index's attribute list select a contiguous key range.
+    /// Composite-index seek: equality constants for a prefix of the
+    /// index's attribute list, optionally extended by a *range* on the
+    /// next key attribute, select one contiguous key range.
     CompositeSeek {
         /// Scanned type.
         ty: TypeId,
@@ -70,7 +122,9 @@ pub enum Physical {
         attrs: Vec<AttrId>,
         /// Equality constants for `attrs[..prefix.len()]`.
         prefix: Vec<Value>,
-        /// Predicates not covered by the prefix.
+        /// Range on `attrs[prefix.len()]`, when one was consumed.
+        suffix: Option<Interval>,
+        /// Predicates not covered by the prefix or suffix.
         residual: Vec<(AttrId, Predicate)>,
     },
     /// Index-only (covering) scan: the projection target's attributes are
@@ -83,18 +137,23 @@ pub enum Physical {
         to: TypeId,
         /// The covering index's attribute list (identifies the index).
         key_attrs: Vec<AttrId>,
+        /// Whether the backing index walks its keys in order (ordered /
+        /// composite, not hash) — the executor must then pick an ordered
+        /// index and the output carries the key order.
+        ordered: bool,
         /// Predicates over key attributes, evaluated on the keys.
         preds: Vec<(AttrId, Predicate)>,
     },
     /// Batch-wise conjunctive filter over a composite input (filters over
-    /// plain scans are fused into the scan instead).
+    /// plain scans are fused into the scan instead). Order-preserving.
     Filter {
         /// Input operator.
         input: Box<Physical>,
         /// Conjunction of predicates.
         preds: Vec<(AttrId, Predicate)>,
     },
-    /// Projection onto a generalisation.
+    /// Projection onto a generalisation. Preserves the prefix of the
+    /// input order whose attributes survive the projection.
     Project {
         /// Input operator.
         input: Box<Physical>,
@@ -102,14 +161,37 @@ pub enum Physical {
         to: TypeId,
     },
     /// Hash join; `build` is materialised into a hash table keyed on the
-    /// shared attributes, `probe` streams.
+    /// shared attributes, `probe` streams (probe order is preserved).
     HashJoin {
         /// Materialised side (chosen smaller by cost).
         build: Box<Physical>,
         /// Streaming side.
         probe: Box<Physical>,
+        /// Shared attributes (the natural-join key), in id order.
+        keys: Vec<AttrId>,
         /// Declared output type.
         ty: TypeId,
+    },
+    /// Merge join: both inputs arrive sorted on `keys` (ascending); equal
+    /// key groups are matched pairwise. Output is sorted on `keys`.
+    MergeJoin {
+        /// Left input (sorted on `keys`).
+        left: Box<Physical>,
+        /// Right input (sorted on `keys`).
+        right: Box<Physical>,
+        /// Shared attributes (the natural-join key), in id order.
+        keys: Vec<AttrId>,
+        /// Declared output type.
+        ty: TypeId,
+    },
+    /// Sort enforcer: materialises its input and emits it ordered by
+    /// `keys`. Inserted only when a required order is not otherwise
+    /// available (or cheaper to establish than to carry).
+    Sort {
+        /// Input operator.
+        input: Box<Physical>,
+        /// Sort keys, applied left to right.
+        keys: SortKeys,
     },
     /// Bag concatenation; the final set collection deduplicates.
     Union {
@@ -120,7 +202,8 @@ pub enum Physical {
         /// Result type.
         ty: TypeId,
     },
-    /// Set intersection; `build` is materialised into a membership set.
+    /// Set intersection; `build` is materialised into a membership set
+    /// (probe order is preserved).
     Intersect {
         /// Materialised side (chosen smaller by cost).
         build: Box<Physical>,
@@ -141,10 +224,72 @@ impl Physical {
             | Physical::IndexRangeSeek { ty, .. }
             | Physical::CompositeSeek { ty, .. }
             | Physical::HashJoin { ty, .. }
+            | Physical::MergeJoin { ty, .. }
             | Physical::Union { ty, .. }
             | Physical::Intersect { ty, .. } => *ty,
-            Physical::Filter { input, .. } => input.ty(),
+            Physical::Filter { input, .. } | Physical::Sort { input, .. } => input.ty(),
             Physical::IndexOnlyScan { to, .. } | Physical::Project { to, .. } => *to,
+        }
+    }
+
+    /// The physical property this operator guarantees of its output: the
+    /// sort keys its tuples ascend by (empty = no guaranteed order).
+    ///
+    /// Orders are born at ordered access paths (BTree walks, the
+    /// canonical `BTreeSet` relation order behind `SeqScan`) and at
+    /// `Sort`/`MergeJoin`; `Filter` passes its input order through,
+    /// `Project` keeps the prefix that survives the projection, and
+    /// `HashJoin`/`Intersect` preserve their *probe* side (probe tuples
+    /// stream in order and keep their attribute values in the merged
+    /// output).
+    pub fn ordering(&self, db: &Database) -> SortKeys {
+        let schema = db.schema();
+        let asc = |attrs: &[AttrId]| attrs.iter().map(|a| (*a, SortDir::Asc)).collect();
+        match self {
+            Physical::Empty { .. } | Physical::Union { .. } => Vec::new(),
+            // Relations are BTreeSets of instances whose fields sort by
+            // attribute id, so a full scan ascends lexicographically by
+            // every attribute of the type, in id order.
+            Physical::SeqScan { ty, .. } => schema
+                .attrs_of(*ty)
+                .iter()
+                .map(|a| (AttrId(a as u32), SortDir::Asc))
+                .collect(),
+            Physical::IndexSeek { attr, .. } | Physical::IndexRangeSeek { attr, .. } => {
+                vec![(*attr, SortDir::Asc)]
+            }
+            Physical::CompositeSeek { attrs, .. } => asc(attrs),
+            Physical::IndexOnlyScan {
+                to,
+                key_attrs,
+                ordered,
+                ..
+            } => {
+                if *ordered {
+                    let target = schema.attrs_of(*to);
+                    key_attrs
+                        .iter()
+                        .take_while(|a| target.contains(a.index()))
+                        .map(|a| (*a, SortDir::Asc))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            Physical::Filter { input, .. } => input.ordering(db),
+            Physical::Project { input, to } => {
+                let target = schema.attrs_of(*to);
+                input
+                    .ordering(db)
+                    .into_iter()
+                    .take_while(|(a, _)| target.contains(a.index()))
+                    .collect()
+            }
+            Physical::HashJoin { probe, .. } | Physical::Intersect { probe, .. } => {
+                probe.ordering(db)
+            }
+            Physical::MergeJoin { keys, .. } => asc(keys),
+            Physical::Sort { keys, .. } => keys.clone(),
         }
     }
 
@@ -178,6 +323,13 @@ impl Physical {
                 None => "+∞)".to_owned(),
             };
             format!("{lo_s}, {hi_s}")
+        };
+        let render_attrs = |attrs: &[AttrId]| {
+            attrs
+                .iter()
+                .map(|a| schema.attr_name(*a))
+                .collect::<Vec<_>>()
+                .join(",")
         };
         let line = match self {
             Physical::Empty { ty } => format!("Empty [{}]", schema.type_name(*ty)),
@@ -230,22 +382,26 @@ impl Physical {
                 ty,
                 attrs,
                 prefix,
+                suffix,
                 residual,
             } => {
-                let cols = attrs
-                    .iter()
-                    .map(|a| schema.attr_name(*a))
-                    .collect::<Vec<_>>()
-                    .join(",");
                 let vals = prefix
                     .iter()
                     .map(|v| v.to_string())
                     .collect::<Vec<_>>()
                     .join(", ");
                 let mut s = format!(
-                    "CompositeSeek {}({cols}) prefix = ({vals})",
-                    schema.type_name(*ty)
+                    "CompositeSeek {}({}) prefix = ({vals})",
+                    schema.type_name(*ty),
+                    render_attrs(attrs),
                 );
+                if let Some(iv) = suffix {
+                    s.push_str(&format!(
+                        " range {} ∈ {}",
+                        schema.attr_name(attrs[prefix.len()]),
+                        render_range(&iv.lo, &iv.hi)
+                    ));
+                }
                 if !residual.is_empty() {
                     s.push_str(&format!(" residual {}", render_preds(residual)));
                 }
@@ -256,15 +412,12 @@ impl Physical {
                 to,
                 key_attrs,
                 preds,
+                ..
             } => {
-                let cols = key_attrs
-                    .iter()
-                    .map(|a| schema.attr_name(*a))
-                    .collect::<Vec<_>>()
-                    .join(",");
                 let mut s = format!(
-                    "IndexOnlyScan {}({cols}) → {}",
+                    "IndexOnlyScan {}({}) → {}",
                     schema.type_name(*ty),
+                    render_attrs(key_attrs),
                     schema.type_name(*to)
                 );
                 if !preds.is_empty() {
@@ -274,7 +427,24 @@ impl Physical {
             }
             Physical::Filter { preds, .. } => format!("Filter {}", render_preds(preds)),
             Physical::Project { to, .. } => format!("Project → {}", schema.type_name(*to)),
-            Physical::HashJoin { ty, .. } => format!("HashJoin [{}]", schema.type_name(*ty)),
+            Physical::HashJoin { ty, keys, .. } => format!(
+                "HashJoin [{}] on ({})",
+                schema.type_name(*ty),
+                render_attrs(keys)
+            ),
+            Physical::MergeJoin { ty, keys, .. } => format!(
+                "MergeJoin [{}] on ({})",
+                schema.type_name(*ty),
+                render_attrs(keys)
+            ),
+            Physical::Sort { keys, .. } => {
+                let ks = keys
+                    .iter()
+                    .map(|(a, d)| format!("{} {d}", schema.attr_name(*a)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("Sort by ({ks})")
+            }
             Physical::Union { ty, .. } => format!("Union [{}]", schema.type_name(*ty)),
             Physical::Intersect { ty, .. } => {
                 format!("Intersect [{}]", schema.type_name(*ty))
@@ -282,12 +452,16 @@ impl Physical {
         };
         out.push_str(&format!("{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1})\n"));
         match self {
-            Physical::Filter { input, .. } | Physical::Project { input, .. } => {
-                input.explain_into(db, stats, depth + 1, out)
-            }
+            Physical::Filter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. } => input.explain_into(db, stats, depth + 1, out),
             Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
                 build.explain_into(db, stats, depth + 1, out);
                 probe.explain_into(db, stats, depth + 1, out);
+            }
+            Physical::MergeJoin { left, right, .. } => {
+                left.explain_into(db, stats, depth + 1, out);
+                right.explain_into(db, stats, depth + 1, out);
             }
             Physical::Union { left, right, .. } => {
                 left.explain_into(db, stats, depth + 1, out);
@@ -298,40 +472,132 @@ impl Physical {
     }
 }
 
-/// Compiles a rewritten logical plan into a physical plan, choosing access
-/// paths and build sides by cost.
+/// Does an available ordering `avail` satisfy a required one? Required
+/// keys must form a prefix of the available keys, directions included.
+pub fn order_satisfies(avail: &[(AttrId, SortDir)], req: &[(AttrId, SortDir)]) -> bool {
+    req.len() <= avail.len() && avail[..req.len()] == *req
+}
+
+/// One candidate plan: a physical tree plus its estimated cost/rows and
+/// the output order it guarantees.
+#[derive(Clone, Debug)]
+struct Cand {
+    phys: Physical,
+    rows: f64,
+    cost: f64,
+    order: SortKeys,
+}
+
+impl Cand {
+    fn new(phys: Physical, db: &Database, stats: &Statistics) -> Cand {
+        let Estimate { rows, cost } = estimate(&phys, stats);
+        let order = phys.ordering(db);
+        Cand {
+            phys,
+            rows,
+            cost,
+            order,
+        }
+    }
+}
+
+/// `a` makes `b` redundant: at most as expensive, at least as ordered.
+fn dominates(a: &Cand, b: &Cand) -> bool {
+    a.cost <= b.cost && order_satisfies(&a.order, &b.order)
+}
+
+/// Reduces a candidate set to its non-dominated frontier (first survivor
+/// wins ties, so pruning is deterministic).
+fn prune(cands: Vec<Cand>) -> Vec<Cand> {
+    let mut out: Vec<Cand> = Vec::new();
+    'next: for c in cands {
+        for kept in &out {
+            if dominates(kept, &c) {
+                continue 'next;
+            }
+        }
+        out.retain(|kept| !dominates(&c, kept));
+        out.push(c);
+    }
+    out
+}
+
+/// The cheapest candidate (sets are non-empty by construction).
+fn cheapest(cands: &[Cand]) -> &Cand {
+    cands
+        .iter()
+        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+        .expect("candidate sets are non-empty")
+}
+
+/// Compiles a rewritten logical plan into a physical plan, choosing
+/// access paths, join orders, and join algorithms by cost under the
+/// default [`PlannerOptions`].
 pub fn plan(
     logical: &Logical,
     db: &Database,
     indexes: &[Vec<Index>],
     stats: &Statistics,
 ) -> Physical {
+    plan_with(logical, db, indexes, stats, &PlannerOptions::default())
+}
+
+/// [`plan`] with explicit [`PlannerOptions`] — benchmarks and tests use
+/// this to pin a baseline (e.g. no reordering, hash joins only).
+pub fn plan_with(
+    logical: &Logical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Physical {
+    let cands = candidates(logical, db, indexes, stats, opts);
+    cheapest(&cands).phys.clone()
+}
+
+/// The non-dominated candidate set for a logical node.
+fn candidates(
+    logical: &Logical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Vec<Cand> {
+    let cand = |p: Physical| Cand::new(p, db, stats);
     match logical {
-        Logical::Empty { ty } => Physical::Empty { ty: *ty },
-        Logical::Scan { ty } => Physical::SeqScan {
-            ty: *ty,
-            preds: Vec::new(),
-        },
+        Logical::Empty { ty } => vec![cand(Physical::Empty { ty: *ty })],
+        Logical::Scan { ty } => scan_candidates(*ty, &[], db, indexes, stats),
         Logical::Select { input, preds } => match input.as_ref() {
             // Access-path selection happens where a filter meets a scan.
-            Logical::Scan { ty } => cheapest_scan(*ty, preds, db, indexes, stats),
+            Logical::Scan { ty } => scan_candidates(*ty, preds, db, indexes, stats),
             // The rewrite pass pushes selections to the leaves, so a
-            // residual filter over a composite input is rare (e.g. a
-            // selection the pushdown could not fully sink); it gets a
-            // batch-wise Filter operator.
-            _ => Physical::Filter {
-                input: Box::new(plan(input, db, indexes, stats)),
-                preds: preds.clone(),
-            },
+            // residual filter over a composite input is rare; it wraps
+            // every input candidate (Filter preserves order).
+            _ => prune(
+                candidates(input, db, indexes, stats, opts)
+                    .into_iter()
+                    .map(|c| {
+                        cand(Physical::Filter {
+                            input: Box::new(c.phys),
+                            preds: preds.clone(),
+                        })
+                    })
+                    .collect(),
+            ),
         },
         Logical::Project { input, to } => {
+            let mut out: Vec<Cand> = candidates(input, db, indexes, stats, opts)
+                .into_iter()
+                .map(|c| {
+                    cand(Physical::Project {
+                        input: Box::new(c.phys),
+                        to: *to,
+                    })
+                })
+                .collect();
             // A covering index can answer the projection from its keys
             // alone when the target's attributes (and every predicate)
             // are key attributes: an index-only scan.
-            let fallback = |input: &Logical| Physical::Project {
-                input: Box::new(plan(input, db, indexes, stats)),
-                to: *to,
-            };
             let (ty, preds): (TypeId, &[(AttrId, Predicate)]) = match input.as_ref() {
                 Logical::Scan { ty } => (*ty, &[]),
                 Logical::Select {
@@ -339,52 +605,60 @@ pub fn plan(
                     preds,
                 } => match sel_in.as_ref() {
                     Logical::Scan { ty } => (*ty, preds.as_slice()),
-                    _ => return fallback(input),
+                    _ => return prune(out),
                 },
-                _ => return fallback(input),
+                _ => return prune(out),
             };
-            let fb = fallback(input);
-            match index_only_path(ty, *to, preds, db, indexes) {
-                Some(ios) if estimate(&ios, stats).cost < estimate(&fb, stats).cost => ios,
-                _ => fb,
-            }
+            out.extend(
+                index_only_paths(ty, *to, preds, db, indexes)
+                    .into_iter()
+                    .map(cand),
+            );
+            prune(out)
         }
-        Logical::Join { left, right, ty } => {
-            let l = plan(left, db, indexes, stats);
-            let r = plan(right, db, indexes, stats);
-            let (build, probe) = if estimate(&l, stats).rows <= estimate(&r, stats).rows {
-                (l, r)
-            } else {
-                (r, l)
-            };
-            Physical::HashJoin {
-                build: Box::new(build),
-                probe: Box::new(probe),
-                ty: *ty,
-            }
-        }
+        Logical::Join { .. } => join_candidates(logical, db, indexes, stats, opts),
         Logical::Union { left, right } => {
             let ty = left.ty();
-            Physical::Union {
-                left: Box::new(plan(left, db, indexes, stats)),
-                right: Box::new(plan(right, db, indexes, stats)),
+            let l = candidates(left, db, indexes, stats, opts);
+            let r = candidates(right, db, indexes, stats, opts);
+            vec![cand(Physical::Union {
+                left: Box::new(cheapest(&l).phys.clone()),
+                right: Box::new(cheapest(&r).phys.clone()),
                 ty,
-            }
+            })]
         }
         Logical::Intersect { left, right } => {
             let ty = left.ty();
-            let l = plan(left, db, indexes, stats);
-            let r = plan(right, db, indexes, stats);
-            let (build, probe) = if estimate(&l, stats).rows <= estimate(&r, stats).rows {
-                (l, r)
+            let l = candidates(left, db, indexes, stats, opts);
+            let r = candidates(right, db, indexes, stats, opts);
+            let (lc, rc) = (cheapest(&l), cheapest(&r));
+            let (build, probe) = if lc.rows <= rc.rows {
+                (lc, rc)
             } else {
-                (r, l)
+                (rc, lc)
             };
-            Physical::Intersect {
-                build: Box::new(build),
-                probe: Box::new(probe),
+            vec![cand(Physical::Intersect {
+                build: Box::new(build.phys.clone()),
+                probe: Box::new(probe.phys.clone()),
                 ty,
-            }
+            })]
+        }
+        Logical::OrderBy { input, keys } => {
+            let inner = candidates(input, db, indexes, stats, opts);
+            // Candidates already carrying the required order pass
+            // through; the cheapest overall gets a Sort enforcer. The
+            // frontier then decides whether carrying the order (perhaps
+            // via a pricier access path) beats establishing it.
+            let sorted = cand(Physical::Sort {
+                input: Box::new(cheapest(&inner).phys.clone()),
+                keys: keys.clone(),
+            });
+            let mut out: Vec<Cand> = inner
+                .into_iter()
+                .filter(|c| order_satisfies(&c.order, keys))
+                .collect();
+            out.push(sorted);
+            prune(out)
         }
     }
 }
@@ -398,39 +672,51 @@ fn indexes_usable<'a>(ty: TypeId, db: &Database, indexes: &'a [Vec<Index>]) -> O
     indexes.get(ty.index()).map(Vec::as_slice)
 }
 
-/// The cheapest access path for a conjunctive selection over a scan:
-/// every usable index path is generated and costed against the fused
-/// sequential scan.
-fn cheapest_scan(
+/// Candidate access paths for a conjunctive selection over a scan: the
+/// fused sequential scan, every index path the predicates can use, and —
+/// for ordered/composite indexes the predicates *cannot* use — the
+/// ordered full walk with the whole conjunction residual, which exists
+/// purely for the order it emits.
+fn scan_candidates(
     ty: TypeId,
     preds: &[(AttrId, Predicate)],
     db: &Database,
     indexes: &[Vec<Index>],
     stats: &Statistics,
-) -> Physical {
-    let mut best = Physical::SeqScan {
+) -> Vec<Cand> {
+    let cand = |p: Physical| Cand::new(p, db, stats);
+    let mut out = vec![cand(Physical::SeqScan {
         ty,
         preds: preds.to_vec(),
-    };
-    let mut best_cost = estimate(&best, stats).cost;
+    })];
     let Some(type_indexes) = indexes_usable(ty, db, indexes) else {
-        return best;
+        return prune(out);
     };
     for idx in type_indexes {
         let candidate = match idx {
             Index::Hash(h) => hash_path(ty, h.attr(), preds),
-            Index::Ord(o) => ord_path(ty, o.attr(), preds),
-            Index::Composite(c) => composite_path(ty, c.attrs(), preds),
+            Index::Ord(o) => ord_path(ty, o.attr(), preds).or(Some(Physical::IndexRangeSeek {
+                ty,
+                attr: o.attr(),
+                lo: None,
+                hi: None,
+                residual: preds.to_vec(),
+            })),
+            Index::Composite(c) => {
+                composite_path(ty, c.attrs(), preds).or(Some(Physical::CompositeSeek {
+                    ty,
+                    attrs: c.attrs().to_vec(),
+                    prefix: Vec::new(),
+                    suffix: None,
+                    residual: preds.to_vec(),
+                }))
+            }
         };
         if let Some(c) = candidate {
-            let cost = estimate(&c, stats).cost;
-            if cost < best_cost {
-                best = c;
-                best_cost = cost;
-            }
+            out.push(cand(c));
         }
     }
-    best
+    prune(out)
 }
 
 /// A hash point seek when some equality predicate targets the hash
@@ -461,7 +747,7 @@ fn ord_path(ty: TypeId, attr: AttrId, preds: &[(AttrId, Predicate)]) -> Option<P
     if on_attr.is_empty() {
         return None;
     }
-    let mut interval = toposem_storage::Interval::full();
+    let mut interval = Interval::full();
     for (_, p) in &on_attr {
         interval.tighten(p);
     }
@@ -484,9 +770,12 @@ fn ord_path(ty: TypeId, attr: AttrId, preds: &[(AttrId, Predicate)]) -> Option<P
     })
 }
 
-/// A composite prefix seek: the longest prefix of the index's attribute
-/// list whose every attribute carries an equality predicate. Predicates
-/// consumed by the prefix are dropped; everything else stays residual.
+/// A composite seek: the longest prefix of the index's attribute list
+/// whose every attribute carries an equality predicate, optionally
+/// extended by the intersected *range* predicates on the next key
+/// attribute (equality prefix + range suffix address one contiguous
+/// composite key range). Consumed predicates are dropped; everything
+/// else stays residual.
 fn composite_path(ty: TypeId, attrs: &[AttrId], preds: &[(AttrId, Predicate)]) -> Option<Physical> {
     let mut prefix = Vec::new();
     let mut consumed = vec![false; preds.len()];
@@ -503,7 +792,22 @@ fn composite_path(ty: TypeId, attrs: &[AttrId], preds: &[(AttrId, Predicate)]) -
             None => break,
         }
     }
-    if prefix.is_empty() {
+    let mut suffix = None;
+    if let Some(next) = attrs.get(prefix.len()) {
+        let mut interval = Interval::full();
+        let mut any = false;
+        for (i, (a, p)) in preds.iter().enumerate() {
+            if a == next && !consumed[i] {
+                interval.tighten(p);
+                consumed[i] = true;
+                any = true;
+            }
+        }
+        if any {
+            suffix = Some(interval);
+        }
+    }
+    if prefix.is_empty() && suffix.is_none() {
         return None;
     }
     let residual: Vec<_> = preds
@@ -516,31 +820,270 @@ fn composite_path(ty: TypeId, attrs: &[AttrId], preds: &[(AttrId, Predicate)]) -
         ty,
         attrs: attrs.to_vec(),
         prefix,
+        suffix,
         residual,
     })
 }
 
-/// An index-only scan for `π_to(σ_preds(ty))`, when some index's key
+/// Index-only scans for `π_to(σ_preds(ty))`: one per index whose key
 /// attributes cover both the projection target and every predicate.
-fn index_only_path(
+fn index_only_paths(
     ty: TypeId,
     to: TypeId,
     preds: &[(AttrId, Predicate)],
     db: &Database,
     indexes: &[Vec<Index>],
-) -> Option<Physical> {
-    let type_indexes = indexes_usable(ty, db, indexes)?;
+) -> Vec<Physical> {
+    let Some(type_indexes) = indexes_usable(ty, db, indexes) else {
+        return Vec::new();
+    };
     let schema = db.schema();
     let target = schema.attrs_of(to);
-    type_indexes.iter().find_map(|idx| {
-        let key_attrs = idx.attrs();
-        let covers_target = target.iter().all(|a| key_attrs.contains(&AttrId(a as u32)));
-        let covers_preds = preds.iter().all(|(a, _)| key_attrs.contains(a));
-        (covers_target && covers_preds).then(|| Physical::IndexOnlyScan {
-            ty,
-            to,
-            key_attrs,
-            preds: preds.to_vec(),
+    type_indexes
+        .iter()
+        .filter_map(|idx| {
+            let key_attrs = idx.attrs();
+            let covers_target = target.iter().all(|a| key_attrs.contains(&AttrId(a as u32)));
+            let covers_preds = preds.iter().all(|(a, _)| key_attrs.contains(a));
+            (covers_target && covers_preds).then(|| Physical::IndexOnlyScan {
+                ty,
+                to,
+                key_attrs,
+                ordered: !matches!(idx, Index::Hash(_)),
+                preds: preds.to_vec(),
+            })
         })
-    })
+        .collect()
+}
+
+/// The shared attributes (natural-join key) of two types, in id order.
+fn shared_keys(db: &Database, a: TypeId, b: TypeId) -> Vec<AttrId> {
+    let schema = db.schema();
+    schema
+        .attrs_of(a)
+        .intersection(schema.attrs_of(b))
+        .iter()
+        .map(|i| AttrId(i as u32))
+        .collect()
+}
+
+/// Joins two candidate sets into the candidate set of their join:
+/// hash-join variants pairing each side's order-carrying candidates with
+/// the other side's cheapest (the probe side's order survives), plus —
+/// when the sides share attributes — a merge join whose inputs either
+/// carry the key order already or get a `Sort` enforcer, whichever is
+/// cheaper per side.
+fn join_pair(
+    lc: &[Cand],
+    rc: &[Cand],
+    ty: TypeId,
+    keys: &[AttrId],
+    db: &Database,
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Vec<Cand> {
+    let cand = |p: Physical| Cand::new(p, db, stats);
+    let mut out = Vec::new();
+    let lbest = cheapest(lc);
+    let rbest = cheapest(rc);
+    let hash = |a: &Cand, b: &Cand| {
+        let (build, probe) = if a.rows <= b.rows { (a, b) } else { (b, a) };
+        Physical::HashJoin {
+            build: Box::new(build.phys.clone()),
+            probe: Box::new(probe.phys.clone()),
+            keys: keys.to_vec(),
+            ty,
+        }
+    };
+    for r in rc {
+        out.push(cand(hash(lbest, r)));
+    }
+    for l in lc {
+        out.push(cand(hash(l, rbest)));
+    }
+    if opts.merge_joins && !keys.is_empty() {
+        let req: SortKeys = keys.iter().map(|a| (*a, SortDir::Asc)).collect();
+        let sorted_input = |side: &[Cand]| -> Physical {
+            // Cheapest candidate already in order, or the cheapest
+            // overall behind a Sort enforcer — whichever estimates lower.
+            let enforced = cand(Physical::Sort {
+                input: Box::new(cheapest(side).phys.clone()),
+                keys: req.clone(),
+            });
+            match side
+                .iter()
+                .filter(|c| order_satisfies(&c.order, &req))
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            {
+                Some(carried) if carried.cost <= enforced.cost => carried.phys.clone(),
+                _ => enforced.phys,
+            }
+        };
+        out.push(cand(Physical::MergeJoin {
+            left: Box::new(sorted_input(lc)),
+            right: Box::new(sorted_input(rc)),
+            keys: keys.to_vec(),
+            ty,
+        }));
+    }
+    prune(out)
+}
+
+/// Collects the non-join leaves of a join tree, left to right.
+fn flatten_joins<'a>(node: &'a Logical, out: &mut Vec<&'a Logical>) {
+    if let Logical::Join { left, right, .. } = node {
+        flatten_joins(left, out);
+        flatten_joins(right, out);
+    } else {
+        out.push(node);
+    }
+}
+
+/// Candidates for a join tree: DPsize reordering over the sanctioned
+/// subset lattice when enabled and small enough, a greedy cheapest-pair
+/// heuristic above the DP budget, and the tree as written otherwise
+/// (also the fallback when the heuristics cannot complete — the
+/// as-written nesting is sanctioned by construction).
+fn join_candidates(
+    node: &Logical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Vec<Cand> {
+    let Logical::Join { left, right, ty } = node else {
+        unreachable!("join_candidates takes a join node");
+    };
+    if opts.reorder_joins {
+        let mut leaves = Vec::new();
+        flatten_joins(node, &mut leaves);
+        if leaves.len() > 2 {
+            let leaf_cands: Vec<Vec<Cand>> = leaves
+                .iter()
+                .map(|l| candidates(l, db, indexes, stats, opts))
+                .collect();
+            let leaf_tys: Vec<TypeId> = leaves.iter().map(|l| l.ty()).collect();
+            // `dp_max_leaves` is a public knob; the DP's u32 subset masks
+            // (and its 2^n entry table) cap it hard regardless of what
+            // the caller asked for — wider joins go greedy.
+            let dp_cap = opts.dp_max_leaves.min(DP_LEAF_HARD_CAP);
+            let reordered = if leaves.len() <= dp_cap {
+                dp_join(&leaf_cands, &leaf_tys, db, stats, opts)
+            } else {
+                greedy_join(&leaf_cands, &leaf_tys, db, stats, opts)
+            };
+            if let Some(cands) = reordered {
+                return cands;
+            }
+        }
+    }
+    // As written: left then right, one binary join.
+    let lc = candidates(left, db, indexes, stats, opts);
+    let rc = candidates(right, db, indexes, stats, opts);
+    let keys = shared_keys(db, left.ty(), right.ty());
+    join_pair(&lc, &rc, *ty, &keys, db, stats, opts)
+}
+
+/// The declared entity type covering a set of joined types, if any —
+/// the sanction check that gates every DP/greedy combination.
+fn union_type(db: &Database, tys: &[TypeId]) -> Option<TypeId> {
+    let schema = db.schema();
+    let mut union = schema.attrs_of(tys[0]).clone();
+    for t in &tys[1..] {
+        union.union_with(schema.attrs_of(*t));
+    }
+    schema.type_ids().find(|t| schema.attrs_of(*t) == &union)
+}
+
+/// DPsize join enumeration: for every sanctioned subset of the leaves,
+/// in order of subset size, the non-dominated (cost, order) frontier
+/// over all ways of splitting it into two smaller sanctioned subsets.
+/// Returns the full set's frontier (always reachable: the as-written
+/// nesting is one of the enumerated splits).
+fn dp_join(
+    leaf_cands: &[Vec<Cand>],
+    leaf_tys: &[TypeId],
+    db: &Database,
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Option<Vec<Cand>> {
+    let n = leaf_cands.len();
+    let full: u32 = (1u32 << n) - 1;
+    let mut entries: Vec<Option<(TypeId, Vec<Cand>)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        entries[1 << i] = Some((leaf_tys[i], leaf_cands[i].clone()));
+    }
+    let mut masks: Vec<u32> = (1..=full).filter(|m| m.count_ones() >= 2).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let tys: Vec<TypeId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| leaf_tys[i])
+            .collect();
+        let Some(ty) = union_type(db, &tys) else {
+            continue;
+        };
+        let mut acc: Vec<Cand> = Vec::new();
+        // Every unordered split {s, mask\s} with both halves planned.
+        let mut s = (mask - 1) & mask;
+        while s > 0 {
+            let t = mask ^ s;
+            if s < t {
+                if let (Some((sty, sc)), Some((tty, tc))) =
+                    (&entries[s as usize], &entries[t as usize])
+                {
+                    let keys = shared_keys(db, *sty, *tty);
+                    acc.extend(join_pair(sc, tc, ty, &keys, db, stats, opts));
+                }
+            }
+            s = (s - 1) & mask;
+        }
+        if !acc.is_empty() {
+            entries[mask as usize] = Some((ty, prune(acc)));
+        }
+    }
+    entries[full as usize].take().map(|(_, cands)| cands)
+}
+
+/// Greedy fallback for joins too wide for the DP: repeatedly fuse the
+/// sanctioned pair whose join is cheapest, until one plan remains.
+/// Returns `None` when no sanctioned pair exists at some step (the
+/// caller then compiles the tree as written).
+fn greedy_join(
+    leaf_cands: &[Vec<Cand>],
+    leaf_tys: &[TypeId],
+    db: &Database,
+    stats: &Statistics,
+    opts: &PlannerOptions,
+) -> Option<Vec<Cand>> {
+    let mut pool: Vec<(TypeId, Vec<Cand>)> = leaf_tys
+        .iter()
+        .copied()
+        .zip(leaf_cands.iter().cloned())
+        .collect();
+    while pool.len() > 1 {
+        let mut best: Option<(usize, usize, TypeId, Vec<Cand>)> = None;
+        for i in 0..pool.len() {
+            for j in i + 1..pool.len() {
+                let Some(ty) = union_type(db, &[pool[i].0, pool[j].0]) else {
+                    continue;
+                };
+                let keys = shared_keys(db, pool[i].0, pool[j].0);
+                let joined = join_pair(&pool[i].1, &pool[j].1, ty, &keys, db, stats, opts);
+                let cost = cheapest(&joined).cost;
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, _, _, b)| cost < cheapest(b).cost)
+                {
+                    best = Some((i, j, ty, joined));
+                }
+            }
+        }
+        let (i, j, ty, joined) = best?;
+        // Remove the higher index first so the lower stays valid.
+        pool.remove(j);
+        pool.remove(i);
+        pool.push((ty, joined));
+    }
+    pool.pop().map(|(_, cands)| cands)
 }

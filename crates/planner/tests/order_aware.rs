@@ -1,0 +1,387 @@
+//! Order-aware planning: physical properties (sort orders), merge joins,
+//! Sort enforcers, and DP join reordering.
+//!
+//! The headline acceptance check lives here: a 3-way join over ordered
+//! indexes plans to a `MergeJoin` with **no** `Sort` enforcer — the order
+//! is carried from the index walk through the operator tree — and planned
+//! execution still agrees with the naive interpreter everywhere.
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_planner::{execute, lower_and_rewrite, plan_with, PlannedExecution, PlannerOptions};
+use toposem_storage::{cmp_by_keys, Engine, IndexKind, Query, SortDir};
+
+fn engine() -> Engine {
+    Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    ))
+}
+
+/// 200 employees (and matching persons), 3 departments.
+fn load(eng: &Engine, n: i64) {
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    let department = s.type_id("department").unwrap();
+    let deps = ["sales", "research", "admin"];
+    for i in 0..n {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i:04}"))),
+                ("age", Value::Int(i % 90)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+        eng.insert(
+            person,
+            &[
+                ("name", Value::str(&format!("w{i:04}"))),
+                ("age", Value::Int(i % 90)),
+            ],
+        )
+        .unwrap();
+    }
+    for (d, l) in [
+        ("sales", "amsterdam"),
+        ("research", "utrecht"),
+        ("admin", "utrecht"),
+    ] {
+        eng.insert(
+            department,
+            &[("depname", Value::str(d)), ("location", Value::str(l))],
+        )
+        .unwrap();
+    }
+}
+
+fn agree(eng: &Engine, q: &Query) {
+    let naive = eng.with_db(|db| q.execute(db)).unwrap();
+    let planned = eng.query_planned(q).unwrap();
+    assert_eq!(naive, planned, "planned != naive for {q:?}");
+}
+
+/// Planned ordered output must be the same *set* as naive ordered output
+/// and must ascend by the query's root sort keys (tie order is the
+/// executor's to choose).
+fn agree_ordered(eng: &Engine, q: &Query) {
+    let naive = eng.with_db(|db| q.execute_ordered(db)).unwrap();
+    let planned = eng.query_planned_ordered(q).unwrap();
+    assert_eq!(naive.0, planned.0, "types diverged for {q:?}");
+    assert_eq!(
+        naive.1.len(),
+        planned.1.len(),
+        "cardinalities diverged for {q:?}"
+    );
+    let keys = q.root_order();
+    assert!(
+        planned
+            .1
+            .windows(2)
+            .all(|w| cmp_by_keys(&w[0], &w[1], keys) != std::cmp::Ordering::Greater),
+        "planned output not sorted by {keys:?} for {q:?}"
+    );
+    let naive_set: std::collections::HashSet<_> = naive.1.into_iter().collect();
+    let planned_set: std::collections::HashSet<_> = planned.1.into_iter().collect();
+    assert_eq!(naive_set, planned_set, "result sets diverged for {q:?}");
+}
+
+/// The acceptance criterion: a 3-way join over ordered (composite)
+/// indexes merges on the carried order — the plan shows a MergeJoin and
+/// no Sort enforcer anywhere.
+#[test]
+fn three_way_join_merges_without_sort_enforcer() {
+    let eng = engine();
+    load(&eng, 200);
+    let s = eng.with_db(|db| db.schema().clone());
+    let person = s.type_id("person").unwrap();
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let name = s.attr_id("name").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    eng.create_composite_index(person, &[name, age]).unwrap();
+    eng.create_composite_index(employee, &[name, age]).unwrap();
+    eng.create_ord_index(employee, depname).unwrap();
+
+    let q = Query::scan(person)
+        .join(Query::scan(employee))
+        .join(Query::scan(department));
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("MergeJoin"),
+        "3-way join over ordered indexes must merge-join:\n{plan}"
+    );
+    assert!(
+        !plan.contains("Sort"),
+        "order must be carried, not enforced:\n{plan}"
+    );
+    agree(&eng, &q);
+}
+
+/// Order carried from an explicit ordered-index walk: employee's scan
+/// order does not start with `depname`, so without the index the merge
+/// would need a Sort — with it, the planner walks the BTree instead.
+#[test]
+fn merge_join_consumes_index_range_seek_order() {
+    let eng = engine();
+    load(&eng, 200);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    eng.create_ord_index(employee, depname).unwrap();
+    let q = Query::scan(employee).join(Query::scan(department));
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("MergeJoin") && plan.contains("IndexRangeSeek") && !plan.contains("Sort"),
+        "merge join must consume the ordered index's order:\n{plan}"
+    );
+    agree(&eng, &q);
+}
+
+/// DP join reordering avoids the cross product the as-written nesting
+/// would execute: (person ⋈ department) ⋈ worksfor shares no attributes
+/// in its first join, so the reorderer must pick another association.
+#[test]
+fn dp_reorders_away_from_cross_products() {
+    let eng = engine();
+    load(&eng, 120);
+    let s = eng.with_db(|db| db.schema().clone());
+    let person = s.type_id("person").unwrap();
+    let department = s.type_id("department").unwrap();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let deps = ["sales", "research", "admin"];
+    for i in 0..120 {
+        eng.insert(
+            worksfor,
+            &[
+                ("name", Value::str(&format!("w{i:04}"))),
+                ("age", Value::Int(i % 90)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+                (
+                    "location",
+                    Value::str(["amsterdam", "utrecht"][(i % 2) as usize]),
+                ),
+            ],
+        )
+        .unwrap();
+    }
+    let q = Query::scan(person)
+        .join(Query::scan(department))
+        .join(Query::scan(worksfor));
+    let stats = eng.statistics();
+    let (reordered, baseline) = eng.with_parts(|db, indexes| {
+        let logical = lower_and_rewrite(&q, db).unwrap();
+        let dp = plan_with(&logical, db, indexes, &stats, &PlannerOptions::default());
+        let asis = plan_with(
+            &logical,
+            db,
+            indexes,
+            &stats,
+            &PlannerOptions {
+                reorder_joins: false,
+                merge_joins: false,
+                ..Default::default()
+            },
+        );
+        (dp, asis)
+    });
+    let dp_cost = toposem_planner::estimate(&reordered, &stats).cost;
+    let base_cost = toposem_planner::estimate(&baseline, &stats).cost;
+    assert!(
+        dp_cost < base_cost,
+        "reordered plan must beat the as-written nesting: {dp_cost} vs {base_cost}"
+    );
+    // Both plans compute the same relation, which matches naive.
+    let naive = eng.with_db(|db| q.execute(db)).unwrap().1;
+    eng.with_parts(|db, indexes| {
+        assert_eq!(execute(&reordered, db, indexes), naive);
+        assert_eq!(execute(&baseline, db, indexes), naive);
+    });
+    agree(&eng, &q);
+}
+
+/// Above the DP budget the greedy fallback still reorders — and at any
+/// width, planned execution stays equal to naive.
+#[test]
+fn wide_self_joins_take_the_greedy_path_and_agree() {
+    let eng = engine();
+    load(&eng, 40);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    // employee ⋈ person ⋈ employee ⋈ … : 10 leaves (> dp_max_leaves=8),
+    // every intermediate union is still a declared type.
+    let mut q = Query::scan(employee);
+    for i in 0..9 {
+        let other = if i % 2 == 0 { person } else { employee };
+        q = q.join(Query::scan(other));
+    }
+    agree(&eng, &q);
+}
+
+/// An oversized DP budget is clamped, not trusted: 18 join leaves with
+/// `dp_max_leaves: 64` must take the greedy path (the DP's u32 subset
+/// masks would overflow) and still agree with naive execution.
+#[test]
+fn oversized_dp_budget_is_clamped_not_overflowed() {
+    let eng = engine();
+    load(&eng, 20);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    let mut q = Query::scan(employee);
+    for i in 0..17 {
+        q = q.join(Query::scan(if i % 2 == 0 { person } else { employee }));
+    }
+    let stats = eng.statistics();
+    let naive = eng.with_db(|db| q.execute(db)).unwrap().1;
+    eng.with_parts(|db, indexes| {
+        let logical = lower_and_rewrite(&q, db).unwrap();
+        let phys = plan_with(
+            &logical,
+            db,
+            indexes,
+            &stats,
+            &PlannerOptions {
+                dp_max_leaves: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(execute(&phys, db, indexes), naive);
+    });
+}
+
+/// Ordered execution: planned output honours the root order-by whether
+/// the order is carried (ascending, index available) or enforced
+/// (descending, or no ordered path).
+#[test]
+fn order_by_is_honoured_with_and_without_enforcers() {
+    let eng = engine();
+    load(&eng, 150);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    let name = s.attr_id("name").unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+
+    // Ascending on an ordered-index attribute: carried, no Sort.
+    let q = Query::scan(employee).order_by_asc(age);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("IndexRangeSeek") && !plan.contains("Sort"),
+        "ascending order over an ordered index must be carried:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+
+    // Descending: no access path emits it; a Sort enforcer appears.
+    let q = Query::scan(employee).order_by(vec![(age, SortDir::Desc)]);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("Sort"),
+        "descending order needs an enforcer:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+
+    // Order over a selection, carried through the residual filter.
+    let q = Query::scan(employee)
+        .select(depname, Value::str("sales"))
+        .order_by_asc(age);
+    agree_ordered(&eng, &q);
+
+    // Order over a join output.
+    let q = Query::scan(employee)
+        .join(Query::scan(department))
+        .order_by(vec![(depname, SortDir::Asc), (name, SortDir::Asc)]);
+    agree_ordered(&eng, &q);
+
+    // The scan's canonical order is itself a physical property: ordering
+    // by the type's first attributes needs no enforcer at all.
+    let q = Query::scan(employee).order_by(vec![(name, SortDir::Asc), (age, SortDir::Asc)]);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        !plan.contains("Sort"),
+        "canonical relation order must satisfy a matching order-by:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+
+    // No order-by at all: ordered execution still works (arrival order).
+    agree_ordered(&eng, &Query::scan(employee));
+}
+
+/// Composite-index range suffix: an equality prefix plus a range on the
+/// next key attribute seeks one contiguous composite key range instead
+/// of filtering residually.
+#[test]
+fn composite_equality_prefix_plus_range_suffix_seeks() {
+    let eng = engine();
+    load(&eng, 300);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    eng.create_composite_index(employee, &[depname, age])
+        .unwrap();
+    let q = Query::scan(employee)
+        .select(depname, Value::str("sales"))
+        .select_between(age, Value::Int(10), Value::Int(30));
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("CompositeSeek") && plan.contains("range age"),
+        "equality prefix + range must seek the composite range:\n{plan}"
+    );
+    assert!(
+        !plan.contains("residual"),
+        "both predicates are consumed by the seek:\n{plan}"
+    );
+    agree(&eng, &q);
+    // A leading-attribute range (empty prefix) also seeks.
+    let q = Query::scan(employee).select_lt(depname, Value::str("research"));
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("CompositeSeek") && plan.contains("range depname"),
+        "leading range must seek the composite index:\n{plan}"
+    );
+    agree(&eng, &q);
+    // Range + residual past the suffix attribute still agrees.
+    let name = s.attr_id("name").unwrap();
+    let q = Query::scan(employee)
+        .select(depname, Value::str("admin"))
+        .select_ge(age, Value::Int(40))
+        .select(name, Value::str("w0045"));
+    agree(&eng, &q);
+}
+
+/// drop_index removes the access path (plans fall back to scans) and is
+/// honoured by recovery replay.
+#[test]
+fn drop_index_removes_access_path_and_replays() {
+    let eng = engine();
+    load(&eng, 100);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    let q = Query::scan(employee).select_between(age, Value::Int(5), Value::Int(8));
+    assert!(eng.explain(&q).unwrap().contains("IndexRangeSeek"));
+    assert!(eng
+        .drop_index(employee, IndexKind::Ordered, &[age])
+        .unwrap());
+    // Dropping again reports nothing to drop.
+    assert!(!eng
+        .drop_index(employee, IndexKind::Ordered, &[age])
+        .unwrap());
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        !plan.contains("IndexRangeSeek"),
+        "dropped index must not be planned against:\n{plan}"
+    );
+    agree(&eng, &q);
+    assert!(eng.index_defs(employee).is_empty());
+}

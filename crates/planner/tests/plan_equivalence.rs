@@ -19,8 +19,8 @@
 use proptest::prelude::*;
 use toposem_core::{employee_schema, Intension, TypeId};
 use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
-use toposem_planner::PlannedExecution;
-use toposem_storage::{Engine, Predicate, Query};
+use toposem_planner::{execute, lower_and_rewrite, plan_with, PlannedExecution, PlannerOptions};
+use toposem_storage::{cmp_by_keys, Engine, Predicate, Query, SortDir};
 
 const NAMES: [&str; 5] = ["ann", "bob", "carol", "dave", "eve"];
 const DEPS: [&str; 3] = ["sales", "research", "admin"];
@@ -159,7 +159,7 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
         Query::scan(types[decisions.first().map(|d| d.1 as usize).unwrap_or(0) % types.len()]);
     for (op, a, b) in decisions {
         let ty = q.entity_type(db).expect("invariant: q stays sanctioned");
-        match op % 7 {
+        match op % 8 {
             // Selection on an attribute of the current type.
             0 => {
                 let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
@@ -208,7 +208,7 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
             // Conjunctive multi-attribute equality selection: equality on
             // two (possibly equal) attributes in one step, so composite
             // prefix matching gets regular coverage.
-            _ => {
+            6 => {
                 let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
                 let a1 = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
                 let a2 = toposem_core::AttrId(attrs[*b as usize % attrs.len()] as u32);
@@ -217,9 +217,63 @@ fn grow_query(db: &Database, decisions: &[(u8, u8, u8)]) -> Query {
                     (a2, value_for(db, a2, *a as usize)),
                 ]);
             }
+            // Order-by on one or two attributes of the current type,
+            // mixed directions. Non-root orderings are dropped by both
+            // evaluators; a root ordering makes the query
+            // order-sensitive through `execute_ordered`.
+            _ => {
+                let attrs: Vec<_> = schema.attrs_of(ty).iter().collect();
+                let a1 = toposem_core::AttrId(attrs[*a as usize % attrs.len()] as u32);
+                let a2 = toposem_core::AttrId(attrs[*b as usize % attrs.len()] as u32);
+                let dir = |x: u8| {
+                    if x.is_multiple_of(2) {
+                        SortDir::Asc
+                    } else {
+                        SortDir::Desc
+                    }
+                };
+                let mut keys = vec![(a1, dir(*a))];
+                if a1 != a2 {
+                    keys.push((a2, dir(*b)));
+                }
+                q = q.order_by(keys);
+            }
         }
     }
     q
+}
+
+/// Planned execution agrees with the naive interpreter on the result
+/// *sequence* semantics too: the ordered outputs contain the same
+/// tuples, and the planned sequence ascends by the root sort keys.
+fn assert_ordered_agreement(eng: &Engine, q: &Query) -> Result<(), TestCaseError> {
+    let naive = eng
+        .with_db(|db| q.execute_ordered(db))
+        .expect("generated query is sanctioned");
+    let planned = eng
+        .query_planned_ordered(q)
+        .expect("planner accepts sanctioned queries");
+    prop_assert_eq!(naive.0, planned.0, "entity types diverged for {:?}", q);
+    prop_assert_eq!(
+        naive.1.len(),
+        planned.1.len(),
+        "ordered lengths diverged for {:?}",
+        q
+    );
+    let keys = q.root_order();
+    prop_assert!(
+        planned
+            .1
+            .windows(2)
+            .all(|w| cmp_by_keys(&w[0], &w[1], keys) != std::cmp::Ordering::Greater),
+        "planned sequence violates {:?} for {:?}",
+        keys,
+        q
+    );
+    let ns: std::collections::HashSet<_> = naive.1.into_iter().collect();
+    let ps: std::collections::HashSet<_> = planned.1.into_iter().collect();
+    prop_assert_eq!(ns, ps, "ordered result sets diverged for {:?}", q);
+    Ok(())
 }
 
 fn engine(policy: ContainmentPolicy) -> Engine {
@@ -231,11 +285,12 @@ fn engine(policy: ContainmentPolicy) -> Engine {
 }
 
 proptest! {
-    /// The headline oracle: planned == naive on both policies.
+    /// The headline oracle: planned == naive on both policies, as sets
+    /// and as ordered sequences.
     #[test]
     fn planned_equals_naive(
         rows in prop::collection::vec(row_strategy(), 0..25),
-        decisions in prop::collection::vec((0u8..7, 0u8..16, 0u8..16), 0..8),
+        decisions in prop::collection::vec((0u8..8, 0u8..16, 0u8..16), 0..8),
     ) {
         for policy in [ContainmentPolicy::Eager, ContainmentPolicy::OnDemand] {
             let eng = engine(policy);
@@ -245,6 +300,7 @@ proptest! {
             let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
             prop_assert_eq!(&naive.0, &planned.0, "entity types diverged for {:?}", q);
             prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
+            assert_ordered_agreement(&eng, &q)?;
         }
     }
 
@@ -258,7 +314,7 @@ proptest! {
     #[test]
     fn planned_equals_naive_with_indexes(
         rows in prop::collection::vec(row_strategy(), 0..25),
-        decisions in prop::collection::vec((0u8..7, 0u8..16, 0u8..16), 0..8),
+        decisions in prop::collection::vec((0u8..8, 0u8..16, 0u8..16), 0..8),
         index_picks in prop::collection::vec(0usize..24, 5),
         index_first in 0u8..2,
     ) {
@@ -301,6 +357,85 @@ proptest! {
         let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
         prop_assert_eq!(&naive.0, &planned.0);
         prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
+        assert_ordered_agreement(&eng, &q)?;
+    }
+
+    /// Multi-way joins through the DP reorderer (and the greedy path for
+    /// the widest chains): 3–5-way joins over the sanctioned pool, with
+    /// random per-type indexes, optional selections, and an optional
+    /// root ordering. The DP plan, the as-written hash-join baseline,
+    /// and the naive interpreter must all produce the same relation.
+    #[test]
+    fn multiway_joins_agree_with_naive_and_baseline(
+        rows in prop::collection::vec(row_strategy(), 0..30),
+        chain in prop::collection::vec(0usize..4, 2..5),
+        sel in (0u8..2, 0u8..16, 0u8..16),
+        order in (0u8..2, 0u8..16, 0u8..2),
+        index_picks in prop::collection::vec(0usize..24, 5),
+    ) {
+        let eng = engine(ContainmentPolicy::Eager);
+        let s = eng.with_db(|db| db.schema().clone());
+        load(&eng, &rows);
+        for (e, pick) in s.type_ids().zip(&index_picks) {
+            let attrs: Vec<toposem_core::AttrId> = s
+                .attrs_of(e)
+                .iter()
+                .map(|a| toposem_core::AttrId(a as u32))
+                .collect();
+            let attr = attrs[(pick / 3) % attrs.len()];
+            match pick % 3 {
+                0 => eng.create_index(e, attr).unwrap(),
+                1 => eng.create_ord_index(e, attr).unwrap(),
+                _ => {
+                    let i = (pick / 3) % attrs.len();
+                    let key: Vec<_> = if attrs.len() >= 2 {
+                        vec![attrs[i], attrs[(i + 1) % attrs.len()]]
+                    } else {
+                        vec![attrs[i]]
+                    };
+                    eng.create_composite_index(e, &key).unwrap();
+                }
+            }
+        }
+        // Any left-fold over this pool keeps every intermediate
+        // sanctioned (their attribute unions are employee or worksfor).
+        let pool = ["person", "employee", "department", "worksfor"]
+            .map(|n| s.type_id(n).unwrap());
+        let mut q = Query::scan(pool[0]);
+        for pick in &chain {
+            q = q.join(Query::scan(pool[*pick]));
+        }
+        let ty = eng.with_db(|db| q.entity_type(db)).expect("pool joins stay sanctioned");
+        if sel.0 == 1 {
+            let attrs: Vec<_> = s.attrs_of(ty).iter().collect();
+            let attr = toposem_core::AttrId(attrs[sel.1 as usize % attrs.len()] as u32);
+            let v = eng.with_db(|db| value_for(db, attr, sel.2 as usize));
+            q = q.select(attr, v);
+        }
+        if order.0 == 1 {
+            let attrs: Vec<_> = s.attrs_of(ty).iter().collect();
+            let attr = toposem_core::AttrId(attrs[order.1 as usize % attrs.len()] as u32);
+            let dir = if order.2 == 0 { SortDir::Asc } else { SortDir::Desc };
+            q = q.order_by(vec![(attr, dir)]);
+        }
+        let naive = eng.with_db(|db| q.execute(db)).expect("sanctioned");
+        let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+        prop_assert_eq!(&naive.0, &planned.0);
+        prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
+        assert_ordered_agreement(&eng, &q)?;
+        // The as-written baseline (no reordering, hash joins only)
+        // computes the same relation as the DP/merge plan.
+        let stats = eng.statistics();
+        let baseline = eng.with_parts(|db, indexes| {
+            let logical = lower_and_rewrite(&q, db).expect("sanctioned");
+            let phys = plan_with(&logical, db, indexes, &stats, &PlannerOptions {
+                reorder_joins: false,
+                merge_joins: false,
+                ..Default::default()
+            });
+            execute(&phys, db, indexes)
+        });
+        prop_assert_eq!(&naive.1, &baseline, "baseline diverged for {:?}", q);
     }
 }
 

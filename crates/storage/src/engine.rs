@@ -253,6 +253,9 @@ impl Engine {
                 }
                 WalEntry::Checkpoint { .. } => {}
                 WalEntry::CreateIndex { def } => index_defs.push(def),
+                // Drops are applied to the accumulated definition list in
+                // log order, so create/drop/create replays to one index.
+                WalEntry::DropIndex { def } => index_defs.retain(|d| *d != def),
                 WalEntry::DeclareFd { lhs, rhs, context } => fd_defs.push((lhs, rhs, context)),
             }
         }
@@ -492,6 +495,47 @@ impl Engine {
             wal.flush()?;
         }
         Ok(())
+    }
+
+    /// Drops the index of `kind` over `attrs` on `e`, returning whether
+    /// one existed. Dropping bumps the statistics epoch (cached plans
+    /// may reference the index and must be invalidated) and, on a
+    /// durable engine, logs a `DropIndex` record (immediately synced)
+    /// so recovery stops rebuilding the index.
+    pub fn drop_index(
+        &self,
+        e: TypeId,
+        kind: IndexKind,
+        attrs: &[toposem_core::AttrId],
+    ) -> Result<bool, EngineError> {
+        let mut inner = self.inner.write();
+        let slot = &mut inner.indexes[e.index()];
+        let before = slot.len();
+        slot.retain(|idx| !(idx.kind() == kind && idx.attrs() == attrs));
+        if slot.len() == before {
+            return Ok(false);
+        }
+        inner.note_mutation();
+        let def = {
+            let schema = inner.db.schema();
+            IndexDef {
+                entity: schema.type_name(e).to_owned(),
+                kind: match kind {
+                    IndexKind::Hash => IndexKindDef::Hash,
+                    IndexKind::Ordered => IndexKindDef::Ordered,
+                    IndexKind::Composite => IndexKindDef::Composite,
+                },
+                attrs: attrs
+                    .iter()
+                    .map(|a| schema.attr_name(*a).to_owned())
+                    .collect(),
+            }
+        };
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.append(WalEntry::DropIndex { def })?;
+            wal.flush()?;
+        }
+        Ok(true)
     }
 
     /// Point lookup through any single-attribute index of `e` on `attr`

@@ -271,6 +271,45 @@ impl CompositeIndex {
             .flat_map(|(_, ts)| ts.iter())
     }
 
+    /// Prefix-plus-range lookup: every instance whose first
+    /// `prefix.len()` key attributes equal `prefix` *and* whose next key
+    /// attribute lies between the bounds (`(value, inclusive)`; `None` =
+    /// unbounded). The qualifying keys form one contiguous BTree range,
+    /// so only that slice is walked (plus, for an exclusive lower bound,
+    /// the run of keys equal to the bound, which are skipped). Requires
+    /// `prefix.len() < attrs.len()`; an inverted range yields nothing.
+    pub fn lookup_prefix_range<'a>(
+        &'a self,
+        prefix: &'a [Value],
+        lo: Option<(&'a Value, bool)>,
+        hi: Option<(&'a Value, bool)>,
+    ) -> impl Iterator<Item = &'a Instance> {
+        assert!(
+            prefix.len() < self.attrs.len(),
+            "range suffix needs a key attribute past the prefix"
+        );
+        let p = prefix.len();
+        // Start at the first key carrying the prefix and (when bounded
+        // below) the lower-bound value; an exclusive bound starts at the
+        // same key and skips the equal run.
+        let start: Vec<Value> = match lo {
+            Some((v, _)) => prefix.iter().chain(std::iter::once(v)).cloned().collect(),
+            None => prefix.to_vec(),
+        };
+        self.tree
+            .range::<[Value], _>((Bound::Included(start.as_slice()), Bound::Unbounded))
+            .skip_while(move |(k, _)| matches!(lo, Some((v, false)) if &k[p] == v))
+            .take_while(move |(k, _)| {
+                k[..p] == *prefix
+                    && match hi {
+                        Some((v, true)) => &k[p] <= v,
+                        Some((v, false)) => &k[p] < v,
+                        None => true,
+                    }
+            })
+            .flat_map(|(_, ts)| ts.iter())
+    }
+
     /// The distinct keys, in ascending lexicographic order.
     pub fn keys(&self) -> impl Iterator<Item = &[Value]> {
         self.tree.keys().map(Vec::as_slice)
@@ -582,6 +621,114 @@ mod tests {
         }
         assert!(idx.is_empty());
         assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn composite_prefix_range_lookup() {
+        let s = employee_schema();
+        let age = s.attr_id("age").unwrap();
+        let dep = s.attr_id("depname").unwrap();
+        let mut idx = CompositeIndex::new(vec![dep, age]);
+        let rows = [
+            ("sales", 20),
+            ("sales", 30),
+            ("sales", 30),
+            ("sales", 40),
+            ("research", 25),
+            ("research", 35),
+        ];
+        let tuples: Vec<Instance> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (d, a))| emp(&format!("p{i}"), *a, d))
+            .collect();
+        for t in &tuples {
+            idx.insert(t);
+        }
+        let sales = [Value::str("sales")];
+        let v25 = Value::Int(25);
+        let v30 = Value::Int(30);
+        let v40 = Value::Int(40);
+        // Inclusive both ends: 30, 30, 40.
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, Some((&v25, true)), Some((&v40, true)))
+                .count(),
+            3
+        );
+        // Exclusive lower bound skips the whole equal run.
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, Some((&v30, false)), Some((&v40, true)))
+                .count(),
+            1
+        );
+        // Exclusive upper bound.
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, Some((&v25, true)), Some((&v40, false)))
+                .count(),
+            2
+        );
+        // Unbounded sides.
+        assert_eq!(idx.lookup_prefix_range(&sales, None, None).count(), 4);
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, Some((&v30, true)), None)
+                .count(),
+            3
+        );
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, None, Some((&v30, false)))
+                .count(),
+            1
+        );
+        // Empty prefix: a range over the *leading* key attribute.
+        let research = Value::str("research");
+        assert_eq!(
+            idx.lookup_prefix_range(&[], None, Some((&research, true)))
+                .count(),
+            2
+        );
+        // Inverted range matches nothing.
+        assert_eq!(
+            idx.lookup_prefix_range(&sales, Some((&v40, true)), Some((&v25, true)))
+                .count(),
+            0
+        );
+        // Absent prefix matches nothing.
+        assert_eq!(
+            idx.lookup_prefix_range(&[Value::str("admin")], None, None)
+                .count(),
+            0
+        );
+        // Agreement with a scan-and-filter over the same rows.
+        for (lo, hi) in [
+            (None, None),
+            (Some((&v25, true)), Some((&v40, false))),
+            (Some((&v30, false)), None),
+        ] {
+            let via_seek: Vec<_> = idx.lookup_prefix_range(&sales, lo, hi).collect();
+            let via_scan: Vec<_> = tuples
+                .iter()
+                .filter(|t| {
+                    t.get(dep) == Some(&Value::str("sales"))
+                        && lo.is_none_or(|(v, inc)| {
+                            let x = t.get(age).unwrap();
+                            if inc {
+                                x >= v
+                            } else {
+                                x > v
+                            }
+                        })
+                        && hi.is_none_or(|(v, inc)| {
+                            let x = t.get(age).unwrap();
+                            if inc {
+                                x <= v
+                            } else {
+                                x < v
+                            }
+                        })
+                })
+                .collect();
+            assert_eq!(via_seek.len(), via_scan.len(), "({lo:?}, {hi:?})");
+        }
     }
 
     #[test]

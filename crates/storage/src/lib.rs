@@ -21,7 +21,9 @@ pub mod view_exec;
 pub use catalog::{Catalog, StoragePlan};
 pub use engine::{Engine, EngineError};
 pub use index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
-pub use query::{Interval, PredBound, Predicate, Query, QueryError};
+pub use query::{
+    cmp_by_keys, Interval, PredBound, Predicate, Query, QueryError, SortDir, SortKeys,
+};
 pub use snapshot::{load, save, SnapshotError};
 pub use stats::{Statistics, TypeStats};
 pub use view_exec::{

@@ -101,6 +101,47 @@ impl std::fmt::Display for Predicate {
 /// it is inclusive; `None` means unbounded on that side.
 pub type PredBound<'a> = Option<(&'a Value, bool)>;
 
+/// Direction of one sort key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SortDir {
+    /// Smallest value first (the order every index walk produces).
+    Asc,
+    /// Largest value first (always needs an explicit sort).
+    Desc,
+}
+
+impl std::fmt::Display for SortDir {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortDir::Asc => write!(f, "asc"),
+            SortDir::Desc => write!(f, "desc"),
+        }
+    }
+}
+
+/// A requested output ordering: sort keys applied left to right.
+pub type SortKeys = Vec<(toposem_core::AttrId, SortDir)>;
+
+/// Compares two instances under `keys` (attributes outside either tuple
+/// order last, which cannot happen for validated same-type tuples).
+pub fn cmp_by_keys(
+    a: &Instance,
+    b: &Instance,
+    keys: &[(toposem_core::AttrId, SortDir)],
+) -> std::cmp::Ordering {
+    for (attr, dir) in keys {
+        let ord = a.get(*attr).cmp(&b.get(*attr));
+        let ord = match dir {
+            SortDir::Asc => ord,
+            SortDir::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
 /// The intersection of predicate intervals on one attribute: an owned
 /// `(value, inclusive)` bound on each side, tightened one predicate at a
 /// time. This is the single home of the inclusive/exclusive bound-merge
@@ -187,6 +228,16 @@ pub enum Query {
     Union(Box<Query>, Box<Query>),
     /// Set intersection of two queries of the same entity type.
     Intersect(Box<Query>, Box<Query>),
+    /// Requested output ordering; type-preserving. Ordering is
+    /// observable only at the query root (results are sets, so an
+    /// interior ordering carries no meaning); nested `OrderBy` nodes
+    /// collapse to the outermost one.
+    OrderBy {
+        /// Input query.
+        input: Box<Query>,
+        /// Sort keys, applied left to right.
+        keys: SortKeys,
+    },
 }
 
 /// Typing/validation errors.
@@ -306,6 +357,30 @@ impl Query {
         Query::Intersect(Box::new(self), Box::new(other))
     }
 
+    /// Convenience: request an output ordering (keys applied left to
+    /// right). The outermost `OrderBy` of a query wins; ordering an
+    /// intermediate subquery has no effect on the (set-valued) result.
+    pub fn order_by(self, keys: SortKeys) -> Query {
+        Query::OrderBy {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Convenience: ascending single-key ordering.
+    pub fn order_by_asc(self, attr: toposem_core::AttrId) -> Query {
+        self.order_by(vec![(attr, SortDir::Asc)])
+    }
+
+    /// The effective root ordering: the outermost `OrderBy`'s keys, or
+    /// empty when the query requests none.
+    pub fn root_order(&self) -> &[(toposem_core::AttrId, SortDir)] {
+        match self {
+            Query::OrderBy { keys, .. } => keys,
+            _ => &[],
+        }
+    }
+
     /// A stable in-process fingerprint of the query's structure (FNV-1a
     /// over the canonical debug rendering). Two structurally identical
     /// queries collide on purpose — the planner's cache keys on this
@@ -363,13 +438,40 @@ impl Query {
                 }
                 Ok(ta)
             }
+            Query::OrderBy { input, keys } => {
+                let e = input.entity_type(db)?;
+                for (attr, _) in keys {
+                    if !schema.attrs_of(e).contains(attr.index()) {
+                        return Err(QueryError::ForeignAttribute(*attr));
+                    }
+                }
+                Ok(e)
+            }
         }
     }
 
     /// Executes the query. Typing runs first; execution then cannot fail.
+    /// The result is a set; any requested ordering is observable through
+    /// [`Query::execute_ordered`] instead.
     pub fn execute(&self, db: &Database) -> Result<(TypeId, Relation), QueryError> {
         let out_type = self.entity_type(db)?;
         Ok((out_type, self.eval(db)))
+    }
+
+    /// Executes the query and returns its tuples as a sequence honouring
+    /// the root [`Query::OrderBy`] (ties, and the whole result when no
+    /// ordering was requested, fall back to the canonical instance
+    /// order, so the output is fully deterministic).
+    pub fn execute_ordered(&self, db: &Database) -> Result<(TypeId, Vec<Instance>), QueryError> {
+        let (ty, rel) = self.execute(db)?;
+        // Relation iterates canonically; a stable sort by the requested
+        // keys therefore leaves ties canonically ordered.
+        let mut out: Vec<Instance> = rel.iter().cloned().collect();
+        let keys = self.root_order();
+        if !keys.is_empty() {
+            out.sort_by(|a, b| cmp_by_keys(a, b, keys));
+        }
+        Ok((ty, out))
     }
 
     fn eval(&self, db: &Database) -> Relation {
@@ -390,6 +492,8 @@ impl Query {
                 let rb = b.eval(db);
                 a.eval(db).select(|t| rb.contains(t))
             }
+            // Ordering does not change the result *set*.
+            Query::OrderBy { input, .. } => input.eval(db),
         }
     }
 }
@@ -515,6 +619,45 @@ mod tests {
         assert!(!Predicate::Between(Value::Int(3), Value::Int(3)).is_empty());
         assert_eq!(Predicate::Eq(Value::Int(1)).as_eq(), Some(&Value::Int(1)));
         assert_eq!(Predicate::Lt(Value::Int(1)).as_eq(), None);
+    }
+
+    #[test]
+    fn order_by_is_type_preserving_and_orders_output() {
+        let db = loaded_db();
+        let s = db.schema();
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        let budget = s.attr_id("budget").unwrap();
+        // The set result ignores the ordering…
+        let q = Query::scan(employee).order_by_asc(age);
+        let (t, rel) = q.execute(&db).unwrap();
+        assert_eq!(t, employee);
+        assert_eq!(rel.len(), 2);
+        // …the ordered result honours it, both directions.
+        let (_, asc) = q.execute_ordered(&db).unwrap();
+        let ages: Vec<_> = asc.iter().map(|t| t.get(age).cloned().unwrap()).collect();
+        assert_eq!(ages, vec![Value::Int(30), Value::Int(40)]);
+        let q = Query::scan(employee).order_by(vec![(age, SortDir::Desc)]);
+        let (_, desc) = q.execute_ordered(&db).unwrap();
+        let ages: Vec<_> = desc.iter().map(|t| t.get(age).cloned().unwrap()).collect();
+        assert_eq!(ages, vec![Value::Int(40), Value::Int(30)]);
+        // Without an OrderBy the ordered result is the canonical order.
+        let (_, plain) = Query::scan(employee).execute_ordered(&db).unwrap();
+        assert_eq!(plain.len(), 2);
+        // Nested orderings: the outermost wins.
+        let q = Query::scan(employee)
+            .order_by_asc(age)
+            .order_by(vec![(age, SortDir::Desc)]);
+        assert_eq!(q.root_order(), &[(age, SortDir::Desc)]);
+        let (_, v) = q.execute_ordered(&db).unwrap();
+        assert_eq!(v.first().unwrap().get(age), Some(&Value::Int(40)));
+        // A sort key outside the input type is rejected like any other
+        // foreign attribute.
+        let q = Query::scan(employee).order_by_asc(budget);
+        assert!(matches!(
+            q.entity_type(&db),
+            Err(QueryError::ForeignAttribute(_))
+        ));
     }
 
     #[test]

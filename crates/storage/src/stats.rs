@@ -126,6 +126,35 @@ impl Statistics {
         1.0 / self.distinct_count(e, a).max(1) as f64
     }
 
+    /// Estimated cardinality of the natural join of two inputs over the
+    /// shared attributes `keys`, given each input's (estimated) row
+    /// count and its output entity type. Classic System-R shape: every
+    /// join key divides the cross product by the larger of the two
+    /// sides' distinct counts; for a compound key the *most* selective
+    /// attribute alone is charged (taking the product would assume key
+    /// attributes independent, which compound keys in practice are not
+    /// — distinct(name) already ≈ distinct(name, age)). No shared
+    /// attributes means a genuine cross product.
+    pub fn join_cardinality(
+        &self,
+        left: TypeId,
+        left_rows: f64,
+        right: TypeId,
+        right_rows: f64,
+        keys: &[AttrId],
+    ) -> f64 {
+        let cross = left_rows * right_rows;
+        let denom = keys
+            .iter()
+            .map(|a| {
+                self.distinct_count(left, *a)
+                    .max(self.distinct_count(right, *a))
+                    .max(1) as f64
+            })
+            .fold(1.0_f64, f64::max);
+        (cross / denom).max(0.0)
+    }
+
     /// Estimated fraction of `e`'s tuples matching `pred` on `a`.
     /// Equality uses 1/distinct; ranges over integer attributes
     /// interpolate against the observed [min, max] span; anything else
@@ -207,6 +236,53 @@ mod tests {
             stats.distinct_count(employee, s.attr_id("budget").unwrap()),
             0
         );
+    }
+
+    #[test]
+    fn join_cardinality_divides_by_the_dominant_key() {
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let employee = s.type_id("employee").unwrap();
+        let department = s.type_id("department").unwrap();
+        let depname = s.attr_id("depname").unwrap();
+        let name = s.attr_id("name").unwrap();
+        let age = s.attr_id("age").unwrap();
+        for i in 0..90i64 {
+            db.insert_fields(
+                employee,
+                &[
+                    ("name", Value::str(&format!("p{i}"))),
+                    ("age", Value::Int(i % 30)),
+                    (
+                        "depname",
+                        Value::str(["sales", "research", "admin"][(i % 3) as usize]),
+                    ),
+                ],
+            )
+            .unwrap();
+        }
+        for (d, l) in [("sales", "amsterdam"), ("research", "utrecht")] {
+            db.insert_fields(
+                department,
+                &[("depname", Value::str(d)), ("location", Value::str(l))],
+            )
+            .unwrap();
+        }
+        let stats = Statistics::collect(&db, &[]);
+        // FK-style join: 90 × 2 / max(distinct depname) = 180 / 3 = 60.
+        let fk = stats.join_cardinality(employee, 90.0, department, 2.0, &[depname]);
+        assert!((fk - 60.0).abs() < 1e-9, "got {fk}");
+        // No shared attributes: a genuine cross product.
+        let cross = stats.join_cardinality(employee, 90.0, department, 2.0, &[]);
+        assert!((cross - 180.0).abs() < 1e-9, "got {cross}");
+        // A compound key charges only its most selective attribute
+        // (name: 90 distinct dominates age: 30 distinct).
+        let compound = stats.join_cardinality(employee, 90.0, employee, 90.0, &[name, age]);
+        assert!((compound - 90.0).abs() < 1e-9, "got {compound}");
     }
 
     #[test]

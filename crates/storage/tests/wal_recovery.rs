@@ -292,6 +292,68 @@ fn declared_fds_survive_recovery() {
     fs::remove_dir_all(&dir).unwrap();
 }
 
+/// `drop_index` is durably logged: recovery replays creates *and* drops
+/// in log order, so a create/drop/create history converges to exactly
+/// one live index, and a dropped index stays dropped across restarts
+/// and checkpoints.
+#[test]
+fn drop_index_survives_recovery() {
+    use toposem_storage::IndexKind;
+
+    let dir = temp_dir("dropidx");
+    let eng = durable_engine(&dir, FlushPolicy::PerCommit);
+    let (employee, depname, age) = eng.with_db(|db| {
+        let s = db.schema();
+        (
+            s.type_id("employee").unwrap(),
+            s.attr_id("depname").unwrap(),
+            s.attr_id("age").unwrap(),
+        )
+    });
+    insert_employee(&eng, "ann", 40, "sales");
+    eng.create_index(employee, depname).unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    // Drop the hash index; then create/drop/create the same ordered
+    // index so replay must track the definition list in log order.
+    assert!(eng
+        .drop_index(employee, IndexKind::Hash, &[depname])
+        .unwrap());
+    assert!(eng
+        .drop_index(employee, IndexKind::Ordered, &[age])
+        .unwrap());
+    eng.create_ord_index(employee, age).unwrap();
+    drop(eng);
+
+    let recovered = Engine::recover(&dir).unwrap();
+    assert_eq!(
+        recovered.index_defs(employee),
+        vec![(IndexKind::Ordered, vec![age])],
+        "recovery must replay drops in log order"
+    );
+
+    // A checkpoint after the drop must not resurrect it either.
+    let cfg = WalConfig {
+        flush: FlushPolicy::PerCommit,
+        segment_bytes: 2048,
+    };
+    let reopened = Engine::open(&dir, cfg).unwrap();
+    assert_eq!(
+        reopened.index_defs(employee),
+        vec![(IndexKind::Ordered, vec![age])]
+    );
+    reopened.checkpoint().unwrap();
+    assert!(reopened
+        .drop_index(employee, IndexKind::Ordered, &[age])
+        .unwrap());
+    drop(reopened);
+    let recovered = Engine::recover(&dir).unwrap();
+    assert!(
+        recovered.index_defs(employee).is_empty(),
+        "a post-checkpoint drop must survive recovery"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn durability_api_guards() {
     let dir = temp_dir("guards");

@@ -101,6 +101,13 @@ pub enum WalEntry {
         /// The logged definition.
         def: IndexDef,
     },
+    /// An index was dropped (non-transactional). Recovery removes every
+    /// accumulated definition matching `def`, so a create/drop/create
+    /// sequence replays to exactly one live index.
+    DropIndex {
+        /// The dropped definition (entity, kind, attribute names).
+        def: IndexDef,
+    },
     /// A declared functional dependency `fd(lhs, rhs, context)`
     /// (non-transactional; entity type names, so recovery can restore
     /// enforcement).
@@ -125,6 +132,7 @@ impl WalEntry {
             | WalEntry::Abort { txn } => Some(*txn),
             WalEntry::Checkpoint { .. }
             | WalEntry::CreateIndex { .. }
+            | WalEntry::DropIndex { .. }
             | WalEntry::DeclareFd { .. } => None,
         }
     }
