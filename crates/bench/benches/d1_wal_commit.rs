@@ -20,13 +20,16 @@ use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 use toposem_storage::Engine;
 use toposem_wal::{FlushPolicy, Wal, WalConfig};
 
-const N: usize = 10_000;
+/// 10 000 txns normally, 1 500 in CI short mode (`TOPOSEM_BENCH_SHORT`).
+fn n() -> usize {
+    toposem_bench::sized(10_000, 1_500)
+}
 
 fn cfg() -> Criterion {
     Criterion::default()
         .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(toposem_bench::sized(200, 50)))
+        .measurement_time(Duration::from_millis(toposem_bench::sized(2000, 300)))
 }
 
 fn temp_dir() -> PathBuf {
@@ -96,21 +99,27 @@ fn run(flush: FlushPolicy, n: usize) -> f64 {
 
 fn bench(c: &mut Criterion) {
     // Headline head-to-head at the full workload size.
-    let per_commit = run(FlushPolicy::PerCommit, N);
-    let grouped = run(group_commit(), N);
+    let n = n();
+    let per_commit = run(FlushPolicy::PerCommit, n);
+    let grouped = run(group_commit(), n);
     let speedup = per_commit / grouped;
     println!(
-        "d1 {N} single-tuple txns: PerCommit {:.2}s ({:.0} txns/s), \
+        "d1 {n} single-tuple txns: PerCommit {:.2}s ({:.0} txns/s), \
          GroupCommit(64, 2ms) {:.2}s ({:.0} txns/s) → {speedup:.1}× throughput",
         per_commit,
-        N as f64 / per_commit,
+        n as f64 / per_commit,
         grouped,
-        N as f64 / grouped,
+        n as f64 / grouped,
     );
+    // Full size asserts the headline 2×; CI short mode softens the
+    // floor — on runners whose fsync is nearly free (write-cached
+    // overlay storage) the amortisation ratio legitimately shrinks,
+    // while a broken group commit still lands at ~1.0×.
+    let floor = toposem_bench::sized(2.0, 1.2);
     assert!(
-        speedup >= 2.0,
-        "group commit must amortise fsyncs at least 2× over per-commit \
-         fsync on {N} txns, got {speedup:.2}×"
+        speedup >= floor,
+        "group commit must amortise fsyncs at least {floor}× over per-commit \
+         fsync on {n} txns, got {speedup:.2}×"
     );
 
     // Criterion regression tracking on smaller batches (fresh engine per

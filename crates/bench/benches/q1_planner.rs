@@ -15,13 +15,20 @@ use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 use toposem_planner::PlannedExecution;
 use toposem_storage::{Engine, Query};
 
-const N: i64 = 10_000;
+/// 10 000 tuples normally, 2 000 in CI short mode (`TOPOSEM_BENCH_SHORT`).
+fn n() -> i64 {
+    toposem_bench::sized(10_000, 2_000)
+}
 
 fn cfg() -> Criterion {
     Criterion::default()
         .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(toposem_bench::sized(
+            300, 50,
+        )))
+        .measurement_time(std::time::Duration::from_millis(toposem_bench::sized(
+            2000, 300,
+        )))
 }
 
 fn loaded_engine() -> Engine {
@@ -35,7 +42,7 @@ fn loaded_engine() -> Engine {
         (s.type_id("employee").unwrap(), s.attr_id("name").unwrap())
     });
     let deps = ["sales", "research", "admin"];
-    for i in 0..N {
+    for i in 0..n() {
         eng.insert(
             employee,
             &[
@@ -79,7 +86,8 @@ fn bench(c: &mut Criterion) {
     let name = s.attr_id("name").unwrap();
     let depname = s.attr_id("depname").unwrap();
 
-    let point = Query::scan(employee).select(name, Value::str("w9999"));
+    let n = n();
+    let point = Query::scan(employee).select(name, Value::str(&format!("w{}", n - 1)));
     let third = Query::scan(employee).select(depname, Value::str("sales"));
     let join = Query::scan(employee)
         .join(Query::scan(department))
@@ -92,13 +100,13 @@ fn bench(c: &mut Criterion) {
     let planned_t = time(30, || eng.query_planned(&point).unwrap());
     let speedup = naive_t / planned_t;
     println!(
-        "q1 point query over {N} tuples: naive {:.1} µs, planned (IndexSeek) {:.1} µs → {speedup:.0}×",
+        "q1 point query over {n} tuples: naive {:.1} µs, planned (IndexSeek) {:.1} µs → {speedup:.0}×",
         naive_t * 1e6,
         planned_t * 1e6
     );
     assert!(
         speedup >= 5.0,
-        "IndexSeek must beat naive Scan+Select ≥5× on {N} tuples, got {speedup:.1}×"
+        "IndexSeek must beat naive Scan+Select ≥5× on {n} tuples, got {speedup:.1}×"
     );
     assert!(
         eng.explain(&point).unwrap().contains("IndexSeek"),

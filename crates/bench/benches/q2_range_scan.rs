@@ -16,13 +16,20 @@ use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 use toposem_planner::PlannedExecution;
 use toposem_storage::{Engine, Query};
 
-const N: i64 = 10_000;
+/// 10 000 tuples normally, 2 000 in CI short mode (`TOPOSEM_BENCH_SHORT`).
+fn n() -> i64 {
+    toposem_bench::sized(10_000, 2_000)
+}
 
 fn cfg() -> Criterion {
     Criterion::default()
         .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(toposem_bench::sized(
+            300, 50,
+        )))
+        .measurement_time(std::time::Duration::from_millis(toposem_bench::sized(
+            2000, 300,
+        )))
 }
 
 /// 10k managers with a dense unique `budget` (an unbounded integer
@@ -39,7 +46,7 @@ fn loaded_engine() -> Engine {
         (s.type_id("manager").unwrap(), s.attr_id("budget").unwrap())
     });
     let deps = ["sales", "research", "admin"];
-    for i in 0..N {
+    for i in 0..n() {
         eng.insert(
             manager,
             &[
@@ -74,22 +81,28 @@ fn bench(c: &mut Criterion) {
     let manager = s.type_id("manager").unwrap();
     let budget = s.attr_id("budget").unwrap();
 
-    // Interval widths for 0.1% / 1% / 10% of 10k tuples, anchored
+    // Interval widths for 0.1% / 1% / 10% of the load, anchored
     // mid-distribution so the BTree walk is not an edge case.
+    let n = n();
+    let anchor = n / 2;
     let range = |width: i64| {
         Query::scan(manager).select_between(
             budget,
-            Value::Int(5_000),
-            Value::Int(5_000 + width - 1),
+            Value::Int(anchor),
+            Value::Int(anchor + width - 1),
         )
     };
-    let selectivities = [("0.1pct", 10i64), ("1pct", 100), ("10pct", 1_000)];
+    let selectivities = [("0.1pct", n / 1_000), ("1pct", n / 100), ("10pct", n / 10)];
 
     // The acceptance claim, measured head-to-head before Criterion runs:
     // warm the statistics + plan caches, then compare medians at 1%.
-    let q1pct = range(100);
+    let q1pct = range(n / 100);
     let (_, rows) = eng.query_planned(&q1pct).unwrap();
-    assert_eq!(rows.len(), 100, "1% range must match exactly 100 tuples");
+    assert_eq!(
+        rows.len(),
+        (n / 100) as usize,
+        "1% range must match exactly 1% of the tuples"
+    );
     assert!(
         eng.explain(&q1pct).unwrap().contains("IndexRangeSeek"),
         "1% range query must choose the ordered-index range seek:\n{}",
@@ -99,13 +112,13 @@ fn bench(c: &mut Criterion) {
     let planned_t = time(30, || eng.query_planned(&q1pct).unwrap());
     let speedup = naive_t / planned_t;
     println!(
-        "q2 1% range over {N} tuples: naive seq {:.1} µs, planned (IndexRangeSeek) {:.1} µs → {speedup:.0}×",
+        "q2 1% range over {n} tuples: naive seq {:.1} µs, planned (IndexRangeSeek) {:.1} µs → {speedup:.0}×",
         naive_t * 1e6,
         planned_t * 1e6
     );
     assert!(
         speedup >= 5.0,
-        "IndexRangeSeek must beat the sequential scan ≥5× at 1% selectivity on {N} tuples, got {speedup:.1}×"
+        "IndexRangeSeek must beat the sequential scan ≥5× at 1% selectivity on {n} tuples, got {speedup:.1}×"
     );
 
     let mut g = c.benchmark_group("q2_range_scan");

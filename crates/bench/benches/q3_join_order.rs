@@ -19,13 +19,20 @@ use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 use toposem_planner::{execute, lower_and_rewrite, plan_with, Physical, PlannerOptions};
 use toposem_storage::{Engine, Query};
 
-const N: i64 = 4_000;
+/// 4 000 pairs normally, 1 000 in CI short mode (`TOPOSEM_BENCH_SHORT`).
+fn n() -> i64 {
+    toposem_bench::sized(4_000, 1_000)
+}
 
 fn cfg() -> Criterion {
     Criterion::default()
         .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(toposem_bench::sized(
+            300, 50,
+        )))
+        .measurement_time(std::time::Duration::from_millis(toposem_bench::sized(
+            2000, 300,
+        )))
 }
 
 /// N matched person/worksfor pairs and every admissible department row
@@ -55,7 +62,7 @@ fn loaded_engine() -> Engine {
             .unwrap();
         }
     }
-    for i in 0..N {
+    for i in 0..n() {
         let (d, l) = deps[(i % 3) as usize];
         eng.insert(
             person,
@@ -141,13 +148,14 @@ fn bench(c: &mut Criterion) {
         );
         assert_eq!(execute(&baseline, db, indexes), naive, "baseline diverged");
     });
-    assert_eq!(naive.len(), N as usize);
+    assert_eq!(naive.len(), n() as usize);
 
     let dp_t = eng.with_parts(|db, indexes| time(15, || execute(&reordered, db, indexes)));
     let base_t = eng.with_parts(|db, indexes| time(15, || execute(&baseline, db, indexes)));
     let speedup = base_t / dp_t;
     println!(
-        "q3 3-way join over {N} tuples: left-deep hash {:.2} ms, DP+merge {:.2} ms → {speedup:.1}×",
+        "q3 3-way join over {} tuples: left-deep hash {:.2} ms, DP+merge {:.2} ms → {speedup:.1}×",
+        n(),
         base_t * 1e3,
         dp_t * 1e3
     );

@@ -9,6 +9,24 @@ use toposem_core::{employee_schema, Intension, Schema, TypeId};
 use toposem_design::{random_database, random_schema, ExtensionParams, SchemaParams};
 use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
 
+/// Whether the bench suite runs in *short mode* (`TOPOSEM_BENCH_SHORT`
+/// set to anything but `0`): smaller workloads and shorter measurement
+/// windows, sized for CI smoke jobs that execute every bench on every PR
+/// rather than for stable numbers. Headline ratio assertions still run —
+/// the workloads are chosen so the claims hold at the reduced size.
+pub fn short_mode() -> bool {
+    std::env::var("TOPOSEM_BENCH_SHORT").is_ok_and(|v| v.trim() != "0" && !v.trim().is_empty())
+}
+
+/// `full` normally, `short` under [`short_mode`].
+pub fn sized<T>(full: T, short: T) -> T {
+    if short_mode() {
+        short
+    } else {
+        full
+    }
+}
+
 /// The employee database loaded with the canonical rows used across the
 /// experiment suite (2 managers, 2 plain employees, 2 departments, and
 /// the matching worksfor facts).

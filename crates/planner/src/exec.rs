@@ -1,19 +1,40 @@
 //! The vectorised executor: a push-based batch pipeline over a consistent
-//! engine snapshot.
+//! engine snapshot, with an optional morsel-driven parallel mode.
 //!
-//! Every operator streams [`super::physical::BATCH_SIZE`]-tuple batches
-//! into a sink closure; only hash-join build sides, intersection membership
-//! sets, and the final result relation are materialised. Under the eager
+//! **Serial mode** (always available): every operator streams
+//! [`super::physical::BATCH_SIZE`]-tuple batches into a sink closure; only
+//! hash-join build sides, intersection membership sets, sort/merge-join
+//! inputs, and the final result relation are materialised. Under the eager
 //! containment policy scans borrow the stored relation directly (no
 //! extension clone); on-demand extensions are collected once per scan.
 //! Index seeks walk hash buckets, BTree ranges, or composite key prefixes;
 //! index-only scans rebuild projected tuples from index *keys* without
 //! touching base tuples at all.
 //!
-//! With the `parallel` feature enabled, an unfiltered-or-filtered
-//! sequential scan over a large relation fans out across worker threads
-//! (a scoped-thread morsel scheme), each thread filtering its share before
-//! batches are forwarded.
+//! **Parallel mode** (`parallel` feature, [`ExecOptions::threads`] > 1):
+//! input relations are split into fixed-size *morsels*
+//! ([`ExecOptions::morsel_size`] tuples) handed to a scoped worker pool
+//! through a single work-stealing dispatcher ([`dispatch`]); workers pull
+//! the next morsel off a shared atomic counter, so skewed morsels don't
+//! idle the pool. Every pipeline runs data-parallel, not just scans:
+//!
+//! - `SeqScan` with fused `Filter`/`Project` steps: each worker filters
+//!   and projects its morsels in one pass over the stored relation.
+//! - `HashJoin`: the build side is *partitioned* in parallel (workers
+//!   scatter morsels into per-morsel partition buckets, then per-partition
+//!   hash tables are assembled in parallel), and probe morsels run
+//!   against the read-only partitioned table concurrently.
+//! - `Union` / `Intersect` evaluate both inputs concurrently; intersect
+//!   probes filter morsels against the membership set in parallel.
+//! - `Sort` generates sorted runs in parallel (one contiguous run per
+//!   worker) and merges them with a final multi-way merge, which also
+//!   keeps `MergeJoin` inputs ordered.
+//!
+//! **Determinism**: per-worker outputs are keyed by morsel index and
+//! merged back in morsel order, every scatter/gather step preserves
+//! arrival order, and sort ties break toward the earlier run — so a
+//! parallel run produces exactly the serial result (sets *and* ordered
+//! sequences), whatever the thread count or morsel size.
 
 use std::collections::{HashMap, HashSet};
 
@@ -23,13 +44,117 @@ use toposem_storage::{cmp_by_keys, Index, Predicate, SortDir};
 
 use crate::physical::{Physical, BATCH_SIZE};
 
-/// Minimum relation size before a parallel scan pays for thread spawn.
-#[cfg(feature = "parallel")]
-const PARALLEL_SCAN_THRESHOLD: usize = 4096;
+/// Default tuples per morsel — also the parallel threshold: a pipeline
+/// source shorter than two morsels runs serially, so small inputs never
+/// pay for thread spawn.
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Execution knobs for planned queries: the worker-pool ceiling and the
+/// morsel granularity.
+///
+/// [`ExecOptions::default`] resolves once per process from the
+/// environment: `TOPOSEM_THREADS` overrides the thread count (otherwise
+/// [`std::thread::available_parallelism`], falling back to 1 when the
+/// syscall errs), and `TOPOSEM_MORSEL_SIZE` overrides the morsel size
+/// (otherwise [`DEFAULT_MORSEL_SIZE`]). Without the `parallel` feature
+/// the knobs are accepted but execution is always serial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Upper bound on worker threads (≥ 1). The dispatcher additionally
+    /// clamps the pool to the number of morsels, so a short input never
+    /// spawns idle workers.
+    pub threads: usize,
+    /// Tuples per morsel (≥ 1). Smaller morsels increase scheduling
+    /// freedom (and overhead); larger morsels amortise dispatch.
+    pub morsel_size: usize,
+}
+
+impl ExecOptions {
+    /// Serial execution: one worker, default morsel size.
+    pub fn serial() -> ExecOptions {
+        ExecOptions {
+            threads: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+
+    /// `threads` workers with the default morsel size.
+    pub fn with_threads(threads: usize) -> ExecOptions {
+        ExecOptions {
+            threads: threads.max(1),
+            ..ExecOptions::serial()
+        }
+    }
+
+    /// The worker count execution will actually use: 1 without the
+    /// `parallel` feature, the configured ceiling otherwise.
+    pub fn effective_threads(&self) -> usize {
+        if cfg!(feature = "parallel") {
+            self.threads.max(1)
+        } else {
+            1
+        }
+    }
+}
+
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        static DEFAULTS: std::sync::OnceLock<ExecOptions> = std::sync::OnceLock::new();
+        *DEFAULTS.get_or_init(|| ExecOptions {
+            threads: env_knob("TOPOSEM_THREADS").unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }),
+            morsel_size: env_knob("TOPOSEM_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
+        })
+    }
+}
 
 /// Executes a physical plan against a database + index snapshot (acquire
-/// both through `Engine::with_parts` for consistency).
+/// both through `Engine::with_parts` for consistency) under the default
+/// [`ExecOptions`].
 pub fn execute(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Relation {
+    execute_with(plan, db, indexes, &ExecOptions::default())
+}
+
+/// [`execute`] with explicit [`ExecOptions`].
+pub fn execute_with(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+) -> Relation {
+    #[cfg(not(feature = "parallel"))]
+    let _ = opts; // knobs are accepted but execution is always serial
+    #[cfg(feature = "parallel")]
+    if opts.effective_threads() > 1 {
+        let ctx = Ctx::new(db, indexes, opts);
+        let morsels = eval_parallel(plan, &ctx);
+        // Sort by the full instance order in parallel, then bulk-build
+        // the set from the (deduplicated) sorted sequence — the final
+        // collection scales with the pool instead of serialising on
+        // tree inserts.
+        let sorted = par_sort_morsels(morsels, &ctx, Instance::cmp);
+        let mut out: Vec<Instance> = Vec::new();
+        for m in sorted {
+            for t in m {
+                if out.last() != Some(&t) {
+                    out.push(t);
+                }
+            }
+        }
+        return out.into_iter().collect();
+    }
     let mut out = Relation::new();
     for_each_batch(plan, db, indexes, &mut |batch| {
         for t in batch.drain(..) {
@@ -45,8 +170,34 @@ pub fn execute(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Relati
 /// root `OrderBy` — an order-carrying access path or a `Sort` enforcer —
 /// so arrival order *is* the requested order.
 pub fn execute_ordered(plan: &Physical, db: &Database, indexes: &[Vec<Index>]) -> Vec<Instance> {
+    execute_ordered_with(plan, db, indexes, &ExecOptions::default())
+}
+
+/// [`execute_ordered`] with explicit [`ExecOptions`]. Parallel workers'
+/// outputs are merged in morsel order, so the arrival order — and with it
+/// the advertised plan ordering — is preserved exactly.
+pub fn execute_ordered_with(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+) -> Vec<Instance> {
     let mut out: Vec<Instance> = Vec::new();
     let mut seen: HashSet<Instance> = HashSet::new();
+    #[cfg(not(feature = "parallel"))]
+    let _ = opts; // knobs are accepted but execution is always serial
+    #[cfg(feature = "parallel")]
+    if opts.effective_threads() > 1 {
+        let ctx = Ctx::new(db, indexes, opts);
+        for m in eval_parallel(plan, &ctx) {
+            for t in m {
+                if seen.insert(t.clone()) {
+                    out.push(t);
+                }
+            }
+        }
+        return out;
+    }
     for_each_batch(plan, db, indexes, &mut |batch| {
         for t in batch.drain(..) {
             if seen.insert(t.clone()) {
@@ -142,11 +293,6 @@ fn for_each_batch(
         Physical::Empty { .. } => {}
         Physical::SeqScan { ty, preds } => {
             let rel = db.extension_cow(*ty);
-            #[cfg(feature = "parallel")]
-            if rel.len() >= PARALLEL_SCAN_THRESHOLD {
-                parallel_scan(&rel, preds, sink);
-                return;
-            }
             stream_filtered(rel.iter(), preds, sink);
         }
         Physical::IndexSeek {
@@ -322,56 +468,14 @@ fn for_each_batch(
             // access path, an order-preserving pipeline, or an explicit
             // Sort enforcer below). Materialise each side and match
             // equal-key groups pairwise.
-            let sorted_keys: Vec<(AttrId, SortDir)> =
-                keys.iter().map(|a| (*a, SortDir::Asc)).collect();
             let collect = |side: &Physical| {
                 let mut rows: Vec<Instance> = Vec::new();
                 for_each_batch(side, db, indexes, &mut |batch| rows.append(batch));
-                debug_assert!(
-                    rows.windows(2)
-                        .all(|w| cmp_by_keys(&w[0], &w[1], &sorted_keys)
-                            != std::cmp::Ordering::Greater),
-                    "merge-join input not sorted on its keys"
-                );
                 rows
             };
             let lrows = collect(left);
             let rrows = collect(right);
-            let group_end = |rows: &[Instance], start: usize| {
-                let mut end = start + 1;
-                while end < rows.len()
-                    && cmp_by_keys(&rows[start], &rows[end], &sorted_keys)
-                        == std::cmp::Ordering::Equal
-                {
-                    end += 1;
-                }
-                end
-            };
-            let mut out = Vec::with_capacity(BATCH_SIZE);
-            let (mut i, mut j) = (0, 0);
-            while i < lrows.len() && j < rrows.len() {
-                match cmp_by_keys(&lrows[i], &rrows[j], &sorted_keys) {
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                    std::cmp::Ordering::Equal => {
-                        let (i2, j2) = (group_end(&lrows, i), group_end(&rrows, j));
-                        for l in &lrows[i..i2] {
-                            for r in &rrows[j..j2] {
-                                out.push(l.merge(r));
-                                if out.len() == BATCH_SIZE {
-                                    sink(&mut out);
-                                    out.clear();
-                                }
-                            }
-                        }
-                        i = i2;
-                        j = j2;
-                    }
-                }
-            }
-            if !out.is_empty() {
-                sink(&mut out);
-            }
+            merge_join_sorted(&lrows, &rrows, keys, sink);
         }
         Physical::Sort { input, keys } => {
             let mut rows: Vec<Instance> = Vec::new();
@@ -410,46 +514,484 @@ fn for_each_batch(
     }
 }
 
-/// Scatter the relation across worker threads, filter locally, forward the
-/// survivors batch-wise from the calling thread (sinks are not `Sync`).
-#[cfg(feature = "parallel")]
-fn parallel_scan(
-    rel: &Relation,
-    preds: &[(AttrId, Predicate)],
+/// The merge loop shared by the serial and parallel merge-join paths:
+/// both inputs arrive sorted ascending on `keys`; equal-key groups are
+/// matched pairwise and streamed into `sink` batch-wise.
+fn merge_join_sorted(
+    lrows: &[Instance],
+    rrows: &[Instance],
+    keys: &[AttrId],
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
-    let tuples: Vec<&Instance> = rel.iter().collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(tuples.len().div_ceil(PARALLEL_SCAN_THRESHOLD / 4))
-        .max(1);
-    let chunk = tuples.len().div_ceil(workers);
-    let survivors: Vec<Vec<Instance>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = tuples
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    part.iter()
-                        .filter(|t| matches(t, preds))
-                        .map(|t| (*t).clone())
-                        .collect::<Vec<Instance>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker"))
-            .collect()
-    });
-    for part in survivors {
-        let mut iter = part.into_iter();
-        loop {
-            let mut batch: Vec<Instance> = iter.by_ref().take(BATCH_SIZE).collect();
-            if batch.is_empty() {
-                break;
+    let sorted_keys: Vec<(AttrId, SortDir)> = keys.iter().map(|a| (*a, SortDir::Asc)).collect();
+    debug_assert!(
+        lrows
+            .windows(2)
+            .chain(rrows.windows(2))
+            .all(|w| cmp_by_keys(&w[0], &w[1], &sorted_keys) != std::cmp::Ordering::Greater),
+        "merge-join input not sorted on its keys"
+    );
+    let group_end = |rows: &[Instance], start: usize| {
+        let mut end = start + 1;
+        while end < rows.len()
+            && cmp_by_keys(&rows[start], &rows[end], &sorted_keys) == std::cmp::Ordering::Equal
+        {
+            end += 1;
+        }
+        end
+    };
+    let mut out = Vec::with_capacity(BATCH_SIZE);
+    let (mut i, mut j) = (0, 0);
+    while i < lrows.len() && j < rrows.len() {
+        match cmp_by_keys(&lrows[i], &rrows[j], &sorted_keys) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (i2, j2) = (group_end(lrows, i), group_end(rrows, j));
+                for l in &lrows[i..i2] {
+                    for r in &rrows[j..j2] {
+                        out.push(l.merge(r));
+                        if out.len() == BATCH_SIZE {
+                            sink(&mut out);
+                            out.clear();
+                        }
+                    }
+                }
+                i = i2;
+                j = j2;
             }
-            sink(&mut batch);
         }
     }
+    if !out.is_empty() {
+        sink(&mut out);
+    }
 }
+
+// ---------------------------------------------------------------------
+// Morsel-driven parallel evaluation.
+// ---------------------------------------------------------------------
+
+#[cfg(feature = "parallel")]
+mod parallel {
+    use super::*;
+    use std::hash::{Hash, Hasher};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Shared execution context for one parallel plan evaluation.
+    #[derive(Clone, Copy)]
+    pub(super) struct Ctx<'a> {
+        pub db: &'a Database,
+        pub indexes: &'a [Vec<Index>],
+        pub threads: usize,
+        pub morsel_size: usize,
+    }
+
+    impl<'a> Ctx<'a> {
+        pub fn new(db: &'a Database, indexes: &'a [Vec<Index>], opts: &ExecOptions) -> Ctx<'a> {
+            Ctx {
+                db,
+                indexes,
+                threads: opts.effective_threads(),
+                morsel_size: opts.morsel_size.max(1),
+            }
+        }
+    }
+
+    /// The morsel dispatcher: applies `f` to every item of `items` on a
+    /// scoped worker pool and returns the results *in item order*.
+    ///
+    /// Workers pull the next unclaimed index off a shared atomic counter
+    /// (work stealing at morsel granularity), so uneven morsels don't
+    /// leave threads idle. The pool is clamped to `min(threads, #items)`
+    /// and collapses to an inline loop when one worker suffices — callers
+    /// never pay thread spawn for short inputs.
+    pub(super) fn dispatch<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let workers = threads.min(items.len()).max(1);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut keyed: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("morsel worker panicked"))
+                .collect()
+        });
+        keyed.sort_unstable_by_key(|(i, _)| *i);
+        keyed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`dispatch`] over items that are consumed rather than borrowed
+    /// (each is taken exactly once through a mutex-guarded slot).
+    fn dispatch_take<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        dispatch(&slots, threads, |i, slot| {
+            let item = slot
+                .lock()
+                .expect("slot lock poisoned")
+                .take()
+                .expect("each slot is claimed exactly once");
+            f(i, item)
+        })
+    }
+
+    /// One fused pipeline step above a source.
+    enum Step<'p> {
+        Filter(&'p [(AttrId, Predicate)]),
+        Project(toposem_topology::BitSet),
+    }
+
+    /// Pushes one tuple through the fused steps; `None` when a filter
+    /// rejects it. Clones lazily: a tuple is only materialised at its
+    /// first projection (or at the end, for the output).
+    fn push_through(t: &Instance, steps: &[Step]) -> Option<Instance> {
+        let mut owned: Option<Instance> = None;
+        for step in steps {
+            let cur = owned.as_ref().unwrap_or(t);
+            match step {
+                Step::Filter(preds) => {
+                    if !matches(cur, preds) {
+                        return None;
+                    }
+                }
+                Step::Project(target) => owned = Some(cur.project(target)),
+            }
+        }
+        Some(owned.unwrap_or_else(|| t.clone()))
+    }
+
+    /// Evaluates `plan` into ordered output morsels, data-parallel where
+    /// the operator allows it. Concatenating the morsels yields exactly
+    /// the serial executor's arrival order.
+    pub(super) fn eval_parallel(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
+        match plan {
+            Physical::Empty { .. } => Vec::new(),
+            Physical::SeqScan { .. } | Physical::Filter { .. } | Physical::Project { .. } => {
+                eval_pipeline(plan, ctx)
+            }
+            Physical::HashJoin {
+                build, probe, keys, ..
+            } => {
+                let (bm, pm) = eval_both(build, probe, ctx);
+                let table = PartitionedTable::build(bm, keys, ctx);
+                dispatch(&pm, ctx.threads, |_, morsel| {
+                    let mut out = Vec::new();
+                    for p in morsel {
+                        for b in table.partners(p) {
+                            out.push(b.merge(p));
+                        }
+                    }
+                    out
+                })
+            }
+            Physical::MergeJoin {
+                left, right, keys, ..
+            } => {
+                let (lm, rm) = eval_both(left, right, ctx);
+                let lrows: Vec<Instance> = lm.into_iter().flatten().collect();
+                let rrows: Vec<Instance> = rm.into_iter().flatten().collect();
+                let mut out: Vec<Vec<Instance>> = Vec::new();
+                merge_join_sorted(&lrows, &rrows, keys, &mut |batch| {
+                    out.push(std::mem::take(batch));
+                });
+                out
+            }
+            Physical::Sort { input, keys } => {
+                let morsels = eval_parallel(input, ctx);
+                par_sort_morsels(morsels, ctx, |a, b| cmp_by_keys(a, b, keys))
+            }
+            Physical::Union { left, right, .. } => {
+                let (mut lm, rm) = eval_both(left, right, ctx);
+                lm.extend(rm);
+                lm
+            }
+            Physical::Intersect { build, probe, .. } => {
+                let (bm, pm) = eval_both(build, probe, ctx);
+                // One serial pass builds the membership set (a parallel
+                // per-morsel pre-hash would touch every tuple twice for
+                // no gain — the merge is serial either way; the cost
+                // model prices exactly this); the probe filter then
+                // runs morsel-parallel against the read-only set.
+                let members: HashSet<Instance> = bm.into_iter().flatten().collect();
+                dispatch(&pm, ctx.threads, |_, morsel| {
+                    morsel
+                        .iter()
+                        .filter(|t| members.contains(*t))
+                        .cloned()
+                        .collect::<Vec<Instance>>()
+                })
+            }
+            // Index access paths are selective by construction; their
+            // outputs are collected serially (and still feed parallel
+            // consumers above them).
+            leaf => collect_serial(leaf, ctx),
+        }
+    }
+
+    /// Evaluates a binary operator's two inputs concurrently, *splitting*
+    /// the worker budget between the sides (each side parallelises
+    /// internally with half the pool) so nested binary operators cannot
+    /// compound past the configured thread ceiling.
+    fn eval_both(
+        a: &Physical,
+        b: &Physical,
+        ctx: &Ctx,
+    ) -> (Vec<Vec<Instance>>, Vec<Vec<Instance>>) {
+        if ctx.threads <= 1 {
+            return (eval_parallel(a, ctx), eval_parallel(b, ctx));
+        }
+        let side_ctx = Ctx {
+            threads: ctx.threads.div_ceil(2),
+            ..*ctx
+        };
+        let sides = [a, b];
+        let mut results = dispatch(&sides, 2, |_, side| eval_parallel(side, &side_ctx));
+        let rb = results.pop().expect("two sides in, two results out");
+        let ra = results.pop().expect("two sides in, two results out");
+        (ra, rb)
+    }
+
+    /// Evaluates a `Filter`/`Project` chain fused onto its source: the
+    /// steps run inside the same worker pass that scans the source
+    /// morsels, so a filtered-projected scan touches each tuple once.
+    fn eval_pipeline(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
+        // Peel the order-preserving tuple-wise steps off the top.
+        let mut steps: Vec<Step> = Vec::new();
+        let mut cur = plan;
+        loop {
+            match cur {
+                Physical::Filter { input, preds } => {
+                    steps.push(Step::Filter(preds));
+                    cur = input;
+                }
+                Physical::Project { input, to } => {
+                    steps.push(Step::Project(ctx.db.schema().attrs_of(*to).clone()));
+                    cur = input;
+                }
+                _ => break,
+            }
+        }
+        steps.reverse();
+        if let Physical::SeqScan { ty, preds } = cur {
+            // Fused source: scan morsels of the stored relation, filter
+            // and project inside the workers.
+            let rel = ctx.db.extension_cow(*ty);
+            let morsels: Vec<Vec<&Instance>> = rel.morsels(ctx.morsel_size).collect();
+            return dispatch(&morsels, ctx.threads, |_, morsel| {
+                morsel
+                    .iter()
+                    .copied()
+                    .filter(|t| matches(t, preds))
+                    .filter_map(|t| push_through(t, &steps))
+                    .collect::<Vec<Instance>>()
+            });
+        }
+        // Composite source (a join, set operation, sort, or index path):
+        // evaluate it, then run the fused steps morsel-parallel.
+        let morsels = eval_parallel(cur, ctx);
+        if steps.is_empty() {
+            return morsels;
+        }
+        dispatch_take(morsels, ctx.threads, |_, morsel| {
+            morsel
+                .iter()
+                .filter_map(|t| push_through(t, &steps))
+                .collect::<Vec<Instance>>()
+        })
+    }
+
+    /// Serially collects a leaf operator's output into morsels.
+    fn collect_serial(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
+        let mut out: Vec<Vec<Instance>> = Vec::new();
+        let mut cur: Vec<Instance> = Vec::new();
+        for_each_batch(plan, ctx.db, ctx.indexes, &mut |batch| {
+            for t in batch.drain(..) {
+                cur.push(t);
+                if cur.len() == ctx.morsel_size {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+        });
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    /// A hash-join build side partitioned for parallel probing. Tuples
+    /// are scattered into `parts` buckets by key hash (phase 1, morsel-
+    /// parallel), then each partition's hash table is assembled
+    /// independently (phase 2, partition-parallel). Bucket contents are
+    /// concatenated in morsel order, so every table entry lists its
+    /// build tuples in exactly the serial executor's arrival order.
+    pub(super) struct PartitionedTable {
+        parts: Vec<HashMap<Vec<Value>, Vec<Instance>>>,
+        keys: Vec<AttrId>,
+    }
+
+    impl PartitionedTable {
+        fn build(morsels: Vec<Vec<Instance>>, keys: &[AttrId], ctx: &Ctx) -> PartitionedTable {
+            let nparts = ctx.threads.max(1);
+            // Phase 1: scatter each morsel into per-partition buckets.
+            let scattered = dispatch_take(morsels, ctx.threads, |_, morsel| {
+                let mut buckets: Vec<Vec<(Vec<Value>, Instance)>> = vec![Vec::new(); nparts];
+                for t in morsel {
+                    let key = join_key(&t, keys);
+                    buckets[partition_of(&key, nparts)].push((key, t));
+                }
+                buckets
+            });
+            // Transpose morsel-major buckets to partition-major (pointer
+            // moves only), preserving morsel order within each partition.
+            let mut part_major: Vec<Vec<(Vec<Value>, Instance)>> =
+                (0..nparts).map(|_| Vec::new()).collect();
+            for buckets in scattered {
+                for (p, bucket) in buckets.into_iter().enumerate() {
+                    part_major[p].extend(bucket);
+                }
+            }
+            // Phase 2: assemble one hash table per partition; entries
+            // accumulate build tuples in arrival order.
+            let parts = dispatch_take(part_major, ctx.threads, |_, pairs| {
+                let mut table: HashMap<Vec<Value>, Vec<Instance>> = HashMap::new();
+                for (key, t) in pairs {
+                    table.entry(key).or_default().push(t);
+                }
+                table
+            });
+            PartitionedTable {
+                parts,
+                keys: keys.to_vec(),
+            }
+        }
+
+        fn partners(&self, probe: &Instance) -> &[Instance] {
+            let key = join_key(probe, &self.keys);
+            self.parts[partition_of(&key, self.parts.len())]
+                .get(&key)
+                .map(Vec::as_slice)
+                .unwrap_or(&[])
+        }
+    }
+
+    /// The natural-join key projection (shared attributes in id order),
+    /// identical to the serial executor's.
+    fn join_key(t: &Instance, keys: &[AttrId]) -> Vec<Value> {
+        keys.iter().filter_map(|a| t.get(*a).cloned()).collect()
+    }
+
+    /// Deterministic partition assignment (`DefaultHasher::new()` is
+    /// fixed-key SipHash, stable within and across processes).
+    fn partition_of(key: &[Value], nparts: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % nparts
+    }
+
+    /// Parallel sort: workers sort contiguous run groups of the input
+    /// morsels (stable within each run), then a serial multi-way merge
+    /// interleaves the runs — ties break toward the earlier run, so the
+    /// result equals a stable sort of the concatenated input. Returns
+    /// output morsels of `ctx.morsel_size`.
+    pub(super) fn par_sort_morsels(
+        morsels: Vec<Vec<Instance>>,
+        ctx: &Ctx,
+        cmp: impl Fn(&Instance, &Instance) -> std::cmp::Ordering + Sync,
+    ) -> Vec<Vec<Instance>> {
+        if morsels.is_empty() {
+            return Vec::new();
+        }
+        // One contiguous run per worker keeps run generation balanced
+        // without disturbing input order.
+        let workers = ctx.threads.min(morsels.len()).max(1);
+        let per_run = morsels.len().div_ceil(workers);
+        let run_groups: Vec<Vec<Vec<Instance>>> = {
+            let mut groups = Vec::new();
+            let mut iter = morsels.into_iter();
+            loop {
+                let group: Vec<Vec<Instance>> = iter.by_ref().take(per_run).collect();
+                if group.is_empty() {
+                    break;
+                }
+                groups.push(group);
+            }
+            groups
+        };
+        let mut runs: Vec<std::collections::VecDeque<Instance>> =
+            dispatch_take(run_groups, ctx.threads, |_, group| {
+                let mut run: Vec<Instance> = group.into_iter().flatten().collect();
+                run.sort_by(&cmp);
+                std::collections::VecDeque::from(run)
+            });
+        if runs.len() == 1 {
+            let run = runs.pop().expect("one run");
+            return chunk(run.into_iter().collect(), ctx.morsel_size);
+        }
+        // Multi-way merge; k = #runs ≤ threads, so a linear min scan per
+        // pop is cheap and keeps the tie-break explicit.
+        let total: usize = runs.iter().map(std::collections::VecDeque::len).sum();
+        let mut merged: Vec<Instance> = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<usize> = None;
+            for (r, run) in runs.iter().enumerate() {
+                let Some(head) = run.front() else { continue };
+                // Strictly-less keeps the earliest run on ties: stability.
+                match best {
+                    None => best = Some(r),
+                    Some(b) => {
+                        let best_head = runs[b].front().expect("best run is non-empty");
+                        if cmp(head, best_head) == std::cmp::Ordering::Less {
+                            best = Some(r);
+                        }
+                    }
+                }
+            }
+            let Some(r) = best else { break };
+            merged.push(runs[r].pop_front().expect("chosen run is non-empty"));
+        }
+        chunk(merged, ctx.morsel_size)
+    }
+
+    fn chunk(rows: Vec<Instance>, size: usize) -> Vec<Vec<Instance>> {
+        let size = size.max(1);
+        let mut out = Vec::new();
+        let mut iter = rows.into_iter();
+        loop {
+            let part: Vec<Instance> = iter.by_ref().take(size).collect();
+            if part.is_empty() {
+                break;
+            }
+            out.push(part);
+        }
+        out
+    }
+}
+
+#[cfg(feature = "parallel")]
+use parallel::{eval_parallel, par_sort_morsels, Ctx};

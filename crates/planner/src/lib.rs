@@ -30,7 +30,13 @@
 //!    covering indexes, `SeqScan`, `Filter`, `Project`, `HashJoin`,
 //!    `MergeJoin` (consuming carried order), `Sort` (enforcing it),
 //!    `Union`, `Intersect` — executed as a push-based batch pipeline;
-//!    the `parallel` feature adds a scoped-thread parallel scan path.
+//!    the `parallel` feature turns the executor into a morsel-driven
+//!    scheduler: relations split into fixed-size morsels handed to a
+//!    scoped worker pool, with partitioned parallel hash joins, parallel
+//!    set operations, parallel sort-run generation, and fused
+//!    filter/project scan pipelines — merged back in morsel order so
+//!    parallel results are bit-identical to serial ones. Tune with
+//!    [`ExecOptions`] (or `TOPOSEM_THREADS` / `TOPOSEM_MORSEL_SIZE`).
 //!
 //! The entry point is [`PlannedExecution::query_planned`] on
 //! [`toposem_storage::Engine`]:
@@ -102,8 +108,11 @@ use toposem_core::TypeId;
 use toposem_extension::{Instance, Relation};
 use toposem_storage::{Engine, Query, QueryError};
 
-pub use cost::{estimate, Estimate};
-pub use exec::{execute, execute_ordered, plan_supported};
+pub use cost::{estimate, estimate_with, parallel_degree, Estimate};
+pub use exec::{
+    execute, execute_ordered, execute_ordered_with, execute_with, plan_supported, ExecOptions,
+    DEFAULT_MORSEL_SIZE,
+};
 pub use logical::{lower_and_rewrite, Logical};
 pub use physical::{order_satisfies, plan, plan_with, Physical, PlannerOptions, BATCH_SIZE};
 
@@ -134,6 +143,30 @@ pub trait PlannedExecution {
     /// with a presentation order). Shares the plan cache with
     /// [`PlannedExecution::query_planned`].
     fn query_planned_ordered(&self, q: &Query) -> Result<(TypeId, Vec<Instance>), QueryError>;
+
+    /// [`PlannedExecution::query_planned`] with explicit [`ExecOptions`]
+    /// — the thread-pool ceiling and morsel size for this execution.
+    /// `ExecOptions::serial()` pins a single-threaded run regardless of
+    /// the process defaults; results are identical either way (parallel
+    /// workers merge in morsel order).
+    ///
+    /// Note that the options govern *execution only*: plans are costed
+    /// (and cached, shared across callers) under the process-default
+    /// knobs, so a custom `ExecOptions` changes how a plan runs, never
+    /// which plan is chosen.
+    fn query_planned_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation), QueryError>;
+
+    /// [`PlannedExecution::query_planned_ordered`] with explicit
+    /// [`ExecOptions`].
+    fn query_planned_ordered_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Vec<Instance>), QueryError>;
 
     /// Renders the chosen physical plan with cost estimates and the plan
     /// cache's hit/miss counters.
@@ -205,14 +238,30 @@ fn with_planned<R>(
 
 impl PlannedExecution for Engine {
     fn query_planned(&self, q: &Query) -> Result<(TypeId, Relation), QueryError> {
-        with_planned(self, q, |physical, db, indexes| {
-            execute(physical, db, indexes)
-        })
+        self.query_planned_with(q, &ExecOptions::default())
     }
 
     fn query_planned_ordered(&self, q: &Query) -> Result<(TypeId, Vec<Instance>), QueryError> {
+        self.query_planned_ordered_with(q, &ExecOptions::default())
+    }
+
+    fn query_planned_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation), QueryError> {
         with_planned(self, q, |physical, db, indexes| {
-            execute_ordered(physical, db, indexes)
+            execute_with(physical, db, indexes, opts)
+        })
+    }
+
+    fn query_planned_ordered_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Vec<Instance>), QueryError> {
+        with_planned(self, q, |physical, db, indexes| {
+            execute_ordered_with(physical, db, indexes, opts)
         })
     }
 

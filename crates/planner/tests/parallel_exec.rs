@@ -1,0 +1,332 @@
+//! Morsel-parallel execution equivalence: for every operator the
+//! executor can parallelise — fused filter/project scans, partitioned
+//! hash joins, merge joins over parallel-sorted inputs, unions,
+//! intersections, sort enforcers — a parallel run must produce exactly
+//! the serial result, for any thread count and morsel size, and repeated
+//! parallel runs must be bit-identical (determinism, not just set
+//! equality).
+//!
+//! These tests pin explicit [`ExecOptions`] rather than relying on the
+//! process-wide env knobs, so they exercise real multi-worker schedules
+//! even on a single-core host.
+
+#![cfg(feature = "parallel")]
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_planner::{
+    estimate_with, execute_ordered_with, execute_with, lower_and_rewrite, parallel_degree,
+    plan_with, ExecOptions, Physical, PlannedExecution, PlannerOptions,
+};
+use toposem_storage::{cmp_by_keys, Engine, Query, SortDir};
+
+const N: i64 = 8_000;
+
+/// The knob grid every query is checked under: odd worker counts, worker
+/// counts above the morsel count, morsels smaller and larger than a
+/// batch.
+fn knob_grid() -> Vec<ExecOptions> {
+    vec![
+        ExecOptions {
+            threads: 2,
+            morsel_size: 64,
+        },
+        ExecOptions {
+            threads: 3,
+            morsel_size: 500,
+        },
+        ExecOptions {
+            threads: 8,
+            morsel_size: 1000,
+        },
+        ExecOptions {
+            threads: 16,
+            morsel_size: 7, // more workers than morsels on small inputs
+        },
+    ]
+}
+
+fn loaded_engine() -> Engine {
+    let eng = Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    ));
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    let department = s.type_id("department").unwrap();
+    let deps = ["sales", "research", "admin"];
+    for i in 0..N {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i:05}"))),
+                ("age", Value::Int(i % 90)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+        if i % 2 == 0 {
+            eng.insert(
+                person,
+                &[
+                    ("name", Value::str(&format!("x{i:05}"))),
+                    ("age", Value::Int(i % 90)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+    for (d, l) in [
+        ("sales", "amsterdam"),
+        ("research", "utrecht"),
+        ("admin", "utrecht"),
+    ] {
+        eng.insert(
+            department,
+            &[("depname", Value::str(d)), ("location", Value::str(l))],
+        )
+        .unwrap();
+    }
+    eng
+}
+
+/// Serial and parallel execution agree exactly — as sets, and as ordered
+/// sequences (arrival order included) — and the parallel run is
+/// reproducible.
+fn assert_parallel_equals_serial(eng: &Engine, q: &Query) {
+    let serial = eng.query_planned_with(q, &ExecOptions::serial()).unwrap();
+    let serial_seq = eng
+        .query_planned_ordered_with(q, &ExecOptions::serial())
+        .unwrap();
+    for opts in knob_grid() {
+        let par = eng.query_planned_with(q, &opts).unwrap();
+        assert_eq!(serial, par, "set result diverged under {opts:?} for {q:?}");
+        let par_seq = eng.query_planned_ordered_with(q, &opts).unwrap();
+        assert_eq!(
+            serial_seq, par_seq,
+            "arrival order diverged under {opts:?} for {q:?}"
+        );
+        let again = eng.query_planned_ordered_with(q, &opts).unwrap();
+        assert_eq!(par_seq, again, "parallel run not reproducible for {q:?}");
+    }
+}
+
+#[test]
+fn every_operator_shape_agrees_across_knobs() {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    let department = s.type_id("department").unwrap();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let name = s.attr_id("name").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    let queries = [
+        // Fused scan pipelines.
+        Query::scan(employee),
+        Query::scan(employee).select(depname, Value::str("sales")),
+        Query::scan(employee)
+            .select_between(age, Value::Int(10), Value::Int(60))
+            .project(person),
+        Query::scan(employee).project(person),
+        // Partitioned hash join (department side is tiny, employee big).
+        Query::scan(employee).join(Query::scan(department)),
+        Query::scan(employee)
+            .join(Query::scan(department))
+            .select(depname, Value::str("research")),
+        // 3-way join through the reorderer.
+        Query::scan(person)
+            .join(Query::scan(employee))
+            .join(Query::scan(department)),
+        // Set operations.
+        Query::scan(employee)
+            .select(depname, Value::str("sales"))
+            .union(Query::scan(employee).select(depname, Value::str("admin"))),
+        Query::scan(employee)
+            .select_le(age, Value::Int(45))
+            .intersect(Query::scan(employee).select_ge(age, Value::Int(30))),
+        // Ordered outputs: carried order and enforced (descending) sort.
+        Query::scan(employee).order_by_asc(age),
+        Query::scan(employee).order_by(vec![(age, SortDir::Desc), (name, SortDir::Asc)]),
+        Query::scan(employee)
+            .join(Query::scan(department))
+            .order_by_asc(depname),
+        // An empty extension in play.
+        Query::scan(worksfor).union(Query::scan(worksfor)),
+    ];
+    for q in &queries {
+        assert_parallel_equals_serial(&eng, q);
+    }
+    // And against the naive interpreter, through the public entry point.
+    for q in &queries {
+        let naive = eng.with_db(|db| q.execute(db)).unwrap();
+        for opts in knob_grid() {
+            assert_eq!(
+                naive,
+                eng.query_planned_with(q, &opts).unwrap(),
+                "parallel != naive for {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_access_paths_feed_parallel_consumers() {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let person = s.type_id("person").unwrap();
+    let department = s.type_id("department").unwrap();
+    let name = s.attr_id("name").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    eng.create_index(department, depname).unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    eng.create_composite_index(employee, &[depname, name])
+        .unwrap();
+    eng.create_composite_index(person, &[name, age]).unwrap();
+    let queries = [
+        Query::scan(employee).select_between(age, Value::Int(20), Value::Int(70)),
+        Query::scan(employee)
+            .select(depname, Value::str("sales"))
+            .select(name, Value::str("w00042")),
+        Query::scan(employee).join(Query::scan(department)),
+        Query::scan(person).project(person), // covered projection
+        Query::scan(employee).order_by_asc(age),
+    ];
+    for q in &queries {
+        assert_parallel_equals_serial(&eng, q);
+    }
+}
+
+/// A hand-built operator tree drives the parallel `Sort` run-generation +
+/// multi-way merge and the merge-join loop directly, independent of what
+/// the planner would pick.
+#[test]
+fn explicit_sort_and_merge_join_trees_agree() {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let worksfor = s.type_id("worksfor").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    let keys = vec![depname];
+    let sort_keys = vec![(depname, SortDir::Asc)];
+    let plan = Physical::Sort {
+        input: Box::new(Physical::MergeJoin {
+            left: Box::new(Physical::Sort {
+                input: Box::new(Physical::SeqScan {
+                    ty: employee,
+                    preds: Vec::new(),
+                }),
+                keys: sort_keys.clone(),
+            }),
+            right: Box::new(Physical::Sort {
+                input: Box::new(Physical::SeqScan {
+                    ty: department,
+                    preds: Vec::new(),
+                }),
+                keys: sort_keys.clone(),
+            }),
+            keys,
+            ty: worksfor,
+        }),
+        keys: sort_keys.clone(),
+    };
+    eng.with_parts(|db, indexes| {
+        let serial = execute_with(&plan, db, indexes, &ExecOptions::serial());
+        let serial_seq = execute_ordered_with(&plan, db, indexes, &ExecOptions::serial());
+        for opts in knob_grid() {
+            assert_eq!(
+                serial,
+                execute_with(&plan, db, indexes, &opts),
+                "merge-join tree diverged under {opts:?}"
+            );
+            let par_seq = execute_ordered_with(&plan, db, indexes, &opts);
+            assert_eq!(serial_seq, par_seq, "sorted arrival diverged");
+            assert!(
+                par_seq
+                    .windows(2)
+                    .all(|w| cmp_by_keys(&w[0], &w[1], &sort_keys) != std::cmp::Ordering::Greater),
+                "output violates the enforced sort order"
+            );
+        }
+    });
+}
+
+/// The cost model's parallelism discount: a big scan earns a degree > 1
+/// and a cheaper estimate under a multi-threaded configuration, while a
+/// sub-morsel relation stays serial (the dispatcher clamps the pool by
+/// morsel count).
+#[test]
+fn cost_discount_reflects_degree() {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let stats = eng.statistics();
+    let par = ExecOptions {
+        threads: 4,
+        morsel_size: 1000,
+    };
+    let big = Physical::SeqScan {
+        ty: employee,
+        preds: Vec::new(),
+    };
+    assert_eq!(parallel_degree(&big, &stats, &par), 4);
+    assert_eq!(parallel_degree(&big, &stats, &ExecOptions::serial()), 1);
+    let serial_cost = estimate_with(&big, &stats, &ExecOptions::serial()).cost;
+    let par_cost = estimate_with(&big, &stats, &par).cost;
+    assert!(
+        par_cost < serial_cost / 2.0,
+        "4-way scan must earn a real discount: serial {serial_cost}, parallel {par_cost}"
+    );
+    // Rows are a property of the data, not the schedule.
+    assert_eq!(
+        estimate_with(&big, &stats, &par).rows,
+        estimate_with(&big, &stats, &ExecOptions::serial()).rows
+    );
+    // 6 departments < one morsel: no discount, no idle workers.
+    let tiny = Physical::SeqScan {
+        ty: department,
+        preds: Vec::new(),
+    };
+    assert_eq!(parallel_degree(&tiny, &stats, &par), 1);
+    assert_eq!(
+        estimate_with(&tiny, &stats, &par),
+        estimate_with(&tiny, &stats, &ExecOptions::serial())
+    );
+}
+
+/// `plan_with` + `execute_with` compose for explicitly pinned baselines:
+/// the hash-join-only plan executed in parallel still matches its serial
+/// run (this is the q4 bench's exact comparison, minus the clock).
+#[test]
+fn pinned_hash_join_plan_agrees() {
+    let eng = loaded_engine();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let q = Query::scan(employee).join(Query::scan(department));
+    let stats = eng.statistics();
+    eng.with_parts(|db, indexes| {
+        let logical = lower_and_rewrite(&q, db).unwrap();
+        let phys = plan_with(
+            &logical,
+            db,
+            indexes,
+            &stats,
+            &PlannerOptions {
+                merge_joins: false,
+                ..Default::default()
+            },
+        );
+        let serial = execute_with(&phys, db, indexes, &ExecOptions::serial());
+        for opts in knob_grid() {
+            assert_eq!(serial, execute_with(&phys, db, indexes, &opts));
+        }
+    });
+}
