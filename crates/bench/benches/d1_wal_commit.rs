@@ -121,6 +121,17 @@ fn bench(c: &mut Criterion) {
         "group commit must amortise fsyncs at least {floor}× over per-commit \
          fsync on {n} txns, got {speedup:.2}×"
     );
+    toposem_bench::emit_bench_json(
+        "d1_wal_commit",
+        &[
+            toposem_bench::BenchSample::from_secs(
+                "per_commit_txn",
+                n as u64,
+                per_commit / n as f64,
+            ),
+            toposem_bench::BenchSample::from_secs("group_commit_txn", n as u64, grouped / n as f64),
+        ],
+    );
 
     // Criterion regression tracking on smaller batches (fresh engine per
     // sample would swamp the measurement; distinct keys keep inserts

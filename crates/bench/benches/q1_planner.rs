@@ -108,6 +108,13 @@ fn bench(c: &mut Criterion) {
         speedup >= 5.0,
         "IndexSeek must beat naive Scan+Select ≥5× on {n} tuples, got {speedup:.1}×"
     );
+    toposem_bench::emit_bench_json(
+        "q1_planner",
+        &[
+            toposem_bench::BenchSample::from_secs("naive_point_select", 30, naive_t),
+            toposem_bench::BenchSample::from_secs("planned_point_select", 30, planned_t),
+        ],
+    );
     assert!(
         eng.explain(&point).unwrap().contains("IndexSeek"),
         "point query must choose the index access path"

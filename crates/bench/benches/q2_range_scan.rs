@@ -120,6 +120,13 @@ fn bench(c: &mut Criterion) {
         speedup >= 5.0,
         "IndexRangeSeek must beat the sequential scan ≥5× at 1% selectivity on {n} tuples, got {speedup:.1}×"
     );
+    toposem_bench::emit_bench_json(
+        "q2_range_scan",
+        &[
+            toposem_bench::BenchSample::from_secs("naive_1pct_range", 30, naive_t),
+            toposem_bench::BenchSample::from_secs("planned_1pct_range", 30, planned_t),
+        ],
+    );
 
     let mut g = c.benchmark_group("q2_range_scan");
     for (label, width) in selectivities {

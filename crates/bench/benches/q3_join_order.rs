@@ -163,6 +163,13 @@ fn bench(c: &mut Criterion) {
         speedup >= 2.0,
         "DP-chosen order + merge join must beat the left-deep hash baseline ≥2×, got {speedup:.2}×"
     );
+    toposem_bench::emit_bench_json(
+        "q3_join_order",
+        &[
+            toposem_bench::BenchSample::from_secs("left_deep_hash_baseline", 15, base_t),
+            toposem_bench::BenchSample::from_secs("dp_reordered_merge", 15, dp_t),
+        ],
+    );
 
     let mut g = c.benchmark_group("q3_join_order");
     g.bench_function("left_deep_hash_baseline", |b| {

@@ -194,6 +194,13 @@ fn bench(c: &mut Criterion) {
             "q4: ratio not asserted (needs the `parallel` feature and ≥4 cores; have {cores})"
         );
     }
+    toposem_bench::emit_bench_json(
+        "q4_parallel_join",
+        &[
+            toposem_bench::BenchSample::from_secs("serial_3way_join", runs as u64, serial_t),
+            toposem_bench::BenchSample::from_secs("parallel_3way_join", runs as u64, par_t),
+        ],
+    );
 
     let mut g = c.benchmark_group("q4_parallel_join");
     g.bench_function("serial", |b| {

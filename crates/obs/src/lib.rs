@@ -1,0 +1,38 @@
+//! # toposem-obs
+//!
+//! Observability primitives for the toposem engine: the pieces every
+//! other layer (WAL, storage engine, planner, executor) records into,
+//! with no dependency on any of them.
+//!
+//! Three layers, mirroring how the engine is observed in practice:
+//!
+//! 1. **[`metrics`]** — an engine-wide registry of cheap atomic
+//!    counters, gauges, and fixed-bucket histograms ([`EngineMetrics`]),
+//!    snapshot into a typed [`MetricsSnapshot`] and rendered in the
+//!    Prometheus text exposition format (hand-written, no external
+//!    crates — consistent with the workspace's vendored-stand-in rule).
+//! 2. **[`profile`]** — per-operator execution profiles: the executor
+//!    accumulates rows/time/detail into a [`PlanProfile`] (one
+//!    [`NodeProfile`] of relaxed atomics per physical operator, merged
+//!    per worker so morsel loops never contend on a shared cache line),
+//!    and the planner zips it with its estimates into an [`OpProfile`]
+//!    tree carrying q-error = max(est/act, act/est) per node.
+//! 3. **[`trace`]** — a bounded ring of recent [`QueryTrace`] entries
+//!    (fingerprint, plan hash, plan/exec/commit phase timings) with a
+//!    configurable slow-query threshold (`TOPOSEM_SLOW_QUERY_MS`) that
+//!    retains the full operator profile for offenders.
+//!
+//! Everything here is safe to call from hot paths: recording is a
+//! handful of relaxed atomic adds and a monotonic clock read; the only
+//! lock is the trace ring's mutex, taken once per query.
+
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{
+    Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, PlanCacheStats,
+    QueryMetrics, RecoveryStats, TxnStats, WalMetrics, WalStats, LATENCY_NS_BOUNDS, SIZE_BOUNDS,
+};
+pub use profile::{NodeProfile, NodeSnapshot, OpProfile, PlanProfile, QueryProfile};
+pub use trace::{QueryTrace, TraceRing};

@@ -1,0 +1,535 @@
+//! Engine-wide metrics registry: atomic counters, gauges, and
+//! fixed-bucket histograms, with a typed snapshot API and a
+//! Prometheus-style text exporter.
+//!
+//! Recording is always-on and near-free: every primitive is a relaxed
+//! atomic operation, so instrumented hot paths (WAL flush, plan-cache
+//! lookup, morsel loops) pay a handful of nanoseconds. Snapshots are
+//! lock-free reads; a histogram snapshot derives its total count from
+//! the per-bucket counts it just read, so `count == Σ buckets` holds by
+//! construction and readers never observe a torn histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value (e.g. the current statistics
+/// epoch).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, in ns) for latency histograms: 1µs … 10s,
+/// one bucket per decade plus a 3× subdivision, then +Inf.
+pub const LATENCY_NS_BOUNDS: &[u64] = &[
+    1_000,
+    3_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+    30_000_000,
+    100_000_000,
+    300_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// Upper bounds (inclusive) for size/count histograms (e.g. group-commit
+/// batch sizes): powers of two up to 1024, then +Inf.
+pub const SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Fixed-bucket histogram. Buckets are non-cumulative atomics; the
+/// final bucket is the implicit `+Inf` overflow.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given static bucket bounds (ascending).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Consistent point-in-time copy. The total count is derived from
+    /// the bucket counts read here, never from a separate atomic, so
+    /// `count == counts.iter().sum()` always holds.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds,
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds; `counts` has one extra `+Inf` slot.
+    pub bounds: &'static [u64],
+    /// Per-bucket (non-cumulative) observation counts.
+    pub counts: Vec<u64>,
+    /// Total observations, equal to `counts.iter().sum()` by
+    /// construction.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn render_prometheus(&self, name: &str, help: &str, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            match self.bounds.get(i) {
+                Some(b) => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", self.sum);
+        let _ = writeln!(out, "{name}_count {}", self.count);
+    }
+}
+
+/// Metrics recorded by the write-ahead log. Kept as a separate struct
+/// behind an `Arc` so the WAL crate can hold it without depending on
+/// the engine (the dependency arrow stays storage → wal → obs).
+#[derive(Debug)]
+pub struct WalMetrics {
+    /// Physical flushes (`flush()` + fsync) of the log.
+    pub flushes: Counter,
+    /// Wall time of each flush's `sync_data`, in nanoseconds.
+    pub fsync_ns: Histogram,
+    /// Commits acknowledged per group-commit flush (1 under
+    /// `PerCommit`).
+    pub group_commit_batch: Histogram,
+    /// Checkpoints written.
+    pub checkpoints: Counter,
+    /// Wall time of each checkpoint, in nanoseconds.
+    pub checkpoint_ns: Histogram,
+}
+
+impl Default for WalMetrics {
+    fn default() -> Self {
+        WalMetrics {
+            flushes: Counter::default(),
+            fsync_ns: Histogram::new(LATENCY_NS_BOUNDS),
+            group_commit_batch: Histogram::new(SIZE_BOUNDS),
+            checkpoints: Counter::default(),
+            checkpoint_ns: Histogram::new(LATENCY_NS_BOUNDS),
+        }
+    }
+}
+
+/// The engine-wide registry. One instance per [`Engine`]; every layer
+/// records into it through an `Arc`.
+///
+/// [`Engine`]: https://docs.rs/ (toposem-storage)
+#[derive(Debug)]
+pub struct EngineMetrics {
+    /// Plan-cache hits (fingerprint found at the current statistics
+    /// epoch).
+    pub plan_cache_hits: Counter,
+    /// Plan-cache misses (absent, stale epoch, or unsupported cached
+    /// plan).
+    pub plan_cache_misses: Counter,
+    /// Plans actually inserted into the cache.
+    pub plan_cache_stores: Counter,
+    /// Statistics-epoch bumps (mutations invalidating stats + plans).
+    pub stats_epoch_bumps: Counter,
+    /// Current statistics epoch.
+    pub stats_epoch: Gauge,
+    /// Explicit transactions begun.
+    pub txn_begins: Counter,
+    /// Transactions committed (explicit commits; autocommitted
+    /// single-op transactions count too).
+    pub txn_commits: Counter,
+    /// Transactions rolled back.
+    pub txn_aborts: Counter,
+    /// Planned queries executed (`query_planned*`, `query_profiled*`,
+    /// `explain_analyze`).
+    pub queries_planned: Counter,
+    /// Planned queries whose total time crossed the slow-query
+    /// threshold.
+    pub queries_slow: Counter,
+    /// Rows returned by planned queries.
+    pub query_rows_returned: Counter,
+    /// Recoveries performed (`Engine::recover` / `from_scan`).
+    pub recovery_runs: Counter,
+    /// Committed transactions replayed during recovery.
+    pub recovery_replayed_txns: Counter,
+    /// Logical operations replayed during recovery.
+    pub recovery_replayed_ops: Counter,
+    /// WAL-layer metrics, shared with the attached [`Wal`].
+    ///
+    /// [`Wal`]: https://docs.rs/ (toposem-wal)
+    pub wal: Arc<WalMetrics>,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics {
+            plan_cache_hits: Counter::default(),
+            plan_cache_misses: Counter::default(),
+            plan_cache_stores: Counter::default(),
+            stats_epoch_bumps: Counter::default(),
+            stats_epoch: Gauge::default(),
+            txn_begins: Counter::default(),
+            txn_commits: Counter::default(),
+            txn_aborts: Counter::default(),
+            queries_planned: Counter::default(),
+            queries_slow: Counter::default(),
+            query_rows_returned: Counter::default(),
+            recovery_runs: Counter::default(),
+            recovery_replayed_txns: Counter::default(),
+            recovery_replayed_ops: Counter::default(),
+            wal: Arc::new(WalMetrics::default()),
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Typed point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            plan_cache: PlanCacheStats {
+                hits: self.plan_cache_hits.get(),
+                misses: self.plan_cache_misses.get(),
+                stores: self.plan_cache_stores.get(),
+            },
+            stats_epoch: self.stats_epoch.get(),
+            stats_epoch_bumps: self.stats_epoch_bumps.get(),
+            txn: TxnStats {
+                begins: self.txn_begins.get(),
+                commits: self.txn_commits.get(),
+                aborts: self.txn_aborts.get(),
+            },
+            queries: QueryMetrics {
+                planned: self.queries_planned.get(),
+                slow: self.queries_slow.get(),
+                rows_returned: self.query_rows_returned.get(),
+            },
+            recovery: RecoveryStats {
+                runs: self.recovery_runs.get(),
+                replayed_txns: self.recovery_replayed_txns.get(),
+                replayed_ops: self.recovery_replayed_ops.get(),
+            },
+            wal: WalStats {
+                flushes: self.wal.flushes.get(),
+                fsync_ns: self.wal.fsync_ns.snapshot(),
+                group_commit_batch: self.wal.group_commit_batch.snapshot(),
+                checkpoints: self.wal.checkpoints.get(),
+                checkpoint_ns: self.wal.checkpoint_ns.snapshot(),
+            },
+        }
+    }
+}
+
+/// Plan-cache counters (the typed form of the `PlanCache: …` line in
+/// `explain` output).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a usable cached plan.
+    pub hits: u64,
+    /// Lookups that had to replan.
+    pub misses: u64,
+    /// Plans inserted into the cache.
+    pub stores: u64,
+}
+
+/// Transaction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// `begin()` calls.
+    pub begins: u64,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Rolled-back transactions.
+    pub aborts: u64,
+}
+
+/// Planned-query counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// Planned queries executed.
+    pub planned: u64,
+    /// Queries over the slow threshold.
+    pub slow: u64,
+    /// Total rows returned.
+    pub rows_returned: u64,
+}
+
+/// Recovery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Recoveries performed.
+    pub runs: u64,
+    /// Committed transactions replayed.
+    pub replayed_txns: u64,
+    /// Logical operations replayed.
+    pub replayed_ops: u64,
+}
+
+/// WAL counters and histograms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalStats {
+    /// Physical flushes.
+    pub flushes: u64,
+    /// fsync latency histogram (ns).
+    pub fsync_ns: HistogramSnapshot,
+    /// Commits per group-commit flush.
+    pub group_commit_batch: HistogramSnapshot,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Checkpoint duration histogram (ns).
+    pub checkpoint_ns: HistogramSnapshot,
+}
+
+/// Typed snapshot of the whole registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Current statistics epoch.
+    pub stats_epoch: u64,
+    /// Epoch bumps since engine creation.
+    pub stats_epoch_bumps: u64,
+    /// Transaction counters.
+    pub txn: TxnStats,
+    /// Planned-query counters.
+    pub queries: QueryMetrics,
+    /// Recovery counters.
+    pub recovery: RecoveryStats,
+    /// WAL counters and histograms.
+    pub wal: WalStats,
+}
+
+impl MetricsSnapshot {
+    /// Render in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        counter(
+            "toposem_plan_cache_hits_total",
+            "Plan-cache lookups that returned a usable plan",
+            self.plan_cache.hits,
+        );
+        counter(
+            "toposem_plan_cache_misses_total",
+            "Plan-cache lookups that had to replan",
+            self.plan_cache.misses,
+        );
+        counter(
+            "toposem_plan_cache_stores_total",
+            "Plans inserted into the cache",
+            self.plan_cache.stores,
+        );
+        counter(
+            "toposem_stats_epoch_bumps_total",
+            "Statistics-epoch bumps from mutations",
+            self.stats_epoch_bumps,
+        );
+        counter(
+            "toposem_txn_begins_total",
+            "Explicit transactions begun",
+            self.txn.begins,
+        );
+        counter(
+            "toposem_txn_commits_total",
+            "Transactions committed",
+            self.txn.commits,
+        );
+        counter(
+            "toposem_txn_aborts_total",
+            "Transactions rolled back",
+            self.txn.aborts,
+        );
+        counter(
+            "toposem_queries_planned_total",
+            "Planned queries executed",
+            self.queries.planned,
+        );
+        counter(
+            "toposem_queries_slow_total",
+            "Planned queries over the slow-query threshold",
+            self.queries.slow,
+        );
+        counter(
+            "toposem_query_rows_returned_total",
+            "Rows returned by planned queries",
+            self.queries.rows_returned,
+        );
+        counter(
+            "toposem_recovery_runs_total",
+            "Recoveries performed",
+            self.recovery.runs,
+        );
+        counter(
+            "toposem_recovery_replayed_txns_total",
+            "Committed transactions replayed during recovery",
+            self.recovery.replayed_txns,
+        );
+        counter(
+            "toposem_recovery_replayed_ops_total",
+            "Logical operations replayed during recovery",
+            self.recovery.replayed_ops,
+        );
+        counter(
+            "toposem_wal_flushes_total",
+            "Physical WAL flushes (write + fsync)",
+            self.wal.flushes,
+        );
+        counter(
+            "toposem_wal_checkpoints_total",
+            "Checkpoints written",
+            self.wal.checkpoints,
+        );
+        {
+            let _ = writeln!(
+                out,
+                "# HELP toposem_stats_epoch Current statistics epoch\n# TYPE toposem_stats_epoch gauge\ntoposem_stats_epoch {}",
+                self.stats_epoch
+            );
+        }
+        self.wal.fsync_ns.render_prometheus(
+            "toposem_wal_fsync_latency_ns",
+            "WAL fsync latency in nanoseconds",
+            &mut out,
+        );
+        self.wal.group_commit_batch.render_prometheus(
+            "toposem_wal_group_commit_batch",
+            "Commits acknowledged per WAL flush",
+            &mut out,
+        );
+        self.wal.checkpoint_ns.render_prometheus(
+            "toposem_wal_checkpoint_duration_ns",
+            "Checkpoint duration in nanoseconds",
+            &mut out,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::new(SIZE_BOUNDS);
+        h.record(1);
+        h.record(2);
+        h.record(3); // -> le=4 bucket
+        h.record(2_000_000); // -> +Inf
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 2_000_006);
+        assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+        assert_eq!(s.counts[0], 1); // le=1
+        assert_eq!(s.counts[1], 1); // le=2
+        assert_eq!(s.counts[2], 1); // le=4
+        assert_eq!(s.counts[SIZE_BOUNDS.len()], 1); // +Inf
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let m = EngineMetrics::new();
+        m.plan_cache_hits.add(3);
+        m.wal.fsync_ns.record(12_345);
+        m.wal.group_commit_batch.record(7);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("toposem_plan_cache_hits_total 3"));
+        assert!(text.contains("# TYPE toposem_wal_fsync_latency_ns histogram"));
+        assert!(text.contains("toposem_wal_fsync_latency_ns_count 1"));
+        assert!(text.contains("toposem_wal_fsync_latency_ns_sum 12345"));
+        assert!(text.contains("toposem_wal_group_commit_batch_bucket{le=\"8\"} 1"));
+        assert!(text.contains("toposem_wal_group_commit_batch_bucket{le=\"+Inf\"} 1"));
+    }
+}

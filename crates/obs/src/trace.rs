@@ -1,0 +1,164 @@
+//! Structured event trace: a bounded ring buffer of recent query
+//! executions with a configurable slow-query threshold.
+//!
+//! Every planned query pushes one [`QueryTrace`] (fingerprint, plan
+//! hash, plan/exec/commit phase timings, row count). Entries whose
+//! total time crosses the threshold are flagged slow and retain the
+//! full per-operator [`QueryProfile`]; fast entries stay lightweight so
+//! the always-on cost is one mutex push per query.
+//!
+//! The threshold defaults to 100ms and is configurable via the
+//! `TOPOSEM_SLOW_QUERY_MS` environment variable (read at ring
+//! construction) or [`TraceRing::set_slow_query_ms`] at runtime.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::profile::QueryProfile;
+
+/// Default slow-query threshold when `TOPOSEM_SLOW_QUERY_MS` is unset.
+pub const DEFAULT_SLOW_QUERY_MS: u64 = 100;
+
+/// Default ring capacity.
+pub const DEFAULT_TRACE_CAP: usize = 128;
+
+/// One traced event. Queries populate `plan_ns`/`exec_ns`; durable
+/// transaction commits are traced separately with `commit_ns` (their
+/// fingerprint and plan hash are 0).
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// Logical-query fingerprint (0 for commit events).
+    pub fingerprint: u64,
+    /// Physical-plan fingerprint (0 for commit events).
+    pub plan_hash: u64,
+    /// Planning phase in ns (plan-cache lookup included).
+    pub plan_ns: u64,
+    /// Execution phase in ns.
+    pub exec_ns: u64,
+    /// Commit phase in ns (WAL append + flush; 0 for read-only
+    /// queries).
+    pub commit_ns: u64,
+    /// Rows returned (queries) or operations committed (commits).
+    pub rows: u64,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Whether total time crossed the slow-query threshold.
+    pub slow: bool,
+    /// Full operator profile — retained for slow queries and explicit
+    /// `query_profiled` / `explain_analyze` runs.
+    pub profile: Option<Arc<QueryProfile>>,
+}
+
+impl QueryTrace {
+    /// Total traced time across phases.
+    pub fn total_ns(&self) -> u64 {
+        self.plan_ns + self.exec_ns + self.commit_ns
+    }
+}
+
+/// Bounded ring of recent [`QueryTrace`] entries.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    slow_ns: AtomicU64,
+    entries: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl TraceRing {
+    /// A ring holding the most recent `cap` entries, with the slow
+    /// threshold taken from `TOPOSEM_SLOW_QUERY_MS` (falling back to
+    /// [`DEFAULT_SLOW_QUERY_MS`]).
+    pub fn new(cap: usize) -> Self {
+        let ms = std::env::var("TOPOSEM_SLOW_QUERY_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SLOW_QUERY_MS);
+        TraceRing {
+            cap: cap.max(1),
+            slow_ns: AtomicU64::new(ms.saturating_mul(1_000_000)),
+            entries: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+        }
+    }
+
+    /// Current slow-query threshold in nanoseconds.
+    pub fn slow_query_ns(&self) -> u64 {
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// Override the slow-query threshold at runtime.
+    pub fn set_slow_query_ms(&self, ms: u64) {
+        self.slow_ns
+            .store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+    }
+
+    /// Append an entry, evicting the oldest past capacity.
+    pub fn push(&self, t: QueryTrace) {
+        let mut q = self.entries.lock().unwrap();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(t);
+    }
+
+    /// All retained entries, oldest first.
+    pub fn recent(&self) -> Vec<QueryTrace> {
+        self.entries.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Retained entries flagged slow, oldest first.
+    pub fn slow(&self) -> Vec<QueryTrace> {
+        self.entries
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|t| t.slow)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing has been traced yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().unwrap().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(fp: u64, slow: bool) -> QueryTrace {
+        QueryTrace {
+            fingerprint: fp,
+            plan_hash: fp ^ 1,
+            plan_ns: 10,
+            exec_ns: 20,
+            commit_ns: 0,
+            rows: 1,
+            cache_hit: false,
+            slow,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_order() {
+        let ring = TraceRing::new(3);
+        for fp in 0..5 {
+            ring.push(entry(fp, fp == 3));
+        }
+        let recent = ring.recent();
+        assert_eq!(
+            recent.iter().map(|t| t.fingerprint).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(ring.slow().len(), 1);
+        assert_eq!(ring.slow()[0].fingerprint, 3);
+        assert_eq!(recent[0].total_ns(), 30);
+    }
+}

@@ -37,9 +37,11 @@
 //! sequences), whatever the thread count or morsel size.
 
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
 
 use toposem_core::AttrId;
 use toposem_extension::{Database, Instance, Relation, Value};
+use toposem_obs::{NodeProfile, PlanProfile};
 use toposem_storage::{cmp_by_keys, Index, Predicate, SortDir};
 
 use crate::physical::{Physical, BATCH_SIZE};
@@ -120,6 +122,48 @@ impl Default for ExecOptions {
     }
 }
 
+/// A profiling handle threaded through the executor: the shared
+/// [`PlanProfile`] plus the pre-order node id of the operator currently
+/// being evaluated ([`Prof::none`] disables all recording). `Copy`, two
+/// words — passing it costs nothing on the unprofiled path.
+#[derive(Clone, Copy)]
+pub(crate) struct Prof<'a> {
+    inner: Option<(&'a PlanProfile, usize)>,
+}
+
+impl<'a> Prof<'a> {
+    /// No profiling: every recording site is a `None` check.
+    pub(crate) fn none() -> Prof<'a> {
+        Prof { inner: None }
+    }
+
+    /// Profiling rooted at `plan` (node id 0). `profile` must have been
+    /// sized to `plan.node_count()`.
+    pub(crate) fn root(plan: &Physical, profile: &'a PlanProfile) -> Prof<'a> {
+        debug_assert_eq!(profile.len(), plan.node_count(), "profile sized to plan");
+        let _ = plan;
+        Prof {
+            inner: Some((profile, 0)),
+        }
+    }
+
+    /// The current operator's slot, when profiling.
+    fn node(&self) -> Option<&'a NodeProfile> {
+        self.inner.map(|(p, id)| p.node(id))
+    }
+
+    /// The handle for `plan`'s `k`-th child: pre-order ids, so the child
+    /// starts right after this node plus its earlier siblings' subtrees.
+    fn child(&self, plan: &Physical, k: usize) -> Prof<'a> {
+        Prof {
+            inner: self.inner.map(|(p, id)| {
+                let before: usize = plan.children()[..k].iter().map(|c| c.node_count()).sum();
+                (p, id + 1 + before)
+            }),
+        }
+    }
+}
+
 /// Executes a physical plan against a database + index snapshot (acquire
 /// both through `Engine::with_parts` for consistency) under the default
 /// [`ExecOptions`].
@@ -134,12 +178,37 @@ pub fn execute_with(
     indexes: &[Vec<Index>],
     opts: &ExecOptions,
 ) -> Relation {
+    execute_prof(plan, db, indexes, opts, Prof::none())
+}
+
+/// [`execute_with`] recording per-operator actuals (rows, wall time,
+/// operator detail) into `profile`, which must be sized to
+/// `plan.node_count()`. The result is bit-identical to the unprofiled
+/// path: profiling only adds thread-local tallies merged into the
+/// shared slots with one atomic add per batch/morsel.
+pub fn execute_profiled_with(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+    profile: &PlanProfile,
+) -> Relation {
+    execute_prof(plan, db, indexes, opts, Prof::root(plan, profile))
+}
+
+fn execute_prof(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+    prof: Prof,
+) -> Relation {
     #[cfg(not(feature = "parallel"))]
     let _ = opts; // knobs are accepted but execution is always serial
     #[cfg(feature = "parallel")]
     if opts.effective_threads() > 1 {
         let ctx = Ctx::new(db, indexes, opts);
-        let morsels = eval_parallel(plan, &ctx);
+        let morsels = eval_parallel(plan, &ctx, prof);
         // Sort by the full instance order in parallel, then bulk-build
         // the set from the (deduplicated) sorted sequence — the final
         // collection scales with the pool instead of serialising on
@@ -156,7 +225,7 @@ pub fn execute_with(
         return out.into_iter().collect();
     }
     let mut out = Relation::new();
-    for_each_batch(plan, db, indexes, &mut |batch| {
+    for_each_batch(plan, db, indexes, prof, &mut |batch| {
         for t in batch.drain(..) {
             out.insert(t);
         }
@@ -182,6 +251,28 @@ pub fn execute_ordered_with(
     indexes: &[Vec<Index>],
     opts: &ExecOptions,
 ) -> Vec<Instance> {
+    execute_ordered_prof(plan, db, indexes, opts, Prof::none())
+}
+
+/// [`execute_ordered_with`] recording per-operator actuals into
+/// `profile` (see [`execute_profiled_with`]).
+pub fn execute_ordered_profiled_with(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+    profile: &PlanProfile,
+) -> Vec<Instance> {
+    execute_ordered_prof(plan, db, indexes, opts, Prof::root(plan, profile))
+}
+
+fn execute_ordered_prof(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    opts: &ExecOptions,
+    prof: Prof,
+) -> Vec<Instance> {
     let mut out: Vec<Instance> = Vec::new();
     let mut seen: HashSet<Instance> = HashSet::new();
     #[cfg(not(feature = "parallel"))]
@@ -189,7 +280,7 @@ pub fn execute_ordered_with(
     #[cfg(feature = "parallel")]
     if opts.effective_threads() > 1 {
         let ctx = Ctx::new(db, indexes, opts);
-        for m in eval_parallel(plan, &ctx) {
+        for m in eval_parallel(plan, &ctx, prof) {
             for t in m {
                 if seen.insert(t.clone()) {
                     out.push(t);
@@ -198,7 +289,7 @@ pub fn execute_ordered_with(
         }
         return out;
     }
-    for_each_batch(plan, db, indexes, &mut |batch| {
+    for_each_batch(plan, db, indexes, prof, &mut |batch| {
         for t in batch.drain(..) {
             if seen.insert(t.clone()) {
                 out.push(t);
@@ -281,19 +372,64 @@ fn stream_filtered<'a>(
     }
 }
 
+/// [`stream_filtered`], additionally counting the tuples *walked*
+/// (before the residual filter) into the node's `rows_in` when
+/// profiling — a plain local counter, one atomic add at the end.
+fn stream_profiled<'a>(
+    iter: impl Iterator<Item = &'a Instance>,
+    residual: &[(AttrId, Predicate)],
+    node: Option<&NodeProfile>,
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    match node {
+        None => stream_filtered(iter, residual, sink),
+        Some(node) => {
+            let mut walked = 0u64;
+            stream_filtered(iter.inspect(|_| walked += 1), residual, sink);
+            node.add_rows_in(walked);
+        }
+    }
+}
+
 /// Runs `sink` over every output batch of `plan`. Batches arrive as owned
-/// vectors the sink may drain.
+/// vectors the sink may drain. When profiling, records this node's call,
+/// output rows, and inclusive wall time (children execute inside their
+/// parent's pipeline, so each node's wall time covers its subtree).
 fn for_each_batch(
     plan: &Physical,
     db: &Database,
     indexes: &[Vec<Index>],
+    prof: Prof,
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    let Some(node) = prof.node() else {
+        return exec_serial(plan, db, indexes, prof, sink);
+    };
+    let t0 = Instant::now();
+    let mut rows = 0u64;
+    exec_serial(plan, db, indexes, prof, &mut |batch| {
+        rows += batch.len() as u64;
+        sink(batch);
+    });
+    node.add_call();
+    node.add_rows(rows);
+    node.add_wall_ns(t0.elapsed().as_nanos() as u64);
+    node.note_workers(1);
+}
+
+/// The serial operator dispatch behind [`for_each_batch`].
+fn exec_serial(
+    plan: &Physical,
+    db: &Database,
+    indexes: &[Vec<Index>],
+    prof: Prof,
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
     match plan {
         Physical::Empty { .. } => {}
         Physical::SeqScan { ty, preds } => {
             let rel = db.extension_cow(*ty);
-            stream_filtered(rel.iter(), preds, sink);
+            stream_profiled(rel.iter(), preds, prof.node(), sink);
         }
         Physical::IndexSeek {
             ty,
@@ -305,7 +441,7 @@ fn for_each_batch(
                 .iter()
                 .find_map(|idx| idx.lookup(*attr, value))
                 .expect("planner chose IndexSeek only when a point index exists");
-            stream_filtered(hit.iter(), residual, sink);
+            stream_profiled(hit.iter(), residual, prof.node(), sink);
         }
         Physical::IndexRangeSeek {
             ty,
@@ -320,7 +456,7 @@ fn for_each_batch(
                 .expect("planner chose IndexRangeSeek only when an ordered index exists");
             let lo = lo.as_ref().map(|(v, inc)| (v, *inc));
             let hi = hi.as_ref().map(|(v, inc)| (v, *inc));
-            stream_filtered(ord.range(lo, hi), residual, sink);
+            stream_profiled(ord.range(lo, hi), residual, prof.node(), sink);
         }
         Physical::CompositeSeek {
             ty,
@@ -337,9 +473,14 @@ fn for_each_batch(
                 Some(iv) => {
                     let lo = iv.lo.as_ref().map(|(v, inc)| (v, *inc));
                     let hi = iv.hi.as_ref().map(|(v, inc)| (v, *inc));
-                    stream_filtered(comp.lookup_prefix_range(prefix, lo, hi), residual, sink);
+                    stream_profiled(
+                        comp.lookup_prefix_range(prefix, lo, hi),
+                        residual,
+                        prof.node(),
+                        sink,
+                    );
                 }
-                None => stream_filtered(comp.lookup_prefix(prefix), residual, sink),
+                None => stream_profiled(comp.lookup_prefix(prefix), residual, prof.node(), sink),
             }
         }
         Physical::IndexOnlyScan {
@@ -359,7 +500,10 @@ fn for_each_batch(
                 .expect("planner chose IndexOnlyScan only when the covering index exists");
             let target = db.schema().attrs_of(*to);
             let mut batch = Vec::with_capacity(BATCH_SIZE);
+            // Keys touched, counted locally; merged into `rows_in` once.
+            let walked = std::cell::Cell::new(0u64);
             let emit = |key: &[&Value], batch: &mut Vec<Instance>| {
+                walked.set(walked.get() + 1);
                 let bound: Vec<(AttrId, &Value)> =
                     key_attrs.iter().copied().zip(key.iter().copied()).collect();
                 if !preds.iter().all(|(a, p)| {
@@ -410,9 +554,12 @@ fn for_each_batch(
             if !batch.is_empty() {
                 sink(&mut batch);
             }
+            if let Some(node) = prof.node() {
+                node.add_rows_in(walked.get());
+            }
         }
         Physical::Filter { input, preds } => {
-            for_each_batch(input, db, indexes, &mut |batch| {
+            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
                 batch.retain(|t| matches(t, preds));
                 if !batch.is_empty() {
                     sink(batch);
@@ -421,7 +568,7 @@ fn for_each_batch(
         }
         Physical::Project { input, to } => {
             let target = db.schema().attrs_of(*to).clone();
-            for_each_batch(input, db, indexes, &mut |batch| {
+            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
                 let mut projected: Vec<Instance> =
                     batch.drain(..).map(|t| t.project(&target)).collect();
                 sink(&mut projected);
@@ -437,14 +584,19 @@ fn for_each_batch(
             };
             // Materialise the build side into a hash table.
             let mut table: HashMap<Vec<Value>, Vec<Instance>> = HashMap::new();
-            for_each_batch(build, db, indexes, &mut |batch| {
+            for_each_batch(build, db, indexes, prof.child(plan, 0), &mut |batch| {
                 for t in batch.drain(..) {
                     table.entry(key_of(&t)).or_default().push(t);
                 }
             });
+            if let Some(node) = prof.node() {
+                // Serial build = one partition holding every build row.
+                let build_rows: usize = table.values().map(Vec::len).sum();
+                node.note_partitions(1, build_rows as u64);
+            }
             // Stream the probe side.
             let mut out = Vec::with_capacity(BATCH_SIZE);
-            for_each_batch(probe, db, indexes, &mut |batch| {
+            for_each_batch(probe, db, indexes, prof.child(plan, 1), &mut |batch| {
                 for p in batch.drain(..) {
                     if let Some(partners) = table.get(&key_of(&p)) {
                         for b in partners {
@@ -468,18 +620,23 @@ fn for_each_batch(
             // access path, an order-preserving pipeline, or an explicit
             // Sort enforcer below). Materialise each side and match
             // equal-key groups pairwise.
-            let collect = |side: &Physical| {
+            let collect = |side: &Physical, p: Prof| {
                 let mut rows: Vec<Instance> = Vec::new();
-                for_each_batch(side, db, indexes, &mut |batch| rows.append(batch));
+                for_each_batch(side, db, indexes, p, &mut |batch| rows.append(batch));
                 rows
             };
-            let lrows = collect(left);
-            let rrows = collect(right);
+            let lrows = collect(left, prof.child(plan, 0));
+            let rrows = collect(right, prof.child(plan, 1));
             merge_join_sorted(&lrows, &rrows, keys, sink);
         }
         Physical::Sort { input, keys } => {
             let mut rows: Vec<Instance> = Vec::new();
-            for_each_batch(input, db, indexes, &mut |batch| rows.append(batch));
+            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
+                rows.append(batch)
+            });
+            if let Some(node) = prof.node() {
+                node.add_runs(1);
+            }
             // Stable, so an input order on a longer key list survives as
             // the tie-break.
             rows.sort_by(|a, b| cmp_by_keys(a, b, keys));
@@ -494,17 +651,17 @@ fn for_each_batch(
         }
         Physical::Union { left, right, .. } => {
             // Bag semantics here; the collecting sink deduplicates.
-            for_each_batch(left, db, indexes, sink);
-            for_each_batch(right, db, indexes, sink);
+            for_each_batch(left, db, indexes, prof.child(plan, 0), sink);
+            for_each_batch(right, db, indexes, prof.child(plan, 1), sink);
         }
         Physical::Intersect { build, probe, .. } => {
             let mut members = Relation::new();
-            for_each_batch(build, db, indexes, &mut |batch| {
+            for_each_batch(build, db, indexes, prof.child(plan, 0), &mut |batch| {
                 for t in batch.drain(..) {
                     members.insert(t);
                 }
             });
-            for_each_batch(probe, db, indexes, &mut |batch| {
+            for_each_batch(probe, db, indexes, prof.child(plan, 1), &mut |batch| {
                 batch.retain(|t| members.contains(t));
                 if !batch.is_empty() {
                     sink(batch);
@@ -669,10 +826,12 @@ mod parallel {
 
     /// Pushes one tuple through the fused steps; `None` when a filter
     /// rejects it. Clones lazily: a tuple is only materialised at its
-    /// first projection (or at the end, for the output).
-    fn push_through(t: &Instance, steps: &[Step]) -> Option<Instance> {
+    /// first projection (or at the end, for the output). `counts[i]` is
+    /// bumped when step `i` passes the tuple on — plain per-morsel
+    /// tallies the caller merges into the profile in one atomic add.
+    fn push_through(t: &Instance, steps: &[Step], counts: &mut [u64]) -> Option<Instance> {
         let mut owned: Option<Instance> = None;
-        for step in steps {
+        for (i, step) in steps.iter().enumerate() {
             let cur = owned.as_ref().unwrap_or(t);
             match step {
                 Step::Filter(preds) => {
@@ -682,25 +841,47 @@ mod parallel {
                 }
                 Step::Project(target) => owned = Some(cur.project(target)),
             }
+            if let Some(c) = counts.get_mut(i) {
+                *c += 1;
+            }
         }
         Some(owned.unwrap_or_else(|| t.clone()))
+    }
+
+    /// Records a parallel operator's actuals once its morsels exist:
+    /// call count, output rows, inclusive wall time, pool size.
+    fn note_node(prof: Prof, t0: Instant, morsels: &[Vec<Instance>], workers: usize) {
+        if let Some(node) = prof.node() {
+            node.add_call();
+            node.add_rows(morsels.iter().map(|m| m.len() as u64).sum());
+            node.add_wall_ns(t0.elapsed().as_nanos() as u64);
+            node.note_workers(workers as u64);
+        }
     }
 
     /// Evaluates `plan` into ordered output morsels, data-parallel where
     /// the operator allows it. Concatenating the morsels yields exactly
     /// the serial executor's arrival order.
-    pub(super) fn eval_parallel(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
+    pub(super) fn eval_parallel(plan: &Physical, ctx: &Ctx, prof: Prof) -> Vec<Vec<Instance>> {
+        let t0 = Instant::now();
         match plan {
-            Physical::Empty { .. } => Vec::new(),
+            Physical::Empty { .. } => {
+                if let Some(node) = prof.node() {
+                    node.add_call();
+                }
+                Vec::new()
+            }
             Physical::SeqScan { .. } | Physical::Filter { .. } | Physical::Project { .. } => {
-                eval_pipeline(plan, ctx)
+                eval_pipeline(plan, ctx, prof)
             }
             Physical::HashJoin {
                 build, probe, keys, ..
             } => {
-                let (bm, pm) = eval_both(build, probe, ctx);
+                let (bm, pm) =
+                    eval_both(build, probe, ctx, prof.child(plan, 0), prof.child(plan, 1));
                 let table = PartitionedTable::build(bm, keys, ctx);
-                dispatch(&pm, ctx.threads, |_, morsel| {
+                let nmorsels = pm.len();
+                let out = dispatch(&pm, ctx.threads, |_, morsel| {
                     let mut out = Vec::new();
                     for p in morsel {
                         for b in table.partners(p) {
@@ -708,49 +889,77 @@ mod parallel {
                         }
                     }
                     out
-                })
+                });
+                if let Some(node) = prof.node() {
+                    let (nparts, maxp) = table.skew();
+                    node.note_partitions(nparts, maxp);
+                    node.add_morsels(nmorsels as u64);
+                }
+                note_node(prof, t0, &out, ctx.threads.min(nmorsels).max(1));
+                out
             }
             Physical::MergeJoin {
                 left, right, keys, ..
             } => {
-                let (lm, rm) = eval_both(left, right, ctx);
+                let (lm, rm) =
+                    eval_both(left, right, ctx, prof.child(plan, 0), prof.child(plan, 1));
                 let lrows: Vec<Instance> = lm.into_iter().flatten().collect();
                 let rrows: Vec<Instance> = rm.into_iter().flatten().collect();
                 let mut out: Vec<Vec<Instance>> = Vec::new();
                 merge_join_sorted(&lrows, &rrows, keys, &mut |batch| {
                     out.push(std::mem::take(batch));
                 });
+                // The merge loop itself is single-threaded.
+                note_node(prof, t0, &out, 1);
                 out
             }
             Physical::Sort { input, keys } => {
-                let morsels = eval_parallel(input, ctx);
-                par_sort_morsels(morsels, ctx, |a, b| cmp_by_keys(a, b, keys))
+                let morsels = eval_parallel(input, ctx, prof.child(plan, 0));
+                let nmorsels = morsels.len();
+                let out = par_sort_morsels(morsels, ctx, |a, b| cmp_by_keys(a, b, keys));
+                if let Some(node) = prof.node() {
+                    // One contiguous run per worker, as par_sort_morsels
+                    // splits them.
+                    node.add_runs(ctx.threads.min(nmorsels).max(1) as u64);
+                    node.add_morsels(nmorsels as u64);
+                }
+                note_node(prof, t0, &out, ctx.threads.min(nmorsels).max(1));
+                out
             }
             Physical::Union { left, right, .. } => {
-                let (mut lm, rm) = eval_both(left, right, ctx);
+                let (mut lm, rm) =
+                    eval_both(left, right, ctx, prof.child(plan, 0), prof.child(plan, 1));
                 lm.extend(rm);
+                note_node(prof, t0, &lm, ctx.threads.clamp(1, 2));
                 lm
             }
             Physical::Intersect { build, probe, .. } => {
-                let (bm, pm) = eval_both(build, probe, ctx);
+                let (bm, pm) =
+                    eval_both(build, probe, ctx, prof.child(plan, 0), prof.child(plan, 1));
                 // One serial pass builds the membership set (a parallel
                 // per-morsel pre-hash would touch every tuple twice for
                 // no gain — the merge is serial either way; the cost
                 // model prices exactly this); the probe filter then
                 // runs morsel-parallel against the read-only set.
                 let members: HashSet<Instance> = bm.into_iter().flatten().collect();
-                dispatch(&pm, ctx.threads, |_, morsel| {
+                let nmorsels = pm.len();
+                let out = dispatch(&pm, ctx.threads, |_, morsel| {
                     morsel
                         .iter()
                         .filter(|t| members.contains(*t))
                         .cloned()
                         .collect::<Vec<Instance>>()
-                })
+                });
+                if let Some(node) = prof.node() {
+                    node.add_morsels(nmorsels as u64);
+                }
+                note_node(prof, t0, &out, ctx.threads.min(nmorsels).max(1));
+                out
             }
             // Index access paths are selective by construction; their
             // outputs are collected serially (and still feed parallel
-            // consumers above them).
-            leaf => collect_serial(leaf, ctx),
+            // consumers above them). The serial path records actuals.
+            leaf => collect_serial(leaf, ctx, prof),
         }
     }
 
@@ -762,16 +971,18 @@ mod parallel {
         a: &Physical,
         b: &Physical,
         ctx: &Ctx,
+        pa: Prof,
+        pb: Prof,
     ) -> (Vec<Vec<Instance>>, Vec<Vec<Instance>>) {
         if ctx.threads <= 1 {
-            return (eval_parallel(a, ctx), eval_parallel(b, ctx));
+            return (eval_parallel(a, ctx, pa), eval_parallel(b, ctx, pb));
         }
         let side_ctx = Ctx {
             threads: ctx.threads.div_ceil(2),
             ..*ctx
         };
-        let sides = [a, b];
-        let mut results = dispatch(&sides, 2, |_, side| eval_parallel(side, &side_ctx));
+        let sides = [(a, pa), (b, pb)];
+        let mut results = dispatch(&sides, 2, |_, (side, p)| eval_parallel(side, &side_ctx, *p));
         let rb = results.pop().expect("two sides in, two results out");
         let ra = results.pop().expect("two sides in, two results out");
         (ra, rb)
@@ -780,57 +991,117 @@ mod parallel {
     /// Evaluates a `Filter`/`Project` chain fused onto its source: the
     /// steps run inside the same worker pass that scans the source
     /// morsels, so a filtered-projected scan touches each tuple once.
-    fn eval_pipeline(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
-        // Peel the order-preserving tuple-wise steps off the top.
+    ///
+    /// Profiling counts each fused step's output rows per morsel with a
+    /// plain local array, merged into the shared slots in one atomic add
+    /// per step per morsel. Fused nodes execute in a single worker pass,
+    /// so they share the pipeline's wall time and pool size.
+    fn eval_pipeline(plan: &Physical, ctx: &Ctx, prof: Prof) -> Vec<Vec<Instance>> {
+        let t0 = Instant::now();
+        // Peel the order-preserving tuple-wise steps off the top,
+        // remembering each step's profile slot.
         let mut steps: Vec<Step> = Vec::new();
+        let mut step_profs: Vec<Prof> = Vec::new();
         let mut cur = plan;
+        let mut cur_prof = prof;
         loop {
             match cur {
                 Physical::Filter { input, preds } => {
                     steps.push(Step::Filter(preds));
+                    step_profs.push(cur_prof);
+                    cur_prof = cur_prof.child(cur, 0);
                     cur = input;
                 }
                 Physical::Project { input, to } => {
                     steps.push(Step::Project(ctx.db.schema().attrs_of(*to).clone()));
+                    step_profs.push(cur_prof);
+                    cur_prof = cur_prof.child(cur, 0);
                     cur = input;
                 }
                 _ => break,
             }
         }
         steps.reverse();
+        step_profs.reverse();
+        // Merges one morsel's local step tallies into the shared slots.
+        let merge_counts = |counts: &[u64]| {
+            for (p, c) in step_profs.iter().zip(counts) {
+                if let Some(node) = p.node() {
+                    node.add_rows(*c);
+                }
+            }
+        };
         if let Physical::SeqScan { ty, preds } = cur {
             // Fused source: scan morsels of the stored relation, filter
             // and project inside the workers.
             let rel = ctx.db.extension_cow(*ty);
             let morsels: Vec<Vec<&Instance>> = rel.morsels(ctx.morsel_size).collect();
-            return dispatch(&morsels, ctx.threads, |_, morsel| {
-                morsel
+            let workers = ctx.threads.min(morsels.len()).max(1);
+            let out = dispatch(&morsels, ctx.threads, |_, morsel| {
+                let mut counts = vec![0u64; steps.len()];
+                let mut scanned_out = 0u64;
+                let res: Vec<Instance> = morsel
                     .iter()
                     .copied()
                     .filter(|t| matches(t, preds))
-                    .filter_map(|t| push_through(t, &steps))
-                    .collect::<Vec<Instance>>()
+                    .inspect(|_| scanned_out += 1)
+                    .filter_map(|t| push_through(t, &steps, &mut counts))
+                    .collect();
+                if let Some(node) = cur_prof.node() {
+                    node.add_rows_in(morsel.len() as u64);
+                    node.add_rows(scanned_out);
+                    node.add_morsels(1);
+                }
+                merge_counts(&counts);
+                res
             });
+            if cur_prof.node().is_some() {
+                let wall = t0.elapsed().as_nanos() as u64;
+                for p in step_profs.iter().chain(std::iter::once(&cur_prof)) {
+                    if let Some(node) = p.node() {
+                        node.add_call();
+                        node.add_wall_ns(wall);
+                        node.note_workers(workers as u64);
+                    }
+                }
+            }
+            return out;
         }
         // Composite source (a join, set operation, sort, or index path):
         // evaluate it, then run the fused steps morsel-parallel.
-        let morsels = eval_parallel(cur, ctx);
+        let morsels = eval_parallel(cur, ctx, cur_prof);
         if steps.is_empty() {
             return morsels;
         }
-        dispatch_take(morsels, ctx.threads, |_, morsel| {
-            morsel
+        let workers = ctx.threads.min(morsels.len()).max(1);
+        let out = dispatch_take(morsels, ctx.threads, |_, morsel| {
+            let mut counts = vec![0u64; steps.len()];
+            let res: Vec<Instance> = morsel
                 .iter()
-                .filter_map(|t| push_through(t, &steps))
-                .collect::<Vec<Instance>>()
-        })
+                .filter_map(|t| push_through(t, &steps, &mut counts))
+                .collect();
+            merge_counts(&counts);
+            res
+        });
+        if prof.node().is_some() {
+            let wall = t0.elapsed().as_nanos() as u64;
+            for p in &step_profs {
+                if let Some(node) = p.node() {
+                    node.add_call();
+                    node.add_wall_ns(wall);
+                    node.note_workers(workers as u64);
+                }
+            }
+        }
+        out
     }
 
-    /// Serially collects a leaf operator's output into morsels.
-    fn collect_serial(plan: &Physical, ctx: &Ctx) -> Vec<Vec<Instance>> {
+    /// Serially collects a leaf operator's output into morsels. The
+    /// serial executor records the leaf's actuals.
+    fn collect_serial(plan: &Physical, ctx: &Ctx, prof: Prof) -> Vec<Vec<Instance>> {
         let mut out: Vec<Vec<Instance>> = Vec::new();
         let mut cur: Vec<Instance> = Vec::new();
-        for_each_batch(plan, ctx.db, ctx.indexes, &mut |batch| {
+        for_each_batch(plan, ctx.db, ctx.indexes, prof, &mut |batch| {
             for t in batch.drain(..) {
                 cur.push(t);
                 if cur.len() == ctx.morsel_size {
@@ -897,6 +1168,18 @@ mod parallel {
                 .get(&key)
                 .map(Vec::as_slice)
                 .unwrap_or(&[])
+        }
+
+        /// Partition-skew summary: `(partition count, largest partition's
+        /// build-tuple count)` — the profiled hash join reports these.
+        fn skew(&self) -> (u64, u64) {
+            let largest = self
+                .parts
+                .iter()
+                .map(|p| p.values().map(Vec::len).sum::<usize>())
+                .max()
+                .unwrap_or(0);
+            (self.parts.len() as u64, largest as u64)
         }
     }
 

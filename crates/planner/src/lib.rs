@@ -101,20 +101,24 @@ pub mod cost;
 pub mod exec;
 pub mod logical;
 pub mod physical;
+pub mod profile;
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use toposem_core::TypeId;
 use toposem_extension::{Instance, Relation};
+use toposem_obs::{PlanProfile, QueryProfile, QueryTrace};
 use toposem_storage::{Engine, Query, QueryError};
 
 pub use cost::{estimate, estimate_with, parallel_degree, Estimate};
 pub use exec::{
-    execute, execute_ordered, execute_ordered_with, execute_with, plan_supported, ExecOptions,
-    DEFAULT_MORSEL_SIZE,
+    execute, execute_ordered, execute_ordered_profiled_with, execute_ordered_with,
+    execute_profiled_with, execute_with, plan_supported, ExecOptions, DEFAULT_MORSEL_SIZE,
 };
 pub use logical::{lower_and_rewrite, Logical};
 pub use physical::{order_satisfies, plan, plan_with, Physical, PlannerOptions, BATCH_SIZE};
+pub use profile::build_op_profile;
 
 /// Planned execution of sanctioned queries — implemented for
 /// [`Engine`], giving it the `query_planned` entry point.
@@ -173,25 +177,82 @@ pub trait PlannedExecution {
     fn explain(&self, q: &Query) -> Result<String, QueryError>;
 }
 
+/// Profiled execution — `EXPLAIN ANALYZE` for the planned path,
+/// implemented for [`Engine`].
+///
+/// Profiling never changes execution: a profiled run produces a result
+/// bit-identical to [`PlannedExecution::query_planned`] (serial and
+/// parallel), it just also returns the annotated [`QueryProfile`] tree
+/// with estimated vs actual rows, per-node q-error, inclusive wall
+/// time, and actual parallel degree.
+pub trait ProfiledExecution {
+    /// Plans, executes, and profiles `q`, returning its entity type,
+    /// result relation, and the query's [`QueryProfile`]. Shares the
+    /// plan cache (and its hit/miss accounting) with
+    /// [`PlannedExecution::query_planned`].
+    fn query_profiled(
+        &self,
+        q: &Query,
+    ) -> Result<(TypeId, Relation, Arc<QueryProfile>), QueryError>;
+
+    /// [`ProfiledExecution::query_profiled`] with explicit
+    /// [`ExecOptions`].
+    fn query_profiled_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation, Arc<QueryProfile>), QueryError>;
+
+    /// Executes `q` and renders its plan annotated with *actuals*: per
+    /// operator the estimated and observed rows, the q-error of the
+    /// estimate, inclusive wall time, the observed parallel degree, and
+    /// operator detail (build/probe sizes, partition skew, sort runs,
+    /// keys touched), plus a phase-timing footer.
+    fn explain_analyze(&self, q: &Query) -> Result<String, QueryError>;
+
+    /// [`ProfiledExecution::explain_analyze`] with explicit
+    /// [`ExecOptions`].
+    fn explain_analyze_with(&self, q: &Query, opts: &ExecOptions) -> Result<String, QueryError>;
+}
+
 /// A cache entry: the physical plan plus the canonical rendering of the
 /// query it was planned for. The cache key is a 64-bit fingerprint of
 /// that rendering; the stored rendering is compared on every hit so a
 /// fingerprint collision degrades to a miss instead of silently
-/// executing another query's plan.
+/// executing another query's plan. The plan's own fingerprint is
+/// computed once at plan time so hit-path tracing costs nothing.
 struct CachedPlan {
     query_repr: String,
     physical: Physical,
+    plan_hash: u64,
 }
 
-/// The shared plan-then-run path behind both execution entry points:
+/// The shared plan-then-run path behind every execution entry point:
 /// consult the plan cache, otherwise lower/rewrite/plan and cache the
 /// result, and hand the physical plan (with a consistent database +
-/// index snapshot) to `run`.
-fn with_planned<R>(
+/// index snapshot) and a freshly sized [`PlanProfile`] to `run`.
+///
+/// Always-on observability: every query allocates its per-operator
+/// profile (atomic slots the executor merges into batch-wise), times
+/// its plan and exec phases, updates the engine's query metrics, and
+/// pushes an entry into the engine's trace ring. The annotated
+/// [`QueryProfile`] tree is only *assembled* when the caller asks for
+/// it (`want_profile`) or the query crossed the slow-query threshold —
+/// assembly re-walks the plan, so it stays off the per-query fast path.
+fn with_planned_profiled<R>(
     eng: &Engine,
     q: &Query,
-    run: impl Fn(&Physical, &toposem_extension::Database, &[Vec<toposem_storage::Index>]) -> R,
-) -> Result<(TypeId, R), QueryError> {
+    want_profile: bool,
+    run: impl Fn(
+        &Physical,
+        &toposem_extension::Database,
+        &[Vec<toposem_storage::Index>],
+        &PlanProfile,
+    ) -> R,
+    count_rows: impl Fn(&R) -> u64,
+) -> Result<(TypeId, R, Option<Arc<QueryProfile>>), QueryError> {
+    let plan_t0 = Instant::now();
+    eng.metrics().queries_planned.inc();
     // Epoch before statistics: a mutation in between invalidates the
     // epoch, so a stale plan can be cached but never *stored* as
     // current (plan_cache_store re-checks the epoch).
@@ -202,6 +263,9 @@ fn with_planned<R>(
         if let Some(entry) = cached.downcast_ref::<CachedPlan>() {
             if entry.query_repr == query_repr {
                 let physical = &entry.physical;
+                let profile = PlanProfile::new(physical.node_count());
+                let plan_ns = plan_t0.elapsed().as_nanos() as u64;
+                let exec_t0 = Instant::now();
                 // A concurrent `drop_index` between the epoch read above
                 // and this execution can strand a cached plan whose index
                 // no longer exists; validate the plan against the live
@@ -209,31 +273,121 @@ fn with_planned<R>(
                 // execution, and fall through to replanning on a miss.
                 let hit = eng.with_parts(|db, indexes| {
                     exec::plan_supported(physical, indexes)
-                        .then(|| (physical.ty(), run(physical, db, indexes)))
+                        .then(|| (physical.ty(), run(physical, db, indexes, &profile)))
                 });
-                if let Some(result) = hit {
-                    return Ok(result);
+                if let Some((ty, out)) = hit {
+                    let exec_ns = exec_t0.elapsed().as_nanos() as u64;
+                    let qp = observe_query(
+                        eng,
+                        physical,
+                        &profile,
+                        ObservedQuery {
+                            fingerprint,
+                            plan_hash: entry.plan_hash,
+                            plan_ns,
+                            exec_ns,
+                            cache_hit: true,
+                            rows: count_rows(&out),
+                        },
+                        want_profile,
+                    );
+                    return Ok((ty, out, qp));
                 }
             }
         }
     }
     let stats = eng.statistics();
-    let (ty, physical, out) = eng.with_parts(|db, indexes| {
+    let (ty, physical, out, profile, plan_ns, exec_ns) = eng.with_parts(|db, indexes| {
         let logical = lower_and_rewrite(q, db)?;
         let physical = plan(&logical, db, indexes, &stats);
         debug_assert_eq!(physical.ty(), logical.ty());
-        let out = run(&physical, db, indexes);
-        Ok::<_, QueryError>((logical.ty(), physical, out))
+        let profile = PlanProfile::new(physical.node_count());
+        let plan_ns = plan_t0.elapsed().as_nanos() as u64;
+        let exec_t0 = Instant::now();
+        let out = run(&physical, db, indexes, &profile);
+        let exec_ns = exec_t0.elapsed().as_nanos() as u64;
+        Ok::<_, QueryError>((logical.ty(), physical, out, profile, plan_ns, exec_ns))
     })?;
+    let plan_hash = Query::fingerprint_str(&format!("{physical:?}"));
+    let qp = observe_query(
+        eng,
+        &physical,
+        &profile,
+        ObservedQuery {
+            fingerprint,
+            plan_hash,
+            plan_ns,
+            exec_ns,
+            cache_hit: false,
+            rows: count_rows(&out),
+        },
+        want_profile,
+    );
     eng.plan_cache_store(
         fingerprint,
         epoch,
         Arc::new(CachedPlan {
             query_repr,
             physical,
+            plan_hash,
         }),
     );
-    Ok((ty, out))
+    Ok((ty, out, qp))
+}
+
+/// Phase timings and identity of one observed query execution.
+struct ObservedQuery {
+    fingerprint: u64,
+    plan_hash: u64,
+    plan_ns: u64,
+    exec_ns: u64,
+    cache_hit: bool,
+    rows: u64,
+}
+
+/// Post-execution bookkeeping: query metrics, the slow-query check, the
+/// trace-ring entry, and — when requested or slow — the annotated
+/// profile tree. Runs *after* `with_parts` returned, so re-acquiring
+/// the engine lock for label rendering is safe.
+fn observe_query(
+    eng: &Engine,
+    physical: &Physical,
+    profile: &PlanProfile,
+    obs: ObservedQuery,
+    want_profile: bool,
+) -> Option<Arc<QueryProfile>> {
+    let metrics = eng.metrics();
+    metrics.query_rows_returned.add(obs.rows);
+    let trace = eng.query_trace();
+    let slow = obs.plan_ns + obs.exec_ns >= trace.slow_query_ns();
+    if slow {
+        metrics.queries_slow.inc();
+    }
+    let assembled = (want_profile || slow).then(|| {
+        let stats = eng.statistics();
+        let root = eng.with_db(|db| profile::build_op_profile(physical, db, &stats, profile));
+        Arc::new(QueryProfile {
+            fingerprint: obs.fingerprint,
+            plan_hash: obs.plan_hash,
+            plan_ns: obs.plan_ns,
+            exec_ns: obs.exec_ns,
+            cache_hit: obs.cache_hit,
+            rows: obs.rows,
+            root,
+        })
+    });
+    trace.push(QueryTrace {
+        fingerprint: obs.fingerprint,
+        plan_hash: obs.plan_hash,
+        plan_ns: obs.plan_ns,
+        exec_ns: obs.exec_ns,
+        commit_ns: 0,
+        rows: obs.rows,
+        cache_hit: obs.cache_hit,
+        slow,
+        profile: assembled.clone(),
+    });
+    assembled
 }
 
 impl PlannedExecution for Engine {
@@ -250,9 +404,16 @@ impl PlannedExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Relation), QueryError> {
-        with_planned(self, q, |physical, db, indexes| {
-            execute_with(physical, db, indexes, opts)
-        })
+        let (ty, rel, _) = with_planned_profiled(
+            self,
+            q,
+            false,
+            |physical, db, indexes, profile| {
+                exec::execute_profiled_with(physical, db, indexes, opts, profile)
+            },
+            |rel| rel.len() as u64,
+        )?;
+        Ok((ty, rel))
     }
 
     fn query_planned_ordered_with(
@@ -260,15 +421,23 @@ impl PlannedExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Vec<Instance>), QueryError> {
-        with_planned(self, q, |physical, db, indexes| {
-            execute_ordered_with(physical, db, indexes, opts)
-        })
+        let (ty, seq, _) = with_planned_profiled(
+            self,
+            q,
+            false,
+            |physical, db, indexes, profile| {
+                exec::execute_ordered_profiled_with(physical, db, indexes, opts, profile)
+            },
+            |seq| seq.len() as u64,
+        )?;
+        Ok((ty, seq))
     }
 
     fn explain(&self, q: &Query) -> Result<String, QueryError> {
         let stats = self.statistics();
         let epoch = self.statistics_epoch();
-        let (hits, misses) = self.plan_cache_counters();
+        let cache = self.plan_cache_stats();
+        let (hits, misses) = (cache.hits, cache.misses);
         self.with_parts(|db, indexes| {
             let logical = lower_and_rewrite(q, db)?;
             let physical = plan(&logical, db, indexes, &stats);
@@ -281,6 +450,45 @@ impl PlannedExecution for Engine {
             ));
             Ok(out)
         })
+    }
+}
+
+impl ProfiledExecution for Engine {
+    fn query_profiled(
+        &self,
+        q: &Query,
+    ) -> Result<(TypeId, Relation, Arc<QueryProfile>), QueryError> {
+        self.query_profiled_with(q, &ExecOptions::default())
+    }
+
+    fn query_profiled_with(
+        &self,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation, Arc<QueryProfile>), QueryError> {
+        let (ty, rel, qp) = with_planned_profiled(
+            self,
+            q,
+            true,
+            |physical, db, indexes, profile| {
+                exec::execute_profiled_with(physical, db, indexes, opts, profile)
+            },
+            |rel| rel.len() as u64,
+        )?;
+        Ok((
+            ty,
+            rel,
+            qp.expect("want_profile always assembles the profile"),
+        ))
+    }
+
+    fn explain_analyze(&self, q: &Query) -> Result<String, QueryError> {
+        self.explain_analyze_with(q, &ExecOptions::default())
+    }
+
+    fn explain_analyze_with(&self, q: &Query, opts: &ExecOptions) -> Result<String, QueryError> {
+        let (_, _, qp) = self.query_profiled_with(q, opts)?;
+        Ok(qp.render())
     }
 }
 

@@ -305,9 +305,56 @@ impl Physical {
     }
 
     fn explain_into(&self, db: &Database, stats: &Statistics, depth: usize, out: &mut String) {
-        let schema = db.schema();
         let Estimate { rows, cost } = estimate(self, stats);
         let pad = "  ".repeat(depth);
+        let line = self.describe(db);
+        // Partitionable operators report the degree of parallelism the
+        // morsel dispatcher would use (only shown when > 1, which needs
+        // the `parallel` feature, multiple threads, and enough rows).
+        let par = crate::cost::parallel_degree(self, stats, &crate::exec::ExecOptions::default());
+        if par > 1 {
+            out.push_str(&format!(
+                "{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1}, par≈{par})\n"
+            ));
+        } else {
+            out.push_str(&format!("{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1})\n"));
+        }
+        for child in self.children() {
+            child.explain_into(db, stats, depth + 1, out);
+        }
+    }
+
+    /// The operator's direct children, in the order `explain` renders
+    /// them. Profiling relies on this order: node ids are assigned
+    /// pre-order (root = 0, then each child's subtree depth-first).
+    pub fn children(&self) -> Vec<&Physical> {
+        match self {
+            Physical::Filter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. } => vec![input],
+            Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
+                vec![build, probe]
+            }
+            Physical::MergeJoin { left, right, .. } | Physical::Union { left, right, .. } => {
+                vec![left, right]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of operators in this subtree, itself included.
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// Renders this operator's one-line description (the `explain` line
+    /// without the cost annotations).
+    pub fn describe(&self, db: &Database) -> String {
+        let schema = db.schema();
         let render_preds = |preds: &[(AttrId, Predicate)]| {
             preds
                 .iter()
@@ -335,7 +382,7 @@ impl Physical {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        let line = match self {
+        match self {
             Physical::Empty { ty } => format!("Empty [{}]", schema.type_name(*ty)),
             Physical::SeqScan { ty, preds } if preds.is_empty() => {
                 format!("SeqScan {}", schema.type_name(*ty))
@@ -453,35 +500,6 @@ impl Physical {
             Physical::Intersect { ty, .. } => {
                 format!("Intersect [{}]", schema.type_name(*ty))
             }
-        };
-        // Partitionable operators report the degree of parallelism the
-        // morsel dispatcher would use (only shown when > 1, which needs
-        // the `parallel` feature, multiple threads, and enough rows).
-        let par = crate::cost::parallel_degree(self, stats, &crate::exec::ExecOptions::default());
-        if par > 1 {
-            out.push_str(&format!(
-                "{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1}, par≈{par})\n"
-            ));
-        } else {
-            out.push_str(&format!("{pad}{line}  (rows≈{rows:.1}, cost≈{cost:.1})\n"));
-        }
-        match self {
-            Physical::Filter { input, .. }
-            | Physical::Project { input, .. }
-            | Physical::Sort { input, .. } => input.explain_into(db, stats, depth + 1, out),
-            Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
-                build.explain_into(db, stats, depth + 1, out);
-                probe.explain_into(db, stats, depth + 1, out);
-            }
-            Physical::MergeJoin { left, right, .. } => {
-                left.explain_into(db, stats, depth + 1, out);
-                right.explain_into(db, stats, depth + 1, out);
-            }
-            Physical::Union { left, right, .. } => {
-                left.explain_into(db, stats, depth + 1, out);
-                right.explain_into(db, stats, depth + 1, out);
-            }
-            _ => {}
         }
     }
 }

@@ -1,0 +1,79 @@
+//! Zipping raw execution counters with planner estimates.
+//!
+//! The executor fills a flat [`PlanProfile`] (one atomic slot per
+//! operator, addressed pre-order); this module walks the plan tree a
+//! second time and zips each operator's description and cost-model
+//! estimate with its observed counters into the [`OpProfile`] tree that
+//! `explain_analyze` renders.
+
+use toposem_extension::Database;
+use toposem_obs::{OpProfile, PlanProfile};
+use toposem_storage::Statistics;
+
+use crate::cost::estimate;
+use crate::physical::Physical;
+
+/// Builds the annotated operator tree for `plan` from the counters the
+/// executor accumulated into `profile` (sized to `plan.node_count()`).
+pub fn build_op_profile(
+    plan: &Physical,
+    db: &Database,
+    stats: &Statistics,
+    profile: &PlanProfile,
+) -> OpProfile {
+    debug_assert_eq!(profile.len(), plan.node_count(), "profile sized to plan");
+    let mut id = 0;
+    build(plan, db, stats, profile, &mut id)
+}
+
+fn build(
+    plan: &Physical,
+    db: &Database,
+    stats: &Statistics,
+    profile: &PlanProfile,
+    id: &mut usize,
+) -> OpProfile {
+    let snap = profile.node(*id).snapshot();
+    *id += 1;
+    let children: Vec<OpProfile> = plan
+        .children()
+        .into_iter()
+        .map(|c| build(c, db, stats, profile, id))
+        .collect();
+    let mut detail: Vec<(&'static str, String)> = Vec::new();
+    match plan {
+        Physical::SeqScan { .. }
+        | Physical::IndexSeek { .. }
+        | Physical::IndexRangeSeek { .. }
+        | Physical::CompositeSeek { .. } => {
+            detail.push(("scanned", snap.rows_in.to_string()));
+        }
+        Physical::IndexOnlyScan { .. } => detail.push(("keys", snap.rows_in.to_string())),
+        Physical::HashJoin { .. } => {
+            detail.push(("build", children[0].stats.rows.to_string()));
+            detail.push(("probe", children[1].stats.rows.to_string()));
+            detail.push(("partitions", snap.partitions.to_string()));
+            detail.push(("max_partition", snap.max_partition.to_string()));
+        }
+        Physical::Intersect { .. } => {
+            detail.push(("build", children[0].stats.rows.to_string()));
+            detail.push(("probe", children[1].stats.rows.to_string()));
+        }
+        Physical::MergeJoin { .. } => {
+            detail.push(("left", children[0].stats.rows.to_string()));
+            detail.push(("right", children[1].stats.rows.to_string()));
+        }
+        Physical::Sort { .. } => detail.push(("runs", snap.runs.to_string())),
+        _ => {}
+    }
+    if snap.morsels > 0 {
+        detail.push(("morsels", snap.morsels.to_string()));
+    }
+    OpProfile {
+        label: plan.describe(db),
+        est_rows: estimate(plan, stats).rows,
+        stats: snap,
+        detail,
+        children,
+    }
+}

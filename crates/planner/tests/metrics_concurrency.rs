@@ -1,0 +1,173 @@
+//! The metrics registry fed by real engine traffic under concurrency:
+//! racing planned readers (and, with the `parallel` feature, morsel
+//! workers inside each of them) must account for every query exactly —
+//! no lost increments, no torn snapshots.
+
+use std::sync::Arc;
+use std::thread;
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
+use toposem_planner::{ExecOptions, PlannedExecution};
+use toposem_storage::{Engine, Query};
+
+fn loaded_engine(n: i64) -> Engine {
+    let db = Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    );
+    let eng = Engine::new(db);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    for i in 0..n {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i:05}"))),
+                ("age", Value::Int(i % 90)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+    }
+    eng
+}
+
+fn exec_options() -> ExecOptions {
+    if cfg!(feature = "parallel") {
+        ExecOptions {
+            threads: 4,
+            morsel_size: 128,
+        }
+    } else {
+        ExecOptions::serial()
+    }
+}
+
+/// N threads each running K planned queries: `queries_planned` is
+/// exactly N*K, every lookup is either a hit or a miss, and the row
+/// counter equals the rows actually returned.
+#[test]
+fn racing_planned_readers_account_for_every_query() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 100;
+    let eng = Arc::new(loaded_engine(1_000));
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+
+    // One warm-up run so the plan is cached and the per-query row count
+    // is known (1_000 rows, ages 0..90 → 12 rows of age 7).
+    let q = Query::scan(employee).select(age, Value::Int(7));
+    let (_, warm) = eng.query_planned_with(&q, &exec_options()).unwrap();
+    let rows_per_query = warm.len() as u64;
+    assert!(rows_per_query > 0);
+    let base = eng.metrics_snapshot();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let eng = Arc::clone(&eng);
+            let q = q.clone();
+            thread::spawn(move || {
+                let opts = exec_options();
+                for _ in 0..PER_THREAD {
+                    let (_, rel) = eng.query_planned_with(&q, &opts).unwrap();
+                    assert_eq!(rel.len() as u64, rows_per_query);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let total = THREADS * PER_THREAD;
+    let snap = eng.metrics_snapshot();
+    assert_eq!(snap.queries.planned - base.queries.planned, total);
+    assert_eq!(
+        (snap.plan_cache.hits - base.plan_cache.hits)
+            + (snap.plan_cache.misses - base.plan_cache.misses),
+        total,
+        "every lookup is a hit or a miss"
+    );
+    assert_eq!(
+        snap.plan_cache.hits - base.plan_cache.hits,
+        total,
+        "no mutations ran, so every lookup hits the cached plan"
+    );
+    assert_eq!(
+        snap.queries.rows_returned - base.queries.rows_returned,
+        total * rows_per_query
+    );
+    // Every query landed in the trace ring too (capacity permitting the
+    // ring holds the most recent ones; total pushed is tracked by the
+    // planned counter asserted above, so just check the ring is warm).
+    assert!(!eng.query_trace().recent().is_empty());
+}
+
+/// Readers racing a mutating writer: hits + misses still equals the
+/// number of planned queries, and epoch bumps equal the writer's
+/// mutation count — interleaving may vary, accounting may not.
+#[test]
+fn racing_readers_and_writer_keep_exact_accounting() {
+    const READERS: u64 = 4;
+    const PER_READER: u64 = 50;
+    const WRITES: u64 = 25;
+    let eng = Arc::new(loaded_engine(500));
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let base = eng.metrics_snapshot();
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            let eng = Arc::clone(&eng);
+            thread::spawn(move || {
+                let opts = exec_options();
+                let q = Query::scan(employee).select(age, Value::Int((t % 90) as i64));
+                for _ in 0..PER_READER {
+                    eng.query_planned_with(&q, &opts).unwrap();
+                }
+            })
+        })
+        .collect();
+    let writer = {
+        let eng = Arc::clone(&eng);
+        thread::spawn(move || {
+            for i in 0..WRITES {
+                eng.insert(
+                    employee,
+                    &[
+                        ("name", Value::str(&format!("x{i:05}"))),
+                        ("age", Value::Int((i % 90) as i64)),
+                        ("depname", Value::str("sales")),
+                    ],
+                )
+                .unwrap();
+            }
+        })
+    };
+    for r in readers {
+        r.join().unwrap();
+    }
+    writer.join().unwrap();
+
+    let snap = eng.metrics_snapshot();
+    assert_eq!(
+        snap.queries.planned - base.queries.planned,
+        READERS * PER_READER
+    );
+    assert_eq!(
+        (snap.plan_cache.hits - base.plan_cache.hits)
+            + (snap.plan_cache.misses - base.plan_cache.misses),
+        READERS * PER_READER,
+        "hit/miss partition planned queries exactly even while racing a writer"
+    );
+    assert_eq!(
+        snap.stats_epoch_bumps - base.stats_epoch_bumps,
+        WRITES,
+        "each insert bumps the statistics epoch exactly once"
+    );
+    assert_eq!(snap.stats_epoch, eng.statistics_epoch());
+}

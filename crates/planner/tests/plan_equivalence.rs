@@ -18,9 +18,25 @@
 
 use proptest::prelude::*;
 use toposem_core::{employee_schema, Intension, TypeId};
-use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
-use toposem_planner::{execute, lower_and_rewrite, plan_with, PlannedExecution, PlannerOptions};
-use toposem_storage::{cmp_by_keys, Engine, Predicate, Query, SortDir};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Relation, Value};
+use toposem_planner::{
+    execute, lower_and_rewrite, plan_with, PlannedExecution, PlannerOptions, ProfiledExecution,
+};
+use toposem_storage::{cmp_by_keys, Engine, Predicate, Query, QueryError, SortDir};
+
+/// With `TOPOSEM_PROFILE` set (the nightly profiling leg), planned
+/// execution routes through `query_profiled`, so the oracle also pins
+/// profiled == naive across every generated plan shape; unset, plain
+/// planned execution — the default PR leg.
+fn run_planned(eng: &Engine, q: &Query) -> Result<(TypeId, Relation), QueryError> {
+    let profiling =
+        std::env::var("TOPOSEM_PROFILE").is_ok_and(|v| v.trim() != "0" && !v.trim().is_empty());
+    if profiling {
+        eng.query_profiled(q).map(|(ty, rel, _)| (ty, rel))
+    } else {
+        eng.query_planned(q)
+    }
+}
 
 const NAMES: [&str; 5] = ["ann", "bob", "carol", "dave", "eve"];
 const DEPS: [&str; 3] = ["sales", "research", "admin"];
@@ -297,7 +313,7 @@ proptest! {
             load(&eng, &rows);
             let q = eng.with_db(|db| grow_query(db, &decisions));
             let naive = eng.with_db(|db| q.execute(db)).expect("generated query is sanctioned");
-            let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+            let planned = run_planned(&eng, &q).expect("planner accepts sanctioned queries");
             prop_assert_eq!(&naive.0, &planned.0, "entity types diverged for {:?}", q);
             prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
             assert_ordered_agreement(&eng, &q)?;
@@ -354,7 +370,7 @@ proptest! {
         }
         let q = eng.with_db(|db| grow_query(db, &decisions));
         let naive = eng.with_db(|db| q.execute(db)).expect("generated query is sanctioned");
-        let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+        let planned = run_planned(&eng, &q).expect("planner accepts sanctioned queries");
         prop_assert_eq!(&naive.0, &planned.0);
         prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
         assert_ordered_agreement(&eng, &q)?;
@@ -419,7 +435,7 @@ proptest! {
             q = q.order_by(vec![(attr, dir)]);
         }
         let naive = eng.with_db(|db| q.execute(db)).expect("sanctioned");
-        let planned = eng.query_planned(&q).expect("planner accepts sanctioned queries");
+        let planned = run_planned(&eng, &q).expect("planner accepts sanctioned queries");
         prop_assert_eq!(&naive.0, &planned.0);
         prop_assert_eq!(&naive.1, &planned.1, "relations diverged for {:?}", q);
         assert_ordered_agreement(&eng, &q)?;
@@ -475,7 +491,7 @@ fn large_scan_crosses_batch_boundaries() {
     ];
     for q in &queries {
         let naive = eng.with_db(|db| q.execute(db)).unwrap();
-        let planned = eng.query_planned(q).unwrap();
+        let planned = run_planned(&eng, q).unwrap();
         assert_eq!(naive, planned);
     }
 }

@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use toposem_core::TypeId;
 use toposem_extension::{Database, Instance, InstanceError, LogicalOp, Value};
 use toposem_fd::{check_fd, Fd};
+use toposem_obs::{EngineMetrics, MetricsSnapshot, PlanCacheStats, QueryTrace, TraceRing};
 use toposem_wal::{IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry, WalError};
 
 use crate::index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
@@ -112,13 +113,12 @@ const PLAN_CACHE_CAP: usize = 512;
 /// every cached plan unreachable; the map is cleared lazily when a plan
 /// from a *newer* epoch is stored (never rolled backwards by a lagging
 /// reader). Values are type-erased so the planner crate — which depends
-/// on this one — can cache its own plan type here. Counters are atomic
-/// so cache hits need only the engine's read lock.
+/// on this one — can cache its own plan type here. Hit/miss/store
+/// counters live in the engine's [`EngineMetrics`] registry (atomic, so
+/// cache hits need only the engine's read lock).
 struct PlanCache {
     epoch: u64,
     plans: HashMap<u64, Arc<dyn Any + Send + Sync>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
 }
 
 impl PlanCache {
@@ -126,8 +126,6 @@ impl PlanCache {
         PlanCache {
             epoch: 0,
             plans: HashMap::new(),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
@@ -154,15 +152,22 @@ struct Inner {
 impl Inner {
     /// Every mutation invalidates cached statistics and advances the
     /// epoch that keys the plan cache.
-    fn note_mutation(&mut self) {
+    fn note_mutation(&mut self, metrics: &EngineMetrics) {
         self.stats = None;
         self.stats_epoch += 1;
+        metrics.stats_epoch_bumps.inc();
+        metrics.stats_epoch.set(self.stats_epoch);
     }
 }
 
 /// The engine. Interior-mutable and `Sync`; all operations take `&self`.
 pub struct Engine {
     inner: RwLock<Inner>,
+    /// Engine-wide metrics registry; lock-free, shared with the attached
+    /// WAL (its [`toposem_obs::WalMetrics`] half).
+    metrics: Arc<EngineMetrics>,
+    /// Ring of recent query/commit traces.
+    trace: Arc<TraceRing>,
 }
 
 impl Engine {
@@ -181,6 +186,8 @@ impl Engine {
                 stats_epoch: 0,
                 plan_cache: PlanCache::new(),
             }),
+            metrics: Arc::new(EngineMetrics::new()),
+            trace: Arc::new(TraceRing::new(toposem_obs::trace::DEFAULT_TRACE_CAP)),
         }
     }
 
@@ -191,6 +198,7 @@ impl Engine {
         let payload = snapshot::to_vec(&db).map_err(|e| EngineError::Recovery(e.to_string()))?;
         wal.checkpoint(&payload, &[], &[])?;
         let mut eng = Engine::new(db);
+        wal.set_metrics(Arc::clone(&eng.metrics.wal));
         eng.inner.get_mut().wal = Some(wal);
         Ok(eng)
     }
@@ -199,8 +207,9 @@ impl Engine {
     /// the committed state (checkpoint + committed log suffix), truncates
     /// any torn tail, and continues appending to the same log.
     pub fn open(path: impl AsRef<Path>, cfg: WalConfig) -> Result<Engine, EngineError> {
-        let (wal, scan) = Wal::open(path, cfg)?;
+        let (mut wal, scan) = Wal::open(path, cfg)?;
         let mut eng = Self::from_scan(scan)?;
+        wal.set_metrics(Arc::clone(&eng.metrics.wal));
         eng.inner.get_mut().wal = Some(wal);
         Ok(eng)
     }
@@ -228,6 +237,8 @@ impl Engine {
         let mut index_defs = scan.meta.indexes.clone();
         let mut fd_defs = scan.meta.fds.clone();
         let mut active: HashMap<u64, Vec<(LogKind, LogicalOp)>> = HashMap::new();
+        let mut replayed_txns = 0u64;
+        let mut replayed_ops = 0u64;
         for rec in scan.records {
             match rec.entry {
                 WalEntry::Begin { txn } => {
@@ -240,7 +251,9 @@ impl Engine {
                     active.entry(txn).or_default().push((LogKind::Delete, op));
                 }
                 WalEntry::Commit { txn } => {
+                    replayed_txns += 1;
                     for (kind, op) in active.remove(&txn).unwrap_or_default() {
+                        replayed_ops += 1;
                         let res = match kind {
                             LogKind::Insert => op.apply_insert(&mut db).map(|_| ()),
                             LogKind::Delete => op.apply_delete(&mut db).map(|_| ()),
@@ -261,6 +274,9 @@ impl Engine {
         }
         // Transactions still in `active` never committed: discarded.
         let eng = Engine::new(db);
+        eng.metrics.recovery_runs.inc();
+        eng.metrics.recovery_replayed_txns.add(replayed_txns);
+        eng.metrics.recovery_replayed_ops.add(replayed_ops);
         for def in index_defs {
             let e = eng.with_db(|db| db.schema().type_id(&def.entity));
             let attrs: Option<Vec<toposem_core::AttrId>> =
@@ -484,7 +500,7 @@ impl Engine {
         slot.retain(|existing| !(existing.kind() == kind && existing.attrs() == attrs));
         slot.push(idx);
         // Index presence changes access paths: invalidate cached plans.
-        inner.note_mutation();
+        inner.note_mutation(&self.metrics);
         let def = {
             let schema = inner.db.schema();
             let idx = inner.indexes[e.index()].last().expect("just pushed");
@@ -515,7 +531,7 @@ impl Engine {
         if slot.len() == before {
             return Ok(false);
         }
-        inner.note_mutation();
+        inner.note_mutation(&self.metrics);
         let def = {
             let schema = inner.db.schema();
             IndexDef {
@@ -561,7 +577,12 @@ impl Engine {
     /// (`Begin`/op/`Commit`) and the flush policy runs; inside one, the
     /// record joins the open transaction and durability waits for
     /// [`Engine::commit`].
-    fn log_op(inner: &mut Inner, kind: LogKind, op: LogicalOp) -> Result<(), EngineError> {
+    fn log_op(
+        inner: &mut Inner,
+        metrics: &EngineMetrics,
+        kind: LogKind,
+        op: LogicalOp,
+    ) -> Result<(), EngineError> {
         let autocommit = inner.txn_log.is_none();
         let current = inner.current_txn;
         let Some(wal) = inner.wal.as_mut() else {
@@ -577,6 +598,10 @@ impl Engine {
             wal.append(entry(txn, op))?;
             wal.append(WalEntry::Commit { txn })?;
             wal.commit_appended()?;
+            // An autocommitted op is its own transaction in the log, so
+            // it counts as one begin + one commit.
+            metrics.txn_begins.inc();
+            metrics.txn_commits.inc();
         } else if let Some(txn) = current {
             wal.append(entry(txn, op))?;
         }
@@ -620,9 +645,9 @@ impl Engine {
         }
         if inner.wal.is_some() {
             let op = LogicalOp::describe(&inner.db, e, &t);
-            Self::log_op(&mut inner, LogKind::Insert, op)?;
+            Self::log_op(&mut inner, &self.metrics, LogKind::Insert, op)?;
         }
-        inner.note_mutation();
+        inner.note_mutation(&self.metrics);
         Ok(true)
     }
 
@@ -662,9 +687,9 @@ impl Engine {
             }
             if inner.wal.is_some() {
                 let op = LogicalOp::describe(&inner.db, e, t);
-                Self::log_op(&mut inner, LogKind::Delete, op)?;
+                Self::log_op(&mut inner, &self.metrics, LogKind::Delete, op)?;
             }
-            inner.note_mutation();
+            inner.note_mutation(&self.metrics);
         }
         Ok(removed)
     }
@@ -693,6 +718,7 @@ impl Engine {
         };
         inner.txn_log = Some(Vec::new());
         inner.current_txn = txn;
+        self.metrics.txn_begins.inc();
         Ok(())
     }
 
@@ -706,9 +732,30 @@ impl Engine {
             return Err(EngineError::NoTransaction);
         }
         let txn = inner.current_txn.take();
+        let mut commit_ns = 0;
         if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
+            let t0 = std::time::Instant::now();
             wal.append(WalEntry::Commit { txn })?;
             wal.commit_appended()?;
+            commit_ns = t0.elapsed().as_nanos() as u64;
+        }
+        drop(inner);
+        self.metrics.txn_commits.inc();
+        if commit_ns > 0 {
+            // Commit-phase timing joins the trace as its own entry:
+            // queries carry no plan/exec association to a commit, so
+            // the fingerprint and plan hash stay 0.
+            self.trace.push(QueryTrace {
+                fingerprint: 0,
+                plan_hash: 0,
+                plan_ns: 0,
+                exec_ns: 0,
+                commit_ns,
+                rows: 0,
+                cache_hit: false,
+                slow: commit_ns >= self.trace.slow_query_ns(),
+                profile: None,
+            });
         }
         Ok(())
     }
@@ -720,7 +767,7 @@ impl Engine {
     pub fn rollback(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
         let log = inner.txn_log.take().ok_or(EngineError::NoTransaction)?;
-        inner.note_mutation();
+        inner.note_mutation(&self.metrics);
         for entry in log.into_iter().rev() {
             match entry {
                 Undo::UnInsert(added) => {
@@ -745,6 +792,7 @@ impl Engine {
         if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
             wal.append(WalEntry::Abort { txn })?;
         }
+        self.metrics.txn_aborts.inc();
         Ok(())
     }
 
@@ -822,16 +870,15 @@ impl Engine {
         fingerprint: u64,
         epoch: u64,
     ) -> Option<Arc<dyn Any + Send + Sync>> {
-        use std::sync::atomic::Ordering;
         let inner = self.inner.read();
         let cache = &inner.plan_cache;
         if cache.epoch == epoch {
             if let Some(plan) = cache.plans.get(&fingerprint) {
-                cache.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.plan_cache_hits.inc();
                 return Some(Arc::clone(plan));
             }
         }
-        cache.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.plan_cache_misses.inc();
         None
     }
 
@@ -856,16 +903,50 @@ impl Engine {
             }
         }
         cache.plans.insert(fingerprint, plan);
+        self.metrics.plan_cache_stores.inc();
     }
 
     /// Lifetime `(hits, misses)` of the plan cache.
     pub fn plan_cache_counters(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering;
-        let inner = self.inner.read();
-        (
-            inner.plan_cache.hits.load(Ordering::Relaxed),
-            inner.plan_cache.misses.load(Ordering::Relaxed),
-        )
+        let s = self.plan_cache_stats();
+        (s.hits, s.misses)
+    }
+
+    /// Typed lifetime counters of the plan cache. `stores` counts plans
+    /// actually inserted (stores dropped for arriving with superseded
+    /// statistics are not counted).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.metrics.plan_cache_hits.get(),
+            misses: self.metrics.plan_cache_misses.get(),
+            stores: self.metrics.plan_cache_stores.get(),
+        }
+    }
+
+    /// The engine-wide metrics registry. Layers above record their own
+    /// events here (the planner counts queries, for instance); readers
+    /// should prefer [`Engine::metrics_snapshot`].
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// Typed point-in-time copy of every engine metric.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The metrics snapshot rendered in the Prometheus text exposition
+    /// format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics.snapshot().to_prometheus()
+    }
+
+    /// The ring of recent query and commit traces. Planned queries push
+    /// entries here; slow ones (past `TOPOSEM_SLOW_QUERY_MS`, or
+    /// [`TraceRing::set_slow_query_ms`]) retain their full operator
+    /// profile.
+    pub fn query_trace(&self) -> &Arc<TraceRing> {
+        &self.trace
     }
 
     /// Consumes the engine, returning the database. Pending group-commit

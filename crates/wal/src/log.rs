@@ -20,9 +20,11 @@
 use std::fs::{self, File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use toposem_obs::WalMetrics;
 
 use crate::record::{decode_record, encode_record, Decoded, IndexDef, WalEntry, WalRecord};
 use crate::{FlushPolicy, WalConfig, WalError};
@@ -266,6 +268,7 @@ pub struct Wal {
     next_txn: u64,
     pending_commits: usize,
     oldest_pending: Option<Instant>,
+    metrics: Arc<WalMetrics>,
 }
 
 impl Wal {
@@ -290,6 +293,7 @@ impl Wal {
             next_txn: 0,
             pending_commits: 0,
             oldest_pending: None,
+            metrics: Arc::new(WalMetrics::default()),
         })
     }
 
@@ -330,6 +334,7 @@ impl Wal {
                 next_txn: tail.next_txn,
                 pending_commits: 0,
                 oldest_pending: None,
+                metrics: Arc::new(WalMetrics::default()),
             },
             scan,
         ))
@@ -351,6 +356,20 @@ impl Wal {
     /// The directory this log lives in.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The metrics this log records into (fresh per log unless
+    /// [`Wal::set_metrics`] shares one).
+    pub fn metrics(&self) -> &Arc<WalMetrics> {
+        &self.metrics
+    }
+
+    /// Share a metrics registry with this log — the engine attaches its
+    /// own [`WalMetrics`] here so WAL activity lands in the engine-wide
+    /// snapshot. Counts recorded before the swap stay on the old
+    /// registry.
+    pub fn set_metrics(&mut self, metrics: Arc<WalMetrics>) {
+        self.metrics = metrics;
     }
 
     /// The LSN the next appended record will get.
@@ -395,7 +414,10 @@ impl Wal {
     /// leaves durability to the OS.
     pub fn commit_appended(&mut self) -> Result<(), WalError> {
         match self.cfg.flush {
-            FlushPolicy::PerCommit => self.flush(),
+            FlushPolicy::PerCommit => {
+                self.metrics.group_commit_batch.record(1);
+                self.flush()
+            }
             FlushPolicy::NoSync => Ok(()),
             FlushPolicy::GroupCommit {
                 max_batch,
@@ -411,6 +433,9 @@ impl Wal {
                         .map(|t| t.elapsed() >= max_wait)
                         .unwrap_or(false);
                 if due {
+                    self.metrics
+                        .group_commit_batch
+                        .record(self.pending_commits as u64);
                     self.flush()
                 } else {
                     Ok(())
@@ -422,8 +447,11 @@ impl Wal {
     /// Flushes buffered records and fsyncs the segment, making every
     /// appended record durable regardless of policy.
     pub fn flush(&mut self) -> Result<(), WalError> {
+        let t0 = Instant::now();
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
+        self.metrics.flushes.inc();
+        self.metrics.fsync_ns.record(t0.elapsed().as_nanos() as u64);
         self.pending_commits = 0;
         self.oldest_pending = None;
         Ok(())
@@ -440,6 +468,7 @@ impl Wal {
         indexes: &[IndexDef],
         fds: &[(String, String, String)],
     ) -> Result<(), WalError> {
+        let t0 = Instant::now();
         self.flush()?;
         let meta = CheckpointMeta {
             magic: CKPT_MAGIC.to_owned(),
@@ -476,7 +505,12 @@ impl Wal {
         sync_dir(&self.dir);
         let next_txn = self.next_txn;
         self.append(WalEntry::Checkpoint { next_txn })?;
-        self.flush()
+        self.flush()?;
+        self.metrics.checkpoints.inc();
+        self.metrics
+            .checkpoint_ns
+            .record(t0.elapsed().as_nanos() as u64);
+        Ok(())
     }
 }
 

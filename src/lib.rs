@@ -91,6 +91,12 @@ pub mod planner {
     pub use toposem_planner::*;
 }
 
+/// Observability: per-operator execution profiles, the engine metrics
+/// registry (Prometheus text export), and the query trace ring.
+pub mod obs {
+    pub use toposem_obs::*;
+}
+
 /// The Universal Relation baseline.
 pub mod ur {
     pub use toposem_ur::*;
