@@ -1,0 +1,57 @@
+//! CI bench-regression gate: diffs the `BENCH_*.json` reports of a
+//! bench run against the checked-in `BENCH_BASELINE.json`.
+//!
+//! ```text
+//! bench_diff <BENCH_BASELINE.json> <json-dir>
+//! ```
+//!
+//! Prints the trajectory table (baseline → current per workload) and
+//! exits non-zero when an asserted sample or any baselined ratio
+//! regressed past its allowance; machine-dependent drift on unasserted
+//! samples and missing workloads only warn.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use toposem_bench::regression::{diff, parse_report, Baseline};
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let (Some(baseline_path), Some(json_dir)) = (args.next(), args.next()) else {
+        return Err("usage: bench_diff <BENCH_BASELINE.json> <json-dir>".into());
+    };
+    let baseline = Baseline::parse(
+        &std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {baseline_path}: {e}"))?,
+    )?;
+    let mut current: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
+    let entries = std::fs::read_dir(&json_dir).map_err(|e| format!("read dir {json_dir}: {e}"))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let (bench, samples) = parse_report(&text)?;
+        current.insert(bench, samples);
+    }
+    if current.is_empty() {
+        return Err(format!("no BENCH_*.json reports found in {json_dir}"));
+    }
+    let report = diff(&baseline, &current);
+    print!("{}", report.render());
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! `benches/` named after its experiment id (see DESIGN.md §4), and (b) a
 //! textual regenerator in the `figures` binary.
 
+pub mod regression;
+
 use toposem_core::{employee_schema, Intension, Schema, TypeId};
 use toposem_design::{random_database, random_schema, ExtensionParams, SchemaParams};
 use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};

@@ -1,0 +1,459 @@
+//! Feedback-driven selectivity corrections.
+//!
+//! The planner's static estimates come from min/max interpolation and
+//! distinct counts, which misprice skew: a range predicate over a
+//! zipfian attribute can look like "most of the table" when it matches
+//! a handful of rows. This module closes the loop. Every profiled
+//! execution compares the estimated row count of each cardinality-
+//! bearing operator against what the operator actually produced and
+//! folds the ratio into a [`SelectivityFeedback`] cache keyed on
+//! `(entity type, attribute, predicate class)` and scoped to a
+//! statistics epoch. The next planning pass multiplies its static
+//! estimate by the learned correction.
+//!
+//! Design points, each load-bearing:
+//!
+//! - **Epoch scoping.** Corrections describe the data distribution at a
+//!   particular statistics epoch. A lookup under any other epoch
+//!   returns the neutral `1.0`, and the first observation under a newer
+//!   epoch clears the cache — so DDL or bulk mutation can never be
+//!   priced with stale skew knowledge.
+//! - **Decayed updates.** Corrections are a geometric moving average
+//!   with weight `1/min(n, DECAY_WINDOW)`: the first observation for a
+//!   key adopts the observed ratio outright (one profiled execution is
+//!   enough to fix a mispriced plan), later ones damp noise.
+//! - **Clamping.** A pathological q-error cannot zero out or explode a
+//!   cost: corrections live in `[MIN_CORRECTION, MAX_CORRECTION]`.
+//! - **Re-plan generation.** When a key's correction drifts
+//!   [`REPLAN_FACTOR`]× away from the value the current plans were
+//!   priced with, the global [`generation`](SelectivityFeedback::generation)
+//!   bumps. The engine folds the generation into its plan-cache epoch,
+//!   so cached plans priced before the drift are invalidated instead of
+//!   served forever.
+//! - **Significance gate.** Nodes where both the estimate and the
+//!   actual are tiny (under [`MIN_SIGNIFICANT_ROWS`]) are not recorded:
+//!   at that scale the ratio is mostly integer-rounding noise and a
+//!   correction could only churn plans whose costs are all ≈ equal
+//!   anyway.
+//!
+//! The cache lives in `toposem-obs` (which depends on nothing) and is
+//! threaded into the storage layer's `Statistics` by the engine; the
+//! keys are therefore raw `u32` indices rather than the core crate's
+//! typed ids.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use crate::metrics::Counter;
+
+/// Corrections below/above these bounds are clamped; a pathological
+/// observed/estimated ratio can dent a cost estimate but never zero it
+/// out or blow it up.
+pub const MIN_CORRECTION: f64 = 1e-3;
+/// See [`MIN_CORRECTION`].
+pub const MAX_CORRECTION: f64 = 1e3;
+
+/// When a key's correction drifts this factor away from the value the
+/// current generation of plans was priced with, the feedback generation
+/// bumps and cached plans go stale.
+pub const REPLAN_FACTOR: f64 = 2.0;
+
+/// Effective window of the geometric moving average: observation `n`
+/// gets weight `1/min(n, DECAY_WINDOW)`, so the first observation for a
+/// key adopts the ratio outright and history beyond ~8 runs decays.
+pub const DECAY_WINDOW: u64 = 8;
+
+/// Observations where both the estimate and the actual row count are
+/// below this are ignored: the ratio of two single-digit counts is
+/// rounding noise, not skew.
+pub const MIN_SIGNIFICANT_ROWS: f64 = 100.0;
+
+/// Which kind of predicate produced an estimate. Part of the cache key:
+/// an attribute can be well-priced for equality (distinct counts are
+/// robust) while its range interpolation is badly fooled by outliers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PredClass {
+    /// Equality seek/filter (`attr = v`).
+    Eq,
+    /// Range or other non-equality filter (`attr ≥ v`, `attr in [lo,hi]`).
+    Range,
+    /// Join output cardinality, keyed on the dominant join attribute.
+    Join,
+}
+
+/// Cache key: entity type index, attribute index, predicate class. The
+/// indices are the `u32` forms of the core crate's `TypeId`/`AttrId`
+/// (obs depends on nothing, so it cannot name those types).
+/// [`FeedbackKey::NO_ATTR`] marks estimates not tied to a single
+/// attribute (e.g. a key-less cross join).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FeedbackKey {
+    /// Entity-type index (`TypeId::index()`); for joins, the output
+    /// type.
+    pub ty: u32,
+    /// Attribute index (`AttrId::index()`), or [`FeedbackKey::NO_ATTR`].
+    pub attr: u32,
+    /// Predicate class.
+    pub class: PredClass,
+}
+
+impl FeedbackKey {
+    /// Sentinel attribute index for estimates without a single
+    /// governing attribute.
+    pub const NO_ATTR: u32 = u32::MAX;
+}
+
+/// One observation to fold into the cache: a node's estimated and
+/// actual row counts, attributed (evenly, in log space) across the keys
+/// that produced the estimate.
+#[derive(Clone, Debug)]
+pub struct FeedbackObservation {
+    /// Keys that contributed to the node's estimate (e.g. one per
+    /// conjunct of a fused filter).
+    pub keys: Vec<FeedbackKey>,
+    /// Estimated output rows at plan time (correction already applied,
+    /// so the residual ratio is exactly the remaining error).
+    pub est_rows: f64,
+    /// Rows the operator actually produced.
+    pub act_rows: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Current correction factor (multiply the static estimate by
+    /// this).
+    corr: f64,
+    /// The correction in force when the current plan generation was
+    /// priced; drifting `REPLAN_FACTOR`× away from it bumps the
+    /// generation.
+    planned_corr: f64,
+    /// Observations folded into `corr` (saturating).
+    observations: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Statistics epoch the entries describe.
+    epoch: u64,
+    map: HashMap<FeedbackKey, Entry>,
+}
+
+/// Point-in-time summary of the cache, for metrics snapshots.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FeedbackStats {
+    /// Observations folded into corrections.
+    pub observations: u64,
+    /// Non-neutral corrections handed to the planner.
+    pub corrections_applied: u64,
+    /// Generation bumps (corrections that crossed the re-plan
+    /// threshold).
+    pub replans: u64,
+    /// Current feedback generation.
+    pub generation: u64,
+    /// Distinct keys with a learned correction.
+    pub entries: u64,
+}
+
+/// The feedback cache. One per engine, shared between the statistics
+/// layer (lookups during planning) and the profiler (observations after
+/// execution). All methods are safe to call concurrently.
+#[derive(Debug)]
+pub struct SelectivityFeedback {
+    enabled: bool,
+    state: Mutex<State>,
+    generation: AtomicU64,
+    /// Non-neutral corrections handed out via [`correction`](Self::correction).
+    pub corrections_applied: Counter,
+    /// Observations folded in via [`observe`](Self::observe).
+    pub observations: Counter,
+    /// Generation bumps.
+    pub replans: Counter,
+}
+
+impl Default for SelectivityFeedback {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelectivityFeedback {
+    /// A cache whose enablement follows `TOPOSEM_FEEDBACK` (enabled
+    /// unless the variable is set to `0` or empty). The variable is
+    /// read once, at construction: an engine keeps the behaviour it was
+    /// built with.
+    pub fn new() -> Self {
+        let enabled = std::env::var("TOPOSEM_FEEDBACK")
+            .map_or(true, |v| v.trim() != "0" && !v.trim().is_empty());
+        Self::with_enabled(enabled)
+    }
+
+    /// A cache with enablement fixed by the caller (tests; the env-var
+    /// path goes through [`new`](Self::new)).
+    pub fn with_enabled(enabled: bool) -> Self {
+        SelectivityFeedback {
+            enabled,
+            state: Mutex::new(State::default()),
+            generation: AtomicU64::new(0),
+            corrections_applied: Counter::default(),
+            observations: Counter::default(),
+            replans: Counter::default(),
+        }
+    }
+
+    /// Whether this cache records and applies corrections at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The re-plan generation: bumped whenever a correction crosses
+    /// [`REPLAN_FACTOR`] relative to the value current plans were
+    /// priced with. Monotonically non-decreasing; the engine adds it to
+    /// the statistics epoch to form the plan-cache epoch.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Distinct keys currently holding a correction.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// True when no corrections have been learned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time summary for metrics snapshots.
+    pub fn stats(&self) -> FeedbackStats {
+        FeedbackStats {
+            observations: self.observations.get(),
+            corrections_applied: self.corrections_applied.get(),
+            replans: self.replans.get(),
+            generation: self.generation(),
+            entries: self.len() as u64,
+        }
+    }
+
+    /// The multiplicative correction for `key` at `epoch`: the learned
+    /// factor, or `1.0` when disabled, when no observation exists, or
+    /// when the cache describes a different epoch (corrections never
+    /// survive a stats-epoch bump).
+    pub fn correction(&self, epoch: u64, key: FeedbackKey) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let state = self.lock();
+        if state.epoch != epoch {
+            return 1.0;
+        }
+        match state.map.get(&key) {
+            Some(e) => {
+                let c = e.corr.clamp(MIN_CORRECTION, MAX_CORRECTION);
+                if c != 1.0 {
+                    self.corrections_applied.inc();
+                }
+                c
+            }
+            None => 1.0,
+        }
+    }
+
+    /// Fold a batch of observations from one profiled execution into
+    /// the cache. `epoch` is the statistics epoch the plan was priced
+    /// under; observations from an older epoch are dropped, and the
+    /// first batch from a newer epoch clears every correction (the data
+    /// changed — relearn).
+    pub fn observe(&self, epoch: u64, observations: &[FeedbackObservation]) {
+        if !self.enabled || observations.is_empty() {
+            return;
+        }
+        let mut state = self.lock();
+        if epoch > state.epoch {
+            state.map.clear();
+            state.epoch = epoch;
+        } else if epoch < state.epoch {
+            return;
+        }
+        let mut bumps = 0u64;
+        for obs in observations {
+            if obs.keys.is_empty() || obs.est_rows.max(obs.act_rows) < MIN_SIGNIFICANT_ROWS {
+                continue;
+            }
+            // The residual ratio is attributed evenly across the keys
+            // in log space: k conjuncts each absorb ratio^(1/k), so the
+            // product of the per-key corrections reproduces the node's
+            // observed ratio.
+            let ratio = (obs.act_rows.max(1.0) / obs.est_rows.max(1.0))
+                .clamp(MIN_CORRECTION, MAX_CORRECTION);
+            let share = ratio.powf(1.0 / obs.keys.len() as f64);
+            self.observations.inc();
+            for &key in &obs.keys {
+                let e = state.map.entry(key).or_insert(Entry {
+                    corr: 1.0,
+                    planned_corr: 1.0,
+                    observations: 0,
+                });
+                e.observations = e.observations.saturating_add(1);
+                let w = 1.0 / e.observations.min(DECAY_WINDOW) as f64;
+                // Geometric EWMA: corrections are multiplicative, so
+                // the average lives in log space. The first observation
+                // (w = 1) adopts `target` outright.
+                let target = e.corr * share;
+                e.corr =
+                    (e.corr.powf(1.0 - w) * target.powf(w)).clamp(MIN_CORRECTION, MAX_CORRECTION);
+                let drift = (e.corr / e.planned_corr).max(e.planned_corr / e.corr);
+                if drift >= REPLAN_FACTOR {
+                    e.planned_corr = e.corr;
+                    bumps += 1;
+                }
+            }
+        }
+        drop(state);
+        if bumps > 0 {
+            self.replans.add(bumps);
+            self.generation.fetch_add(bumps, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the learned corrections at `epoch` (empty for any
+    /// other epoch), for tests and debugging.
+    pub fn corrections(&self, epoch: u64) -> Vec<(FeedbackKey, f64)> {
+        let state = self.lock();
+        if state.epoch != epoch {
+            return Vec::new();
+        }
+        let mut v: Vec<_> = state.map.iter().map(|(k, e)| (*k, e.corr)).collect();
+        v.sort_by_key(|(k, _)| (k.ty, k.attr, k.class as u8));
+        v
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ty: u32, attr: u32, class: PredClass) -> FeedbackKey {
+        FeedbackKey { ty, attr, class }
+    }
+
+    fn obs(keys: &[FeedbackKey], est: f64, act: f64) -> FeedbackObservation {
+        FeedbackObservation {
+            keys: keys.to_vec(),
+            est_rows: est,
+            act_rows: act,
+        }
+    }
+
+    #[test]
+    fn first_observation_adopts_the_ratio() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        fb.observe(0, &[obs(&[k], 4000.0, 40.0)]);
+        let c = fb.correction(0, k);
+        assert!((c - 0.01).abs() < 1e-9, "corr = {c}");
+    }
+
+    #[test]
+    fn later_observations_are_damped() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        fb.observe(0, &[obs(&[k], 1000.0, 100.0)]);
+        assert!((fb.correction(0, k) - 0.1).abs() < 1e-9);
+        // A contradicting observation (the corrected estimate of 100
+        // undershot a 10× larger actual) pulls the correction towards
+        // neutral, but only halfway in log space: sqrt(0.1 · 1.0) ≈ 0.316.
+        fb.observe(0, &[obs(&[k], 100.0, 1000.0)]);
+        let c = fb.correction(0, k);
+        assert!(c > 0.1 && c < 1.0, "corr = {c}");
+    }
+
+    #[test]
+    fn corrections_are_clamped() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        // Pathological q-error: estimate 1e12× too high, repeatedly.
+        for _ in 0..32 {
+            fb.observe(0, &[obs(&[k], 1e14, 100.0)]);
+        }
+        assert_eq!(fb.correction(0, k), MIN_CORRECTION);
+        let k2 = key(0, 2, PredClass::Eq);
+        for _ in 0..32 {
+            fb.observe(0, &[obs(&[k2], 100.0, 1e14)]);
+        }
+        assert_eq!(fb.correction(0, k2), MAX_CORRECTION);
+    }
+
+    #[test]
+    fn epoch_bump_resets_corrections() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        fb.observe(3, &[obs(&[k], 4000.0, 40.0)]);
+        assert!(fb.correction(3, k) < 1.0);
+        // A lookup at a newer epoch is already neutral …
+        assert_eq!(fb.correction(4, k), 1.0);
+        // … and the first observation at the newer epoch clears the map.
+        fb.observe(4, &[obs(&[key(0, 9, PredClass::Eq)], 500.0, 500.0)]);
+        assert_eq!(fb.corrections(3), Vec::new());
+        assert_eq!(fb.correction(4, k), 1.0);
+        // Late observations from the old epoch are dropped, not merged.
+        fb.observe(3, &[obs(&[k], 4000.0, 40.0)]);
+        assert_eq!(fb.correction(4, k), 1.0);
+    }
+
+    #[test]
+    fn replan_threshold_bumps_generation() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        assert_eq!(fb.generation(), 0);
+        // 1.25× off: learned, but under the 2× replan threshold.
+        fb.observe(0, &[obs(&[k], 1000.0, 800.0)]);
+        assert_eq!(fb.generation(), 0);
+        assert!(fb.correction(0, k) < 1.0);
+        // 100× off: crosses the threshold, plans must be repriced.
+        let k2 = key(0, 2, PredClass::Range);
+        fb.observe(0, &[obs(&[k2], 10_000.0, 100.0)]);
+        assert_eq!(fb.generation(), 1);
+        assert_eq!(fb.replans.get(), 1);
+        // Stable follow-ups do not churn the generation.
+        fb.observe(0, &[obs(&[k2], 110.0, 100.0)]);
+        assert_eq!(fb.generation(), 1);
+    }
+
+    #[test]
+    fn insignificant_observations_are_ignored() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Eq);
+        fb.observe(0, &[obs(&[k], 8.0, 2.0)]);
+        assert_eq!(fb.correction(0, k), 1.0);
+        assert_eq!(fb.observations.get(), 0);
+        // One significant side is enough.
+        fb.observe(0, &[obs(&[k], 400.0, 2.0)]);
+        assert!(fb.correction(0, k) < 1.0);
+    }
+
+    #[test]
+    fn multi_key_attribution_splits_in_log_space() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let a = key(0, 1, PredClass::Eq);
+        let b = key(0, 2, PredClass::Range);
+        // Two conjuncts, combined ratio 0.01 → each absorbs 0.1.
+        fb.observe(0, &[obs(&[a, b], 10_000.0, 100.0)]);
+        assert!((fb.correction(0, a) - 0.1).abs() < 1e-9);
+        assert!((fb.correction(0, b) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let fb = SelectivityFeedback::with_enabled(false);
+        let k = key(0, 1, PredClass::Range);
+        fb.observe(0, &[obs(&[k], 4000.0, 40.0)]);
+        assert_eq!(fb.correction(0, k), 1.0);
+        assert!(fb.is_empty());
+        assert_eq!(fb.generation(), 0);
+    }
+}

@@ -12,6 +12,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::feedback::{FeedbackStats, SelectivityFeedback};
+
 /// Monotonic event counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -72,6 +74,11 @@ pub const LATENCY_NS_BOUNDS: &[u64] = &[
 /// Upper bounds (inclusive) for size/count histograms (e.g. group-commit
 /// batch sizes): powers of two up to 1024, then +Inf.
 pub const SIZE_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
+/// Upper bounds for the planner q-error histogram, in hundredths (a
+/// recorded value of `q × 100`, so `le="150"` means q ≤ 1.5). A healthy
+/// feedback loop concentrates mass in the first two buckets.
+pub const QERROR_X100_BOUNDS: &[u64] = &[110, 150, 200, 400, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Fixed-bucket histogram. Buckets are non-cumulative atomics; the
 /// final bucket is the implicit `+Inf` overflow.
@@ -237,10 +244,18 @@ pub struct EngineMetrics {
     pub recovery_replayed_txns: Counter,
     /// Logical operations replayed during recovery.
     pub recovery_replayed_ops: Counter,
+    /// Worst per-operator q-error of each planned query, recorded as
+    /// `q × 100` (so the histogram can stay integral); a value of 100
+    /// is a perfect estimate.
+    pub planner_qerror: Histogram,
     /// WAL-layer metrics, shared with the attached [`Wal`].
     ///
     /// [`Wal`]: https://docs.rs/ (toposem-wal)
     pub wal: Arc<WalMetrics>,
+    /// Selectivity-feedback cache, shared with the statistics layer
+    /// (same dependency-arrow trick as [`WalMetrics`]: storage holds it
+    /// through obs without obs depending on storage).
+    pub feedback: Arc<SelectivityFeedback>,
 }
 
 impl Default for EngineMetrics {
@@ -260,7 +275,9 @@ impl Default for EngineMetrics {
             recovery_runs: Counter::default(),
             recovery_replayed_txns: Counter::default(),
             recovery_replayed_ops: Counter::default(),
+            planner_qerror: Histogram::new(QERROR_X100_BOUNDS),
             wal: Arc::new(WalMetrics::default()),
+            feedback: Arc::new(SelectivityFeedback::new()),
         }
     }
 }
@@ -303,6 +320,8 @@ impl EngineMetrics {
                 checkpoints: self.wal.checkpoints.get(),
                 checkpoint_ns: self.wal.checkpoint_ns.snapshot(),
             },
+            planner_qerror: self.planner_qerror.snapshot(),
+            feedback: self.feedback.stats(),
         }
     }
 }
@@ -384,6 +403,10 @@ pub struct MetricsSnapshot {
     pub recovery: RecoveryStats,
     /// WAL counters and histograms.
     pub wal: WalStats,
+    /// Worst per-query q-error distribution (values are `q × 100`).
+    pub planner_qerror: HistogramSnapshot,
+    /// Selectivity-feedback counters.
+    pub feedback: FeedbackStats,
 }
 
 impl MetricsSnapshot {
@@ -471,13 +494,43 @@ impl MetricsSnapshot {
             "Checkpoints written",
             self.wal.checkpoints,
         );
+        counter(
+            "toposem_feedback_corrections_applied",
+            "Non-neutral selectivity corrections applied during planning",
+            self.feedback.corrections_applied,
+        );
+        counter(
+            "toposem_feedback_observations_total",
+            "Observed-vs-estimated cardinality samples folded into the feedback cache",
+            self.feedback.observations,
+        );
+        counter(
+            "toposem_feedback_replans_total",
+            "Corrections that crossed the re-plan threshold and invalidated cached plans",
+            self.feedback.replans,
+        );
         {
             let _ = writeln!(
                 out,
                 "# HELP toposem_stats_epoch Current statistics epoch\n# TYPE toposem_stats_epoch gauge\ntoposem_stats_epoch {}",
                 self.stats_epoch
             );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_feedback_generation Current feedback re-plan generation\n# TYPE toposem_feedback_generation gauge\ntoposem_feedback_generation {}",
+                self.feedback.generation
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_feedback_entries Distinct keys with a learned correction\n# TYPE toposem_feedback_entries gauge\ntoposem_feedback_entries {}",
+                self.feedback.entries
+            );
         }
+        self.planner_qerror.render_prometheus(
+            "toposem_planner_qerror",
+            "Worst per-operator q-error of each planned query, times 100",
+            &mut out,
+        );
         self.wal.fsync_ns.render_prometheus(
             "toposem_wal_fsync_latency_ns",
             "WAL fsync latency in nanoseconds",
@@ -524,8 +577,13 @@ mod tests {
         m.plan_cache_hits.add(3);
         m.wal.fsync_ns.record(12_345);
         m.wal.group_commit_batch.record(7);
+        m.planner_qerror.record(137);
         let text = m.snapshot().to_prometheus();
         assert!(text.contains("toposem_plan_cache_hits_total 3"));
+        assert!(text.contains("# TYPE toposem_planner_qerror histogram"));
+        assert!(text.contains("toposem_planner_qerror_bucket{le=\"150\"} 1"));
+        assert!(text.contains("toposem_feedback_corrections_applied 0"));
+        assert!(text.contains("toposem_feedback_generation 0"));
         assert!(text.contains("# TYPE toposem_wal_fsync_latency_ns histogram"));
         assert!(text.contains("toposem_wal_fsync_latency_ns_count 1"));
         assert!(text.contains("toposem_wal_fsync_latency_ns_sum 12345"));

@@ -45,6 +45,13 @@ pub struct QueryTrace {
     pub cache_hit: bool,
     /// Whether total time crossed the slow-query threshold.
     pub slow: bool,
+    /// Worst per-operator q-error observed for this execution (≥ 1.0;
+    /// 0.0 when no cardinality comparison ran, e.g. feedback disabled
+    /// or commit events).
+    pub max_q: f64,
+    /// Token of the enclosing explicit transaction, if any; commits
+    /// attribute their `commit_ns` back to entries sharing the token.
+    pub txn: Option<u64>,
     /// Full operator profile — retained for slow queries and explicit
     /// `query_profiled` / `explain_analyze` runs.
     pub profile: Option<Arc<QueryProfile>>,
@@ -117,6 +124,54 @@ impl TraceRing {
             .collect()
     }
 
+    /// The `n` retained entries with the worst (highest) recorded
+    /// q-error that still hold a full operator profile, worst first —
+    /// the q-error watchdog's working set: these are the plans whose
+    /// estimates were furthest from reality.
+    pub fn worst_plans(&self, n: usize) -> Vec<QueryTrace> {
+        let mut v: Vec<QueryTrace> = self
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|t| t.profile.is_some() && t.max_q > 0.0)
+            .cloned()
+            .collect();
+        v.sort_by(|a, b| b.max_q.total_cmp(&a.max_q));
+        v.truncate(n);
+        v
+    }
+
+    /// Distribute a commit's `commit_ns` across the retained entries of
+    /// transaction `txn` (evenly, remainder on the last), re-evaluating
+    /// their slow flag against the new totals. Returns how many entries
+    /// absorbed a share; 0 means the transaction's queries are no
+    /// longer in the ring (or it ran none) and the caller should trace
+    /// the commit standalone.
+    pub fn attribute_commit(&self, txn: u64, commit_ns: u64) -> usize {
+        let slow_ns = self.slow_query_ns();
+        let mut q = self.entries.lock().unwrap();
+        let idx: Vec<usize> = q
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.txn == Some(txn))
+            .map(|(i, _)| i)
+            .collect();
+        if idx.is_empty() {
+            return 0;
+        }
+        let share = commit_ns / idx.len() as u64;
+        let remainder = commit_ns % idx.len() as u64;
+        for (pos, &i) in idx.iter().enumerate() {
+            let t = &mut q[i];
+            t.commit_ns += share + if pos + 1 == idx.len() { remainder } else { 0 };
+            if t.total_ns() >= slow_ns {
+                t.slow = true;
+            }
+        }
+        idx.len()
+    }
+
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.lock().unwrap().len()
@@ -142,7 +197,33 @@ mod tests {
             rows: 1,
             cache_hit: false,
             slow,
+            max_q: 0.0,
+            txn: None,
             profile: None,
+        }
+    }
+
+    fn profiled(fp: u64, max_q: f64) -> QueryTrace {
+        use crate::profile::{OpProfile, QueryProfile};
+        QueryTrace {
+            max_q,
+            profile: Some(Arc::new(QueryProfile {
+                fingerprint: fp,
+                plan_hash: fp ^ 1,
+                plan_ns: 1,
+                exec_ns: 1,
+                cache_hit: false,
+                rows: 1,
+                root: OpProfile {
+                    label: "SeqScan".into(),
+                    est_rows: 1.0,
+                    corr: 1.0,
+                    stats: Default::default(),
+                    detail: Vec::new(),
+                    children: Vec::new(),
+                },
+            })),
+            ..entry(fp, false)
         }
     }
 
@@ -160,5 +241,44 @@ mod tests {
         assert_eq!(ring.slow().len(), 1);
         assert_eq!(ring.slow()[0].fingerprint, 3);
         assert_eq!(recent[0].total_ns(), 30);
+    }
+
+    #[test]
+    fn worst_plans_ranks_retained_profiles_by_q_error() {
+        let ring = TraceRing::new(8);
+        ring.push(entry(1, false)); // no profile: never surfaced
+        ring.push(profiled(2, 4.0));
+        ring.push(profiled(3, 80.0));
+        ring.push(profiled(4, 9.5));
+        let worst = ring.worst_plans(2);
+        assert_eq!(
+            worst.iter().map(|t| t.fingerprint).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(ring.worst_plans(10).len() == 3);
+    }
+
+    #[test]
+    fn attribute_commit_distributes_across_txn_entries() {
+        let ring = TraceRing::new(8);
+        ring.set_slow_query_ms(1); // 1_000_000 ns threshold
+        for fp in 0..3 {
+            let mut t = entry(fp, false);
+            t.txn = (fp < 2).then_some(7);
+            ring.push(t);
+        }
+        // 1_000_001 ns over two entries: 500_000 each, remainder on
+        // the last; per-entry totals (~500µs) stay under the 1ms slow
+        // threshold.
+        assert_eq!(ring.attribute_commit(7, 1_000_001), 2);
+        let recent = ring.recent();
+        assert_eq!(recent[0].commit_ns, 500_000);
+        assert_eq!(recent[1].commit_ns, 500_001);
+        assert_eq!(recent[2].commit_ns, 0); // not in txn 7
+        assert!(!recent[0].slow);
+        assert_eq!(ring.attribute_commit(7, 1_200_000), 2);
+        assert!(ring.recent()[0].slow, "totals crossed the threshold");
+        // Unknown transaction: nothing to attribute.
+        assert_eq!(ring.attribute_commit(99, 1_000), 0);
     }
 }

@@ -202,11 +202,14 @@ pub fn estimate_with(plan: &Physical, stats: &Statistics, opts: &ExecOptions) ->
             }
         }
         Physical::HashJoin {
-            build, probe, keys, ..
+            build,
+            probe,
+            keys,
+            ty,
         } => {
             let b = estimate_with(build, stats, opts);
             let p = estimate_with(probe, stats, opts);
-            let rows = stats.join_cardinality(build.ty(), b.rows, probe.ty(), p.rows, keys);
+            let rows = stats.join_cardinality(*ty, build.ty(), b.rows, probe.ty(), p.rows, keys);
             // The build is partitioned in parallel; probes and output
             // merges run morsel-parallel over the probe side.
             Estimate {
@@ -218,11 +221,14 @@ pub fn estimate_with(plan: &Physical, stats: &Statistics, opts: &ExecOptions) ->
             }
         }
         Physical::MergeJoin {
-            left, right, keys, ..
+            left,
+            right,
+            keys,
+            ty,
         } => {
             let l = estimate_with(left, stats, opts);
             let r = estimate_with(right, stats, opts);
-            let rows = stats.join_cardinality(left.ty(), l.rows, right.ty(), r.rows, keys);
+            let rows = stats.join_cardinality(*ty, left.ty(), l.rows, right.ty(), r.rows, keys);
             // Both inputs arrive sorted, so the merge touches each input
             // tuple once — no hash build, no per-probe overhead. The
             // merge loop itself is inherently serial: no discount.

@@ -255,8 +255,12 @@ fn with_planned_profiled<R>(
     eng.metrics().queries_planned.inc();
     // Epoch before statistics: a mutation in between invalidates the
     // epoch, so a stale plan can be cached but never *stored* as
-    // current (plan_cache_store re-checks the epoch).
-    let epoch = eng.statistics_epoch();
+    // current (plan_cache_store re-checks the epoch). The plan epoch
+    // folds in the feedback generation: when this execution's own
+    // observations push a correction past the re-plan threshold, the
+    // generation bumps, the plan stored below becomes stale, and the
+    // next execution replans against the corrected statistics.
+    let epoch = eng.plan_epoch();
     let query_repr = format!("{q:?}");
     let fingerprint = Query::fingerprint_str(&query_repr);
     if let Some(cached) = eng.plan_cache_lookup(fingerprint, epoch) {
@@ -346,9 +350,10 @@ struct ObservedQuery {
 }
 
 /// Post-execution bookkeeping: query metrics, the slow-query check, the
-/// trace-ring entry, and — when requested or slow — the annotated
-/// profile tree. Runs *after* `with_parts` returned, so re-acquiring
-/// the engine lock for label rendering is safe.
+/// feedback observations, the trace-ring entry, and — when requested or
+/// slow — the annotated profile tree. Runs *after* `with_parts`
+/// returned, so re-acquiring the engine lock for label rendering is
+/// safe.
 fn observe_query(
     eng: &Engine,
     physical: &Physical,
@@ -363,6 +368,18 @@ fn observe_query(
     if slow {
         metrics.queries_slow.inc();
     }
+    // Compare estimates with actuals *before* folding the observations
+    // into the feedback cache: the profile and the q-error histogram
+    // must reflect the estimates this execution actually ran with, and
+    // a correction learned from run N may only steer run N+1.
+    let feedback = (eng.feedback().enabled()).then(|| {
+        let stats = eng.statistics();
+        let (max_q, observations) = profile::collect_feedback(physical, &stats, profile);
+        metrics
+            .planner_qerror
+            .record((max_q * 100.0).round() as u64);
+        (stats.epoch(), max_q, observations)
+    });
     let assembled = (want_profile || slow).then(|| {
         let stats = eng.statistics();
         let root = eng.with_db(|db| profile::build_op_profile(physical, db, &stats, profile));
@@ -385,8 +402,13 @@ fn observe_query(
         rows: obs.rows,
         cache_hit: obs.cache_hit,
         slow,
+        max_q: feedback.as_ref().map_or(0.0, |(_, q, _)| *q),
+        txn: eng.active_txn_token(),
         profile: assembled.clone(),
     });
+    if let Some((epoch, _, observations)) = feedback {
+        eng.feedback().observe(epoch, &observations);
+    }
     assembled
 }
 

@@ -1,0 +1,477 @@
+//! Feedback-driven costing lifecycle: a skewed workload whose static
+//! min/max interpolation badly misestimates must be corrected after one
+//! profiled execution (plan flips, q-error collapses), corrections must
+//! reset on a statistics-epoch bump, drift past the re-plan threshold
+//! must invalidate cached plans, pathological skew must stay clamped,
+//! commits must attribute their time back to the transaction's queries,
+//! the new Prometheus families must surface — and, throughout, feedback
+//! may change *plans* but never *results*.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, DomainSpec, Value};
+use toposem_planner::{PlannedExecution, ProfiledExecution};
+use toposem_storage::{Engine, Query};
+use toposem_wal::{FlushPolicy, Wal, WalConfig};
+
+/// The employee schema over a catalog whose age domain is unbounded —
+/// the default [0, 150] range would forbid the outlier that stretches
+/// the statistics span.
+fn fresh_db() -> Database {
+    let mut catalog = DomainCatalog::new();
+    catalog
+        .bind("person-names", DomainSpec::AnyStr)
+        .bind("ages", DomainSpec::AnyInt)
+        .bind(
+            "department-names",
+            DomainSpec::Enum(vec!["sales".into(), "research".into(), "admin".into()]),
+        )
+        .bind("amounts", DomainSpec::AnyInt)
+        .bind(
+            "locations",
+            DomainSpec::Enum(vec!["amsterdam".into(), "utrecht".into()]),
+        );
+    Database::new(
+        Intension::analyse(employee_schema()),
+        catalog,
+        ContainmentPolicy::Eager,
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "toposem-feedback-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An engine whose `age` distribution defeats min/max interpolation:
+/// `n - 1` employees with ages uniform over 0..100 plus one outlier at
+/// `tail`, stretching the observed span until the dense range
+/// `[0, 100]` looks vanishingly selective. An ordered index on `age`
+/// makes `IndexRangeSeek` the statically attractive (and wrong) access
+/// path.
+fn skewed_engine(n: i64, tail: i64) -> Engine {
+    let eng = Engine::new(fresh_db());
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let deps = ["sales", "research", "admin"];
+    for i in 0..n {
+        let age = if i == 0 { tail } else { i % 100 };
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i:05}"))),
+                ("age", Value::Int(age)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+    }
+    for (d, l) in [
+        ("sales", "amsterdam"),
+        ("research", "utrecht"),
+        ("admin", "utrecht"),
+    ] {
+        eng.insert(
+            department,
+            &[("depname", Value::str(d)), ("location", Value::str(l))],
+        )
+        .unwrap();
+    }
+    let age = s.attr_id("age").unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    eng
+}
+
+/// The hot-range query the static model mispick s: every row except the
+/// outlier matches, but interpolation against the stretched span
+/// estimates a handful.
+fn hot_range(eng: &Engine) -> Query {
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    Query::scan(employee).select_between(age, Value::Int(0), Value::Int(100))
+}
+
+/// One profiled execution of the mispicked range corrects the estimate:
+/// the plan flips from the statically attractive `IndexRangeSeek` to a
+/// scan, q-error collapses toward 1.0, and `explain_analyze` factors
+/// the estimate as `static×correction`.
+#[test]
+fn skew_misestimate_corrected_after_one_profiled_execution() {
+    let eng = skewed_engine(3_000, 100_000);
+    let q = hot_range(&eng);
+
+    // Statically the stretched span makes the range look tiny.
+    let before = eng.explain(&q).unwrap();
+    assert!(
+        before.contains("IndexRangeSeek"),
+        "static plan should mispick the range seek:\n{before}"
+    );
+
+    let (_, naive) = eng.with_db(|db| q.execute(db)).unwrap();
+    let (_, rel1, qp1) = eng.query_profiled(&q).unwrap();
+    assert_eq!(rel1, naive, "first (mis-planned) run must still be correct");
+    assert_eq!(rel1.len(), 2_999);
+    let q1 = qp1.root.q_error();
+    assert!(
+        q1 > 100.0,
+        "the misestimate is what trains the loop: q={q1}"
+    );
+
+    let fb = eng.feedback().stats();
+    assert!(fb.observations >= 1, "profiled run records observations");
+    assert!(fb.entries >= 1, "a correction entry landed");
+    assert!(
+        fb.replans >= 1 && fb.generation >= 1,
+        "a ~1000× drift crosses the re-plan threshold: {fb:?}"
+    );
+
+    // The corrected estimate makes the full scan cheaper than seeking
+    // ~the whole table through the tree.
+    let after = eng.explain(&q).unwrap();
+    assert!(
+        after.contains("SeqScan"),
+        "corrected plan should flip to a scan:\n{after}"
+    );
+
+    let (_, rel2, qp2) = eng.query_profiled(&q).unwrap();
+    assert_eq!(rel2, naive, "feedback changes plans, never results");
+    let q2 = qp2.root.q_error();
+    assert!(
+        q2 < 1.1,
+        "corrected estimate must collapse q-error (was {q1}, now {q2}):\n{}",
+        qp2.render()
+    );
+
+    let analyzed = eng.explain_analyze(&q).unwrap();
+    assert!(
+        analyzed.contains('×'),
+        "explain_analyze factors est as static×corr:\n{analyzed}"
+    );
+}
+
+/// Any mutation bumps the statistics epoch; corrections learned under
+/// the old epoch read as neutral, so the plan reverts to the static
+/// choice until the workload re-trains it.
+#[test]
+fn corrections_reset_on_stats_epoch_bump() {
+    let eng = skewed_engine(3_000, 100_000);
+    let q = hot_range(&eng);
+    eng.query_planned(&q).unwrap(); // trains
+    assert!(eng.explain(&q).unwrap().contains("SeqScan"));
+    let trained_epoch = eng.statistics_epoch();
+    assert!(
+        !eng.feedback().corrections(trained_epoch).is_empty(),
+        "training left corrections at the current epoch"
+    );
+
+    // DDL-free mutation: one more row. Statistics epoch moves, learned
+    // corrections are stale.
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    eng.insert(
+        employee,
+        &[
+            ("name", Value::str("late")),
+            ("age", Value::Int(50)),
+            ("depname", Value::str("sales")),
+        ],
+    )
+    .unwrap();
+    let bumped = eng.statistics_epoch();
+    assert!(bumped > trained_epoch, "mutation bumps the stats epoch");
+    assert!(
+        eng.feedback().corrections(bumped).is_empty(),
+        "corrections from the old epoch read as neutral"
+    );
+    let reverted = eng.explain(&q).unwrap();
+    assert!(
+        reverted.contains("IndexRangeSeek"),
+        "without corrections the static mispick returns:\n{reverted}"
+    );
+
+    // One execution re-trains at the new epoch.
+    eng.query_planned(&q).unwrap();
+    assert!(
+        eng.explain(&q).unwrap().contains("SeqScan"),
+        "the loop re-learns after the reset"
+    );
+}
+
+/// A correction drifting past the re-plan threshold bumps the feedback
+/// generation, which shifts the plan epoch: the plan cached by the very
+/// execution that learned the correction is stale, the next execution
+/// replans (cache miss), and the corrected plan is cached thereafter.
+#[test]
+fn replan_threshold_invalidates_cached_plans() {
+    let eng = skewed_engine(3_000, 100_000);
+    let q = hot_range(&eng);
+    let m = eng.metrics();
+
+    let gen0 = eng.feedback().generation();
+    let epoch0 = eng.plan_epoch();
+    let misses0 = m.plan_cache_misses.get();
+    let hits0 = m.plan_cache_hits.get();
+
+    // First execution: miss, stores the (mis-planned) range seek, then
+    // its own observations bump the generation.
+    eng.query_planned(&q).unwrap();
+    assert_eq!(m.plan_cache_misses.get(), misses0 + 1);
+    assert_eq!(m.plan_cache_hits.get(), hits0);
+    assert!(eng.feedback().generation() > gen0, "drift bumps generation");
+    assert!(
+        eng.plan_epoch() > epoch0,
+        "generation shifts the plan epoch with no data mutation"
+    );
+
+    // Second execution: the stored plan is keyed on the old epoch —
+    // miss again, replan against corrected statistics.
+    eng.query_planned(&q).unwrap();
+    assert_eq!(
+        m.plan_cache_misses.get(),
+        misses0 + 2,
+        "generation bump invalidated the cached plan"
+    );
+    assert_eq!(m.plan_cache_hits.get(), hits0);
+
+    // Corrected residual error is ~1: no further drift, the corrected
+    // plan is now stable in the cache.
+    let gen_settled = eng.feedback().generation();
+    eng.query_planned(&q).unwrap();
+    assert_eq!(m.plan_cache_hits.get(), hits0 + 1, "corrected plan caches");
+    assert_eq!(m.plan_cache_misses.get(), misses0 + 2);
+    assert_eq!(eng.feedback().generation(), gen_settled, "no re-plan churn");
+}
+
+/// Corrections stay inside `[MIN_CORRECTION, MAX_CORRECTION]` however
+/// pathological the observed ratio — a ~3000× underestimate and a
+/// zero-row overestimate both clamp instead of zeroing or exploding
+/// downstream cost estimates.
+#[test]
+fn corrections_clamped_under_pathological_skew() {
+    // Tail at 1e6: interpolation undershoots the hot range by ~3000×.
+    let eng = skewed_engine(3_000, 1_000_000);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let hot = Query::scan(employee).select_between(age, Value::Int(0), Value::Int(100));
+    // The cold range covers most of the stretched span but holds zero
+    // rows: observed ratio 0.
+    let cold = Query::scan(employee).select_between(age, Value::Int(200_000), Value::Int(900_000));
+
+    let (_, hot_rows, _) = eng.query_profiled(&hot).unwrap();
+    let (_, cold_rows, _) = eng.query_profiled(&cold).unwrap();
+    assert_eq!(hot_rows.len(), 2_999);
+    assert_eq!(cold_rows.len(), 0);
+
+    let epoch = eng.statistics_epoch();
+    let corrections = eng.feedback().corrections(epoch);
+    assert!(!corrections.is_empty());
+    for (key, corr) in &corrections {
+        assert!(
+            (toposem_obs::feedback::MIN_CORRECTION..=toposem_obs::feedback::MAX_CORRECTION)
+                .contains(corr),
+            "correction for {key:?} escaped the clamp: {corr}"
+        );
+    }
+
+    // Clamped corrections still yield finite, sane plans and identical
+    // results on re-execution.
+    for q in [&hot, &cold] {
+        let (_, naive) = eng.with_db(|db| q.execute(db)).unwrap();
+        let (_, rel, qp) = eng.query_profiled(q).unwrap();
+        assert_eq!(rel, naive);
+        assert!(qp.root.est_rows.is_finite() && qp.root.est_rows >= 0.0);
+        assert!(qp.root.q_error().is_finite());
+    }
+}
+
+/// Commits attribute their WAL time back to the queries of the
+/// enclosing transaction; only query-less transactions fall back to a
+/// standalone fingerprint-0 trace entry.
+#[test]
+fn commit_time_attributed_to_transaction_queries() {
+    let dir = temp_dir("attr");
+    let cfg = WalConfig {
+        flush: FlushPolicy::PerCommit,
+        segment_bytes: 1 << 20,
+    };
+    let eng = Engine::durable(fresh_db(), Wal::create(&dir, cfg).unwrap()).unwrap();
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let name = s.attr_id("name").unwrap();
+    for i in 0..4 {
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("a{i}"))),
+                ("age", Value::Int(30 + i)),
+                ("depname", Value::str("sales")),
+            ],
+        )
+        .unwrap();
+    }
+    let standalone = |eng: &Engine| {
+        eng.query_trace()
+            .recent()
+            .iter()
+            .filter(|t| t.fingerprint == 0)
+            .count()
+    };
+    // Only explicit commits trace; the autocommit loads above do not.
+    let fp0_before = standalone(&eng);
+
+    // A transaction with two queries: its commit time lands on them.
+    eng.begin().unwrap();
+    let token = eng.active_txn_token().unwrap();
+    let q1 = Query::scan(employee).select(name, Value::str("a1"));
+    let q2 = Query::scan(employee).select(name, Value::str("a2"));
+    eng.query_planned(&q1).unwrap();
+    eng.query_planned(&q2).unwrap();
+    eng.insert(
+        employee,
+        &[
+            ("name", Value::str("txn")),
+            ("age", Value::Int(50)),
+            ("depname", Value::str("sales")),
+        ],
+    )
+    .unwrap();
+    eng.commit().unwrap();
+
+    let attributed: Vec<_> = eng
+        .query_trace()
+        .recent()
+        .into_iter()
+        .filter(|t| t.txn == Some(token))
+        .collect();
+    assert_eq!(attributed.len(), 2, "both queries carry the txn token");
+    assert!(
+        attributed.iter().all(|t| t.commit_ns > 0),
+        "commit time distributed across the txn's queries: {attributed:?}"
+    );
+    assert_eq!(
+        standalone(&eng),
+        fp0_before,
+        "an attributed commit adds no standalone entry"
+    );
+
+    // A query-less transaction still traces its commit somewhere.
+    eng.begin().unwrap();
+    eng.insert(
+        employee,
+        &[
+            ("name", Value::str("quiet")),
+            ("age", Value::Int(51)),
+            ("depname", Value::str("sales")),
+        ],
+    )
+    .unwrap();
+    eng.commit().unwrap();
+    assert_eq!(
+        standalone(&eng),
+        fp0_before + 1,
+        "a query-less commit falls back to a standalone entry"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The q-error histogram and the feedback counter families render in
+/// the Prometheus export once a skewed workload has trained the loop.
+#[test]
+fn prometheus_exports_feedback_and_qerror_families() {
+    let eng = skewed_engine(3_000, 100_000);
+    let q = hot_range(&eng);
+    eng.query_planned(&q).unwrap(); // trains
+    eng.query_planned(&q).unwrap(); // replans through the corrections
+
+    let snap = eng.metrics_snapshot();
+    assert!(snap.feedback.observations >= 1);
+    assert!(snap.feedback.replans >= 1);
+    assert!(
+        snap.feedback.corrections_applied >= 1,
+        "the replanned execution read non-neutral corrections: {:?}",
+        snap.feedback
+    );
+    assert!(snap.planner_qerror.count >= 2, "every execution records q");
+
+    let text = eng.metrics_prometheus();
+    for metric in [
+        "toposem_planner_qerror_bucket",
+        "toposem_planner_qerror_sum",
+        "toposem_planner_qerror_count",
+        "toposem_feedback_corrections_applied",
+        "toposem_feedback_observations_total",
+        "toposem_feedback_replans_total",
+        "toposem_feedback_generation",
+        "toposem_feedback_entries",
+    ] {
+        assert!(text.contains(metric), "missing {metric} in export:\n{text}");
+    }
+}
+
+/// The q-error watchdog surfaces the worst retained plan first.
+#[test]
+fn worst_plans_ranks_the_misestimated_query_highest() {
+    let eng = skewed_engine(3_000, 100_000);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+
+    // Run the badly estimated query first, then a well-estimated one —
+    // the watchdog must rank by q-error, not recency.
+    eng.query_profiled(&hot_range(&eng)).unwrap();
+    eng.query_profiled(&Query::scan(employee).select(age, Value::Int(50)))
+        .unwrap();
+
+    let worst = eng.query_trace().worst_plans(2);
+    assert_eq!(worst.len(), 2, "profiled runs retain their profiles");
+    assert!(
+        worst[0].max_q > 100.0 && worst[1].max_q < 2.0,
+        "watchdog ranks the misestimate first: q0={}, q1={}",
+        worst[0].max_q,
+        worst[1].max_q
+    );
+    assert!(worst[0].max_q >= worst[1].max_q);
+}
+
+/// Mini-oracle: over the skewed engine, repeated profiled executions
+/// (training and re-planning in between) return results bit-identical
+/// to the naive interpreter for ranges, point lookups, and joins.
+#[test]
+fn feedback_steered_plans_return_identical_results() {
+    let eng = skewed_engine(2_000, 100_000);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let department = s.type_id("department").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let location = s.attr_id("location").unwrap();
+    let queries = [
+        hot_range(&eng),
+        Query::scan(employee).select(age, Value::Int(42)),
+        Query::scan(employee)
+            .join(Query::scan(department))
+            .select(location, Value::str("utrecht")),
+    ];
+    for q in &queries {
+        let (naive_ty, naive) = eng.with_db(|db| q.execute(db)).unwrap();
+        for round in 0..3 {
+            let (ty, rel, _) = eng.query_profiled(q).unwrap();
+            assert_eq!(ty, naive_ty);
+            assert_eq!(
+                rel, naive,
+                "feedback round {round} changed results for {q:?}"
+            );
+        }
+    }
+}

@@ -28,10 +28,20 @@ use toposem_storage::{cmp_by_keys, Engine, Predicate, Query, QueryError, SortDir
 /// execution routes through `query_profiled`, so the oracle also pins
 /// profiled == naive across every generated plan shape; unset, plain
 /// planned execution — the default PR leg.
+///
+/// With `TOPOSEM_FEEDBACK` set (the nightly feedback leg), every query
+/// runs profiled *twice*: the first execution records observed-vs-
+/// estimated cardinalities into the engine's selectivity-feedback cache
+/// (possibly invalidating the cached plan and flipping the access
+/// path), and the oracle compares the *second* — feedback-steered —
+/// result against naive. Feedback may change plans, never results.
 fn run_planned(eng: &Engine, q: &Query) -> Result<(TypeId, Relation), QueryError> {
-    let profiling =
-        std::env::var("TOPOSEM_PROFILE").is_ok_and(|v| v.trim() != "0" && !v.trim().is_empty());
-    if profiling {
+    let on =
+        |name: &str| std::env::var(name).is_ok_and(|v| v.trim() != "0" && !v.trim().is_empty());
+    if on("TOPOSEM_FEEDBACK") {
+        eng.query_profiled(q)?;
+        eng.query_profiled(q).map(|(ty, rel, _)| (ty, rel))
+    } else if on("TOPOSEM_PROFILE") {
         eng.query_profiled(q).map(|(ty, rel, _)| (ty, rel))
     } else {
         eng.query_planned(q)

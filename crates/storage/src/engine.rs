@@ -139,6 +139,14 @@ struct Inner {
     txn_log: Option<Vec<Undo>>,
     /// WAL transaction id of the active explicit transaction.
     current_txn: Option<u64>,
+    /// Trace token of the active explicit transaction. Engine-level
+    /// (independent of WAL ids, so volatile engines have one too):
+    /// queries executed inside the transaction stamp it into their
+    /// trace entries, and the commit attributes its `commit_ns` back to
+    /// them.
+    txn_token: Option<u64>,
+    /// Monotonic source of `txn_token`s.
+    txn_seq: u64,
     /// The redo log, when the engine is durable.
     wal: Option<Wal>,
     /// Cached planner statistics; dropped on any mutation.
@@ -181,6 +189,8 @@ impl Engine {
                 indexes: vec![Vec::new(); n],
                 txn_log: None,
                 current_txn: None,
+                txn_token: None,
+                txn_seq: 0,
                 wal: None,
                 stats: None,
                 stats_epoch: 0,
@@ -718,6 +728,8 @@ impl Engine {
         };
         inner.txn_log = Some(Vec::new());
         inner.current_txn = txn;
+        inner.txn_seq += 1;
+        inner.txn_token = Some(inner.txn_seq);
         self.metrics.txn_begins.inc();
         Ok(())
     }
@@ -732,6 +744,7 @@ impl Engine {
             return Err(EngineError::NoTransaction);
         }
         let txn = inner.current_txn.take();
+        let token = inner.txn_token.take();
         let mut commit_ns = 0;
         if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
             let t0 = std::time::Instant::now();
@@ -742,20 +755,29 @@ impl Engine {
         drop(inner);
         self.metrics.txn_commits.inc();
         if commit_ns > 0 {
-            // Commit-phase timing joins the trace as its own entry:
-            // queries carry no plan/exec association to a commit, so
-            // the fingerprint and plan hash stay 0.
-            self.trace.push(QueryTrace {
-                fingerprint: 0,
-                plan_hash: 0,
-                plan_ns: 0,
-                exec_ns: 0,
-                commit_ns,
-                rows: 0,
-                cache_hit: false,
-                slow: commit_ns >= self.trace.slow_query_ns(),
-                profile: None,
-            });
+            // Attribute the commit phase back to the transaction's
+            // queries, so their end-to-end latency accounting includes
+            // the durability cost their writes caused.
+            let attributed = token.map_or(0, |t| self.trace.attribute_commit(t, commit_ns));
+            if attributed == 0 {
+                // No traced queries to charge (the transaction ran none,
+                // or the ring evicted them): trace the commit as its own
+                // entry. It has no plan/exec association, so the
+                // fingerprint and plan hash stay 0.
+                self.trace.push(QueryTrace {
+                    fingerprint: 0,
+                    plan_hash: 0,
+                    plan_ns: 0,
+                    exec_ns: 0,
+                    commit_ns,
+                    rows: 0,
+                    cache_hit: false,
+                    slow: commit_ns >= self.trace.slow_query_ns(),
+                    max_q: 0.0,
+                    txn: None,
+                    profile: None,
+                });
+            }
         }
         Ok(())
     }
@@ -789,11 +811,19 @@ impl Engine {
             }
         }
         let txn = inner.current_txn.take();
+        inner.txn_token = None;
         if let (Some(txn), Some(wal)) = (txn, inner.wal.as_mut()) {
             wal.append(WalEntry::Abort { txn })?;
         }
         self.metrics.txn_aborts.inc();
         Ok(())
+    }
+
+    /// Trace token of the active explicit transaction, if any. Planned
+    /// queries stamp it into their trace entries so the eventual commit
+    /// can attribute its `commit_ns` back to them.
+    pub fn active_txn_token(&self) -> Option<u64> {
+        self.inner.read().txn_token
     }
 
     /// Reads the semantic extension of `e`.
@@ -836,14 +866,20 @@ impl Engine {
     }
 
     /// Current statistics, collected lazily and cached until the next
-    /// mutation (insert, delete, or rollback).
+    /// mutation (insert, delete, or rollback). Carries the engine's
+    /// selectivity-feedback cache, so estimates read through them are
+    /// steered by learned corrections (neutral until something has been
+    /// observed, or always when `TOPOSEM_FEEDBACK=0`).
     pub fn statistics(&self) -> Arc<Statistics> {
         if let Some(s) = &self.inner.read().stats {
             return Arc::clone(s);
         }
         let mut inner = self.inner.write();
         if inner.stats.is_none() {
-            let s = Arc::new(Statistics::collect(&inner.db, &inner.indexes));
+            let s = Arc::new(
+                Statistics::collect(&inner.db, &inner.indexes)
+                    .with_feedback(Arc::clone(&self.metrics.feedback), inner.stats_epoch),
+            );
             inner.stats = Some(s);
         }
         Arc::clone(inner.stats.as_ref().expect("just filled"))
@@ -855,6 +891,22 @@ impl Engine {
     /// still valid.
     pub fn statistics_epoch(&self) -> u64 {
         self.inner.read().stats_epoch
+    }
+
+    /// The epoch that keys the plan cache: the statistics epoch plus
+    /// the feedback generation. Both terms only ever grow, so the sum
+    /// is monotone and uniquely brackets a window in which neither the
+    /// data distribution nor the learned corrections moved enough to
+    /// change a plan — a cached plan is valid exactly while this value
+    /// holds still.
+    pub fn plan_epoch(&self) -> u64 {
+        self.inner.read().stats_epoch + self.metrics.feedback.generation()
+    }
+
+    /// The engine's selectivity-feedback cache (shared with
+    /// [`Engine::statistics`] snapshots and the planner's recorder).
+    pub fn feedback(&self) -> &Arc<toposem_obs::SelectivityFeedback> {
+        &self.metrics.feedback
     }
 
     /// Looks up a cached plan for `fingerprint`, valid only at `epoch`

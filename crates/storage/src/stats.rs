@@ -9,8 +9,11 @@
 //! result, invalidating on any mutation, so statistics cost is amortised
 //! across a query workload.
 
+use std::sync::Arc;
+
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Database, Value};
+use toposem_obs::{FeedbackKey, PredClass, SelectivityFeedback};
 
 use crate::index::Index;
 use crate::query::Predicate;
@@ -35,9 +38,19 @@ pub struct TypeStats {
 }
 
 /// Statistics for every entity type of a database.
+///
+/// Optionally carries the engine's [`SelectivityFeedback`] cache (plus
+/// the statistics epoch it was collected under): when attached, every
+/// selectivity and join-cardinality estimate is multiplied by the
+/// learned correction for its `(type, attribute, predicate class)` key,
+/// so profiled executions steer future plans. Plain
+/// [`collect`](Statistics::collect) leaves feedback detached — static
+/// estimates only.
 #[derive(Clone, Debug)]
 pub struct Statistics {
     per_type: Vec<TypeStats>,
+    feedback: Option<Arc<SelectivityFeedback>>,
+    epoch: u64,
 }
 
 impl Statistics {
@@ -97,7 +110,55 @@ impl Statistics {
                 }
             })
             .collect();
-        Statistics { per_type }
+        Statistics {
+            per_type,
+            feedback: None,
+            epoch: 0,
+        }
+    }
+
+    /// Attach the engine's feedback cache. `epoch` is the statistics
+    /// epoch these statistics were collected under; corrections learned
+    /// under any other epoch read as neutral.
+    pub fn with_feedback(mut self, feedback: Arc<SelectivityFeedback>, epoch: u64) -> Self {
+        self.feedback = Some(feedback);
+        self.epoch = epoch;
+        self
+    }
+
+    /// A copy with feedback detached: purely static estimates. Used to
+    /// factor an estimate into `static × correction` for explain
+    /// output.
+    pub fn without_feedback(&self) -> Statistics {
+        Statistics {
+            per_type: self.per_type.clone(),
+            feedback: None,
+            epoch: self.epoch,
+        }
+    }
+
+    /// The statistics epoch these statistics describe (0 when collected
+    /// outside an engine).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The learned multiplicative correction for estimates keyed on
+    /// `(e, a, class)` — neutral 1.0 when no feedback is attached or
+    /// nothing has been learned. `None` for `a` means the estimate has
+    /// no single governing attribute (e.g. a key-less cross join).
+    pub fn correction(&self, e: TypeId, a: Option<AttrId>, class: PredClass) -> f64 {
+        match &self.feedback {
+            Some(fb) => fb.correction(
+                self.epoch,
+                FeedbackKey {
+                    ty: e.index() as u32,
+                    attr: a.map_or(FeedbackKey::NO_ATTR, |a| a.index() as u32),
+                    class,
+                },
+            ),
+            None => 1.0,
+        }
     }
 
     /// Cardinality of `e`'s extension.
@@ -121,9 +182,12 @@ impl Statistics {
     }
 
     /// Estimated fraction of `e`'s tuples matching an equality predicate
-    /// on `a`, assuming uniformity.
+    /// on `a`: 1/distinct under the uniformity assumption, times any
+    /// learned correction (an equality probe for absent values can
+    /// legitimately estimate below one row's worth).
     pub fn selectivity(&self, e: TypeId, a: AttrId) -> f64 {
-        1.0 / self.distinct_count(e, a).max(1) as f64
+        let stat = 1.0 / self.distinct_count(e, a).max(1) as f64;
+        (stat * self.correction(e, Some(a), PredClass::Eq)).min(1.0)
     }
 
     /// Estimated cardinality of the natural join of two inputs over the
@@ -134,9 +198,13 @@ impl Statistics {
     /// attribute alone is charged (taking the product would assume key
     /// attributes independent, which compound keys in practice are not
     /// — distinct(name) already ≈ distinct(name, age)). No shared
-    /// attributes means a genuine cross product.
+    /// attributes means a genuine cross product. `out` is the join's
+    /// output entity type: learned cardinality corrections are keyed on
+    /// it (stable across build/probe swaps), paired with the dominant
+    /// key attribute.
     pub fn join_cardinality(
         &self,
+        out: TypeId,
         left: TypeId,
         left_rows: f64,
         right: TypeId,
@@ -152,7 +220,41 @@ impl Statistics {
                     .max(1) as f64
             })
             .fold(1.0_f64, f64::max);
-        (cross / denom).max(0.0)
+        let corr = self.correction(
+            out,
+            self.dominant_join_key(left, right, keys),
+            PredClass::Join,
+        );
+        // A join cannot produce more than the cross product, however
+        // badly an estimate once undershot.
+        ((cross / denom) * corr).clamp(0.0, cross)
+    }
+
+    /// The join key attribute charged by [`join_cardinality`]'s
+    /// System-R estimate: the one with the largest max-side distinct
+    /// count (ties to the first). `None` for a key-less cross product.
+    /// Shared with the feedback recorder so observations land on the
+    /// same key the estimate reads.
+    ///
+    /// [`join_cardinality`]: Statistics::join_cardinality
+    pub fn dominant_join_key(
+        &self,
+        left: TypeId,
+        right: TypeId,
+        keys: &[AttrId],
+    ) -> Option<AttrId> {
+        keys.iter()
+            .copied()
+            .fold(None, |best: Option<(AttrId, usize)>, a| {
+                let d = self
+                    .distinct_count(left, a)
+                    .max(self.distinct_count(right, a));
+                match best {
+                    Some((_, bd)) if bd >= d => best,
+                    _ => Some((a, d)),
+                }
+            })
+            .map(|(a, _)| a)
     }
 
     /// Estimated fraction of `e`'s tuples matching `pred` on `a`.
@@ -166,25 +268,34 @@ impl Statistics {
         if pred.as_eq().is_some() {
             return self.selectivity(e, a);
         }
-        let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (self.min(e, a), self.max(e, a)) else {
-            return DEFAULT_RANGE_SELECTIVITY;
+        // Any non-equality predicate is priced as a range; the learned
+        // correction is what rescues interpolation over skew (a handful
+        // of outliers can stretch [min, max] until a selective range
+        // looks like the whole table).
+        let corr = self.correction(e, Some(a), PredClass::Range);
+        let stat = 'stat: {
+            let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (self.min(e, a), self.max(e, a))
+            else {
+                break 'stat DEFAULT_RANGE_SELECTIVITY;
+            };
+            let (lo, hi) = (*lo as f64, *hi as f64);
+            let span = hi - lo;
+            if span <= 0.0 {
+                // Single observed value: either the predicate admits it
+                // or not; split the difference conservatively.
+                break 'stat 0.5;
+            }
+            let bound = |b: Option<(&Value, bool)>, default: f64| match b {
+                Some((Value::Int(v), _)) => (*v as f64).clamp(lo, hi),
+                Some(_) => default,
+                None => default,
+            };
+            let (plo, phi) = pred.bounds();
+            let covered = (bound(phi, hi) - bound(plo, lo)).max(0.0);
+            // Never estimate below one matching value's worth.
+            (covered / span).clamp(1.0 / self.cardinality(e).max(1) as f64, 1.0)
         };
-        let (lo, hi) = (*lo as f64, *hi as f64);
-        let span = hi - lo;
-        if span <= 0.0 {
-            // Single observed value: either the predicate admits it or
-            // not; split the difference conservatively.
-            return 0.5;
-        }
-        let bound = |b: Option<(&Value, bool)>, default: f64| match b {
-            Some((Value::Int(v), _)) => (*v as f64).clamp(lo, hi),
-            Some(_) => default,
-            None => default,
-        };
-        let (plo, phi) = pred.bounds();
-        let covered = (bound(phi, hi) - bound(plo, lo)).max(0.0);
-        // Never estimate below one matching value's worth.
-        (covered / span).clamp(1.0 / self.cardinality(e).max(1) as f64, 1.0)
+        (stat * corr).min(1.0)
     }
 }
 
@@ -273,16 +384,22 @@ mod tests {
             .unwrap();
         }
         let stats = Statistics::collect(&db, &[]);
+        let out = s.type_id("worksfor").unwrap();
         // FK-style join: 90 × 2 / max(distinct depname) = 180 / 3 = 60.
-        let fk = stats.join_cardinality(employee, 90.0, department, 2.0, &[depname]);
+        let fk = stats.join_cardinality(out, employee, 90.0, department, 2.0, &[depname]);
         assert!((fk - 60.0).abs() < 1e-9, "got {fk}");
         // No shared attributes: a genuine cross product.
-        let cross = stats.join_cardinality(employee, 90.0, department, 2.0, &[]);
+        let cross = stats.join_cardinality(out, employee, 90.0, department, 2.0, &[]);
         assert!((cross - 180.0).abs() < 1e-9, "got {cross}");
+        assert_eq!(stats.dominant_join_key(employee, department, &[]), None);
         // A compound key charges only its most selective attribute
         // (name: 90 distinct dominates age: 30 distinct).
-        let compound = stats.join_cardinality(employee, 90.0, employee, 90.0, &[name, age]);
+        let compound = stats.join_cardinality(out, employee, 90.0, employee, 90.0, &[name, age]);
         assert!((compound - 90.0).abs() < 1e-9, "got {compound}");
+        assert_eq!(
+            stats.dominant_join_key(employee, employee, &[age, name]),
+            Some(name)
+        );
     }
 
     #[test]
@@ -335,5 +452,62 @@ mod tests {
         let name = s.attr_id("name").unwrap();
         let guess = stats.pred_selectivity(employee, name, &Predicate::Ge(Value::str("p5")));
         assert!((guess - DEFAULT_RANGE_SELECTIVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attached_feedback_corrects_estimates() {
+        use toposem_obs::FeedbackObservation;
+
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        for i in 0..100i64 {
+            db.insert_fields(
+                employee,
+                &[
+                    ("name", Value::str(&format!("p{i}"))),
+                    ("age", Value::Int(i)),
+                    ("depname", Value::str("sales")),
+                ],
+            )
+            .unwrap();
+        }
+        let fb = Arc::new(SelectivityFeedback::with_enabled(true));
+        // Pretend a profiled run saw a 10× overestimate on age ranges.
+        fb.observe(
+            5,
+            &[FeedbackObservation {
+                keys: vec![FeedbackKey {
+                    ty: employee.index() as u32,
+                    attr: age.index() as u32,
+                    class: PredClass::Range,
+                }],
+                est_rows: 1_000.0,
+                act_rows: 100.0,
+            }],
+        );
+        let plain = Statistics::collect(&db, &[]);
+        let steered = plain.clone().with_feedback(Arc::clone(&fb), 5);
+        let pred = Predicate::Lt(Value::Int(50));
+        let stat = plain.pred_selectivity(employee, age, &pred);
+        let corrected = steered.pred_selectivity(employee, age, &pred);
+        assert!(
+            (corrected - stat * 0.1).abs() < 1e-9,
+            "{corrected} vs {stat}"
+        );
+        // The static view is recoverable for est×corr factoring.
+        let refactored = steered
+            .without_feedback()
+            .pred_selectivity(employee, age, &pred);
+        assert!((refactored - stat).abs() < 1e-9);
+        // A different epoch reads as neutral: corrections never survive
+        // a stats bump.
+        let stale = plain.clone().with_feedback(fb, 6);
+        assert!((stale.pred_selectivity(employee, age, &pred) - stat).abs() < 1e-9);
     }
 }
