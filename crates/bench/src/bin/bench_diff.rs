@@ -2,13 +2,20 @@
 //! bench run against the checked-in `BENCH_BASELINE.json`.
 //!
 //! ```text
-//! bench_diff <BENCH_BASELINE.json> <json-dir>
+//! bench_diff [--write-baseline] <BENCH_BASELINE.json> <json-dir>
 //! ```
 //!
 //! Prints the trajectory table (baseline → current per workload) and
 //! exits non-zero when an asserted sample or any baselined ratio
 //! regressed past its allowance; machine-dependent drift on unasserted
 //! samples and missing workloads only warn.
+//!
+//! With `--write-baseline` the run's measurements are accepted: the
+//! baseline file is rewritten with each sample's `ns_per_iter` updated
+//! from the run, while the note, assert flags, regression allowances,
+//! and ratio definitions are preserved. The trajectory table is still
+//! printed (it is the review diff), but the exit code is success —
+//! refreshing *is* the act of accepting the drift.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -16,9 +23,20 @@ use std::process::ExitCode;
 use toposem_bench::regression::{diff, parse_report, Baseline};
 
 fn run() -> Result<bool, String> {
-    let mut args = std::env::args().skip(1);
-    let (Some(baseline_path), Some(json_dir)) = (args.next(), args.next()) else {
-        return Err("usage: bench_diff <BENCH_BASELINE.json> <json-dir>".into());
+    let mut write_baseline = false;
+    let mut positional = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--write-baseline" => write_baseline = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let (Some(baseline_path), Some(json_dir)) = (positional.next(), positional.next()) else {
+        return Err("usage: bench_diff [--write-baseline] <BENCH_BASELINE.json> <json-dir>".into());
     };
     let baseline = Baseline::parse(
         &std::fs::read_to_string(&baseline_path)
@@ -42,6 +60,24 @@ fn run() -> Result<bool, String> {
     }
     let report = diff(&baseline, &current);
     print!("{}", report.render());
+    if write_baseline {
+        let (fresh, stale) = baseline.refreshed(&current);
+        for label in &stale {
+            eprintln!("bench_diff: `{label}` missing from this run — keeping its old baseline");
+        }
+        std::fs::write(&baseline_path, fresh.render())
+            .map_err(|e| format!("write {baseline_path}: {e}"))?;
+        println!(
+            "bench_diff: refreshed {baseline_path} from {} report(s){}",
+            current.len(),
+            if stale.is_empty() {
+                String::new()
+            } else {
+                format!(" ({} workload(s) kept stale values)", stale.len())
+            }
+        );
+        return Ok(true);
+    }
     Ok(report.passed())
 }
 

@@ -15,6 +15,12 @@
 //! loudly instead of silently shrinking coverage. The renderer prints
 //! a trajectory table (baseline → current, ratio, status) so a CI log
 //! shows drift at a glance, not just the verdict.
+//!
+//! The baseline can also be *refreshed* from a run
+//! ([`Baseline::refreshed`] + [`Baseline::render`], driven by
+//! `bench_diff --write-baseline`): measured times are replaced, while
+//! the hand-maintained structure — note, assert flags, regression
+//! allowances, ratio definitions — is preserved verbatim.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -70,6 +76,8 @@ pub struct BaselineBench {
 pub struct Baseline {
     /// Format version (currently 1).
     pub version: u64,
+    /// Free-form maintenance note, preserved across refreshes.
+    pub note: String,
     /// Per-bench baselines.
     pub benches: Vec<BaselineBench>,
 }
@@ -112,6 +120,10 @@ impl Baseline {
         let version = get_field(obj, "version")
             .and_then(as_f64)
             .ok_or("baseline: missing `version`")? as u64;
+        let note = get_field(obj, "note")
+            .and_then(as_str)
+            .unwrap_or("")
+            .to_owned();
         let mut benches = Vec::new();
         let list = get_field(obj, "benches")
             .and_then(Json::as_array)
@@ -152,7 +164,107 @@ impl Baseline {
                 ratios,
             });
         }
-        Ok(Baseline { version, benches })
+        Ok(Baseline {
+            version,
+            note,
+            benches,
+        })
+    }
+
+    /// A copy of this baseline with every sample's `ns_per_iter`
+    /// replaced by the current run's measurement. Workloads the run did
+    /// not produce keep their old value and are returned so the caller
+    /// can warn about stale coverage; ratio definitions (being bounds,
+    /// not measurements) pass through untouched.
+    pub fn refreshed(
+        &self,
+        current: &BTreeMap<String, BTreeMap<String, f64>>,
+    ) -> (Baseline, Vec<String>) {
+        let mut out = self.clone();
+        let mut stale = Vec::new();
+        for b in &mut out.benches {
+            let run = current.get(&b.bench);
+            for s in &mut b.samples {
+                match run.and_then(|r| r.get(&s.name)) {
+                    Some(&ns) => s.ns_per_iter = ns,
+                    None => stale.push(format!("{}/{}", b.bench, s.name)),
+                }
+            }
+        }
+        (out, stale)
+    }
+
+    /// Re-emits the baseline in the checked-in file's layout (one line
+    /// per sample and ratio), so a `--write-baseline` refresh reviews
+    /// as a minimal diff. `assert` and `max_regression` are written
+    /// only where they deviate from the defaults, mirroring how the
+    /// parser reads them.
+    pub fn render(&self) -> String {
+        let num = |v: f64| {
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"version\": {},", self.version);
+        let _ = writeln!(out, "  \"note\": \"{}\",", crate::json_escape(&self.note));
+        let _ = writeln!(out, "  \"benches\": [");
+        for (bi, b) in self.benches.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(
+                out,
+                "      \"bench\": \"{}\",",
+                crate::json_escape(&b.bench)
+            );
+            let _ = write!(out, "      \"samples\": [");
+            for (si, s) in b.samples.iter().enumerate() {
+                let comma = if si + 1 < b.samples.len() { "," } else { "" };
+                let mut extra = String::new();
+                if s.assert {
+                    extra.push_str(", \"assert\": true");
+                }
+                if (s.max_regression - DEFAULT_MAX_REGRESSION).abs() > f64::EPSILON {
+                    let _ = write!(extra, ", \"max_regression\": {}", num(s.max_regression));
+                }
+                let _ = write!(
+                    out,
+                    "\n        {{\"name\": \"{}\", \"ns_per_iter\": {}{extra}}}{comma}",
+                    crate::json_escape(&s.name),
+                    num(s.ns_per_iter),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "\n      ]{}",
+                if b.ratios.is_empty() { "" } else { "," }
+            );
+            if !b.ratios.is_empty() {
+                let _ = write!(out, "      \"ratios\": [");
+                for (ri, r) in b.ratios.iter().enumerate() {
+                    let comma = if ri + 1 < b.ratios.len() { "," } else { "" };
+                    let _ = write!(
+                        out,
+                        "\n        {{\"name\": \"{}\", \"num\": \"{}\", \"den\": \"{}\", \"max\": {}}}{comma}",
+                        crate::json_escape(&r.name),
+                        crate::json_escape(&r.num),
+                        crate::json_escape(&r.den),
+                        num(r.max),
+                    );
+                }
+                let _ = writeln!(out, "\n      ]");
+            }
+            let _ = writeln!(
+                out,
+                "    }}{}",
+                if bi + 1 < self.benches.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
     }
 }
 
@@ -379,6 +491,7 @@ mod tests {
 
     const BASELINE: &str = r#"{
       "version": 1,
+      "note": "hand-maintained",
       "benches": [
         {
           "bench": "q1_planner",
@@ -509,6 +622,28 @@ mod tests {
         // gated_workload missing + ratio operands missing.
         assert_eq!(r.warnings, 2);
         assert!(r.render().contains("missing"));
+    }
+
+    #[test]
+    fn refresh_round_trips_and_preserves_structure() {
+        let b = Baseline::parse(BASELINE).unwrap();
+        let (fresh, stale) = b.refreshed(&run(&[
+            ("planned_point_select", 1_234.5),
+            ("profiled", 110.0),
+        ]));
+        // The unmeasured workload keeps its old value and is reported.
+        assert_eq!(stale, vec!["q1_planner/gated_workload".to_owned()]);
+        let reparsed = Baseline::parse(&fresh.render()).unwrap();
+        assert_eq!(reparsed.note, "hand-maintained");
+        let q1 = &reparsed.benches[0];
+        assert_eq!(q1.samples[0].ns_per_iter, 1_234.5);
+        assert_eq!(q1.samples[1].ns_per_iter, 2_000.0);
+        assert!(q1.samples[1].assert, "assert flag must survive a refresh");
+        assert_eq!(q1.samples[1].max_regression, 1.5);
+        assert_eq!(q1.ratios.len(), 1);
+        assert_eq!(q1.ratios[0].max, 1.2);
+        // A refresh of a refresh is byte-stable.
+        assert_eq!(reparsed.render(), fresh.render());
     }
 
     #[test]

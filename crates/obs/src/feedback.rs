@@ -29,7 +29,10 @@
 //!   priced with, the global [`generation`](SelectivityFeedback::generation)
 //!   bumps. The engine folds the generation into its plan-cache epoch,
 //!   so cached plans priced before the drift are invalidated instead of
-//!   served forever.
+//!   served forever. The threshold is confirmation-scaled: a key backed
+//!   by a single observation needs `REPLAN_FACTOR`² of drift — one
+//!   outlier run corrects its own query's next plan but does not churn
+//!   every cached plan until a second run corroborates it.
 //! - **Significance gate.** Nodes where both the estimate and the
 //!   actual are tiny (under [`MIN_SIGNIFICANT_ROWS`]) are not recorded:
 //!   at that scale the ratio is mostly integer-rounding noise and a
@@ -303,7 +306,21 @@ impl SelectivityFeedback {
                 e.corr =
                     (e.corr.powf(1.0 - w) * target.powf(w)).clamp(MIN_CORRECTION, MAX_CORRECTION);
                 let drift = (e.corr / e.planned_corr).max(e.planned_corr / e.corr);
-                if drift >= REPLAN_FACTOR {
+                // Confirmation-scaled replan threshold: one observation
+                // is a sample, not a trend. A key seen only once must
+                // drift REPLAN_FACTOR² before every cached plan is
+                // repriced on its word — the correction itself is still
+                // adopted, so the *next* planning pass of the affected
+                // query is fixed either way — while a corroborated key
+                // (≥ 2 observations) replans at the standard factor.
+                // Without this, a single unlucky run (cold cache, lock
+                // convoy, one skewed batch) churns the whole plan cache.
+                let threshold = if e.observations < 2 {
+                    REPLAN_FACTOR * REPLAN_FACTOR
+                } else {
+                    REPLAN_FACTOR
+                };
+                if drift >= threshold {
                     e.planned_corr = e.corr;
                     bumps += 1;
                 }
@@ -421,6 +438,35 @@ mod tests {
         assert_eq!(fb.replans.get(), 1);
         // Stable follow-ups do not churn the generation.
         fb.observe(0, &[obs(&[k2], 110.0, 100.0)]);
+        assert_eq!(fb.generation(), 1);
+    }
+
+    #[test]
+    fn single_observation_outlier_does_not_replan_until_confirmed() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        // A moderate outlier (3× off) in one run: the correction is
+        // adopted — the affected query's next plan is repriced with it
+        // — but the generation holds, so one unlucky sample does not
+        // invalidate every cached plan.
+        fb.observe(0, &[obs(&[k], 300.0, 900.0)]);
+        assert!((fb.correction(0, k) - 3.0).abs() < 1e-9);
+        assert_eq!(fb.generation(), 0, "single-run outlier must not replan");
+        assert_eq!(fb.replans.get(), 0);
+        // A second run confirming the drift crosses the standard
+        // threshold and replans.
+        fb.observe(0, &[obs(&[k], 900.0, 8100.0)]);
+        assert!(fb.generation() >= 1, "corroborated drift must replan");
+    }
+
+    #[test]
+    fn extreme_single_observation_still_replans() {
+        // The damping is for moderate outliers; a 1000× misestimate in
+        // one run is past REPLAN_FACTOR² and must reprice immediately
+        // (the planner feedback-loop tests depend on one-shot repair).
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(0, 1, PredClass::Range);
+        fb.observe(0, &[obs(&[k], 100_000.0, 100.0)]);
         assert_eq!(fb.generation(), 1);
     }
 

@@ -43,9 +43,9 @@ pub use feedback::{
     MIN_SIGNIFICANT_ROWS, REPLAN_FACTOR,
 };
 pub use metrics::{
-    Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, PlanCacheStats,
-    QueryMetrics, RecoveryStats, TxnStats, WalMetrics, WalStats, LATENCY_NS_BOUNDS,
-    QERROR_X100_BOUNDS, SIZE_BOUNDS,
+    Counter, EngineMetrics, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, MvccStats,
+    PlanCacheStats, QueryMetrics, RecoveryStats, SessionStats, TxnStats, WalMetrics, WalStats,
+    LATENCY_NS_BOUNDS, QERROR_X100_BOUNDS, SIZE_BOUNDS,
 };
 pub use profile::{q_error, NodeProfile, NodeSnapshot, OpProfile, PlanProfile, QueryProfile};
-pub use trace::{QueryTrace, TraceRing};
+pub use trace::{current_session, set_current_session, QueryTrace, TraceRing};

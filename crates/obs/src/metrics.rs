@@ -46,6 +46,21 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Add one (e.g. a session opening).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract one, saturating at zero so a double-close can never
+    /// wrap the gauge around.
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -248,6 +263,19 @@ pub struct EngineMetrics {
     /// `q × 100` (so the histogram can stay integral); a value of 100
     /// is a perfect estimate.
     pub planner_qerror: Histogram,
+    /// MVCC snapshot rebuilds (a reader materialised a fresh committed
+    /// epoch).
+    pub snapshot_rebuilds: Counter,
+    /// MVCC snapshot requests served from the cached epoch.
+    pub snapshot_hits: Counter,
+    /// Sessions opened over the engine's lifetime.
+    pub sessions_opened: Counter,
+    /// Sessions currently open.
+    pub sessions_open: Gauge,
+    /// Network connections accepted over the server's lifetime.
+    pub connections_opened: Counter,
+    /// Network connections currently open.
+    pub connections_open: Gauge,
     /// WAL-layer metrics, shared with the attached [`Wal`].
     ///
     /// [`Wal`]: https://docs.rs/ (toposem-wal)
@@ -276,6 +304,12 @@ impl Default for EngineMetrics {
             recovery_replayed_txns: Counter::default(),
             recovery_replayed_ops: Counter::default(),
             planner_qerror: Histogram::new(QERROR_X100_BOUNDS),
+            snapshot_rebuilds: Counter::default(),
+            snapshot_hits: Counter::default(),
+            sessions_opened: Counter::default(),
+            sessions_open: Gauge::default(),
+            connections_opened: Counter::default(),
+            connections_open: Gauge::default(),
             wal: Arc::new(WalMetrics::default()),
             feedback: Arc::new(SelectivityFeedback::new()),
         }
@@ -321,9 +355,41 @@ impl EngineMetrics {
                 checkpoint_ns: self.wal.checkpoint_ns.snapshot(),
             },
             planner_qerror: self.planner_qerror.snapshot(),
+            mvcc: MvccStats {
+                snapshot_rebuilds: self.snapshot_rebuilds.get(),
+                snapshot_hits: self.snapshot_hits.get(),
+            },
+            sessions: SessionStats {
+                opened: self.sessions_opened.get(),
+                open: self.sessions_open.get(),
+                connections_opened: self.connections_opened.get(),
+                connections_open: self.connections_open.get(),
+            },
             feedback: self.feedback.stats(),
         }
     }
+}
+
+/// MVCC snapshot counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MvccStats {
+    /// Committed epochs materialised as immutable snapshots.
+    pub snapshot_rebuilds: u64,
+    /// Snapshot requests served from the cached epoch.
+    pub snapshot_hits: u64,
+}
+
+/// Session and connection counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions opened over the engine's lifetime.
+    pub opened: u64,
+    /// Sessions currently open.
+    pub open: u64,
+    /// Network connections accepted over the server's lifetime.
+    pub connections_opened: u64,
+    /// Network connections currently open.
+    pub connections_open: u64,
 }
 
 /// Plan-cache counters (the typed form of the `PlanCache: …` line in
@@ -405,6 +471,10 @@ pub struct MetricsSnapshot {
     pub wal: WalStats,
     /// Worst per-query q-error distribution (values are `q × 100`).
     pub planner_qerror: HistogramSnapshot,
+    /// MVCC snapshot counters.
+    pub mvcc: MvccStats,
+    /// Session and connection counters.
+    pub sessions: SessionStats,
     /// Selectivity-feedback counters.
     pub feedback: FeedbackStats,
 }
@@ -495,6 +565,26 @@ impl MetricsSnapshot {
             self.wal.checkpoints,
         );
         counter(
+            "toposem_snapshot_rebuilds_total",
+            "MVCC snapshot rebuilds (committed epochs materialised)",
+            self.mvcc.snapshot_rebuilds,
+        );
+        counter(
+            "toposem_snapshot_hits_total",
+            "MVCC snapshot requests served from the cached epoch",
+            self.mvcc.snapshot_hits,
+        );
+        counter(
+            "toposem_sessions_opened_total",
+            "Sessions opened",
+            self.sessions.opened,
+        );
+        counter(
+            "toposem_connections_opened_total",
+            "Network connections accepted",
+            self.sessions.connections_opened,
+        );
+        counter(
             "toposem_feedback_corrections_applied",
             "Non-neutral selectivity corrections applied during planning",
             self.feedback.corrections_applied,
@@ -524,6 +614,16 @@ impl MetricsSnapshot {
                 out,
                 "# HELP toposem_feedback_entries Distinct keys with a learned correction\n# TYPE toposem_feedback_entries gauge\ntoposem_feedback_entries {}",
                 self.feedback.entries
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_sessions_open Sessions currently open\n# TYPE toposem_sessions_open gauge\ntoposem_sessions_open {}",
+                self.sessions.open
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_connections_open Network connections currently open\n# TYPE toposem_connections_open gauge\ntoposem_connections_open {}",
+                self.sessions.connections_open
             );
         }
         self.planner_qerror.render_prometheus(

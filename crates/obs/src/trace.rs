@@ -11,11 +11,32 @@
 //! `TOPOSEM_SLOW_QUERY_MS` environment variable (read at ring
 //! construction) or [`TraceRing::set_slow_query_ms`] at runtime.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::profile::QueryProfile;
+
+thread_local! {
+    /// Session id attributed to traces pushed from this thread. The
+    /// session layer runs each connection on its own thread, so a
+    /// thread-local carries the attribution through the planner without
+    /// threading a parameter down every execution path.
+    static CURRENT_SESSION: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Sets the session id stamped into traces pushed from this thread
+/// (`None` clears it). The session/server layer calls this when a
+/// connection thread starts serving a session.
+pub fn set_current_session(id: Option<u64>) {
+    CURRENT_SESSION.set(id);
+}
+
+/// The session id traces pushed from this thread are attributed to.
+pub fn current_session() -> Option<u64> {
+    CURRENT_SESSION.get()
+}
 
 /// Default slow-query threshold when `TOPOSEM_SLOW_QUERY_MS` is unset.
 pub const DEFAULT_SLOW_QUERY_MS: u64 = 100;
@@ -52,6 +73,9 @@ pub struct QueryTrace {
     /// Token of the enclosing explicit transaction, if any; commits
     /// attribute their `commit_ns` back to entries sharing the token.
     pub txn: Option<u64>,
+    /// Session the query ran under, if any (stamped from the pushing
+    /// thread's [`current_session`]).
+    pub session: Option<u64>,
     /// Full operator profile — retained for slow queries and explicit
     /// `query_profiled` / `explain_analyze` runs.
     pub profile: Option<Arc<QueryProfile>>,
@@ -199,6 +223,7 @@ mod tests {
             slow,
             max_q: 0.0,
             txn: None,
+            session: None,
             profile: None,
         }
     }

@@ -109,7 +109,7 @@ use std::time::Instant;
 use toposem_core::TypeId;
 use toposem_extension::{Instance, Relation};
 use toposem_obs::{PlanProfile, QueryProfile, QueryTrace};
-use toposem_storage::{Engine, Query, QueryError};
+use toposem_storage::{Engine, EngineSnapshot, Query, QueryError};
 
 pub use cost::{estimate, estimate_with, parallel_degree, Estimate};
 pub use exec::{
@@ -117,7 +117,10 @@ pub use exec::{
     execute_profiled_with, execute_with, plan_supported, ExecOptions, DEFAULT_MORSEL_SIZE,
 };
 pub use logical::{lower_and_rewrite, Logical};
-pub use physical::{order_satisfies, plan, plan_with, Physical, PlannerOptions, BATCH_SIZE};
+pub use physical::{
+    order_satisfies, order_satisfies_with_bound, plan, plan_with, Physical, PlannerOptions,
+    BATCH_SIZE,
+};
 pub use profile::build_op_profile;
 
 /// Planned execution of sanctioned queries — implemented for
@@ -215,6 +218,96 @@ pub trait ProfiledExecution {
     fn explain_analyze_with(&self, q: &Query, opts: &ExecOptions) -> Result<String, QueryError>;
 }
 
+/// Execution pinned to an explicit [`EngineSnapshot`] — the MVCC read
+/// path for long-running read transactions, implemented for [`Engine`].
+///
+/// `query_planned` already routes non-transactional statements through
+/// the engine's *current* committed snapshot; these entry points let a
+/// caller (the session layer's `BEGIN READ`) capture one snapshot via
+/// [`Engine::snapshot`] and run any number of queries against that
+/// exact epoch: commits that land in between are simply never visible,
+/// which is snapshot isolation. Plans are shared through the engine's
+/// plan cache keyed on the snapshot's epoch, and every execution is
+/// traced and metered exactly like the unpinned path.
+pub trait SnapshotExecution {
+    /// [`PlannedExecution::query_planned`] against `snap` instead of
+    /// the engine's current state.
+    fn query_snapshot(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+    ) -> Result<(TypeId, Relation), QueryError>;
+
+    /// [`PlannedExecution::query_planned_ordered`] against `snap`.
+    fn query_snapshot_ordered(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+    ) -> Result<(TypeId, Vec<Instance>), QueryError>;
+
+    /// [`SnapshotExecution::query_snapshot`] with explicit
+    /// [`ExecOptions`].
+    fn query_snapshot_with(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation), QueryError>;
+}
+
+impl SnapshotExecution for Engine {
+    fn query_snapshot(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+    ) -> Result<(TypeId, Relation), QueryError> {
+        self.query_snapshot_with(snap, q, &ExecOptions::default())
+    }
+
+    fn query_snapshot_ordered(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+    ) -> Result<(TypeId, Vec<Instance>), QueryError> {
+        let (ty, seq, _) = with_planned_profiled(
+            self,
+            q,
+            Some(snap),
+            false,
+            |physical, db, indexes, profile| {
+                exec::execute_ordered_profiled_with(
+                    physical,
+                    db,
+                    indexes,
+                    &ExecOptions::default(),
+                    profile,
+                )
+            },
+            |seq| seq.len() as u64,
+        )?;
+        Ok((ty, seq))
+    }
+
+    fn query_snapshot_with(
+        &self,
+        snap: &Arc<EngineSnapshot>,
+        q: &Query,
+        opts: &ExecOptions,
+    ) -> Result<(TypeId, Relation), QueryError> {
+        let (ty, rel, _) = with_planned_profiled(
+            self,
+            q,
+            Some(snap),
+            false,
+            |physical, db, indexes, profile| {
+                exec::execute_profiled_with(physical, db, indexes, opts, profile)
+            },
+            |rel| rel.len() as u64,
+        )?;
+        Ok((ty, rel))
+    }
+}
+
 /// A cache entry: the physical plan plus the canonical rendering of the
 /// query it was planned for. The cache key is a 64-bit fingerprint of
 /// that rendering; the stored rendering is compared on every hit so a
@@ -232,6 +325,16 @@ struct CachedPlan {
 /// result, and hand the physical plan (with a consistent database +
 /// index snapshot) and a freshly sized [`PlanProfile`] to `run`.
 ///
+/// **MVCC routing.** Outside a transaction (or with an explicitly
+/// `pinned` snapshot) the whole query — planning, plan validation, and
+/// execution — runs against an immutable committed-epoch
+/// [`EngineSnapshot`], so readers never hold the engine lock while the
+/// single writer mutates the next epoch. Inside a transaction the
+/// locked path is kept: the transaction's own queries must see its
+/// uncommitted writes. Both routes share the plan cache; snapshot
+/// plans are keyed on the snapshot's epoch, so a plan from a newer
+/// epoch is never run against an older snapshot (or vice versa).
+///
 /// Always-on observability: every query allocates its per-operator
 /// profile (atomic slots the executor merges into batch-wise), times
 /// its plan and exec phases, updates the engine's query metrics, and
@@ -242,6 +345,7 @@ struct CachedPlan {
 fn with_planned_profiled<R>(
     eng: &Engine,
     q: &Query,
+    pinned: Option<&Arc<EngineSnapshot>>,
     want_profile: bool,
     run: impl Fn(
         &Physical,
@@ -253,14 +357,24 @@ fn with_planned_profiled<R>(
 ) -> Result<(TypeId, R, Option<Arc<QueryProfile>>), QueryError> {
     let plan_t0 = Instant::now();
     eng.metrics().queries_planned.inc();
+    let snap = match pinned {
+        Some(s) => Some(Arc::clone(s)),
+        None if eng.active_txn_token().is_none() => eng.snapshot(),
+        None => None,
+    };
     // Epoch before statistics: a mutation in between invalidates the
     // epoch, so a stale plan can be cached but never *stored* as
     // current (plan_cache_store re-checks the epoch). The plan epoch
     // folds in the feedback generation: when this execution's own
     // observations push a correction past the re-plan threshold, the
     // generation bumps, the plan stored below becomes stale, and the
-    // next execution replans against the corrected statistics.
-    let epoch = eng.plan_epoch();
+    // next execution replans against the corrected statistics. On the
+    // snapshot route the *snapshot's* epoch is used, so a pinned
+    // (older) snapshot simply misses the cache instead of poisoning it.
+    let epoch = match &snap {
+        Some(s) => s.stats_epoch() + eng.feedback().generation(),
+        None => eng.plan_epoch(),
+    };
     let query_repr = format!("{q:?}");
     let fingerprint = Query::fingerprint_str(&query_repr);
     if let Some(cached) = eng.plan_cache_lookup(fingerprint, epoch) {
@@ -272,17 +386,24 @@ fn with_planned_profiled<R>(
                 let exec_t0 = Instant::now();
                 // A concurrent `drop_index` between the epoch read above
                 // and this execution can strand a cached plan whose index
-                // no longer exists; validate the plan against the live
-                // index snapshot *under the same lock acquisition* as the
-                // execution, and fall through to replanning on a miss.
-                let hit = eng.with_parts(|db, indexes| {
-                    exec::plan_supported(physical, indexes)
-                        .then(|| (physical.ty(), run(physical, db, indexes, &profile)))
-                });
+                // no longer exists; validate the plan against the same
+                // index array the execution will use (the immutable
+                // snapshot's, or the live one *under the same lock
+                // acquisition*), and fall through to replanning on a
+                // miss.
+                let hit = match &snap {
+                    Some(s) => exec::plan_supported(physical, s.indexes())
+                        .then(|| (physical.ty(), run(physical, s.db(), s.indexes(), &profile))),
+                    None => eng.with_parts(|db, indexes| {
+                        exec::plan_supported(physical, indexes)
+                            .then(|| (physical.ty(), run(physical, db, indexes, &profile)))
+                    }),
+                };
                 if let Some((ty, out)) = hit {
                     let exec_ns = exec_t0.elapsed().as_nanos() as u64;
                     let qp = observe_query(
                         eng,
+                        snap.as_deref(),
                         physical,
                         &profile,
                         ObservedQuery {
@@ -300,21 +421,39 @@ fn with_planned_profiled<R>(
             }
         }
     }
-    let stats = eng.statistics();
-    let (ty, physical, out, profile, plan_ns, exec_ns) = eng.with_parts(|db, indexes| {
-        let logical = lower_and_rewrite(q, db)?;
-        let physical = plan(&logical, db, indexes, &stats);
-        debug_assert_eq!(physical.ty(), logical.ty());
-        let profile = PlanProfile::new(physical.node_count());
-        let plan_ns = plan_t0.elapsed().as_nanos() as u64;
-        let exec_t0 = Instant::now();
-        let out = run(&physical, db, indexes, &profile);
-        let exec_ns = exec_t0.elapsed().as_nanos() as u64;
-        Ok::<_, QueryError>((logical.ty(), physical, out, profile, plan_ns, exec_ns))
-    })?;
+    let (ty, physical, out, profile, plan_ns, exec_ns) = match &snap {
+        Some(s) => {
+            let stats = s.statistics();
+            let (db, indexes) = (s.db(), s.indexes());
+            let logical = lower_and_rewrite(q, db)?;
+            let physical = plan(&logical, db, indexes, &stats);
+            debug_assert_eq!(physical.ty(), logical.ty());
+            let profile = PlanProfile::new(physical.node_count());
+            let plan_ns = plan_t0.elapsed().as_nanos() as u64;
+            let exec_t0 = Instant::now();
+            let out = run(&physical, db, indexes, &profile);
+            let exec_ns = exec_t0.elapsed().as_nanos() as u64;
+            (logical.ty(), physical, out, profile, plan_ns, exec_ns)
+        }
+        None => {
+            let stats = eng.statistics();
+            eng.with_parts(|db, indexes| {
+                let logical = lower_and_rewrite(q, db)?;
+                let physical = plan(&logical, db, indexes, &stats);
+                debug_assert_eq!(physical.ty(), logical.ty());
+                let profile = PlanProfile::new(physical.node_count());
+                let plan_ns = plan_t0.elapsed().as_nanos() as u64;
+                let exec_t0 = Instant::now();
+                let out = run(&physical, db, indexes, &profile);
+                let exec_ns = exec_t0.elapsed().as_nanos() as u64;
+                Ok::<_, QueryError>((logical.ty(), physical, out, profile, plan_ns, exec_ns))
+            })?
+        }
+    };
     let plan_hash = Query::fingerprint_str(&format!("{physical:?}"));
     let qp = observe_query(
         eng,
+        snap.as_deref(),
         &physical,
         &profile,
         ObservedQuery {
@@ -356,6 +495,7 @@ struct ObservedQuery {
 /// safe.
 fn observe_query(
     eng: &Engine,
+    snap: Option<&EngineSnapshot>,
     physical: &Physical,
     profile: &PlanProfile,
     obs: ObservedQuery,
@@ -368,12 +508,19 @@ fn observe_query(
     if slow {
         metrics.queries_slow.inc();
     }
+    // Statistics the execution actually ran with: the snapshot's on the
+    // MVCC route (never the live engine's — a concurrent writer may
+    // already be in another epoch), the engine's on the locked route.
+    let stats_in_use = || match snap {
+        Some(s) => s.statistics(),
+        None => eng.statistics(),
+    };
     // Compare estimates with actuals *before* folding the observations
     // into the feedback cache: the profile and the q-error histogram
     // must reflect the estimates this execution actually ran with, and
     // a correction learned from run N may only steer run N+1.
     let feedback = (eng.feedback().enabled()).then(|| {
-        let stats = eng.statistics();
+        let stats = stats_in_use();
         let (max_q, observations) = profile::collect_feedback(physical, &stats, profile);
         metrics
             .planner_qerror
@@ -381,8 +528,11 @@ fn observe_query(
         (stats.epoch(), max_q, observations)
     });
     let assembled = (want_profile || slow).then(|| {
-        let stats = eng.statistics();
-        let root = eng.with_db(|db| profile::build_op_profile(physical, db, &stats, profile));
+        let stats = stats_in_use();
+        let root = match snap {
+            Some(s) => profile::build_op_profile(physical, s.db(), &stats, profile),
+            None => eng.with_db(|db| profile::build_op_profile(physical, db, &stats, profile)),
+        };
         Arc::new(QueryProfile {
             fingerprint: obs.fingerprint,
             plan_hash: obs.plan_hash,
@@ -404,6 +554,7 @@ fn observe_query(
         slow,
         max_q: feedback.as_ref().map_or(0.0, |(_, q, _)| *q),
         txn: eng.active_txn_token(),
+        session: toposem_obs::current_session(),
         profile: assembled.clone(),
     });
     if let Some((epoch, _, observations)) = feedback {
@@ -429,6 +580,7 @@ impl PlannedExecution for Engine {
         let (ty, rel, _) = with_planned_profiled(
             self,
             q,
+            None,
             false,
             |physical, db, indexes, profile| {
                 exec::execute_profiled_with(physical, db, indexes, opts, profile)
@@ -446,6 +598,7 @@ impl PlannedExecution for Engine {
         let (ty, seq, _) = with_planned_profiled(
             self,
             q,
+            None,
             false,
             |physical, db, indexes, profile| {
                 exec::execute_ordered_profiled_with(physical, db, indexes, opts, profile)
@@ -491,6 +644,7 @@ impl ProfiledExecution for Engine {
         let (ty, rel, qp) = with_planned_profiled(
             self,
             q,
+            None,
             true,
             |physical, db, indexes, profile| {
                 exec::execute_profiled_with(physical, db, indexes, opts, profile)

@@ -11,7 +11,11 @@
 //! are propagated through order-preserving operators (`Filter`, `Project`
 //! prefixes, hash-join probe sides). A **`MergeJoin`** consumes matching
 //! orders from both inputs; a **`Sort`** enforcer (n·log n) establishes an
-//! order only when no candidate carries one cheaply enough.
+//! order only when no candidate carries one cheaply enough. Order
+//! matching is *equality-aware*: an attribute pinned by an equality
+//! predicate is constant across the input, so it is skipped in both the
+//! available and the required key sequence before the prefix check
+//! ([`order_satisfies_with_bound`]).
 //!
 //! Multi-way joins are reordered by a **DPsize** dynamic program over the
 //! *sanctioned* join lattice: a subset of relations is combinable only
@@ -31,6 +35,8 @@
 //! outputs merge back in morsel order (see [`crate::exec`]), and the
 //! cost model discounts partitionable operators by the degree the
 //! dispatcher would use (`explain` renders it as `par≈N`).
+
+use std::collections::BTreeSet;
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Database, Value};
@@ -297,6 +303,74 @@ impl Physical {
         }
     }
 
+    /// Attributes this operator holds *constant*: an equality predicate
+    /// somewhere below pins every emitted tuple to the same value. A
+    /// constant attribute is order-trivial — any output order sorts by
+    /// it in any direction — so it may be skipped when matching a
+    /// required order prefix (see [`order_satisfies_with_bound`]).
+    ///
+    /// The set is conservative: joins propagate both sides (joined
+    /// tuples keep their constituents' values), `Union` propagates
+    /// nothing (the two branches may pin different values), and
+    /// attributes projected away are harmless to keep — they can no
+    /// longer appear in an order requirement over the output type.
+    pub fn eq_bound_attrs(&self) -> BTreeSet<AttrId> {
+        fn eq_preds(preds: &[(AttrId, Predicate)], out: &mut BTreeSet<AttrId>) {
+            for (a, p) in preds {
+                if p.as_eq().is_some() {
+                    out.insert(*a);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        match self {
+            Physical::Empty { .. } | Physical::Union { .. } => {}
+            Physical::SeqScan { preds, .. } | Physical::IndexOnlyScan { preds, .. } => {
+                eq_preds(preds, &mut out)
+            }
+            Physical::IndexSeek { attr, residual, .. } => {
+                out.insert(*attr);
+                eq_preds(residual, &mut out);
+            }
+            Physical::IndexRangeSeek { residual, .. } => eq_preds(residual, &mut out),
+            Physical::CompositeSeek {
+                attrs,
+                prefix,
+                suffix,
+                residual,
+                ..
+            } => {
+                out.extend(attrs[..prefix.len()].iter().copied());
+                // A degenerate range suffix `[v, v]` pins its attribute
+                // just like an equality prefix entry would.
+                if let Some(iv) = suffix {
+                    if let (Some((l, true)), Some((h, true))) = (&iv.lo, &iv.hi) {
+                        if l == h {
+                            out.insert(attrs[prefix.len()]);
+                        }
+                    }
+                }
+                eq_preds(residual, &mut out);
+            }
+            Physical::Filter { input, preds } => {
+                out = input.eq_bound_attrs();
+                eq_preds(preds, &mut out);
+            }
+            Physical::Project { input, .. } | Physical::Sort { input, .. } => {
+                out = input.eq_bound_attrs()
+            }
+            Physical::HashJoin { build, probe, .. } | Physical::Intersect { build, probe, .. } => {
+                out = build.eq_bound_attrs();
+                out.extend(probe.eq_bound_attrs());
+            }
+            Physical::MergeJoin { left, right, .. } => {
+                out = left.eq_bound_attrs();
+                out.extend(right.eq_bound_attrs());
+            }
+        }
+        out
+    }
+
     /// Renders the plan as an indented EXPLAIN tree with estimates.
     pub fn explain(&self, db: &Database, stats: &Statistics) -> String {
         let mut out = String::new();
@@ -510,6 +584,30 @@ pub fn order_satisfies(avail: &[(AttrId, SortDir)], req: &[(AttrId, SortDir)]) -
     req.len() <= avail.len() && avail[..req.len()] == *req
 }
 
+/// [`order_satisfies`] modulo a set of equality-*bound* attributes: a
+/// bound attribute is constant across the input, so a required key on
+/// it is satisfied by any order (in either direction), and an available
+/// key on it adds no real grouping — both sides are filtered down to
+/// their unbound keys before the prefix check. This is what lets a
+/// composite walk of `(depname, age)` under `depname = 'sales'` serve
+/// `ORDER BY age` without a `Sort` enforcer.
+pub fn order_satisfies_with_bound(
+    avail: &[(AttrId, SortDir)],
+    req: &[(AttrId, SortDir)],
+    bound: &BTreeSet<AttrId>,
+) -> bool {
+    if bound.is_empty() {
+        return order_satisfies(avail, req);
+    }
+    let unbound = |keys: &[(AttrId, SortDir)]| -> SortKeys {
+        keys.iter()
+            .filter(|(a, _)| !bound.contains(a))
+            .copied()
+            .collect()
+    };
+    order_satisfies(&unbound(avail), &unbound(req))
+}
+
 /// One candidate plan: a physical tree plus its estimated cost/rows and
 /// the output order it guarantees.
 #[derive(Clone, Debug)]
@@ -687,7 +785,7 @@ fn candidates(
             });
             let mut out: Vec<Cand> = inner
                 .into_iter()
-                .filter(|c| order_satisfies(&c.order, keys))
+                .filter(|c| order_satisfies_with_bound(&c.order, keys, &c.phys.eq_bound_attrs()))
                 .collect();
             out.push(sorted);
             prune(out)
@@ -944,7 +1042,7 @@ fn join_pair(
             });
             match side
                 .iter()
-                .filter(|c| order_satisfies(&c.order, &req))
+                .filter(|c| order_satisfies_with_bound(&c.order, &req, &c.phys.eq_bound_attrs()))
                 .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
             {
                 Some(carried) if carried.cost <= enforced.cost => carried.phys.clone(),

@@ -315,6 +315,59 @@ fn order_by_is_honoured_with_and_without_enforcers() {
     agree_ordered(&eng, &Query::scan(employee));
 }
 
+/// Equality-bound attributes are constants, so they satisfy (or can be
+/// skipped in) order positions: a composite walk of `(depname, age)`
+/// under `depname = 'sales'` serves `ORDER BY age` — and even
+/// `ORDER BY depname DESC, age ASC` — with no `Sort` enforcer.
+/// Regression for the planner treating order prefixes literally and
+/// sorting anyway.
+#[test]
+fn equality_bound_attribute_skips_order_positions() {
+    let eng = engine();
+    load(&eng, 200);
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    let depname = s.attr_id("depname").unwrap();
+    eng.create_composite_index(employee, &[depname, age])
+        .unwrap();
+
+    // WHERE depname = 'sales' ORDER BY age: the seek emits (depname,
+    // age) order with depname constant, so the required prefix reduces
+    // to (age) and the order is carried.
+    let q = Query::scan(employee)
+        .select(depname, Value::str("sales"))
+        .order_by_asc(age);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("CompositeSeek") && !plan.contains("Sort"),
+        "equality-bound depname must be skippable in the order prefix:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+
+    // Direction on a constant is meaningless: DESC on the bound
+    // attribute still needs no enforcer.
+    let q = Query::scan(employee)
+        .select(depname, Value::str("sales"))
+        .order_by(vec![(depname, SortDir::Desc), (age, SortDir::Asc)]);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        !plan.contains("Sort"),
+        "sort direction on an equality-bound attribute is irrelevant:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+
+    // Without the equality the skip must NOT apply: ORDER BY age over
+    // the same index still needs a Sort (depname really groups first).
+    let q = Query::scan(employee).order_by_asc(age);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("Sort"),
+        "unbound leading key must still force an enforcer:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+}
+
 /// Composite-index range suffix: an equality prefix plus a range on the
 /// next key attribute seeks one contiguous composite key range instead
 /// of filtering residually.

@@ -1,0 +1,35 @@
+//! # toposem-server
+//!
+//! The concurrent-session front door over the toposem engine: three
+//! thin layers that turn the single-process [`Engine`] into something
+//! multiple clients can talk to at once.
+//!
+//! 1. **[`proto`]** — a line protocol. One command per line (`QUERY
+//!    scan employee | select depname = 'sales' | order by age`,
+//!    `BEGIN READ`, `INSERT employee name='w1', age=3, …`), parsed into
+//!    a typed [`Command`] over schema *names*. Responses are framed as
+//!    `OK <n> [info]` + `n` body lines, or a single `ERR <message>`.
+//! 2. **[`session`]** — per-connection state. A [`Session`] resolves
+//!    names against the schema, tracks the transaction mode, and routes
+//!    reads: autocommit queries pin the engine's current committed
+//!    snapshot per statement, `BEGIN READ` pins one snapshot for the
+//!    whole transaction (snapshot isolation), and a write transaction
+//!    reads through the engine lock so it sees its own writes. Every
+//!    query is attributed to its session in the trace ring.
+//! 3. **[`server`]** — a thread-per-connection TCP listener
+//!    ([`serve`]). Readers scale because snapshot queries never take
+//!    the engine write lock; writers serialise on the engine's single
+//!    write token, exactly like the embedded API.
+//!
+//! The crate adds no dependencies beyond the workspace: the protocol
+//! parser is hand-rolled and the server uses `std::net` blocking I/O.
+//!
+//! [`Engine`]: toposem_storage::Engine
+
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use proto::{parse_command, CmpOp, Command, ParseError, QuerySpec, Stage};
+pub use server::{serve, ServerHandle};
+pub use session::{resolve_query, Session, SessionError};

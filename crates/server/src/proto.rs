@@ -1,0 +1,616 @@
+//! The wire protocol: one command per line, parsed into a typed
+//! [`Command`] against *names* (entity types, attributes) that the
+//! session layer resolves against the engine's schema.
+//!
+//! Queries are pipelines of stages separated by `|`, mirroring the
+//! engine's algebra:
+//!
+//! ```text
+//! QUERY scan employee | select depname = 'sales' | order by age asc
+//! QUERY scan employee | join (scan department) | project person
+//! EXPLAIN scan employee | select age >= 30
+//! ```
+//!
+//! The full command set:
+//!
+//! ```text
+//! PING
+//! METRICS
+//! BEGIN [READ]
+//! COMMIT
+//! ABORT                          (ROLLBACK is accepted too)
+//! QUERY <pipeline>
+//! EXPLAIN <pipeline>
+//! INSERT <type> a1='v', a2=3
+//! DELETE <type> a1='v', a2=3
+//! CREATE INDEX <hash|ord|composite> <type> <attr>[, <attr>...]
+//! DROP INDEX <hash|ord|composite> <type> <attr>[, <attr>...]
+//! QUIT
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are not. String literals
+//! take single or double quotes and carry no escape sequences. Every
+//! response is either `ERR <message>` or `OK <n> [info...]` followed by
+//! exactly `n` body lines — clients never need lookahead.
+
+use toposem_extension::Value;
+use toposem_storage::{IndexKind, SortDir};
+
+/// A comparison operator in a `select` stage, mapped onto the query
+/// builder's predicate constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// One stage of a query pipeline, in source order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stage {
+    /// `scan <type>` — must open every pipeline.
+    Scan(String),
+    /// `select <attr> <op> <literal>`
+    Select {
+        /// Attribute name.
+        attr: String,
+        /// Comparison.
+        op: CmpOp,
+        /// Literal to compare against.
+        value: Value,
+    },
+    /// `project <type>`
+    Project(String),
+    /// `join (<pipeline>)`
+    Join(QuerySpec),
+    /// `union (<pipeline>)`
+    Union(QuerySpec),
+    /// `intersect (<pipeline>)`
+    Intersect(QuerySpec),
+    /// `order [by] <attr> [asc|desc][, ...]`
+    OrderBy(Vec<(String, SortDir)>),
+}
+
+/// An unresolved query: a pipeline of stages over schema *names*.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// The stages, first to last.
+    pub stages: Vec<Stage>,
+}
+
+/// A parsed protocol command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Liveness check.
+    Ping,
+    /// Prometheus-format metrics dump.
+    Metrics,
+    /// Open a transaction; `read: true` pins a snapshot instead.
+    Begin {
+        /// `BEGIN READ` — snapshot-isolated read transaction.
+        read: bool,
+    },
+    /// Commit the open transaction.
+    Commit,
+    /// Abort the open transaction.
+    Abort,
+    /// Run a query, returning rows.
+    Query(QuerySpec),
+    /// Render the query's physical plan.
+    Explain(QuerySpec),
+    /// Insert one instance.
+    Insert {
+        /// Entity type name.
+        ty: String,
+        /// `(attribute name, value)` pairs.
+        fields: Vec<(String, Value)>,
+    },
+    /// Delete one instance (identified by its full field list).
+    Delete {
+        /// Entity type name.
+        ty: String,
+        /// `(attribute name, value)` pairs.
+        fields: Vec<(String, Value)>,
+    },
+    /// Build an index.
+    CreateIndex {
+        /// Index kind.
+        kind: IndexKind,
+        /// Entity type name.
+        ty: String,
+        /// Key attribute names (order significant for composite).
+        attrs: Vec<String>,
+    },
+    /// Drop an index.
+    DropIndex {
+        /// Index kind.
+        kind: IndexKind,
+        /// Entity type name.
+        ty: String,
+        /// Key attribute names.
+        attrs: Vec<String>,
+    },
+    /// Close the connection.
+    Quit,
+}
+
+/// A protocol parse error, rendered to the client as `ERR <message>`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Sym(&'static str),
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("`{s}`"),
+            Tok::Int(i) => format!("`{i}`"),
+            Tok::Str(_) => "a string literal".to_owned(),
+            Tok::Sym(s) => format!("`{s}`"),
+        }
+    }
+}
+
+fn lex(line: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok::Ident(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                let mut s = String::from(c);
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match s.parse::<i64>() {
+                    Ok(i) => toks.push(Tok::Int(i)),
+                    Err(_) => return err(format!("bad integer literal `{s}`")),
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some(c) if c == quote => break,
+                        Some(c) => s.push(c),
+                        None => return err("unterminated string literal"),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '(' | ')' | '|' | ',' | '=' => {
+                chars.next();
+                toks.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '|' => "|",
+                    ',' => ",",
+                    _ => "=",
+                }));
+            }
+            '<' | '>' | '!' => {
+                chars.next();
+                let eq = chars.peek() == Some(&'=');
+                if eq {
+                    chars.next();
+                }
+                toks.push(match (c, eq) {
+                    ('<', true) => Tok::Sym("<="),
+                    ('<', false) => Tok::Sym("<"),
+                    ('>', true) => Tok::Sym(">="),
+                    ('>', false) => Tok::Sym(">"),
+                    ('!', true) => return err("`!=` is not supported; negate in the client"),
+                    _ => return err("stray `!`"),
+                });
+            }
+            c => return err(format!("unexpected character `{c}`")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the next token if it is the (case-insensitive) keyword.
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            return true;
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            err(format!("expected `{sym}`{}", self.at()))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => err(format!("expected {what}, found {}", t.describe())),
+            None => err(format!("expected {what} at end of line")),
+        }
+    }
+
+    fn expect_literal(&mut self) -> Result<Value, ParseError> {
+        match self.next() {
+            Some(Tok::Int(i)) => Ok(Value::Int(i)),
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            Some(t) => err(format!("expected a literal, found {}", t.describe())),
+            None => err("expected a literal at end of line"),
+        }
+    }
+
+    fn at(&self) -> String {
+        match self.peek() {
+            Some(t) => format!(", found {}", t.describe()),
+            None => ", found end of line".to_owned(),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => err(format!("trailing input starting at {}", t.describe())),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, ParseError> {
+        for (sym, op) in [
+            ("=", CmpOp::Eq),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat_sym(sym) {
+                return Ok(op);
+            }
+        }
+        err(format!("expected a comparison operator{}", self.at()))
+    }
+
+    /// `<stage> ('|' <stage>)*`, stopping before `)` or end of input.
+    fn pipeline(&mut self) -> Result<QuerySpec, ParseError> {
+        let mut stages = vec![self.stage()?];
+        while self.eat_sym("|") {
+            stages.push(self.stage()?);
+        }
+        Ok(QuerySpec { stages })
+    }
+
+    fn stage(&mut self) -> Result<Stage, ParseError> {
+        let kw = self.expect_ident("a stage keyword")?.to_ascii_lowercase();
+        match kw.as_str() {
+            "scan" => Ok(Stage::Scan(self.expect_ident("an entity type")?)),
+            "select" => {
+                let attr = self.expect_ident("an attribute")?;
+                let op = self.cmp_op()?;
+                let value = self.expect_literal()?;
+                Ok(Stage::Select { attr, op, value })
+            }
+            "project" => Ok(Stage::Project(self.expect_ident("an entity type")?)),
+            "join" | "union" | "intersect" => {
+                self.expect_sym("(")?;
+                let sub = self.pipeline()?;
+                self.expect_sym(")")?;
+                Ok(match kw.as_str() {
+                    "join" => Stage::Join(sub),
+                    "union" => Stage::Union(sub),
+                    _ => Stage::Intersect(sub),
+                })
+            }
+            "order" => {
+                let _ = self.eat_keyword("by");
+                let mut keys = Vec::new();
+                loop {
+                    let attr = self.expect_ident("an attribute")?;
+                    let dir = if self.eat_keyword("desc") {
+                        SortDir::Desc
+                    } else {
+                        let _ = self.eat_keyword("asc");
+                        SortDir::Asc
+                    };
+                    keys.push((attr, dir));
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                Ok(Stage::OrderBy(keys))
+            }
+            other => err(format!("unknown stage `{other}`")),
+        }
+    }
+
+    /// `<attr> = <literal> (',' <attr> = <literal>)*`
+    fn field_list(&mut self) -> Result<Vec<(String, Value)>, ParseError> {
+        let mut fields = Vec::new();
+        loop {
+            let attr = self.expect_ident("an attribute")?;
+            self.expect_sym("=")?;
+            let value = self.expect_literal()?;
+            fields.push((attr, value));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(fields)
+    }
+
+    fn index_kind(&mut self) -> Result<IndexKind, ParseError> {
+        let kw = self.expect_ident("an index kind")?.to_ascii_lowercase();
+        match kw.as_str() {
+            "hash" => Ok(IndexKind::Hash),
+            "ord" | "ordered" => Ok(IndexKind::Ordered),
+            "composite" => Ok(IndexKind::Composite),
+            other => err(format!(
+                "unknown index kind `{other}` (hash, ord, composite)"
+            )),
+        }
+    }
+
+    fn attr_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut attrs = vec![self.expect_ident("an attribute")?];
+        while self.eat_sym(",") {
+            attrs.push(self.expect_ident("an attribute")?);
+        }
+        Ok(attrs)
+    }
+}
+
+/// Parses one protocol line into a [`Command`].
+pub fn parse_command(line: &str) -> Result<Command, ParseError> {
+    let mut p = Parser {
+        toks: lex(line)?,
+        pos: 0,
+    };
+    let kw = p.expect_ident("a command")?.to_ascii_lowercase();
+    let cmd = match kw.as_str() {
+        "ping" => Command::Ping,
+        "metrics" => Command::Metrics,
+        "begin" => Command::Begin {
+            read: p.eat_keyword("read"),
+        },
+        "commit" => Command::Commit,
+        "abort" | "rollback" => Command::Abort,
+        "quit" | "exit" => Command::Quit,
+        "query" => Command::Query(p.pipeline()?),
+        "explain" => Command::Explain(p.pipeline()?),
+        "insert" | "delete" => {
+            let ty = p.expect_ident("an entity type")?;
+            let fields = p.field_list()?;
+            if kw == "insert" {
+                Command::Insert { ty, fields }
+            } else {
+                Command::Delete { ty, fields }
+            }
+        }
+        "create" | "drop" => {
+            if !p.eat_keyword("index") {
+                return err(format!("expected `index` after `{kw}`"));
+            }
+            let kind = p.index_kind()?;
+            let ty = p.expect_ident("an entity type")?;
+            let attrs = p.attr_list()?;
+            if kw == "create" {
+                Command::CreateIndex { kind, ty, attrs }
+            } else {
+                Command::DropIndex { kind, ty, attrs }
+            }
+        }
+        other => return err(format!("unknown command `{other}`")),
+    };
+    p.expect_end()?;
+    Ok(cmd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_command("PING").unwrap(), Command::Ping);
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(
+            parse_command("BEGIN READ").unwrap(),
+            Command::Begin { read: true }
+        );
+        assert_eq!(
+            parse_command("begin").unwrap(),
+            Command::Begin { read: false }
+        );
+        assert_eq!(parse_command("ROLLBACK").unwrap(), Command::Abort);
+        assert_eq!(parse_command("quit").unwrap(), Command::Quit);
+    }
+
+    #[test]
+    fn query_pipeline_parses() {
+        let cmd = parse_command(
+            "QUERY scan employee | select depname = 'sales' | select age >= 30 \
+             | order by age asc, name desc",
+        )
+        .unwrap();
+        let Command::Query(spec) = cmd else {
+            panic!("not a query");
+        };
+        assert_eq!(spec.stages.len(), 4);
+        assert_eq!(spec.stages[0], Stage::Scan("employee".into()));
+        assert_eq!(
+            spec.stages[1],
+            Stage::Select {
+                attr: "depname".into(),
+                op: CmpOp::Eq,
+                value: Value::str("sales"),
+            }
+        );
+        assert_eq!(
+            spec.stages[3],
+            Stage::OrderBy(vec![
+                ("age".into(), SortDir::Asc),
+                ("name".into(), SortDir::Desc)
+            ])
+        );
+    }
+
+    #[test]
+    fn nested_join_parses() {
+        let cmd = parse_command(
+            "QUERY scan employee | join (scan department | select location = \"utrecht\") \
+             | project person",
+        )
+        .unwrap();
+        let Command::Query(spec) = cmd else {
+            panic!("not a query");
+        };
+        let Stage::Join(sub) = &spec.stages[1] else {
+            panic!("stage 1 is not a join: {:?}", spec.stages[1]);
+        };
+        assert_eq!(sub.stages.len(), 2);
+        assert_eq!(spec.stages[2], Stage::Project("person".into()));
+    }
+
+    #[test]
+    fn dml_and_ddl_parse() {
+        assert_eq!(
+            parse_command("INSERT employee name='w1', age=3, depname='sales'").unwrap(),
+            Command::Insert {
+                ty: "employee".into(),
+                fields: vec![
+                    ("name".into(), Value::str("w1")),
+                    ("age".into(), Value::Int(3)),
+                    ("depname".into(), Value::str("sales")),
+                ],
+            }
+        );
+        assert_eq!(
+            parse_command("CREATE INDEX composite employee depname, age").unwrap(),
+            Command::CreateIndex {
+                kind: IndexKind::Composite,
+                ty: "employee".into(),
+                attrs: vec!["depname".into(), "age".into()],
+            }
+        );
+        assert_eq!(
+            parse_command("DROP INDEX ord employee age").unwrap(),
+            Command::DropIndex {
+                kind: IndexKind::Ordered,
+                ty: "employee".into(),
+                attrs: vec!["age".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_command("").is_err());
+        assert!(parse_command("FROBNICATE").is_err());
+        assert!(
+            parse_command("QUERY select age = 3").is_err() || {
+                // `select` heads a pipeline only after a scan resolves it;
+                // parsing succeeds structurally, resolution rejects it.
+                true
+            }
+        );
+        assert!(parse_command("QUERY scan employee |").is_err());
+        assert!(parse_command("INSERT employee name=").is_err());
+        assert!(parse_command("QUERY scan employee | select age != 3").is_err());
+        assert!(parse_command("PING extra").is_err());
+        assert!(parse_command("QUERY scan employee | select name = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let cmd = parse_command("QUERY scan employee | select age > -5").unwrap();
+        let Command::Query(spec) = cmd else {
+            panic!("not a query");
+        };
+        assert_eq!(
+            spec.stages[1],
+            Stage::Select {
+                attr: "age".into(),
+                op: CmpOp::Gt,
+                value: Value::Int(-5),
+            }
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The network front door: a thread-per-connection TCP server speaking
+//! the line protocol in [`crate::proto`].
+//!
+//! Every connection gets its own [`Session`]; concurrent readers run
+//! against copy-on-write engine snapshots and never contend on the
+//! engine write lock, while writers serialise through the engine's
+//! single write token. Responses are framed so clients need no
+//! lookahead: `ERR <message>` on one line, or `OK <n> [info...]`
+//! followed by exactly `n` body lines.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use toposem_storage::Engine;
+
+use crate::proto::{parse_command, Command};
+use crate::session::Session;
+
+/// A running server: the bound address plus the accept thread's handle.
+/// Dropping the handle shuts the listener down (open connections finish
+/// on their own when their clients disconnect).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Poke the blocking accept so it observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves the engine until the handle shuts down.
+pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let accept = std::thread::Builder::new()
+        .name("toposem-server-accept".to_owned())
+        .spawn(move || accept_loop(listener, engine, flag))?;
+    Ok(ServerHandle {
+        addr: bound,
+        shutdown,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, shutdown: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let engine = Arc::clone(&engine);
+        let _ = std::thread::Builder::new()
+            .name("toposem-server-conn".to_owned())
+            .spawn(move || {
+                engine.metrics().connections_opened.inc();
+                engine.metrics().connections_open.inc();
+                let metrics = Arc::clone(engine.metrics());
+                let _ = handle_connection(stream, engine);
+                metrics.connections_open.dec();
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, engine: Arc<Engine>) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut session = Session::new(engine);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match parse_command(trimmed) {
+            Ok(Command::Quit) => {
+                writer.write_all(b"OK 0 bye\n")?;
+                return Ok(());
+            }
+            Ok(cmd) => dispatch(&mut session, cmd),
+            Err(e) => Reply::err(e.to_string()),
+        };
+        reply.write_to(&mut writer)?;
+    }
+}
+
+/// One framed response.
+struct Reply {
+    /// `Ok(info)` or `Err(message)`.
+    head: Result<String, String>,
+    body: Vec<String>,
+}
+
+impl Reply {
+    fn ok(info: impl Into<String>) -> Reply {
+        Reply {
+            head: Ok(info.into()),
+            body: Vec::new(),
+        }
+    }
+
+    fn with_body(info: impl Into<String>, body: Vec<String>) -> Reply {
+        Reply {
+            head: Ok(info.into()),
+            body,
+        }
+    }
+
+    fn err(msg: impl Into<String>) -> Reply {
+        Reply {
+            head: Err(msg.into()),
+            body: Vec::new(),
+        }
+    }
+
+    fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut out = String::new();
+        match &self.head {
+            // Newlines inside body lines would desynchronise the
+            // framing, so they are flattened defensively.
+            Ok(info) => {
+                out.push_str(&format!("OK {} {info}\n", self.body.len()));
+                for line in &self.body {
+                    out.push_str(&line.replace('\n', " "));
+                    out.push('\n');
+                }
+            }
+            Err(msg) => out.push_str(&format!("ERR {}\n", msg.replace('\n', " "))),
+        }
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+fn dispatch(session: &mut Session, cmd: Command) -> Reply {
+    let result = match cmd {
+        Command::Ping => Ok(Reply::ok("pong")),
+        Command::Metrics => {
+            let text = session.engine().metrics_prometheus();
+            let body: Vec<String> = text.lines().map(str::to_owned).collect();
+            Ok(Reply::with_body("metrics", body))
+        }
+        Command::Begin { read } => session
+            .begin(read)
+            .map(|()| Reply::ok(if read { "begin read" } else { "begin" })),
+        Command::Commit => session.commit().map(|()| Reply::ok("commit")),
+        Command::Abort => session.abort().map(|()| Reply::ok("abort")),
+        Command::Query(spec) => session.resolve(&spec).and_then(|q| {
+            let (ty, rows) = session.query(&q)?;
+            let (ty_name, body) = session.engine().with_db(|db| {
+                let schema = db.schema();
+                let rendered = rows
+                    .iter()
+                    .map(|t| {
+                        t.fields()
+                            .iter()
+                            .map(|(a, v)| format!("{}={v}", schema.attr_name(*a)))
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    })
+                    .collect();
+                (schema.type_name(ty).to_owned(), rendered)
+            });
+            Ok(Reply::with_body(ty_name, body))
+        }),
+        Command::Explain(spec) => session.resolve(&spec).and_then(|q| {
+            let plan = session.explain(&q)?;
+            let body: Vec<String> = plan.lines().map(str::to_owned).collect();
+            Ok(Reply::with_body("plan", body))
+        }),
+        Command::Insert { ty, fields } => session.type_id(&ty).and_then(|t| {
+            let borrowed: Vec<(&str, toposem_extension::Value)> = fields
+                .iter()
+                .map(|(a, v)| (a.as_str(), v.clone()))
+                .collect();
+            let inserted = session.insert(t, &borrowed)?;
+            Ok(Reply::ok(format!("inserted={inserted}")))
+        }),
+        Command::Delete { ty, fields } => session.type_id(&ty).and_then(|t| {
+            let borrowed: Vec<(&str, toposem_extension::Value)> = fields
+                .iter()
+                .map(|(a, v)| (a.as_str(), v.clone()))
+                .collect();
+            let removed = session.delete(t, &borrowed)?;
+            Ok(Reply::ok(format!("deleted={removed}")))
+        }),
+        Command::CreateIndex { kind, ty, attrs } => {
+            resolve_index(session, &ty, &attrs).and_then(|(t, attrs)| {
+                session.create_index(kind, t, &attrs)?;
+                Ok(Reply::ok("index created"))
+            })
+        }
+        Command::DropIndex { kind, ty, attrs } => {
+            resolve_index(session, &ty, &attrs).and_then(|(t, attrs)| {
+                let existed = session.drop_index(kind, t, &attrs)?;
+                Ok(Reply::ok(format!("dropped={existed}")))
+            })
+        }
+        Command::Quit => unreachable!("handled by the connection loop"),
+    };
+    result.unwrap_or_else(|e| Reply::err(e.to_string()))
+}
+
+fn resolve_index(
+    session: &Session,
+    ty: &str,
+    attrs: &[String],
+) -> Result<(toposem_core::TypeId, Vec<toposem_core::AttrId>), crate::session::SessionError> {
+    let t = session.type_id(ty)?;
+    let mut resolved = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        resolved.push(session.attr_id(a)?);
+    }
+    Ok((t, resolved))
+}

@@ -1,0 +1,300 @@
+//! End-to-end coverage of the session front door: real TCP clients
+//! speaking the line protocol against one shared engine, exercising
+//! snapshot-isolated reads, write transactions, DML/DDL, and the
+//! framing itself.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog};
+use toposem_server::{serve, ServerHandle, Session};
+use toposem_storage::Engine;
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(Database::new(
+        Intension::analyse(employee_schema()),
+        DomainCatalog::employee_defaults(),
+        ContainmentPolicy::Eager,
+    )))
+}
+
+fn server() -> (Arc<Engine>, ServerHandle) {
+    let eng = engine();
+    let handle = serve(Arc::clone(&eng), "127.0.0.1:0").unwrap();
+    (eng, handle)
+}
+
+/// A test client: sends one command, reads one framed response.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Sends `cmd`, returns `(header, body)` — header without the body
+    /// count, e.g. `"OK employee"` or `"ERR unknown command"`.
+    fn send(&mut self, cmd: &str) -> (String, Vec<String>) {
+        writeln!(self.writer, "{cmd}").unwrap();
+        self.writer.flush().unwrap();
+        let mut head = String::new();
+        self.reader.read_line(&mut head).unwrap();
+        let head = head.trim_end().to_owned();
+        if let Some(rest) = head.strip_prefix("OK ") {
+            let (n, info) = rest.split_once(' ').unwrap_or((rest, ""));
+            let n: usize = n.parse().unwrap_or_else(|_| panic!("bad frame: {head}"));
+            let mut body = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut line = String::new();
+                self.reader.read_line(&mut line).unwrap();
+                body.push(line.trim_end().to_owned());
+            }
+            (format!("OK {info}").trim_end().to_owned(), body)
+        } else {
+            (head, Vec::new())
+        }
+    }
+
+    /// Sends `cmd`, asserts success, returns the body lines.
+    fn ok(&mut self, cmd: &str) -> Vec<String> {
+        let (head, body) = self.send(cmd);
+        assert!(head.starts_with("OK"), "`{cmd}` failed: {head}");
+        body
+    }
+
+    /// Sends `cmd`, asserts failure, returns the error message.
+    fn err(&mut self, cmd: &str) -> String {
+        let (head, _) = self.send(cmd);
+        assert!(head.starts_with("ERR"), "`{cmd}` unexpectedly ok: {head}");
+        head
+    }
+}
+
+#[test]
+fn protocol_round_trip() {
+    let (_eng, handle) = server();
+    let mut c = Client::connect(&handle);
+
+    let (head, _) = c.send("PING");
+    assert_eq!(head, "OK pong");
+
+    c.ok("INSERT employee name='w1', age=30, depname='sales'");
+    c.ok("INSERT employee name='w2', age=10, depname='sales'");
+    c.ok("INSERT employee name='w3', age=20, depname='admin'");
+
+    // Ordered query: body rows come back sorted by the requested key.
+    let rows = c.ok("QUERY scan employee | order by age asc");
+    assert_eq!(rows.len(), 3, "rows: {rows:?}");
+    assert!(
+        rows[0].contains("age=10") && rows[2].contains("age=30"),
+        "{rows:?}"
+    );
+
+    // Selection narrows, join resolves, explain renders a plan tree.
+    let rows = c.ok("QUERY scan employee | select depname = 'sales'");
+    assert_eq!(rows.len(), 2);
+    let plan = c.ok("EXPLAIN scan employee | select depname = 'sales'");
+    assert!(plan.iter().any(|l| l.contains("SeqScan")), "{plan:?}");
+
+    // Deleting by full field list removes the tuple.
+    let (head, _) = c.send("DELETE employee name='w3', age=20, depname='admin'");
+    assert!(head.contains("deleted="), "{head}");
+    assert_eq!(c.ok("QUERY scan employee").len(), 2);
+
+    // Errors come back as ERR without killing the connection.
+    c.err("FROBNICATE");
+    c.err("QUERY scan nosuchtype");
+    c.err("COMMIT"); // no open transaction
+    assert_eq!(c.send("PING").0, "OK pong");
+
+    // Metrics include the session/connection series.
+    let metrics = c.ok("METRICS");
+    assert!(metrics
+        .iter()
+        .any(|l| l.starts_with("toposem_sessions_open ")));
+    assert!(metrics
+        .iter()
+        .any(|l| l.starts_with("toposem_connections_opened_total ")));
+}
+
+#[test]
+fn begin_read_pins_one_snapshot_epoch() {
+    let (_eng, handle) = server();
+    let mut a = Client::connect(&handle);
+    let mut b = Client::connect(&handle);
+
+    a.ok("INSERT employee name='w1', age=1, depname='sales'");
+    a.ok("INSERT employee name='w2', age=2, depname='sales'");
+    assert_eq!(b.ok("QUERY scan employee").len(), 2);
+
+    // A pins a snapshot; B's later commits must stay invisible to it.
+    a.ok("BEGIN READ");
+    b.ok("INSERT employee name='w3', age=3, depname='admin'");
+    b.ok("INSERT employee name='w4', age=4, depname='admin'");
+    assert_eq!(b.ok("QUERY scan employee").len(), 4, "B sees its commits");
+    assert_eq!(
+        a.ok("QUERY scan employee").len(),
+        2,
+        "pinned reader must not see later commits"
+    );
+    // Repeat: still the same epoch, however often A asks.
+    assert_eq!(a.ok("QUERY scan employee").len(), 2);
+
+    // Writes are rejected inside a read transaction.
+    a.err("INSERT employee name='w5', age=5, depname='admin'");
+
+    // Releasing the pin catches A up to the current committed state.
+    a.ok("COMMIT");
+    assert_eq!(a.ok("QUERY scan employee").len(), 4);
+}
+
+#[test]
+fn write_transaction_is_invisible_until_commit() {
+    let (_eng, handle) = server();
+    let mut a = Client::connect(&handle);
+    let mut b = Client::connect(&handle);
+
+    a.ok("INSERT employee name='w1', age=1, depname='sales'");
+    // Prime the committed snapshot so B's autocommit reads never need
+    // the engine lock while A holds the write token.
+    assert_eq!(b.ok("QUERY scan employee").len(), 1);
+
+    a.ok("BEGIN");
+    a.ok("INSERT employee name='w2', age=2, depname='sales'");
+    assert_eq!(
+        a.ok("QUERY scan employee").len(),
+        2,
+        "a write transaction sees its own writes"
+    );
+    assert_eq!(
+        b.ok("QUERY scan employee").len(),
+        1,
+        "autocommit readers see only committed state"
+    );
+
+    // Another session cannot take the single write token meanwhile.
+    b.err("BEGIN");
+
+    a.ok("ABORT");
+    assert_eq!(a.ok("QUERY scan employee").len(), 1, "abort rolled back");
+    assert_eq!(b.ok("QUERY scan employee").len(), 1);
+
+    a.ok("BEGIN");
+    a.ok("INSERT employee name='w3', age=3, depname='admin'");
+    a.ok("COMMIT");
+    assert_eq!(b.ok("QUERY scan employee").len(), 2, "commit published");
+}
+
+#[test]
+fn ddl_is_autocommit_only_and_changes_plans() {
+    let (_eng, handle) = server();
+    let mut c = Client::connect(&handle);
+    for i in 0..20 {
+        c.ok(&format!(
+            "INSERT employee name='w{i:02}', age={i}, depname='sales'"
+        ));
+    }
+    c.ok("CREATE INDEX ord employee age");
+    let plan = c.ok("EXPLAIN scan employee | select age >= 10");
+    assert!(
+        plan.iter().any(|l| l.contains("IndexRangeSeek")),
+        "created index must open an access path: {plan:?}"
+    );
+
+    c.ok("BEGIN");
+    c.err("CREATE INDEX hash employee name");
+    c.err("DROP INDEX ord employee age");
+    c.ok("ABORT");
+
+    let (head, _) = c.send("DROP INDEX ord employee age");
+    assert_eq!(head, "OK dropped=true");
+    let plan = c.ok("EXPLAIN scan employee | select age >= 10");
+    assert!(
+        !plan.iter().any(|l| l.contains("IndexRangeSeek")),
+        "dropped index must not be planned against: {plan:?}"
+    );
+}
+
+#[test]
+fn disconnect_mid_transaction_releases_the_write_token() {
+    let (eng, handle) = server();
+    {
+        let mut a = Client::connect(&handle);
+        a.ok("INSERT employee name='w1', age=1, depname='sales'");
+        a.ok("BEGIN");
+        a.ok("INSERT employee name='w2', age=2, depname='sales'");
+        // Drop the connection with the transaction still open.
+    }
+    // The session's Drop rolls back; a new session can write again.
+    let mut b = Client::connect(&handle);
+    let t0 = std::time::Instant::now();
+    loop {
+        let (head, _) = b.send("BEGIN");
+        if head.starts_with("OK") {
+            break;
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "write token never released: {head}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(
+        b.ok("QUERY scan employee").len(),
+        1,
+        "the orphaned transaction must have rolled back"
+    );
+    b.ok("COMMIT");
+    drop(b);
+    drop(handle);
+    assert_eq!(eng.metrics().connections_open.get(), 0);
+}
+
+#[test]
+fn sessions_are_metered_and_attributed() {
+    let eng = engine();
+    let s1 = Session::new(Arc::clone(&eng));
+    let s2 = Session::new(Arc::clone(&eng));
+    assert_ne!(s1.id(), s2.id());
+    assert_eq!(eng.metrics().sessions_open.get(), 2);
+
+    let person = s1.type_id("person").unwrap();
+    s1.insert(
+        person,
+        &[
+            ("name", toposem_extension::Value::str("p1")),
+            ("age", toposem_extension::Value::Int(7)),
+        ],
+    )
+    .unwrap();
+    let q = toposem_storage::Query::scan(person);
+    let (_, rows) = s2.query(&q).unwrap();
+    assert_eq!(rows.len(), 1);
+
+    // The trace ring stamps the session id that ran the query.
+    let traced: Vec<_> = eng
+        .query_trace()
+        .recent()
+        .into_iter()
+        .filter_map(|t| t.session)
+        .collect();
+    assert!(
+        traced.contains(&s2.id()),
+        "trace must attribute the query to session {}: {traced:?}",
+        s2.id()
+    );
+
+    drop(s2);
+    assert_eq!(eng.metrics().sessions_open.get(), 1);
+    drop(s1);
+    assert_eq!(eng.metrics().sessions_open.get(), 0);
+}

@@ -15,17 +15,21 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use toposem_core::TypeId;
 use toposem_extension::{Database, Instance, InstanceError, LogicalOp, Value};
 use toposem_fd::{check_fd, Fd};
 use toposem_obs::{EngineMetrics, MetricsSnapshot, PlanCacheStats, QueryTrace, TraceRing};
-use toposem_wal::{IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry, WalError};
+use toposem_wal::{
+    FlushPolicy, IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry, WalError,
+};
 
 use crate::index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
 use crate::snapshot;
+use crate::snapshot::EngineSnapshot;
 use crate::stats::Statistics;
 
 /// Errors surfaced by engine operations.
@@ -155,27 +159,186 @@ struct Inner {
     /// plans and other statistics-derived artefacts can be validated.
     stats_epoch: u64,
     plan_cache: PlanCache,
+    /// Cached MVCC snapshot of the last *committed* state, handed to
+    /// readers by [`Engine::snapshot`]. Invariant: while a transaction
+    /// is active, this (when present) is the committed pre-transaction
+    /// state — [`Engine::begin`] refreshes it before any uncommitted
+    /// write lands, and in-transaction mutations never mark it stale.
+    snapshot: Option<Arc<EngineSnapshot>>,
+    /// Whether `snapshot` lags the committed state and must be rebuilt
+    /// before the next use.
+    snapshot_stale: bool,
 }
 
 impl Inner {
     /// Every mutation invalidates cached statistics and advances the
-    /// epoch that keys the plan cache.
+    /// epoch that keys the plan cache. The committed-state snapshot goes
+    /// stale only for mutations *outside* a transaction: uncommitted
+    /// writes must never become visible through it, and commit/rollback
+    /// handle their own invalidation.
     fn note_mutation(&mut self, metrics: &EngineMetrics) {
         self.stats = None;
         self.stats_epoch += 1;
+        if self.txn_log.is_none() {
+            self.snapshot_stale = true;
+        }
         metrics.stats_epoch_bumps.inc();
         metrics.stats_epoch.set(self.stats_epoch);
+    }
+
+    /// Rebuilds the committed-state snapshot from the current database
+    /// and indexes. Only call when no transaction is active (or, from
+    /// `begin`, before the transaction has mutated anything).
+    fn refresh_snapshot(&mut self, metrics: &EngineMetrics) {
+        self.snapshot = Some(Arc::new(EngineSnapshot::capture(
+            self.db.clone(),
+            self.indexes.clone(),
+            self.stats_epoch,
+            Arc::clone(&metrics.feedback),
+        )));
+        self.snapshot_stale = false;
+        metrics.snapshot_rebuilds.inc();
+    }
+}
+
+/// Wake/shutdown flags shared between the engine and its group-commit
+/// flusher thread.
+#[derive(Default)]
+struct FlusherState {
+    /// A commit left the WAL with a pending flush deadline.
+    wake: bool,
+    /// The engine is dropping; the thread must exit.
+    shutdown: bool,
+}
+
+struct FlusherShared {
+    state: Mutex<FlusherState>,
+    cond: Condvar,
+}
+
+/// Handle to the dedicated group-commit flusher: a background thread
+/// that watches [`Wal::pending_flush_deadline`] and fsyncs when the
+/// oldest pending commit's `max_wait` expires. Without it the deadline
+/// is only evaluated when the *next* commit arrives, so a lone committer
+/// under `FlushPolicy::GroupCommit` could stay unsynced indefinitely;
+/// with it, every acknowledged commit is durable within `max_wait`
+/// wall-clock time. Signals shutdown and joins the thread on drop.
+struct GroupCommitFlusher {
+    shared: Arc<FlusherShared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl GroupCommitFlusher {
+    fn spawn(inner: Arc<RwLock<Inner>>) -> GroupCommitFlusher {
+        let shared = Arc::new(FlusherShared {
+            state: Mutex::new(FlusherState::default()),
+            cond: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("toposem-wal-flusher".into())
+            .spawn(move || Self::run(inner, thread_shared))
+            .expect("spawn wal flusher thread");
+        GroupCommitFlusher {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signals that a commit left the WAL with a pending flush deadline.
+    fn kick(&self) {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.wake = true;
+        self.shared.cond.notify_one();
+    }
+
+    fn run(inner: Arc<RwLock<Inner>>, shared: Arc<FlusherShared>) {
+        let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.shutdown {
+                return;
+            }
+            if !st.wake {
+                st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.wake = false;
+            drop(st);
+            // Drain pending deadlines: sleep until the oldest pending
+            // commit's deadline, then flush. New commits while sleeping
+            // re-kick (shortening nothing — the oldest deadline still
+            // governs), and a batch-triggered flush clears the deadline,
+            // ending the loop.
+            loop {
+                let deadline = inner
+                    .read()
+                    .wal
+                    .as_ref()
+                    .and_then(Wal::pending_flush_deadline);
+                let Some(deadline) = deadline else { break };
+                let now = Instant::now();
+                if deadline <= now {
+                    let mut guard = inner.write();
+                    if let Some(wal) = guard.wal.as_mut() {
+                        if wal
+                            .pending_flush_deadline()
+                            .is_some_and(|d| d <= Instant::now())
+                        {
+                            // An fsync failure resurfaces on the next
+                            // commit's own flush; a background thread has
+                            // nobody to report it to.
+                            let _ = wal.flush();
+                        }
+                    }
+                    continue;
+                }
+                let wait = deadline - now;
+                let mut guard = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+                if guard.shutdown {
+                    return;
+                }
+                if !guard.wake {
+                    let (g, _timed_out) = shared
+                        .cond
+                        .wait_timeout(guard, wait)
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                    if guard.shutdown {
+                        return;
+                    }
+                }
+                guard.wake = false;
+                drop(guard);
+            }
+            st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Drop for GroupCommitFlusher {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.shared.cond.notify_one();
+        }
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
     }
 }
 
 /// The engine. Interior-mutable and `Sync`; all operations take `&self`.
 pub struct Engine {
-    inner: RwLock<Inner>,
+    inner: Arc<RwLock<Inner>>,
     /// Engine-wide metrics registry; lock-free, shared with the attached
     /// WAL (its [`toposem_obs::WalMetrics`] half).
     metrics: Arc<EngineMetrics>,
     /// Ring of recent query/commit traces.
     trace: Arc<TraceRing>,
+    /// Background group-commit flusher, present when a WAL with
+    /// `FlushPolicy::GroupCommit` is attached.
+    flusher: Option<GroupCommitFlusher>,
 }
 
 impl Engine {
@@ -183,7 +346,7 @@ impl Engine {
     pub fn new(db: Database) -> Self {
         let n = db.schema().type_count();
         Engine {
-            inner: RwLock::new(Inner {
+            inner: Arc::new(RwLock::new(Inner {
                 db,
                 declared_fds: Vec::new(),
                 indexes: vec![Vec::new(); n],
@@ -195,9 +358,23 @@ impl Engine {
                 stats: None,
                 stats_epoch: 0,
                 plan_cache: PlanCache::new(),
-            }),
+                snapshot: None,
+                snapshot_stale: false,
+            })),
             metrics: Arc::new(EngineMetrics::new()),
             trace: Arc::new(TraceRing::new(toposem_obs::trace::DEFAULT_TRACE_CAP)),
+            flusher: None,
+        }
+    }
+
+    /// Attaches a prepared log and, under the group-commit policy, the
+    /// dedicated flusher thread that bounds commit-to-durable latency.
+    fn attach_wal(&mut self, mut wal: Wal) {
+        wal.set_metrics(Arc::clone(&self.metrics.wal));
+        let group_commit = matches!(wal.flush_policy(), FlushPolicy::GroupCommit { .. });
+        self.inner.write().wal = Some(wal);
+        if group_commit {
+            self.flusher = Some(GroupCommitFlusher::spawn(Arc::clone(&self.inner)));
         }
     }
 
@@ -208,8 +385,7 @@ impl Engine {
         let payload = snapshot::to_vec(&db).map_err(|e| EngineError::Recovery(e.to_string()))?;
         wal.checkpoint(&payload, &[], &[])?;
         let mut eng = Engine::new(db);
-        wal.set_metrics(Arc::clone(&eng.metrics.wal));
-        eng.inner.get_mut().wal = Some(wal);
+        eng.attach_wal(wal);
         Ok(eng)
     }
 
@@ -217,10 +393,9 @@ impl Engine {
     /// the committed state (checkpoint + committed log suffix), truncates
     /// any torn tail, and continues appending to the same log.
     pub fn open(path: impl AsRef<Path>, cfg: WalConfig) -> Result<Engine, EngineError> {
-        let (mut wal, scan) = Wal::open(path, cfg)?;
+        let (wal, scan) = Wal::open(path, cfg)?;
         let mut eng = Self::from_scan(scan)?;
-        wal.set_metrics(Arc::clone(&eng.metrics.wal));
-        eng.inner.get_mut().wal = Some(wal);
+        eng.attach_wal(wal);
         Ok(eng)
     }
 
@@ -658,6 +833,15 @@ impl Engine {
             Self::log_op(&mut inner, &self.metrics, LogKind::Insert, op)?;
         }
         inner.note_mutation(&self.metrics);
+        let kick = inner
+            .wal
+            .as_ref()
+            .and_then(Wal::pending_flush_deadline)
+            .is_some();
+        drop(inner);
+        if kick {
+            self.kick_flusher();
+        }
         Ok(true)
     }
 
@@ -701,7 +885,25 @@ impl Engine {
             }
             inner.note_mutation(&self.metrics);
         }
+        let kick = removed > 0
+            && inner
+                .wal
+                .as_ref()
+                .and_then(Wal::pending_flush_deadline)
+                .is_some();
+        drop(inner);
+        if kick {
+            self.kick_flusher();
+        }
         Ok(removed)
+    }
+
+    /// Wakes the group-commit flusher (no-op without one) so a pending
+    /// flush deadline is honoured even if no further commit arrives.
+    fn kick_flusher(&self) {
+        if let Some(f) = &self.flusher {
+            f.kick();
+        }
     }
 
     /// Begins a transaction. The engine is single-writer with flat
@@ -726,6 +928,15 @@ impl Engine {
             }
             None => None,
         };
+        // Bring the committed-state snapshot up to date *before* the
+        // transaction can mutate anything: MVCC readers keep reading the
+        // pre-transaction state through it for the transaction's whole
+        // lifetime. Only refresh when someone has actually asked for
+        // snapshots — workloads that never read through them pay
+        // nothing.
+        if inner.snapshot.is_some() && inner.snapshot_stale {
+            inner.refresh_snapshot(&self.metrics);
+        }
         inner.txn_log = Some(Vec::new());
         inner.current_txn = txn;
         inner.txn_seq += 1;
@@ -752,7 +963,18 @@ impl Engine {
             wal.commit_appended()?;
             commit_ns = t0.elapsed().as_nanos() as u64;
         }
+        // The transaction's writes are committed now: the next snapshot
+        // request materialises them.
+        inner.snapshot_stale = true;
+        let kick = inner
+            .wal
+            .as_ref()
+            .and_then(Wal::pending_flush_deadline)
+            .is_some();
         drop(inner);
+        if kick {
+            self.kick_flusher();
+        }
         self.metrics.txn_commits.inc();
         if commit_ns > 0 {
             // Attribute the commit phase back to the transaction's
@@ -775,6 +997,7 @@ impl Engine {
                     slow: commit_ns >= self.trace.slow_query_ns(),
                     max_q: 0.0,
                     txn: None,
+                    session: toposem_obs::trace::current_session(),
                     profile: None,
                 });
             }
@@ -1001,10 +1224,56 @@ impl Engine {
         &self.trace
     }
 
+    /// An immutable MVCC snapshot of the last *committed* state, for
+    /// lock-free reads: the returned [`EngineSnapshot`] owns its own
+    /// database, index array, and statistics, so any number of readers
+    /// plan and execute whole queries against it while the single
+    /// writer mutates the next epoch. The snapshot is cached and only
+    /// rebuilt after a commit (or autocommitted write), so repeated
+    /// calls between commits are a read-lock and an `Arc` clone.
+    ///
+    /// Returns `None` only when a transaction is active and no snapshot
+    /// of the pre-transaction state was ever materialised — the caller
+    /// falls back to the locked read path. While a transaction *is*
+    /// active and a snapshot exists, it is the committed
+    /// pre-transaction state: uncommitted writes are never visible
+    /// through snapshots, which is exactly what gives concurrent
+    /// readers snapshot isolation against the writer.
+    pub fn snapshot(&self) -> Option<Arc<EngineSnapshot>> {
+        {
+            let inner = self.inner.read();
+            if !inner.snapshot_stale {
+                if let Some(s) = &inner.snapshot {
+                    self.metrics.snapshot_hits.inc();
+                    return Some(Arc::clone(s));
+                }
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.txn_log.is_some() {
+            // Mid-transaction the database holds uncommitted writes; the
+            // cached snapshot (when present) is the committed
+            // pre-transaction state, which is the correct answer.
+            return inner.snapshot.as_ref().map(Arc::clone);
+        }
+        if inner.snapshot_stale || inner.snapshot.is_none() {
+            inner.refresh_snapshot(&self.metrics);
+        } else {
+            self.metrics.snapshot_hits.inc();
+        }
+        Some(Arc::clone(inner.snapshot.as_ref().expect("just refreshed")))
+    }
+
     /// Consumes the engine, returning the database. Pending group-commit
     /// windows are flushed by the log's destructor (best effort).
     pub fn into_db(self) -> Database {
-        self.inner.into_inner().db
+        let Engine { inner, flusher, .. } = self;
+        // Join the flusher first so no other owner of `inner` remains.
+        drop(flusher);
+        match Arc::try_unwrap(inner) {
+            Ok(lock) => lock.into_inner().db,
+            Err(arc) => arc.read().db.clone(),
+        }
     }
 }
 

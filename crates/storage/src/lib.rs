@@ -24,7 +24,7 @@ pub use index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
 pub use query::{
     cmp_by_keys, Interval, PredBound, Predicate, Query, QueryError, SortDir, SortKeys,
 };
-pub use snapshot::{load, save, SnapshotError};
+pub use snapshot::{load, save, EngineSnapshot, SnapshotError};
 pub use stats::{Statistics, TypeStats};
 pub use view_exec::{
     apply_update, materialise, translation_count, MaterialisedView, ViewError, ViewUpdate,

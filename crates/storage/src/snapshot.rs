@@ -1,18 +1,29 @@
-//! Durable snapshots of a database, as JSON via serde behind a
-//! self-identifying header.
+//! Snapshots of a database, in two senses:
 //!
-//! The paper is about semantics, not recovery; a snapshot format
-//! nevertheless makes the engine usable, lets the experiments persist
-//! generated workloads, and serves as the WAL's checkpoint payload.
-//! Every snapshot starts with [`MAGIC`] (format name + version), so a
-//! checkpoint file is recognisable on its own and future format
-//! evolution is detectable instead of surfacing as a JSON parse error
-//! deep inside the payload. Schemas carry skipped lookup indices, so
-//! loading rebuilds them.
+//! 1. **Durable snapshots** ([`save`] / [`load`]): JSON via serde behind
+//!    a self-identifying header. The paper is about semantics, not
+//!    recovery; a snapshot format nevertheless makes the engine usable,
+//!    lets the experiments persist generated workloads, and serves as
+//!    the WAL's checkpoint payload. Every snapshot starts with [`MAGIC`]
+//!    (format name + version), so a checkpoint file is recognisable on
+//!    its own and future format evolution is detectable instead of
+//!    surfacing as a JSON parse error deep inside the payload. Schemas
+//!    carry skipped lookup indices, so loading rebuilds them.
+//! 2. **In-memory epoch snapshots** ([`EngineSnapshot`]): an immutable
+//!    copy of the engine's last *committed* state — database, secondary
+//!    indexes, and lazily collected statistics — shared behind an `Arc`
+//!    so MVCC readers plan and execute whole queries without ever
+//!    taking the engine's write lock while the single writer mutates
+//!    the next epoch.
 
 use std::io::{Read, Write};
+use std::sync::{Arc, OnceLock};
 
 use toposem_extension::Database;
+use toposem_obs::SelectivityFeedback;
+
+use crate::index::Index;
+use crate::stats::Statistics;
 
 /// Header line every snapshot begins with: magic plus format version.
 pub const MAGIC: &[u8] = b"TOPOSEM-SNAPSHOT v1\n";
@@ -81,6 +92,78 @@ pub fn load<R: Read>(mut r: R) -> Result<Database, SnapshotError> {
     let mut db: Database = serde_json::from_slice(payload)?;
     db.rebuild_indices();
     Ok(db)
+}
+
+/// An immutable snapshot of the engine's last committed state: the
+/// database, the secondary-index array, and the statistics epoch it was
+/// captured under, plus lazily collected [`Statistics`].
+///
+/// Snapshots give the engine MVCC reads: [`crate::Engine::snapshot`]
+/// caches one per committed epoch and hands out `Arc` clones, so any
+/// number of readers plan and execute whole queries against a stable
+/// epoch — no torn joins, no engine lock held during execution — while
+/// the single writer mutates the next epoch. A snapshot taken at
+/// transaction start and pinned for the transaction's lifetime yields
+/// snapshot isolation: later commits are simply never visible through
+/// it. Dropping an index mid-read is equally safe: the snapshot owns its
+/// own index array, and plans cached against a newer epoch never reach
+/// a reader still holding this one.
+pub struct EngineSnapshot {
+    db: Database,
+    indexes: Vec<Vec<Index>>,
+    stats_epoch: u64,
+    feedback: Arc<SelectivityFeedback>,
+    stats: OnceLock<Arc<Statistics>>,
+}
+
+impl EngineSnapshot {
+    /// Captures a snapshot of committed state. The caller (the engine,
+    /// under its write lock) guarantees `db` and `indexes` contain no
+    /// uncommitted mutations.
+    pub(crate) fn capture(
+        db: Database,
+        indexes: Vec<Vec<Index>>,
+        stats_epoch: u64,
+        feedback: Arc<SelectivityFeedback>,
+    ) -> EngineSnapshot {
+        EngineSnapshot {
+            db,
+            indexes,
+            stats_epoch,
+            feedback,
+            stats: OnceLock::new(),
+        }
+    }
+
+    /// The snapshotted database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The snapshotted secondary indexes, indexed by `TypeId::index()`.
+    pub fn indexes(&self) -> &[Vec<Index>] {
+        &self.indexes
+    }
+
+    /// The statistics epoch this snapshot was captured under. Plans
+    /// computed against this snapshot are keyed on it, so they never mix
+    /// with plans for another epoch.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// Statistics over the snapshotted state, collected on first use and
+    /// cached for the snapshot's lifetime (it is immutable, so they
+    /// never go stale). Carries the engine's selectivity-feedback cache
+    /// scoped to the snapshot's epoch.
+    pub fn statistics(&self) -> Arc<Statistics> {
+        Arc::clone(self.stats.get_or_init(|| {
+            Arc::new(
+                Statistics::collect(&self.db, &self.indexes)
+                    .with_feedback(Arc::clone(&self.feedback), self.stats_epoch),
+            )
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -42,13 +42,13 @@ pub enum FlushPolicy {
     /// inside the window — the classic group-commit trade of durability
     /// lag for an order-of-magnitude throughput gain.
     ///
-    /// The log is driven entirely by its single writer, so the
-    /// `max_wait` deadline is only evaluated when the *next* commit (or
-    /// an explicit [`Wal::flush`]) arrives: the final commits of a
-    /// burst followed by idleness stay pending until then. Callers
-    /// needing a wall-clock bound should call `flush` (the engine
-    /// exposes this as `sync()`); a background flusher is a recorded
-    /// follow-up in ROADMAP.md.
+    /// The log itself only evaluates the `max_wait` deadline when the
+    /// *next* commit (or an explicit [`Wal::flush`]) arrives, so the
+    /// storage engine runs a dedicated flusher thread that watches
+    /// [`Wal::pending_flush_deadline`] and fsyncs at the deadline: every
+    /// acknowledged commit — including the final commits of a burst
+    /// followed by idleness, or a lone committer — becomes durable
+    /// within `max_wait` wall-clock time.
     GroupCommit {
         /// Pending-commit count that forces a sync.
         max_batch: usize,

@@ -377,6 +377,11 @@ impl Wal {
         self.next_lsn
     }
 
+    /// The configured flush policy.
+    pub fn flush_policy(&self) -> FlushPolicy {
+        self.cfg.flush
+    }
+
     /// Allocates a fresh transaction id.
     pub fn alloc_txn(&mut self) -> u64 {
         let t = self.next_txn;
@@ -412,6 +417,14 @@ impl Wal {
     /// `PerCommit` fsyncs now, `GroupCommit` fsyncs once `max_batch`
     /// commits are pending or the oldest has waited `max_wait`, `NoSync`
     /// leaves durability to the OS.
+    ///
+    /// Under `GroupCommit` this call alone cannot bound latency: the
+    /// deadline is only observed when *some* call re-enters the log. The
+    /// engine runs a dedicated flusher thread that watches
+    /// [`Wal::pending_flush_deadline`] and calls [`Wal::flush`] when the
+    /// oldest pending commit's `max_wait` expires, so a lone committer is
+    /// fsynced within `max_wait` wall-clock time instead of waiting for
+    /// the next commit to arrive.
     pub fn commit_appended(&mut self) -> Result<(), WalError> {
         match self.cfg.flush {
             FlushPolicy::PerCommit => {
@@ -433,9 +446,6 @@ impl Wal {
                         .map(|t| t.elapsed() >= max_wait)
                         .unwrap_or(false);
                 if due {
-                    self.metrics
-                        .group_commit_batch
-                        .record(self.pending_commits as u64);
                     self.flush()
                 } else {
                     Ok(())
@@ -444,14 +454,40 @@ impl Wal {
         }
     }
 
+    /// The instant by which the oldest pending group commit must be
+    /// fsynced: `oldest_pending + max_wait` under `GroupCommit` with at
+    /// least one unsynced commit, `None` otherwise (nothing pending, or a
+    /// policy whose commits are never left waiting). A background flusher
+    /// sleeps until this instant and then calls [`Wal::flush`].
+    pub fn pending_flush_deadline(&self) -> Option<Instant> {
+        match self.cfg.flush {
+            FlushPolicy::GroupCommit { max_wait, .. } if self.pending_commits > 0 => {
+                self.oldest_pending.map(|t| t + max_wait)
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of commits appended but not yet fsynced under the group
+    /// commit policy.
+    pub fn pending_commits(&self) -> usize {
+        self.pending_commits
+    }
+
     /// Flushes buffered records and fsyncs the segment, making every
-    /// appended record durable regardless of policy.
+    /// appended record durable regardless of policy. Records the batch
+    /// size when pending group commits are drained.
     pub fn flush(&mut self) -> Result<(), WalError> {
         let t0 = Instant::now();
         self.writer.flush()?;
         self.writer.get_ref().sync_data()?;
         self.metrics.flushes.inc();
         self.metrics.fsync_ns.record(t0.elapsed().as_nanos() as u64);
+        if self.pending_commits > 0 {
+            self.metrics
+                .group_commit_batch
+                .record(self.pending_commits as u64);
+        }
         self.pending_commits = 0;
         self.oldest_pending = None;
         Ok(())

@@ -97,6 +97,12 @@ pub mod obs {
     pub use toposem_obs::*;
 }
 
+/// Concurrency & sessions: MVCC snapshot routing, per-connection
+/// session state, and the line-protocol TCP front end.
+pub mod server {
+    pub use toposem_server::*;
+}
+
 /// The Universal Relation baseline.
 pub mod ur {
     pub use toposem_ur::*;
