@@ -138,6 +138,12 @@ fn min_time<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn bench(c: &mut Criterion) {
+    // Equi-depth histograms see through this bench's skew statically
+    // (q6's statistics — the tail range prices correctly on the first
+    // plan), so pin the *runtime feedback* loop by reverting to min/max
+    // interpolation for the whole process: the mispick it corrects must
+    // exist to be corrected.
+    toposem_storage::set_histograms_enabled(false);
     // Fixed parallelism so the static mispick (morsel-parallel SeqScan
     // beating a serial-priced IndexRangeSeek) is reproducible. Resolved
     // once per process via ExecOptions::default's OnceLock — set before

@@ -1,0 +1,444 @@
+//! Columnar morsels: a column-major view over a morsel of instances.
+//!
+//! The executor's hot loops (filter, project, hash-join build/probe) are
+//! row-at-a-time over [`Instance`]s — every predicate re-dispatches on
+//! the [`Value`] tag per tuple. A [`ColumnarMorsel`] decodes one
+//! attribute of a morsel into a typed column vector *once*, so kernels
+//! run branch-light loops over `&[i64]` (or `&[&str]`, `&[bool]`)
+//! producing [`SelectionMask`] bitmaps, and conjunctions become bitmap
+//! ANDs.
+//!
+//! Correctness contract: columnar evaluation must be **bit-identical**
+//! to row-at-a-time evaluation. Two escape hatches keep that cheap to
+//! guarantee:
+//!
+//! - [`ColumnarMorsel::column`] returns `None` whenever any row of the
+//!   morsel lacks the attribute (possible for generalisation-typed
+//!   inputs) — the caller falls back to the row path for the whole
+//!   morsel, which is always correct.
+//! - [`ColumnarMorsel::homogeneous`] reports whether every row carries
+//!   exactly the attribute-id sequence of the first row; column-sliced
+//!   projection is gated on it so a mixed-width morsel cannot silently
+//!   produce a different projection than [`Instance::project`].
+//!
+//! Columns are decoded lazily and cached per morsel, so a selective
+//! single-attribute filter never pays for decoding attributes the query
+//! does not touch.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use toposem_core::AttrId;
+
+use crate::instance::Instance;
+use crate::value::Value;
+
+/// One decoded attribute of a morsel, specialised by value tag. Mixed
+/// columns (rare: an attribute whose values span variants) fall back to
+/// tag-dispatching `&Value` comparisons but still amortise the field
+/// lookup.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column<'a> {
+    /// All values are `Value::Int`.
+    Int(Vec<i64>),
+    /// All values are `Value::Str` (borrowed, no copies).
+    Str(Vec<&'a str>),
+    /// All values are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// Values span variants; kept as tagged references.
+    Mixed(Vec<&'a Value>),
+}
+
+impl Column<'_> {
+    /// Number of values (= morsel rows).
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A selection bitmap over the rows of one morsel: bit `i` set means row
+/// `i` survives. Stored as packed `u64` words so conjunction is a
+/// word-wise AND and iteration walks set bits with `trailing_zeros`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectionMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl SelectionMask {
+    /// A mask of `len` rows, all selected.
+    pub fn all(len: usize) -> Self {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if let Some(last) = words.last_mut() {
+            let tail = len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        SelectionMask { words, len }
+    }
+
+    /// A mask of `len` rows, none selected.
+    pub fn none(len: usize) -> Self {
+        SelectionMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a mask by evaluating `f` per row, packing a word at a
+    /// time. The closure result feeds straight into a shift-or, so a
+    /// branch-free `f` yields a branch-free fill loop.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0;
+        while i < len {
+            let n = (len - i).min(64);
+            let mut w = 0u64;
+            for b in 0..n {
+                w |= u64::from(f(i + b)) << b;
+            }
+            words.push(w);
+            i += n;
+        }
+        SelectionMask { words, len }
+    }
+
+    /// [`Self::from_fn`] for closures that can fail: packs a word at a
+    /// time until `f` returns `None`, in which case the whole mask is
+    /// abandoned. Lets streaming kernels evaluate while verifying a
+    /// column's shape in the same sweep.
+    pub fn try_from_fn(len: usize, mut f: impl FnMut(usize) -> Option<bool>) -> Option<Self> {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        let mut i = 0;
+        while i < len {
+            let n = (len - i).min(64);
+            let mut w = 0u64;
+            for b in 0..n {
+                w |= u64::from(f(i + b)?) << b;
+            }
+            words.push(w);
+            i += n;
+        }
+        Some(SelectionMask { words, len })
+    }
+
+    /// Number of rows the mask covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for the zero-row mask.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Selects row `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Whether row `i` is selected.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Conjunction: keeps only rows selected in both masks.
+    pub fn and_with(&mut self, other: &SelectionMask) {
+        debug_assert_eq!(self.len, other.len);
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when at least one row is selected.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Iterates the indices of selected rows in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some((wi << 6) | b)
+            })
+        })
+    }
+}
+
+/// A column-major view over one morsel (`Vec<&Instance>` as produced by
+/// [`crate::Relation::morsels`]). Columns decode lazily on first touch
+/// and are cached for the morsel's lifetime; a `None` cache entry
+/// records that the attribute cannot be decoded (some row lacks it), so
+/// the fallback decision is also paid once.
+pub struct ColumnarMorsel<'a> {
+    rows: &'a [&'a Instance],
+    cache: RefCell<HashMap<AttrId, Option<Rc<Column<'a>>>>>,
+    homogeneous: Cell<Option<bool>>,
+}
+
+impl<'a> ColumnarMorsel<'a> {
+    /// Wraps a morsel. No decoding happens until a column is requested.
+    pub fn new(rows: &'a [&'a Instance]) -> Self {
+        ColumnarMorsel {
+            rows,
+            cache: RefCell::new(HashMap::new()),
+            homogeneous: Cell::new(None),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True for the zero-row morsel.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The underlying rows, in morsel order.
+    pub fn rows(&self) -> &'a [&'a Instance] {
+        self.rows
+    }
+
+    /// The decoded column for `attr`, or `None` when any row lacks the
+    /// attribute (the caller must fall back to row-at-a-time evaluation
+    /// for this morsel). Decoded columns are cached.
+    pub fn column(&self, attr: AttrId) -> Option<Rc<Column<'a>>> {
+        if let Some(cached) = self.cache.borrow().get(&attr) {
+            return cached.clone();
+        }
+        let col = self.decode(attr).map(Rc::new);
+        self.cache.borrow_mut().insert(attr, col.clone());
+        col
+    }
+
+    /// The decoded columns for `attrs`, in request order (`None`
+    /// entries where some row lacks the attribute). Each distinct
+    /// attribute decodes as its own tight typed sweep — per-column
+    /// loops vectorise and prefetch better than one fused multi-column
+    /// state machine — and lands in the same cache [`Self::column`]
+    /// serves, so duplicates (within the request or across calls) are
+    /// decoded once.
+    pub fn columns(&self, attrs: &[AttrId]) -> Vec<Option<Rc<Column<'a>>>> {
+        attrs.iter().map(|a| self.column(*a)).collect()
+    }
+
+    /// True when every row carries exactly the attribute-id sequence of
+    /// the first row (vacuously true when empty). Column-sliced
+    /// projection requires this; mixed-shape morsels take the row path.
+    pub fn homogeneous(&self) -> bool {
+        if let Some(h) = self.homogeneous.get() {
+            return h;
+        }
+        let h = match self.rows.split_first() {
+            None => true,
+            Some((first, rest)) => {
+                let shape: Vec<AttrId> = first.fields().iter().map(|(a, _)| *a).collect();
+                rest.iter().all(|r| {
+                    r.fields().len() == shape.len()
+                        && r.fields().iter().zip(&shape).all(|((a, _), s)| a == s)
+                })
+            }
+        };
+        self.homogeneous.set(Some(h));
+        h
+    }
+
+    fn decode(&self, attr: AttrId) -> Option<Column<'a>> {
+        if self.rows.is_empty() {
+            return Some(Column::Int(Vec::new()));
+        }
+        // Same-shaped rows keep each attribute at one positional index;
+        // probe the first row's position and verify per row, falling
+        // back to a full lookup only when shapes differ.
+        let pos = self.rows[0].fields().iter().position(|(a, _)| *a == attr);
+        let fetch = |row: &'a Instance| -> Option<&'a Value> {
+            match pos.and_then(|p| row.fields().get(p)) {
+                Some((a, v)) if *a == attr => Some(v),
+                _ => row.get(attr),
+            }
+        };
+        // One pass straight into the typed vector of the first row's
+        // variant; a mid-stream variant change (rare) restarts into the
+        // mixed representation.
+        macro_rules! typed {
+            ($variant:ident, $conv:expr) => {{
+                let mut vals = Vec::with_capacity(self.rows.len());
+                for row in self.rows {
+                    match fetch(row)? {
+                        Value::$variant(v) => vals.push($conv(v)),
+                        _ => return self.decode_mixed(&fetch),
+                    }
+                }
+                Some(Column::$variant(vals))
+            }};
+        }
+        match fetch(self.rows[0])? {
+            Value::Int(_) => typed!(Int, |v: &i64| *v),
+            Value::Str(_) => typed!(Str, |v: &'a String| v.as_str()),
+            Value::Bool(_) => typed!(Bool, |v: &bool| *v),
+        }
+    }
+
+    fn decode_mixed(
+        &self,
+        fetch: &impl Fn(&'a Instance) -> Option<&'a Value>,
+    ) -> Option<Column<'a>> {
+        let mut vals: Vec<&'a Value> = Vec::with_capacity(self.rows.len());
+        for row in self.rows {
+            vals.push(fetch(row)?);
+        }
+        Some(Column::Mixed(vals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DomainCatalog;
+    use toposem_core::{employee_schema, Schema};
+
+    fn emp(s: &Schema, c: &DomainCatalog, name: &str, age: i64, dep: &str) -> Instance {
+        Instance::new(
+            s,
+            c,
+            s.type_id("employee").unwrap(),
+            &[
+                ("name", Value::str(name)),
+                ("age", Value::Int(age)),
+                ("depname", Value::str(dep)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mask_all_none_and_tail_bits() {
+        for len in [0, 1, 63, 64, 65, 130] {
+            let all = SelectionMask::all(len);
+            assert_eq!(all.count_ones(), len, "len {len}");
+            assert_eq!(all.any(), len > 0);
+            assert_eq!(
+                all.iter_ones().collect::<Vec<_>>(),
+                (0..len).collect::<Vec<_>>()
+            );
+            let none = SelectionMask::none(len);
+            assert_eq!(none.count_ones(), 0);
+            assert!(!none.any());
+            assert_eq!(none.iter_ones().count(), 0);
+        }
+    }
+
+    #[test]
+    fn mask_from_fn_set_get_and_conjunction() {
+        let len = 130;
+        let evens = SelectionMask::from_fn(len, |i| i % 2 == 0);
+        let thirds = SelectionMask::from_fn(len, |i| i % 3 == 0);
+        assert_eq!(evens.count_ones(), 65);
+        assert!(evens.get(0) && !evens.get(1) && evens.get(128));
+        let mut both = evens.clone();
+        both.and_with(&thirds);
+        let expect: Vec<usize> = (0..len).filter(|i| i % 6 == 0).collect();
+        assert_eq!(both.iter_ones().collect::<Vec<_>>(), expect);
+        assert_eq!(both.count_ones(), expect.len());
+        let mut m = SelectionMask::none(len);
+        m.set(7);
+        m.set(64);
+        assert!(m.get(7) && m.get(64) && !m.get(8));
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![7, 64]);
+    }
+
+    #[test]
+    fn column_decode_specialises_by_tag() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let rows_owned: Vec<Instance> = (0..5)
+            .map(|i| emp(&s, &c, &format!("w{i}"), 20 + i, "sales"))
+            .collect();
+        let rows: Vec<&Instance> = rows_owned.iter().collect();
+        let m = ColumnarMorsel::new(&rows);
+        let age = s.attr_id("age").unwrap();
+        let name = s.attr_id("name").unwrap();
+        match &*m.column(age).unwrap() {
+            Column::Int(v) => assert_eq!(v, &vec![20, 21, 22, 23, 24]),
+            other => panic!("expected Int column, got {other:?}"),
+        }
+        match &*m.column(name).unwrap() {
+            Column::Str(v) => assert_eq!(v.len(), 5),
+            other => panic!("expected Str column, got {other:?}"),
+        }
+        // Cached: second request returns the same Rc.
+        let a = m.column(age).unwrap();
+        let b = m.column(age).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert!(m.homogeneous());
+    }
+
+    #[test]
+    fn missing_attribute_yields_none_and_is_cached() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let e = emp(&s, &c, "ann", 30, "sales");
+        let person = s.type_id("person").unwrap();
+        let employee = s.type_id("employee").unwrap();
+        let p = e.project_to_type(&s, employee, person).unwrap();
+        let rows: Vec<&Instance> = vec![&e, &p];
+        let m = ColumnarMorsel::new(&rows);
+        let dep = s.attr_id("depname").unwrap();
+        assert!(m.column(dep).is_none(), "p lacks depname");
+        assert!(m.column(dep).is_none(), "cached negative");
+        // The attribute both rows share decodes fine despite the
+        // heterogeneous shapes.
+        let name = s.attr_id("name").unwrap();
+        assert!(m.column(name).is_some());
+        assert!(!m.homogeneous());
+    }
+
+    #[test]
+    fn empty_and_single_row_morsels() {
+        let s = employee_schema();
+        let c = DomainCatalog::employee_defaults();
+        let rows: Vec<&Instance> = Vec::new();
+        let m = ColumnarMorsel::new(&rows);
+        assert!(m.is_empty());
+        assert!(m.homogeneous());
+        let col = m.column(s.attr_id("age").unwrap()).unwrap();
+        assert!(col.is_empty());
+
+        let one = emp(&s, &c, "solo", 33, "sales");
+        let rows: Vec<&Instance> = vec![&one];
+        let m = ColumnarMorsel::new(&rows);
+        assert_eq!(m.len(), 1);
+        assert!(m.homogeneous());
+        match &*m.column(s.attr_id("age").unwrap()).unwrap() {
+            Column::Int(v) => assert_eq!(v, &vec![33]),
+            other => panic!("expected Int column, got {other:?}"),
+        }
+    }
+}

@@ -19,9 +19,12 @@
 //!   epoch clears the cache — so DDL or bulk mutation can never be
 //!   priced with stale skew knowledge.
 //! - **Decayed updates.** Corrections are a geometric moving average
-//!   with weight `1/min(n, DECAY_WINDOW)`: the first observation for a
-//!   key adopts the observed ratio outright (one profiled execution is
-//!   enough to fix a mispriced plan), later ones damp noise.
+//!   with weight `1/min(n, DECAY_WINDOW)`: later observations damp
+//!   noise. A key's *first* observation is confidence-scaled — an
+//!   extreme miss (beyond `REPLAN_FACTOR`²) is adopted outright, since
+//!   one profiled execution is enough to fix a badly mispriced plan,
+//!   while a moderate miss adopts only its square root until a second
+//!   run confirms the direction.
 //! - **Clamping.** A pathological q-error cannot zero out or explode a
 //!   cost: corrections live in `[MIN_CORRECTION, MAX_CORRECTION]`.
 //! - **Re-plan generation.** When a key's correction drifts
@@ -299,10 +302,24 @@ impl SelectivityFeedback {
                 });
                 e.observations = e.observations.saturating_add(1);
                 let w = 1.0 / e.observations.min(DECAY_WINDOW) as f64;
+                // Confidence damping: a key's very first observation is
+                // one sample. When the miss is *moderate* (inside the
+                // REPLAN_FACTOR² band) only its square root is adopted —
+                // halving the step in log space — until a second run
+                // corroborates the direction. An extreme first miss is
+                // adopted outright: at that magnitude the plan is wrong
+                // whatever the noise, and waiting costs a bad execution.
+                let moderate = share > 1.0 / (REPLAN_FACTOR * REPLAN_FACTOR)
+                    && share < REPLAN_FACTOR * REPLAN_FACTOR;
+                let eff_share = if e.observations == 1 && moderate {
+                    share.sqrt()
+                } else {
+                    share
+                };
                 // Geometric EWMA: corrections are multiplicative, so
                 // the average lives in log space. The first observation
                 // (w = 1) adopts `target` outright.
-                let target = e.corr * share;
+                let target = e.corr * eff_share;
                 e.corr =
                     (e.corr.powf(1.0 - w) * target.powf(w)).clamp(MIN_CORRECTION, MAX_CORRECTION);
                 let drift = (e.corr / e.planned_corr).max(e.planned_corr / e.corr);
@@ -450,13 +467,35 @@ mod tests {
         // — but the generation holds, so one unlucky sample does not
         // invalidate every cached plan.
         fb.observe(0, &[obs(&[k], 300.0, 900.0)]);
-        assert!((fb.correction(0, k) - 3.0).abs() < 1e-9);
+        // Confidence damping: the unconfirmed moderate miss adopts √3,
+        // not the full 3×.
+        assert!((fb.correction(0, k) - 3.0_f64.sqrt()).abs() < 1e-9);
         assert_eq!(fb.generation(), 0, "single-run outlier must not replan");
         assert_eq!(fb.replans.get(), 0);
         // A second run confirming the drift crosses the standard
         // threshold and replans.
         fb.observe(0, &[obs(&[k], 900.0, 8100.0)]);
         assert!(fb.generation() >= 1, "corroborated drift must replan");
+    }
+
+    #[test]
+    fn moderate_first_observation_is_damped_until_confirmed() {
+        let fb = SelectivityFeedback::with_enabled(true);
+        let k = key(2, 7, PredClass::Range);
+        // One run at 0.5× (inside the moderate band): adopt √0.5 only.
+        fb.observe(0, &[obs(&[k], 1000.0, 500.0)]);
+        let first = fb.correction(0, k);
+        assert!((first - 0.5_f64.sqrt()).abs() < 1e-9, "corr = {first}");
+        // A second run repeating the same ratio is confirmation: the
+        // correction moves past the damped value toward the full 0.5×.
+        fb.observe(0, &[obs(&[k], 1000.0, 500.0)]);
+        let second = fb.correction(0, k);
+        assert!(second < first, "confirmation must strengthen: {second}");
+        // An extreme first observation on a fresh key is NOT damped —
+        // magnitude is its own confirmation.
+        let k2 = key(2, 8, PredClass::Eq);
+        fb.observe(0, &[obs(&[k2], 10_000.0, 100.0)]);
+        assert!((fb.correction(0, k2) - 0.01).abs() < 1e-9);
     }
 
     #[test]

@@ -43,6 +43,8 @@ pub struct NodeProfile {
     pub max_partition: AtomicU64,
     /// Sorted runs merged (sort operators; 1 when serial).
     pub runs: AtomicU64,
+    /// Columnar batches evaluated through the vectorised kernels.
+    pub vec_batches: AtomicU64,
 }
 
 impl NodeProfile {
@@ -87,6 +89,11 @@ impl NodeProfile {
         self.runs.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Add vectorised (columnar) batches.
+    pub fn add_vec_batches(&self, n: u64) {
+        self.vec_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Plain-data copy.
     pub fn snapshot(&self) -> NodeSnapshot {
         NodeSnapshot {
@@ -99,6 +106,7 @@ impl NodeProfile {
             partitions: self.partitions.load(Ordering::Relaxed),
             max_partition: self.max_partition.load(Ordering::Relaxed),
             runs: self.runs.load(Ordering::Relaxed),
+            vec_batches: self.vec_batches.load(Ordering::Relaxed),
         }
     }
 }
@@ -124,6 +132,8 @@ pub struct NodeSnapshot {
     pub max_partition: u64,
     /// Sorted runs.
     pub runs: u64,
+    /// Columnar batches evaluated.
+    pub vec_batches: u64,
 }
 
 /// Accumulator for a whole plan: one [`NodeProfile`] per operator,

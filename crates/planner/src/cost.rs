@@ -35,6 +35,12 @@ pub struct Estimate {
 const HASH_PROBE_COST: f64 = 1.2;
 /// Fixed overhead of descending a BTree to position a range/prefix seek.
 const TREE_DESCENT_COST: f64 = 2.0;
+/// Per-tuple overhead of walking an ordered index range relative to a
+/// sequential scan step: node hops and comparisons instead of a tight
+/// pass over contiguous tuples. Keeps selective seeks winning while a
+/// seek that would walk most of the relation correctly loses to the
+/// scan (histograms make such wide ranges visible statically).
+const TREE_WALK_COST: f64 = 1.1;
 /// Fixed overhead of instantiating any operator.
 const OPERATOR_SETUP_COST: f64 = 1.0;
 
@@ -128,7 +134,7 @@ pub fn estimate_with(plan: &Physical, stats: &Statistics, opts: &ExecOptions) ->
             let touched = n * interval;
             Estimate {
                 rows: touched * conj_selectivity(*ty, residual, stats),
-                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched,
+                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched * TREE_WALK_COST,
             }
         }
         Physical::CompositeSeek {
@@ -155,7 +161,7 @@ pub fn estimate_with(plan: &Physical, stats: &Statistics, opts: &ExecOptions) ->
             let touched = (n * prefix_sel * suffix_sel).max(1.0_f64.min(n));
             Estimate {
                 rows: touched * conj_selectivity(*ty, residual, stats),
-                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched,
+                cost: OPERATOR_SETUP_COST + TREE_DESCENT_COST + touched * TREE_WALK_COST,
             }
         }
         Physical::IndexOnlyScan {

@@ -37,12 +37,16 @@
 //! sequences), whatever the thread count or morsel size.
 
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 use std::time::Instant;
 
 use toposem_core::AttrId;
-use toposem_extension::{Database, Instance, Relation, Value};
+use toposem_extension::{
+    Column, ColumnarMorsel, Database, Instance, Relation, SelectionMask, Value,
+};
 use toposem_obs::{NodeProfile, PlanProfile};
 use toposem_storage::{cmp_by_keys, Index, Predicate, SortDir};
+use toposem_topology::BitSet;
 
 use crate::physical::{Physical, BATCH_SIZE};
 
@@ -57,9 +61,10 @@ pub const DEFAULT_MORSEL_SIZE: usize = 4096;
 /// [`ExecOptions::default`] resolves once per process from the
 /// environment: `TOPOSEM_THREADS` overrides the thread count (otherwise
 /// [`std::thread::available_parallelism`], falling back to 1 when the
-/// syscall errs), and `TOPOSEM_MORSEL_SIZE` overrides the morsel size
-/// (otherwise [`DEFAULT_MORSEL_SIZE`]). Without the `parallel` feature
-/// the knobs are accepted but execution is always serial.
+/// syscall errs), `TOPOSEM_MORSEL_SIZE` overrides the morsel size
+/// (otherwise [`DEFAULT_MORSEL_SIZE`]), and `TOPOSEM_COLUMNAR=0` (or
+/// `false`/`off`) disables the columnar kernels. Without the `parallel`
+/// feature the knobs are accepted but execution is always serial.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Upper bound on worker threads (≥ 1). The dispatcher additionally
@@ -69,14 +74,34 @@ pub struct ExecOptions {
     /// Tuples per morsel (≥ 1). Smaller morsels increase scheduling
     /// freedom (and overhead); larger morsels amortise dispatch.
     pub morsel_size: usize,
+    /// Evaluate scans, filters, projections, and hash-join key
+    /// extraction through columnar morsel kernels (decoded typed
+    /// columns + selection bitmaps) instead of row-at-a-time loops.
+    /// Bit-identical either way — this is a performance knob, kept
+    /// toggleable so the differential oracle can pin both paths.
+    pub columnar: bool,
+}
+
+/// Process-wide columnar default: on unless `TOPOSEM_COLUMNAR` is set
+/// to `0`, `false`, or `off`.
+fn columnar_default() -> bool {
+    static COLUMNAR: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *COLUMNAR.get_or_init(|| {
+        !matches!(
+            std::env::var("TOPOSEM_COLUMNAR").as_deref().map(str::trim),
+            Ok("0") | Ok("false") | Ok("off")
+        )
+    })
 }
 
 impl ExecOptions {
-    /// Serial execution: one worker, default morsel size.
+    /// Serial execution: one worker, default morsel size, columnar
+    /// kernels per the process default.
     pub fn serial() -> ExecOptions {
         ExecOptions {
             threads: 1,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            columnar: columnar_default(),
         }
     }
 
@@ -118,6 +143,7 @@ impl Default for ExecOptions {
                     .unwrap_or(1)
             }),
             morsel_size: env_knob("TOPOSEM_MORSEL_SIZE").unwrap_or(DEFAULT_MORSEL_SIZE),
+            columnar: columnar_default(),
         })
     }
 }
@@ -203,8 +229,6 @@ fn execute_prof(
     opts: &ExecOptions,
     prof: Prof,
 ) -> Relation {
-    #[cfg(not(feature = "parallel"))]
-    let _ = opts; // knobs are accepted but execution is always serial
     #[cfg(feature = "parallel")]
     if opts.effective_threads() > 1 {
         let ctx = Ctx::new(db, indexes, opts);
@@ -225,7 +249,7 @@ fn execute_prof(
         return out.into_iter().collect();
     }
     let mut out = Relation::new();
-    for_each_batch(plan, db, indexes, prof, &mut |batch| {
+    for_each_batch(plan, db, indexes, opts, prof, &mut |batch| {
         for t in batch.drain(..) {
             out.insert(t);
         }
@@ -275,8 +299,6 @@ fn execute_ordered_prof(
 ) -> Vec<Instance> {
     let mut out: Vec<Instance> = Vec::new();
     let mut seen: HashSet<Instance> = HashSet::new();
-    #[cfg(not(feature = "parallel"))]
-    let _ = opts; // knobs are accepted but execution is always serial
     #[cfg(feature = "parallel")]
     if opts.effective_threads() > 1 {
         let ctx = Ctx::new(db, indexes, opts);
@@ -289,7 +311,7 @@ fn execute_ordered_prof(
         }
         return out;
     }
-    for_each_batch(plan, db, indexes, prof, &mut |batch| {
+    for_each_batch(plan, db, indexes, opts, prof, &mut |batch| {
         for t in batch.drain(..) {
             if seen.insert(t.clone()) {
                 out.push(t);
@@ -351,6 +373,327 @@ fn indexes_of(indexes: &[Vec<Index>], ty: toposem_core::TypeId) -> &[Index] {
     indexes.get(ty.index()).map(Vec::as_slice).unwrap_or(&[])
 }
 
+// ---------------------------------------------------------------------
+// Columnar kernels.
+//
+// One decoded column per touched attribute, selection bitmaps per
+// predicate, bitmap AND for conjunctions. Every kernel is bit-identical
+// to the row-at-a-time evaluation it replaces: a morsel whose rows
+// can't all decode an attribute falls back to elementwise evaluation,
+// and cross-variant predicate constants resolve through the same total
+// `Ord` on `Value` (`Int < Str < Bool`) the row path compares under.
+// ---------------------------------------------------------------------
+
+/// Evaluates a predicate conjunction over one columnar morsel: one
+/// selection bitmap per predicate, combined by bitmap AND (with an
+/// early exit once the mask drains).
+fn eval_preds_mask(cm: &ColumnarMorsel, preds: &[(AttrId, Predicate)]) -> SelectionMask {
+    let n = cm.len();
+    let mut mask = SelectionMask::all(n);
+    // Range fusion: a conjunction of predicates over one integer column
+    // is the intersection of their inclusive ranges, and every fused
+    // interval evaluates in a SINGLE streaming sweep over the rows —
+    // the first fetch pays the row's cache miss, the remaining columns
+    // read a hot line. `int_range` is exact per predicate, so the fused
+    // mask equals the AND of the individual masks bit for bit. Any
+    // attribute whose first row is not an integer (or whose shape
+    // changes mid-morsel — the sweep aborts) takes the generic
+    // per-predicate kernels instead.
+    let mut groups: Vec<IntGroup> = Vec::new();
+    let mut generic: Vec<usize> = Vec::new();
+    let mut done = vec![false; preds.len()];
+    let first = cm.rows().first();
+    for i in 0..preds.len() {
+        if done[i] {
+            continue;
+        }
+        let (attr, _) = preds[i];
+        let group: Vec<usize> = (i..preds.len()).filter(|&j| preds[j].0 == attr).collect();
+        for &j in &group {
+            done[j] = true;
+        }
+        let pos = first.and_then(|f| {
+            f.fields()
+                .iter()
+                .position(|(a, v)| *a == attr && matches!(v, Value::Int(_)))
+        });
+        let Some(pos) = pos else {
+            generic.extend(&group);
+            continue;
+        };
+        let (mut lo, mut hi) = (i64::MIN, i64::MAX);
+        for &j in &group {
+            match preds[j].1.int_range() {
+                Some((l, h)) => {
+                    lo = lo.max(l);
+                    hi = hi.min(h);
+                }
+                // Matches no integer: an unsatisfiable interval keeps
+                // the sweep verifying the column's shape.
+                None => (lo, hi) = (1, 0),
+            }
+        }
+        groups.push(IntGroup { attr, pos, lo, hi });
+    }
+    if !groups.is_empty() {
+        match int_groups_mask(cm, &groups) {
+            Some(pm) => mask.and_with(&pm),
+            // Shape changed mid-morsel: evaluate the fused predicates
+            // through the generic kernels after all.
+            None => generic = (0..preds.len()).collect(),
+        }
+    }
+    for j in generic {
+        if !mask.any() {
+            break;
+        }
+        mask.and_with(&pred_mask(cm, preds[j].0, &preds[j].1));
+    }
+    mask
+}
+
+/// One per-attribute conjunction of integer ranges, pre-fused to a
+/// single inclusive interval (`lo > hi` means "matches nothing").
+struct IntGroup {
+    attr: AttrId,
+    /// Positional hint: the attribute's field index in the morsel's
+    /// first row (verified per row, with a full lookup fallback).
+    pos: usize,
+    lo: i64,
+    hi: i64,
+}
+
+/// Evaluates every fused integer interval in ONE streaming sweep —
+/// no column materialisation, one scattered row access for all groups
+/// together. Returns `None` when any row fails to decode some group's
+/// attribute as an `Int`; the caller falls back to the generic
+/// per-predicate kernels, which agree bit for bit.
+fn int_groups_mask(cm: &ColumnarMorsel, groups: &[IntGroup]) -> Option<SelectionMask> {
+    let rows = cm.rows();
+    SelectionMask::try_from_fn(rows.len(), |k| {
+        let row = rows[k];
+        let mut keep = true;
+        for g in groups {
+            let v = match row.fields().get(g.pos) {
+                Some((a, v)) if *a == g.attr => v,
+                _ => row.get(g.attr)?,
+            };
+            let Value::Int(v) = v else {
+                return None;
+            };
+            keep &= (*v >= g.lo) & (*v <= g.hi);
+        }
+        Some(keep)
+    })
+}
+
+/// One predicate's selection bitmap over one decoded column. The inner
+/// loops are branch-light: the integer kernel compares against the
+/// pre-resolved inclusive range from [`Predicate::int_range`], string
+/// and boolean kernels against pre-resolved same-variant bounds.
+fn pred_mask(cm: &ColumnarMorsel, attr: AttrId, pred: &Predicate) -> SelectionMask {
+    let n = cm.len();
+    match cm.column(attr) {
+        // Some row lacks the attribute: evaluate elementwise (rows
+        // missing it are rejected, exactly as `matches` does).
+        None => SelectionMask::from_fn(n, |i| {
+            cm.rows()[i].get(attr).is_some_and(|v| pred.matches(v))
+        }),
+        Some(col) => match &*col {
+            Column::Int(vals) => match pred.int_range() {
+                None => SelectionMask::none(n),
+                Some((lo, hi)) => SelectionMask::from_fn(n, |i| {
+                    let v = vals[i];
+                    (v >= lo) & (v <= hi)
+                }),
+            },
+            Column::Str(vals) => str_mask(vals, pred),
+            Column::Bool(vals) => bool_mask(vals, pred),
+            Column::Mixed(vals) => SelectionMask::from_fn(n, |i| pred.matches(vals[i])),
+        },
+    }
+}
+
+/// Bitmap kernel over an all-string column. Bounds of other variants
+/// resolve through `Int < Str < Bool`: an `Int` bound is below every
+/// string, a `Bool` bound above — either the whole column qualifies on
+/// that side or none of it does.
+fn str_mask(vals: &[&str], pred: &Predicate) -> SelectionMask {
+    let (plo, phi) = pred.bounds();
+    let lo: Result<Option<(&str, bool)>, ()> = match plo {
+        None => Ok(None),
+        Some((Value::Str(s), inc)) => Ok(Some((s.as_str(), inc))),
+        Some((Value::Int(_), _)) => Ok(None), // every string exceeds it
+        Some((Value::Bool(_), _)) => Err(()), // no string reaches it
+    };
+    let hi: Result<Option<(&str, bool)>, ()> = match phi {
+        None => Ok(None),
+        Some((Value::Str(s), inc)) => Ok(Some((s.as_str(), inc))),
+        Some((Value::Int(_), _)) => Err(()), // no string is below it
+        Some((Value::Bool(_), _)) => Ok(None), // every string is below it
+    };
+    let (Ok(lo), Ok(hi)) = (lo, hi) else {
+        return SelectionMask::none(vals.len());
+    };
+    SelectionMask::from_fn(vals.len(), |i| {
+        let v = vals[i];
+        let in_lo = lo.is_none_or(|(b, inc)| if inc { v >= b } else { v > b });
+        let in_hi = hi.is_none_or(|(b, inc)| if inc { v <= b } else { v < b });
+        in_lo & in_hi
+    })
+}
+
+/// Bitmap kernel over an all-boolean column (`Int`/`Str` bounds sort
+/// below every boolean).
+fn bool_mask(vals: &[bool], pred: &Predicate) -> SelectionMask {
+    let (plo, phi) = pred.bounds();
+    let lo: Option<(bool, bool)> = match plo {
+        None => None,
+        Some((Value::Bool(b), inc)) => Some((*b, inc)),
+        Some(_) => None, // every boolean exceeds an Int/Str bound
+    };
+    let hi: Result<Option<(bool, bool)>, ()> = match phi {
+        None => Ok(None),
+        Some((Value::Bool(b), inc)) => Ok(Some((*b, inc))),
+        Some(_) => Err(()), // no boolean is below an Int/Str bound
+    };
+    let Ok(hi) = hi else {
+        return SelectionMask::none(vals.len());
+    };
+    SelectionMask::from_fn(vals.len(), |i| {
+        let v = vals[i];
+        let in_lo = lo.is_none_or(|(b, inc)| if inc { v >= b } else { v & !b });
+        let in_hi = hi.is_none_or(|(b, inc)| if inc { v <= b } else { !v & b });
+        in_lo & in_hi
+    })
+}
+
+/// An owned [`Value`] rebuilt from one column slot.
+fn owned_value(col: &Column, i: usize) -> Value {
+    match col {
+        Column::Int(v) => Value::Int(v[i]),
+        Column::Str(v) => Value::Str(v[i].to_owned()),
+        Column::Bool(v) => Value::Bool(v[i]),
+        Column::Mixed(v) => v[i].clone(),
+    }
+}
+
+/// Projects a batch by column slicing: decode each kept column once and
+/// reassemble instances from the slices. Requires a shape-homogeneous
+/// batch with every kept column decodable — anything else falls back to
+/// tuple-wise [`Instance::project`], which is the semantics either way.
+fn project_rows_columnar(rows: &[&Instance], target: &BitSet) -> Vec<Instance> {
+    let cm = ColumnarMorsel::new(rows);
+    if cm.homogeneous() {
+        let Some(first) = rows.first() else {
+            return Vec::new();
+        };
+        let keep: Vec<AttrId> = first
+            .fields()
+            .iter()
+            .map(|(a, _)| *a)
+            .filter(|a| target.contains(a.index()))
+            .collect();
+        if let Some(cols) = cm
+            .columns(&keep)
+            .into_iter()
+            .collect::<Option<Vec<Rc<Column>>>>()
+        {
+            return (0..rows.len())
+                .map(|i| {
+                    Instance::from_parts(
+                        keep.iter()
+                            .zip(&cols)
+                            .map(|(a, c)| (*a, owned_value(c, i)))
+                            .collect(),
+                    )
+                })
+                .collect();
+        }
+    }
+    rows.iter().map(|t| t.project(target)).collect()
+}
+
+/// Filters a materialised batch in place through the columnar kernels,
+/// preserving order — the columnar counterpart of
+/// `batch.retain(|t| matches(t, preds))`.
+fn filter_batch_columnar(batch: &mut Vec<Instance>, preds: &[(AttrId, Predicate)]) {
+    let mask = {
+        let refs: Vec<&Instance> = batch.iter().collect();
+        let cm = ColumnarMorsel::new(&refs);
+        eval_preds_mask(&cm, preds)
+    };
+    let mut i = 0;
+    batch.retain(|_| {
+        let keep = mask.get(i);
+        i += 1;
+        keep
+    });
+}
+
+/// Field-position hints for the join key attributes, read off a batch's
+/// first row. Homogeneous batches then extract keys by direct indexing
+/// instead of the per-attribute scan `key_of` pays on the row path;
+/// every hint is verified per row with a full lookup fallback.
+fn key_hints(rows: &[Instance], keys: &[AttrId]) -> Vec<Option<usize>> {
+    let first = rows.first();
+    keys.iter()
+        .map(|k| first.and_then(|f| f.fields().iter().position(|(a, _)| a == k)))
+        .collect()
+}
+
+/// The hash-join key of one row via [`key_hints`]. Missing attributes
+/// are skipped exactly like the row path's `key_of`.
+fn key_with_hints(t: &Instance, keys: &[AttrId], hints: &[Option<usize>]) -> Vec<Value> {
+    keys.iter()
+        .zip(hints)
+        .filter_map(|(a, hint)| match hint.and_then(|p| t.fields().get(p)) {
+            Some((fa, v)) if fa == a => Some(v.clone()),
+            _ => t.get(*a).cloned(),
+        })
+        .collect()
+}
+
+/// Extracts the hash-join key of every row in one batch pass (the
+/// parallel workers consume whole-morsel key vectors).
+#[cfg(any(feature = "parallel", test))]
+fn batch_join_keys(rows: &[Instance], keys: &[AttrId]) -> Vec<Vec<Value>> {
+    let hints = key_hints(rows, keys);
+    rows.iter()
+        .map(|t| key_with_hints(t, keys, &hints))
+        .collect()
+}
+
+/// The columnar serial scan: decodes each morsel's predicate columns
+/// once, evaluates the conjunction as bitmap ANDs, and emits selected
+/// rows in morsel order — the morsel concatenation is canonical
+/// iteration order, so output order and content are bit-identical to
+/// [`stream_filtered`] over the same relation.
+fn scan_columnar_serial(
+    rel: &Relation,
+    preds: &[(AttrId, Predicate)],
+    node: Option<&NodeProfile>,
+    sink: &mut dyn FnMut(&mut Vec<Instance>),
+) {
+    let mut walked = 0u64;
+    let mut batches = 0u64;
+    for morsel in rel.morsels(BATCH_SIZE) {
+        walked += morsel.len() as u64;
+        batches += 1;
+        let cm = ColumnarMorsel::new(&morsel);
+        let mask = eval_preds_mask(&cm, preds);
+        if !mask.any() {
+            continue;
+        }
+        let mut batch: Vec<Instance> = mask.iter_ones().map(|i| morsel[i].clone()).collect();
+        sink(&mut batch);
+    }
+    if let Some(node) = node {
+        node.add_rows_in(walked);
+        node.add_vec_batches(batches);
+    }
+}
+
 /// Streams `iter` into `sink` in batches, applying the residual filter.
 fn stream_filtered<'a>(
     iter: impl Iterator<Item = &'a Instance>,
@@ -399,15 +742,16 @@ fn for_each_batch(
     plan: &Physical,
     db: &Database,
     indexes: &[Vec<Index>],
+    opts: &ExecOptions,
     prof: Prof,
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
     let Some(node) = prof.node() else {
-        return exec_serial(plan, db, indexes, prof, sink);
+        return exec_serial(plan, db, indexes, opts, prof, sink);
     };
     let t0 = Instant::now();
     let mut rows = 0u64;
-    exec_serial(plan, db, indexes, prof, &mut |batch| {
+    exec_serial(plan, db, indexes, opts, prof, &mut |batch| {
         rows += batch.len() as u64;
         sink(batch);
     });
@@ -422,6 +766,7 @@ fn exec_serial(
     plan: &Physical,
     db: &Database,
     indexes: &[Vec<Index>],
+    opts: &ExecOptions,
     prof: Prof,
     sink: &mut dyn FnMut(&mut Vec<Instance>),
 ) {
@@ -429,7 +774,13 @@ fn exec_serial(
         Physical::Empty { .. } => {}
         Physical::SeqScan { ty, preds } => {
             let rel = db.extension_cow(*ty);
-            stream_profiled(rel.iter(), preds, prof.node(), sink);
+            // A predicate-free scan has nothing to vectorise — row
+            // streaming avoids the per-morsel mask machinery.
+            if opts.columnar && !preds.is_empty() {
+                scan_columnar_serial(&rel, preds, prof.node(), sink);
+            } else {
+                stream_profiled(rel.iter(), preds, prof.node(), sink);
+            }
         }
         Physical::IndexSeek {
             ty,
@@ -559,20 +910,46 @@ fn exec_serial(
             }
         }
         Physical::Filter { input, preds } => {
-            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
-                batch.retain(|t| matches(t, preds));
-                if !batch.is_empty() {
-                    sink(batch);
-                }
-            });
+            let columnar = opts.columnar;
+            for_each_batch(
+                input,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 0),
+                &mut |batch| {
+                    if columnar {
+                        filter_batch_columnar(batch, preds);
+                    } else {
+                        batch.retain(|t| matches(t, preds));
+                    }
+                    if !batch.is_empty() {
+                        sink(batch);
+                    }
+                },
+            );
         }
         Physical::Project { input, to } => {
             let target = db.schema().attrs_of(*to).clone();
-            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
-                let mut projected: Vec<Instance> =
-                    batch.drain(..).map(|t| t.project(&target)).collect();
-                sink(&mut projected);
-            });
+            let columnar = opts.columnar;
+            for_each_batch(
+                input,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 0),
+                &mut |batch| {
+                    let mut projected: Vec<Instance> = if columnar {
+                        let refs: Vec<&Instance> = batch.iter().collect();
+                        let out = project_rows_columnar(&refs, &target);
+                        batch.clear();
+                        out
+                    } else {
+                        batch.drain(..).map(|t| t.project(&target)).collect()
+                    };
+                    sink(&mut projected);
+                },
+            );
         }
         Physical::HashJoin {
             build, probe, keys, ..
@@ -582,13 +959,27 @@ fn exec_serial(
             let key_of = |t: &Instance| -> Vec<Value> {
                 keys.iter().filter_map(|a| t.get(*a).cloned()).collect()
             };
-            // Materialise the build side into a hash table.
+            let columnar = opts.columnar;
+            // Materialise the build side into a hash table, extracting
+            // key columns batch-at-a-time on the columnar path.
             let mut table: HashMap<Vec<Value>, Vec<Instance>> = HashMap::new();
-            for_each_batch(build, db, indexes, prof.child(plan, 0), &mut |batch| {
-                for t in batch.drain(..) {
-                    table.entry(key_of(&t)).or_default().push(t);
-                }
-            });
+            for_each_batch(
+                build,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 0),
+                &mut |batch| {
+                    let hints = columnar.then(|| key_hints(batch, keys));
+                    for t in batch.drain(..) {
+                        let key = match &hints {
+                            Some(h) => key_with_hints(&t, keys, h),
+                            None => key_of(&t),
+                        };
+                        table.entry(key).or_default().push(t);
+                    }
+                },
+            );
             if let Some(node) = prof.node() {
                 // Serial build = one partition holding every build row.
                 let build_rows: usize = table.values().map(Vec::len).sum();
@@ -596,19 +987,31 @@ fn exec_serial(
             }
             // Stream the probe side.
             let mut out = Vec::with_capacity(BATCH_SIZE);
-            for_each_batch(probe, db, indexes, prof.child(plan, 1), &mut |batch| {
-                for p in batch.drain(..) {
-                    if let Some(partners) = table.get(&key_of(&p)) {
-                        for b in partners {
-                            out.push(b.merge(&p));
-                            if out.len() == BATCH_SIZE {
-                                sink(&mut out);
-                                out.clear();
+            for_each_batch(
+                probe,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 1),
+                &mut |batch| {
+                    let hints = columnar.then(|| key_hints(batch, keys));
+                    for p in batch.drain(..) {
+                        let partners = match &hints {
+                            Some(h) => table.get(&key_with_hints(&p, keys, h)),
+                            None => table.get(&key_of(&p)),
+                        };
+                        if let Some(partners) = partners {
+                            for b in partners {
+                                out.push(b.merge(&p));
+                                if out.len() == BATCH_SIZE {
+                                    sink(&mut out);
+                                    out.clear();
+                                }
                             }
                         }
                     }
-                }
-            });
+                },
+            );
             if !out.is_empty() {
                 sink(&mut out);
             }
@@ -622,7 +1025,7 @@ fn exec_serial(
             // equal-key groups pairwise.
             let collect = |side: &Physical, p: Prof| {
                 let mut rows: Vec<Instance> = Vec::new();
-                for_each_batch(side, db, indexes, p, &mut |batch| rows.append(batch));
+                for_each_batch(side, db, indexes, opts, p, &mut |batch| rows.append(batch));
                 rows
             };
             let lrows = collect(left, prof.child(plan, 0));
@@ -631,9 +1034,14 @@ fn exec_serial(
         }
         Physical::Sort { input, keys } => {
             let mut rows: Vec<Instance> = Vec::new();
-            for_each_batch(input, db, indexes, prof.child(plan, 0), &mut |batch| {
-                rows.append(batch)
-            });
+            for_each_batch(
+                input,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 0),
+                &mut |batch| rows.append(batch),
+            );
             if let Some(node) = prof.node() {
                 node.add_runs(1);
             }
@@ -651,22 +1059,36 @@ fn exec_serial(
         }
         Physical::Union { left, right, .. } => {
             // Bag semantics here; the collecting sink deduplicates.
-            for_each_batch(left, db, indexes, prof.child(plan, 0), sink);
-            for_each_batch(right, db, indexes, prof.child(plan, 1), sink);
+            for_each_batch(left, db, indexes, opts, prof.child(plan, 0), sink);
+            for_each_batch(right, db, indexes, opts, prof.child(plan, 1), sink);
         }
         Physical::Intersect { build, probe, .. } => {
             let mut members = Relation::new();
-            for_each_batch(build, db, indexes, prof.child(plan, 0), &mut |batch| {
-                for t in batch.drain(..) {
-                    members.insert(t);
-                }
-            });
-            for_each_batch(probe, db, indexes, prof.child(plan, 1), &mut |batch| {
-                batch.retain(|t| members.contains(t));
-                if !batch.is_empty() {
-                    sink(batch);
-                }
-            });
+            for_each_batch(
+                build,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 0),
+                &mut |batch| {
+                    for t in batch.drain(..) {
+                        members.insert(t);
+                    }
+                },
+            );
+            for_each_batch(
+                probe,
+                db,
+                indexes,
+                opts,
+                prof.child(plan, 1),
+                &mut |batch| {
+                    batch.retain(|t| members.contains(t));
+                    if !batch.is_empty() {
+                        sink(batch);
+                    }
+                },
+            );
         }
     }
 }
@@ -742,6 +1164,7 @@ mod parallel {
         pub indexes: &'a [Vec<Index>],
         pub threads: usize,
         pub morsel_size: usize,
+        pub columnar: bool,
     }
 
     impl<'a> Ctx<'a> {
@@ -751,6 +1174,18 @@ mod parallel {
                 indexes,
                 threads: opts.effective_threads(),
                 morsel_size: opts.morsel_size.max(1),
+                columnar: opts.columnar,
+            }
+        }
+
+        /// The serial-path options equivalent to this context (leaf
+        /// operators inside a parallel plan run through the serial
+        /// executor).
+        fn opts(&self) -> ExecOptions {
+            ExecOptions {
+                threads: 1,
+                morsel_size: self.morsel_size,
+                columnar: self.columnar,
             }
         }
     }
@@ -824,6 +1259,62 @@ mod parallel {
         Project(toposem_topology::BitSet),
     }
 
+    /// The columnar worker pass for a fused scan: source predicates and
+    /// fused `Filter` steps evaluate as bitmap kernels over columns
+    /// decoded once per morsel; `Project` steps narrow a cumulative
+    /// attribute target (sequential projections compose by
+    /// intersection) that the final materialisation applies by column
+    /// slicing. A filter on an attribute already projected away drains
+    /// the mask, mirroring the row path's `get() == None` rejection.
+    /// Step tallies land in `counts` exactly as [`push_through`] would
+    /// record them: `counts[i]` = rows surviving steps `0..=i`.
+    fn scan_morsel_columnar(
+        morsel: &[&Instance],
+        preds: &[(AttrId, Predicate)],
+        steps: &[Step],
+        counts: &mut [u64],
+    ) -> (Vec<Instance>, u64) {
+        let cm = ColumnarMorsel::new(morsel);
+        let mut mask = eval_preds_mask(&cm, preds);
+        let scanned_out = mask.count_ones() as u64;
+        let mut target: Option<BitSet> = None;
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                Step::Filter(preds) => {
+                    for (attr, pred) in preds.iter() {
+                        if !mask.any() {
+                            break;
+                        }
+                        let pm = if target.as_ref().is_some_and(|t| !t.contains(attr.index())) {
+                            SelectionMask::none(cm.len())
+                        } else {
+                            // Columns decode from the *original* rows:
+                            // projection narrows attributes, never
+                            // values, so surviving attrs are unchanged.
+                            pred_mask(&cm, *attr, pred)
+                        };
+                        mask.and_with(&pm);
+                    }
+                }
+                Step::Project(to) => {
+                    target = Some(match target {
+                        None => to.clone(),
+                        Some(t) => t.intersection(to),
+                    });
+                }
+            }
+            if let Some(c) = counts.get_mut(i) {
+                *c += mask.count_ones() as u64;
+            }
+        }
+        let selected: Vec<&Instance> = mask.iter_ones().map(|i| morsel[i]).collect();
+        let res = match &target {
+            None => selected.into_iter().cloned().collect(),
+            Some(t) => project_rows_columnar(&selected, t),
+        };
+        (res, scanned_out)
+    }
+
     /// Pushes one tuple through the fused steps; `None` when a filter
     /// rejects it. Clones lazily: a tuple is only materialised at its
     /// first projection (or at the end, for the output). `counts[i]` is
@@ -883,9 +1374,20 @@ mod parallel {
                 let nmorsels = pm.len();
                 let out = dispatch(&pm, ctx.threads, |_, morsel| {
                     let mut out = Vec::new();
-                    for p in morsel {
-                        for b in table.partners(p) {
-                            out.push(b.merge(p));
+                    if ctx.columnar {
+                        // Hash the key columns for the whole morsel
+                        // before touching the table.
+                        let morsel_keys = batch_join_keys(morsel, keys);
+                        for (p, key) in morsel.iter().zip(&morsel_keys) {
+                            for b in table.partners_by_key(key) {
+                                out.push(b.merge(p));
+                            }
+                        }
+                    } else {
+                        for p in morsel {
+                            for b in table.partners(p) {
+                                out.push(b.merge(p));
+                            }
                         }
                     }
                     out
@@ -1033,24 +1535,34 @@ mod parallel {
         };
         if let Physical::SeqScan { ty, preds } = cur {
             // Fused source: scan morsels of the stored relation, filter
-            // and project inside the workers.
+            // and project inside the workers — through the columnar
+            // kernels (decoded columns + selection bitmaps) by default,
+            // row-at-a-time when disabled.
             let rel = ctx.db.extension_cow(*ty);
             let morsels: Vec<Vec<&Instance>> = rel.morsels(ctx.morsel_size).collect();
             let workers = ctx.threads.min(morsels.len()).max(1);
             let out = dispatch(&morsels, ctx.threads, |_, morsel| {
                 let mut counts = vec![0u64; steps.len()];
-                let mut scanned_out = 0u64;
-                let res: Vec<Instance> = morsel
-                    .iter()
-                    .copied()
-                    .filter(|t| matches(t, preds))
-                    .inspect(|_| scanned_out += 1)
-                    .filter_map(|t| push_through(t, &steps, &mut counts))
-                    .collect();
+                let (res, scanned_out) = if ctx.columnar {
+                    scan_morsel_columnar(morsel, preds, &steps, &mut counts)
+                } else {
+                    let mut scanned_out = 0u64;
+                    let res: Vec<Instance> = morsel
+                        .iter()
+                        .copied()
+                        .filter(|t| matches(t, preds))
+                        .inspect(|_| scanned_out += 1)
+                        .filter_map(|t| push_through(t, &steps, &mut counts))
+                        .collect();
+                    (res, scanned_out)
+                };
                 if let Some(node) = cur_prof.node() {
                     node.add_rows_in(morsel.len() as u64);
                     node.add_rows(scanned_out);
                     node.add_morsels(1);
+                    if ctx.columnar {
+                        node.add_vec_batches(1);
+                    }
                 }
                 merge_counts(&counts);
                 res
@@ -1101,7 +1613,7 @@ mod parallel {
     fn collect_serial(plan: &Physical, ctx: &Ctx, prof: Prof) -> Vec<Vec<Instance>> {
         let mut out: Vec<Vec<Instance>> = Vec::new();
         let mut cur: Vec<Instance> = Vec::new();
-        for_each_batch(plan, ctx.db, ctx.indexes, prof, &mut |batch| {
+        for_each_batch(plan, ctx.db, ctx.indexes, &ctx.opts(), prof, &mut |batch| {
             for t in batch.drain(..) {
                 cur.push(t);
                 if cur.len() == ctx.morsel_size {
@@ -1129,12 +1641,21 @@ mod parallel {
     impl PartitionedTable {
         fn build(morsels: Vec<Vec<Instance>>, keys: &[AttrId], ctx: &Ctx) -> PartitionedTable {
             let nparts = ctx.threads.max(1);
-            // Phase 1: scatter each morsel into per-partition buckets.
+            let columnar = ctx.columnar;
+            // Phase 1: scatter each morsel into per-partition buckets —
+            // key columns extracted batch-wise on the columnar path.
             let scattered = dispatch_take(morsels, ctx.threads, |_, morsel| {
                 let mut buckets: Vec<Vec<(Vec<Value>, Instance)>> = vec![Vec::new(); nparts];
-                for t in morsel {
-                    let key = join_key(&t, keys);
-                    buckets[partition_of(&key, nparts)].push((key, t));
+                if columnar {
+                    let morsel_keys = batch_join_keys(&morsel, keys);
+                    for (t, key) in morsel.into_iter().zip(morsel_keys) {
+                        buckets[partition_of(&key, nparts)].push((key, t));
+                    }
+                } else {
+                    for t in morsel {
+                        let key = join_key(&t, keys);
+                        buckets[partition_of(&key, nparts)].push((key, t));
+                    }
                 }
                 buckets
             });
@@ -1164,8 +1685,12 @@ mod parallel {
 
         fn partners(&self, probe: &Instance) -> &[Instance] {
             let key = join_key(probe, &self.keys);
-            self.parts[partition_of(&key, self.parts.len())]
-                .get(&key)
+            self.partners_by_key(&key)
+        }
+
+        fn partners_by_key(&self, key: &[Value]) -> &[Instance] {
+            self.parts[partition_of(key, self.parts.len())]
+                .get(key)
                 .map(Vec::as_slice)
                 .unwrap_or(&[])
         }
@@ -1278,3 +1803,248 @@ mod parallel {
 
 #[cfg(feature = "parallel")]
 use parallel::{eval_parallel, par_sort_morsels, Ctx};
+
+#[cfg(test)]
+mod tests {
+    //! Differential tests for the columnar kernels: every kernel is
+    //! checked bit-for-bit against the row-at-a-time evaluation it
+    //! replaces, across morsel sizes that straddle the bitmap word
+    //! boundary (empty, single-tuple, 63/64/65, multi-word) and every
+    //! predicate class — including cross-variant constants, which must
+    //! resolve through the same `Int < Str < Bool` total order the row
+    //! path compares under.
+
+    use super::*;
+
+    const NAME: AttrId = AttrId(0); // always Str
+    const AGE: AttrId = AttrId(1); // always Int (negatives included)
+    const FLAG: AttrId = AttrId(2); // always Bool
+    const MIXED: AttrId = AttrId(3); // alternates Int / Str
+    const SPARSE: AttrId = AttrId(4); // missing on every third row
+
+    /// Deterministic rows exercising all four column shapes plus a
+    /// partially-missing attribute.
+    fn make_rows(n: usize) -> Vec<Instance> {
+        (0..n)
+            .map(|i| {
+                let mut fields = vec![
+                    (NAME, Value::str(&format!("w{:03}", (i * 37) % 100))),
+                    (AGE, Value::Int((i as i64 * 13) % 50 - 10)),
+                    (FLAG, Value::Bool(i % 3 == 0)),
+                    (
+                        MIXED,
+                        if i % 2 == 0 {
+                            Value::Int(i as i64)
+                        } else {
+                            Value::str(&format!("m{i}"))
+                        },
+                    ),
+                ];
+                if i % 3 != 1 {
+                    fields.push((SPARSE, Value::Int(i as i64 % 7)));
+                }
+                Instance::from_parts(fields)
+            })
+            .collect()
+    }
+
+    /// Every predicate class, with constants of every variant — the
+    /// cross-variant ones hit the kernel branches that resolve bounds
+    /// through the `Value` total order.
+    fn preds() -> Vec<Predicate> {
+        use Predicate::*;
+        vec![
+            Eq(Value::Int(13)),
+            Lt(Value::Int(7)),
+            Le(Value::Int(7)),
+            Gt(Value::Int(30)),
+            Ge(Value::Int(30)),
+            Between(Value::Int(-5), Value::Int(12)),
+            Between(Value::Int(12), Value::Int(-5)), // inverted: empty
+            Eq(Value::str("w037")),
+            Lt(Value::str("w050")),
+            Le(Value::str("w050")),
+            Gt(Value::str("w050")),
+            Ge(Value::str("w050")),
+            Between(Value::str("w010"), Value::str("w060")),
+            Eq(Value::Bool(true)),
+            Eq(Value::Bool(false)),
+            Lt(Value::Bool(true)),
+            Ge(Value::Bool(false)),
+            Between(Value::Int(0), Value::str("w999")), // Int lo, Str hi
+            Between(Value::str("a"), Value::Bool(true)), // Str lo, Bool hi
+            Between(Value::Int(i64::MIN), Value::Bool(true)), // everything
+        ]
+    }
+
+    /// The row-path semantics every mask kernel must reproduce: rows
+    /// missing the attribute are rejected.
+    fn ref_ones(rows: &[&Instance], attr: AttrId, pred: &Predicate) -> Vec<usize> {
+        rows.iter()
+            .enumerate()
+            .filter(|(_, t)| t.get(attr).is_some_and(|v| pred.matches(v)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn fixture_rows_exercise_every_column_shape() {
+        let owned = make_rows(65);
+        let refs: Vec<&Instance> = owned.iter().collect();
+        let cm = ColumnarMorsel::new(&refs);
+        assert!(matches!(&*cm.column(NAME).unwrap(), Column::Str(_)));
+        assert!(matches!(&*cm.column(AGE).unwrap(), Column::Int(_)));
+        assert!(matches!(&*cm.column(FLAG).unwrap(), Column::Bool(_)));
+        assert!(matches!(&*cm.column(MIXED).unwrap(), Column::Mixed(_)));
+        assert!(cm.column(SPARSE).is_none(), "sparse attr must not decode");
+    }
+
+    #[test]
+    fn pred_masks_match_rowwise_evaluation_for_every_class_and_shape() {
+        for n in [0usize, 1, 63, 64, 65, 200] {
+            let owned = make_rows(n);
+            let refs: Vec<&Instance> = owned.iter().collect();
+            let cm = ColumnarMorsel::new(&refs);
+            for attr in [NAME, AGE, FLAG, MIXED, SPARSE] {
+                for pred in preds() {
+                    let mask = pred_mask(&cm, attr, &pred);
+                    let expect = ref_ones(&refs, attr, &pred);
+                    assert_eq!(
+                        mask.iter_ones().collect::<Vec<_>>(),
+                        expect,
+                        "n={n} attr={attr:?} pred={pred:?}"
+                    );
+                    assert_eq!(mask.count_ones(), expect.len());
+                    assert_eq!(mask.any(), !expect.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conjunction_bitmaps_match_rowwise_matches() {
+        use Predicate::*;
+        let pred_sets: Vec<Vec<(AttrId, Predicate)>> = vec![
+            vec![],
+            vec![(AGE, Ge(Value::Int(0))), (NAME, Lt(Value::str("w080")))],
+            // First predicate drains the mask: the early exit must not
+            // change the (empty) result.
+            vec![(AGE, Lt(Value::Int(-100))), (FLAG, Eq(Value::Bool(true)))],
+            vec![
+                (FLAG, Eq(Value::Bool(true))),
+                (AGE, Between(Value::Int(0), Value::Int(20))),
+                (SPARSE, Ge(Value::Int(2))),
+                (MIXED, Le(Value::str("zzz"))),
+            ],
+            // Same-attribute ranges: the fused interval must equal the
+            // AND of the individual masks.
+            vec![
+                (AGE, Ge(Value::Int(0))),
+                (AGE, Le(Value::Int(10))),
+                (AGE, Between(Value::Int(2), Value::Int(30))),
+            ],
+            // Contradictory ranges on one column: fuses to empty.
+            vec![(AGE, Lt(Value::Int(5))), (AGE, Gt(Value::Int(10)))],
+            // A cross-variant Eq that matches no integer (int_range
+            // None) mixed into a same-column group.
+            vec![(AGE, Ge(Value::Int(0))), (AGE, Eq(Value::str("x")))],
+        ];
+        for n in [0usize, 1, 64, 200] {
+            let owned = make_rows(n);
+            let refs: Vec<&Instance> = owned.iter().collect();
+            let cm = ColumnarMorsel::new(&refs);
+            for ps in &pred_sets {
+                let mask = eval_preds_mask(&cm, ps);
+                let expect: Vec<usize> = refs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches(t, ps))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(
+                    mask.iter_ones().collect::<Vec<_>>(),
+                    expect,
+                    "n={n} preds={ps:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn filter_batch_columnar_equals_order_preserving_retain() {
+        use Predicate::*;
+        let ps = vec![(AGE, Ge(Value::Int(0))), (FLAG, Eq(Value::Bool(true)))];
+        for n in [0usize, 1, 64, 200] {
+            let mut batch = make_rows(n);
+            let mut expect = batch.clone();
+            expect.retain(|t| matches(t, &ps));
+            filter_batch_columnar(&mut batch, &ps);
+            assert_eq!(batch, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn projection_by_column_slicing_matches_tuple_wise_project() {
+        let universe = 8;
+        let targets = [
+            BitSet::from_indices(universe, [NAME.index(), AGE.index()]),
+            BitSet::from_indices(universe, [AGE.index(), SPARSE.index()]),
+            BitSet::from_indices(universe, [MIXED.index()]),
+            BitSet::empty(universe),
+        ];
+        // Homogeneous rows (no sparse attr) take the column-sliced path;
+        // make_rows' shape-varying batches fall back — both must equal
+        // tuple-wise projection.
+        let homogeneous: Vec<Instance> = make_rows(100)
+            .into_iter()
+            .map(|t| t.project(&BitSet::from_indices(universe, [0, 1, 2, 3])))
+            .collect();
+        for owned in [make_rows(0), make_rows(1), make_rows(100), homogeneous] {
+            let refs: Vec<&Instance> = owned.iter().collect();
+            for target in &targets {
+                let got = project_rows_columnar(&refs, target);
+                let expect: Vec<Instance> = refs.iter().map(|t| t.project(target)).collect();
+                assert_eq!(got, expect, "target={target:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_join_keys_matches_tuple_wise_extraction() {
+        for keys in [
+            vec![AGE, NAME],         // both decode: column path
+            vec![AGE, SPARSE, NAME], // sparse can't: tuple-wise fallback
+            vec![MIXED],             // mixed variants still decode
+            Vec::new(),
+        ] {
+            for n in [0usize, 1, 64, 200] {
+                let rows = make_rows(n);
+                let got = batch_join_keys(&rows, &keys);
+                let expect: Vec<Vec<Value>> = rows
+                    .iter()
+                    .map(|t| keys.iter().filter_map(|a| t.get(*a).cloned()).collect())
+                    .collect();
+                assert_eq!(got, expect, "keys={keys:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_columnar_serial_matches_row_streaming() {
+        use Predicate::*;
+        let mut rel = Relation::new();
+        for t in make_rows(200) {
+            rel.insert(t);
+        }
+        let ps = vec![
+            (AGE, Between(Value::Int(0), Value::Int(20))),
+            (FLAG, Eq(Value::Bool(true))),
+        ];
+        let mut columnar = Vec::new();
+        scan_columnar_serial(&rel, &ps, None, &mut |batch| columnar.append(batch));
+        let mut rowwise = Vec::new();
+        stream_filtered(rel.iter(), &ps, &mut |batch| rowwise.append(batch));
+        assert!(!columnar.is_empty(), "fixture must select something");
+        assert_eq!(columnar, rowwise, "order and content must be identical");
+    }
+}

@@ -1032,31 +1032,65 @@ fn join_pair(
         out.push(cand(hash(l, rbest)));
     }
     if opts.merge_joins && !keys.is_empty() {
-        let req: SortKeys = keys.iter().map(|a| (*a, SortDir::Asc)).collect();
-        let sorted_input = |side: &[Cand]| -> Physical {
-            // Cheapest candidate already in order, or the cheapest
-            // overall behind a Sort enforcer — whichever estimates lower.
-            let enforced = cand(Physical::Sort {
-                input: Box::new(cheapest(side).phys.clone()),
-                keys: req.clone(),
-            });
-            match side
-                .iter()
-                .filter(|c| order_satisfies_with_bound(&c.order, &req, &c.phys.eq_bound_attrs()))
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
-            {
-                Some(carried) if carried.cost <= enforced.cost => carried.phys.clone(),
-                _ => enforced.phys,
-            }
-        };
-        out.push(cand(Physical::MergeJoin {
-            left: Box::new(sorted_input(lc)),
-            right: Box::new(sorted_input(rc)),
-            keys: keys.to_vec(),
-            ty,
-        }));
+        // A merge join is an equi-join on the whole key set, so *any*
+        // ordering of the keys works as long as both sides sort by the
+        // same one: an index ordered (b, a) satisfies an (a, b) join
+        // without a Sort. Emit one candidate per key permutation (both
+        // sides sharing it) and let pruning keep the non-dominated ones.
+        for perm in key_orders(keys) {
+            let req: SortKeys = perm.iter().map(|a| (*a, SortDir::Asc)).collect();
+            let sorted_input = |side: &[Cand]| -> Physical {
+                // Cheapest candidate already in order, or the cheapest
+                // overall behind a Sort enforcer — whichever estimates
+                // lower.
+                let enforced = cand(Physical::Sort {
+                    input: Box::new(cheapest(side).phys.clone()),
+                    keys: req.clone(),
+                });
+                match side
+                    .iter()
+                    .filter(|c| {
+                        order_satisfies_with_bound(&c.order, &req, &c.phys.eq_bound_attrs())
+                    })
+                    .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+                {
+                    Some(carried) if carried.cost <= enforced.cost => carried.phys.clone(),
+                    _ => enforced.phys,
+                }
+            };
+            out.push(cand(Physical::MergeJoin {
+                left: Box::new(sorted_input(lc)),
+                right: Box::new(sorted_input(rc)),
+                keys: perm,
+                ty,
+            }));
+        }
     }
     prune(out)
+}
+
+/// Key orderings a merge join may sort by: every permutation for up to
+/// three keys, only the canonical order above that (k! candidates per
+/// join would bloat the frontier for wide compound keys, which rarely
+/// have a matching index order anyway).
+fn key_orders(keys: &[AttrId]) -> Vec<Vec<AttrId>> {
+    if keys.len() > 3 {
+        return vec![keys.to_vec()];
+    }
+    fn rec(ks: &mut Vec<AttrId>, i: usize, out: &mut Vec<Vec<AttrId>>) {
+        if i + 1 >= ks.len() {
+            out.push(ks.clone());
+            return;
+        }
+        for j in i..ks.len() {
+            ks.swap(i, j);
+            rec(ks, i + 1, out);
+            ks.swap(i, j);
+        }
+    }
+    let mut orders = Vec::new();
+    rec(&mut keys.to_vec(), 0, &mut orders);
+    orders
 }
 
 /// Collects the non-join leaves of a join tree, left to right.

@@ -121,6 +121,7 @@ fn profiled_actuals_match_naive_parallel() {
     let opts = ExecOptions {
         threads: 4,
         morsel_size: 256,
+        ..ExecOptions::default()
     };
     for q in query_suite(&eng) {
         let (_, naive) = eng.with_db(|db| q.execute(db)).unwrap();
@@ -145,6 +146,7 @@ fn profiled_result_identical_to_unprofiled() {
         grid.push(ExecOptions {
             threads: 4,
             morsel_size: 128,
+            ..ExecOptions::default()
         });
     }
     for q in query_suite(&eng) {

@@ -1,0 +1,141 @@
+//! First-execution planning under equi-depth histograms: a skewed
+//! distribution that defeats min/max interpolation must be priced
+//! correctly by the histogram alone — no profiled execution, no
+//! feedback correction — so the very first `explain` already shows the
+//! right access path. The counterfactual leg (histograms toggled off)
+//! pins that it really is the histogram doing the work, not the cost
+//! model accidentally agreeing.
+//!
+//! This suite runs in its own process, so the process-wide histogram
+//! toggle cannot leak into other test binaries; within the binary the
+//! toggling test and its peers serialise on a shared lock.
+
+use std::sync::Mutex;
+
+use toposem_core::{employee_schema, Intension};
+use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, DomainSpec, Value};
+use toposem_planner::PlannedExecution;
+use toposem_storage::{set_histograms_enabled, Engine, Query};
+
+/// Serialises tests that read or flip the process-wide histogram
+/// toggle (poison-tolerant: an assertion failure elsewhere must not
+/// cascade).
+static HIST_TOGGLE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    HIST_TOGGLE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The employee schema over an unbounded age domain, so the outlier
+/// that stretches the min/max span is admissible.
+fn fresh_db() -> Database {
+    let mut catalog = DomainCatalog::new();
+    catalog
+        .bind("person-names", DomainSpec::AnyStr)
+        .bind("ages", DomainSpec::AnyInt)
+        .bind(
+            "department-names",
+            DomainSpec::Enum(vec!["sales".into(), "research".into(), "admin".into()]),
+        )
+        .bind("amounts", DomainSpec::AnyInt)
+        .bind(
+            "locations",
+            DomainSpec::Enum(vec!["amsterdam".into(), "utrecht".into()]),
+        );
+    Database::new(
+        Intension::analyse(employee_schema()),
+        catalog,
+        ContainmentPolicy::Eager,
+    )
+}
+
+/// `n - 1` employees with ages dense in `0..100` plus one outlier at
+/// `tail`: under pure min/max interpolation the dense range `[0, 100]`
+/// looks vanishingly selective against the stretched span, so the
+/// ordered index on `age` is the statically attractive — and wrong —
+/// access path.
+fn skewed_engine(n: i64, tail: i64) -> Engine {
+    let eng = Engine::new(fresh_db());
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let deps = ["sales", "research", "admin"];
+    for i in 0..n {
+        let age = if i == 0 { tail } else { i % 100 };
+        eng.insert(
+            employee,
+            &[
+                ("name", Value::str(&format!("w{i:05}"))),
+                ("age", Value::Int(age)),
+                ("depname", Value::str(deps[(i % 3) as usize])),
+            ],
+        )
+        .unwrap();
+    }
+    let age = s.attr_id("age").unwrap();
+    eng.create_ord_index(employee, age).unwrap();
+    eng
+}
+
+fn range(eng: &Engine, lo: i64, hi: i64) -> Query {
+    let s = eng.with_db(|db| db.schema().clone());
+    let employee = s.type_id("employee").unwrap();
+    let age = s.attr_id("age").unwrap();
+    Query::scan(employee).select_between(age, Value::Int(lo), Value::Int(hi))
+}
+
+/// The acceptance scenario: the hot range covers all but one row, and
+/// the FIRST `explain` — fresh engine, zero executions, zero feedback
+/// observations — already plans the sequential scan. With histograms
+/// toggled off, an identically-built engine mispicks the range seek,
+/// proving the histogram is what fixed the estimate.
+#[test]
+fn skewed_hot_range_plans_a_scan_on_the_first_execution() {
+    let _g = lock();
+    set_histograms_enabled(true);
+
+    let eng = skewed_engine(3_000, 100_000);
+    assert_eq!(
+        eng.feedback().stats().observations,
+        0,
+        "nothing may have trained the estimate"
+    );
+    let q = range(&eng, 0, 100);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("SeqScan") && !plan.contains("IndexRangeSeek"),
+        "histograms must price the hot range near 1.0 and pick the scan:\n{plan}"
+    );
+    let (_, rel) = eng.with_db(|db| q.execute(db)).unwrap();
+    assert_eq!(rel.len(), 2_999, "every row but the outlier matches");
+
+    // Counterfactual: same data, histogram pricing off, min/max
+    // interpolation mispicks the seek.
+    set_histograms_enabled(false);
+    let naive = skewed_engine(3_000, 100_000);
+    let plan = naive.explain(&range(&naive, 0, 100)).unwrap();
+    set_histograms_enabled(true);
+    assert!(
+        plan.contains("IndexRangeSeek"),
+        "without histograms the stretched span must mispick the seek:\n{plan}"
+    );
+}
+
+/// The flip side: a range the histogram prices as genuinely selective
+/// (only the outlier bucket) keeps the index seek on the first
+/// execution — histograms must not blunt the index into a scan-always
+/// model.
+#[test]
+fn genuinely_selective_range_keeps_the_index_seek() {
+    let _g = lock();
+    set_histograms_enabled(true);
+
+    let eng = skewed_engine(3_000, 100_000);
+    let q = range(&eng, 5_000, 200_000);
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("IndexRangeSeek"),
+        "a near-empty range must keep the seek:\n{plan}"
+    );
+    let (_, rel) = eng.with_db(|db| q.execute(db)).unwrap();
+    assert_eq!(rel.len(), 1, "only the outlier is in range");
+}

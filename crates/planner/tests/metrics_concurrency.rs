@@ -39,6 +39,7 @@ fn exec_options() -> ExecOptions {
         ExecOptions {
             threads: 4,
             morsel_size: 128,
+            ..ExecOptions::default()
         }
     } else {
         ExecOptions::serial()

@@ -143,6 +143,48 @@ fn merge_join_consumes_index_range_seek_order() {
     agree(&eng, &q);
 }
 
+/// A merge join is an equi-join on the whole key set, so a *permuted*
+/// key order works as long as both sides share it: composite indexes on
+/// (age, name) — the reverse of the canonical shared-key order — must
+/// still carry a Sort-free merge join, with the requested (age, name)
+/// output order falling out of the walk for free.
+#[test]
+fn merge_join_consumes_permuted_composite_index_order() {
+    let eng = engine();
+    load(&eng, 200);
+    let s = eng.with_db(|db| db.schema().clone());
+    let person = s.type_id("person").unwrap();
+    let employee = s.type_id("employee").unwrap();
+    let name = s.attr_id("name").unwrap();
+    let age = s.attr_id("age").unwrap();
+    // The canonical shared-key order is ascending attribute id; index
+    // both sides in the *reverse* order, so only a permuted merge-join
+    // requirement can consume the carried order.
+    let reversed = if name.index() < age.index() {
+        [age, name]
+    } else {
+        [name, age]
+    };
+    eng.create_composite_index(person, &reversed).unwrap();
+    eng.create_composite_index(employee, &reversed).unwrap();
+
+    // Request the permuted order at the root: the merge join that sorts
+    // by it produces the answer with no Sort anywhere.
+    let q = Query::scan(person)
+        .join(Query::scan(employee))
+        .order_by(reversed.iter().map(|a| (*a, SortDir::Asc)).collect());
+    let plan = eng.explain(&q).unwrap();
+    assert!(
+        plan.contains("MergeJoin"),
+        "permuted composite order must enable a merge join:\n{plan}"
+    );
+    assert!(
+        !plan.contains("Sort"),
+        "the permuted key order must be carried, not enforced:\n{plan}"
+    );
+    agree_ordered(&eng, &q);
+}
+
 /// DP join reordering avoids the cross product the as-written nesting
 /// would execute: (person ⋈ department) ⋈ worksfor shares no attributes
 /// in its first join, so the reorderer must pick another association.

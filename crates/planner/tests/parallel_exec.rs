@@ -30,18 +30,22 @@ fn knob_grid() -> Vec<ExecOptions> {
         ExecOptions {
             threads: 2,
             morsel_size: 64,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 3,
             morsel_size: 500,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 8,
             morsel_size: 1000,
+            ..ExecOptions::default()
         },
         ExecOptions {
             threads: 16,
             morsel_size: 7, // more workers than morsels on small inputs
+            ..ExecOptions::default()
         },
     ]
 }
@@ -271,6 +275,7 @@ fn cost_discount_reflects_degree() {
     let par = ExecOptions {
         threads: 4,
         morsel_size: 1000,
+        ..ExecOptions::default()
     };
     let big = Physical::SeqScan {
         ty: employee,

@@ -92,6 +92,7 @@ fn concurrent_planned_readers_survive_index_ddl() {
     let opts = ExecOptions {
         threads: 4,
         morsel_size: 128,
+        ..ExecOptions::default()
     };
 
     std::thread::scope(|scope| {

@@ -195,6 +195,42 @@ fn write_transaction_is_invisible_until_commit() {
 }
 
 #[test]
+fn first_txn_reads_stay_lock_free_via_the_primed_snapshot() {
+    let (eng, handle) = server();
+    let mut a = Client::connect(&handle);
+    let mut b = Client::connect(&handle);
+
+    // A takes the write token as the engine's *first* transaction — no
+    // session has ever requested a snapshot.
+    a.ok("BEGIN");
+    a.ok("INSERT employee name='w1', age=1, depname='sales'");
+
+    // B's autocommit read arrives mid-transaction. The snapshot primed
+    // at engine construction serves the committed (empty) state; the
+    // snapshot-hit counter pins that the read went through the
+    // lock-free route rather than the locked fallback.
+    let hits_before = eng.metrics().snapshot_hits.get();
+    assert_eq!(
+        b.ok("QUERY scan employee").len(),
+        0,
+        "uncommitted writes must stay invisible"
+    );
+    assert!(
+        eng.metrics().snapshot_hits.get() > hits_before,
+        "first-txn autocommit read must hit the primed snapshot"
+    );
+
+    // BEGIN READ also succeeds mid-write-transaction for the same
+    // reason (it needs a committed snapshot to pin).
+    b.ok("BEGIN READ");
+    assert_eq!(b.ok("QUERY scan employee").len(), 0);
+    b.ok("COMMIT");
+
+    a.ok("COMMIT");
+    assert_eq!(b.ok("QUERY scan employee").len(), 1, "commit published");
+}
+
+#[test]
 fn ddl_is_autocommit_only_and_changes_plans() {
     let (_eng, handle) = server();
     let mut c = Client::connect(&handle);

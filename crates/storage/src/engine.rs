@@ -15,6 +15,7 @@
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -160,14 +161,24 @@ struct Inner {
     stats_epoch: u64,
     plan_cache: PlanCache,
     /// Cached MVCC snapshot of the last *committed* state, handed to
-    /// readers by [`Engine::snapshot`]. Invariant: while a transaction
-    /// is active, this (when present) is the committed pre-transaction
-    /// state — [`Engine::begin`] refreshes it before any uncommitted
-    /// write lands, and in-transaction mutations never mark it stale.
+    /// readers by [`Engine::snapshot`]. Primed at construction, so a
+    /// reader arriving while the very first transaction is active still
+    /// finds a committed state to read lock-free. Invariant: while a
+    /// transaction is active, this (when present) is the committed
+    /// pre-transaction state — [`Engine::begin`] refreshes it before
+    /// any uncommitted write lands, and in-transaction mutations never
+    /// mark it stale.
     snapshot: Option<Arc<EngineSnapshot>>,
     /// Whether `snapshot` lags the committed state and must be rebuilt
     /// before the next use.
     snapshot_stale: bool,
+    /// Whether any reader has ever asked for a snapshot. Gates the
+    /// refresh in [`Engine::begin`]: a write-only workload (no snapshot
+    /// readers) must not clone the whole database on every begin just
+    /// to keep a snapshot nobody reads current — it drops the stale
+    /// snapshot in O(1) instead. Atomic so the lock-free read path of
+    /// [`Engine::snapshot`] can set it under the shared lock.
+    snapshot_requested: AtomicBool,
 }
 
 impl Inner {
@@ -345,23 +356,31 @@ impl Engine {
     /// Wraps a database (volatile: no write-ahead log).
     pub fn new(db: Database) -> Self {
         let n = db.schema().type_count();
+        let metrics = Arc::new(EngineMetrics::new());
+        let mut inner = Inner {
+            db,
+            declared_fds: Vec::new(),
+            indexes: vec![Vec::new(); n],
+            txn_log: None,
+            current_txn: None,
+            txn_token: None,
+            txn_seq: 0,
+            wal: None,
+            stats: None,
+            stats_epoch: 0,
+            plan_cache: PlanCache::new(),
+            snapshot: None,
+            snapshot_stale: false,
+            snapshot_requested: AtomicBool::new(false),
+        };
+        // Prime the committed-state snapshot: a reader that arrives
+        // while the very first write transaction is active must find a
+        // committed state to read lock-free rather than falling back to
+        // the locked path.
+        inner.refresh_snapshot(&metrics);
         Engine {
-            inner: Arc::new(RwLock::new(Inner {
-                db,
-                declared_fds: Vec::new(),
-                indexes: vec![Vec::new(); n],
-                txn_log: None,
-                current_txn: None,
-                txn_token: None,
-                txn_seq: 0,
-                wal: None,
-                stats: None,
-                stats_epoch: 0,
-                plan_cache: PlanCache::new(),
-                snapshot: None,
-                snapshot_stale: false,
-            })),
-            metrics: Arc::new(EngineMetrics::new()),
+            inner: Arc::new(RwLock::new(inner)),
+            metrics,
             trace: Arc::new(TraceRing::new(toposem_obs::trace::DEFAULT_TRACE_CAP)),
             flusher: None,
         }
@@ -932,10 +951,15 @@ impl Engine {
         // transaction can mutate anything: MVCC readers keep reading the
         // pre-transaction state through it for the transaction's whole
         // lifetime. Only refresh when someone has actually asked for
-        // snapshots — workloads that never read through them pay
-        // nothing.
-        if inner.snapshot.is_some() && inner.snapshot_stale {
-            inner.refresh_snapshot(&self.metrics);
+        // snapshots — a write-only workload would otherwise clone the
+        // whole database on every begin; for it the stale snapshot is
+        // dropped in O(1) instead (the next snapshot reader rebuilds).
+        if inner.snapshot_stale {
+            if inner.snapshot_requested.load(Ordering::Relaxed) {
+                inner.refresh_snapshot(&self.metrics);
+            } else {
+                inner.snapshot = None;
+            }
         }
         inner.txn_log = Some(Vec::new());
         inner.current_txn = txn;
@@ -1242,6 +1266,7 @@ impl Engine {
     pub fn snapshot(&self) -> Option<Arc<EngineSnapshot>> {
         {
             let inner = self.inner.read();
+            inner.snapshot_requested.store(true, Ordering::Relaxed);
             if !inner.snapshot_stale {
                 if let Some(s) = &inner.snapshot {
                     self.metrics.snapshot_hits.inc();
@@ -1250,6 +1275,7 @@ impl Engine {
             }
         }
         let mut inner = self.inner.write();
+        inner.snapshot_requested.store(true, Ordering::Relaxed);
         if inner.txn_log.is_some() {
             // Mid-transaction the database holds uncommitted writes; the
             // cached snapshot (when present) is the committed
@@ -1298,6 +1324,54 @@ mod tests {
             ("depname", Value::str(d)),
             ("location", Value::str(l)),
         ]
+    }
+
+    #[test]
+    fn primed_snapshot_serves_reads_through_the_first_txn() {
+        let eng = engine();
+        let worksfor = eng.with_db(|db| db.schema().type_id("worksfor").unwrap());
+        eng.begin().unwrap();
+        eng.insert(worksfor, &worksfor_row("ann", 40, "sales", "amsterdam"))
+            .unwrap();
+        // A reader arriving mid-transaction — having never asked for a
+        // snapshot before — still gets the committed (empty)
+        // pre-transaction state, via the snapshot primed at
+        // construction, instead of `None` and the locked fallback.
+        let snap = eng
+            .snapshot()
+            .expect("construction-primed snapshot must survive the first begin");
+        assert_eq!(snap.db().extension_cow(worksfor).len(), 0);
+        eng.commit().unwrap();
+        // After the commit, snapshots materialise the write.
+        let snap = eng.snapshot().expect("committed state");
+        assert_eq!(snap.db().extension_cow(worksfor).len(), 1);
+    }
+
+    #[test]
+    fn write_only_workloads_drop_rather_than_refresh_the_snapshot() {
+        let eng = engine();
+        let worksfor = eng.with_db(|db| db.schema().type_id("worksfor").unwrap());
+        let primed = eng.metrics().snapshot_rebuilds.get();
+        // A begin/commit loop with no snapshot readers must not clone
+        // the database per transaction to keep a snapshot nobody reads.
+        for i in 0..10i64 {
+            eng.begin().unwrap();
+            eng.insert(
+                worksfor,
+                &worksfor_row(&format!("w{i}"), 20 + i, "sales", "amsterdam"),
+            )
+            .unwrap();
+            eng.commit().unwrap();
+        }
+        assert_eq!(
+            eng.metrics().snapshot_rebuilds.get(),
+            primed,
+            "begin must not rebuild snapshots for a write-only workload"
+        );
+        // The first actual reader rebuilds once and sees everything.
+        let snap = eng.snapshot().expect("reader rebuilds on demand");
+        assert_eq!(snap.db().extension_cow(worksfor).len(), 10);
+        assert_eq!(eng.metrics().snapshot_rebuilds.get(), primed + 1);
     }
 
     #[test]

@@ -82,6 +82,32 @@ impl Predicate {
             _ => false,
         }
     }
+
+    /// The set of *integers* this predicate admits, as an inclusive
+    /// range `Some((lo, hi))`, or `None` when no integer satisfies it.
+    /// Bounds of other variants resolve through the total [`Ord`] on
+    /// [`Value`] (`Int < Str < Bool`): a `Str`/`Bool` upper bound
+    /// admits every integer, a `Str`/`Bool` lower bound admits none.
+    /// The columnar integer kernels and histogram pricing both build on
+    /// this, so they cannot disagree with [`Predicate::matches`].
+    pub fn int_range(&self) -> Option<(i64, i64)> {
+        let (plo, phi) = self.bounds();
+        let lo = match plo {
+            None => i64::MIN,
+            Some((Value::Int(v), true)) => *v,
+            Some((Value::Int(v), false)) => v.checked_add(1)?,
+            // No integer is ≥ any Str/Bool bound.
+            Some(_) => return None,
+        };
+        let hi = match phi {
+            None => i64::MAX,
+            Some((Value::Int(v), true)) => *v,
+            Some((Value::Int(v), false)) => v.checked_sub(1)?,
+            // Every integer is < any Str/Bool bound.
+            Some(_) => i64::MAX,
+        };
+        (lo <= hi).then_some((lo, hi))
+    }
 }
 
 impl std::fmt::Display for Predicate {
@@ -619,6 +645,45 @@ mod tests {
         assert!(!Predicate::Between(Value::Int(3), Value::Int(3)).is_empty());
         assert_eq!(Predicate::Eq(Value::Int(1)).as_eq(), Some(&Value::Int(1)));
         assert_eq!(Predicate::Lt(Value::Int(1)).as_eq(), None);
+    }
+
+    #[test]
+    fn int_range_agrees_with_matches() {
+        let preds = [
+            Predicate::Eq(Value::Int(5)),
+            Predicate::Lt(Value::Int(5)),
+            Predicate::Le(Value::Int(5)),
+            Predicate::Gt(Value::Int(5)),
+            Predicate::Ge(Value::Int(5)),
+            Predicate::Between(Value::Int(3), Value::Int(7)),
+            Predicate::Between(Value::Int(7), Value::Int(3)),
+            // Cross-variant constants resolve through Int < Str < Bool.
+            Predicate::Eq(Value::str("x")),
+            Predicate::Lt(Value::str("x")),
+            Predicate::Gt(Value::str("x")),
+            Predicate::Le(Value::Bool(false)),
+            Predicate::Ge(Value::Bool(true)),
+            Predicate::Between(Value::Int(2), Value::str("z")),
+        ];
+        for p in &preds {
+            let range = p.int_range();
+            for i in -10..=10 {
+                let in_range = range.is_some_and(|(lo, hi)| lo <= i && i <= hi);
+                assert_eq!(
+                    p.matches(&Value::Int(i)),
+                    in_range,
+                    "int_range/matches disagree for {p:?} at {i}"
+                );
+            }
+        }
+        // Exclusive bounds at the i64 edges collapse to the empty set
+        // instead of wrapping.
+        assert_eq!(Predicate::Lt(Value::Int(i64::MIN)).int_range(), None);
+        assert_eq!(Predicate::Gt(Value::Int(i64::MAX)).int_range(), None);
+        assert_eq!(
+            Predicate::Lt(Value::str("x")).int_range(),
+            Some((i64::MIN, i64::MAX))
+        );
     }
 
     #[test]

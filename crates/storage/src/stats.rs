@@ -9,7 +9,8 @@
 //! result, invalidating on any mutation, so statistics cost is amortised
 //! across a query workload.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Database, Value};
@@ -21,6 +22,119 @@ use crate::query::Predicate;
 /// Fallback selectivity for a half-open range when the attribute's
 /// bounds are unknown or non-numeric (the classic System R guess).
 const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Bucket budget for equi-depth histograms (fewer when the attribute
+/// has fewer rows or heavy duplication collapses fences).
+const HISTOGRAM_BUCKETS: usize = 64;
+
+fn histogram_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| {
+        let on = std::env::var("TOPOSEM_HISTOGRAMS")
+            .map(|v| !matches!(v.trim(), "0" | "false" | "off"))
+            .unwrap_or(true);
+        AtomicBool::new(on)
+    })
+}
+
+/// Whether range estimates consult equi-depth histograms (process-wide;
+/// seeded from `TOPOSEM_HISTOGRAMS`, default on). Histograms are still
+/// *collected* while disabled — only pricing ignores them — so toggling
+/// never requires a statistics rebuild.
+pub fn histograms_enabled() -> bool {
+    histogram_flag().load(Ordering::Relaxed)
+}
+
+/// Enable or disable histogram pricing process-wide. Exists so tests
+/// and benchmarks exercising the pure min/max interpolation (or the
+/// feedback loop it motivates) can pin their footing without touching
+/// process environment.
+pub fn set_histograms_enabled(on: bool) {
+    histogram_flag().store(on, Ordering::Relaxed)
+}
+
+/// Equi-depth histogram over one integer attribute.
+///
+/// `fences` are strictly-ascending bucket upper bounds sampled at
+/// equal-depth positions of the sorted value multiset (duplicates
+/// collapse fences, so heavy hitters get narrow buckets); `cum[j]` is
+/// the *exact* number of values `<= fences[j]`. Estimation is exact at
+/// every fence and linear in value space inside a bucket — so ~1/64 of
+/// the rows is the worst-case interpolation error, independent of how
+/// skewed the distribution is. That is the whole point: min/max
+/// interpolation prices a range by its share of the [min, max] span,
+/// which a handful of outliers can stretch arbitrarily.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Smallest value in the multiset (implicit lower fence).
+    lo: i64,
+    /// Strictly ascending bucket upper bounds; last is the max value.
+    fences: Vec<i64>,
+    /// Exact count of values `<= fences[j]`; last is `n`.
+    cum: Vec<u64>,
+    /// Total values (rows with the attribute).
+    n: u64,
+}
+
+impl Histogram {
+    /// Build from the sorted multiset of an attribute's values.
+    /// Returns `None` for an empty multiset.
+    fn build(sorted: &[i64]) -> Option<Histogram> {
+        if sorted.is_empty() {
+            return None;
+        }
+        let b = HISTOGRAM_BUCKETS.min(sorted.len());
+        let mut fences: Vec<i64> = Vec::with_capacity(b);
+        for i in 0..b {
+            let f = sorted[(i + 1) * sorted.len() / b - 1];
+            if fences.last() != Some(&f) {
+                fences.push(f);
+            }
+        }
+        let cum = fences
+            .iter()
+            .map(|f| sorted.partition_point(|v| v <= f) as u64)
+            .collect();
+        Some(Histogram {
+            lo: sorted[0],
+            fences,
+            cum,
+            n: sorted.len() as u64,
+        })
+    }
+
+    /// Estimated number of values `<= x`: exact at fences, linearly
+    /// interpolated in value space inside a bucket.
+    fn est_leq(&self, x: i64) -> f64 {
+        if x < self.lo {
+            return 0.0;
+        }
+        let last = *self.fences.last().expect("non-empty histogram");
+        if x >= last {
+            return self.n as f64;
+        }
+        // First bucket whose fence admits x; x < last so j is in range.
+        let j = self.fences.partition_point(|f| *f < x);
+        let (prev_fence, prev_cum) = if j == 0 {
+            (self.lo - 1, 0)
+        } else {
+            (self.fences[j - 1], self.cum[j - 1])
+        };
+        let width = (self.fences[j] - prev_fence) as f64;
+        let frac = (x - prev_fence) as f64 / width;
+        prev_cum as f64 + frac * (self.cum[j] - prev_cum) as f64
+    }
+
+    /// Estimated fraction of values in the inclusive range `[rlo, rhi]`.
+    pub fn range_fraction(&self, rlo: i64, rhi: i64) -> f64 {
+        let below = if rlo == i64::MIN {
+            0.0
+        } else {
+            self.est_leq(rlo - 1)
+        };
+        ((self.est_leq(rhi) - below) / self.n.max(1) as f64).clamp(0.0, 1.0)
+    }
+}
 
 /// Statistics of one entity type's extension.
 #[derive(Clone, Debug, Default)]
@@ -35,6 +149,9 @@ pub struct TypeStats {
     pub min: Vec<Option<Value>>,
     /// Largest observed value per attribute.
     pub max: Vec<Option<Value>>,
+    /// Equi-depth histograms, indexed by `AttrId::index()`; present only
+    /// for attributes whose observed values are all integers.
+    pub histograms: Vec<Option<Histogram>>,
 }
 
 /// Statistics for every entity type of a database.
@@ -67,8 +184,12 @@ impl Statistics {
                 let mut distinct = vec![0usize; n_attrs];
                 let mut min: Vec<Option<Value>> = vec![None; n_attrs];
                 let mut max: Vec<Option<Value>> = vec![None; n_attrs];
-                // One fused pass fills min/max for every attribute of the
-                // type (rather than one relation scan per attribute).
+                // Integer value multisets for histogram construction;
+                // `None` marks an attribute with a non-integer value.
+                let mut ints: Vec<Option<Vec<i64>>> = vec![Some(Vec::new()); n_attrs];
+                // One fused pass fills min/max (and gathers histogram
+                // inputs) for every attribute of the type (rather than
+                // one relation scan per attribute).
                 for t in rel.iter() {
                     for (attr, v) in t.fields() {
                         let a = attr.index();
@@ -78,8 +199,21 @@ impl Statistics {
                         if max[a].as_ref().is_none_or(|m| v > m) {
                             max[a] = Some(v.clone());
                         }
+                        match (v, &mut ints[a]) {
+                            (Value::Int(i), Some(vals)) => vals.push(*i),
+                            (Value::Int(_), None) => {}
+                            _ => ints[a] = None,
+                        }
                     }
                 }
+                let histograms = ints
+                    .into_iter()
+                    .map(|vals| {
+                        let mut vals = vals?;
+                        vals.sort_unstable();
+                        Histogram::build(&vals)
+                    })
+                    .collect();
                 let type_indexes = indexes.get(e.index()).map(Vec::as_slice).unwrap_or(&[]);
                 for a in schema.attrs_of(e).iter() {
                     let attr = AttrId(a as u32);
@@ -107,6 +241,7 @@ impl Statistics {
                     distinct,
                     min,
                     max,
+                    histograms,
                 }
             })
             .collect();
@@ -179,6 +314,16 @@ impl Statistics {
     /// Largest observed value of `a` within `e`'s extension.
     pub fn max(&self, e: TypeId, a: AttrId) -> Option<&Value> {
         self.per_type[e.index()].max[a.index()].as_ref()
+    }
+
+    /// Equi-depth histogram of `a` within `e`'s extension, when every
+    /// observed value of `a` is an integer and the extension is
+    /// non-empty.
+    pub fn histogram(&self, e: TypeId, a: AttrId) -> Option<&Histogram> {
+        self.per_type[e.index()]
+            .histograms
+            .get(a.index())
+            .and_then(Option::as_ref)
     }
 
     /// Estimated fraction of `e`'s tuples matching an equality predicate
@@ -258,9 +403,11 @@ impl Statistics {
     }
 
     /// Estimated fraction of `e`'s tuples matching `pred` on `a`.
-    /// Equality uses 1/distinct; ranges over integer attributes
-    /// interpolate against the observed [min, max] span; anything else
-    /// falls back to the classic 1/3 guess.
+    /// Equality uses 1/distinct; ranges over integer attributes consult
+    /// the equi-depth histogram when one exists (and histogram pricing
+    /// is enabled), otherwise interpolate against the observed
+    /// [min, max] span; anything else falls back to the classic 1/3
+    /// guess.
     pub fn pred_selectivity(&self, e: TypeId, a: AttrId, pred: &Predicate) -> f64 {
         if pred.is_empty() {
             return 0.0;
@@ -268,12 +415,25 @@ impl Statistics {
         if pred.as_eq().is_some() {
             return self.selectivity(e, a);
         }
-        // Any non-equality predicate is priced as a range; the learned
-        // correction is what rescues interpolation over skew (a handful
-        // of outliers can stretch [min, max] until a selective range
-        // looks like the whole table).
+        // Any non-equality predicate is priced as a range; learned
+        // corrections multiply on top of whichever static estimate
+        // applies, so feedback still composes with histogram pricing.
         let corr = self.correction(e, Some(a), PredClass::Range);
         let stat = 'stat: {
+            if histograms_enabled() {
+                if let Some(h) = self.histogram(e, a) {
+                    break 'stat match pred.int_range() {
+                        // The attribute is all-integer; a predicate
+                        // admitting no integer matches nothing.
+                        None => 0.0,
+                        Some((rlo, rhi)) => h
+                            .range_fraction(rlo, rhi)
+                            // Never estimate below one matching value's
+                            // worth.
+                            .clamp(1.0 / self.cardinality(e).max(1) as f64, 1.0),
+                    };
+                }
+            }
             let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (self.min(e, a), self.max(e, a))
             else {
                 break 'stat DEFAULT_RANGE_SELECTIVITY;
@@ -302,8 +462,139 @@ impl Statistics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
     use toposem_core::{employee_schema, Intension};
     use toposem_extension::{ContainmentPolicy, DomainCatalog, Value};
+
+    /// Serialises tests that toggle (or are sensitive to mid-test
+    /// flips of) the process-wide histogram switch.
+    fn hist_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn skewed_db() -> (Database, TypeId, AttrId) {
+        let mut db = Database::new(
+            Intension::analyse(employee_schema()),
+            DomainCatalog::employee_defaults(),
+            ContainmentPolicy::Eager,
+        );
+        let s = db.schema().clone();
+        let employee = s.type_id("employee").unwrap();
+        let age = s.attr_id("age").unwrap();
+        // 999 rows clustered in ages [0, 4], one outlier at 150: the
+        // [min, max] span is 30× wider than where the data lives.
+        for i in 0..1000i64 {
+            let a = if i == 999 { 150 } else { i % 5 };
+            db.insert_fields(
+                employee,
+                &[
+                    ("name", Value::str(&format!("p{i}"))),
+                    ("age", Value::Int(a)),
+                    ("depname", Value::str("sales")),
+                ],
+            )
+            .unwrap();
+        }
+        (db, employee, age)
+    }
+
+    #[test]
+    fn histogram_exact_at_fences_and_bounded_inside_buckets() {
+        let mut vals: Vec<i64> = (0..999).map(|i| i % 10).collect();
+        vals.push(1_000_000);
+        vals.sort_unstable();
+        let h = Histogram::build(&vals).unwrap();
+        // The cluster holds 999/1000 of the mass; the outlier almost
+        // nothing — regardless of the million-wide value span.
+        let cluster = h.range_fraction(0, 9);
+        assert!(cluster > 0.95, "got {cluster}");
+        let hole = h.range_fraction(10, 999_999);
+        assert!(hole < 0.05, "got {hole}");
+        // Full-domain and out-of-domain ranges are exact.
+        assert_eq!(h.range_fraction(i64::MIN, i64::MAX), 1.0);
+        assert_eq!(h.range_fraction(2_000_000, 3_000_000), 0.0);
+        assert_eq!(h.range_fraction(i64::MIN, -1), 0.0);
+        // Every fence is an exact cut point.
+        for (f, c) in h.fences.iter().zip(&h.cum) {
+            let est = h.est_leq(*f);
+            assert!((est - *c as f64).abs() < 1e-9, "fence {f}: {est} vs {c}");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_tiny_and_constant_multisets() {
+        assert_eq!(Histogram::build(&[]), None);
+        let one = Histogram::build(&[7]).unwrap();
+        assert_eq!(one.range_fraction(7, 7), 1.0);
+        assert_eq!(one.range_fraction(8, 9), 0.0);
+        // All-equal values collapse to a single fence.
+        let flat = Histogram::build(&[5; 100]).unwrap();
+        assert_eq!(flat.fences.len(), 1);
+        assert_eq!(flat.range_fraction(5, 5), 1.0);
+        assert_eq!(flat.range_fraction(0, 4), 0.0);
+    }
+
+    #[test]
+    fn skewed_range_priced_by_histogram_not_span() {
+        let _g = hist_lock();
+        let (db, employee, age) = skewed_db();
+        let stats = Statistics::collect(&db, &[]);
+        let pred = Predicate::Between(Value::Int(0), Value::Int(4));
+        // Histogram pricing sees ~99.9% of rows in the cluster.
+        set_histograms_enabled(true);
+        let hist = stats.pred_selectivity(employee, age, &pred);
+        assert!(hist > 0.9, "histogram estimate too low: {hist}");
+        // min/max interpolation prices the same range by its share of
+        // the outlier-stretched span — under 4%.
+        set_histograms_enabled(false);
+        let span = stats.pred_selectivity(employee, age, &pred);
+        set_histograms_enabled(true);
+        assert!(span < 0.05, "span estimate unexpectedly high: {span}");
+        // A range covering only the hole prices near zero with the
+        // histogram (floored at one row's worth).
+        let hole = stats.pred_selectivity(
+            employee,
+            age,
+            &Predicate::Between(Value::Int(20), Value::Int(140)),
+        );
+        assert!(hole < 0.02, "got {hole}");
+        // A predicate admitting no integers prices as empty on an
+        // all-integer attribute.
+        let none = stats.pred_selectivity(employee, age, &Predicate::Gt(Value::str("zzz")));
+        assert_eq!(none, 0.0);
+    }
+
+    #[test]
+    fn feedback_composes_with_histogram_pricing() {
+        use toposem_obs::FeedbackObservation;
+        let _g = hist_lock();
+        let (db, employee, age) = skewed_db();
+        let fb = Arc::new(SelectivityFeedback::with_enabled(true));
+        fb.observe(
+            3,
+            &[FeedbackObservation {
+                keys: vec![FeedbackKey {
+                    ty: employee.index() as u32,
+                    attr: age.index() as u32,
+                    class: PredClass::Range,
+                }],
+                est_rows: 1_000.0,
+                act_rows: 500.0,
+            }],
+        );
+        let plain = Statistics::collect(&db, &[]);
+        let steered = plain.clone().with_feedback(fb, 3);
+        let pred = Predicate::Between(Value::Int(0), Value::Int(4));
+        let stat = plain.pred_selectivity(employee, age, &pred);
+        let corrected = steered.pred_selectivity(employee, age, &pred);
+        // The learned correction multiplies on top of the histogram
+        // estimate. A single moderate (2× band) observation is damped
+        // to its square root until confirmed, so one execution of a
+        // 0.5× miss steers by √0.5.
+        let expect = stat * 0.5_f64.sqrt();
+        assert!((corrected - expect).abs() < 1e-9, "{corrected} vs {expect}");
+    }
 
     #[test]
     fn collect_counts_cardinality_and_distincts() {
@@ -458,6 +749,7 @@ mod tests {
     fn attached_feedback_corrects_estimates() {
         use toposem_obs::FeedbackObservation;
 
+        let _g = hist_lock();
         let mut db = Database::new(
             Intension::analyse(employee_schema()),
             DomainCatalog::employee_defaults(),
