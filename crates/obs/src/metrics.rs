@@ -220,6 +220,32 @@ impl Default for WalMetrics {
     }
 }
 
+/// Metrics recorded by the replication layer. Kept as a separate struct
+/// behind an `Arc` (same dependency-arrow trick as [`WalMetrics`]) so
+/// the replication crate records into the engine-wide registry without
+/// obs depending on it. A primary's shipper updates the shipped side; a
+/// follower updates both the shipped watermark it has *seen* and the
+/// applied side, so `lag` is meaningful on whichever end exports it.
+#[derive(Debug, Default)]
+pub struct ReplicationMetrics {
+    /// Highest LSN published through the segment transport (primary) or
+    /// observed in the transport manifest (follower).
+    pub shipped_lsn: Gauge,
+    /// One past the last LSN the follower has applied to its engine.
+    pub applied_lsn: Gauge,
+    /// Segment publications through the transport (whole or partial).
+    pub segments_shipped: Counter,
+    /// Segment bytes pushed through the transport.
+    pub bytes_shipped: Counter,
+    /// Checkpoints published through the transport.
+    pub checkpoints_shipped: Counter,
+    /// WAL records a follower applied from the stream.
+    pub records_applied: Counter,
+    /// Times a follower re-bootstrapped from a newer checkpoint because
+    /// the segments it needed were superseded.
+    pub rebootstraps: Counter,
+}
+
 /// The engine-wide registry. One instance per [`Engine`]; every layer
 /// records into it through an `Arc`.
 ///
@@ -280,6 +306,9 @@ pub struct EngineMetrics {
     ///
     /// [`Wal`]: https://docs.rs/ (toposem-wal)
     pub wal: Arc<WalMetrics>,
+    /// Replication-layer metrics, shared with a shipper (primary) or
+    /// follower attached to this engine.
+    pub repl: Arc<ReplicationMetrics>,
     /// Selectivity-feedback cache, shared with the statistics layer
     /// (same dependency-arrow trick as [`WalMetrics`]: storage holds it
     /// through obs without obs depending on storage).
@@ -311,6 +340,7 @@ impl Default for EngineMetrics {
             connections_opened: Counter::default(),
             connections_open: Gauge::default(),
             wal: Arc::new(WalMetrics::default()),
+            repl: Arc::new(ReplicationMetrics::default()),
             feedback: Arc::new(SelectivityFeedback::new()),
         }
     }
@@ -353,6 +383,15 @@ impl EngineMetrics {
                 group_commit_batch: self.wal.group_commit_batch.snapshot(),
                 checkpoints: self.wal.checkpoints.get(),
                 checkpoint_ns: self.wal.checkpoint_ns.snapshot(),
+            },
+            repl: ReplicationStats {
+                shipped_lsn: self.repl.shipped_lsn.get(),
+                applied_lsn: self.repl.applied_lsn.get(),
+                segments_shipped: self.repl.segments_shipped.get(),
+                bytes_shipped: self.repl.bytes_shipped.get(),
+                checkpoints_shipped: self.repl.checkpoints_shipped.get(),
+                records_applied: self.repl.records_applied.get(),
+                rebootstraps: self.repl.rebootstraps.get(),
             },
             planner_qerror: self.planner_qerror.snapshot(),
             mvcc: MvccStats {
@@ -452,6 +491,33 @@ pub struct WalStats {
     pub checkpoint_ns: HistogramSnapshot,
 }
 
+/// Replication counters and watermarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Highest LSN published/observed through the transport.
+    pub shipped_lsn: u64,
+    /// One past the last LSN applied by the follower.
+    pub applied_lsn: u64,
+    /// Segment publications through the transport.
+    pub segments_shipped: u64,
+    /// Segment bytes pushed through the transport.
+    pub bytes_shipped: u64,
+    /// Checkpoints published through the transport.
+    pub checkpoints_shipped: u64,
+    /// WAL records applied from the stream.
+    pub records_applied: u64,
+    /// Follower re-bootstraps from a newer checkpoint.
+    pub rebootstraps: u64,
+}
+
+impl ReplicationStats {
+    /// Records shipped but not yet applied — the replication lag this
+    /// end can observe (0 on an engine with no replication attached).
+    pub fn lag(&self) -> u64 {
+        self.shipped_lsn.saturating_sub(self.applied_lsn)
+    }
+}
+
 /// Typed snapshot of the whole registry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
@@ -469,6 +535,8 @@ pub struct MetricsSnapshot {
     pub recovery: RecoveryStats,
     /// WAL counters and histograms.
     pub wal: WalStats,
+    /// Replication counters and watermarks.
+    pub repl: ReplicationStats,
     /// Worst per-query q-error distribution (values are `q × 100`).
     pub planner_qerror: HistogramSnapshot,
     /// MVCC snapshot counters.
@@ -585,6 +653,31 @@ impl MetricsSnapshot {
             self.sessions.connections_opened,
         );
         counter(
+            "toposem_repl_segments_shipped_total",
+            "WAL segment publications through the replication transport",
+            self.repl.segments_shipped,
+        );
+        counter(
+            "toposem_repl_bytes_shipped_total",
+            "WAL segment bytes pushed through the replication transport",
+            self.repl.bytes_shipped,
+        );
+        counter(
+            "toposem_repl_checkpoints_shipped_total",
+            "Checkpoints published through the replication transport",
+            self.repl.checkpoints_shipped,
+        );
+        counter(
+            "toposem_repl_records_applied_total",
+            "WAL records applied from the replication stream",
+            self.repl.records_applied,
+        );
+        counter(
+            "toposem_repl_rebootstraps_total",
+            "Follower re-bootstraps from a newer checkpoint",
+            self.repl.rebootstraps,
+        );
+        counter(
             "toposem_feedback_corrections_applied",
             "Non-neutral selectivity corrections applied during planning",
             self.feedback.corrections_applied,
@@ -624,6 +717,21 @@ impl MetricsSnapshot {
                 out,
                 "# HELP toposem_connections_open Network connections currently open\n# TYPE toposem_connections_open gauge\ntoposem_connections_open {}",
                 self.sessions.connections_open
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_repl_shipped_lsn Highest LSN published or observed through the replication transport\n# TYPE toposem_repl_shipped_lsn gauge\ntoposem_repl_shipped_lsn {}",
+                self.repl.shipped_lsn
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_repl_applied_lsn One past the last LSN applied from the replication stream\n# TYPE toposem_repl_applied_lsn gauge\ntoposem_repl_applied_lsn {}",
+                self.repl.applied_lsn
+            );
+            let _ = writeln!(
+                out,
+                "# HELP toposem_repl_lag_records Records shipped but not yet applied\n# TYPE toposem_repl_lag_records gauge\ntoposem_repl_lag_records {}",
+                self.repl.lag()
             );
         }
         self.planner_qerror.render_prometheus(
@@ -678,6 +786,9 @@ mod tests {
         m.wal.fsync_ns.record(12_345);
         m.wal.group_commit_batch.record(7);
         m.planner_qerror.record(137);
+        m.repl.shipped_lsn.set(42);
+        m.repl.applied_lsn.set(40);
+        m.repl.segments_shipped.add(5);
         let text = m.snapshot().to_prometheus();
         assert!(text.contains("toposem_plan_cache_hits_total 3"));
         assert!(text.contains("# TYPE toposem_planner_qerror histogram"));
@@ -689,5 +800,9 @@ mod tests {
         assert!(text.contains("toposem_wal_fsync_latency_ns_sum 12345"));
         assert!(text.contains("toposem_wal_group_commit_batch_bucket{le=\"8\"} 1"));
         assert!(text.contains("toposem_wal_group_commit_batch_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("toposem_repl_shipped_lsn 42"));
+        assert!(text.contains("toposem_repl_applied_lsn 40"));
+        assert!(text.contains("toposem_repl_lag_records 2"));
+        assert!(text.contains("toposem_repl_segments_shipped_total 5"));
     }
 }

@@ -38,13 +38,15 @@
 //!    parallel results are bit-identical to serial ones. Tune with
 //!    [`ExecOptions`] (or `TOPOSEM_THREADS` / `TOPOSEM_MORSEL_SIZE`).
 //!
-//! The entry point is [`PlannedExecution::query_planned`] on
-//! [`toposem_storage::Engine`]:
+//! The entry point is the [`QueryTarget`] trait with a [`QueryRequest`]
+//! builder — one pipeline behind every switch (ordering, options,
+//! profiling, read consistency), implemented by the live engine, pinned
+//! snapshots, and replication followers:
 //!
 //! ```
 //! use toposem_core::{employee_schema, Intension};
 //! use toposem_extension::{ContainmentPolicy, Database, DomainCatalog, Value};
-//! use toposem_planner::PlannedExecution;
+//! use toposem_planner::{PlannedExecution, QueryRequest, QueryTarget};
 //! use toposem_storage::{Engine, Query};
 //!
 //! let eng = Engine::new(Database::new(
@@ -76,9 +78,9 @@
 //! eng.create_ord_index(employee, age).unwrap();
 //!
 //! let q = Query::scan(employee).select(depname, Value::str("sales"));
-//! let (ty, rel) = eng.query_planned(&q).unwrap();
-//! assert_eq!(ty, employee);
-//! assert_eq!(rel.len(), 1);
+//! let resp = eng.run(&QueryRequest::new(q.clone())).unwrap();
+//! assert_eq!(resp.ty, employee);
+//! assert_eq!(resp.rows.len(), 1);
 //! // The same query explains as an index seek:
 //! assert!(eng.explain(&q).unwrap().contains("IndexSeek"));
 //!
@@ -86,14 +88,14 @@
 //! // (a wide range would price near the whole table — the equi-depth
 //! // histogram sees that — and scan instead):
 //! let r = Query::scan(employee).select_between(age, Value::Int(25), Value::Int(26));
-//! let (_, rel) = eng.query_planned(&r).unwrap();
-//! assert_eq!(rel.len(), 1); // carol (25)
+//! let resp = eng.run(&QueryRequest::new(r.clone())).unwrap();
+//! assert_eq!(resp.rows.len(), 1); // carol (25)
 //! assert!(eng.explain(&r).unwrap().contains("IndexRangeSeek"));
 //!
 //! // An ascending order-by over the ordered index is carried, not
-//! // enforced — the ordered entry point returns the sequence:
+//! // enforced — an `ordered` request returns the sequence:
 //! let o = Query::scan(employee).order_by_asc(age);
-//! let (_, seq) = eng.query_planned_ordered(&o).unwrap();
+//! let seq = eng.run(&QueryRequest::new(o.clone()).ordered()).unwrap().rows.seq().unwrap();
 //! let ages: Vec<_> = seq.iter().map(|t| t.get(age).cloned().unwrap()).collect();
 //! assert_eq!(ages, vec![Value::Int(25), Value::Int(30), Value::Int(35), Value::Int(40)]);
 //! assert!(!eng.explain(&o).unwrap().contains("Sort"));
@@ -104,6 +106,7 @@ pub mod exec;
 pub mod logical;
 pub mod physical;
 pub mod profile;
+pub mod request;
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -124,9 +127,20 @@ pub use physical::{
     BATCH_SIZE,
 };
 pub use profile::build_op_profile;
+pub use request::{
+    Consistency, PinnedSnapshot, QueryRequest, QueryResponse, QueryRows, QueryTarget,
+};
 
 /// Planned execution of sanctioned queries — implemented for
 /// [`Engine`], giving it the `query_planned` entry point.
+///
+/// **Deprecation note.** This trait (with [`ProfiledExecution`] and
+/// [`SnapshotExecution`]) predates the unified [`QueryRequest`] /
+/// [`QueryTarget`] API and survives as a thin shim over it — same plan
+/// cache, same trace, same results. New code should build a
+/// [`QueryRequest`] and call [`QueryTarget::run`]; these methods remain
+/// for source compatibility and may be removed in a future major
+/// version.
 ///
 /// **Integrity assumption.** The optimizer performs *semantic* rewrites
 /// that rely on declared constraints: a selection constant outside its
@@ -185,6 +199,9 @@ pub trait PlannedExecution {
 /// Profiled execution — `EXPLAIN ANALYZE` for the planned path,
 /// implemented for [`Engine`].
 ///
+/// **Deprecation note.** Shim over [`QueryRequest::profiled`] +
+/// [`QueryTarget::run`]; see [`PlannedExecution`].
+///
 /// Profiling never changes execution: a profiled run produces a result
 /// bit-identical to [`PlannedExecution::query_planned`] (serial and
 /// parallel), it just also returns the annotated [`QueryProfile`] tree
@@ -222,6 +239,10 @@ pub trait ProfiledExecution {
 
 /// Execution pinned to an explicit [`EngineSnapshot`] — the MVCC read
 /// path for long-running read transactions, implemented for [`Engine`].
+///
+/// **Deprecation note.** Shim over the unified path; prefer a
+/// [`PinnedSnapshot`] target with [`QueryTarget::run`]. See
+/// [`PlannedExecution`].
 ///
 /// `query_planned` already routes non-transactional statements through
 /// the engine's *current* committed snapshot; these entry points let a
@@ -271,23 +292,12 @@ impl SnapshotExecution for Engine {
         snap: &Arc<EngineSnapshot>,
         q: &Query,
     ) -> Result<(TypeId, Vec<Instance>), QueryError> {
-        let (ty, seq, _) = with_planned_profiled(
-            self,
-            q,
-            Some(snap),
-            false,
-            |physical, db, indexes, profile| {
-                exec::execute_ordered_profiled_with(
-                    physical,
-                    db,
-                    indexes,
-                    &ExecOptions::default(),
-                    profile,
-                )
-            },
-            |seq| seq.len() as u64,
-        )?;
-        Ok((ty, seq))
+        let req = QueryRequest::new(q.clone()).ordered();
+        let resp = request::run_with(self, &req, Some(snap))?;
+        Ok((
+            resp.ty,
+            resp.rows.seq().expect("ordered request yields Seq"),
+        ))
     }
 
     fn query_snapshot_with(
@@ -296,17 +306,9 @@ impl SnapshotExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Relation), QueryError> {
-        let (ty, rel, _) = with_planned_profiled(
-            self,
-            q,
-            Some(snap),
-            false,
-            |physical, db, indexes, profile| {
-                exec::execute_profiled_with(physical, db, indexes, opts, profile)
-            },
-            |rel| rel.len() as u64,
-        )?;
-        Ok((ty, rel))
+        let req = QueryRequest::new(q.clone()).with_options(*opts);
+        let resp = request::run_with(self, &req, Some(snap))?;
+        Ok((resp.ty, resp.rows.set().expect("plain request yields Set")))
     }
 }
 
@@ -579,17 +581,8 @@ impl PlannedExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Relation), QueryError> {
-        let (ty, rel, _) = with_planned_profiled(
-            self,
-            q,
-            None,
-            false,
-            |physical, db, indexes, profile| {
-                exec::execute_profiled_with(physical, db, indexes, opts, profile)
-            },
-            |rel| rel.len() as u64,
-        )?;
-        Ok((ty, rel))
+        let resp = self.run(&QueryRequest::new(q.clone()).with_options(*opts))?;
+        Ok((resp.ty, resp.rows.set().expect("plain request yields Set")))
     }
 
     fn query_planned_ordered_with(
@@ -597,17 +590,11 @@ impl PlannedExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Vec<Instance>), QueryError> {
-        let (ty, seq, _) = with_planned_profiled(
-            self,
-            q,
-            None,
-            false,
-            |physical, db, indexes, profile| {
-                exec::execute_ordered_profiled_with(physical, db, indexes, opts, profile)
-            },
-            |seq| seq.len() as u64,
-        )?;
-        Ok((ty, seq))
+        let resp = self.run(&QueryRequest::new(q.clone()).ordered().with_options(*opts))?;
+        Ok((
+            resp.ty,
+            resp.rows.seq().expect("ordered request yields Seq"),
+        ))
     }
 
     fn explain(&self, q: &Query) -> Result<String, QueryError> {
@@ -643,20 +630,12 @@ impl ProfiledExecution for Engine {
         q: &Query,
         opts: &ExecOptions,
     ) -> Result<(TypeId, Relation, Arc<QueryProfile>), QueryError> {
-        let (ty, rel, qp) = with_planned_profiled(
-            self,
-            q,
-            None,
-            true,
-            |physical, db, indexes, profile| {
-                exec::execute_profiled_with(physical, db, indexes, opts, profile)
-            },
-            |rel| rel.len() as u64,
-        )?;
+        let resp = self.run(&QueryRequest::new(q.clone()).with_options(*opts).profiled())?;
         Ok((
-            ty,
-            rel,
-            qp.expect("want_profile always assembles the profile"),
+            resp.ty,
+            resp.rows.set().expect("plain request yields Set"),
+            resp.profile
+                .expect("want_profile always assembles the profile"),
         ))
     }
 

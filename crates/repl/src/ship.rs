@@ -1,0 +1,218 @@
+//! The primary side of replication: a background thread that watches
+//! the engine's log directory and publishes checkpoint, segments, and
+//! manifest through a [`SegmentTransport`].
+//!
+//! Each round the shipper:
+//!
+//! 1. syncs the engine's log so buffered commit records reach the
+//!    segment files (bounding follower staleness by the poll interval
+//!    even under `FlushPolicy::NoSync`),
+//! 2. re-publishes the checkpoint if its LSN changed,
+//! 3. re-publishes every segment whose on-disk bytes changed since the
+//!    last round,
+//! 4. publishes a fresh [`Manifest`] naming exactly the live segments,
+//!    and finally
+//! 5. removes transport segments the manifest no longer names.
+//!
+//! Ordering matters: blobs before manifest, removals after — a follower
+//! acting on any manifest it observes finds every blob that manifest
+//! names. Transient failures (a segment deleted by a concurrent
+//! checkpoint mid-round, a transport hiccup) abort the round; the next
+//! poll starts over from the directory's current truth.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use toposem_storage::Engine;
+use toposem_wal::{crc32::crc32, list_segments, read_checkpoint, segment_first_lsn};
+
+use crate::transport::{Manifest, SegmentEntry, SegmentTransport};
+use crate::ReplError;
+
+/// Shipper tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ShipperConfig {
+    /// How often to scan the log directory for new bytes.
+    pub poll_interval: Duration,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        ShipperConfig {
+            poll_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What the shipper remembers about a segment between rounds: shipped
+/// length plus a checksum of the shipped tail, so a same-length rewrite
+/// after a primary crash-restart (torn tail truncated, new records
+/// appended) still triggers a re-publish.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ShippedState {
+    len: u64,
+    tail_crc: u32,
+}
+
+fn shipped_state(bytes: &[u8]) -> ShippedState {
+    let tail_start = bytes.len().saturating_sub(64);
+    ShippedState {
+        len: bytes.len() as u64,
+        tail_crc: crc32(&bytes[tail_start..]),
+    }
+}
+
+/// A handle to the primary-side shipping thread. Dropping it stops the
+/// thread after its current round.
+pub struct Shipper {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Shipper {
+    /// Start shipping `engine`'s log through `transport`. Fails with
+    /// [`ReplError::NotDurable`] if the engine has no write-ahead log.
+    ///
+    /// The first round runs synchronously before this returns, so on
+    /// success the transport already holds a checkpoint and manifest a
+    /// follower can bootstrap from.
+    pub fn start(
+        engine: Arc<Engine>,
+        transport: Arc<dyn SegmentTransport>,
+        cfg: ShipperConfig,
+    ) -> Result<Shipper, ReplError> {
+        let dir = engine.wal_dir().ok_or(ReplError::NotDurable)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut state = ShipperState::default();
+        ship_round(&engine, &dir, transport.as_ref(), &mut state)?;
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("toposem-shipper".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::park_timeout(cfg.poll_interval);
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        // Transient faults (offline transport, racing
+                        // checkpoint) abort the round; the next poll
+                        // re-derives everything from the directory.
+                        let _ = ship_round(&engine, &dir, transport.as_ref(), &mut state);
+                    }
+                })
+                .map_err(|e| ReplError::Wal(e.to_string()))?
+        };
+        Ok(Shipper {
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// Ask the thread to stop and wait for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Shipper {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[derive(Default)]
+struct ShipperState {
+    ckpt_next_lsn: Option<u64>,
+    shipped: HashMap<String, ShippedState>,
+}
+
+fn ship_round(
+    engine: &Engine,
+    dir: &Path,
+    transport: &dyn SegmentTransport,
+    state: &mut ShipperState,
+) -> Result<(), ReplError> {
+    let repl = Arc::clone(&engine.metrics().repl);
+
+    // Push buffered commit records out to the segment files so they are
+    // shippable; without this a NoSync engine's tail would sit in the
+    // writer's buffer forever.
+    engine.sync()?;
+
+    let (meta, payload) = read_checkpoint(dir)?;
+    if state.ckpt_next_lsn != Some(meta.next_lsn) {
+        let bytes = crate::transport::encode_checkpoint(&meta, &payload)?;
+        transport.publish_checkpoint(&bytes)?;
+        repl.checkpoints_shipped.inc();
+        state.ckpt_next_lsn = Some(meta.next_lsn);
+    }
+
+    let mut entries: Vec<SegmentEntry> = Vec::new();
+    for path in list_segments(dir)? {
+        let Some(name) = segment_name_of(&path) else {
+            continue;
+        };
+        let Some(first_lsn) = segment_first_lsn(&name) else {
+            continue;
+        };
+        // May race with a concurrent checkpoint deleting old segments;
+        // the resulting error aborts this round and the next one sees
+        // the post-checkpoint directory.
+        let bytes = fs::read(&path).map_err(|e| ReplError::Wal(e.to_string()))?;
+        let now = shipped_state(&bytes);
+        let prev = state.shipped.get(&name).copied();
+        if prev != Some(now) {
+            transport.publish_segment(&name, &bytes)?;
+            repl.segments_shipped.inc();
+            let prev_len = prev.map(|p| p.len).unwrap_or(0);
+            repl.bytes_shipped.add(now.len.saturating_sub(prev_len));
+            state.shipped.insert(name.clone(), now);
+        }
+        entries.push(SegmentEntry {
+            name,
+            first_lsn,
+            len: now.len,
+        });
+    }
+
+    let shipped_next_lsn = engine.wal_next_lsn().unwrap_or(meta.next_lsn);
+    transport.publish_manifest(&Manifest {
+        checkpoint_next_lsn: meta.next_lsn,
+        shipped_next_lsn,
+        segments: entries.clone(),
+    })?;
+    repl.shipped_lsn.set(shipped_next_lsn);
+
+    // Only after the manifest stopped naming them is it safe to drop
+    // segments from the transport.
+    let live: std::collections::HashSet<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+    let stale: Vec<String> = state
+        .shipped
+        .keys()
+        .filter(|n| !live.contains(n.as_str()))
+        .cloned()
+        .collect();
+    for name in stale {
+        transport.remove_segment(&name)?;
+        state.shipped.remove(&name);
+    }
+    Ok(())
+}
+
+fn segment_name_of(path: &Path) -> Option<String> {
+    Some(path.file_name()?.to_str()?.to_string())
+}

@@ -11,15 +11,20 @@
 //!    `OK <n> [info]` + `n` body lines, or a single `ERR <message>`.
 //! 2. **[`session`]** — per-connection state. A [`Session`] resolves
 //!    names against the schema, tracks the transaction mode, and routes
-//!    reads: autocommit queries pin the engine's current committed
-//!    snapshot per statement, `BEGIN READ` pins one snapshot for the
-//!    whole transaction (snapshot isolation), and a write transaction
-//!    reads through the engine lock so it sees its own writes. Every
+//!    reads through the unified `QueryRequest`/`QueryTarget` API:
+//!    autocommit queries go to a replication follower when a
+//!    [`ReplicaPool`] is attached (requiring the session's read floor,
+//!    so a session always reads its own writes) or to the engine's
+//!    current committed snapshot otherwise; `BEGIN READ` pins one
+//!    snapshot for the whole transaction (snapshot isolation); a write
+//!    transaction reads through the engine lock so it sees its own
+//!    writes. Writes and DDL always execute on the primary. Every
 //!    query is attributed to its session in the trace ring.
-//! 3. **[`server`]** — a thread-per-connection TCP listener
-//!    ([`serve`]). Readers scale because snapshot queries never take
-//!    the engine write lock; writers serialise on the engine's single
-//!    write token, exactly like the embedded API.
+//! 3. **[`server`]** — a thread-per-connection TCP listener ([`serve`],
+//!    [`serve_with_replicas`]). Readers scale because snapshot and
+//!    replica queries never take the primary's write lock; writers
+//!    serialise on the engine's single write token, exactly like the
+//!    embedded API.
 //!
 //! The crate adds no dependencies beyond the workspace: the protocol
 //! parser is hand-rolled and the server uses `std::net` blocking I/O.
@@ -27,9 +32,11 @@
 //! [`Engine`]: toposem_storage::Engine
 
 pub mod proto;
+pub mod replica;
 pub mod server;
 pub mod session;
 
 pub use proto::{parse_command, CmpOp, Command, ParseError, QuerySpec, Stage};
-pub use server::{serve, ServerHandle};
+pub use replica::ReplicaPool;
+pub use server::{serve, serve_with_replicas, ServerHandle};
 pub use session::{resolve_query, Session, SessionError};

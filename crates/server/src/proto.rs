@@ -16,6 +16,7 @@
 //! ```text
 //! PING
 //! METRICS
+//! SHOW TRACE [n]
 //! BEGIN [READ]
 //! COMMIT
 //! ABORT                          (ROLLBACK is accepted too)
@@ -29,9 +30,12 @@
 //! ```
 //!
 //! Keywords are case-insensitive; identifiers are not. String literals
-//! take single or double quotes and carry no escape sequences. Every
-//! response is either `ERR <message>` or `OK <n> [info...]` followed by
-//! exactly `n` body lines — clients never need lookahead.
+//! take single or double quotes and support the escapes `\\`, `\'`,
+//! `\"`, `\n`, `\t`, and `\r` (anything else after a backslash is an
+//! error). Every response is either `ERR <message>` or `OK <n>
+//! [info...]` followed by exactly `n` body lines — clients never need
+//! lookahead; body lines escape embedded newlines the same way, so the
+//! framing survives arbitrary stored strings.
 
 use toposem_extension::Value;
 use toposem_storage::{IndexKind, SortDir};
@@ -92,6 +96,11 @@ pub enum Command {
     Ping,
     /// Prometheus-format metrics dump.
     Metrics,
+    /// `SHOW TRACE [n]` — the q-error watchdog's worst plans.
+    ShowTrace {
+        /// How many entries to show (defaults to 5).
+        limit: usize,
+    },
     /// Open a transaction; `read: true` pins a snapshot instead.
     Begin {
         /// `BEGIN READ` — snapshot-isolated read transaction.
@@ -219,6 +228,16 @@ fn lex(line: &str) -> Result<Vec<Tok>, ParseError> {
                 loop {
                     match chars.next() {
                         Some(c) if c == quote => break,
+                        Some('\\') => match chars.next() {
+                            Some('\\') => s.push('\\'),
+                            Some('\'') => s.push('\''),
+                            Some('"') => s.push('"'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some(c) => return err(format!("unknown escape `\\{c}`")),
+                            None => return err("unterminated string literal"),
+                        },
                         Some(c) => s.push(c),
                         None => return err("unterminated string literal"),
                     }
@@ -447,6 +466,22 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
     let cmd = match kw.as_str() {
         "ping" => Command::Ping,
         "metrics" => Command::Metrics,
+        "show" => {
+            if !p.eat_keyword("trace") {
+                return err("expected `trace` after `show`");
+            }
+            let limit = match p.next() {
+                None => 5,
+                Some(Tok::Int(n)) if n > 0 => n as usize,
+                Some(t) => {
+                    return err(format!(
+                        "expected a positive count after `show trace`, found {}",
+                        t.describe()
+                    ))
+                }
+            };
+            Command::ShowTrace { limit }
+        }
         "begin" => Command::Begin {
             read: p.eat_keyword("read"),
         },
@@ -596,6 +631,40 @@ mod tests {
         assert!(parse_command("QUERY scan employee | select age != 3").is_err());
         assert!(parse_command("PING extra").is_err());
         assert!(parse_command("QUERY scan employee | select name = 'unterminated").is_err());
+    }
+
+    #[test]
+    fn string_escapes_lex() {
+        let cmd =
+            parse_command(r#"INSERT employee name='a\'b\nc\\d', age=1, depname="q\"t""#).unwrap();
+        let Command::Insert { fields, .. } = cmd else {
+            panic!("not an insert");
+        };
+        assert_eq!(fields[0].1, Value::str("a'b\nc\\d"));
+        assert_eq!(fields[2].1, Value::str("q\"t"));
+        // Tab and carriage return, and error cases.
+        let cmd = parse_command(r#"INSERT employee name='x\ty\rz', age=1"#).unwrap();
+        let Command::Insert { fields, .. } = cmd else {
+            panic!("not an insert");
+        };
+        assert_eq!(fields[0].1, Value::str("x\ty\rz"));
+        assert!(parse_command(r#"INSERT employee name='bad \q', age=1"#).is_err());
+        assert!(parse_command(r#"INSERT employee name='trailing \"#).is_err());
+    }
+
+    #[test]
+    fn show_trace_parses() {
+        assert_eq!(
+            parse_command("SHOW TRACE").unwrap(),
+            Command::ShowTrace { limit: 5 }
+        );
+        assert_eq!(
+            parse_command("show trace 12").unwrap(),
+            Command::ShowTrace { limit: 12 }
+        );
+        assert!(parse_command("SHOW").is_err());
+        assert!(parse_command("SHOW TRACE 0").is_err());
+        assert!(parse_command("SHOW TRACE many").is_err());
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Read routing onto replication followers: a [`ReplicaPool`] hands
+//! sessions a follower for each read, round-robin.
+//!
+//! The pool is deliberately dumb — it knows nothing about LSNs. The
+//! consistency decision belongs to the session: after a session writes,
+//! it records the primary's WAL watermark as its *read floor* and asks
+//! the chosen follower for [`Consistency::AtLeast`] that floor
+//! (read-your-writes); a follower that cannot reach the floor inside
+//! the pool's staleness bound makes the session fall back to the
+//! primary rather than serve a stale answer.
+//!
+//! [`Consistency::AtLeast`]: toposem_planner::Consistency::AtLeast
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use toposem_repl::Follower;
+
+/// Default bound on how long a read waits for a replica to catch up to
+/// the session's read floor before falling back to the primary.
+pub const DEFAULT_STALENESS_BOUND: Duration = Duration::from_millis(500);
+
+/// A round-robin pool of replication followers serving reads.
+pub struct ReplicaPool {
+    followers: Vec<Arc<Follower>>,
+    staleness: Duration,
+    next: AtomicUsize,
+}
+
+impl ReplicaPool {
+    /// A pool over `followers` with the
+    /// [default staleness bound](DEFAULT_STALENESS_BOUND).
+    pub fn new(followers: Vec<Arc<Follower>>) -> ReplicaPool {
+        ReplicaPool {
+            followers,
+            staleness: DEFAULT_STALENESS_BOUND,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Override how long a pinned read may wait for a replica to reach
+    /// the session's read floor before the session gives up on the
+    /// replica and reads from the primary.
+    pub fn with_staleness_bound(mut self, bound: Duration) -> ReplicaPool {
+        self.staleness = bound;
+        self
+    }
+
+    /// The configured staleness bound.
+    pub fn staleness_bound(&self) -> Duration {
+        self.staleness
+    }
+
+    /// Number of pooled followers.
+    pub fn len(&self) -> usize {
+        self.followers.len()
+    }
+
+    /// Whether the pool holds no followers (every read then goes to the
+    /// primary).
+    pub fn is_empty(&self) -> bool {
+        self.followers.is_empty()
+    }
+
+    /// The next follower, round-robin; `None` when the pool is empty.
+    pub fn pick(&self) -> Option<Arc<Follower>> {
+        if self.followers.is_empty() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.followers.len();
+        Some(Arc::clone(&self.followers[i]))
+    }
+}

@@ -17,6 +17,7 @@ use std::thread::JoinHandle;
 use toposem_storage::Engine;
 
 use crate::proto::{parse_command, Command};
+use crate::replica::ReplicaPool;
 use crate::session::Session;
 
 /// A running server: the bound address plus the accept thread's handle.
@@ -52,14 +53,37 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` and serves the engine until the handle shuts down.
+/// Every read is answered by the primary; see [`serve_with_replicas`]
+/// to offload reads onto replication followers.
 pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<ServerHandle> {
+    serve_inner(engine, None, addr)
+}
+
+/// Like [`serve`], but sessions route autocommit reads and `BEGIN
+/// READ` pins to `replicas`: each read picks a follower round-robin
+/// and requires the session's read floor (read-your-writes), falling
+/// back to the primary when the replica is stale past the pool's
+/// bound. Write transactions and DDL always execute on the primary.
+pub fn serve_with_replicas(
+    engine: Arc<Engine>,
+    replicas: Arc<ReplicaPool>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
+    serve_inner(engine, Some(replicas), addr)
+}
+
+fn serve_inner(
+    engine: Arc<Engine>,
+    replicas: Option<Arc<ReplicaPool>>,
+    addr: impl ToSocketAddrs,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let accept = std::thread::Builder::new()
         .name("toposem-server-accept".to_owned())
-        .spawn(move || accept_loop(listener, engine, flag))?;
+        .spawn(move || accept_loop(listener, engine, replicas, flag))?;
     Ok(ServerHandle {
         addr: bound,
         shutdown,
@@ -67,29 +91,39 @@ pub fn serve(engine: Arc<Engine>, addr: impl ToSocketAddrs) -> io::Result<Server
     })
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<Engine>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    replicas: Option<Arc<ReplicaPool>>,
+    shutdown: Arc<AtomicBool>,
+) {
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
         let engine = Arc::clone(&engine);
+        let replicas = replicas.clone();
         let _ = std::thread::Builder::new()
             .name("toposem-server-conn".to_owned())
             .spawn(move || {
                 engine.metrics().connections_opened.inc();
                 engine.metrics().connections_open.inc();
                 let metrics = Arc::clone(engine.metrics());
-                let _ = handle_connection(stream, engine);
+                let _ = handle_connection(stream, engine, replicas);
                 metrics.connections_open.dec();
             });
     }
 }
 
-fn handle_connection(stream: TcpStream, engine: Arc<Engine>) -> io::Result<()> {
+fn handle_connection(
+    stream: TcpStream,
+    engine: Arc<Engine>,
+    replicas: Option<Arc<ReplicaPool>>,
+) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut session = Session::new(engine);
+    let mut session = Session::with_replicas(engine, replicas);
     let mut line = String::new();
     loop {
         line.clear();
@@ -145,19 +179,41 @@ impl Reply {
         let mut out = String::new();
         match &self.head {
             // Newlines inside body lines would desynchronise the
-            // framing, so they are flattened defensively.
+            // framing, so they are escaped (reversibly — the same
+            // escapes the lexer accepts in string literals).
             Ok(info) => {
-                out.push_str(&format!("OK {} {info}\n", self.body.len()));
+                out.push_str(&format!("OK {} {}\n", self.body.len(), escape_line(info)));
                 for line in &self.body {
-                    out.push_str(&line.replace('\n', " "));
+                    out.push_str(&escape_line(line));
                     out.push('\n');
                 }
             }
-            Err(msg) => out.push_str(&format!("ERR {}\n", msg.replace('\n', " "))),
+            Err(msg) => out.push_str(&format!("ERR {}\n", escape_line(msg))),
         }
         w.write_all(out.as_bytes())?;
         w.flush()
     }
+}
+
+/// Escapes a response line so the one-line-per-row framing survives
+/// arbitrary content: `\` doubles, and newline/tab/carriage-return
+/// become `\n`/`\t`/`\r`. Clients reverse it with the lexer's escape
+/// table.
+fn escape_line(s: &str) -> String {
+    if !s.contains(['\\', '\n', '\t', '\r']) {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn dispatch(session: &mut Session, cmd: Command) -> Reply {
@@ -167,6 +223,29 @@ fn dispatch(session: &mut Session, cmd: Command) -> Reply {
             let text = session.engine().metrics_prometheus();
             let body: Vec<String> = text.lines().map(str::to_owned).collect();
             Ok(Reply::with_body("metrics", body))
+        }
+        Command::ShowTrace { limit } => {
+            let worst = session.engine().query_trace().worst_plans(limit);
+            let body: Vec<String> = worst
+                .iter()
+                .map(|t| {
+                    format!(
+                        "q={:.2} rows={} plan={:#018x} fp={:#018x} plan_us={} exec_us={} \
+                         cache_hit={}{}",
+                        t.max_q,
+                        t.rows,
+                        t.plan_hash,
+                        t.fingerprint,
+                        t.plan_ns / 1_000,
+                        t.exec_ns / 1_000,
+                        t.cache_hit,
+                        t.session
+                            .map(|s| format!(" session={s}"))
+                            .unwrap_or_default(),
+                    )
+                })
+                .collect();
+            Ok(Reply::with_body("trace", body))
         }
         Command::Begin { read } => session
             .begin(read)
@@ -240,4 +319,20 @@ fn resolve_index(
         resolved.push(session.attr_id(a)?);
     }
     Ok((t, resolved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::escape_line;
+
+    #[test]
+    fn lines_escape_reversibly() {
+        assert_eq!(escape_line("plain"), "plain");
+        assert_eq!(escape_line("a\nb"), "a\\nb");
+        assert_eq!(escape_line("a\\nb"), "a\\\\nb");
+        assert_eq!(escape_line("t\tr\r"), "t\\tr\\r");
+        // No escaped line ever contains a raw newline — the framing
+        // invariant the server relies on.
+        assert!(!escape_line("x\n\r\t\\y\n").contains('\n'));
+    }
 }

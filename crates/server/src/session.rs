@@ -1,33 +1,44 @@
 //! Per-connection sessions: transaction state, snapshot-pinned reads,
-//! and name resolution from protocol [`QuerySpec`]s to engine queries.
+//! replica routing, and name resolution from protocol [`QuerySpec`]s to
+//! engine queries.
 //!
 //! The engine itself is a single-writer store — explicit transactions
 //! take its one write token, and two sessions cannot both hold it. What
-//! sessions add on top is **snapshot-isolated reading**:
+//! sessions add on top is **read routing** over the unified
+//! [`QueryRequest`]/[`QueryTarget`] API:
 //!
-//! - An *autocommit* read (no open transaction) runs against the
-//!   engine's current committed snapshot ([`Engine::snapshot`]), never
-//!   taking the engine write lock and never observing another session's
-//!   uncommitted writes.
-//! - `BEGIN READ` pins that snapshot for the whole transaction: every
-//!   query until `COMMIT`/`ABORT` sees the exact same epoch, however
-//!   many commits land in between.
+//! - An *autocommit* read (no open transaction) goes to a replication
+//!   follower when a [`ReplicaPool`] is attached, with
+//!   [`Consistency::AtLeast`] the session's *read floor* — the primary
+//!   WAL watermark recorded at the session's last write — so a session
+//!   always reads its own writes. A stale replica makes the read fall
+//!   back to the primary's committed snapshot; without a pool it reads
+//!   that snapshot directly, never taking the engine write lock.
+//! - `BEGIN READ` pins one snapshot (from a replica at or past the
+//!   read floor when possible, else the primary) for the whole
+//!   transaction: every query until `COMMIT`/`ABORT` sees the exact
+//!   same epoch, however many commits land in between.
 //! - `BEGIN` (write) takes the engine transaction; the session's own
 //!   reads route through the engine lock so they see the session's
-//!   uncommitted writes.
+//!   uncommitted writes. Writes and DDL always land on the primary.
 //!
 //! Every query a session runs is attributed to it in the trace ring via
 //! [`toposem_obs::set_current_session`].
+//!
+//! [`Consistency::AtLeast`]: toposem_planner::Consistency::AtLeast
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use toposem_core::{AttrId, TypeId};
 use toposem_extension::{Instance, Value};
-use toposem_planner::{PlannedExecution, SnapshotExecution};
-use toposem_storage::{Engine, EngineSnapshot, IndexKind, Query, SortDir};
+use toposem_planner::{
+    Consistency, PinnedSnapshot, PlannedExecution, QueryRequest, QueryResponse, QueryTarget,
+};
+use toposem_storage::{Engine, IndexKind, Query, QueryError, SortDir};
 
 use crate::proto::{CmpOp, QuerySpec, Stage};
+use crate::replica::ReplicaPool;
 
 static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -59,12 +70,14 @@ impl std::error::Error for SessionError {}
 
 /// The session's transaction state.
 enum Txn {
-    /// Autocommit: reads pin the current committed snapshot per query.
+    /// Autocommit: reads route per query (replica or snapshot).
     None,
     /// Holds the engine's write transaction.
     Write,
-    /// A read transaction pinned to one snapshot epoch.
-    Read(Arc<EngineSnapshot>),
+    /// A read transaction pinned to one snapshot epoch — on a replica
+    /// engine when the pool could serve the read floor, else on the
+    /// primary.
+    Read(PinnedSnapshot),
 }
 
 /// Restores the thread's trace attribution when a query scope ends.
@@ -81,20 +94,35 @@ impl Drop for AttributionGuard {
 /// transaction it still holds.
 pub struct Session {
     engine: Arc<Engine>,
+    replicas: Option<Arc<ReplicaPool>>,
     id: u64,
     txn: Txn,
+    /// Primary WAL watermark at this session's last write: replica
+    /// reads require at least this LSN (read-your-writes). 0 until the
+    /// session writes.
+    read_floor: u64,
 }
 
 impl Session {
-    /// Opens a session over `engine` with a fresh id.
+    /// Opens a session over `engine` with a fresh id. Every read is
+    /// served by the primary.
     pub fn new(engine: Arc<Engine>) -> Session {
+        Session::with_replicas(engine, None)
+    }
+
+    /// Opens a session that routes autocommit reads and `BEGIN READ`
+    /// pins to `replicas` (when `Some`), falling back to the primary
+    /// when a replica is stale or the pool is empty.
+    pub fn with_replicas(engine: Arc<Engine>, replicas: Option<Arc<ReplicaPool>>) -> Session {
         let id = NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed);
         engine.metrics().sessions_opened.inc();
         engine.metrics().sessions_open.inc();
         Session {
             engine,
+            replicas,
             id,
             txn: Txn::None,
+            read_floor: 0,
         }
     }
 
@@ -121,12 +149,8 @@ impl Session {
             ));
         }
         if read {
-            let snap = self.engine.snapshot().ok_or_else(|| {
-                SessionError::State(
-                    "no committed snapshot available (a write transaction is active)".to_owned(),
-                )
-            })?;
-            self.txn = Txn::Read(snap);
+            let pin = self.pin_read_target()?;
+            self.txn = Txn::Read(pin);
         } else {
             self.engine
                 .begin()
@@ -136,15 +160,39 @@ impl Session {
         Ok(())
     }
 
+    /// Picks the snapshot a `BEGIN READ` pins: a replica that has
+    /// caught up to the session's read floor within the pool's
+    /// staleness bound, else the primary's committed snapshot.
+    fn pin_read_target(&self) -> Result<PinnedSnapshot, SessionError> {
+        if let Some(pool) = &self.replicas {
+            if let Some(follower) = pool.pick() {
+                if follower.wait_for_lsn(self.read_floor, pool.staleness_bound()) {
+                    if let Some(pin) = PinnedSnapshot::capture(&follower.engine()) {
+                        return Ok(pin);
+                    }
+                }
+                // Replica too stale (or unpinnable): read the primary.
+            }
+        }
+        PinnedSnapshot::capture(&self.engine).ok_or_else(|| {
+            SessionError::State(
+                "no committed snapshot available (a write transaction is active)".to_owned(),
+            )
+        })
+    }
+
     /// `COMMIT`. Committing a read transaction just releases the pin.
     pub fn commit(&mut self) -> Result<(), SessionError> {
         match std::mem::replace(&mut self.txn, Txn::None) {
             Txn::None => Err(SessionError::State("no open transaction".to_owned())),
             Txn::Read(_) => Ok(()),
-            Txn::Write => self
-                .engine
-                .commit()
-                .map_err(|e| SessionError::Engine(e.to_string())),
+            Txn::Write => {
+                self.engine
+                    .commit()
+                    .map_err(|e| SessionError::Engine(e.to_string()))?;
+                self.note_write();
+                Ok(())
+            }
         }
     }
 
@@ -165,22 +213,45 @@ impl Session {
     pub fn query(&self, q: &Query) -> Result<(TypeId, Vec<Instance>), SessionError> {
         toposem_obs::set_current_session(Some(self.id));
         let _guard = AttributionGuard;
+        let req = QueryRequest::new(q.clone()).ordered();
         let res = match &self.txn {
             // Pinned: every query in the transaction sees one epoch.
-            Txn::Read(snap) => self.engine.query_snapshot_ordered(snap, q),
+            Txn::Read(pin) => pin.run(&req),
             // Holding the write token: route through the engine lock so
             // the session sees its own uncommitted writes.
-            Txn::Write => self.engine.query_planned_ordered(q),
-            // Autocommit: read the committed snapshot without the
-            // engine lock. If no snapshot can be produced (another
-            // session holds the write token and none was ever cached),
-            // fall back to the locked path.
-            Txn::None => match self.engine.snapshot() {
-                Some(snap) => self.engine.query_snapshot_ordered(&snap, q),
-                None => self.engine.query_planned_ordered(q),
-            },
+            Txn::Write => self.engine.run(&req),
+            Txn::None => self.autocommit_read(req),
         };
-        res.map_err(|e| SessionError::Query(e.to_string()))
+        let resp = res.map_err(|e| SessionError::Query(e.to_string()))?;
+        let seq = resp.rows.seq().expect("ordered request yields Seq rows");
+        Ok((resp.ty, seq))
+    }
+
+    /// An autocommit read: a pooled replica first (requiring the
+    /// session's read floor), then the primary's committed snapshot.
+    /// The primary's `Snapshot` mode itself degrades to the locked path
+    /// when no snapshot can be produced, so this never fails for lack
+    /// of one.
+    fn autocommit_read(&self, req: QueryRequest) -> Result<QueryResponse, QueryError> {
+        if let Some(pool) = &self.replicas {
+            if let Some(follower) = pool.pick() {
+                match follower.run(&req.clone().at_least(self.read_floor)) {
+                    // Stale past the bound: serve from the primary.
+                    Err(QueryError::Stale { .. }) => {}
+                    other => return other,
+                }
+            }
+        }
+        self.engine
+            .run(&req.with_consistency(Consistency::Snapshot))
+    }
+
+    /// Records that this session changed the primary: replica reads
+    /// from here on must have applied at least the current watermark.
+    fn note_write(&mut self) {
+        if let Some(lsn) = self.engine.wal_next_lsn() {
+            self.read_floor = lsn;
+        }
     }
 
     /// Renders the query's physical plan (against the pinned snapshot's
@@ -201,31 +272,37 @@ impl Session {
     }
 
     /// Inserts one instance; returns whether it was new.
-    pub fn insert(&self, ty: TypeId, fields: &[(&str, Value)]) -> Result<bool, SessionError> {
+    pub fn insert(&mut self, ty: TypeId, fields: &[(&str, Value)]) -> Result<bool, SessionError> {
         self.writable("insert")?;
-        self.engine
+        let inserted = self
+            .engine
             .insert(ty, fields)
-            .map_err(|e| SessionError::Engine(e.to_string()))
+            .map_err(|e| SessionError::Engine(e.to_string()))?;
+        self.note_write();
+        Ok(inserted)
     }
 
     /// Deletes one instance identified by its full field list; returns
     /// the number of stored tuples removed (cascading included).
-    pub fn delete(&self, ty: TypeId, fields: &[(&str, Value)]) -> Result<usize, SessionError> {
+    pub fn delete(&mut self, ty: TypeId, fields: &[(&str, Value)]) -> Result<usize, SessionError> {
         self.writable("delete")?;
         let t = self
             .engine
             .with_db(|db| Instance::new(db.schema(), db.catalog(), ty, fields))
             .map_err(|e| SessionError::Query(e.to_string()))?;
-        self.engine
+        let removed = self
+            .engine
             .delete(ty, &t)
-            .map_err(|e| SessionError::Engine(e.to_string()))
+            .map_err(|e| SessionError::Engine(e.to_string()))?;
+        self.note_write();
+        Ok(removed)
     }
 
     /// Builds an index. DDL is autocommit-only: index definitions are
     /// WAL-logged immediately and would not roll back with the
     /// transaction.
     pub fn create_index(
-        &self,
+        &mut self,
         kind: IndexKind,
         ty: TypeId,
         attrs: &[AttrId],
@@ -233,21 +310,26 @@ impl Session {
         self.ddl_allowed()?;
         self.engine
             .create_index_of(ty, kind, attrs)
-            .map_err(|e| SessionError::Engine(e.to_string()))
+            .map_err(|e| SessionError::Engine(e.to_string()))?;
+        self.note_write();
+        Ok(())
     }
 
     /// Drops an index; returns whether one existed. Autocommit-only,
     /// like [`Session::create_index`].
     pub fn drop_index(
-        &self,
+        &mut self,
         kind: IndexKind,
         ty: TypeId,
         attrs: &[AttrId],
     ) -> Result<bool, SessionError> {
         self.ddl_allowed()?;
-        self.engine
+        let existed = self
+            .engine
             .drop_index(ty, kind, attrs)
-            .map_err(|e| SessionError::Engine(e.to_string()))
+            .map_err(|e| SessionError::Engine(e.to_string()))?;
+        self.note_write();
+        Ok(existed)
     }
 
     fn ddl_allowed(&self) -> Result<(), SessionError> {

@@ -1,16 +1,21 @@
 //! End-to-end coverage of the session front door: real TCP clients
 //! speaking the line protocol against one shared engine, exercising
-//! snapshot-isolated reads, write transactions, DML/DDL, and the
-//! framing itself.
+//! snapshot-isolated reads, write transactions, DML/DDL, replica read
+//! routing, and the framing itself.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use toposem_core::{employee_schema, Intension};
 use toposem_extension::{ContainmentPolicy, Database, DomainCatalog};
-use toposem_server::{serve, ServerHandle, Session};
+use toposem_repl::{
+    Follower, FollowerConfig, InProcessTransport, SegmentTransport, Shipper, ShipperConfig,
+};
+use toposem_server::{serve, serve_with_replicas, ReplicaPool, ServerHandle, Session};
 use toposem_storage::Engine;
+use toposem_wal::{FlushPolicy, Wal, WalConfig};
 
 fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(Database::new(
@@ -298,7 +303,7 @@ fn disconnect_mid_transaction_releases_the_write_token() {
 #[test]
 fn sessions_are_metered_and_attributed() {
     let eng = engine();
-    let s1 = Session::new(Arc::clone(&eng));
+    let mut s1 = Session::new(Arc::clone(&eng));
     let s2 = Session::new(Arc::clone(&eng));
     assert_ne!(s1.id(), s2.id());
     assert_eq!(eng.metrics().sessions_open.get(), 2);
@@ -333,4 +338,235 @@ fn sessions_are_metered_and_attributed() {
     assert_eq!(eng.metrics().sessions_open.get(), 1);
     drop(s1);
     assert_eq!(eng.metrics().sessions_open.get(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Replica read routing.
+// ---------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "toposem-server-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A durable primary with a shipper, one live follower, and a server
+/// routing reads to it. The shipper and transport ride along so tests
+/// can keep them alive or cut the link.
+struct Replicated {
+    primary: Arc<Engine>,
+    transport: Arc<InProcessTransport>,
+    _shipper: Shipper,
+    follower: Arc<Follower>,
+    handle: ServerHandle,
+}
+
+fn replicated_server(tag: &str, max_lsn_wait: Duration, staleness: Duration) -> Replicated {
+    let dir = temp_dir(tag);
+    let wal = Wal::create(
+        &dir,
+        WalConfig {
+            flush: FlushPolicy::NoSync,
+            segment_bytes: 4096,
+        },
+    )
+    .unwrap();
+    let primary = Arc::new(
+        Engine::durable(
+            Database::new(
+                Intension::analyse(employee_schema()),
+                DomainCatalog::employee_defaults(),
+                ContainmentPolicy::Eager,
+            ),
+            wal,
+        )
+        .unwrap(),
+    );
+    let transport = Arc::new(InProcessTransport::new());
+    let shipper = Shipper::start(
+        Arc::clone(&primary),
+        transport.clone() as Arc<dyn SegmentTransport>,
+        ShipperConfig {
+            poll_interval: Duration::from_millis(2),
+        },
+    )
+    .unwrap();
+    let follower = Arc::new(
+        Follower::start_when_ready(
+            transport.clone() as Arc<dyn SegmentTransport>,
+            FollowerConfig {
+                poll_interval: Duration::from_millis(2),
+                max_lsn_wait,
+            },
+            Duration::from_secs(10),
+        )
+        .unwrap(),
+    );
+    let pool =
+        Arc::new(ReplicaPool::new(vec![Arc::clone(&follower)]).with_staleness_bound(staleness));
+    let handle = serve_with_replicas(Arc::clone(&primary), pool, "127.0.0.1:0").unwrap();
+    Replicated {
+        primary,
+        transport,
+        _shipper: shipper,
+        follower,
+        handle,
+    }
+}
+
+/// Counts query (not commit) traces on an engine's ring.
+fn query_traces(eng: &Engine) -> usize {
+    eng.query_trace()
+        .recent()
+        .iter()
+        .filter(|t| t.fingerprint != 0)
+        .count()
+}
+
+#[test]
+fn replica_serves_reads_and_primary_takes_writes() {
+    let r = replicated_server("route", Duration::from_secs(5), Duration::from_secs(5));
+    let mut a = Client::connect(&r.handle);
+    let mut b = Client::connect(&r.handle);
+
+    // Writes land on the primary and advance its WAL.
+    let wal_before = r.primary.wal_next_lsn().unwrap();
+    a.ok("INSERT employee name='w1', age=30, depname='sales'");
+    a.ok("INSERT employee name='w2', age=10, depname='sales'");
+    a.ok("INSERT employee name='w3', age=20, depname='admin'");
+    assert!(r.primary.wal_next_lsn().unwrap() > wal_before);
+
+    // The writing session reads its own writes immediately: the read
+    // floor forces the replica to catch up (or the primary to answer).
+    let replica_before = query_traces(&r.follower.engine());
+    let rows = a.ok("QUERY scan employee | order by age asc");
+    assert_eq!(rows.len(), 3, "{rows:?}");
+    assert!(rows[0].contains("age=10"), "{rows:?}");
+
+    // The read was served by the replica engine, not the primary.
+    assert!(
+        query_traces(&r.follower.engine()) > replica_before,
+        "autocommit read must execute on the replica"
+    );
+
+    // BEGIN READ pins a replica snapshot: a later commit (by the other
+    // session) stays invisible until the pin is released.
+    a.ok("BEGIN READ");
+    b.ok("INSERT employee name='w4', age=40, depname='admin'");
+    assert_eq!(b.ok("QUERY scan employee").len(), 4, "B reads its write");
+    assert_eq!(
+        a.ok("QUERY scan employee").len(),
+        3,
+        "pinned replica reader must not see later commits"
+    );
+    a.ok("COMMIT");
+    assert_eq!(a.ok("QUERY scan employee").len(), 4);
+
+    // Writes are still rejected inside a read transaction.
+    a.ok("BEGIN READ");
+    a.err("INSERT employee name='w5', age=5, depname='admin'");
+    a.ok("ABORT");
+}
+
+#[test]
+fn stale_replica_falls_back_to_the_primary() {
+    // Tiny bounds: a stalled replica must not block reads for long.
+    let r = replicated_server(
+        "stale",
+        Duration::from_millis(20),
+        Duration::from_millis(20),
+    );
+    let mut c = Client::connect(&r.handle);
+    c.ok("INSERT employee name='w1', age=1, depname='sales'");
+    assert_eq!(c.ok("QUERY scan employee").len(), 1);
+
+    // Cut the replication link, then write: the replica can never
+    // reach the session's new read floor.
+    r.transport.set_offline(true);
+    c.ok("INSERT employee name='w2', age=2, depname='sales'");
+
+    let primary_before = query_traces(&r.primary);
+    let rows = c.ok("QUERY scan employee | order by age asc");
+    assert_eq!(rows.len(), 2, "fallback must serve the fresh state");
+    assert!(
+        query_traces(&r.primary) > primary_before,
+        "stale replica must fall back to the primary"
+    );
+
+    // BEGIN READ falls back the same way and pins fresh state.
+    c.ok("BEGIN READ");
+    assert_eq!(c.ok("QUERY scan employee").len(), 2);
+    c.ok("COMMIT");
+
+    // Restore the link: replica routing resumes once caught up.
+    r.transport.set_offline(false);
+    assert!(r
+        .follower
+        .wait_for_lsn(r.primary.wal_next_lsn().unwrap(), Duration::from_secs(10)));
+    assert_eq!(c.ok("QUERY scan employee").len(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Protocol polish: string escapes and SHOW TRACE.
+// ---------------------------------------------------------------------
+
+#[test]
+fn string_escapes_round_trip_through_the_wire() {
+    let (_eng, handle) = server();
+    let mut c = Client::connect(&handle);
+
+    // A value with an embedded newline, quote, and backslash survives
+    // insert → select → render without desynchronising the framing.
+    c.ok(r"INSERT employee name='a\'b\nc\\d', age=1, depname='sales'");
+    let rows = c.ok(r"QUERY scan employee | select name = 'a\'b\nc\\d'");
+    assert_eq!(rows.len(), 1, "escaped literal must match the stored value");
+    assert!(
+        !rows[0].contains('\n') && rows[0].contains("\\n"),
+        "newline must be escaped in the body line: {:?}",
+        rows[0]
+    );
+    // The frame stayed in sync.
+    assert_eq!(c.send("PING").0, "OK pong");
+
+    // Unknown escapes are rejected as parse errors, connection intact.
+    c.err(r"INSERT employee name='bad \q', age=1, depname='x'");
+    assert_eq!(c.send("PING").0, "OK pong");
+}
+
+#[test]
+fn show_trace_surfaces_worst_plans() {
+    let (eng, handle) = server();
+    let mut c = Client::connect(&handle);
+
+    // Nothing profiled yet: an empty, well-formed frame.
+    let (head, body) = c.send("SHOW TRACE");
+    assert_eq!(head, "OK trace");
+    assert!(body.is_empty());
+
+    for i in 0..10 {
+        c.ok(&format!(
+            "INSERT employee name='w{i}', age={i}, depname='sales'"
+        ));
+    }
+    // A profiled run retains its operator profile and records q-error,
+    // which is what the watchdog ranks.
+    let employee = eng.with_db(|db| db.schema().type_id("employee").unwrap());
+    let q = toposem_storage::Query::scan(employee);
+    use toposem_planner::{QueryRequest, QueryTarget};
+    eng.run(&QueryRequest::new(q).profiled()).unwrap();
+
+    let body = c.ok("SHOW TRACE 3");
+    assert!(!body.is_empty(), "profiled query must appear in SHOW TRACE");
+    assert!(
+        body[0].starts_with("q=") && body[0].contains("exec_us="),
+        "unexpected trace line: {:?}",
+        body[0]
+    );
+    assert!(body.len() <= 3);
 }

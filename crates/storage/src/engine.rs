@@ -25,7 +25,8 @@ use toposem_extension::{Database, Instance, InstanceError, LogicalOp, Value};
 use toposem_fd::{check_fd, Fd};
 use toposem_obs::{EngineMetrics, MetricsSnapshot, PlanCacheStats, QueryTrace, TraceRing};
 use toposem_wal::{
-    FlushPolicy, IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry, WalError,
+    CheckpointMeta, FlushPolicy, IndexDef, IndexKindDef, LogScan, Wal, WalConfig, WalEntry,
+    WalError, WalRecord,
 };
 
 use crate::index::{CompositeIndex, HashIndex, Index, IndexKind, OrdIndex};
@@ -59,6 +60,10 @@ pub enum EngineError {
     Wal(String),
     /// Checkpoint encoding or recovery replay failed.
     Recovery(String),
+    /// The engine is a read-only replica: its state advances only
+    /// through [`Engine::apply_replicated`], never through direct
+    /// writes or DDL.
+    ReadOnly,
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +79,12 @@ impl std::fmt::Display for EngineError {
             EngineError::BadIndexDefinition(why) => write!(f, "bad index definition: {why}"),
             EngineError::Wal(e) => write!(f, "write-ahead log failure: {e}"),
             EngineError::Recovery(e) => write!(f, "recovery failure: {e}"),
+            EngineError::ReadOnly => {
+                write!(
+                    f,
+                    "engine is a read-only replica; route writes to the primary"
+                )
+            }
         }
     }
 }
@@ -179,6 +190,20 @@ struct Inner {
     /// snapshot in O(1) instead. Atomic so the lock-free read path of
     /// [`Engine::snapshot`] can set it under the shared lock.
     snapshot_requested: AtomicBool,
+    /// Whether this engine is a read-only replica: every public mutator
+    /// is rejected, and state advances only through
+    /// [`Engine::apply_replicated`].
+    read_only: bool,
+    /// One past the LSN of the last record applied through
+    /// [`Engine::apply_replicated`] (seeded with the bootstrap
+    /// checkpoint's `next_lsn` on a replica; 0 elsewhere). Records below
+    /// this watermark are idempotently skipped, so a follower can
+    /// re-decode a segment from the start after a disconnect.
+    applied_lsn: u64,
+    /// Replicated transactions whose `Commit` has not arrived yet:
+    /// their operations buffer here and apply atomically on commit
+    /// (mirroring recovery's commit-order replay) or vanish on abort.
+    repl_active: HashMap<u64, Vec<(LogKind, LogicalOp)>>,
 }
 
 impl Inner {
@@ -372,6 +397,9 @@ impl Engine {
             snapshot: None,
             snapshot_stale: false,
             snapshot_requested: AtomicBool::new(false),
+            read_only: false,
+            applied_lsn: 0,
+            repl_active: HashMap::new(),
         };
         // Prime the committed-state snapshot: a reader that arrives
         // while the very first write transaction is active must find a
@@ -523,6 +551,228 @@ impl Engine {
         Ok(eng)
     }
 
+    /// Builds a **read-only replica** engine from a shipped checkpoint:
+    /// the snapshot payload plus the meta's index and FD definitions,
+    /// exactly as recovery would install them, with the applied-LSN
+    /// watermark seeded at the checkpoint's `next_lsn`. The replica's
+    /// state then advances only through [`Engine::apply_replicated`];
+    /// every public mutator returns [`EngineError::ReadOnly`].
+    pub fn replica_from_checkpoint(
+        meta: CheckpointMeta,
+        snapshot: Vec<u8>,
+    ) -> Result<Engine, EngineError> {
+        let applied = meta.next_lsn;
+        let eng = Self::from_scan(LogScan {
+            meta,
+            snapshot,
+            records: Vec::new(),
+            torn_tail: false,
+        })?;
+        {
+            let mut inner = eng.inner.write();
+            inner.read_only = true;
+            inner.applied_lsn = applied;
+            // Index/FD replay marked the primed snapshot stale; rebuild
+            // so the first replica reader is lock-free immediately.
+            inner.refresh_snapshot(&eng.metrics);
+        }
+        eng.metrics.repl.applied_lsn.set(applied);
+        Ok(eng)
+    }
+
+    /// Applies one shipped WAL record to a replica, mirroring recovery's
+    /// commit-order replay against the *live* engine: operations buffer
+    /// per transaction and take effect (with index maintenance) only
+    /// when the `Commit` record arrives; aborted transactions vanish.
+    /// Records below the applied-LSN watermark are skipped idempotently,
+    /// so a follower may re-decode a segment from the start after a
+    /// disconnect without double-applying.
+    ///
+    /// FD checks are *not* re-run per operation — the primary validated
+    /// them before logging, and a replica rejecting a committed record
+    /// could only diverge. DDL records (index create/drop, FD
+    /// declarations) apply immediately, as they do in the log.
+    pub fn apply_replicated(&self, rec: &WalRecord) -> Result<(), EngineError> {
+        let mut inner = self.inner.write();
+        if rec.lsn < inner.applied_lsn {
+            return Ok(());
+        }
+        match &rec.entry {
+            WalEntry::Begin { txn } => {
+                inner.repl_active.insert(*txn, Vec::new());
+            }
+            WalEntry::Insert { txn, op } => {
+                inner
+                    .repl_active
+                    .entry(*txn)
+                    .or_default()
+                    .push((LogKind::Insert, op.clone()));
+            }
+            WalEntry::Delete { txn, op } => {
+                inner
+                    .repl_active
+                    .entry(*txn)
+                    .or_default()
+                    .push((LogKind::Delete, op.clone()));
+            }
+            WalEntry::Commit { txn } => {
+                let ops = inner.repl_active.remove(txn).unwrap_or_default();
+                let n = ops.len() as u64;
+                for (kind, op) in ops {
+                    Self::apply_replicated_op(&mut inner, kind, &op)?;
+                }
+                if n > 0 {
+                    // Outside any local transaction, so this also marks
+                    // the cached snapshot stale: the next replica reader
+                    // materialises the freshly applied commit.
+                    inner.note_mutation(&self.metrics);
+                }
+                self.metrics.repl.records_applied.add(n);
+            }
+            WalEntry::Abort { txn } => {
+                inner.repl_active.remove(txn);
+            }
+            WalEntry::Checkpoint { .. } => {}
+            WalEntry::CreateIndex { def } => {
+                let (e, kind, attrs) = Self::resolve_index_def(&inner.db, def)?;
+                Self::create_index_locked(&mut inner, &self.metrics, e, kind, &attrs)?;
+            }
+            WalEntry::DropIndex { def } => {
+                let (e, kind, attrs) = Self::resolve_index_def(&inner.db, def)?;
+                Self::drop_index_locked(&mut inner, &self.metrics, e, kind, &attrs)?;
+            }
+            WalEntry::DeclareFd { lhs, rhs, context } => {
+                let resolved = {
+                    let s = inner.db.schema();
+                    match (s.type_id(lhs), s.type_id(rhs), s.type_id(context)) {
+                        (Some(l), Some(r), Some(c)) => Some(Fd::unchecked(l, r, c)),
+                        _ => None,
+                    }
+                };
+                let fd = resolved.ok_or_else(|| {
+                    EngineError::Recovery(format!(
+                        "replicated fd ({lhs}, {rhs}, {context}) names no schema element"
+                    ))
+                })?;
+                if !check_fd(&inner.db, &fd).holds() {
+                    return Err(EngineError::FdViolation(fd));
+                }
+                inner.declared_fds.push(fd);
+            }
+        }
+        inner.applied_lsn = rec.lsn + 1;
+        self.metrics.repl.applied_lsn.set(inner.applied_lsn);
+        Ok(())
+    }
+
+    /// Applies one committed replicated operation against the live
+    /// database, maintaining every affected index — the live-apply
+    /// mirror of recovery's `apply_insert`/`apply_delete` (which can
+    /// ignore indexes because recovery builds them afterwards).
+    fn apply_replicated_op(
+        inner: &mut Inner,
+        kind: LogKind,
+        op: &LogicalOp,
+    ) -> Result<(), EngineError> {
+        let (e, t) = op
+            .resolve(&inner.db)
+            .map_err(|e| EngineError::Recovery(e.to_string()))?;
+        match kind {
+            LogKind::Insert => {
+                let added = inner.db.insert_tracked(e, t);
+                for (s, u) in &added {
+                    for idx in &mut inner.indexes[s.index()] {
+                        idx.insert(u);
+                    }
+                }
+            }
+            LogKind::Delete => {
+                // Same cascade capture as Engine::delete: the logged op
+                // addresses one instance; specialisations that project
+                // onto it go too, and their index entries with them.
+                let schema = inner.db.schema().clone();
+                let victims: Vec<(TypeId, Instance)> = schema
+                    .type_ids()
+                    .flat_map(|s| {
+                        let spec = inner.db.intension().specialisation();
+                        if s != e && !spec.is_specialisation(s, e) {
+                            return Vec::new();
+                        }
+                        let ae = schema.attrs_of(e);
+                        inner
+                            .db
+                            .stored(s)
+                            .iter()
+                            .filter(|u| u.project(ae) == t)
+                            .map(|u| (s, u.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                inner.db.delete(e, &t);
+                for (s, u) in &victims {
+                    for idx in &mut inner.indexes[s.index()] {
+                        idx.remove(u);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves a logged index definition's names against the live
+    /// schema (shared by replicated create and drop application).
+    fn resolve_index_def(
+        db: &Database,
+        def: &IndexDef,
+    ) -> Result<(TypeId, IndexKind, Vec<toposem_core::AttrId>), EngineError> {
+        let schema = db.schema();
+        let e = schema.type_id(&def.entity);
+        let attrs: Option<Vec<toposem_core::AttrId>> =
+            def.attrs.iter().map(|a| schema.attr_id(a)).collect();
+        let (Some(e), Some(attrs)) = (e, attrs) else {
+            return Err(EngineError::Recovery(format!(
+                "replicated index ({}, {:?}) names no schema element",
+                def.entity, def.attrs
+            )));
+        };
+        let kind = match def.kind {
+            IndexKindDef::Hash => IndexKind::Hash,
+            IndexKindDef::Ordered => IndexKind::Ordered,
+            IndexKindDef::Composite => IndexKind::Composite,
+        };
+        Ok((e, kind, attrs))
+    }
+
+    /// One past the LSN of the last record applied through
+    /// [`Engine::apply_replicated`] — the replica's consistency
+    /// watermark (a checkpoint-bootstrapped replica starts at the
+    /// checkpoint's `next_lsn`; 0 on a non-replica engine).
+    pub fn applied_lsn(&self) -> u64 {
+        self.inner.read().applied_lsn
+    }
+
+    /// Whether this engine is a read-only replica.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read().read_only
+    }
+
+    /// The LSN the next appended WAL record will get, when a log is
+    /// attached — the primary-side watermark replication lag is
+    /// measured against.
+    pub fn wal_next_lsn(&self) -> Option<u64> {
+        self.inner.read().wal.as_ref().map(Wal::next_lsn)
+    }
+
+    /// The directory of the attached write-ahead log, when one exists —
+    /// where a replication shipper finds checkpoints and segments.
+    pub fn wal_dir(&self) -> Option<std::path::PathBuf> {
+        self.inner
+            .read()
+            .wal
+            .as_ref()
+            .map(|w| w.dir().to_path_buf())
+    }
+
     /// Whether a write-ahead log is attached.
     pub fn is_durable(&self) -> bool {
         self.inner.read().wal.is_some()
@@ -544,6 +794,9 @@ impl Engine {
     /// a transaction-consistent state.
     pub fn checkpoint(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
         if inner.txn_log.is_some() {
             return Err(EngineError::TransactionActive);
         }
@@ -586,6 +839,9 @@ impl Engine {
     /// recovery restores enforcement.
     pub fn declare_fd(&self, fd: Fd) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
         if !check_fd(&inner.db, &fd).holds() {
             return Err(EngineError::FdViolation(fd));
         }
@@ -661,6 +917,22 @@ impl Engine {
         attrs: &[toposem_core::AttrId],
     ) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
+        Self::create_index_locked(&mut inner, &self.metrics, e, kind, attrs)
+    }
+
+    /// The lock-held body of [`Engine::create_index_of`], shared with
+    /// replicated-DDL application (which holds the lock already and must
+    /// bypass the read-only guard).
+    fn create_index_locked(
+        inner: &mut Inner,
+        metrics: &EngineMetrics,
+        e: TypeId,
+        kind: IndexKind,
+        attrs: &[toposem_core::AttrId],
+    ) -> Result<(), EngineError> {
         {
             let schema = inner.db.schema();
             if attrs.is_empty() {
@@ -704,7 +976,7 @@ impl Engine {
         slot.retain(|existing| !(existing.kind() == kind && existing.attrs() == attrs));
         slot.push(idx);
         // Index presence changes access paths: invalidate cached plans.
-        inner.note_mutation(&self.metrics);
+        inner.note_mutation(metrics);
         let def = {
             let schema = inner.db.schema();
             let idx = inner.indexes[e.index()].last().expect("just pushed");
@@ -729,13 +1001,28 @@ impl Engine {
         attrs: &[toposem_core::AttrId],
     ) -> Result<bool, EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
+        Self::drop_index_locked(&mut inner, &self.metrics, e, kind, attrs)
+    }
+
+    /// The lock-held body of [`Engine::drop_index`], shared with
+    /// replicated-DDL application.
+    fn drop_index_locked(
+        inner: &mut Inner,
+        metrics: &EngineMetrics,
+        e: TypeId,
+        kind: IndexKind,
+        attrs: &[toposem_core::AttrId],
+    ) -> Result<bool, EngineError> {
         let slot = &mut inner.indexes[e.index()];
         let before = slot.len();
         slot.retain(|idx| !(idx.kind() == kind && idx.attrs() == attrs));
         if slot.len() == before {
             return Ok(false);
         }
-        inner.note_mutation(&self.metrics);
+        inner.note_mutation(metrics);
         let def = {
             let schema = inner.db.schema();
             IndexDef {
@@ -821,6 +1108,9 @@ impl Engine {
     /// failure is reported even though the in-memory insert stands.
     pub fn insert(&self, e: TypeId, fields: &[(&str, Value)]) -> Result<bool, EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
         let t = Instance::new(inner.db.schema(), inner.db.catalog(), e, fields)?;
         let added = inner.db.insert_tracked(e, t.clone());
         if added.is_empty() {
@@ -869,6 +1159,9 @@ impl Engine {
     /// instance is redo-logged (the cascade is recomputed on replay).
     pub fn delete(&self, e: TypeId, t: &Instance) -> Result<usize, EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
         // Capture what a cascade will remove, for undo and index upkeep.
         let schema = inner.db.schema().clone();
         let victims: Vec<(TypeId, Instance)> = schema
@@ -931,6 +1224,9 @@ impl Engine {
     /// what the caller believes are distinct transactions).
     pub fn begin(&self) -> Result<(), EngineError> {
         let mut inner = self.inner.write();
+        if inner.read_only {
+            return Err(EngineError::ReadOnly);
+        }
         if inner.txn_log.is_some() {
             return Err(EngineError::TransactionActive);
         }

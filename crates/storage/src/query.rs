@@ -282,6 +282,14 @@ pub enum QueryError {
     TypeMismatch(TypeId, TypeId),
     /// A selection attribute does not belong to the input type.
     ForeignAttribute(toposem_core::AttrId),
+    /// A read-consistency bound could not be met: the target (a
+    /// replica) has not applied up to the requested LSN.
+    Stale {
+        /// The LSN the caller required the target to have applied.
+        want_lsn: u64,
+        /// The LSN the target had actually applied.
+        applied_lsn: u64,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -299,6 +307,15 @@ impl std::fmt::Display for QueryError {
                 write!(
                     f,
                     "set operation requires equal entity types, got {a} and {b}"
+                )
+            }
+            QueryError::Stale {
+                want_lsn,
+                applied_lsn,
+            } => {
+                write!(
+                    f,
+                    "read target is stale: applied lsn {applied_lsn} is behind required {want_lsn}"
                 )
             }
         }

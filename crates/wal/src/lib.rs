@@ -27,8 +27,11 @@ pub mod crc32;
 pub mod log;
 pub mod record;
 
-pub use crate::log::{read_checkpoint, scan, CheckpointMeta, LogScan, Wal};
-pub use crate::record::{IndexDef, IndexKindDef, WalEntry, WalRecord};
+pub use crate::log::{
+    list_segments, read_checkpoint, scan, segment_first_lsn, segment_name, CheckpointMeta, LogScan,
+    Wal, SEG_HEADER_LEN,
+};
+pub use crate::record::{decode_record, Decoded, IndexDef, IndexKindDef, WalEntry, WalRecord};
 
 /// When commit records reach the disk.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

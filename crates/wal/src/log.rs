@@ -37,7 +37,10 @@ const SEG_MAGIC: &[u8; 8] = b"TSWALSEG";
 // `CreateIndex` payload would otherwise read as a torn/corrupt record
 // and silently truncate the committed suffix behind it).
 const SEG_VERSION: u32 = 2;
-const SEG_HEADER_LEN: usize = 20; // magic(8) + version(4) + first_lsn(8)
+/// Length of a segment file's header: magic(8) + version(4) +
+/// first_lsn(8). Record frames start at this offset — a replication
+/// follower decoding shipped segment bytes skips exactly this prefix.
+pub const SEG_HEADER_LEN: usize = 20;
 const CKPT_MAGIC: &str = "TOPOSEM-WAL-CKPT";
 const CKPT_VERSION: u32 = 2;
 const CKPT_NAME: &str = "checkpoint.snap";
@@ -101,11 +104,29 @@ struct TailState {
     next_txn: u64,
 }
 
-fn segment_name(first_lsn: u64) -> String {
+/// The canonical file name of the segment whose first record has
+/// `first_lsn`. Zero-padded so lexicographic order is log order —
+/// replication transports rely on this to ship segments in order.
+pub fn segment_name(first_lsn: u64) -> String {
     format!("seg-{first_lsn:020}.wal")
 }
 
-fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, WalError> {
+/// The first LSN embedded in a segment file name (the inverse of
+/// [`segment_name`]); `None` when the name is not a segment name. A
+/// follower uses this to skip whole segments below its applied LSN.
+pub fn segment_first_lsn(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".wal")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Paths of every segment file in `dir`, in log order (the zero-padded
+/// names make lexicographic order log order). Public so a replication
+/// shipper can enumerate sealed and live segments without reaching into
+/// the directory layout by hand.
+pub fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, WalError> {
     let mut segs: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(|e| e.ok())
         .map(|e| e.path())

@@ -103,6 +103,12 @@ pub mod server {
     pub use toposem_server::*;
 }
 
+/// Replication: WAL-segment shipping from a primary to read-only
+/// followers through pluggable `SegmentTransport`s.
+pub mod repl {
+    pub use toposem_repl::*;
+}
+
 /// The Universal Relation baseline.
 pub mod ur {
     pub use toposem_ur::*;
